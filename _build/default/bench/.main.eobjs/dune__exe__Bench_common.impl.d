@@ -1,0 +1,1 @@
+bench/bench_common.ml: Codegen Cost_model Dim Featurizer Granii Granii_core Granii_gnn Granii_graph Granii_hw Granii_mp Granii_systems Hashtbl List Printf Profiling Selector String

@@ -1,0 +1,1 @@
+bench/bench_costmodel.ml: Bench_common Cost_model Granii_core Granii_graph Granii_hw Granii_ml List Printf Profiling

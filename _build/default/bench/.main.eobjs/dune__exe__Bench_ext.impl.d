@@ -1,0 +1,1 @@
+bench/bench_ext.ml: Array Bench_common Granii Granii_core Granii_gnn Granii_graph Granii_hw Granii_mp Granii_tensor List Plan Printf Sys

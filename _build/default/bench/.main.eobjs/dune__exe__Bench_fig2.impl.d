@@ -1,0 +1,1 @@
+bench/bench_fig2.ml: Bench_common Granii_core Granii_graph Granii_hw Granii_mp Granii_systems List Plan Primitive Printf

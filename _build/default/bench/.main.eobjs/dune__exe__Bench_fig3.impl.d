@@ -1,0 +1,1 @@
+bench/bench_fig3.ml: Bench_common Codegen Dim Format Granii Granii_core Granii_mp List Plan Primitive Printf String

@@ -1,0 +1,1 @@
+bench/bench_fig9.ml: Array Bench_common Codegen Float Fun Granii_core Granii_gnn Granii_graph Granii_hw Granii_mp Hashtbl List Plan Printf Selector

@@ -1,0 +1,1 @@
+bench/bench_overheads.ml: Bench_common Codegen Dim Enumerate Featurizer Granii_core Granii_gnn Granii_graph Granii_hw Granii_mp List Printf Prune Selector

@@ -1,0 +1,1 @@
+bench/bench_real.ml: Bench_common Codegen Dim Executor Granii_core Granii_gnn Granii_graph Granii_hw Granii_mp Granii_tensor List Plan Primitive Printf

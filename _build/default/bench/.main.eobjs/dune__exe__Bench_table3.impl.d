@@ -1,0 +1,1 @@
+bench/bench_table3.ml: Bench_common Granii_hw Granii_mp Granii_systems Hashtbl List Option Printf

@@ -1,0 +1,1 @@
+bench/bench_table5.ml: Bench_common Granii_graph Granii_hw Granii_mp Granii_systems List Printf

@@ -1,0 +1,1 @@
+bench/bench_table6.ml: Assoc_tree Bench_common Codegen Cost_model Granii Granii_core Granii_graph Granii_hw Granii_mp Granii_systems Hashtbl List Option Printf Selector

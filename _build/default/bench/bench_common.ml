@@ -1,0 +1,133 @@
+(* Shared infrastructure for the paper-reproduction benches. *)
+
+open Granii_core
+module Hw = Granii_hw
+module Mp = Granii_mp
+module Sys_ = Granii_systems
+module G = Granii_graph
+module Gnn = Granii_gnn
+
+let profiles = [ Hw.Hw_profile.h100; Hw.Hw_profile.a100; Hw.Hw_profile.cpu ]
+let gpu_profiles = [ Hw.Hw_profile.h100; Hw.Hw_profile.a100 ]
+let systems = [ Sys_.System.wisegraph; Sys_.System.dgl ]
+
+(* Embedding-size grid: square sizes plus shrinking and growing pairs, the
+   paper's 32..2048 span (Sec. VI-B). *)
+let square_pairs = [ (32, 32); (256, 256); (1024, 1024) ]
+let shrinking_pairs = [ (512, 64); (2048, 256) ]
+let growing_pairs = [ (64, 512); (256, 2048); (1024, 2048) ]
+let all_pairs = square_pairs @ shrinking_pairs @ growing_pairs
+
+(* GAT is evaluated only on increasing sizes (Sec. VI-B). *)
+let pairs_for (m : Mp.Mp_ast.model) =
+  if m.Mp.Mp_ast.attention then growing_pairs else all_pairs
+
+let geomean = function
+  | [] -> nan
+  | xs ->
+      exp (List.fold_left (fun a x -> a +. log x) 0. xs /. float_of_int (List.length xs))
+
+let env_of graph ~k_in ~k_out =
+  let n = G.Graph.n_nodes graph in
+  { Dim.n; nnz = G.Graph.n_edges graph + n; k_in; k_out }
+
+(* ---- caches: everything below is built once per bench process ---- *)
+
+let cost_model_cache : (string, Cost_model.t) Hashtbl.t = Hashtbl.create 4
+
+let cost_model profile =
+  let key = profile.Hw.Hw_profile.name in
+  match Hashtbl.find_opt cost_model_cache key with
+  | Some cm -> cm
+  | None ->
+      let data = Profiling.collect ~profile () in
+      let cm = Cost_model.train ~profile data in
+      Hashtbl.add cost_model_cache key cm;
+      cm
+
+let compiled_cache : (string, Mp.Lower.lowered * Codegen.t * Granii.offline_stats) Hashtbl.t =
+  Hashtbl.create 16
+
+let compiled (m : Mp.Mp_ast.model) ~binned =
+  let key = Printf.sprintf "%s/%b" m.Mp.Mp_ast.name binned in
+  match Hashtbl.find_opt compiled_cache key with
+  | Some c -> c
+  | None ->
+      let low = Mp.Lower.lower m in
+      let c, stats =
+        Granii.compile ~name:m.Mp.Mp_ast.name
+          ~degree_leaves:(Mp.Lower.degree_leaves low ~binned)
+          low.Mp.Lower.ir
+      in
+      Hashtbl.add compiled_cache key (low, c, stats);
+      (low, c, stats)
+
+let baseline_cache : (string, Sys_.Baseline.t) Hashtbl.t = Hashtbl.create 16
+
+let baseline sys (m : Mp.Mp_ast.model) =
+  let key = sys.Sys_.System.sys_name ^ "/" ^ m.Mp.Mp_ast.name in
+  match Hashtbl.find_opt baseline_cache key with
+  | Some b -> b
+  | None ->
+      let b = Sys_.Baseline.make sys m in
+      Hashtbl.add baseline_cache key b;
+      b
+
+let feats_cache : (string, Featurizer.t) Hashtbl.t = Hashtbl.create 8
+
+let feats graph =
+  let key = graph.G.Graph.name in
+  match Hashtbl.find_opt feats_cache key with
+  | Some f -> f
+  | None ->
+      let f = Featurizer.extract graph in
+      Hashtbl.add feats_cache key f;
+      f
+
+let datasets () = List.map (fun d -> (d, G.Datasets.load d)) G.Datasets.all
+
+type mode = Inference | Training
+
+let mode_name = function Inference -> "I" | Training -> "T"
+
+(* Total simulated time of a plan on a profile: inference or training
+   (training adds the default backward, which GRANII does not optimize). *)
+let plan_time ~mode ~profile ~graph ~env ?(iterations = 100) plan =
+  match mode with
+  | Inference -> Gnn.Trainer.inference_time ~profile ~graph ~env ~iterations plan
+  | Training -> Gnn.Trainer.training_time ~profile ~graph ~env ~iterations plan
+
+(* GRANII's end-to-end time for one setting: select with the learned cost
+   models, run the chosen plan, charge the simulated one-time overhead. *)
+let granii_time ~mode ~profile ~sys ~(model : Mp.Mp_ast.model) ~graph ~k_in ~k_out
+    ?(iterations = 100) () =
+  let _, comp, _ = compiled model ~binned:sys.Sys_.System.binned_degrees in
+  let env = env_of graph ~k_in ~k_out in
+  let cm = cost_model profile in
+  let choice =
+    Selector.select ~cost_model:cm ~feats:(feats graph) ~env ~iterations comp
+  in
+  let plan = choice.Selector.candidate.Codegen.plan in
+  plan_time ~mode ~profile ~graph ~env ~iterations plan
+  +. Granii.simulated_overhead ~profile ~env
+
+let baseline_time ~mode ~profile ~sys ~model ~graph ~k_in ~k_out ?(iterations = 100) () =
+  let b = baseline sys model in
+  let env = env_of graph ~k_in ~k_out in
+  plan_time ~mode ~profile ~graph ~env ~iterations (Sys_.Baseline.plan b ~k_in ~k_out)
+
+let speedup ~mode ~profile ~sys ~model ~graph ~k_in ~k_out ?(iterations = 100) () =
+  baseline_time ~mode ~profile ~sys ~model ~graph ~k_in ~k_out ~iterations ()
+  /. granii_time ~mode ~profile ~sys ~model ~graph ~k_in ~k_out ~iterations ()
+
+(* ---- formatting ---- *)
+
+let hr () = print_endline (String.make 78 '-')
+
+let section title =
+  print_newline ();
+  print_endline (String.make 78 '=');
+  Printf.printf "%s\n" title;
+  print_endline (String.make 78 '=')
+
+let ms t = t *. 1000.

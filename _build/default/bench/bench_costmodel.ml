@@ -1,0 +1,46 @@
+(* Section VI-G supporting data: accuracy of the learned per-primitive cost
+   models on held-out inputs (the evaluation graphs, never seen during
+   profiling). Selection only needs the cost ordering to be right, so the
+   ranking metrics are the ones that matter. *)
+
+open Bench_common
+open Granii_core
+module G = Granii_graph
+
+let run () =
+  section "Cost-model accuracy on held-out (evaluation) graphs";
+  let profile = Granii_hw.Hw_profile.a100 in
+  let cm = cost_model profile in
+  (* Held-out data: profile the same primitive templates on the evaluation
+     graphs, which were excluded from training (Sec. V). *)
+  let held_out =
+    Profiling.collect ~seed:999
+      ~graphs:(List.map snd (datasets ()))
+      ~sizes:[ 64; 512; 2048 ] ~profile ()
+  in
+  Printf.printf "%-14s %8s %10s %10s %10s\n" "primitive" "samples" "rmse(log)"
+    "spearman" "pair-acc";
+  hr ();
+  let models = Cost_model.models cm in
+  let all_spearman = ref [] in
+  List.iter
+    (fun (name, ds) ->
+      match List.assoc_opt name models with
+      | None -> ()
+      | Some gbrt ->
+          let preds =
+            Granii_ml.Gbrt.predict_many gbrt ds.Granii_ml.Ml_dataset.features
+          in
+          let truth = ds.Granii_ml.Ml_dataset.labels in
+          let rmse = Granii_ml.Ml_metrics.rmse truth preds in
+          let rho = Granii_ml.Ml_metrics.spearman truth preds in
+          let pacc = Granii_ml.Ml_metrics.pairwise_ranking_accuracy truth preds in
+          all_spearman := rho :: !all_spearman;
+          Printf.printf "%-14s %8d %10.3f %10.3f %10.3f\n" name
+            (Granii_ml.Ml_dataset.n_samples ds)
+            rmse rho pacc)
+    (List.sort compare held_out);
+  hr ();
+  Printf.printf "mean held-out spearman: %.3f\n"
+    (List.fold_left ( +. ) 0. !all_spearman
+    /. float_of_int (List.length !all_spearman))

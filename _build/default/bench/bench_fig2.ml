@@ -1,0 +1,48 @@
+(* Figure 2: percentage of GCN runtime spent in sparse vs dense primitives,
+   across graphs, embedding sizes, and hardware. The paper uses this to show
+   that no single factor predicts the split. *)
+
+open Bench_common
+open Granii_core
+
+let run () =
+  section "Figure 2: %% runtime sparse/dense for GCN (default composition)";
+  Printf.printf "%-4s %-12s %-5s | %8s %8s\n" "G" "(kin,kout)" "hw" "sparse%" "dense%";
+  hr ();
+  let model = Granii_mp.Mp_models.gcn in
+  let sys = Granii_systems.System.dgl in
+  let b = baseline sys model in
+  List.iter
+    (fun (info, graph) ->
+      List.iter
+        (fun (k_in, k_out) ->
+          List.iter
+            (fun profile ->
+              let env = env_of graph ~k_in ~k_out in
+              let plan = Granii_systems.Baseline.plan b ~k_in ~k_out in
+              let sparse_t = ref 0. and dense_t = ref 0. in
+              List.iter
+                (fun (s : Plan.step) ->
+                  let t =
+                    List.fold_left
+                      (fun acc k -> acc +. Granii_hw.Kernel_model.time profile k)
+                      0.
+                      (Primitive.to_kernels env s.Plan.prim)
+                  in
+                  if Primitive.is_sparse_primitive s.Plan.prim then
+                    sparse_t := !sparse_t +. t
+                  else dense_t := !dense_t +. t)
+                plan.Plan.steps;
+              let total = !sparse_t +. !dense_t in
+              Printf.printf "%-4s (%4d,%4d) %-5s | %7.1f%% %7.1f%%\n"
+                info.Granii_graph.Datasets.key k_in k_out
+                profile.Granii_hw.Hw_profile.name
+                (100. *. !sparse_t /. total)
+                (100. *. !dense_t /. total))
+            profiles)
+        [ (32, 32); (256, 256); (1024, 1024) ])
+    (datasets ());
+  hr ();
+  print_endline
+    "Expected shape: the sparse share grows from CPU to A100 to H100 and from\n\
+     sparse to dense graphs - no single factor determines the split."

@@ -1,0 +1,71 @@
+(* Figure 3 / Section III: the discovered compositions for GCN and GAT with
+   their per-operation complexities, regenerated from the enumeration
+   itself rather than hard-coded. *)
+
+open Bench_common
+open Granii_core
+
+let complexity prim =
+  (* symbolic complexity strings matching Fig. 3's N/E/K1/K2 notation *)
+  let d dim =
+    match dim with
+    | Dim.N -> "N"
+    | Dim.Kin -> "K1"
+    | Dim.Kout -> "K2"
+    | Dim.One -> "1"
+    | Dim.Const c -> string_of_int c
+  in
+  match prim with
+  | Primitive.Gemm { m; k; n } -> Printf.sprintf "O(%s.%s.%s)" (d m) (d k) (d n)
+  | Primitive.Spmm { k; _ } -> Printf.sprintf "O(E.%s)" (d k)
+  | Primitive.Dense_sparse_mm { m } -> Printf.sprintf "O(E.%s)" (d m)
+  | Primitive.Sddmm_rank1 -> "O(E)"
+  | Primitive.Diag_scale _ -> "O(E)"
+  | Primitive.Row_broadcast { k } | Primitive.Col_broadcast { k } ->
+      Printf.sprintf "O(N.%s)" (d k)
+  | Primitive.Diag_combine -> "O(N)"
+  | Primitive.Sparse_add _ -> "O(E)"
+  | Primitive.Dense_add { k; _ } -> Printf.sprintf "O(N.%s)" (d k)
+  | Primitive.Edge_score { k } -> Printf.sprintf "O(N.%s + E)" (d k)
+  | Primitive.Edge_softmax -> "O(E)"
+  | Primitive.Dense_map { k; _ } -> Printf.sprintf "O(N.%s)" (d k)
+  | Primitive.Degree _ -> "O(E)"
+
+let show_model (model : Granii_mp.Mp_ast.model) pick_description =
+  Printf.printf "\n%s:\n" model.Granii_mp.Mp_ast.name;
+  let _, comp, stats = compiled model ~binned:false in
+  Printf.printf
+    "  (offline: %d rewrite variants, %d associations enumerated, %d pruned, %d \
+     promoted)\n"
+    stats.Granii.n_variants stats.Granii.n_enumerated stats.Granii.n_pruned
+    stats.Granii.n_promoted;
+  List.iteri
+    (fun i (c : Codegen.ccand) ->
+      if pick_description i c then begin
+        Printf.printf "  candidate %s  [%s]\n" c.Codegen.plan.Plan.name
+          (String.concat ", "
+             (List.map (Format.asprintf "%a" Dim.pp_scenario) c.Codegen.scenarios));
+        List.iter
+          (fun prim ->
+            Printf.printf "      %-22s %s\n"
+              (Format.asprintf "%a" Primitive.pp prim)
+              (complexity prim))
+          (Plan.primitives c.Codegen.plan)
+      end)
+    comp.Codegen.candidates
+
+let run () =
+  section "Figure 3: compositions for GCN and GAT with per-op complexities";
+  show_model Granii_mp.Mp_models.gcn (fun _ c ->
+      (* show one dynamic-normalization and one precompute candidate *)
+      let prims = Plan.primitives c.Codegen.plan in
+      let has_sddmm = List.mem Primitive.Sddmm_rank1 prims in
+      let pure_dynamic =
+        List.for_all
+          (function
+            | Primitive.Sddmm_rank1 | Primitive.Diag_scale _ -> false
+            | _ -> true)
+          prims
+      in
+      has_sddmm || pure_dynamic);
+  show_model Granii_mp.Mp_models.gat (fun _ _ -> true)

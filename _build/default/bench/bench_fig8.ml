@@ -1,0 +1,43 @@
+(* Figure 8: the per-graph speedup series behind Table III — GRANII's
+   speedup over each system, per model, configuration, graph, and hardware.
+   Points below 1.0 are mis-selections (the paper reports those too,
+   Fig. 8(d)). *)
+
+open Bench_common
+module Mp = Granii_mp
+
+let run () =
+  section "Figure 8: per-graph GRANII speedups (inference, 100 iterations)";
+  List.iter
+    (fun sys ->
+      let sys_profiles =
+        if sys == Granii_systems.System.wisegraph then gpu_profiles else profiles
+      in
+      List.iter
+        (fun profile ->
+          List.iter
+            (fun (model : Mp.Mp_ast.model) ->
+              Printf.printf "\n[%s / %s / %s]\n" sys.Granii_systems.System.sys_name
+                profile.Granii_hw.Hw_profile.name model.Mp.Mp_ast.name;
+              Printf.printf "%-12s" "(kin,kout)";
+              List.iter
+                (fun (info, _) ->
+                  Printf.printf " %6s" info.Granii_graph.Datasets.key)
+                (datasets ());
+              print_newline ();
+              List.iter
+                (fun (k_in, k_out) ->
+                  Printf.printf "(%4d,%4d) " k_in k_out;
+                  List.iter
+                    (fun (_, graph) ->
+                      let s =
+                        speedup ~mode:Inference ~profile ~sys ~model ~graph ~k_in
+                          ~k_out ()
+                      in
+                      Printf.printf " %5.2f*" s)
+                    (datasets ());
+                  print_newline ())
+                (pairs_for model))
+            Mp.Mp_models.paper_five)
+        sys_profiles)
+    systems

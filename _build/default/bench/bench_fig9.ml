@@ -1,0 +1,95 @@
+(* Figure 9: sensitivity of GRANII's decision to neighborhood sampling.
+   Both discovered compositions of GCN and GAT are run on 10 random
+   neighborhood samples of the mycielskian stand-in at fanouts 1000/100/10
+   (H100, DGL). The paper's finding: samples of the same size barely move
+   the runtimes, so one GRANII decision covers all samples. *)
+
+open Bench_common
+open Granii_core
+module G = Granii_graph
+module Mp = Granii_mp
+
+let profile = Granii_hw.Hw_profile.h100
+let fanouts = [ 1000; 100; 10 ]
+let n_samples = 10
+
+let median xs =
+  let a = Array.of_list xs in
+  Array.sort compare a;
+  a.(Array.length a / 2)
+
+let run_model (model : Mp.Mp_ast.model) ~k_in ~k_out =
+  Printf.printf "\n%s (%d, %d): per-sample inference time (ms), 100 iterations\n"
+    model.Mp.Mp_ast.name k_in k_out;
+  let full = G.Datasets.load (G.Datasets.find "MC") in
+  let _, comp, _ = compiled model ~binned:false in
+  Printf.printf "%-8s" "fanout";
+  List.iteri
+    (fun i (c : Codegen.ccand) ->
+      ignore c;
+      Printf.printf "   comp%d(med)  comp%d(spread)" i i)
+    comp.Codegen.candidates;
+  Printf.printf "   agree\n";
+  List.iter
+    (fun fanout ->
+      let samples =
+        List.init n_samples (fun s -> G.Sampling.neighborhood ~seed:s ~fanout full)
+      in
+      let times_per_candidate =
+        List.map
+          (fun (c : Codegen.ccand) ->
+            List.map
+              (fun g ->
+                let env = env_of g ~k_in ~k_out in
+                Granii_gnn.Trainer.inference_time ~profile ~graph:g ~env
+                  ~seed:(Hashtbl.hash g.G.Graph.name) c.Codegen.plan)
+              samples)
+          comp.Codegen.candidates
+      in
+      (* does the per-sample winner match the full-graph GRANII decision? *)
+      let cm = cost_model profile in
+      let full_choice =
+        Selector.select ~cost_model:cm ~feats:(feats full)
+          ~env:(env_of full ~k_in ~k_out) ~iterations:100 comp
+      in
+      let full_idx =
+        let rec idx i = function
+          | [] -> -1
+          | (c : Codegen.ccand) :: rest ->
+              if c.Codegen.plan.Plan.name
+                 = full_choice.Selector.candidate.Codegen.plan.Plan.name
+              then i
+              else idx (i + 1) rest
+        in
+        idx 0 comp.Codegen.candidates
+      in
+      let agreements =
+        List.init n_samples (fun s ->
+            let costs =
+              List.map (fun times -> List.nth times s) times_per_candidate
+            in
+            let best = List.fold_left min infinity costs in
+            List.nth costs full_idx <= best *. 1.05)
+      in
+      Printf.printf "%-8d" fanout;
+      List.iter
+        (fun times ->
+          let med = median times in
+          let spread =
+            (List.fold_left Float.max 0. times -. List.fold_left Float.min infinity times)
+            /. med
+          in
+          Printf.printf "   %9.3f    %9.1f%%" (ms med) (100. *. spread))
+        times_per_candidate;
+      Printf.printf "   %d/%d\n"
+        (List.length (List.filter Fun.id agreements))
+        n_samples)
+    fanouts
+
+let run () =
+  section
+    "Figure 9: sampling sensitivity (MC stand-in, H100, DGL)\n\
+     'agree' = samples where the full-graph GRANII decision is within 5%% of\n\
+     the per-sample optimum";
+  run_model Mp.Mp_models.gcn ~k_in:32 ~k_out:256;
+  run_model Mp.Mp_models.gat ~k_in:1024 ~k_out:2048

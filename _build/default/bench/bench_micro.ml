@@ -1,0 +1,47 @@
+(* Bechamel microbenchmarks of the real (host-CPU) kernels backing every
+   primitive — the measured substrate behind the CPU rows. *)
+
+open Bechamel
+open Toolkit
+module Dense = Granii_tensor.Dense
+module Csr = Granii_sparse.Csr
+module G = Granii_graph
+
+let tests () =
+  let graph = G.Generators.rmat ~seed:3 ~scale:10 ~edge_factor:16 () in
+  let a = G.Graph.with_self_loops graph in
+  let n = G.Graph.n_nodes graph in
+  let k = 32 in
+  let h = Dense.random ~seed:1 n k in
+  let w = Dense.random ~seed:2 k k in
+  let d = G.Graph.norm_inv_sqrt graph in
+  let aw = Granii_sparse.Sparse_ops.scale_rows d a in
+  Test.make_grouped ~name:"kernels"
+    [ Test.make ~name:"gemm_n_k_k" (Staged.stage (fun () -> Dense.matmul h w));
+      Test.make ~name:"spmm_unweighted" (Staged.stage (fun () -> Granii_sparse.Spmm.run a h));
+      Test.make ~name:"spmm_weighted" (Staged.stage (fun () -> Granii_sparse.Spmm.run aw h));
+      Test.make ~name:"sddmm_rank1" (Staged.stage (fun () -> Granii_sparse.Sddmm.rank1 a d d));
+      Test.make ~name:"row_broadcast" (Staged.stage (fun () -> Dense.row_broadcast d h));
+      Test.make ~name:"edge_softmax" (Staged.stage (fun () -> Granii_sparse.Sparse_ops.row_softmax aw));
+      Test.make ~name:"degree" (Staged.stage (fun () -> G.Graph.norm_inv_sqrt graph));
+      Test.make ~name:"featurize" (Staged.stage (fun () -> G.Graph_features.extract graph)) ]
+
+let run () =
+  Bench_common.section
+    "Microbenchmarks: real host-CPU kernels (rmat scale=10, k=32, bechamel)";
+  let instance = Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.4) () in
+  let raw = Benchmark.all cfg [ instance ] (tests ()) in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols instance raw in
+  let rows = Hashtbl.fold (fun name r acc -> (name, r) :: acc) results [] in
+  Printf.printf "%-28s %14s\n" "kernel" "time/run";
+  Bench_common.hr ();
+  List.iter
+    (fun (name, r) ->
+      match Analyze.OLS.estimates r with
+      | Some [ est ] -> Printf.printf "%-28s %11.3f us\n" name (est /. 1e3)
+      | Some _ | None -> Printf.printf "%-28s %14s\n" name "n/a")
+    (List.sort compare rows)

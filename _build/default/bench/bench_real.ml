@@ -1,0 +1,74 @@
+(* Supporting validation: execute two GCN compositions for real on the host
+   CPU and check that the simulator predicts the same winner. This ties the
+   simulated hardware substitution (DESIGN.md) back to measurable ground
+   truth on the one machine we actually have. *)
+
+open Bench_common
+open Granii_core
+module Dense = Granii_tensor.Dense
+module G = Granii_graph
+module Gnn = Granii_gnn
+
+let run () =
+  section "Real-execution validation: simulator vs measured host CPU (GCN)";
+  Printf.printf "%-22s %-12s | %12s %12s | %10s %10s | %5s\n" "graph" "(kin,kout)"
+    "dyn (ms)" "pre (ms)" "sim dyn" "sim pre" "agree";
+  hr ();
+  let model = Granii_mp.Mp_models.gcn in
+  let low, comp, _ = compiled model ~binned:false in
+  let dynamic =
+    List.find
+      (fun (c : Codegen.ccand) ->
+        List.for_all
+          (function
+            | Primitive.Sddmm_rank1 | Primitive.Diag_scale _ -> false
+            | _ -> true)
+          (Plan.primitives c.Codegen.plan)
+        && List.mem Dim.Growing c.Codegen.scenarios)
+      comp.Codegen.candidates
+  in
+  let precompute =
+    List.find
+      (fun (c : Codegen.ccand) ->
+        List.mem Primitive.Sddmm_rank1 (Plan.primitives c.Codegen.plan)
+        && List.mem Dim.Growing c.Codegen.scenarios)
+      comp.Codegen.candidates
+  in
+  let graphs =
+    [ G.Generators.rmat ~seed:5 ~scale:11 ~edge_factor:48 ();
+      G.Generators.grid2d ~seed:6 ~rows:48 ~cols:48 () ]
+  in
+  let agreements = ref 0 and total = ref 0 in
+  List.iter
+    (fun graph ->
+      List.iter
+        (fun (k_in, k_out) ->
+          let n = G.Graph.n_nodes graph in
+          let env = env_of graph ~k_in ~k_out in
+          let params = Gnn.Layer.init_params ~seed:9 ~env low in
+          let h = Dense.random ~seed:10 n k_in in
+          let bindings = Gnn.Layer.bindings ~graph ~h params in
+          let measure (c : Codegen.ccand) =
+            (* one warm-up, then a timed run of the per-iteration steps via
+               total report times *)
+            ignore (Executor.run ~timing:Executor.Measure ~graph ~bindings c.Codegen.plan);
+            let r = Executor.run ~timing:Executor.Measure ~graph ~bindings c.Codegen.plan in
+            r.Executor.setup_time +. (3. *. r.Executor.iteration_time)
+          in
+          let simulate (c : Codegen.ccand) =
+            Gnn.Trainer.inference_time ~profile:Granii_hw.Hw_profile.cpu ~graph
+              ~env ~iterations:3 c.Codegen.plan
+          in
+          let m_dyn = measure dynamic and m_pre = measure precompute in
+          let s_dyn = simulate dynamic and s_pre = simulate precompute in
+          let agree = m_dyn < m_pre = (s_dyn < s_pre) in
+          incr total;
+          if agree then incr agreements;
+          Printf.printf "%-22s (%4d,%4d) | %12.2f %12.2f | %10.2f %10.2f | %5s\n"
+            graph.G.Graph.name k_in k_out (ms m_dyn) (ms m_pre) (ms s_dyn)
+            (ms s_pre)
+            (if agree then "yes" else "NO"))
+        [ (8, 32); (32, 32); (64, 16) ])
+    graphs;
+  hr ();
+  Printf.printf "winner agreement (measured vs simulated): %d/%d\n" !agreements !total

@@ -1,0 +1,63 @@
+(* Table III: geomean speedups of GRANII across graphs and configurations,
+   for 100 iterations, per system x hardware x mode x model. *)
+
+open Bench_common
+module Mp = Granii_mp
+
+let cell ~mode ~profile ~sys (model : Mp.Mp_ast.model) =
+  let speedups =
+    List.concat_map
+      (fun (_, graph) ->
+        List.map
+          (fun (k_in, k_out) ->
+            speedup ~mode ~profile ~sys ~model ~graph ~k_in ~k_out ())
+          (pairs_for model))
+      (datasets ())
+  in
+  speedups
+
+let run () =
+  section
+    "Table III: geomean speedups of GRANII across graphs and configurations\n\
+     (100 iterations; I = inference, T = training)";
+  let models = Mp.Mp_models.paper_five in
+  Printf.printf "%-10s %-5s %-4s | %-8s" "System" "HW" "Mode" "Overall";
+  List.iter (fun (m : Mp.Mp_ast.model) -> Printf.printf " %8s" m.Mp.Mp_ast.name) models;
+  print_newline ();
+  hr ();
+  let overall = Hashtbl.create 4 in
+  List.iter
+    (fun sys ->
+      let sys_profiles =
+        (* the paper evaluates WiseGraph on GPUs only, DGL on GPUs + CPU *)
+        if sys == Granii_systems.System.wisegraph then gpu_profiles else profiles
+      in
+      List.iter
+        (fun profile ->
+          List.iter
+            (fun mode ->
+              let per_model =
+                List.map (fun m -> (m, cell ~mode ~profile ~sys m)) models
+              in
+              let all = List.concat_map snd per_model in
+              let prev =
+                Option.value ~default:[] (Hashtbl.find_opt overall mode)
+              in
+              Hashtbl.replace overall mode (all @ prev);
+              Printf.printf "%-10s %-5s %-4s | %7.2fx"
+                sys.Granii_systems.System.sys_name
+                profile.Granii_hw.Hw_profile.name (mode_name mode) (geomean all);
+              List.iter
+                (fun (_, sp) -> Printf.printf " %7.2fx" (geomean sp))
+                per_model;
+              print_newline ())
+            [ Inference; Training ])
+        sys_profiles)
+    systems;
+  hr ();
+  List.iter
+    (fun mode ->
+      Printf.printf "Overall %s: %.2fx   (paper: %s)\n" (mode_name mode)
+        (geomean (Option.value ~default:[] (Hashtbl.find_opt overall mode)))
+        (match mode with Inference -> "1.56x" | Training -> "1.40x"))
+    [ Inference; Training ]

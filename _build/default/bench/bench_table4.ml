@@ -1,0 +1,63 @@
+(* Table IV: end-to-end two-layer forward-pass times on the H100 profile,
+   Reddit and ogbn-products stand-ins, GCN and GAT, varying hidden width.
+   Each layer's composition is selected independently (Sec. VI-F); times are
+   per forward pass with one-time work (setup, selection, featurization)
+   amortized over the paper's 100 iterations. *)
+
+open Bench_common
+module Mp = Granii_mp
+module Sys_ = Granii_systems
+
+let profile = Granii_hw.Hw_profile.h100
+
+let iterations = 100
+
+let layer_time ~optimized ~sys ~model ~graph ~k_in ~k_out =
+  (if optimized then
+     granii_time ~mode:Inference ~profile ~sys ~model ~graph ~k_in ~k_out
+       ~iterations ()
+   else
+     baseline_time ~mode:Inference ~profile ~sys ~model ~graph ~k_in ~k_out
+       ~iterations ())
+  /. float_of_int iterations
+
+let end_to_end ~optimized ~sys ~model ~graph ~feat_dim ~hidden ~classes =
+  layer_time ~optimized ~sys ~model ~graph ~k_in:feat_dim ~k_out:hidden
+  +. layer_time ~optimized ~sys ~model ~graph ~k_in:hidden ~k_out:classes
+
+let run () =
+  section "Table IV: end-to-end 2-layer forward times on H100 (ms)";
+  Printf.printf "%-14s %-5s %6s | %10s %10s %8s | %10s %10s %8s\n" "Graph" "GNN"
+    "hidden" "Wise" "Wise+GR" "speedup" "DGL" "DGL+GR" "speedup";
+  hr ();
+  List.iter
+    (fun key ->
+      let info = Granii_graph.Datasets.find key in
+      let graph = Granii_graph.Datasets.load info in
+      let feat_dim = info.Granii_graph.Datasets.node_feat_dim in
+      let classes = info.Granii_graph.Datasets.n_classes in
+      List.iter
+        (fun (model : Mp.Mp_ast.model) ->
+          List.iter
+            (fun hidden ->
+              let run4 =
+                List.map
+                  (fun (sys, optimized) ->
+                    end_to_end ~optimized ~sys ~model ~graph ~feat_dim ~hidden
+                      ~classes)
+                  [ (Sys_.System.wisegraph, false);
+                    (Sys_.System.wisegraph, true);
+                    (Sys_.System.dgl, false);
+                    (Sys_.System.dgl, true) ]
+              in
+              match run4 with
+              | [ w; wg; d; dg ] ->
+                  Printf.printf
+                    "%-14s %-5s %6d | %9.2f %9.2f %7.2fx | %9.2f %9.2f %7.2fx\n"
+                    info.Granii_graph.Datasets.paper_name model.Mp.Mp_ast.name
+                    hidden (ms w) (ms wg) (w /. wg) (ms d) (ms dg) (d /. dg)
+              | _ -> assert false)
+            [ 32; 256; 1024 ])
+        [ Mp.Mp_models.gcn; Mp.Mp_models.gat ])
+    [ "RD"; "OP" ];
+  hr ()

@@ -1,0 +1,66 @@
+(* GRANII benchmark harness: regenerates every table and figure of the
+   paper's evaluation (Sec. VI). Run everything with
+
+     dune exec bench/main.exe
+
+   or a single artifact with `--only <id>`; `--list` shows the ids. Shapes
+   (who wins, rough factors, crossovers) are expected to match the paper;
+   absolute numbers come from the simulated hardware profiles (DESIGN.md). *)
+
+let benches =
+  [ ("fig1", "Fig. 1: static vs config vs input-aware ordering (GCN)", Bench_fig1.run);
+    ("fig2", "Fig. 2: %runtime sparse vs dense across graphs/sizes/hw", Bench_fig2.run);
+    ("fig3", "Fig. 3: discovered compositions with complexities", Bench_fig3.run);
+    ("tab3", "Table III: geomean speedups (systems x hw x mode x model)", Bench_table3.run);
+    ("fig8", "Fig. 8: per-graph speedup series", Bench_fig8.run);
+    ("tab4", "Table IV: end-to-end 2-layer forward times (H100)", Bench_table4.run);
+    ("fig9", "Fig. 9: sampling sensitivity (MC, H100)", Bench_fig9.run);
+    ("tab5", "Table V: multi-layer speedups vs WiseGraph", Bench_table5.run);
+    ("tab6", "Table VI: GRANII vs oracles + cost-model ablations", Bench_table6.run);
+    ("ovh", "Sec. VI-C1: runtime overheads (+ pruning ablation)", Bench_overheads.run);
+    ("acc", "Sec. VI-G: cost-model accuracy on held-out graphs", Bench_costmodel.run);
+    ("real", "Validation: measured host CPU vs simulator", Bench_real.run);
+    ("micro", "Bechamel microbenchmarks of the real kernels", Bench_micro.run);
+    ("ext", "Extensions: multi-head GAT, executed stacks, deep hops", Bench_ext.run) ]
+
+let usage () =
+  print_endline "usage: main.exe [--list | --only <id> [--only <id> ...]]";
+  print_endline "available benches:";
+  List.iter (fun (id, descr, _) -> Printf.printf "  %-6s %s\n" id descr) benches
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let rec selected = function
+    | [] -> []
+    | "--only" :: id :: rest -> id :: selected rest
+    | "--list" :: _ ->
+        usage ();
+        exit 0
+    | ("--help" | "-h") :: _ ->
+        usage ();
+        exit 0
+    | _ :: rest -> selected rest
+  in
+  let only = selected (List.tl args) in
+  let to_run =
+    match only with
+    | [] -> benches
+    | ids ->
+        List.iter
+          (fun id ->
+            if not (List.exists (fun (i, _, _) -> String.equal i id) benches) then begin
+              Printf.eprintf "unknown bench id: %s\n" id;
+              usage ();
+              exit 1
+            end)
+          ids;
+        List.filter (fun (id, _, _) -> List.mem id ids) benches
+  in
+  let t0 = Sys.time () in
+  List.iter
+    (fun (id, _, run) ->
+      let t = Sys.time () in
+      run ();
+      Printf.printf "\n[%s finished in %.1fs cpu]\n%!" id (Sys.time () -. t))
+    to_run;
+  Printf.printf "\nAll benches finished in %.1fs cpu.\n" (Sys.time () -. t0)

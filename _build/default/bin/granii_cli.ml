@@ -1,0 +1,281 @@
+(* The GRANII command-line interface: inspect the offline compilation stage
+   and run the online selection stage from a shell. *)
+
+open Cmdliner
+open Granii_core
+module G = Granii_graph
+module Mp = Granii_mp
+module Sys_ = Granii_systems
+
+(* ---- shared argument converters ---- *)
+
+let model_arg =
+  let parse s =
+    match Mp.Mp_models.find s with
+    | m -> Ok m
+    | exception Not_found ->
+        Error
+          (`Msg
+             (Printf.sprintf "unknown model %s (try: %s)" s
+                (String.concat ", "
+                   (List.map (fun m -> m.Mp.Mp_ast.name) Mp.Mp_models.all))))
+  in
+  let print ppf (m : Mp.Mp_ast.model) = Format.fprintf ppf "%s" m.Mp.Mp_ast.name in
+  Arg.conv (parse, print)
+
+let hw_arg =
+  let parse s =
+    match Granii_hw.Hw_profile.find s with
+    | p -> Ok p
+    | exception Not_found -> Error (`Msg ("unknown hardware profile " ^ s))
+  in
+  Arg.conv (parse, fun ppf p -> Format.fprintf ppf "%s" p.Granii_hw.Hw_profile.name)
+
+let graph_arg =
+  let parse s =
+    match G.Datasets.find s with
+    | d -> Ok (G.Datasets.load d)
+    | exception Not_found -> (
+        (* also accept generator shorthands: rmat:scale:ef, grid:r:c, er:n:deg *)
+        match String.split_on_char ':' s with
+        | [ "rmat"; scale; ef ] ->
+            Ok
+              (G.Generators.rmat ~scale:(int_of_string scale)
+                 ~edge_factor:(int_of_string ef) ())
+        | [ "grid"; r; c ] ->
+            Ok (G.Generators.grid2d ~rows:(int_of_string r) ~cols:(int_of_string c) ())
+        | [ "er"; n; deg ] ->
+            Ok
+              (G.Generators.erdos_renyi ~n:(int_of_string n)
+                 ~avg_degree:(float_of_string deg) ())
+        | _ ->
+            Error
+              (`Msg
+                 (s
+                ^ ": expected a dataset key (RD CA MC BL AU OP) or \
+                   rmat:<scale>:<ef> | grid:<r>:<c> | er:<n>:<deg>")))
+  in
+  Arg.conv (parse, fun ppf g -> Format.fprintf ppf "%s" g.G.Graph.name)
+
+let model_pos = Arg.(required & pos 0 (some model_arg) None & info [] ~docv:"MODEL")
+
+let compile_model (m : Mp.Mp_ast.model) ~binned =
+  let low = Mp.Lower.lower m in
+  let compiled, stats =
+    Granii.compile ~name:m.Mp.Mp_ast.name
+      ~degree_leaves:(Mp.Lower.degree_leaves low ~binned)
+      low.Mp.Lower.ir
+  in
+  (low, compiled, stats)
+
+(* ---- commands ---- *)
+
+let models_cmd =
+  let run () =
+    List.iter
+      (fun (m : Mp.Mp_ast.model) ->
+        let low = Mp.Lower.lower m in
+        Format.printf "%-6s %a@." m.Mp.Mp_ast.name Matrix_ir.pp low.Mp.Lower.ir)
+      Mp.Mp_models.all
+  in
+  Cmd.v (Cmd.info "models" ~doc:"List the built-in GNN models and their matrix IR")
+    Term.(const run $ const ())
+
+let datasets_cmd =
+  let run () =
+    Printf.printf "%-4s %-18s %10s %12s %10s   %s\n" "key" "paper graph" "nodes"
+      "nnz" "avg deg" "(stand-in family)";
+    List.iter
+      (fun (d : G.Datasets.t) ->
+        let g = G.Datasets.load d in
+        Printf.printf "%-4s %-18s %10d %12d %10.1f   %s\n" d.G.Datasets.key
+          d.G.Datasets.paper_name (G.Graph.n_nodes g) (G.Graph.n_edges g)
+          (G.Graph.avg_degree g) d.G.Datasets.family)
+      G.Datasets.all
+  in
+  Cmd.v
+    (Cmd.info "datasets" ~doc:"List the evaluation graph suite (Table II stand-ins)")
+    Term.(const run $ const ())
+
+let enumerate_cmd =
+  let run model =
+    let low, compiled, stats = compile_model model ~binned:false in
+    Format.printf "IR: %a@." Matrix_ir.pp low.Mp.Lower.ir;
+    Printf.printf
+      "rewrite variants: %d, enumerated: %d, pruned: %d, promoted: %d\n\n"
+      stats.Granii.n_variants stats.Granii.n_enumerated stats.Granii.n_pruned
+      stats.Granii.n_promoted;
+    List.iter
+      (fun (c : Codegen.ccand) ->
+        Printf.printf "%s  [%s]\n  %s\n" c.Codegen.plan.Plan.name
+          (String.concat ", "
+             (List.map (Format.asprintf "%a" Dim.pp_scenario) c.Codegen.scenarios))
+          (String.concat " ; "
+             (List.map (Format.asprintf "%a" Primitive.pp)
+                (Plan.primitives c.Codegen.plan))))
+      compiled.Codegen.candidates
+  in
+  Cmd.v
+    (Cmd.info "enumerate"
+       ~doc:"Enumerate and prune a model's primitive compositions (offline stage)")
+    Term.(const run $ model_pos)
+
+let codegen_cmd =
+  let run model =
+    let _, compiled, _ = compile_model model ~binned:false in
+    Format.printf "%a@." Codegen.pp compiled
+  in
+  Cmd.v
+    (Cmd.info "codegen"
+       ~doc:"Show the generated conditional dispatch (Fig. 7 pseudocode)")
+    Term.(const run $ model_pos)
+
+let select_cmd =
+  let graph =
+    Arg.(value & opt graph_arg (G.Datasets.load G.Datasets.reddit)
+         & info [ "graph"; "g" ] ~docv:"GRAPH" ~doc:"Input graph (dataset key or generator spec).")
+  in
+  let k_in = Arg.(value & opt int 256 & info [ "kin" ] ~doc:"Input embedding size.") in
+  let k_out = Arg.(value & opt int 256 & info [ "kout" ] ~doc:"Output embedding size.") in
+  let hw =
+    Arg.(value & opt hw_arg Granii_hw.Hw_profile.a100
+         & info [ "hw" ] ~doc:"Target hardware profile (CPU, A100, H100).")
+  in
+  let iterations =
+    Arg.(value & opt int 100 & info [ "iterations"; "n" ] ~doc:"Execution horizon.")
+  in
+  let system =
+    Arg.(value & opt string "dgl" & info [ "system" ] ~doc:"Host system (wisegraph or dgl).")
+  in
+  let analytic =
+    Arg.(value & flag
+         & info [ "analytic" ] ~doc:"Use the analytic cost model instead of training GBRTs.")
+  in
+  let env_of graph k_in k_out =
+    { Dim.n = G.Graph.n_nodes graph;
+      nnz = G.Graph.n_edges graph + G.Graph.n_nodes graph;
+      k_in;
+      k_out }
+  in
+  let models_file =
+    Arg.(value & opt (some string) None
+         & info [ "models-file" ] ~docv:"FILE"
+             ~doc:"Load cost models saved by $(b,granii train) instead of retraining.")
+  in
+  let run model graph k_in k_out profile iterations system analytic models_file =
+    let sys = Sys_.System.find system in
+    let _, compiled, _ = compile_model model ~binned:sys.Sys_.System.binned_degrees in
+    let cost_model =
+      match models_file with
+      | Some file -> Cost_model.load file
+      | None ->
+          if analytic then Cost_model.analytic profile
+          else begin
+            Printf.printf "training cost models for %s...\n%!"
+              profile.Granii_hw.Hw_profile.name;
+            Cost_model.train ~profile (Profiling.collect ~profile ())
+          end
+    in
+    let decision = Granii.optimize ~cost_model ~graph ~k_in ~k_out ~iterations compiled in
+    Printf.printf "input: %s (n=%d nnz=%d), %d -> %d, cost model %s, %d iterations\n"
+      graph.G.Graph.name (G.Graph.n_nodes graph) (G.Graph.n_edges graph) k_in k_out
+      (Cost_model.name cost_model) iterations;
+    Printf.printf "overhead: %.3f ms (featurize %.3f + select %.3f)\n"
+      (1000. *. decision.Granii.overhead)
+      (1000. *. decision.Granii.feats.Featurizer.extraction_time)
+      (1000. *. decision.Granii.choice.Selector.selection_time);
+    let env = env_of graph k_in k_out in
+    let ranked =
+      Selector.rank ~cost_model ~feats:decision.Granii.feats ~env ~iterations compiled
+    in
+    List.iteri
+      (fun i (c, cost) ->
+        Printf.printf "%s #%d %-14s %10.3f ms   %s\n"
+          (if i = 0 then "->" else "  ")
+          (i + 1) c.Codegen.plan.Plan.name (1000. *. cost)
+          (String.concat " ; "
+             (List.map (Format.asprintf "%a" Primitive.pp)
+                (Plan.primitives c.Codegen.plan))))
+      ranked
+  in
+  Cmd.v
+    (Cmd.info "select"
+       ~doc:"Run the online stage: featurize an input and rank the candidates")
+    Term.(const run $ model_pos $ graph $ k_in $ k_out $ hw $ iterations $ system
+          $ analytic $ models_file)
+
+let baseline_cmd =
+  let k_in = Arg.(value & opt int 256 & info [ "kin" ] ~doc:"Input embedding size.") in
+  let k_out = Arg.(value & opt int 256 & info [ "kout" ] ~doc:"Output embedding size.") in
+  let run model k_in k_out =
+    List.iter
+      (fun sys ->
+        let plan = Sys_.Baseline.plan (Sys_.Baseline.make sys model) ~k_in ~k_out in
+        Format.printf "%s default:@.%a@.@." sys.Sys_.System.sys_name Plan.pp plan)
+      Sys_.System.all
+  in
+  Cmd.v
+    (Cmd.info "baseline"
+       ~doc:"Show the WiseGraph/DGL default composition for a configuration")
+    Term.(const run $ model_pos $ k_in $ k_out)
+
+let train_cmd =
+  let hw =
+    Arg.(value & opt hw_arg Granii_hw.Hw_profile.a100
+         & info [ "hw" ] ~doc:"Hardware profile to profile against.")
+  in
+  let output =
+    Arg.(required & opt (some string) None
+         & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Where to save the trained models.")
+  in
+  let measured =
+    Arg.(value & flag
+         & info [ "measured" ]
+             ~doc:
+               "Label the profiling data by actually executing and timing every \
+                primitive on this machine's CPU instead of the simulated profile.")
+  in
+  let run profile output measured =
+    let data, profile =
+      if measured then begin
+        Printf.printf "measuring primitives on the host CPU...\n%!";
+        (Profiling.collect_measured (), Granii_hw.Hw_profile.cpu)
+      end
+      else begin
+        Printf.printf "profiling primitives on %s...\n%!"
+          profile.Granii_hw.Hw_profile.name;
+        (Profiling.collect ~profile (), profile)
+      end
+    in
+    Printf.printf "training %d per-primitive models...\n%!" (List.length data);
+    let cm = Cost_model.train ~profile data in
+    Cost_model.save cm output;
+    Printf.printf "saved %s to %s\n" (Cost_model.name cm) output
+  in
+  Cmd.v
+    (Cmd.info "train"
+       ~doc:
+         "The initialization script: profile every primitive and train the \
+          per-primitive cost models, saving them to disk")
+    Term.(const run $ hw $ output $ measured)
+
+let main =
+  let doc = "GRANII: input-aware selection and ordering of GNN primitives" in
+  Cmd.group
+    (Cmd.info "granii" ~version:"1.0.0" ~doc)
+    [ models_cmd; datasets_cmd; enumerate_cmd; codegen_cmd; select_cmd;
+      baseline_cmd; train_cmd ]
+
+let () =
+  (* -v / GRANII_VERBOSE=1 turns on the library's decision log *)
+  let verbose =
+    Array.exists (fun a -> a = "-v" || a = "--verbose") Sys.argv
+    || Sys.getenv_opt "GRANII_VERBOSE" <> None
+  in
+  if verbose then begin
+    Logs.set_reporter (Logs_fmt.reporter ());
+    Logs.Src.set_level Granii.log_src (Some Logs.Info)
+  end;
+  let argv = Array.of_list (List.filter (fun a -> a <> "-v" && a <> "--verbose")
+                              (Array.to_list Sys.argv)) in
+  exit (Cmd.eval ~argv main)

@@ -1,0 +1,1 @@
+examples/fraud_detection.ml: Array Codegen Cost_model Dim Executor Granii Granii_core Granii_gnn Granii_graph Granii_hw Granii_mp Granii_tensor List Plan Primitive Printf Profiling Selector

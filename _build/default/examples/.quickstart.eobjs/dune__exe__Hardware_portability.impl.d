@@ -1,0 +1,1 @@
+examples/hardware_portability.ml: Codegen Cost_model Dim Featurizer Granii Granii_core Granii_graph Granii_hw Granii_mp List Plan Printf Profiling Selector

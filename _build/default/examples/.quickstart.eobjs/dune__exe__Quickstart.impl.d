@@ -1,0 +1,1 @@
+examples/quickstart.ml: Codegen Cost_model Dim Executor Format Granii Granii_core Granii_gnn Granii_graph Granii_hw Granii_mp Granii_tensor Plan Printf Profiling Selector

@@ -1,0 +1,1 @@
+examples/road_network.ml: Codegen Cost_model Dim Featurizer Granii Granii_core Granii_graph Granii_hw Granii_mp List Plan Primitive Printf Profiling Selector

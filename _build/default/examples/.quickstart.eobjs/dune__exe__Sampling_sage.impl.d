@@ -1,0 +1,1 @@
+examples/sampling_sage.ml: Array Codegen Cost_model Dim Featurizer Granii Granii_core Granii_gnn Granii_graph Granii_hw Granii_mp Granii_tensor List Plan Printf Profiling Selector String

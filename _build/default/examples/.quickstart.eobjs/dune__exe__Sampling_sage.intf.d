@@ -1,0 +1,1 @@
+examples/sampling_sage.mli:

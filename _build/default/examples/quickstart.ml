@@ -1,0 +1,60 @@
+(* Quickstart: the paper's Fig. 4 usage — hand GRANII a GNN model and an
+   input, get back an accelerated executable.
+
+     dune exec examples/quickstart.exe *)
+
+open Granii_core
+module G = Granii_graph
+module Mp = Granii_mp
+module Gnn = Granii_gnn
+
+let () =
+  (* 1. A model written against the message-passing API, and an input. *)
+  let model = Mp.Mp_models.gcn in
+  let graph = G.Generators.rmat ~seed:1 ~scale:10 ~edge_factor:24 () in
+  let n = G.Graph.n_nodes graph in
+  let k_in = 64 and k_out = 16 in
+  Printf.printf "model: %s   graph: %s (n=%d, nnz=%d)\n" model.Mp.Mp_ast.name
+    graph.G.Graph.name n (G.Graph.n_edges graph);
+
+  (* 2. Offline: lower to the matrix IR, enumerate re-associations, prune. *)
+  let low = Mp.Lower.lower model in
+  let compiled, stats =
+    Granii.compile ~name:model.Mp.Mp_ast.name
+      ~degree_leaves:(Mp.Lower.degree_leaves low ~binned:false)
+      low.Mp.Lower.ir
+  in
+  Printf.printf
+    "offline: %d associations enumerated, %d pruned, %d promoted candidates\n"
+    stats.Granii.n_enumerated stats.Granii.n_pruned stats.Granii.n_promoted;
+  Format.printf "%a@." Codegen.pp compiled;
+
+  (* 3. Train the per-primitive cost models once per target machine
+     (here: a quick profile of the A100 model). *)
+  let profile = Granii_hw.Hw_profile.a100 in
+  let cost_model = Cost_model.train ~profile (Profiling.collect ~profile ()) in
+
+  (* 4. Online: inspect the input, pick the cheapest composition, run it. *)
+  let decision = Granii.optimize ~cost_model ~graph ~k_in ~k_out compiled in
+  Printf.printf "selected %s (predicted %.3f ms for 100 iterations, %s)\n"
+    decision.Granii.choice.Selector.candidate.Codegen.plan.Plan.name
+    (1000. *. decision.Granii.choice.Selector.predicted_cost)
+    (if decision.Granii.choice.Selector.used_cost_models then
+       "via learned cost models"
+     else "decided by embedding sizes alone");
+  Printf.printf "one-time overhead: %.2f ms (featurize + select)\n"
+    (1000. *. decision.Granii.overhead);
+
+  let params = Gnn.Layer.init_params ~env:(Dim.{ n; nnz = G.Graph.n_edges graph + n; k_in; k_out }) low in
+  let h = Granii_tensor.Dense.random ~seed:2 n k_in in
+  let report =
+    Granii.execute ~timing:(Executor.Simulate profile) ~graph
+      ~bindings:(Gnn.Layer.bindings ~graph ~h params)
+      decision
+  in
+  let rows, cols = Executor.shape_of report.Executor.output in
+  Printf.printf
+    "executed: output %dx%d, simulated setup %.3f ms + %.3f ms/iteration\n" rows
+    cols
+    (1000. *. report.Executor.setup_time)
+    (1000. *. report.Executor.iteration_time)

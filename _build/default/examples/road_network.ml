@@ -1,0 +1,68 @@
+(* Travel-time regression-style node classification on a road network —
+   the sparse end of the paper's graph spectrum, where GCN's
+   precomputation-based composition (Eq. 3) should win. This example shows
+   GRANII's decision flipping between a sparse road graph and a dense
+   social graph on the same hardware.
+
+     dune exec examples/road_network.exe *)
+
+open Granii_core
+module G = Granii_graph
+module Mp = Granii_mp
+
+let describe name compiled cost_model graph ~iterations ~k_in ~k_out =
+  let decision =
+    Granii.optimize ~cost_model ~graph ~k_in ~k_out ~iterations compiled
+  in
+  let plan = decision.Granii.choice.Selector.candidate.Codegen.plan in
+  let prims = Plan.primitives plan in
+  let style =
+    if List.mem Primitive.Sddmm_rank1 prims then "precompute (SDDMM, Eq. 3)"
+    else if
+      List.exists (function Primitive.Diag_scale _ -> true | _ -> false) prims
+    then "precompute (diagonal scaling)"
+    else "dynamic normalization (row-broadcasts, Eq. 2)"
+  in
+  Printf.printf "  %-28s nnz/node=%5.1f %4d iter(s) -> %s\n" name
+    (G.Graph.avg_degree graph) iterations style;
+  let ranked =
+    Selector.rank ~cost_model ~feats:(Featurizer.extract graph)
+      ~env:
+        { Dim.n = G.Graph.n_nodes graph;
+          nnz = G.Graph.n_edges graph + G.Graph.n_nodes graph;
+          k_in;
+          k_out }
+      ~iterations compiled
+  in
+  List.iteri
+    (fun i (c, cost) ->
+      if i < 3 then
+        Printf.printf "      #%d %-12s predicted %8.3f ms\n" (i + 1)
+          c.Codegen.plan.Plan.name (1000. *. cost))
+    ranked
+
+let () =
+  let model = Mp.Mp_models.gcn in
+  let low = Mp.Lower.lower model in
+  let compiled, _ =
+    Granii.compile ~name:"GCN"
+      ~degree_leaves:(Mp.Lower.degree_leaves low ~binned:false)
+      low.Mp.Lower.ir
+  in
+  let profile = Granii_hw.Hw_profile.a100 in
+  let cost_model = Cost_model.train ~profile (Profiling.collect ~profile ()) in
+  let road = G.Generators.grid2d ~seed:4 ~rows:96 ~cols:96 () in
+  let social = G.Generators.rmat ~seed:5 ~scale:12 ~edge_factor:96 () in
+  Printf.printf "GCN composition choice per input (A100 profile, 64 -> 64):\n";
+  describe "road network (grid)" compiled cost_model road ~iterations:100 ~k_in:64
+    ~k_out:64;
+  describe "social network (power law)" compiled cost_model social ~iterations:100
+    ~k_in:64 ~k_out:64;
+  describe "social, single inference" compiled cost_model social ~iterations:1
+    ~k_in:64 ~k_out:64;
+  Printf.printf
+    "\nSame model, same machine - the input graph and the execution horizon\n\
+     move the predicted costs and the runner-up ordering: the precompute's\n\
+     margin is wide on the sparse road graph, narrows on the dense graph,\n\
+     and nearly vanishes for a single inference where its one-time SDDMM\n\
+     cannot amortize (Sec. III-A).\n"

@@ -1,0 +1,1 @@
+lib/core/assoc_tree.ml: Dim Format Hashtbl List Matrix_ir Primitive String

@@ -1,0 +1,1 @@
+lib/core/assoc_tree.mli: Dim Format Matrix_ir Primitive

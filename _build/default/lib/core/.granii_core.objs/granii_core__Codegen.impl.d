@@ -1,0 +1,1 @@
+lib/core/codegen.ml: Assoc_tree Dim Format List Plan Primitive Printf Prune String

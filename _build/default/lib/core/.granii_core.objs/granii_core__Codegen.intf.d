@@ -1,0 +1,1 @@
+lib/core/codegen.mli: Assoc_tree Dim Format Plan Prune

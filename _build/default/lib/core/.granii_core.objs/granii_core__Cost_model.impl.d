@@ -1,0 +1,1 @@
+lib/core/cost_model.ml: Featurizer Fun Granii_hw Granii_ml Hashtbl List Plan Primitive

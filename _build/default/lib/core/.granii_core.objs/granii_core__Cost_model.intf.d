@@ -1,0 +1,1 @@
+lib/core/cost_model.mli: Dim Featurizer Granii_hw Granii_ml Plan Primitive Profiling

@@ -1,0 +1,1 @@
+lib/core/dim.ml: Format

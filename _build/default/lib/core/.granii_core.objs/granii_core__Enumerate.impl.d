@@ -1,0 +1,1 @@
+lib/core/enumerate.ml: Array Assoc_tree Dim Float Hashtbl List Matrix_ir Primitive Prune Rewrite Stdlib String

@@ -1,0 +1,1 @@
+lib/core/enumerate.mli: Assoc_tree Matrix_ir

@@ -1,0 +1,1 @@
+lib/core/executor.ml: Array Format Granii_graph Granii_hw Granii_sparse Granii_tensor Hashtbl List Matrix_ir Plan Primitive

@@ -1,0 +1,1 @@
+lib/core/executor.mli: Dim Format Granii_graph Granii_hw Granii_sparse Granii_tensor Plan Primitive

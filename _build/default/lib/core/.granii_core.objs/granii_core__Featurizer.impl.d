@@ -1,0 +1,1 @@
+lib/core/featurizer.ml: Array Granii_graph Granii_hw

@@ -1,0 +1,1 @@
+lib/core/featurizer.mli: Granii_graph

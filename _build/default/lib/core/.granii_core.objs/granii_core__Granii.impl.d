@@ -1,0 +1,1 @@
+lib/core/granii.ml: Codegen Dim Enumerate Executor Featurizer Granii_graph Granii_hw List Logs Plan Prune Rewrite Selector

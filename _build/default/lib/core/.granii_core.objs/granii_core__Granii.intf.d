@@ -1,0 +1,1 @@
+lib/core/granii.mli: Codegen Cost_model Dim Executor Featurizer Granii_graph Granii_hw Logs Matrix_ir Plan Selector

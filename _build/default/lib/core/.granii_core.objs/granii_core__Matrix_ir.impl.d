@@ -1,0 +1,1 @@
+lib/core/matrix_ir.ml: Dim Format List String

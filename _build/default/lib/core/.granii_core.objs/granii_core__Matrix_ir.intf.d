@@ -1,0 +1,1 @@
+lib/core/matrix_ir.mli: Dim Format

@@ -1,0 +1,1 @@
+lib/core/plan.ml: Assoc_tree Format Hashtbl List Matrix_ir Primitive String

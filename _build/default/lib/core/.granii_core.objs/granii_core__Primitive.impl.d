@@ -1,0 +1,1 @@
+lib/core/primitive.ml: Dim Format Granii_hw Matrix_ir

@@ -1,0 +1,1 @@
+lib/core/primitive.mli: Dim Format Granii_hw Matrix_ir

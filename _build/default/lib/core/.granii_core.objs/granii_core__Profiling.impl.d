@@ -1,0 +1,1 @@
+lib/core/profiling.ml: Array Dim Executor Featurizer Float Fun Granii_graph Granii_hw Granii_ml Granii_sparse Granii_tensor Hashtbl List Matrix_ir Primitive

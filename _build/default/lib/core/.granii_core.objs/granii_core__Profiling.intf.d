@@ -1,0 +1,1 @@
+lib/core/profiling.mli: Granii_graph Granii_hw Granii_ml Primitive

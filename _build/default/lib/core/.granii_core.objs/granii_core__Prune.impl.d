@@ -1,0 +1,1 @@
+lib/core/prune.ml: Array Assoc_tree Dim Float Hashtbl List Option Primitive

@@ -1,0 +1,1 @@
+lib/core/selector.ml: Codegen Cost_model Dim Granii_hw List Printf

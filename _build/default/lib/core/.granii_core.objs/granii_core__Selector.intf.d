@@ -1,0 +1,1 @@
+lib/core/selector.mli: Codegen Cost_model Dim Featurizer

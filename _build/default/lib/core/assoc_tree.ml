@@ -1,0 +1,75 @@
+type node = Leaf of Matrix_ir.leaf | Op of op
+
+and op = {
+  prim : Primitive.t;
+  args : node list;
+  rows : Dim.t;
+  cols : Dim.t;
+  attr : Matrix_ir.attr;
+  okey : string;
+}
+
+type t = { root : node }
+
+let node_key = function
+  | Leaf l -> l.Matrix_ir.name
+  | Op o -> o.okey
+
+let mk_op ~prim ~args ~rows ~cols ~attr =
+  let okey =
+    Format.asprintf "%a(%s)" Primitive.pp prim
+      (String.concat "," (List.map node_key args))
+  in
+  Op { prim; args; rows; cols; attr; okey }
+
+let node_shape = function
+  | Leaf l -> (l.Matrix_ir.rows, l.Matrix_ir.cols)
+  | Op o -> (o.rows, o.cols)
+
+let node_attr = function
+  | Leaf l -> l.Matrix_ir.attr
+  | Op o -> o.attr
+
+let of_root root = { root }
+
+let ops t =
+  let seen = Hashtbl.create 16 in
+  let acc = ref [] in
+  let rec walk = function
+    | Leaf _ -> ()
+    | Op o ->
+        if not (Hashtbl.mem seen o.okey) then begin
+          Hashtbl.add seen o.okey ();
+          List.iter walk o.args;
+          acc := o :: !acc
+        end
+  in
+  walk t.root;
+  List.rev !acc
+
+let primitives t = List.map (fun o -> o.prim) (ops t)
+
+let tree_key t = node_key t.root
+
+let leaves t =
+  let seen = Hashtbl.create 16 in
+  let acc = ref [] in
+  let rec walk = function
+    | Leaf l ->
+        if not (Hashtbl.mem seen l.Matrix_ir.name) then begin
+          Hashtbl.add seen l.Matrix_ir.name ();
+          acc := l :: !acc
+        end
+    | Op o -> List.iter walk o.args
+  in
+  walk t.root;
+  List.rev !acc
+
+let rec is_graph_only = function
+  | Leaf l -> (
+      match l.Matrix_ir.attr with
+      | Matrix_ir.Sparse _ -> true
+      | Matrix_ir.Dense _ -> false)
+  | Op o -> List.for_all is_graph_only o.args
+
+let pp ppf t = Format.fprintf ppf "%s" (tree_key t)

@@ -1,0 +1,55 @@
+(** Association trees (paper, Sec. IV-C).
+
+    One association tree is one legal re-association of the matrix IR: leaves
+    are the IR's matrices, internal nodes are intermediate results, and every
+    internal node is produced by a concrete sparse or dense
+    {!Primitive.t}. Nodes carry a canonical structural key, so identical
+    sub-computations inside one tree (or across the trees of a forest) share
+    a key — which is how GRANII "scans all trees to exploit any opportunities
+    to reuse computed values" (common-subexpression elimination). *)
+
+type node = Leaf of Matrix_ir.leaf | Op of op
+
+and op = {
+  prim : Primitive.t;
+  args : node list;
+  rows : Dim.t;
+  cols : Dim.t;
+  attr : Matrix_ir.attr;
+  okey : string;  (** canonical key of the computation rooted here *)
+}
+
+type t = { root : node }
+
+val mk_op :
+  prim:Primitive.t -> args:node list -> rows:Dim.t -> cols:Dim.t ->
+  attr:Matrix_ir.attr -> node
+(** Builds an internal node, computing its key. *)
+
+val node_key : node -> string
+
+val node_shape : node -> Dim.t * Dim.t
+
+val node_attr : node -> Matrix_ir.attr
+
+val of_root : node -> t
+
+val ops : t -> op list
+(** Unique operations in topological (arguments-first) order — the CSE'd
+    step list: an op whose key appears twice in the tree is returned once. *)
+
+val primitives : t -> Primitive.t list
+(** Primitives of {!ops}, in order. *)
+
+val tree_key : t -> string
+(** Canonical key of the whole candidate (for forest-level deduplication). *)
+
+val leaves : t -> Matrix_ir.leaf list
+(** Unique leaves by name. *)
+
+val is_graph_only : node -> bool
+(** [true] when every leaf under the node is graph-derived (sparse adjacency
+    or diagonal): such nodes are loop-invariant and can be hoisted into the
+    one-time setup phase. *)
+
+val pp : Format.formatter -> t -> unit

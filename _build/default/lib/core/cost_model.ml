@@ -1,0 +1,112 @@
+module K = Granii_hw.Kernel_model
+
+type t =
+  | Learned of {
+      profile : Granii_hw.Hw_profile.t;
+      table : (string, Granii_ml.Gbrt.t) Hashtbl.t;
+    }
+  | Analytic of Granii_hw.Hw_profile.t
+  | Flops
+
+let train ?gbrt_params ~profile datasets =
+  let table = Hashtbl.create 16 in
+  List.iter
+    (fun (name, ds) ->
+      let params =
+        match gbrt_params with
+        | Some p -> p
+        | None -> Granii_ml.Gbrt.default_params
+      in
+      Hashtbl.replace table name (Granii_ml.Gbrt.fit ~params ds))
+    datasets;
+  Learned { profile; table }
+
+let analytic profile = Analytic profile
+
+let flops_only = Flops
+
+let analytic_time profile ~env prim =
+  List.fold_left
+    (fun acc kernel -> acc +. K.time profile kernel)
+    0.
+    (Primitive.to_kernels env prim)
+
+let predict t feats ~env prim =
+  match t with
+  | Learned { profile; table } -> (
+      match Hashtbl.find_opt table (Primitive.name prim) with
+      | Some model ->
+          let input =
+            Featurizer.primitive_input feats ~dims:(Primitive.instantiated_dims env prim)
+          in
+          exp (Granii_ml.Gbrt.predict model input)
+      | None -> analytic_time profile ~env prim)
+  | Analytic profile -> analytic_time profile ~env prim
+  | Flops ->
+      List.fold_left
+        (fun acc kernel -> acc +. K.flops kernel)
+        0.
+        (Primitive.to_kernels env prim)
+
+let predict_plan t feats ~env ~iterations (plan : Plan.t) =
+  List.fold_left
+    (fun acc (s : Plan.step) ->
+      let c = predict t feats ~env s.Plan.prim in
+      match s.Plan.phase with
+      | Plan.Setup -> acc +. c
+      | Plan.Per_iteration -> acc +. (float_of_int iterations *. c))
+    0. plan.Plan.steps
+
+let name = function
+  | Learned { profile; _ } -> "learned-" ^ profile.Granii_hw.Hw_profile.name
+  | Analytic profile -> "analytic-" ^ profile.Granii_hw.Hw_profile.name
+  | Flops -> "flops"
+
+module Sexp = Granii_ml.Sexp_lite
+
+let save t path =
+  match t with
+  | Analytic _ | Flops ->
+      invalid_arg "Cost_model.save: only learned models carry state"
+  | Learned { profile; table } ->
+      let entries =
+        Hashtbl.fold
+          (fun prim_name model acc ->
+            Sexp.List [ Sexp.Atom prim_name; Granii_ml.Gbrt.to_sexp model ] :: acc)
+          table []
+      in
+      let doc =
+        Sexp.List
+          (Sexp.Atom "cost_model"
+          :: Sexp.Atom profile.Granii_hw.Hw_profile.name
+          :: List.sort compare entries)
+      in
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () -> output_string oc (Sexp.to_string doc))
+
+let load path =
+  let ic = open_in path in
+  let content =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  match Sexp.tagged "cost_model" (Sexp.of_string content) with
+  | profile_name :: entries ->
+      let profile = Granii_hw.Hw_profile.find (Sexp.atom profile_name) in
+      let table = Hashtbl.create 16 in
+      List.iter
+        (fun entry ->
+          match Sexp.list entry with
+          | [ Sexp.Atom prim_name; model ] ->
+              Hashtbl.replace table prim_name (Granii_ml.Gbrt.of_sexp model)
+          | _ -> raise (Sexp.Parse_error "malformed cost-model entry"))
+        entries;
+      Learned { profile; table }
+  | [] -> raise (Sexp.Parse_error "empty cost-model file")
+
+let models = function
+  | Learned { table; _ } -> Hashtbl.fold (fun k v acc -> (k, v) :: acc) table []
+  | Analytic _ | Flops -> []

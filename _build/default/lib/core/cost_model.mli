@@ -1,0 +1,54 @@
+(** Per-primitive cost models (paper, Sec. IV-E).
+
+    The production configuration is [Learned]: one {!Granii_ml.Gbrt}
+    regressor per primitive name per target hardware, trained on
+    {!Profiling} data, predicting log-runtime from the featurized input.
+    Two input-oblivious ablations are provided for the Table VI comparison:
+    the raw analytic roofline ([Analytic]) and plain FLOP counting
+    ([Flops]). *)
+
+type t
+
+val train :
+  ?gbrt_params:Granii_ml.Gbrt.params -> profile:Granii_hw.Hw_profile.t ->
+  Profiling.datasets -> t
+(** Fits one GBRT per primitive dataset. Primitives without a dataset fall
+    back to the analytic model of the same profile. *)
+
+val analytic : Granii_hw.Hw_profile.t -> t
+(** Ablation: predict with the noise-free roofline formulas directly. *)
+
+val flops_only : t
+(** Ablation: cost = FLOPs (a pure operation-count heuristic). *)
+
+val predict :
+  t -> Featurizer.t -> env:Dim.env -> Primitive.t -> float
+(** Predicted runtime (seconds; arbitrary but consistent units for
+    [flops_only]) of one primitive instance. *)
+
+val predict_plan :
+  t -> Featurizer.t -> env:Dim.env -> iterations:int -> Plan.t -> float
+(** Predicted total plan cost: setup steps once, per-iteration steps
+    [iterations] times. *)
+
+val name : t -> string
+
+val models : t -> (string * Granii_ml.Gbrt.t) list
+(** The underlying learned models ([[]] for ablations) — exposed for
+    accuracy evaluation. *)
+
+(** {1 Persistence}
+
+    The paper's workflow trains the cost models once per target machine in
+    an initialization script; production runs only load them. *)
+
+val save : t -> string -> unit
+(** [save t path] writes a [Learned] model to disk. Raises
+    [Invalid_argument] on ablation models (they have no state) and
+    [Sys_error] on I/O failure. *)
+
+val load : string -> t
+(** Reads a model written by {!save}. The hardware profile is resolved by
+    name against {!Granii_hw.Hw_profile.all}. Raises
+    [Granii_ml.Sexp_lite.Parse_error] on a malformed file and [Not_found]
+    on an unknown profile name. *)

@@ -1,0 +1,38 @@
+type t = N | Kin | Kout | One | Const of int
+
+type scenario = Shrinking | Growing
+
+let all_scenarios = [ Shrinking; Growing ]
+
+let eval scenario = function
+  | N -> 65536.
+  | Kin -> ( match scenario with Shrinking -> 512. | Growing -> 128.)
+  | Kout -> ( match scenario with Shrinking -> 128. | Growing -> 512.)
+  | One -> 1.
+  | Const c -> float_of_int c
+
+type env = { n : int; nnz : int; k_in : int; k_out : int }
+
+let instantiate env = function
+  | N -> env.n
+  | Kin -> env.k_in
+  | Kout -> env.k_out
+  | One -> 1
+  | Const c -> c
+
+let equal a b =
+  match (a, b) with
+  | N, N | Kin, Kin | Kout, Kout | One, One -> true
+  | Const a, Const b -> a = b
+  | (N | Kin | Kout | One | Const _), _ -> false
+
+let pp ppf = function
+  | N -> Format.fprintf ppf "N"
+  | Kin -> Format.fprintf ppf "Kin"
+  | Kout -> Format.fprintf ppf "Kout"
+  | One -> Format.fprintf ppf "1"
+  | Const c -> Format.fprintf ppf "%d" c
+
+let pp_scenario ppf = function
+  | Shrinking -> Format.fprintf ppf "Kin>=Kout"
+  | Growing -> Format.fprintf ppf "Kin<Kout"

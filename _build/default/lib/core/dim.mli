@@ -1,0 +1,37 @@
+(** Symbolic matrix dimensions.
+
+    Matrices in the IR are sized in terms of the graph's node count and the
+    layer's embedding sizes, which are unknown at compile time. The offline
+    pruning stage (paper, Sec. IV-C) must nevertheless compare matrix sizes;
+    it does so under the two embedding-size {e scenarios} the paper uses:
+    input embedding larger-or-equal than the output, or smaller. *)
+
+type t =
+  | N      (** number of graph nodes *)
+  | Kin    (** input embedding size of the layer *)
+  | Kout   (** output embedding size of the layer *)
+  | One
+  | Const of int  (** a size fixed at model-definition time *)
+
+type scenario =
+  | Shrinking  (** {m K_{in} \ge K_{out}} *)
+  | Growing    (** {m K_{in} < K_{out}} *)
+
+val all_scenarios : scenario list
+
+val eval : scenario -> t -> float
+(** Representative numeric value used for input-oblivious size comparisons:
+    [N] is large (65536) and the two embedding sizes are (512, 128) under
+    [Shrinking] and (128, 512) under [Growing]. *)
+
+type env = { n : int; nnz : int; k_in : int; k_out : int }
+(** Concrete sizes available at runtime. *)
+
+val instantiate : env -> t -> int
+(** Resolve a symbolic dimension against runtime sizes. *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+
+val pp_scenario : Format.formatter -> scenario -> unit

@@ -1,0 +1,298 @@
+open Assoc_tree
+
+exception Too_many_trees of int
+
+let is_diag node =
+  match node_attr node with
+  | Matrix_ir.Sparse Matrix_ir.Diagonal -> true
+  | Matrix_ir.Sparse _ | Matrix_ir.Dense _ -> false
+
+let is_sparse_nondiag node =
+  match node_attr node with
+  | Matrix_ir.Sparse Matrix_ir.Diagonal -> false
+  | Matrix_ir.Sparse _ -> true
+  | Matrix_ir.Dense _ -> false
+
+let is_weighted node =
+  match node_attr node with
+  | Matrix_ir.Sparse Matrix_ir.Weighted -> true
+  | Matrix_ir.Sparse _ | Matrix_ir.Dense _ -> false
+
+let is_dense node =
+  match node_attr node with
+  | Matrix_ir.Dense _ -> true
+  | Matrix_ir.Sparse _ -> false
+
+(* The pair rules of Appendix D: which primitive reduces two adjacent
+   chain operands, and the attribute of the result. *)
+let reduce_pair left right =
+  let lr, _lc = node_shape left and _rr, rc = node_shape right in
+  let mk prim attr = Some (mk_op ~prim ~args:[ left; right ] ~rows:lr ~cols:rc ~attr) in
+  if is_diag left && is_diag right then
+    mk Primitive.Diag_combine (Matrix_ir.Sparse Matrix_ir.Diagonal)
+  else if is_diag left && is_sparse_nondiag right then
+    mk (Primitive.Diag_scale { side = `Left }) (Matrix_ir.Sparse Matrix_ir.Weighted)
+  else if is_sparse_nondiag left && is_diag right then
+    mk (Primitive.Diag_scale { side = `Right }) (Matrix_ir.Sparse Matrix_ir.Weighted)
+  else if is_sparse_nondiag left && is_dense right then
+    mk
+      (Primitive.Spmm { k = rc; weighted = is_weighted left })
+      (Matrix_ir.Dense Matrix_ir.Data)
+  else if is_dense left && is_sparse_nondiag right then
+    mk (Primitive.Dense_sparse_mm { m = lr }) (Matrix_ir.Dense Matrix_ir.Data)
+  else if is_diag left && is_dense right then
+    mk (Primitive.Row_broadcast { k = rc }) (Matrix_ir.Dense Matrix_ir.Data)
+  else if is_dense left && is_diag right then
+    let _, lc = node_shape left in
+    mk (Primitive.Col_broadcast { k = lc }) (Matrix_ir.Dense Matrix_ir.Data)
+  else if is_dense left && is_dense right then
+    let _, lc = node_shape left in
+    mk
+      (Primitive.Gemm { m = lr; k = lc; n = rc })
+      (Matrix_ir.Dense Matrix_ir.Data)
+  else None
+
+let reduce_triple a b c =
+  if is_diag a && is_sparse_nondiag b && is_diag c then
+    let rows, _ = node_shape a and _, cols = node_shape c in
+    Some
+      (mk_op ~prim:Primitive.Sddmm_rank1 ~args:[ a; b; c ] ~rows ~cols
+         ~attr:(Matrix_ir.Sparse Matrix_ir.Weighted))
+  else None
+
+let chain_key chain = String.concat "|" (List.map node_key chain)
+
+(* Cartesian product of alternative lists, cap-checked by the caller. *)
+let cartesian (lists : 'a list list) : 'a list list =
+  List.fold_right
+    (fun alts acc ->
+      List.concat_map (fun a -> List.map (fun rest -> a :: rest) acc) alts)
+    lists [ [] ]
+
+let dedup_nodes nodes =
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun n ->
+      let k = node_key n in
+      if Hashtbl.mem seen k then false
+      else begin
+        Hashtbl.add seen k ();
+        true
+      end)
+    nodes
+
+let forest ?(max_trees = 20_000) expr =
+  (* Validate the IR up front so enumeration can assume well-formedness. *)
+  ignore (Matrix_ir.infer expr);
+  let memo : (string, node list) Hashtbl.t = Hashtbl.create 64 in
+  let budget = ref max_trees in
+  let spend n =
+    budget := !budget - n;
+    if !budget < 0 then raise (Too_many_trees max_trees)
+  in
+  (* Sub-problem dominance filter (see local_prune below): applied to every
+     span's alternative set so deep chains (multi-hop SGC/TAGCN) stay
+     polynomial instead of Catalan. *)
+  let chain_prune nodes =
+    if List.length nodes <= 48 then nodes else Prune.filter_nodes nodes
+  in
+  (* Exhaustive re-association of a chain via dynamic programming over
+     contiguous spans (the matrix-chain recurrence, keeping every
+     rule-admissible alternative instead of one optimum). A span's
+     alternatives are: every binary split whose two sides reduce by a pair
+     rule, plus every ternary split matching the diag-sparse-diag SDDMM
+     rule. *)
+  let reduce_chain chain =
+    match chain with
+    | [] -> []
+    | [ single ] -> [ single ]
+    | _ -> (
+        let ckey = chain_key chain in
+        match Hashtbl.find_opt memo ckey with
+        | Some cached -> cached
+        | None ->
+            let arr = Array.of_list chain in
+            let n = Array.length arr in
+            let span = Array.make_matrix n n [] in
+            for i = 0 to n - 1 do
+              span.(i).(i) <- [ arr.(i) ]
+            done;
+            for len = 2 to n do
+              for i = 0 to n - len do
+                let j = i + len - 1 in
+                let results = ref [] in
+                for split = i to j - 1 do
+                  List.iter
+                    (fun left ->
+                      List.iter
+                        (fun right ->
+                          match reduce_pair left right with
+                          | Some node -> results := node :: !results
+                          | None -> ())
+                        span.(split + 1).(j))
+                    span.(i).(split)
+                done;
+                for a = i to j - 2 do
+                  for b = a + 1 to j - 1 do
+                    (* the ternary rule only fires on diag . sparse . diag:
+                       prefilter each side so dense-heavy spans cost nothing *)
+                    let lefts = List.filter is_diag span.(i).(a) in
+                    if lefts <> [] then begin
+                      let rights = List.filter is_diag span.(b + 1).(j) in
+                      if rights <> [] then begin
+                        let mids = List.filter is_sparse_nondiag span.(a + 1).(b) in
+                        List.iter
+                          (fun left ->
+                            List.iter
+                              (fun mid ->
+                                List.iter
+                                  (fun right ->
+                                    match reduce_triple left mid right with
+                                    | Some node -> results := node :: !results
+                                    | None -> ())
+                                  rights)
+                              mids)
+                          lefts
+                      end
+                    end
+                  done
+                done;
+                span.(i).(j) <- chain_prune (dedup_nodes !results)
+              done
+            done;
+            let out = span.(0).(n - 1) in
+            spend (List.length out);
+            Hashtbl.add memo ckey out;
+            out)
+  in
+  (* Keep sub-problem alternative sets in check: past a small threshold,
+     apply the input-oblivious dominance filter locally — a dominated
+     sub-candidate can only produce dominated full candidates. *)
+  let local_prune nodes =
+    if List.length nodes <= 48 then nodes else Prune.filter_nodes nodes
+  in
+  (* Cost key used when an addition's cartesian product must be budgeted:
+     total symbolic FLOPs of the sub-tree under a scenario. *)
+  let sym_cost scenario node =
+    List.fold_left
+      (fun acc prim -> acc +. Primitive.symbolic_flops scenario ~nnz_per_node:16. prim)
+      0.
+      (Assoc_tree.primitives (Assoc_tree.of_root node))
+  in
+  let cheapest per nodes =
+    if List.length nodes <= per then nodes
+    else begin
+      let pick scenario =
+        let sorted =
+          List.sort
+            (fun a b -> compare (sym_cost scenario a) (sym_cost scenario b))
+            nodes
+        in
+        List.filteri (fun i _ -> i < max 1 ((per + 1) / 2)) sorted
+      in
+      dedup_nodes (List.concat_map pick Dim.all_scenarios)
+    end
+  in
+  (* Bound the product of alternative counts across addition terms: if the
+     exact cartesian exceeds the budget, keep each term's cheapest
+     candidates per scenario. K <= 2 models stay exact; this only engages
+     for deep extensions (tagcn_k >= 3). *)
+  let budget_lists ~budget lists =
+    let product =
+      List.fold_left (fun acc l -> acc * Stdlib.max 1 (List.length l)) 1 lists
+    in
+    if product <= budget then lists
+    else begin
+      let per =
+        Stdlib.max 2
+          (int_of_float
+             (Float.pow (float_of_int budget) (1. /. float_of_int (List.length lists))))
+      in
+      List.map (cheapest per) lists
+    end
+  in
+  let rec enum (e : Matrix_ir.expr) : node list =
+    match e with
+    | Matrix_ir.Leaf l -> [ Leaf l ]
+    | Matrix_ir.Nonlinear (kind, inner) ->
+        let wrap node =
+          let rows, cols = node_shape node in
+          match kind with
+          | Matrix_ir.Edge_softmax ->
+              mk_op ~prim:Primitive.Edge_softmax ~args:[ node ] ~rows ~cols
+                ~attr:(Matrix_ir.Sparse Matrix_ir.Weighted)
+          | Matrix_ir.Relu | Matrix_ir.Leaky_relu | Matrix_ir.Sigmoid
+          | Matrix_ir.Log_softmax ->
+              mk_op
+                ~prim:(Primitive.Dense_map { kind; m = rows; k = cols })
+                ~args:[ node ] ~rows ~cols ~attr:(Matrix_ir.Dense Matrix_ir.Data)
+        in
+        List.map wrap (enum inner)
+    | Matrix_ir.Add terms ->
+        let alts =
+          cartesian
+            (budget_lists ~budget:2048
+               (List.map (fun t -> local_prune (enum t)) terms))
+        in
+        local_prune
+        @@ List.map
+          (fun args ->
+            let rows, cols = node_shape (List.hd args) in
+            let any_diag = List.exists is_diag args in
+            let all_sparse = List.for_all (fun a -> not (is_dense a)) args in
+            let prim, attr =
+              if all_sparse then
+                ( Primitive.Sparse_add { diag = any_diag },
+                  Matrix_ir.Sparse Matrix_ir.Weighted )
+              else
+                (Primitive.Dense_add { m = rows; k = cols }, Matrix_ir.Dense Matrix_ir.Data)
+            in
+            mk_op ~prim ~args ~rows ~cols ~attr)
+          alts
+    | Matrix_ir.Mult chain_exprs ->
+        let alts = cartesian (List.map enum chain_exprs) in
+        local_prune (dedup_nodes (List.concat_map reduce_chain alts))
+    | Matrix_ir.Row_broadcast (d, x) ->
+        List.concat_map
+          (fun dn ->
+            List.map
+              (fun xn ->
+                let rows, cols = node_shape xn in
+                mk_op
+                  ~prim:(Primitive.Row_broadcast { k = cols })
+                  ~args:[ dn; xn ] ~rows ~cols ~attr:(Matrix_ir.Dense Matrix_ir.Data))
+              (enum x))
+          (enum d)
+    | Matrix_ir.Col_broadcast (x, d) ->
+        List.concat_map
+          (fun xn ->
+            List.map
+              (fun dn ->
+                let rows, cols = node_shape xn in
+                mk_op
+                  ~prim:(Primitive.Col_broadcast { k = cols })
+                  ~args:[ xn; dn ] ~rows ~cols ~attr:(Matrix_ir.Dense Matrix_ir.Data))
+              (enum d))
+          (enum x)
+    | Matrix_ir.Edge_score { mask; feats; attn_src; attn_dst } ->
+        List.concat_map
+          (fun mn ->
+            List.map
+              (fun fn ->
+                let rows, cols = node_shape mn in
+                let _, fk = node_shape fn in
+                mk_op
+                  ~prim:(Primitive.Edge_score { k = fk })
+                  ~args:[ mn; fn; Leaf attn_src; Leaf attn_dst ]
+                  ~rows ~cols ~attr:(Matrix_ir.Sparse Matrix_ir.Weighted))
+              (enum feats))
+          (enum mask)
+  in
+  let roots =
+    List.concat_map
+      (fun variant -> enum variant)
+      (Rewrite.variants expr)
+  in
+  List.map of_root (dedup_nodes roots)
+
+let count expr = List.length (forest expr)

@@ -1,0 +1,34 @@
+(** Exhaustive association-tree generation (paper, Algorithm 1).
+
+    Walks the matrix IR depth-first; at a multiplication chain every
+    rule-matching contiguous group of operands is a candidate reduction
+    (pairs, plus the diagonal–sparse–diagonal triple that fuses into a rank-1
+    SDDMM), each candidate spawning a recursive enumeration of the reduced
+    chain. Every {!Rewrite.variants} form of the IR is enumerated and the
+    resulting forest is deduplicated by canonical tree key.
+
+    The rules mapping operand attributes to primitives (the paper's
+    Appendix D) are:
+
+    {v
+    diag    . diag            -> DiagCombine        (diagonal)
+    diag    . sparse          -> DiagScaleL         (sparse weighted)
+    sparse  . diag            -> DiagScaleR         (sparse weighted)
+    diag    . sparse . diag   -> SDDMM(rank 1)      (sparse weighted)
+    sparse  . dense           -> g-SpMM             (dense)
+    dense   . sparse          -> dense-sparse MM    (dense)
+    diag    . dense           -> row-broadcast      (dense)
+    dense   . diag            -> col-broadcast      (dense)
+    dense   . dense           -> GEMM               (dense)
+    v} *)
+
+exception Too_many_trees of int
+
+val forest : ?max_trees:int -> Matrix_ir.expr -> Assoc_tree.t list
+(** All association trees of the expression (default [max_trees = 20000];
+    raises {!Too_many_trees} beyond that). The result is non-empty for any
+    well-formed IR and deduplicated. Raises {!Matrix_ir.Ill_formed} on a
+    malformed IR. *)
+
+val count : Matrix_ir.expr -> int
+(** [List.length (forest e)] without building intermediate duplicates. *)

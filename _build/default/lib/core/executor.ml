@@ -1,0 +1,243 @@
+module Dense = Granii_tensor.Dense
+module Vector = Granii_tensor.Vector
+module Csr = Granii_sparse.Csr
+module Coo = Granii_sparse.Coo
+module Spmm = Granii_sparse.Spmm
+module Sddmm = Granii_sparse.Sddmm
+module Sparse_ops = Granii_sparse.Sparse_ops
+module K = Granii_hw.Kernel_model
+
+type value =
+  | Vdense of Dense.t
+  | Vsparse of Csr.t
+  | Vdiag of Vector.t
+
+type timing = Measure | Simulate of Granii_hw.Hw_profile.t
+
+type report = {
+  output : value;
+  setup_time : float;
+  iteration_time : float;
+  per_step : (Primitive.t * Plan.phase * float) list;
+  intermediates : (int * value) list;
+}
+
+exception Execution_error of string
+
+let err fmt = Format.kasprintf (fun s -> raise (Execution_error s)) fmt
+
+let shape_of = function
+  | Vdense d -> Dense.dims d
+  | Vsparse s -> (s.Csr.n_rows, s.Csr.n_cols)
+  | Vdiag v -> (Array.length v, Array.length v)
+
+let pp_value ppf = function
+  | Vdense d ->
+      let r, c = Dense.dims d in
+      Format.fprintf ppf "dense %dx%d" r c
+  | Vsparse s -> Csr.pp ppf s
+  | Vdiag v -> Format.fprintf ppf "diag n=%d" (Array.length v)
+
+let dense = function Vdense d -> d | v -> err "expected dense, got %a" pp_value v
+let sparse = function Vsparse s -> s | v -> err "expected sparse, got %a" pp_value v
+let diag = function Vdiag d -> d | v -> err "expected diagonal, got %a" pp_value v
+
+let diag_to_csr v =
+  let n = Array.length v in
+  Csr.of_coo (Coo.make ~n_rows:n ~n_cols:n (Array.init n (fun i -> (i, i, v.(i)))))
+
+(* GAT's attention function: per stored edge (i, j),
+   leaky_relu(a_src . feats_i + a_dst . feats_j). *)
+let edge_score mask feats a_src a_dst =
+  let s = Dense.matmul feats a_src and t = Dense.matmul feats a_dst in
+  let count = Csr.nnz mask in
+  let out = Array.make count 0. in
+  for i = 0 to mask.Csr.n_rows - 1 do
+    let si = Dense.get s i 0 in
+    for p = mask.Csr.row_ptr.(i) to mask.Csr.row_ptr.(i + 1) - 1 do
+      let x = si +. Dense.get t (mask.Csr.col_idx.(p)) 0 in
+      out.(p) <- (if x > 0. then x else 0.2 *. x)
+    done
+  done;
+  Csr.with_values mask out
+
+let apply_nonlinear kind d =
+  match kind with
+  | Matrix_ir.Relu -> Dense.relu d
+  | Matrix_ir.Leaky_relu -> Dense.leaky_relu d
+  | Matrix_ir.Sigmoid -> Dense.sigmoid d
+  | Matrix_ir.Log_softmax -> Dense.log_softmax_rows d
+  | Matrix_ir.Edge_softmax -> err "edge_softmax reached dense map"
+
+let exec_prim (prim : Primitive.t) (graph : Granii_graph.Graph.t) args =
+  match (prim, args) with
+  | Primitive.Gemm _, [ a; b ] -> Vdense (Dense.matmul (dense a) (dense b))
+  | Primitive.Spmm _, [ a; b ] -> Vdense (Spmm.run (sparse a) (dense b))
+  | Primitive.Dense_sparse_mm _, [ a; b ] ->
+      Vdense (Spmm.run_transposed (dense a) (sparse b))
+  | Primitive.Sddmm_rank1, [ dl; a; dr ] ->
+      Vsparse (Sddmm.rank1 (sparse a) (diag dl) (diag dr))
+  | Primitive.Diag_scale { side = `Left }, [ d; a ] ->
+      Vsparse (Sparse_ops.scale_rows (diag d) (sparse a))
+  | Primitive.Diag_scale { side = `Right }, [ a; d ] ->
+      Vsparse (Sparse_ops.scale_cols (sparse a) (diag d))
+  | Primitive.Row_broadcast _, [ d; x ] ->
+      Vdense (Dense.row_broadcast (diag d) (dense x))
+  | Primitive.Col_broadcast _, [ x; d ] ->
+      Vdense (Dense.col_broadcast (dense x) (diag d))
+  | Primitive.Diag_combine, [ a; b ] -> Vdiag (Vector.map2 ( *. ) (diag a) (diag b))
+  | Primitive.Sparse_add _, parts ->
+      let as_csr = function
+        | Vdiag d -> diag_to_csr d
+        | Vsparse s -> s
+        | Vdense _ -> err "sparse_add over a dense operand"
+      in
+      let csrs = List.map as_csr parts in
+      (match csrs with
+      | [] -> err "sparse_add with no operands"
+      | first :: rest -> Vsparse (List.fold_left Sparse_ops.add first rest))
+  | Primitive.Dense_add _, parts -> (
+      match List.map dense parts with
+      | [] -> err "dense_add with no operands"
+      | first :: rest -> Vdense (List.fold_left Dense.add first rest))
+  | Primitive.Edge_score _, [ mask; feats; a_src; a_dst ] ->
+      Vsparse (edge_score (sparse mask) (dense feats) (dense a_src) (dense a_dst))
+  | Primitive.Edge_softmax, [ a ] -> Vsparse (Sparse_ops.row_softmax (sparse a))
+  | Primitive.Dense_map { kind; _ }, [ a ] -> Vdense (apply_nonlinear kind (dense a))
+  | Primitive.Degree { power; _ }, [ _graph_token ] -> (
+      match power with
+      | Primitive.Inv_sqrt -> Vdiag (Granii_graph.Graph.norm_inv_sqrt graph)
+      | Primitive.Inv ->
+          Vdiag
+            (Granii_tensor.Vector.pow (-1.)
+               (Granii_graph.Graph.degrees_tilde graph)))
+  | prim, args ->
+      err "primitive %a applied to %d arguments" Primitive.pp prim (List.length args)
+
+let apply = exec_prim
+
+(* Kernels of a step, sized from the actual operand values (so sampling or
+   precomputed sparse intermediates are charged their true nnz). *)
+let kernels_of_step (prim : Primitive.t) (graph : Granii_graph.Graph.t) args result =
+  let nnz_of v = Csr.nnz (sparse v) in
+  let dense_dims v = Dense.dims (dense v) in
+  match (prim, args) with
+  | Primitive.Gemm _, [ a; b ] ->
+      let m, k = dense_dims a and _, n = dense_dims b in
+      [ K.Gemm { m; k; n } ]
+  | Primitive.Spmm { weighted; _ }, [ a; b ] ->
+      let rows = (sparse a).Csr.n_rows and _, k = dense_dims b in
+      [ K.Spmm { rows; nnz = nnz_of a; k; weighted } ]
+  | Primitive.Dense_sparse_mm _, [ a; b ] ->
+      let rows, k = dense_dims a in
+      [ K.Dense_sparse_mm { rows; nnz = nnz_of b; cols = (sparse b).Csr.n_cols; k } ]
+  | Primitive.Sddmm_rank1, [ _; a; _ ] -> [ K.Sddmm { nnz = nnz_of a; k = 1 } ]
+  | Primitive.Diag_scale _, [ a; b ] ->
+      let nnz = match a with Vsparse s -> Csr.nnz s | _ -> nnz_of b in
+      [ K.Diag_scale_sparse { nnz } ]
+  | Primitive.Row_broadcast _, [ _; x ] ->
+      let n, k = dense_dims x in
+      [ K.Row_broadcast { n; k } ]
+  | Primitive.Col_broadcast _, [ x; _ ] ->
+      let n, k = dense_dims x in
+      [ K.Col_broadcast { n; k } ]
+  | Primitive.Diag_combine, [ a; _ ] -> [ K.Diag_combine { n = Array.length (diag a) } ]
+  | Primitive.Sparse_add _, _ ->
+      let nnz = match result with Vsparse s -> Csr.nnz s | _ -> 0 in
+      [ K.Diag_scale_sparse { nnz } ]
+  | Primitive.Dense_add _, (first :: _ as parts) ->
+      let n, k = dense_dims first in
+      [ K.Elementwise { n; k; flops_per_elt = float_of_int (List.length parts - 1) } ]
+  | Primitive.Edge_score _, [ mask; feats; _; _ ] ->
+      let n, k = dense_dims feats in
+      [ K.Gemm { m = n; k; n = 1 };
+        K.Gemm { m = n; k; n = 1 };
+        K.Sddmm { nnz = nnz_of mask; k = 1 } ]
+  | Primitive.Edge_softmax, [ a ] -> [ K.Edge_softmax { nnz = nnz_of a } ]
+  | Primitive.Dense_map { kind; _ }, [ a ] ->
+      let n, k = dense_dims a in
+      let flops_per_elt =
+        match kind with
+        | Matrix_ir.Relu -> 1.
+        | Matrix_ir.Leaky_relu -> 2.
+        | Matrix_ir.Sigmoid -> 10.
+        | Matrix_ir.Log_softmax | Matrix_ir.Edge_softmax -> 12.
+      in
+      [ K.Elementwise { n; k; flops_per_elt } ]
+  | Primitive.Degree { binned; _ }, _ ->
+      let n = Granii_graph.Graph.n_nodes graph in
+      let nnz = Granii_graph.Graph.n_edges graph + n in
+      if binned then
+        [ K.Degree_binning
+            { n; nnz; avg_collisions = float_of_int nnz /. float_of_int (max n 1) } ]
+      else [ K.Degree_rowptr { n } ]
+  | prim, args ->
+      err "kernels: primitive %a applied to %d arguments" Primitive.pp prim
+        (List.length args)
+
+let run ?(seed = 0) ~timing ~graph ~bindings (plan : Plan.t) =
+  let results : (int, value) Hashtbl.t = Hashtbl.create 16 in
+  let lookup = function
+    | Plan.Computed i -> (
+        match Hashtbl.find_opt results i with
+        | Some v -> v
+        | None -> err "step t%d used before being computed" i)
+    | Plan.Input "__graph__" ->
+        (* Token argument of Degree steps; its value is never inspected. *)
+        Vsparse graph.Granii_graph.Graph.adj
+    | Plan.Input name -> (
+        match List.assoc_opt name bindings with
+        | Some v -> v
+        | None -> err "unbound input %s" name)
+  in
+  let setup_time = ref 0. and iteration_time = ref 0. in
+  let per_step = ref [] in
+  List.iter
+    (fun (s : Plan.step) ->
+      let args = List.map lookup s.Plan.args in
+      let value, elapsed =
+        match timing with
+        | Measure ->
+            let v, t = Granii_hw.Timer.measure (fun () -> exec_prim s.Plan.prim graph args) in
+            (v, t)
+        | Simulate profile ->
+            let v = exec_prim s.Plan.prim graph args in
+            let kernels = kernels_of_step s.Plan.prim graph args v in
+            let t =
+              List.fold_left
+                (fun acc k -> acc +. K.time_noisy profile ~seed:(seed + s.Plan.idx) k)
+                0. kernels
+            in
+            (v, t)
+      in
+      Hashtbl.replace results s.Plan.idx value;
+      (match s.Plan.phase with
+      | Plan.Setup -> setup_time := !setup_time +. elapsed
+      | Plan.Per_iteration -> iteration_time := !iteration_time +. elapsed);
+      per_step := (s.Plan.prim, s.Plan.phase, elapsed) :: !per_step)
+    plan.Plan.steps;
+  { output = lookup plan.Plan.output;
+    setup_time = !setup_time;
+    iteration_time = !iteration_time;
+    per_step = List.rev !per_step;
+    intermediates =
+      List.sort compare (Hashtbl.fold (fun i v acc -> (i, v) :: acc) results []) }
+
+let estimate ?(seed = 0) ~profile ~env (plan : Plan.t) =
+  let setup = ref 0. and iter = ref 0. in
+  List.iter
+    (fun (s : Plan.step) ->
+      let t =
+        List.fold_left
+          (fun acc k -> acc +. K.time_noisy profile ~seed:(seed + s.Plan.idx) k)
+          0.
+          (Primitive.to_kernels env s.Plan.prim)
+      in
+      match s.Plan.phase with
+      | Plan.Setup -> setup := !setup +. t
+      | Plan.Per_iteration -> iter := !iter +. t)
+    plan.Plan.steps;
+  (!setup, !iter)
+
+let total_time ~setup ~iteration ~iterations =
+  setup +. (float_of_int iterations *. iteration)

@@ -1,0 +1,61 @@
+(** Plan execution, with real or simulated timing.
+
+    Every step is {e always} executed for real (so numerical results can be
+    cross-checked between candidates); what differs is the clock:
+
+    - [Measure]: host wall-clock per step — the "real CPU" mode;
+    - [Simulate profile]: each step is charged the analytic
+      {!Granii_hw.Kernel_model} time for its instantiated kernels on the
+      given hardware profile, with deterministic jitter. This is the
+      substitute for the paper's A100/H100 testbeds (see DESIGN.md).
+
+    [estimate] skips execution entirely and just sums predicted kernel times
+    — used by the large parameter sweeps of the benches. *)
+
+type value =
+  | Vdense of Granii_tensor.Dense.t
+  | Vsparse of Granii_sparse.Csr.t
+  | Vdiag of Granii_tensor.Vector.t
+
+type timing = Measure | Simulate of Granii_hw.Hw_profile.t
+
+type report = {
+  output : value;
+  setup_time : float;
+  iteration_time : float;
+  per_step : (Primitive.t * Plan.phase * float) list;
+  intermediates : (int * value) list;
+      (** every step's output, by step index — consumed by the reverse pass
+          of {!Granii_gnn.Autodiff} *)
+}
+
+exception Execution_error of string
+
+val apply :
+  Primitive.t -> Granii_graph.Graph.t -> value list -> value
+(** Execute one primitive against concrete operand values — the kernel
+    dispatch used by {!run}, exposed so measured profiling
+    ({!Profiling.collect_measured}) can time individual primitives. Raises
+    {!Execution_error} on an argument-kind mismatch. *)
+
+val run :
+  ?seed:int -> timing:timing -> graph:Granii_graph.Graph.t ->
+  bindings:(string * value) list -> Plan.t -> report
+(** Executes the plan once. Leaf names are resolved in [bindings]; the
+    graph's {m \tilde A} and normalization vector are available to [Degree]
+    steps. Raises {!Execution_error} on an unbound input or an
+    argument-kind mismatch (which would indicate an enumeration bug). *)
+
+val estimate :
+  ?seed:int -> profile:Granii_hw.Hw_profile.t -> env:Dim.env -> Plan.t ->
+  float * float
+(** [(setup_time, iteration_time)] predicted analytically from symbolic
+    primitive shapes — no execution, no bindings. *)
+
+val total_time : setup:float -> iteration:float -> iterations:int -> float
+(** [setup + iterations * iteration]: the quantity compositions compete on
+    (the paper evaluates at 100 iterations). *)
+
+val shape_of : value -> int * int
+
+val pp_value : Format.formatter -> value -> unit

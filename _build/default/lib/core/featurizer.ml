@@ -1,0 +1,23 @@
+module Gf = Granii_graph.Graph_features
+
+type t = {
+  graph_features : float array;
+  extraction_time : float;
+}
+
+let extract graph =
+  let features, extraction_time =
+    Granii_hw.Timer.measure (fun () -> Gf.extract graph)
+  in
+  { graph_features = Gf.to_array features; extraction_time }
+
+let of_features f = { graph_features = Gf.to_array f; extraction_time = 0. }
+
+let log1 x = log (1. +. x)
+
+let primitive_input t ~dims:(m, k, n) =
+  Array.concat [ t.graph_features; [| log1 m; log1 k; log1 n |] ]
+
+let n_inputs = Array.length Gf.names + 3
+
+let input_names = Array.concat [ Gf.names; [| "log_dim_m"; "log_dim_k"; "log_dim_n" |] ]

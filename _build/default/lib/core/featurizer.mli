@@ -1,0 +1,27 @@
+(** Runtime input featurizer (paper, Sec. IV-E1).
+
+    Inspects the input graph once, concatenates the resulting statistics with
+    the embedding sizes of the primitive instance being costed, and feeds the
+    vector to the learned cost models. The extraction is timed — it is one of
+    the two runtime overheads the paper reports (Sec. VI-C1). *)
+
+type t = private {
+  graph_features : float array;
+  extraction_time : float;  (** seconds of wall-clock spent extracting *)
+}
+
+val extract : Granii_graph.Graph.t -> t
+(** One O(n + nnz) pass over the graph. *)
+
+val of_features : Granii_graph.Graph_features.t -> t
+(** Wraps precomputed statistics (extraction time 0) — used when profiling
+    already has the statistics. *)
+
+val primitive_input : t -> dims:float * float * float -> float array
+(** Final model input: graph features followed by the log-scaled size triple
+    of the primitive instance. *)
+
+val n_inputs : int
+(** Length of the vectors {!primitive_input} produces. *)
+
+val input_names : string array

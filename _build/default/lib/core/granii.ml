@@ -1,0 +1,63 @@
+let log_src = Logs.Src.create "granii" ~doc:"GRANII compile/optimize pipeline"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type offline_stats = {
+  n_variants : int;
+  n_enumerated : int;
+  n_pruned : int;
+  n_promoted : int;
+}
+
+let compile ?max_trees ?degree_leaves ~name expr =
+  let n_variants = List.length (Rewrite.variants expr) in
+  let forest = Enumerate.forest ?max_trees expr in
+  let pruned = Prune.run forest in
+  let compiled = Codegen.compile ?degree_leaves ~name pruned in
+  Log.info (fun m ->
+      m "compiled %s: %d variants, %d enumerated, %d pruned, %d promoted" name
+        n_variants pruned.Prune.n_enumerated pruned.Prune.n_pruned
+        (List.length pruned.Prune.promoted));
+  ( compiled,
+    { n_variants;
+      n_enumerated = pruned.Prune.n_enumerated;
+      n_pruned = pruned.Prune.n_pruned;
+      n_promoted = List.length pruned.Prune.promoted } )
+
+type decision = {
+  choice : Selector.choice;
+  feats : Featurizer.t;
+  overhead : float;
+}
+
+let optimize ~cost_model ~graph ~k_in ~k_out ?(iterations = 100) compiled =
+  let feats = Featurizer.extract graph in
+  let env =
+    { Dim.n = Granii_graph.Graph.n_nodes graph;
+      nnz = Granii_graph.Graph.n_edges graph + Granii_graph.Graph.n_nodes graph;
+      k_in;
+      k_out }
+  in
+  let choice = Selector.select ~cost_model ~feats ~env ~iterations compiled in
+  Log.info (fun m ->
+      m "selected %s for %s (n=%d nnz=%d %d->%d, %d iterations): %.3e s predicted, %s"
+        choice.Selector.candidate.Codegen.plan.Plan.name compiled.Codegen.model_name
+        env.Dim.n env.Dim.nnz k_in k_out iterations
+        choice.Selector.predicted_cost
+        (if choice.Selector.used_cost_models then "cost models"
+         else "embedding-size guard"));
+  { choice;
+    feats;
+    overhead = feats.Featurizer.extraction_time +. choice.Selector.selection_time }
+
+let execute ?seed ~timing ~graph ~bindings decision =
+  Executor.run ?seed ~timing ~graph ~bindings decision.choice.Selector.candidate.Codegen.plan
+
+let simulated_overhead ~profile ~env =
+  let featurize =
+    Granii_hw.Kernel_model.time profile
+      (Granii_hw.Kernel_model.Elementwise
+         { n = env.Dim.nnz + env.Dim.n; k = 1; flops_per_elt = 4. })
+  in
+  let selection = 2e-5 in
+  featurize +. selection

@@ -1,0 +1,142 @@
+module K = Granii_hw.Kernel_model
+
+type t =
+  | Gemm of { m : Dim.t; k : Dim.t; n : Dim.t }
+  | Spmm of { k : Dim.t; weighted : bool }
+  | Dense_sparse_mm of { m : Dim.t }
+  | Sddmm_rank1
+  | Diag_scale of { side : [ `Left | `Right ] }
+  | Row_broadcast of { k : Dim.t }
+  | Col_broadcast of { k : Dim.t }
+  | Diag_combine
+  | Sparse_add of { diag : bool }
+  | Dense_add of { m : Dim.t; k : Dim.t }
+  | Edge_score of { k : Dim.t }
+  | Edge_softmax
+  | Dense_map of { kind : Matrix_ir.nonlinear; m : Dim.t; k : Dim.t }
+  | Degree of { binned : bool; power : degree_power }
+
+and degree_power = Inv_sqrt | Inv
+
+let name = function
+  | Gemm _ -> "gemm"
+  | Spmm { weighted = true; _ } -> "spmm_w"
+  | Spmm { weighted = false; _ } -> "spmm_u"
+  | Dense_sparse_mm _ -> "dspmm"
+  | Sddmm_rank1 -> "sddmm_rank1"
+  | Diag_scale _ -> "diag_scale"
+  | Row_broadcast _ -> "row_broadcast"
+  | Col_broadcast _ -> "col_broadcast"
+  | Diag_combine -> "diag_combine"
+  | Sparse_add _ -> "sparse_add"
+  | Dense_add _ -> "dense_add"
+  | Edge_score _ -> "edge_score"
+  | Edge_softmax -> "edge_softmax"
+  | Dense_map _ -> "dense_map"
+  | Degree { binned = true; _ } -> "degree_binned"
+  | Degree { binned = false; _ } -> "degree_rowptr"
+
+let is_sparse_primitive = function
+  | Spmm _ | Dense_sparse_mm _ | Sddmm_rank1 | Diag_scale _ | Diag_combine
+  | Sparse_add _ | Edge_score _ | Edge_softmax | Degree _ ->
+      true
+  | Gemm _ | Row_broadcast _ | Col_broadcast _ | Dense_add _ | Dense_map _ -> false
+
+let symbolic_flops scenario ~nnz_per_node prim =
+  let d = Dim.eval scenario in
+  let n = d Dim.N in
+  let e = nnz_per_node *. n in
+  match prim with
+  | Gemm { m; k; n = cols } -> 2. *. d m *. d k *. d cols
+  | Spmm { k; _ } -> 2. *. e *. d k
+  | Dense_sparse_mm { m } -> 2. *. d m *. e
+  | Sddmm_rank1 -> 2. *. e
+  | Diag_scale _ -> e
+  | Row_broadcast { k } | Col_broadcast { k } -> n *. d k
+  | Diag_combine -> n
+  | Sparse_add { diag } -> if diag then e +. n else 2. *. e
+  | Dense_add { m; k } -> d m *. d k
+  | Edge_score { k } -> (4. *. n *. d k) +. (3. *. e)
+  | Edge_softmax -> 12. *. e
+  | Dense_map { m; k; _ } -> d m *. d k
+  | Degree _ -> e
+
+let to_kernels (env : Dim.env) prim =
+  let i = Dim.instantiate env in
+  let nnz = env.Dim.nnz and n = env.Dim.n in
+  let avg_deg = if n = 0 then 0. else float_of_int nnz /. float_of_int n in
+  match prim with
+  | Gemm { m; k; n = cols } -> [ K.Gemm { m = i m; k = i k; n = i cols } ]
+  | Spmm { k; weighted } -> [ K.Spmm { rows = n; nnz; k = i k; weighted } ]
+  | Dense_sparse_mm { m } -> [ K.Dense_sparse_mm { rows = i m; nnz; cols = n; k = n } ]
+  | Sddmm_rank1 -> [ K.Sddmm { nnz; k = 1 } ]
+  | Diag_scale _ -> [ K.Diag_scale_sparse { nnz } ]
+  | Row_broadcast { k } -> [ K.Row_broadcast { n; k = i k } ]
+  | Col_broadcast { k } -> [ K.Col_broadcast { n; k = i k } ]
+  | Diag_combine -> [ K.Diag_combine { n } ]
+  | Sparse_add { diag } ->
+      if diag then [ K.Diag_scale_sparse { nnz } ]
+      else [ K.Diag_scale_sparse { nnz = 2 * nnz } ]
+  | Dense_add { m; k } -> [ K.Elementwise { n = i m; k = i k; flops_per_elt = 1. } ]
+  | Edge_score { k } ->
+      [ K.Gemm { m = n; k = i k; n = 1 };
+        K.Gemm { m = n; k = i k; n = 1 };
+        K.Sddmm { nnz; k = 1 } ]
+  | Edge_softmax -> [ K.Edge_softmax { nnz } ]
+  | Dense_map { m; k; kind } ->
+      let flops_per_elt =
+        match kind with
+        | Matrix_ir.Relu -> 1.
+        | Matrix_ir.Leaky_relu -> 2.
+        | Matrix_ir.Sigmoid -> 10.
+        | Matrix_ir.Log_softmax -> 12.
+        | Matrix_ir.Edge_softmax -> 12.
+      in
+      [ K.Elementwise { n = i m; k = i k; flops_per_elt } ]
+  | Degree { binned = true; _ } ->
+      [ K.Degree_binning { n; nnz; avg_collisions = avg_deg } ]
+  | Degree { binned = false; _ } -> [ K.Degree_rowptr { n } ]
+
+let instantiated_dims (env : Dim.env) prim =
+  let i d = float_of_int (Dim.instantiate env d) in
+  let nnz = float_of_int env.Dim.nnz and n = float_of_int env.Dim.n in
+  match prim with
+  | Gemm { m; k; n = cols } -> (i m, i k, i cols)
+  | Spmm { k; _ } -> (n, nnz, i k)
+  | Dense_sparse_mm { m } -> (i m, nnz, n)
+  | Sddmm_rank1 -> (n, nnz, 1.)
+  | Diag_scale _ -> (n, nnz, 1.)
+  | Row_broadcast { k } -> (n, 1., i k)
+  | Col_broadcast { k } -> (n, 1., i k)
+  | Diag_combine -> (n, 1., 1.)
+  | Sparse_add { diag } -> (n, nnz, if diag then 1. else 2.)
+  | Dense_add { m; k } -> (i m, 1., i k)
+  | Edge_score { k } -> (n, nnz, i k)
+  | Edge_softmax -> (n, nnz, 1.)
+  | Dense_map { m; k; _ } -> (i m, 1., i k)
+  | Degree _ -> (n, nnz, 1.)
+
+let equal a b = compare a b = 0
+
+let pp ppf prim =
+  match prim with
+  | Gemm { m; k; n } ->
+      Format.fprintf ppf "GEMM[%a,%a,%a]" Dim.pp m Dim.pp k Dim.pp n
+  | Spmm { k; weighted } ->
+      Format.fprintf ppf "SpMM%s[%a]" (if weighted then "w" else "u") Dim.pp k
+  | Dense_sparse_mm { m } -> Format.fprintf ppf "DSpMM[%a]" Dim.pp m
+  | Sddmm_rank1 -> Format.fprintf ppf "SDDMM1"
+  | Diag_scale { side = `Left } -> Format.fprintf ppf "DiagScaleL"
+  | Diag_scale { side = `Right } -> Format.fprintf ppf "DiagScaleR"
+  | Row_broadcast { k } -> Format.fprintf ppf "RowBcast[%a]" Dim.pp k
+  | Col_broadcast { k } -> Format.fprintf ppf "ColBcast[%a]" Dim.pp k
+  | Diag_combine -> Format.fprintf ppf "DiagComb"
+  | Sparse_add { diag } -> Format.fprintf ppf "SpAdd%s" (if diag then "D" else "")
+  | Dense_add { k; _ } -> Format.fprintf ppf "Add[%a]" Dim.pp k
+  | Edge_score { k } -> Format.fprintf ppf "EdgeScore[%a]" Dim.pp k
+  | Edge_softmax -> Format.fprintf ppf "EdgeSoftmax"
+  | Dense_map { kind; _ } -> Format.fprintf ppf "Map[%a]" Matrix_ir.pp_nonlinear kind
+  | Degree { binned; power } ->
+      Format.fprintf ppf "Degree%s%s"
+        (if binned then "Bin" else "Ptr")
+        (match power with Inv_sqrt -> "" | Inv -> "^-1")

@@ -1,0 +1,66 @@
+(** The sparse / dense matrix primitive vocabulary.
+
+    Edges of an association tree are annotated with these primitives
+    (paper, Sec. IV-C); the enumeration rules decide which primitive realizes
+    each reduction of the matrix IR. Primitives carry {e symbolic} shapes
+    ({!Dim.t}) so the offline pruning stage can compare candidates without
+    the input, and are {!instantiate}d against runtime sizes to obtain
+    {!Granii_hw.Kernel_model.kernel}s for cost prediction, simulation, and
+    profiling. *)
+
+type t =
+  | Gemm of { m : Dim.t; k : Dim.t; n : Dim.t }
+      (** dense update: {m (m \times k) \cdot (k \times n)} *)
+  | Spmm of { k : Dim.t; weighted : bool }
+      (** aggregation: sparse {m (N \times N)} times dense {m (N \times k)} *)
+  | Dense_sparse_mm of { m : Dim.t }
+      (** dense {m (m \times N)} times sparse {m (N \times N)} *)
+  | Sddmm_rank1
+      (** {m \mathrm{diag}(d_L) \cdot A \cdot \mathrm{diag}(d_R)} fused over
+          stored entries — GCN's normalization precompute (Eq. 3) *)
+  | Diag_scale of { side : [ `Left | `Right ] }
+      (** diagonal times sparse (or sparse times diagonal) *)
+  | Row_broadcast of { k : Dim.t }  (** Eq. 1 over an {m N \times k} dense *)
+  | Col_broadcast of { k : Dim.t }
+  | Diag_combine  (** product of two diagonals *)
+  | Sparse_add of { diag : bool }
+      (** sparse-plus-sparse; [diag = true] when one side is diagonal
+          (GIN's {m (1{+}\epsilon) I + A} precompute) *)
+  | Dense_add of { m : Dim.t; k : Dim.t }
+  | Edge_score of { k : Dim.t }
+      (** GAT attention scores over stored edges from {m N \times k}
+          features *)
+  | Edge_softmax
+  | Dense_map of { kind : Matrix_ir.nonlinear; m : Dim.t; k : Dim.t }
+  | Degree of { binned : bool; power : degree_power }
+      (** normalization-vector computation; [binned = true] models
+          WiseGraph's atomic scatter-add binning (Sec. VI-C1), [false] the
+          cheap CSR row-pointer diff. [power] selects the normalization:
+          {m \tilde D^{-1/2}} (GCN) or {m \tilde D^{-1}} (mean
+          aggregation). *)
+
+and degree_power = Inv_sqrt | Inv
+
+val name : t -> string
+(** Stable short name, also the cost-model identity: two primitives with the
+    same [name] share a learned cost model. *)
+
+val is_sparse_primitive : t -> bool
+(** Whether the paper's taxonomy classifies it as a sparse primitive (at
+    least one sparse operand) — used by the Fig. 2 runtime breakdown. *)
+
+val symbolic_flops : Dim.scenario -> nnz_per_node:float -> t -> float
+(** FLOP estimate under a pruning scenario with a representative average
+    degree; drives the input-oblivious "larger matrices" dominance rule. *)
+
+val to_kernels : Dim.env -> t -> Granii_hw.Kernel_model.kernel list
+(** Concrete kernels executed by this primitive for the given runtime sizes
+    (most primitives map to one kernel; [Edge_score] maps to three). *)
+
+val instantiated_dims : Dim.env -> t -> float * float * float
+(** The [(m, k, n)]-style size triple fed to learned cost models (meaning is
+    per-kind, e.g. [(rows, nnz, k)] for sparse primitives). *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,120 @@
+type candidate = {
+  tree : Assoc_tree.t;
+  scenarios : Dim.scenario list;
+}
+
+type result = {
+  promoted : candidate list;
+  n_enumerated : int;
+  n_pruned : int;
+}
+
+let round_flops x =
+  (* Bucket sizes so float jitter cannot break multiset equality. *)
+  Float.round (x *. 1024.) /. 1024.
+
+let signature scenario ~nnz_per_node tree =
+  let sig_of prim =
+    (Primitive.name prim, round_flops (Primitive.symbolic_flops scenario ~nnz_per_node prim))
+  in
+  List.sort compare (List.map sig_of (Assoc_tree.primitives tree))
+
+(* [subset a b]: every element of [a] occurs in [b] (multiset semantics,
+   both sorted). *)
+let rec subset a b =
+  match (a, b) with
+  | [], _ -> true
+  | _, [] -> false
+  | xa :: resta, xb :: restb ->
+      let c = compare xa xb in
+      if c = 0 then subset resta restb
+      else if c > 0 then subset a restb
+      else false
+
+(* Same primitive-name multiset with sizes elementwise <= and at least one
+   strictly smaller. Both signatures sorted, so names pair up positionally
+   after grouping by name. *)
+let smaller_same_prims a b =
+  let names l = List.map fst l in
+  if names a <> names b then false
+  else begin
+    let group l =
+      let tbl = Hashtbl.create 8 in
+      List.iter
+        (fun (name, fl) ->
+          let cur = Option.value ~default:[] (Hashtbl.find_opt tbl name) in
+          Hashtbl.replace tbl name (fl :: cur))
+        l;
+      tbl
+    in
+    let ga = group a and gb = group b in
+    let all_le = ref true and any_lt = ref false in
+    Hashtbl.iter
+      (fun name fla ->
+        let flb = Option.value ~default:[] (Hashtbl.find_opt gb name) in
+        let fla = List.sort compare fla and flb = List.sort compare flb in
+        List.iter2
+          (fun x y ->
+            if x > y then all_le := false;
+            if x < y then any_lt := true)
+          fla flb)
+      ga;
+    !all_le && !any_lt
+  end
+
+(* [dominates a b]: candidate with signature [a] makes [b] unprofitable. The
+   [a_first] flag breaks ties between exact duplicates (keep the earlier). *)
+let dominates ~a_first a b =
+  if a = b then a_first
+  else if List.length a < List.length b && subset a b then true
+  else smaller_same_prims a b
+
+let survivors_of_signatures sigs =
+  let n = Array.length sigs in
+  Array.init n (fun i ->
+      let dominated = ref false in
+      for j = 0 to n - 1 do
+        if (not !dominated) && j <> i then
+          if dominates ~a_first:(j < i) sigs.(j) sigs.(i) then dominated := true
+      done;
+      not !dominated)
+
+let filter_nodes ?(nnz_per_node = 16.) nodes =
+  let arr = Array.of_list nodes in
+  let alive_anywhere =
+    List.map
+      (fun scenario ->
+        survivors_of_signatures
+          (Array.map
+             (fun node -> signature scenario ~nnz_per_node (Assoc_tree.of_root node))
+             arr))
+      Dim.all_scenarios
+  in
+  let keep = ref [] in
+  for i = Array.length arr - 1 downto 0 do
+    if List.exists (fun alive -> alive.(i)) alive_anywhere then
+      keep := arr.(i) :: !keep
+  done;
+  !keep
+
+let run ?(nnz_per_node = 16.) trees =
+  let arr = Array.of_list trees in
+  let n = Array.length arr in
+  let scenario_survivors scenario =
+    survivors_of_signatures (Array.map (fun t -> signature scenario ~nnz_per_node t) arr)
+  in
+  let per_scenario =
+    List.map (fun s -> (s, scenario_survivors s)) Dim.all_scenarios
+  in
+  let promoted = ref [] in
+  for i = n - 1 downto 0 do
+    let scenarios =
+      List.filter_map
+        (fun (s, alive) -> if alive.(i) then Some s else None)
+        per_scenario
+    in
+    if scenarios <> [] then promoted := { tree = arr.(i); scenarios } :: !promoted
+  done;
+  { promoted = !promoted;
+    n_enumerated = n;
+    n_pruned = n - List.length !promoted }

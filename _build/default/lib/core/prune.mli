@@ -1,0 +1,48 @@
+(** Input-oblivious candidate pruning (paper, Sec. IV-C "Pruning
+    Associations").
+
+    Two dominance rules are evaluated under each embedding-size scenario
+    ({m K_{in} \ge K_{out}} and {m K_{in} < K_{out}}), with no knowledge of
+    the input graph:
+
+    + a candidate whose primitive multiset is a {e proper sub-multiset} of
+      another's (at equal sizes) dominates it — this also collapses exact
+      duplicates;
+    + a candidate with the {e same} primitive multiset but smaller matrices
+      everywhere (and strictly smaller somewhere) dominates.
+
+    A candidate dominated under {e both} scenarios is pruned; survivors are
+    annotated with the scenario(s) in which they remain undominated, which
+    {!Codegen} later turns into embedding-size runtime conditions. *)
+
+type candidate = {
+  tree : Assoc_tree.t;
+  scenarios : Dim.scenario list;
+      (** non-empty: scenarios where this candidate may win *)
+}
+
+type result = {
+  promoted : candidate list;
+  n_enumerated : int;
+  n_pruned : int;
+}
+
+val run : ?nnz_per_node:float -> Assoc_tree.t list -> result
+(** Prunes a forest. [nnz_per_node] (default [16.]) is the representative
+    average degree used when sizing sparse primitives symbolically; the
+    dominance relations are insensitive to its exact value because both rules
+    compare like against like. The promoted list is never empty for a
+    non-empty input and preserves enumeration order. *)
+
+val signature : Dim.scenario -> nnz_per_node:float -> Assoc_tree.t ->
+  (string * float) list
+(** Sorted (primitive-name, symbolic-FLOPs) multiset of a tree under a
+    scenario — the object the dominance rules compare. Exposed for tests. *)
+
+val filter_nodes :
+  ?nnz_per_node:float -> Assoc_tree.node list -> Assoc_tree.node list
+(** The same both-scenario dominance filter applied to a list of alternative
+    sub-computations. Used by the enumerator to keep multiplicative
+    sub-problem explosions (long chains inside additions, as in TAGCN) in
+    check: a dominated sub-candidate can only yield dominated full
+    candidates. *)

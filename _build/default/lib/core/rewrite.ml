@@ -1,0 +1,207 @@
+open Matrix_ir
+
+let rec flatten expr =
+  match expr with
+  | Leaf _ -> expr
+  | Mult es -> (
+      let es = List.map flatten es in
+      let merged =
+        List.concat_map (function Mult inner -> inner | e -> [ e ]) es
+      in
+      match merged with [ single ] -> single | _ -> Mult merged)
+  | Add es -> (
+      let es = List.map flatten es in
+      let merged = List.concat_map (function Add inner -> inner | e -> [ e ]) es in
+      match merged with [ single ] -> single | _ -> Add merged)
+  | Row_broadcast (d, x) -> Row_broadcast (flatten d, flatten x)
+  | Col_broadcast (x, d) -> Col_broadcast (flatten x, flatten d)
+  | Nonlinear (k, e) -> Nonlinear (k, flatten e)
+  | Edge_score es -> Edge_score { es with mask = flatten es.mask; feats = flatten es.feats }
+
+let rec eliminate_broadcasts expr =
+  let expr =
+    match expr with
+    | Leaf _ -> expr
+    | Mult es -> Mult (List.map eliminate_broadcasts es)
+    | Add es -> Add (List.map eliminate_broadcasts es)
+    | Row_broadcast (d, x) -> Mult [ eliminate_broadcasts d; eliminate_broadcasts x ]
+    | Col_broadcast (x, d) -> Mult [ eliminate_broadcasts x; eliminate_broadcasts d ]
+    | Nonlinear (k, e) -> Nonlinear (k, eliminate_broadcasts e)
+    | Edge_score es ->
+        Edge_score
+          { es with
+            mask = eliminate_broadcasts es.mask;
+            feats = eliminate_broadcasts es.feats }
+  in
+  flatten expr
+
+(* All ways to rewrite [expr] by distributing exactly one Mult chain over
+   exactly one Add element inside it. *)
+let rec distribute_once expr =
+  match expr with
+  | Leaf _ -> []
+  | Mult es ->
+      let here =
+        List.concat
+          (List.mapi
+             (fun i e ->
+               match e with
+               | Add terms ->
+                   let before = List.filteri (fun j _ -> j < i) es in
+                   let after = List.filteri (fun j _ -> j > i) es in
+                   let term_chain t =
+                     match before @ (t :: after) with
+                     | [ single ] -> single
+                     | chain -> Mult chain
+                   in
+                   [ flatten (Add (List.map term_chain terms)) ]
+               | Leaf _ | Mult _ | Row_broadcast _ | Col_broadcast _
+               | Nonlinear _ | Edge_score _ ->
+                   [])
+             es)
+      in
+      let deeper =
+        List.concat
+          (List.mapi
+             (fun i e ->
+               List.map
+                 (fun e' ->
+                   flatten (Mult (List.mapi (fun j x -> if j = i then e' else x) es)))
+                 (distribute_once e))
+             es)
+      in
+      here @ deeper
+  | Add es ->
+      List.concat
+        (List.mapi
+           (fun i e ->
+             List.map
+               (fun e' ->
+                 flatten (Add (List.mapi (fun j x -> if j = i then e' else x) es)))
+               (distribute_once e))
+           es)
+  | Row_broadcast (d, x) ->
+      List.map (fun x' -> Row_broadcast (d, x')) (distribute_once x)
+  | Col_broadcast (x, d) ->
+      List.map (fun x' -> Col_broadcast (x', d)) (distribute_once x)
+  | Nonlinear (k, e) -> List.map (fun e' -> Nonlinear (k, e')) (distribute_once e)
+  | Edge_score es ->
+      List.map
+        (fun feats' -> Edge_score { es with feats = feats' })
+        (distribute_once es.feats)
+
+let as_chain = function Mult es -> es | e -> [ e ]
+
+let rec common_prefix_length a b =
+  match (a, b) with
+  | x :: resta, y :: restb when Matrix_ir.equal x y ->
+      1 + common_prefix_length resta restb
+  | _, _ -> 0
+
+(* Factor [k] elements off the given end of every term of an Add. *)
+let factor_add terms ~from_end k =
+  let chains = List.map as_chain terms in
+  let split chain =
+    let n = List.length chain in
+    if from_end then
+      (List.filteri (fun i _ -> i < n - k) chain, List.filteri (fun i _ -> i >= n - k) chain)
+    else (List.filteri (fun i _ -> i >= k) chain, List.filteri (fun i _ -> i < k) chain)
+  in
+  let parts = List.map split chains in
+  let remainder_of rest =
+    match rest with [] -> None | [ single ] -> Some single | chain -> Some (Mult chain)
+  in
+  let remainders = List.map (fun (rest, _) -> remainder_of rest) parts in
+  if List.exists Option.is_none remainders then None
+  else begin
+    let inner = Add (List.map Option.get remainders) in
+    let common = snd (List.hd parts) in
+    let result = if from_end then Mult (inner :: common) else Mult (common @ [ inner ]) in
+    Some (flatten result)
+  end
+
+let rec factor_once expr =
+  match expr with
+  | Leaf _ -> []
+  | Add terms when List.length terms >= 2 -> (
+      let chains = List.map as_chain terms in
+      let suffix_len =
+        List.fold_left
+          (fun acc chain ->
+            min acc (common_prefix_length (List.rev chain) (List.rev (List.hd chains))))
+          max_int (List.tl chains)
+      in
+      let prefix_len =
+        List.fold_left
+          (fun acc chain -> min acc (common_prefix_length chain (List.hd chains)))
+          max_int (List.tl chains)
+      in
+      let here =
+        List.concat
+          [ (if suffix_len >= 1 && suffix_len < max_int
+               && List.for_all (fun c -> List.length c > suffix_len) chains
+             then
+               match factor_add terms ~from_end:true suffix_len with
+               | Some e -> [ e ]
+               | None -> []
+             else []);
+            (if prefix_len >= 1 && prefix_len < max_int
+               && List.for_all (fun c -> List.length c > prefix_len) chains
+             then
+               match factor_add terms ~from_end:false prefix_len with
+               | Some e -> [ e ]
+               | None -> []
+             else []) ]
+      in
+      let deeper =
+        List.concat
+          (List.mapi
+             (fun i e ->
+               List.map
+                 (fun e' ->
+                   flatten (Add (List.mapi (fun j x -> if j = i then e' else x) terms)))
+                 (factor_once e))
+             terms)
+      in
+      here @ deeper)
+  | Add _ -> []
+  | Mult es ->
+      List.concat
+        (List.mapi
+           (fun i e ->
+             List.map
+               (fun e' ->
+                 flatten (Mult (List.mapi (fun j x -> if j = i then e' else x) es)))
+               (factor_once e))
+           es)
+  | Row_broadcast (d, x) -> List.map (fun x' -> Row_broadcast (d, x')) (factor_once x)
+  | Col_broadcast (x, d) -> List.map (fun x' -> Col_broadcast (x', d)) (factor_once x)
+  | Nonlinear (k, e) -> List.map (fun e' -> Nonlinear (k, e')) (factor_once e)
+  | Edge_score es ->
+      List.map (fun feats' -> Edge_score { es with feats = feats' }) (factor_once es.feats)
+
+let variants expr =
+  let seen = Hashtbl.create 16 in
+  let out = ref [] in
+  let add e =
+    let k = key e in
+    if not (Hashtbl.mem seen k) then begin
+      Hashtbl.add seen k ();
+      out := e :: !out;
+      true
+    end
+    else false
+  in
+  let rec close frontier =
+    match frontier with
+    | [] -> ()
+    | e :: rest ->
+        let next = List.filter add (distribute_once e @ factor_once e) in
+        close (rest @ next)
+  in
+  let base = flatten expr in
+  ignore (add base);
+  let no_bcast = eliminate_broadcasts base in
+  ignore (add no_bcast);
+  close [ base; no_bcast ];
+  List.rev !out

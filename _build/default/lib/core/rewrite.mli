@@ -1,0 +1,39 @@
+(** IR rewrite passes run before enumeration (paper, Sec. IV-B end).
+
+    Two rewrites widen the re-association space:
+
+    - {e broadcast elimination}: a row/column broadcast is a multiplication
+      by a diagonal matrix; representing it as one removes the broadcast
+      barrier and lets the diagonal re-associate freely (Fig. 6(c),
+      Appendix C);
+    - {e distribution}: a multiplication chain containing an addition can be
+      distributed over it (and vice versa, factored), exposing e.g. GIN's
+      choice between pre-adding {m (1{+}\epsilon) I + A} and aggregating the
+      two terms separately.
+
+    [variants] returns the original IR together with every rewritten form;
+    the enumerator unions the candidates of all variants. *)
+
+val flatten : Matrix_ir.expr -> Matrix_ir.expr
+(** Merges nested multiplication chains ([Mult] inside [Mult]) and nested
+    additions into single flat levels, and collapses singleton chains. *)
+
+val eliminate_broadcasts : Matrix_ir.expr -> Matrix_ir.expr
+(** Replaces every [Row_broadcast (d, x)] by [Mult [d; x]] and
+    [Col_broadcast (x, d)] by [Mult [x; d]], then {!flatten}s. *)
+
+val distribute_once : Matrix_ir.expr -> Matrix_ir.expr list
+(** All IRs obtained by distributing one multiplication chain over one of its
+    [Add] elements. *)
+
+val factor_once : Matrix_ir.expr -> Matrix_ir.expr list
+(** The inverse rewrite: for an [Add] whose terms all share a common chain
+    prefix or suffix, factor it out
+    ({m XS + YS \to (X + Y)S}). This is what exposes GIN's
+    {m (1{+}\epsilon)I + \tilde A} pre-add composition from the dynamically
+    written model. *)
+
+val variants : Matrix_ir.expr -> Matrix_ir.expr list
+(** The closure of the input under {!eliminate_broadcasts} and repeated
+    {!distribute_once}, deduplicated by {!Matrix_ir.key}; the original
+    (flattened) IR is always first. *)

@@ -1,0 +1,56 @@
+type choice = {
+  candidate : Codegen.ccand;
+  predicted_cost : float;
+  selection_time : float;
+  considered : int;
+  used_cost_models : bool;
+}
+
+let scenario_of ~k_in ~k_out = if k_in >= k_out then Dim.Shrinking else Dim.Growing
+
+let rank ~cost_model ~feats ~env ~iterations (compiled : Codegen.t) =
+  let scenario = scenario_of ~k_in:env.Dim.k_in ~k_out:env.Dim.k_out in
+  let cands = Codegen.for_scenario compiled scenario in
+  let scored =
+    List.map
+      (fun (c : Codegen.ccand) ->
+        (c, Cost_model.predict_plan cost_model feats ~env ~iterations c.Codegen.plan))
+      cands
+  in
+  List.sort (fun (_, a) (_, b) -> compare a b) scored
+
+let select ~cost_model ~feats ~env ~iterations compiled =
+  let result, selection_time =
+    Granii_hw.Timer.measure (fun () ->
+        let scenario = scenario_of ~k_in:env.Dim.k_in ~k_out:env.Dim.k_out in
+        match Codegen.for_scenario compiled scenario with
+        | [] ->
+            invalid_arg
+              (Printf.sprintf "Selector.select: no candidate for scenario in %s"
+                 compiled.Codegen.model_name)
+        | [ only ] ->
+            (* Fig. 7 fast path: the embedding-size guard already decides. *)
+            ( only,
+              Cost_model.predict_plan cost_model feats ~env ~iterations
+                only.Codegen.plan,
+              1,
+              false )
+        | several ->
+            let scored =
+              List.map
+                (fun (c : Codegen.ccand) ->
+                  ( c,
+                    Cost_model.predict_plan cost_model feats ~env ~iterations
+                      c.Codegen.plan ))
+                several
+            in
+            let best, best_cost =
+              List.fold_left
+                (fun ((_, bc) as best) ((_, c) as cand) ->
+                  if c < bc then cand else best)
+                (List.hd scored) (List.tl scored)
+            in
+            (best, best_cost, List.length several, true))
+  in
+  let candidate, predicted_cost, considered, used_cost_models = result in
+  { candidate; predicted_cost; selection_time; considered; used_cost_models }

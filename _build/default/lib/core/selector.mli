@@ -1,0 +1,30 @@
+(** The online stage: input-aware candidate selection (paper, Sec. IV-D/E).
+
+    Given the compiled dispatch structure, the runtime input (graph features
+    + embedding sizes) and the per-primitive cost models, picks the
+    minimum-predicted-cost candidate. Selection time is measured — it is the
+    second runtime overhead the paper reports. *)
+
+type choice = {
+  candidate : Codegen.ccand;
+  predicted_cost : float;
+      (** predicted total cost over the requested iterations *)
+  selection_time : float;  (** wall-clock seconds spent deciding *)
+  considered : int;        (** candidates inspected after the scenario guard *)
+  used_cost_models : bool; (** [false] on the embedding-size fast path *)
+}
+
+val scenario_of : k_in:int -> k_out:int -> Dim.scenario
+
+val select :
+  cost_model:Cost_model.t -> feats:Featurizer.t -> env:Dim.env ->
+  iterations:int -> Codegen.t -> choice
+(** Raises [Invalid_argument] if the compiled model has no candidate for the
+    input's scenario (cannot happen for {!Codegen.compile} output on a
+    non-empty pruning result). *)
+
+val rank :
+  cost_model:Cost_model.t -> feats:Featurizer.t -> env:Dim.env ->
+  iterations:int -> Codegen.t -> (Codegen.ccand * float) list
+(** All scenario-compatible candidates with predicted costs, cheapest first
+    (diagnostic view of the same decision). *)

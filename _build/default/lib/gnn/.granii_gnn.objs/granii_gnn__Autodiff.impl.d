@@ -1,0 +1,1 @@
+lib/gnn/autodiff.ml: Array Format Granii_core Granii_graph Granii_hw Granii_sparse Granii_tensor Hashtbl List

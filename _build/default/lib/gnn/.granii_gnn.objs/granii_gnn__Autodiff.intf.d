@@ -1,0 +1,1 @@
+lib/gnn/autodiff.mli: Granii_core Granii_graph Granii_hw Granii_tensor

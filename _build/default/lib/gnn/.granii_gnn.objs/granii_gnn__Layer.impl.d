@@ -1,0 +1,1 @@
+lib/gnn/layer.ml: Granii_core Granii_graph Granii_mp Granii_tensor List

@@ -1,0 +1,1 @@
+lib/gnn/loss.ml: Array Fun Granii_tensor

@@ -1,0 +1,1 @@
+lib/gnn/loss.mli: Granii_tensor

@@ -1,0 +1,1 @@
+lib/gnn/multi_head.ml: Granii_core Granii_graph Granii_tensor Layer List

@@ -1,0 +1,1 @@
+lib/gnn/multi_head.mli: Granii_core Granii_graph Granii_hw Granii_mp Granii_tensor Layer

@@ -1,0 +1,1 @@
+lib/gnn/optimizer.ml: Granii_tensor Hashtbl List

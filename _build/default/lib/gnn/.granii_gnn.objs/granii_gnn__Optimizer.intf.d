@@ -1,0 +1,1 @@
+lib/gnn/optimizer.mli: Autodiff Layer

@@ -1,0 +1,1 @@
+lib/gnn/stack.ml: Array Autodiff Granii_core Granii_graph Granii_mp Granii_tensor Layer List Loss Optimizer Printf String

@@ -1,0 +1,1 @@
+lib/gnn/stack.mli: Granii_core Granii_graph Granii_mp Granii_tensor Layer Optimizer

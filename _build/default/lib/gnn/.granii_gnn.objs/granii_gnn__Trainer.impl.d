@@ -1,0 +1,1 @@
+lib/gnn/trainer.ml: Array Autodiff Granii_core Granii_hw Granii_tensor Layer Loss Optimizer

@@ -1,0 +1,1 @@
+lib/gnn/trainer.mli: Granii_core Granii_graph Granii_hw Granii_tensor Layer Optimizer

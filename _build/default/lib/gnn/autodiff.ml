@@ -1,0 +1,250 @@
+module Dense = Granii_tensor.Dense
+module Vector = Granii_tensor.Vector
+module Csr = Granii_sparse.Csr
+module Spmm = Granii_sparse.Spmm
+module Sddmm = Granii_sparse.Sddmm
+module Core = Granii_core
+module Ex = Core.Executor
+module P = Core.Primitive
+module K = Granii_hw.Kernel_model
+
+type grads = (string * Dense.t) list
+
+let err fmt = Format.kasprintf (fun s -> raise (Ex.Execution_error s)) fmt
+
+let dense = function Ex.Vdense d -> d | _ -> err "autodiff: expected dense value"
+let sparse = function Ex.Vsparse s -> s | _ -> err "autodiff: expected sparse value"
+let diag = function Ex.Vdiag d -> d | _ -> err "autodiff: expected diagonal value"
+
+(* Gradient accumulator keyed by plan source. Dense grads for dense values,
+   same-structure CSR grads for sparse values. *)
+module Acc = struct
+  type t = (Core.Plan.source, Ex.value) Hashtbl.t
+
+  let create () : t = Hashtbl.create 16
+
+  let add (t : t) src g =
+    match (Hashtbl.find_opt t src, g) with
+    | None, _ -> Hashtbl.replace t src g
+    | Some (Ex.Vdense old), Ex.Vdense g -> Hashtbl.replace t src (Ex.Vdense (Dense.add old g))
+    | Some (Ex.Vsparse old), Ex.Vsparse g ->
+        let sum =
+          Array.init (Csr.nnz old) (fun p -> Csr.value old p +. Csr.value g p)
+        in
+        Hashtbl.replace t src (Ex.Vsparse (Csr.with_values old sum))
+    | Some _, _ -> err "autodiff: gradient kind mismatch"
+
+  let find (t : t) src = Hashtbl.find_opt t src
+end
+
+(* Sparse row/column sums of a weighted CSR, as vectors. *)
+let sparse_row_sums s = Granii_sparse.Sparse_ops.row_sums s
+
+let sparse_col_sums (s : Csr.t) =
+  let acc = Vector.zeros s.Csr.n_cols in
+  Csr.iter (fun _ j v -> acc.(j) <- acc.(j) +. v) s;
+  acc
+
+(* VJP of the row-wise softmax over stored values:
+   ds = alpha .* (g - rowsum(alpha .* g)). *)
+let edge_softmax_vjp (alpha : Csr.t) (g : Csr.t) =
+  let out = Array.make (Csr.nnz alpha) 0. in
+  for i = 0 to alpha.Csr.n_rows - 1 do
+    let lo = alpha.Csr.row_ptr.(i) and hi = alpha.Csr.row_ptr.(i + 1) - 1 in
+    let dot = ref 0. in
+    for p = lo to hi do
+      dot := !dot +. (Csr.value alpha p *. Csr.value g p)
+    done;
+    for p = lo to hi do
+      out.(p) <- Csr.value alpha p *. (Csr.value g p -. !dot)
+    done
+  done;
+  Csr.with_values alpha out
+
+let outer_product (col : Vector.t) (row : Dense.t) =
+  (* col is n, row is k x 1; result n x k = col . row^T *)
+  let k, _ = Dense.dims row in
+  Dense.init (Array.length col) k (fun i j -> col.(i) *. Dense.get row j 0)
+
+let matvec_t (m : Dense.t) (v : Vector.t) =
+  (* m^T . v as a (k x 1) dense *)
+  let n, k = Dense.dims m in
+  Dense.init k 1 (fun j _ ->
+      let acc = ref 0. in
+      for i = 0 to n - 1 do
+        acc := !acc +. (Dense.get m i j *. v.(i))
+      done;
+      !acc)
+
+let backward ~(plan : Core.Plan.t) ~graph ~bindings ~(forward : Ex.report) ~seed =
+  ignore graph;
+  let value_of = function
+    | Core.Plan.Computed i -> (
+        match List.assoc_opt i forward.Ex.intermediates with
+        | Some v -> v
+        | None -> err "autodiff: missing forward value for step t%d" i)
+    | Core.Plan.Input "__graph__" -> err "autodiff: graph token has no value"
+    | Core.Plan.Input name -> (
+        match List.assoc_opt name bindings with
+        | Some v -> v
+        | None -> err "autodiff: unbound input %s" name)
+  in
+  let phase_of_step =
+    let tbl = Hashtbl.create 16 in
+    List.iter (fun (s : Core.Plan.step) -> Hashtbl.replace tbl s.Core.Plan.idx s.Core.Plan.phase) plan.Core.Plan.steps;
+    fun i -> Hashtbl.find_opt tbl i
+  in
+  (* A source needs a gradient if it is a per-iteration computed step (its
+     producer will consume it) or a bound dense input. *)
+  let wants_grad = function
+    | Core.Plan.Computed i -> phase_of_step i = Some Core.Plan.Per_iteration
+    | Core.Plan.Input "__graph__" -> false
+    | Core.Plan.Input _ -> true
+  in
+  let acc = Acc.create () in
+  Acc.add acc plan.Core.Plan.output (Ex.Vdense seed);
+  let steps_rev = List.rev plan.Core.Plan.steps in
+  List.iter
+    (fun (s : Core.Plan.step) ->
+      if s.Core.Plan.phase = Core.Plan.Per_iteration then
+        match Acc.find acc (Core.Plan.Computed s.Core.Plan.idx) with
+        | None -> ()
+        | Some g -> (
+            let args = s.Core.Plan.args in
+            let push src v = if wants_grad src then Acc.add acc src v in
+            match (s.Core.Plan.prim, args) with
+            | P.Gemm _, [ sa; sb ] ->
+                let a = dense (value_of sa) and b = dense (value_of sb) in
+                let gd = dense g in
+                push sa (Ex.Vdense (Dense.matmul gd (Dense.transpose b)));
+                push sb (Ex.Vdense (Dense.matmul (Dense.transpose a) gd))
+            | P.Spmm _, [ ss; sb ] ->
+                let sp = sparse (value_of ss) in
+                let gd = dense g in
+                push sb (Ex.Vdense (Spmm.run (Csr.transpose sp) gd));
+                if wants_grad ss then
+                  (* dS_ij = <dC_i, B_j>: an SDDMM over S's structure. *)
+                  push ss (Ex.Vsparse (Sddmm.dot_rows (Csr.drop_values sp) gd (dense (value_of sb))))
+            | P.Dense_sparse_mm _, [ sb; ss ] ->
+                let sp = sparse (value_of ss) in
+                push sb (Ex.Vdense (Spmm.run_transposed (dense g) (Csr.transpose sp)))
+            | P.Row_broadcast _, [ sd; sx ] ->
+                push sx (Ex.Vdense (Dense.row_broadcast (diag (value_of sd)) (dense g)))
+            | P.Col_broadcast _, [ sx; sd ] ->
+                push sx (Ex.Vdense (Dense.col_broadcast (dense g) (diag (value_of sd))))
+            | P.Dense_add _, parts -> List.iter (fun src -> push src g) parts
+            | P.Dense_map { kind; _ }, [ sx ] ->
+                let x = dense (value_of sx) and gd = dense g in
+                let gx =
+                  match kind with
+                  | Core.Matrix_ir.Relu ->
+                      Dense.map2 (fun xv gv -> if xv > 0. then gv else 0.) x gd
+                  | Core.Matrix_ir.Leaky_relu ->
+                      Dense.map2 (fun xv gv -> if xv > 0. then gv else 0.2 *. gv) x gd
+                  | Core.Matrix_ir.Sigmoid ->
+                      Dense.map2
+                        (fun xv gv ->
+                          let sg = 1. /. (1. +. exp (-.xv)) in
+                          gv *. sg *. (1. -. sg))
+                        x gd
+                  | Core.Matrix_ir.Log_softmax ->
+                      let sm = Dense.softmax_rows x in
+                      let rows, cols = Dense.dims x in
+                      Dense.init rows cols (fun i j ->
+                          let gsum = ref 0. in
+                          for c = 0 to cols - 1 do
+                            gsum := !gsum +. Dense.get gd i c
+                          done;
+                          Dense.get gd i j -. (Dense.get sm i j *. !gsum))
+                  | Core.Matrix_ir.Edge_softmax -> err "autodiff: edge_softmax on dense"
+                in
+                push sx (Ex.Vdense gx)
+            | P.Edge_softmax, [ ssc ] ->
+                let alpha = sparse (value_of (Core.Plan.Computed s.Core.Plan.idx)) in
+                push ssc (Ex.Vsparse (edge_softmax_vjp alpha (sparse g)))
+            | P.Edge_score _, [ _mask; sfeats; sasrc; sadst ] ->
+                let theta = dense (value_of sfeats) in
+                let a_src = dense (value_of sasrc) and a_dst = dense (value_of sadst) in
+                let scores = sparse (value_of (Core.Plan.Computed s.Core.Plan.idx)) in
+                let gsc = sparse g in
+                (* chain through leaky_relu: sign of output = sign of input *)
+                let dscore =
+                  Csr.with_values scores
+                    (Array.init (Csr.nnz scores) (fun p ->
+                         let slope = if Csr.value scores p >= 0. then 1. else 0.2 in
+                         slope *. Csr.value gsc p))
+                in
+                let ds = sparse_row_sums dscore and dt = sparse_col_sums dscore in
+                push sfeats
+                  (Ex.Vdense (Dense.add (outer_product ds a_src) (outer_product dt a_dst)));
+                push sasrc (Ex.Vdense (matvec_t theta ds));
+                push sadst (Ex.Vdense (matvec_t theta dt))
+            | (P.Sddmm_rank1 | P.Diag_scale _ | P.Diag_combine | P.Sparse_add _
+              | P.Degree _), _ ->
+                (* Graph-derived computations carry no data gradient. *)
+                ()
+            | prim, args ->
+                err "autodiff: no VJP for %a/%d" P.pp prim (List.length args)))
+    steps_rev;
+  List.filter_map
+    (fun (name, v) ->
+      match (v, Acc.find acc (Core.Plan.Input name)) with
+      | Ex.Vdense _, Some (Ex.Vdense g) -> Some (name, g)
+      | _, _ -> None)
+    bindings
+
+let backward_kernels ~graph ~env (plan : Core.Plan.t) =
+  let n = Granii_graph.Graph.n_nodes graph in
+  let nnz = Granii_graph.Graph.n_edges graph + n in
+  let i = Core.Dim.instantiate env in
+  (* Whether a source carries a data gradient: only outputs of per-iteration
+     steps do — setup-phase intermediates (precomputed normalized adjacency,
+     degree vectors) are graph-derived constants. *)
+  let phase_of =
+    let tbl = Hashtbl.create 16 in
+    List.iter
+      (fun (s : Core.Plan.step) -> Hashtbl.replace tbl s.Core.Plan.idx s.Core.Plan.phase)
+      plan.Core.Plan.steps;
+    fun idx -> Hashtbl.find_opt tbl idx
+  in
+  List.concat_map
+    (fun (s : Core.Plan.step) ->
+      if s.Core.Plan.phase = Core.Plan.Setup then []
+      else
+        match s.Core.Plan.prim with
+        | P.Gemm { m; k; n = cols } ->
+            [ K.Gemm { m = i m; k = i cols; n = i k }; K.Gemm { m = i k; k = i m; n = i cols } ]
+        | P.Spmm { k; weighted } ->
+            let base = [ K.Spmm { rows = n; nnz; k = i k; weighted } ] in
+            (* an attention-valued sparse operand also needs dS = SDDMM;
+               sparse operands precomputed at setup do not *)
+            let needs_sparse_grad =
+              match s.Core.Plan.args with
+              | Core.Plan.Computed idx :: _ when weighted ->
+                  phase_of idx = Some Core.Plan.Per_iteration
+              | _ -> false
+            in
+            if needs_sparse_grad then K.Sddmm { nnz; k = i k } :: base else base
+        | P.Dense_sparse_mm { m } ->
+            [ K.Dense_sparse_mm { rows = i m; nnz; cols = n; k = n } ]
+        | P.Row_broadcast { k } -> [ K.Row_broadcast { n; k = i k } ]
+        | P.Col_broadcast { k } -> [ K.Col_broadcast { n; k = i k } ]
+        | P.Dense_add { m; k } -> [ K.Elementwise { n = i m; k = i k; flops_per_elt = 1. } ]
+        | P.Dense_map { m; k; _ } ->
+            [ K.Elementwise { n = i m; k = i k; flops_per_elt = 2. } ]
+        | P.Edge_score { k } ->
+            [ K.Gemm { m = n; k = i k; n = 1 };
+              K.Gemm { m = n; k = i k; n = 1 };
+              K.Sddmm { nnz; k = 1 };
+              K.Edge_softmax { nnz } ]
+        | P.Edge_softmax -> [ K.Edge_softmax { nnz }; K.Edge_softmax { nnz } ]
+        | P.Sddmm_rank1 | P.Diag_scale _ | P.Diag_combine | P.Sparse_add _
+        | P.Degree _ ->
+            [])
+    plan.Core.Plan.steps
+
+let backward_time ~profile ~graph ~env ?(seed = 0) plan =
+  List.fold_left
+    (fun acc k -> acc +. K.time_noisy profile ~seed k)
+    0.
+    (backward_kernels ~graph ~env plan)

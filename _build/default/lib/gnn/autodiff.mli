@@ -1,0 +1,37 @@
+(** Reverse-mode differentiation of executable plans.
+
+    GRANII optimizes only the forward pass; training still needs gradients,
+    which the frameworks' autograd produces from the {e default}
+    composition (paper, Sec. VI-C). This module provides both halves of
+    that story:
+
+    - {!backward}: a real vector-Jacobian reverse pass over any plan
+      (including GAT's attention), yielding gradients for the dense
+      parameter leaves — used by {!Trainer} and the training examples;
+    - {!backward_kernels}: the kernel workload of that reverse pass, used to
+      {e charge} backward time on simulated hardware without running it in
+      the sweeps. *)
+
+type grads = (string * Granii_tensor.Dense.t) list
+(** Gradient per dense input leaf (parameters and features). *)
+
+val backward :
+  plan:Granii_core.Plan.t -> graph:Granii_graph.Graph.t ->
+  bindings:(string * Granii_core.Executor.value) list ->
+  forward:Granii_core.Executor.report -> seed:Granii_tensor.Dense.t -> grads
+(** [backward ~plan ~forward ~seed] pulls the output cotangent [seed] back
+    through the recorded forward execution. Gradients through the graph
+    structure (adjacency, normalization diagonals) are not materialized.
+    Raises [Granii_core.Executor.Execution_error] on malformed plans. *)
+
+val backward_kernels :
+  graph:Granii_graph.Graph.t -> env:Granii_core.Dim.env ->
+  Granii_core.Plan.t -> Granii_hw.Kernel_model.kernel list
+(** The kernels a framework's autograd would launch for the plan's
+    per-iteration steps (setup steps are loop-invariant and carry no
+    gradient). *)
+
+val backward_time :
+  profile:Granii_hw.Hw_profile.t -> graph:Granii_graph.Graph.t ->
+  env:Granii_core.Dim.env -> ?seed:int -> Granii_core.Plan.t -> float
+(** Simulated time of {!backward_kernels} on the profile. *)

@@ -1,0 +1,21 @@
+module Dense = Granii_tensor.Dense
+module Dim = Granii_core.Dim
+
+type params = (string * Dense.t) list
+
+let init_params ?(seed = 0) ~env (low : Granii_mp.Lower.lowered) =
+  List.mapi
+    (fun i (leaf : Granii_core.Matrix_ir.leaf) ->
+      let rows = Dim.instantiate env leaf.Granii_core.Matrix_ir.rows in
+      let cols = Dim.instantiate env leaf.Granii_core.Matrix_ir.cols in
+      (leaf.Granii_core.Matrix_ir.name, Dense.glorot ~seed:(seed + i) rows cols))
+    low.Granii_mp.Lower.param_leaves
+
+let bindings ?(epsilon = 0.1) ~graph ~h params =
+  let n = Granii_graph.Graph.n_nodes graph in
+  let a_tilde = Granii_graph.Graph.with_self_loops graph in
+  [ ("H", Granii_core.Executor.Vdense h);
+    ("A", Granii_core.Executor.Vsparse a_tilde);
+    ("EpsI", Granii_core.Executor.Vdiag (Granii_tensor.Vector.create n (1. +. epsilon)))
+  ]
+  @ List.map (fun (name, w) -> (name, Granii_core.Executor.Vdense w)) params

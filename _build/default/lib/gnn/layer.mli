@@ -1,0 +1,18 @@
+(** GNN layer state: parameter initialization and input binding. *)
+
+type params = (string * Granii_tensor.Dense.t) list
+(** Learnable parameters by leaf name. *)
+
+val init_params :
+  ?seed:int -> env:Granii_core.Dim.env -> Granii_mp.Lower.lowered -> params
+(** Glorot-initialized weights for every parameter leaf of the lowered
+    model, shaped by the runtime sizes. *)
+
+val bindings :
+  ?epsilon:float -> graph:Granii_graph.Graph.t -> h:Granii_tensor.Dense.t ->
+  params -> (string * Granii_core.Executor.value) list
+(** The executor binding environment: ["H"], ["A"] ({m \tilde A} with
+    self-loops), GIN's ["EpsI"] constant diagonal (value {m 1 + \epsilon},
+    default [epsilon = 0.1]), and every parameter. Normalization leaves
+    (["D"], ["Dinv"]) are NOT bound — plans compute them with [Degree]
+    steps. *)

@@ -1,0 +1,15 @@
+(** Node-classification loss: softmax cross-entropy with an optional
+    training mask. *)
+
+val softmax_cross_entropy :
+  ?mask:bool array -> logits:Granii_tensor.Dense.t -> labels:int array ->
+  unit -> float * Granii_tensor.Dense.t
+(** [(loss, dlogits)]: mean cross-entropy over the masked nodes and its
+    gradient w.r.t. the logits (zero rows for unmasked nodes). Raises
+    [Invalid_argument] on length mismatches, out-of-range labels, or an
+    all-false mask. *)
+
+val accuracy :
+  ?mask:bool array -> logits:Granii_tensor.Dense.t -> labels:int array ->
+  unit -> float
+(** Fraction of masked nodes whose argmax prediction matches the label. *)

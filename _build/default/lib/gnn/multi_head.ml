@@ -1,0 +1,52 @@
+module Dense = Granii_tensor.Dense
+module Core = Granii_core
+
+type t = {
+  heads : Layer.params list;
+  plan : Core.Plan.t;
+  k_out_per_head : int;
+}
+
+let create ?(seed = 0) ~cost_model ~graph ~compiled ~lowered ~heads ~k_in
+    ~k_out_per_head ?(iterations = 100) () =
+  if heads <= 0 then invalid_arg "Multi_head.create: heads must be positive";
+  let n = Granii_graph.Graph.n_nodes graph in
+  let env =
+    { Core.Dim.n;
+      nnz = Granii_graph.Graph.n_edges graph + n;
+      k_in;
+      k_out = k_out_per_head }
+  in
+  let choice =
+    Core.Selector.select ~cost_model
+      ~feats:(Core.Featurizer.extract graph)
+      ~env ~iterations compiled
+  in
+  { heads =
+      List.init heads (fun h -> Layer.init_params ~seed:(seed + (101 * h)) ~env lowered);
+    plan = choice.Core.Selector.candidate.Core.Codegen.plan;
+    k_out_per_head }
+
+let forward ~graph ~features t =
+  let outputs =
+    List.map
+      (fun params ->
+        let bindings = Layer.bindings ~graph ~h:features params in
+        match
+          (Core.Executor.run ~timing:Core.Executor.Measure ~graph ~bindings t.plan)
+            .Core.Executor.output
+        with
+        | Core.Executor.Vdense d -> d
+        | Core.Executor.Vsparse _ | Core.Executor.Vdiag _ ->
+            invalid_arg "Multi_head.forward: head output is not dense")
+      t.heads
+  in
+  Dense.concat_cols outputs
+
+let inference_time ~profile ~graph ~env ?(iterations = 100) t =
+  ignore graph;
+  let setup, iter = Core.Executor.estimate ~profile ~env t.plan in
+  float_of_int (List.length t.heads)
+  *. Core.Executor.total_time ~setup ~iteration:iter ~iterations
+
+let n_heads t = List.length t.heads

@@ -1,0 +1,35 @@
+(** Multi-head attention (the standard GAT extension; paper evaluates a
+    single head, this is the "extension feature" of DESIGN.md §5).
+
+    Heads are independent GAT instances whose outputs are concatenated
+    along the feature dimension — exactly how non-fused frameworks execute
+    them, so GRANII's per-head decision and timing multiply by the head
+    count. All heads share the compiled dispatch; each gets its own
+    parameters. *)
+
+type t = private {
+  heads : Layer.params list;
+  plan : Granii_core.Plan.t;  (** the composition every head executes *)
+  k_out_per_head : int;
+}
+
+val create :
+  ?seed:int -> cost_model:Granii_core.Cost_model.t ->
+  graph:Granii_graph.Graph.t -> compiled:Granii_core.Codegen.t ->
+  lowered:Granii_mp.Lower.lowered -> heads:int -> k_in:int ->
+  k_out_per_head:int -> ?iterations:int -> unit -> t
+(** Selects the composition once (the decision is shared by all heads, which
+    see identical shapes) and initializes [heads] parameter sets. Raises
+    [Invalid_argument] if [heads <= 0]. *)
+
+val forward :
+  graph:Granii_graph.Graph.t -> features:Granii_tensor.Dense.t -> t ->
+  Granii_tensor.Dense.t
+(** [N]x[heads * k_out_per_head] concatenated head outputs. *)
+
+val inference_time :
+  profile:Granii_hw.Hw_profile.t -> graph:Granii_graph.Graph.t ->
+  env:Granii_core.Dim.env -> ?iterations:int -> t -> float
+(** Simulated time: head count times the per-head plan time. *)
+
+val n_heads : t -> int

@@ -1,0 +1,64 @@
+module Dense = Granii_tensor.Dense
+
+type state = (string, Dense.t * Dense.t) Hashtbl.t
+(* (first moment / velocity, second moment) per parameter *)
+
+type kind =
+  | Sgd of { lr : float; momentum : float }
+  | Adam of { lr : float; beta1 : float; beta2 : float; eps : float }
+
+type t = { kind : kind; state : state; mutable step_count : int }
+
+let sgd ?(momentum = 0.) ~lr () =
+  { kind = Sgd { lr; momentum }; state = Hashtbl.create 8; step_count = 0 }
+
+let adam ?(beta1 = 0.9) ?(beta2 = 0.999) ?(eps = 1e-8) ~lr () =
+  { kind = Adam { lr; beta1; beta2; eps }; state = Hashtbl.create 8; step_count = 0 }
+
+let zeros_like w =
+  let r, c = Dense.dims w in
+  Dense.zeros r c
+
+let step t params grads =
+  t.step_count <- t.step_count + 1;
+  List.map
+    (fun (pname, w) ->
+      match List.assoc_opt pname grads with
+      | None -> (pname, w)
+      | Some g -> (
+          match t.kind with
+          | Sgd { lr; momentum } ->
+              if momentum = 0. then (pname, Dense.sub w (Dense.scale lr g))
+              else begin
+                let v, aux =
+                  match Hashtbl.find_opt t.state pname with
+                  | Some s -> s
+                  | None -> (zeros_like w, zeros_like w)
+                in
+                let v' = Dense.add (Dense.scale momentum v) g in
+                Hashtbl.replace t.state pname (v', aux);
+                (pname, Dense.sub w (Dense.scale lr v'))
+              end
+          | Adam { lr; beta1; beta2; eps } ->
+              let m, v =
+                match Hashtbl.find_opt t.state pname with
+                | Some s -> s
+                | None -> (zeros_like w, zeros_like w)
+              in
+              let m' = Dense.add (Dense.scale beta1 m) (Dense.scale (1. -. beta1) g) in
+              let v' =
+                Dense.add (Dense.scale beta2 v)
+                  (Dense.scale (1. -. beta2) (Dense.mul_elementwise g g))
+              in
+              Hashtbl.replace t.state pname (m', v');
+              let tc = float_of_int t.step_count in
+              let m_hat = Dense.scale (1. /. (1. -. (beta1 ** tc))) m' in
+              let v_hat = Dense.scale (1. /. (1. -. (beta2 ** tc))) v' in
+              let update =
+                Dense.map2 (fun mh vh -> lr *. mh /. (sqrt vh +. eps)) m_hat v_hat
+              in
+              (pname, Dense.sub w update)))
+    params
+
+let name t =
+  match t.kind with Sgd _ -> "sgd" | Adam _ -> "adam"

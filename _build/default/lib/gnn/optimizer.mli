@@ -1,0 +1,15 @@
+(** First-order optimizers over named parameter sets. *)
+
+type t
+
+val sgd : ?momentum:float -> lr:float -> unit -> t
+(** Stochastic gradient descent with optional classical momentum. *)
+
+val adam : ?beta1:float -> ?beta2:float -> ?eps:float -> lr:float -> unit -> t
+(** Adam with bias correction (defaults 0.9 / 0.999 / 1e-8). *)
+
+val step : t -> Layer.params -> Autodiff.grads -> Layer.params
+(** One update. Parameters without a gradient pass through unchanged;
+    optimizer state is keyed by parameter name and kept inside [t]. *)
+
+val name : t -> string

@@ -1,0 +1,49 @@
+module Dense = Granii_tensor.Dense
+module Core = Granii_core
+
+type history = {
+  losses : float array;
+  train_accuracy : float;
+  final_params : Layer.params;
+}
+
+let train ?(seed = 0) ?mask ~epochs ~optimizer ~plan ~graph ~features ~labels ~params
+    () =
+  if epochs <= 0 then invalid_arg "Trainer.train: epochs must be positive";
+  let losses = Array.make epochs 0. in
+  let params = ref params in
+  let last_logits = ref None in
+  for epoch = 0 to epochs - 1 do
+    let bindings = Layer.bindings ~graph ~h:features !params in
+    let forward =
+      Core.Executor.run ~seed:(seed + epoch)
+        ~timing:(Core.Executor.Simulate Granii_hw.Hw_profile.cpu) ~graph ~bindings plan
+    in
+    let logits =
+      match forward.Core.Executor.output with
+      | Core.Executor.Vdense d -> d
+      | Core.Executor.Vsparse _ | Core.Executor.Vdiag _ ->
+          invalid_arg "Trainer.train: plan output is not dense logits"
+    in
+    last_logits := Some logits;
+    let loss, dlogits = Loss.softmax_cross_entropy ?mask ~logits ~labels () in
+    losses.(epoch) <- loss;
+    let grads = Autodiff.backward ~plan ~graph ~bindings ~forward ~seed:dlogits in
+    params := Optimizer.step optimizer !params grads
+  done;
+  let train_accuracy =
+    match !last_logits with
+    | Some logits -> Loss.accuracy ?mask ~logits ~labels ()
+    | None -> 0.
+  in
+  { losses; train_accuracy; final_params = !params }
+
+let inference_time ~profile ~graph ~env ?(iterations = 100) ?(seed = 0) plan =
+  ignore graph;
+  let setup, iter = Core.Executor.estimate ~seed ~profile ~env plan in
+  Core.Executor.total_time ~setup ~iteration:iter ~iterations
+
+let training_time ~profile ~graph ~env ?(iterations = 100) ?(seed = 0) plan =
+  let setup, iter = Core.Executor.estimate ~seed ~profile ~env plan in
+  let bwd = Autodiff.backward_time ~profile ~graph ~env ~seed plan in
+  Core.Executor.total_time ~setup ~iteration:(iter +. bwd) ~iterations

@@ -1,0 +1,35 @@
+(** End-to-end training: optimized forward pass + default backward pass.
+
+    Mirrors how GRANII improves training in the paper (Sec. VI-C): the
+    forward pass executes whichever plan the caller provides (GRANII's
+    selection or a baseline default), while gradients flow through the same
+    plan's reverse pass. *)
+
+type history = {
+  losses : float array;         (** per epoch *)
+  train_accuracy : float;       (** final, on the mask *)
+  final_params : Layer.params;
+}
+
+val train :
+  ?seed:int -> ?mask:bool array -> epochs:int -> optimizer:Optimizer.t ->
+  plan:Granii_core.Plan.t -> graph:Granii_graph.Graph.t ->
+  features:Granii_tensor.Dense.t -> labels:int array ->
+  params:Layer.params -> unit -> history
+(** Full-graph training for node classification. The plan's output must be
+    dense [N]x[classes] logits. Losses are recorded per epoch; training is
+    deterministic given [seed]. *)
+
+val inference_time :
+  profile:Granii_hw.Hw_profile.t -> graph:Granii_graph.Graph.t ->
+  env:Granii_core.Dim.env -> ?iterations:int -> ?seed:int ->
+  Granii_core.Plan.t -> float
+(** Simulated forward time over [iterations] (default 100): setup once plus
+    per-iteration work (paper's inference mode). *)
+
+val training_time :
+  profile:Granii_hw.Hw_profile.t -> graph:Granii_graph.Graph.t ->
+  env:Granii_core.Dim.env -> ?iterations:int -> ?seed:int ->
+  Granii_core.Plan.t -> float
+(** Simulated forward + backward time over [iterations] (paper's training
+    mode: only the forward half is affected by composition choice). *)

@@ -1,0 +1,1 @@
+lib/graph/datasets.ml: Generators Graph Lazy List String

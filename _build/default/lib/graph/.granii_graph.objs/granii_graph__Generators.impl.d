@@ -1,0 +1,1 @@
+lib/graph/generators.ml: Array Granii_tensor Graph Hashtbl List Printf

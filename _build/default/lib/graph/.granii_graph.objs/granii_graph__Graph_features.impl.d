@@ -1,0 +1,1 @@
+lib/graph/graph_features.ml: Array Format Granii_sparse Granii_tensor Graph

@@ -1,0 +1,1 @@
+lib/graph/graph_features.mli: Format Graph

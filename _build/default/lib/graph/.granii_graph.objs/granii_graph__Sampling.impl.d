@@ -1,0 +1,1 @@
+lib/graph/sampling.ml: Array Granii_sparse Granii_tensor Graph Hashtbl Printf

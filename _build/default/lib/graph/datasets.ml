@@ -1,0 +1,105 @@
+type t = {
+  key : string;
+  paper_name : string;
+  paper_nodes : int;
+  paper_edges : int;
+  family : string;
+  node_feat_dim : int;
+  n_classes : int;
+  graph : Graph.t Lazy.t;
+}
+
+let rename name g = Graph.make ~name g.Graph.adj
+
+let reddit =
+  { key = "RD";
+    paper_name = "Reddit";
+    paper_nodes = 232_965;
+    paper_edges = 114_615_892;
+    family = "dense power-law (RMAT)";
+    node_feat_dim = 602;
+    n_classes = 41;
+    graph =
+      lazy (rename "RD" (Generators.rmat ~seed:7 ~scale:12 ~edge_factor:96 ())) }
+
+let com_amazon =
+  { key = "CA";
+    paper_name = "com-Amazon";
+    paper_nodes = 334_863;
+    paper_edges = 2_186_607;
+    family = "sparse co-purchase (preferential attachment)";
+    node_feat_dim = 100;
+    n_classes = 47;
+    graph =
+      lazy (rename "CA" (Generators.barabasi_albert ~seed:11 ~n:8192 ~m:3 ())) }
+
+let mycielskian =
+  { key = "MC";
+    paper_name = "mycielskian17";
+    paper_nodes = 98_303;
+    paper_edges = 100_245_742;
+    family = "dense Mycielskian (exact construction)";
+    node_feat_dim = 100;
+    n_classes = 10;
+    graph = lazy (rename "MC" (Generators.mycielskian ~levels:12 ())) }
+
+let belgium_osm =
+  { key = "BL";
+    paper_name = "belgium_osm";
+    paper_nodes = 1_441_295;
+    paper_edges = 4_541_235;
+    family = "road network (lattice + shortcuts)";
+    node_feat_dim = 64;
+    n_classes = 8;
+    graph = lazy (rename "BL" (Generators.grid2d ~seed:13 ~rows:128 ~cols:96 ())) }
+
+let coauthors_citeseer =
+  { key = "AU";
+    paper_name = "coAuthorsCiteseer";
+    paper_nodes = 227_320;
+    paper_edges = 1_855_588;
+    family = "co-authorship (preferential attachment)";
+    node_feat_dim = 64;
+    n_classes = 6;
+    graph =
+      lazy (rename "AU" (Generators.barabasi_albert ~seed:17 ~n:4096 ~m:4 ())) }
+
+let ogbn_products =
+  { key = "OP";
+    paper_name = "ogbn-products";
+    paper_nodes = 2_449_029;
+    paper_edges = 126_167_053;
+    family = "large co-purchase power-law (RMAT)";
+    node_feat_dim = 100;
+    n_classes = 47;
+    graph =
+      lazy (rename "OP" (Generators.rmat ~seed:19 ~scale:13 ~edge_factor:32 ())) }
+
+let all =
+  [ reddit; com_amazon; mycielskian; belgium_osm; coauthors_citeseer; ogbn_products ]
+
+let find key =
+  let k = String.uppercase_ascii key in
+  List.find (fun d -> String.equal d.key k) all
+
+let load d = Lazy.force d.graph
+
+let training_pool ?(seed = 42) () =
+  (* Same families as the evaluation suite, different seeds/sizes — no graph
+     overlaps with the test set (paper, Sec. V). *)
+  let s k = seed + k in
+  [ Generators.erdos_renyi ~seed:(s 1) ~n:1024 ~avg_degree:8. ();
+    Generators.erdos_renyi ~seed:(s 2) ~n:2048 ~avg_degree:32. ();
+    Generators.erdos_renyi ~seed:(s 3) ~n:4096 ~avg_degree:4. ();
+    Generators.barabasi_albert ~seed:(s 4) ~n:2048 ~m:2 ();
+    Generators.barabasi_albert ~seed:(s 5) ~n:4096 ~m:8 ();
+    Generators.barabasi_albert ~seed:(s 6) ~n:1024 ~m:16 ();
+    Generators.rmat ~seed:(s 7) ~scale:10 ~edge_factor:16 ();
+    Generators.rmat ~seed:(s 8) ~scale:11 ~edge_factor:48 ();
+    Generators.rmat ~seed:(s 9) ~scale:12 ~edge_factor:8 ();
+    Generators.grid2d ~seed:(s 10) ~rows:64 ~cols:64 ();
+    Generators.grid2d ~seed:(s 11) ~rows:32 ~cols:128 ();
+    Generators.mycielskian ~levels:10 ();
+    Generators.mycielskian ~levels:11 ();
+    Generators.star ~n:2048;
+    Generators.ring ~n:4096 ]

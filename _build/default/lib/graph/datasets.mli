@@ -1,0 +1,52 @@
+(** The evaluation graph suite (paper, Table II) as synthetic stand-ins.
+
+    The paper's six graphs (1M–126M non-zeros) are not redistributable and
+    exceed pure-OCaml kernel throughput, so each is replaced by a generator
+    from the same structural family, scaled down ~30–300x while preserving
+    the property GRANII's decisions depend on: where the graph sits on the
+    density/degree-skew spectrum. Paper sizes are kept as metadata so
+    benches can report both. *)
+
+type t = {
+  key : string;           (** paper's two-letter code, e.g. ["RD"] *)
+  paper_name : string;    (** e.g. ["Reddit"] *)
+  paper_nodes : int;
+  paper_edges : int;
+  family : string;        (** structural family of the stand-in *)
+  node_feat_dim : int;    (** raw node-feature width for end-to-end runs *)
+  n_classes : int;        (** label count for end-to-end runs *)
+  graph : Graph.t Lazy.t; (** the stand-in, built on first use *)
+}
+
+val reddit : t
+(** [RD] — dense power-law social graph (RMAT). *)
+
+val com_amazon : t
+(** [CA] — sparse co-purchase network (preferential attachment). *)
+
+val mycielskian : t
+(** [MC] — very dense, regular Mycielskian graph (exact construction,
+    fewer levels). *)
+
+val belgium_osm : t
+(** [BL] — road network (2-D lattice with shortcuts). *)
+
+val coauthors_citeseer : t
+(** [AU] — co-authorship network (preferential attachment). *)
+
+val ogbn_products : t
+(** [OP] — large co-purchase power-law graph (RMAT). *)
+
+val all : t list
+(** The suite in the paper's table order: RD CA MC BL AU OP. *)
+
+val find : string -> t
+(** Lookup by [key] (case-insensitive). Raises [Not_found]. *)
+
+val load : t -> Graph.t
+(** Forces the generator (memoized). *)
+
+val training_pool : ?seed:int -> unit -> Graph.t list
+(** Disjoint-from-evaluation graphs used to profile primitives and train the
+    cost models (paper, Sec. V: SuiteSparse graphs varied by sampling — here,
+    the same generator families with different seeds and sizes). *)

@@ -1,0 +1,54 @@
+module Csr = Granii_sparse.Csr
+module Coo = Granii_sparse.Coo
+module Vector = Granii_tensor.Vector
+
+type t = { name : string; adj : Csr.t }
+
+let make ~name adj =
+  if adj.Csr.n_rows <> adj.Csr.n_cols then invalid_arg "Graph.make: adjacency must be square";
+  { name; adj = Csr.drop_values adj }
+
+let of_edges ~name ~n edges =
+  let directed =
+    List.concat_map
+      (fun (s, d) -> if s = d then [] else [ (s, d); (d, s) ])
+      edges
+  in
+  let coo = Coo.of_edges ~n directed in
+  make ~name (Csr.of_coo ~keep_values:false coo)
+
+let n_nodes g = g.adj.Csr.n_rows
+let n_edges g = Csr.nnz g.adj
+
+let density g =
+  let n = float_of_int (n_nodes g) in
+  if n = 0. then 0. else float_of_int (n_edges g) /. (n *. n)
+
+let avg_degree g =
+  let n = n_nodes g in
+  if n = 0 then 0. else float_of_int (n_edges g) /. float_of_int n
+
+let max_degree g = Array.fold_left max 0 (Csr.row_degrees g.adj)
+
+let with_self_loops g =
+  let n = n_nodes g in
+  let entries = ref [] in
+  Csr.iter (fun i j _ -> entries := (i, j, 1.) :: !entries) g.adj;
+  for i = 0 to n - 1 do
+    entries := (i, i, 1.) :: !entries
+  done;
+  Csr.of_coo ~keep_values:false (Coo.make ~n_rows:n ~n_cols:n (Array.of_list !entries))
+
+let degrees_tilde g =
+  let deg = Csr.row_degrees g.adj in
+  Vector.init (n_nodes g) (fun i -> float_of_int (deg.(i) + 1))
+
+let norm_inv_sqrt g = Vector.inv_sqrt (degrees_tilde g)
+
+let is_symmetric g =
+  let t = Csr.transpose g.adj in
+  Csr.equal_structure g.adj t
+
+let pp ppf g =
+  Format.fprintf ppf "%s: n=%d nnz=%d avg_deg=%.1f" g.name (n_nodes g) (n_edges g)
+    (avg_degree g)

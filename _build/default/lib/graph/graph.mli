@@ -1,0 +1,45 @@
+(** Graphs as (unweighted, square) CSR adjacency matrices.
+
+    Evaluation graphs in the paper are undirected and unweighted
+    (Sec. VI-B); the adjacency used by GNN models is {m \tilde A = A + I}
+    (self-loops added), and the GCN normalization vector is
+    {m \tilde D^{-1/2}}. *)
+
+type t = private {
+  name : string;
+  adj : Granii_sparse.Csr.t;  (** unweighted adjacency, no self-loops *)
+}
+
+val make : name:string -> Granii_sparse.Csr.t -> t
+(** Wraps an adjacency matrix. Raises [Invalid_argument] if it is not square.
+    Values, if any, are dropped — graphs here are structural. *)
+
+val of_edges : name:string -> n:int -> (int * int) list -> t
+(** Builds an undirected graph from an edge list (both directions stored,
+    duplicates and self-loops removed). *)
+
+val n_nodes : t -> int
+
+val n_edges : t -> int
+(** Number of {e stored directed} entries (an undirected edge counts twice),
+    matching how the paper's tables report "Edges"/non-zeros. *)
+
+val density : t -> float
+(** [n_edges / (n_nodes^2)]. *)
+
+val avg_degree : t -> float
+
+val max_degree : t -> int
+
+val with_self_loops : t -> Granii_sparse.Csr.t
+(** {m \tilde A = A + I}, unweighted. *)
+
+val degrees_tilde : t -> Granii_tensor.Vector.t
+(** Degrees of {m \tilde A} (each node's degree + 1) as floats. *)
+
+val norm_inv_sqrt : t -> Granii_tensor.Vector.t
+(** {m \tilde D^{-1/2}}: the GCN normalization vector. *)
+
+val is_symmetric : t -> bool
+
+val pp : Format.formatter -> t -> unit

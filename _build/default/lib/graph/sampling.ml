@@ -1,0 +1,52 @@
+module Csr = Granii_sparse.Csr
+module Coo = Granii_sparse.Coo
+module Prng = Granii_tensor.Prng
+
+let neighborhood ?(seed = 0) ~fanout (g : Graph.t) =
+  if fanout <= 0 then invalid_arg "Sampling.neighborhood: fanout must be positive";
+  let rng = Prng.create (seed + 909) in
+  let adj = g.Graph.adj in
+  let n = Graph.n_nodes g in
+  let entries = ref [] in
+  for i = 0 to n - 1 do
+    let lo = adj.Csr.row_ptr.(i) in
+    let deg = adj.Csr.row_ptr.(i + 1) - lo in
+    if deg <= fanout then
+      for p = lo to lo + deg - 1 do
+        entries := (i, adj.Csr.col_idx.(p), 1.) :: !entries
+      done
+    else begin
+      let picks = Prng.sample_without_replacement rng fanout deg in
+      Array.iter (fun off -> entries := (i, adj.Csr.col_idx.(lo + off), 1.) :: !entries) picks
+    end
+  done;
+  let coo = Coo.make ~n_rows:n ~n_cols:n (Array.of_list !entries) in
+  Graph.make
+    ~name:(Printf.sprintf "%s_fanout%d_seed%d" g.Graph.name fanout seed)
+    (Csr.of_coo ~keep_values:false coo)
+
+let induced_subgraph (g : Graph.t) nodes =
+  let k = Array.length nodes in
+  let index = Hashtbl.create k in
+  Array.iteri
+    (fun new_id old_id ->
+      if Hashtbl.mem index old_id then
+        invalid_arg "Sampling.induced_subgraph: duplicate node id";
+      Hashtbl.add index old_id new_id)
+    nodes;
+  let entries = ref [] in
+  Array.iteri
+    (fun new_src old_src ->
+      let adj = g.Graph.adj in
+      for p = adj.Csr.row_ptr.(old_src) to adj.Csr.row_ptr.(old_src + 1) - 1 do
+        match Hashtbl.find_opt index adj.Csr.col_idx.(p) with
+        | Some new_dst -> entries := (new_src, new_dst, 1.) :: !entries
+        | None -> ()
+      done)
+    nodes;
+  let coo = Coo.make ~n_rows:k ~n_cols:k (Array.of_list !entries) in
+  Graph.make ~name:(g.Graph.name ^ "_induced") (Csr.of_coo ~keep_values:false coo)
+
+let random_nodes ?(seed = 0) (g : Graph.t) k =
+  let rng = Prng.create (seed + 808) in
+  Prng.sample_without_replacement rng k (Graph.n_nodes g)

@@ -1,0 +1,19 @@
+(** Neighborhood sampling (paper, Sec. VI-E; GraphSAGE, Hamilton et al.).
+
+    Node-wise fanout sampling: every node keeps at most [fanout] of its
+    neighbors, chosen uniformly without replacement. The sampled graph keeps
+    the node set (so embedding matrices keep their shape) and is generally
+    {e directed} — the sampling decision is per destination node. *)
+
+val neighborhood : ?seed:int -> fanout:int -> Graph.t -> Graph.t
+(** [neighborhood ~fanout g] keeps at most [fanout] in-edges per node.
+    Deterministic in [seed] (default [0]). Raises [Invalid_argument] if
+    [fanout <= 0]. *)
+
+val induced_subgraph : Graph.t -> int array -> Graph.t
+(** [induced_subgraph g nodes] restricts [g] to the given node subset,
+    relabeling nodes to [0 .. Array.length nodes - 1]. Duplicate node ids are
+    rejected with [Invalid_argument]. *)
+
+val random_nodes : ?seed:int -> Graph.t -> int -> int array
+(** [random_nodes g k] draws [k] distinct node ids uniformly. *)

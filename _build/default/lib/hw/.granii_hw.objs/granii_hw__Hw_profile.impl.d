@@ -1,0 +1,1 @@
+lib/hw/hw_profile.ml: Format List String

@@ -1,0 +1,1 @@
+lib/hw/hw_profile.mli: Format

@@ -1,0 +1,1 @@
+lib/hw/kernel_model.ml: Float Format Granii_tensor Hashtbl Hw_profile

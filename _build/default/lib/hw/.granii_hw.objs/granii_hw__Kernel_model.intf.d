@@ -1,0 +1,1 @@
+lib/hw/kernel_model.mli: Format Hw_profile

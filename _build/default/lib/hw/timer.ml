@@ -1,0 +1,22 @@
+(* Sys.time measures CPU time which is what we want for single-threaded
+   kernel benchmarking (immune to scheduler noise); fall back semantics are
+   identical on all supported platforms. *)
+let now () = Sys.time ()
+
+let measure f =
+  let t0 = now () in
+  let x = f () in
+  let t1 = now () in
+  (x, t1 -. t0)
+
+let measure_n ?(warmup = 1) ~n f =
+  if n <= 0 then invalid_arg "Timer.measure_n: n must be positive";
+  for _ = 1 to warmup do
+    ignore (Sys.opaque_identity (f ()))
+  done;
+  let t0 = now () in
+  for _ = 1 to n do
+    ignore (Sys.opaque_identity (f ()))
+  done;
+  let t1 = now () in
+  (t1 -. t0) /. float_of_int n

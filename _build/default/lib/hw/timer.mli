@@ -1,0 +1,13 @@
+(** Wall-clock measurement helpers for real (host-CPU) execution. *)
+
+val now : unit -> float
+(** Monotonic-enough wall-clock seconds ([Unix]-free; uses
+    [Sys.time]-independent [Stdlib] clock via [Sys.opaque_identity]-safe
+    sampling). *)
+
+val measure : (unit -> 'a) -> 'a * float
+(** [measure f] runs [f] once and returns its result with elapsed seconds. *)
+
+val measure_n : ?warmup:int -> n:int -> (unit -> 'a) -> float
+(** [measure_n ~n f] runs [f] [warmup] times (default [1]) untimed, then [n]
+    times timed, returning the {e average} seconds per run. *)

@@ -1,0 +1,1 @@
+lib/ml/gbrt.ml: Array Granii_tensor List Ml_dataset Regression_tree Sexp_lite Stdlib

@@ -1,0 +1,1 @@
+lib/ml/gbrt.mli: Ml_dataset Regression_tree Sexp_lite

@@ -1,0 +1,1 @@
+lib/ml/ml_dataset.ml: Array Granii_tensor Stdlib

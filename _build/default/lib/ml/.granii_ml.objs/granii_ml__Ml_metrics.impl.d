@@ -1,0 +1,1 @@
+lib/ml/ml_metrics.ml: Array Float Granii_tensor

@@ -1,0 +1,1 @@
+lib/ml/ml_metrics.mli:

@@ -1,0 +1,1 @@
+lib/ml/regression_tree.ml: Array List Ml_dataset Sexp_lite Stdlib

@@ -1,0 +1,1 @@
+lib/ml/regression_tree.mli: Ml_dataset Sexp_lite

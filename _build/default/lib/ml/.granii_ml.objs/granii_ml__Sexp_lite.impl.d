@@ -1,0 +1,1 @@
+lib/ml/sexp_lite.ml: Buffer Format List Printf String

@@ -1,0 +1,1 @@
+lib/ml/sexp_lite.mli: Buffer

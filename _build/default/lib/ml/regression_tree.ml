@@ -1,0 +1,170 @@
+type t =
+  | Leaf of float
+  | Node of { feature : int; threshold : float; gain : float; left : t; right : t }
+
+type params = {
+  max_depth : int;
+  min_samples_leaf : int;
+  n_thresholds : int;
+  min_gain : float;
+}
+
+let default_params =
+  { max_depth = 4; min_samples_leaf = 3; n_thresholds = 16; min_gain = 1e-12 }
+
+type split = { s_feature : int; s_threshold : float; s_gain : float }
+
+(* Best split for one feature using sorted order + prefix sums: for a split
+   after position p, SSE reduction = W_l * mean_l^2 + W_r * mean_r^2
+   - W * mean^2 (constant term dropped since it is shared). *)
+let best_split_for_feature data weights labels idx feature params =
+  let n = Array.length idx in
+  let order = Array.copy idx in
+  Array.sort
+    (fun a b -> compare data.(a).(feature) data.(b).(feature))
+    order;
+  let prefix_w = Array.make (n + 1) 0. in
+  let prefix_wy = Array.make (n + 1) 0. in
+  for p = 0 to n - 1 do
+    let i = order.(p) in
+    prefix_w.(p + 1) <- prefix_w.(p) +. weights.(i);
+    prefix_wy.(p + 1) <- prefix_wy.(p) +. (weights.(i) *. labels.(i))
+  done;
+  let total_w = prefix_w.(n) and total_wy = prefix_wy.(n) in
+  if total_w <= 0. then None
+  else begin
+    let base = total_wy *. total_wy /. total_w in
+    let best = ref None in
+    let consider p =
+      (* split between positions p-1 and p *)
+      if p >= params.min_samples_leaf && n - p >= params.min_samples_leaf then begin
+        let vl = data.(order.(p - 1)).(feature)
+        and vr = data.(order.(p)).(feature) in
+        if vl < vr then begin
+          let wl = prefix_w.(p) and wyl = prefix_wy.(p) in
+          let wr = total_w -. wl and wyr = total_wy -. wyl in
+          if wl > 0. && wr > 0. then begin
+            let score = (wyl *. wyl /. wl) +. (wyr *. wyr /. wr) -. base in
+            match !best with
+            | Some b when b.s_gain >= score -> ()
+            | Some _ | None ->
+                best :=
+                  Some
+                    { s_feature = feature;
+                      s_threshold = 0.5 *. (vl +. vr);
+                      s_gain = score }
+          end
+        end
+      end
+    in
+    if n <= 2 * params.n_thresholds then
+      for p = 1 to n - 1 do
+        consider p
+      done
+    else
+      for q = 1 to params.n_thresholds do
+        consider (q * n / (params.n_thresholds + 1))
+      done;
+    !best
+  end
+
+let fit ?(params = default_params) ?sample_weight (ds : Ml_dataset.t) =
+  let n = Ml_dataset.n_samples ds in
+  let weights = match sample_weight with Some w -> w | None -> Array.make n 1. in
+  if Array.length weights <> n then
+    invalid_arg "Regression_tree.fit: sample_weight length mismatch";
+  let data = ds.Ml_dataset.features and labels = ds.Ml_dataset.labels in
+  let leaf_value idx =
+    let w = ref 0. and wy = ref 0. in
+    Array.iter
+      (fun i ->
+        w := !w +. weights.(i);
+        wy := !wy +. (weights.(i) *. labels.(i)))
+      idx;
+    if !w > 0. then !wy /. !w else 0.
+  in
+  let rec build idx depth =
+    if depth >= params.max_depth || Array.length idx < 2 * params.min_samples_leaf then
+      Leaf (leaf_value idx)
+    else begin
+      let best = ref None in
+      for feature = 0 to ds.Ml_dataset.n_features - 1 do
+        match best_split_for_feature data weights labels idx feature params with
+        | None -> ()
+        | Some s -> (
+            match !best with
+            | Some b when b.s_gain >= s.s_gain -> ()
+            | Some _ | None -> best := Some s)
+      done;
+      match !best with
+      | None -> Leaf (leaf_value idx)
+      | Some s when s.s_gain < params.min_gain -> Leaf (leaf_value idx)
+      | Some s ->
+          let goes_left i = data.(i).(s.s_feature) <= s.s_threshold in
+          let left_idx = Array.of_list (List.filter goes_left (Array.to_list idx)) in
+          let right_idx =
+            Array.of_list (List.filter (fun i -> not (goes_left i)) (Array.to_list idx))
+          in
+          if Array.length left_idx = 0 || Array.length right_idx = 0 then
+            Leaf (leaf_value idx)
+          else
+            Node
+              { feature = s.s_feature;
+                threshold = s.s_threshold;
+                gain = s.s_gain;
+                left = build left_idx (depth + 1);
+                right = build right_idx (depth + 1) }
+    end
+  in
+  build (Array.init n (fun i -> i)) 0
+
+let rec predict t x =
+  match t with
+  | Leaf v -> v
+  | Node { feature; threshold; left; right; _ } ->
+      if x.(feature) <= threshold then predict left x else predict right x
+
+let predict_many t xs = Array.map (predict t) xs
+
+let rec depth = function
+  | Leaf _ -> 0
+  | Node { left; right; _ } -> 1 + Stdlib.max (depth left) (depth right)
+
+let rec n_leaves = function
+  | Leaf _ -> 1
+  | Node { left; right; _ } -> n_leaves left + n_leaves right
+
+let feature_importance t n_features =
+  let acc = Array.make n_features 0. in
+  let rec walk = function
+    | Leaf _ -> ()
+    | Node { feature; gain; left; right; _ } ->
+        if feature < n_features then acc.(feature) <- acc.(feature) +. gain;
+        walk left;
+        walk right
+  in
+  walk t;
+  acc
+
+let rec to_sexp = function
+  | Leaf v -> Sexp_lite.List [ Sexp_lite.Atom "leaf"; Sexp_lite.of_float v ]
+  | Node { feature; threshold; gain; left; right } ->
+      Sexp_lite.List
+        [ Sexp_lite.Atom "node";
+          Sexp_lite.of_int feature;
+          Sexp_lite.of_float threshold;
+          Sexp_lite.of_float gain;
+          to_sexp left;
+          to_sexp right ]
+
+let rec of_sexp v =
+  match Sexp_lite.list v with
+  | [ Sexp_lite.Atom "leaf"; value ] -> Leaf (Sexp_lite.float_atom value)
+  | [ Sexp_lite.Atom "node"; feature; threshold; gain; left; right ] ->
+      Node
+        { feature = Sexp_lite.int_atom feature;
+          threshold = Sexp_lite.float_atom threshold;
+          gain = Sexp_lite.float_atom gain;
+          left = of_sexp left;
+          right = of_sexp right }
+  | _ -> raise (Sexp_lite.Parse_error "malformed regression-tree encoding")

@@ -1,0 +1,40 @@
+(** CART regression trees with quantile-candidate splits.
+
+    The weak learner inside {!Gbrt}. Splits minimize the sum of squared
+    errors; candidate thresholds are quantiles of the feature values reaching
+    the node (the histogram trick XGBoost uses), so fitting is
+    O(samples x features x candidates) per level. *)
+
+type t
+
+type params = {
+  max_depth : int;           (** depth 0 = a single leaf *)
+  min_samples_leaf : int;    (** splits creating smaller leaves are rejected *)
+  n_thresholds : int;        (** quantile candidates per feature *)
+  min_gain : float;          (** minimum SSE reduction to accept a split *)
+}
+
+val default_params : params
+(** [max_depth = 4], [min_samples_leaf = 3], [n_thresholds = 16],
+    [min_gain = 1e-12]. *)
+
+val fit :
+  ?params:params -> ?sample_weight:float array ->
+  Ml_dataset.t -> t
+(** Fits a tree to the dataset. [sample_weight] defaults to all-ones. *)
+
+val predict : t -> float array -> float
+
+val predict_many : t -> float array array -> float array
+
+val depth : t -> int
+
+val n_leaves : t -> int
+
+val feature_importance : t -> int -> float array
+(** [feature_importance t n_features] sums SSE gain per feature. *)
+
+val to_sexp : t -> Sexp_lite.t
+
+val of_sexp : Sexp_lite.t -> t
+(** Raises {!Sexp_lite.Parse_error} on a malformed encoding. *)

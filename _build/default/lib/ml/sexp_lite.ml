@@ -1,0 +1,118 @@
+type t = Atom of string | List of t list
+
+exception Parse_error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Parse_error s)) fmt
+
+let rec to_buffer buf = function
+  | Atom s -> Buffer.add_string buf s
+  | List items ->
+      Buffer.add_char buf '(';
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_char buf ' ';
+          to_buffer buf item)
+        items;
+      Buffer.add_char buf ')'
+
+let to_string v =
+  let buf = Buffer.create 256 in
+  to_buffer buf v;
+  Buffer.contents buf
+
+type token = Lparen | Rparen | Tok of string
+
+let tokenize s =
+  let n = String.length s in
+  let out = ref [] in
+  let i = ref 0 in
+  let flush start stop =
+    if stop > start then out := Tok (String.sub s start (stop - start)) :: !out
+  in
+  let word_start = ref (-1) in
+  let end_word () =
+    if !word_start >= 0 then begin
+      flush !word_start !i;
+      word_start := -1
+    end
+  in
+  while !i < n do
+    (match s.[!i] with
+    | '(' ->
+        end_word ();
+        out := Lparen :: !out
+    | ')' ->
+        end_word ();
+        out := Rparen :: !out
+    | ' ' | '\t' | '\n' | '\r' -> end_word ()
+    | ';' ->
+        end_word ();
+        while !i < n && s.[!i] <> '\n' do
+          incr i
+        done
+    | _ -> if !word_start < 0 then word_start := !i);
+    incr i
+  done;
+  end_word ();
+  List.rev !out
+
+let of_string s =
+  let tokens = ref (tokenize s) in
+  let peek () = match !tokens with [] -> None | t :: _ -> Some t in
+  let advance () = match !tokens with [] -> () | _ :: rest -> tokens := rest in
+  let rec parse_one () =
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some (Tok a) ->
+        advance ();
+        Atom a
+    | Some Lparen ->
+        advance ();
+        let items = ref [] in
+        let rec loop () =
+          match peek () with
+          | None -> fail "unclosed parenthesis"
+          | Some Rparen -> advance ()
+          | Some (Lparen | Tok _) ->
+              items := parse_one () :: !items;
+              loop ()
+        in
+        loop ();
+        List (List.rev !items)
+    | Some Rparen -> fail "unexpected ')'"
+  in
+  let v = parse_one () in
+  (match peek () with
+  | None -> ()
+  | Some _ -> fail "trailing tokens after the first S-expression");
+  v
+
+let atom = function
+  | Atom s -> s
+  | List _ -> fail "expected an atom, found a list"
+
+let float_atom v =
+  let s = atom v in
+  match float_of_string_opt s with
+  | Some f -> f
+  | None -> fail "expected a float, found %s" s
+
+let int_atom v =
+  let s = atom v in
+  match int_of_string_opt s with
+  | Some i -> i
+  | None -> fail "expected an integer, found %s" s
+
+let list = function
+  | List items -> items
+  | Atom s -> fail "expected a list, found atom %s" s
+
+let tagged tag v =
+  match v with
+  | List (Atom t :: rest) when String.equal t tag -> rest
+  | List (Atom t :: _) -> fail "expected tag %s, found %s" tag t
+  | List _ | Atom _ -> fail "expected a (%s ...) form" tag
+
+(* %h round-trips doubles exactly and stays readable enough. *)
+let of_float f = Atom (Printf.sprintf "%h" f)
+let of_int i = Atom (string_of_int i)

@@ -1,0 +1,1 @@
+lib/mp/lower.ml: Granii_core List Mp_ast String

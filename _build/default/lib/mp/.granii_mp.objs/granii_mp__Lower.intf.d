@@ -1,0 +1,1 @@
+lib/mp/lower.mli: Granii_core Mp_ast

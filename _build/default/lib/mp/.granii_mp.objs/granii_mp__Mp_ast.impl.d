@@ -1,0 +1,1 @@
+lib/mp/mp_ast.ml: Format Granii_core List Printf

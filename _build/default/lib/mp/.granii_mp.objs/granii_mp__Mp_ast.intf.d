@@ -1,0 +1,1 @@
+lib/mp/mp_ast.mli: Format Granii_core

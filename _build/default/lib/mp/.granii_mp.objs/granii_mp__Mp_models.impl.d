@@ -1,0 +1,1 @@
+lib/mp/mp_models.ml: Granii_core List Mp_ast Printf String

@@ -1,0 +1,1 @@
+lib/mp/mp_models.mli: Mp_ast

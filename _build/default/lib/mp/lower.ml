@@ -1,0 +1,70 @@
+module Ir = Granii_core.Matrix_ir
+module Dim = Granii_core.Dim
+
+type lowered = {
+  ir : Ir.expr;
+  norm_leaves : string list;
+  param_leaves : Ir.leaf list;
+}
+
+let h_leaf = Ir.features "H"
+let a_leaf = Ir.adjacency "A"
+let d_leaf = Ir.diagonal "D"
+let dinv_leaf = Ir.diagonal "Dinv"
+let eps_leaf = Ir.diagonal "EpsI"
+
+let attn_src = { Ir.name = "Asrc"; rows = Dim.Kout; cols = Dim.One; attr = Ir.Dense Ir.Weight }
+let attn_dst = { Ir.name = "Adst"; rows = Dim.Kout; cols = Dim.One; attr = Ir.Dense Ir.Weight }
+
+let as_chain = function Ir.Mult es -> es | e -> [ e ]
+
+let lower (model : Mp_ast.model) =
+  Mp_ast.validate model;
+  let norm_leaves = ref [] in
+  let note_norm name = if not (List.mem name !norm_leaves) then norm_leaves := name :: !norm_leaves in
+  let weight_leaf name =
+    let spec = List.find (fun s -> String.equal s.Mp_ast.w_name name) model.Mp_ast.weights in
+    { Ir.name; rows = spec.Mp_ast.w_rows; cols = spec.Mp_ast.w_cols; attr = Ir.Dense Ir.Weight }
+  in
+  let rec go = function
+    | Mp_ast.Input -> Ir.Leaf h_leaf
+    | Mp_ast.Linear (name, f) -> Ir.Mult [ go f; Ir.Leaf (weight_leaf name) ]
+    | Mp_ast.Aggregate f -> Ir.Mult [ Ir.Leaf a_leaf; go f ]
+    | Mp_ast.Scale_by_norm f ->
+        note_norm "D";
+        Ir.Row_broadcast (Ir.Leaf d_leaf, go f)
+    | Mp_ast.Scale_by_inv_degree f ->
+        note_norm "Dinv";
+        Ir.Row_broadcast (Ir.Leaf dinv_leaf, go f)
+    | Mp_ast.Eps_scale f -> Ir.Row_broadcast (Ir.Leaf eps_leaf, go f)
+    | Mp_ast.Sum fs -> Ir.Add (List.map go fs)
+    | Mp_ast.Activation (kind, f) -> Ir.Nonlinear (kind, go f)
+    | Mp_ast.Attention_aggregate { value } ->
+        let theta = go value in
+        let alpha =
+          Ir.Nonlinear
+            ( Ir.Edge_softmax,
+              Ir.Edge_score
+                { mask = Ir.Leaf a_leaf; feats = theta; attn_src; attn_dst } )
+        in
+        (* Splice theta's own chain into the aggregation so re-association
+           can place the update GEMM before or after the SpMM (Sec. III-B). *)
+        Ir.Mult (alpha :: as_chain theta)
+  in
+  let ir = Granii_core.Rewrite.flatten (go model.Mp_ast.program) in
+  ignore (Ir.infer ir);
+  let param_leaves =
+    let weights = List.map (fun s -> weight_leaf s.Mp_ast.w_name) model.Mp_ast.weights in
+    if model.Mp_ast.attention then weights @ [ attn_src; attn_dst ] else weights
+  in
+  { ir; norm_leaves = List.rev !norm_leaves; param_leaves }
+
+let degree_leaves lowered ~binned =
+  List.map
+    (fun name ->
+      let power =
+        if String.equal name "Dinv" then Granii_core.Primitive.Inv
+        else Granii_core.Primitive.Inv_sqrt
+      in
+      (name, { Granii_core.Plan.binned; power }))
+    lowered.norm_leaves

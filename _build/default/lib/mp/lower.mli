@@ -1,0 +1,29 @@
+(** Lowering from the message-passing DSL to the matrix IR (paper,
+    Sec. IV-B "Code Translation").
+
+    The rule-based translation: graph operations become sparse-matrix
+    multiplications, dense framework ops become GEMMs / broadcasts, and the
+    result is flattened so associative chains sit at one level. The lowering
+    also reports which diagonal leaves are normalization vectors that the
+    executing system must compute from the graph (the [Degree] step), and
+    which leaves are model parameters. *)
+
+type lowered = {
+  ir : Granii_core.Matrix_ir.expr;
+  norm_leaves : string list;
+      (** diagonal leaves derived from graph degrees (["D"], ["Dinv"]) —
+          to be paired with the host system's degree-kernel kind *)
+  param_leaves : Granii_core.Matrix_ir.leaf list;
+      (** weight matrices and attention vectors, with shapes *)
+}
+
+val lower : Mp_ast.model -> lowered
+(** Validates the model, then translates. The returned IR is flattened and
+    well-formed ([Granii_core.Matrix_ir.infer] succeeds). *)
+
+val degree_leaves :
+  lowered -> binned:bool -> (string * Granii_core.Plan.degree_spec) list
+(** Pairs every normalization leaf with the given degree-kernel kind and its
+    power (["Dinv"] uses {m \tilde D^{-1}}, everything else
+    {m \tilde D^{-1/2}}), in the form {!Granii_core.Plan.of_tree}
+    expects. *)

@@ -1,0 +1,79 @@
+open Mp_ast
+module Dim = Granii_core.Dim
+
+let w name = { w_name = name; w_rows = Dim.Kin; w_cols = Dim.Kout }
+
+let gcn =
+  { name = "GCN";
+    program =
+      Activation
+        ( Granii_core.Matrix_ir.Relu,
+          Scale_by_norm (Aggregate (Scale_by_norm (Linear ("W", Input)))) );
+    weights = [ w "W" ];
+    attention = false }
+
+let gin =
+  { name = "GIN";
+    program =
+      Linear
+        ( "W2",
+          Activation
+            ( Granii_core.Matrix_ir.Relu,
+              Linear ("W1", Sum [ Eps_scale Input; Aggregate Input ]) ) );
+    weights =
+      [ w "W1"; { w_name = "W2"; w_rows = Dim.Kout; w_cols = Dim.Kout } ];
+    attention = false }
+
+(* one hop of the symmetrically-normalized aggregation: N f = D A D f *)
+let norm_hop f = Scale_by_norm (Aggregate (Scale_by_norm f))
+
+let rec hops k f = if k = 0 then f else hops (k - 1) (norm_hop f)
+
+let sgc_k k =
+  if k < 1 then invalid_arg "Mp_models.sgc_k: k must be >= 1";
+  { name = (if k = 2 then "SGC" else Printf.sprintf "SGC%d" k);
+    program = Linear ("W", hops k Input);
+    weights = [ w "W" ];
+    attention = false }
+
+let sgc = sgc_k 2
+
+let tagcn_k k =
+  if k < 1 then invalid_arg "Mp_models.tagcn_k: k must be >= 1";
+  let terms =
+    List.init (k + 1) (fun hop ->
+        Linear (Printf.sprintf "W%d" hop, hops hop Input))
+  in
+  { name = (if k = 2 then "TAGCN" else Printf.sprintf "TAGCN%d" k);
+    program = Activation (Granii_core.Matrix_ir.Relu, Sum terms);
+    weights = List.init (k + 1) (fun hop -> w (Printf.sprintf "W%d" hop));
+    attention = false }
+
+let tagcn = tagcn_k 2
+
+let gat =
+  { name = "GAT";
+    program =
+      Activation
+        ( Granii_core.Matrix_ir.Relu,
+          Attention_aggregate { value = Linear ("W", Input) } );
+    weights = [ w "W" ];
+    attention = true }
+
+let sage =
+  { name = "SAGE";
+    program =
+      Activation
+        ( Granii_core.Matrix_ir.Relu,
+          Sum
+            [ Linear ("Wself", Input);
+              Linear ("Wneigh", Scale_by_inv_degree (Aggregate Input)) ] );
+    weights = [ w "Wself"; w "Wneigh" ];
+    attention = false }
+
+let paper_five = [ gcn; gin; sgc; tagcn; gat ]
+let all = paper_five @ [ sage ]
+
+let find name =
+  let n = String.uppercase_ascii name in
+  List.find (fun m -> String.equal m.Mp_ast.name n) all

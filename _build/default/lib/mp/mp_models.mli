@@ -1,0 +1,52 @@
+(** The five evaluation GNN models (paper, Sec. VI-B) plus GraphSAGE,
+    written in the message-passing DSL.
+
+    Leaf-name conventions shared with {!Lower} and the executors:
+    ["H"] input features, ["A"] adjacency with self-loops, ["D"] the
+    symmetric normalization diagonal {m \tilde D^{-1/2}}, ["Dinv"] the mean
+    normalization {m \tilde D^{-1}}, ["EpsI"] GIN's constant
+    {m (1+\epsilon) I}, ["Asrc"]/["Adst"] GAT's attention vectors, and
+    weights by their spec names. *)
+
+val gcn : Mp_ast.model
+(** Kipf & Welling GCN: {m \sigma(\tilde D^{-1/2} \tilde A \tilde D^{-1/2}
+    H W)}. *)
+
+val gin : Mp_ast.model
+(** Graph Isomorphism Network:
+    {m \mathrm{MLP}\big((1+\epsilon) H + \tilde A H\big)} with a two-layer
+    MLP. *)
+
+val sgc : Mp_ast.model
+(** Simple Graph Convolution with {m K = 2} hops: {m \tilde N^2 H W}. *)
+
+val sgc_k : int -> Mp_ast.model
+(** SGC with an arbitrary hop count {m K \ge 1}:
+    {m \tilde N^K H W}. [sgc_k 2 = sgc]. Raises [Invalid_argument] if
+    [k < 1]. *)
+
+val tagcn : Mp_ast.model
+(** Topology-Adaptive GCN with hops 0..2:
+    {m \sigma(\sum_k \tilde N^k H W_k)}. *)
+
+val tagcn_k : int -> Mp_ast.model
+(** TAGCN with hops {m 0..K}, each with its own weight. [tagcn_k 2 = tagcn].
+    Raises [Invalid_argument] if [k < 1]. *)
+
+val gat : Mp_ast.model
+(** Graph Attention Network (single head):
+    {m \sigma(\alpha \cdot H W)} with {m \alpha} from edge attention. *)
+
+val sage : Mp_ast.model
+(** GraphSAGE with GCN/mean aggregation (used with neighborhood sampling):
+    {m \sigma(H W_{self} + \tilde D^{-1} \tilde A H W_{neigh})}. *)
+
+val all : Mp_ast.model list
+(** [gcn; gin; sgc; tagcn; gat] — the paper's evaluation set, in its order —
+    plus [sage]. *)
+
+val paper_five : Mp_ast.model list
+(** Only the five models of Table III. *)
+
+val find : string -> Mp_ast.model
+(** Case-insensitive lookup by name. Raises [Not_found]. *)

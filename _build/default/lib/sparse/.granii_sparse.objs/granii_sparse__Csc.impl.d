@@ -1,0 +1,1 @@
+lib/sparse/csc.ml: Array Csr Granii_tensor

@@ -1,0 +1,1 @@
+lib/sparse/csr.ml: Array Coo Float Format Granii_tensor

@@ -1,0 +1,1 @@
+lib/sparse/sddmm.ml: Array Csr Granii_tensor

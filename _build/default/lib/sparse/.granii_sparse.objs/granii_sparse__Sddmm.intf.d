@@ -1,0 +1,1 @@
+lib/sparse/sddmm.mli: Csr Granii_tensor

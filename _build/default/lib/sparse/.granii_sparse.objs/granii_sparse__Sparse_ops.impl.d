@@ -1,0 +1,1 @@
+lib/sparse/sparse_ops.ml: Array Coo Csr Granii_tensor Sddmm

@@ -1,0 +1,1 @@
+lib/sparse/sparse_ops.mli: Csr Granii_tensor

@@ -1,0 +1,1 @@
+lib/sparse/spmm.ml: Array Csr Granii_tensor

@@ -1,0 +1,1 @@
+lib/sparse/spmm.mli: Csr Granii_tensor

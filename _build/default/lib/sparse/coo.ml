@@ -1,0 +1,94 @@
+type t = {
+  n_rows : int;
+  n_cols : int;
+  entries : (int * int * float) array;
+}
+
+let compare_pos (r1, c1, _) (r2, c2, _) =
+  match compare (r1 : int) r2 with 0 -> compare (c1 : int) c2 | c -> c
+
+let make ~n_rows ~n_cols entries =
+  Array.iter
+    (fun (r, c, _) ->
+      if r < 0 || r >= n_rows || c < 0 || c >= n_cols then
+        invalid_arg
+          (Printf.sprintf "Coo.make: entry (%d, %d) out of bounds for %dx%d" r c n_rows
+             n_cols))
+    entries;
+  let sorted = Array.copy entries in
+  Array.sort compare_pos sorted;
+  (* Sum duplicate positions. *)
+  let out = ref [] in
+  let n = Array.length sorted in
+  let i = ref 0 in
+  while !i < n do
+    let r, c, v = sorted.(!i) in
+    let acc = ref v in
+    incr i;
+    while
+      !i < n
+      &&
+      let r', c', _ = sorted.(!i) in
+      r' = r && c' = c
+    do
+      let _, _, v' = sorted.(!i) in
+      acc := !acc +. v';
+      incr i
+    done;
+    out := (r, c, !acc) :: !out
+  done;
+  { n_rows; n_cols; entries = Array.of_list (List.rev !out) }
+
+let of_edges ~n edges =
+  make ~n_rows:n ~n_cols:n
+    (Array.of_list (List.map (fun (s, d) -> (s, d, 1.)) edges))
+  |> fun coo ->
+  (* Deduplicated sums can exceed 1.0 for repeated edges; clamp back to the
+     unweighted value. *)
+  { coo with entries = Array.map (fun (r, c, _) -> (r, c, 1.)) coo.entries }
+
+let symmetrize coo =
+  (* Union of the structure of A and A^T: where both (i, j) and (j, i) exist,
+     the value of the original orientation wins, so symmetrizing an already
+     symmetric matrix is the identity. *)
+  let tagged =
+    Array.concat
+      [ Array.map (fun (r, c, v) -> (r, c, 0, v)) coo.entries;
+        Array.map (fun (r, c, v) -> (c, r, 1, v)) coo.entries ]
+  in
+  Array.sort
+    (fun (r1, c1, t1, _) (r2, c2, t2, _) ->
+      match compare (r1 : int) r2 with
+      | 0 -> ( match compare (c1 : int) c2 with 0 -> compare (t1 : int) t2 | c -> c)
+      | c -> c)
+    tagged;
+  let out = ref [] in
+  let n = Array.length tagged in
+  let i = ref 0 in
+  while !i < n do
+    let r, c, _, v = tagged.(!i) in
+    out := (r, c, v) :: !out;
+    incr i;
+    while
+      !i < n
+      &&
+      let r', c', _, _ = tagged.(!i) in
+      r' = r && c' = c
+    do
+      incr i
+    done
+  done;
+  { n_rows = coo.n_rows;
+    n_cols = coo.n_cols;
+    entries = Array.of_list (List.rev !out) }
+
+let nnz coo = Array.length coo.entries
+
+let transpose coo =
+  make ~n_rows:coo.n_cols ~n_cols:coo.n_rows
+    (Array.map (fun (r, c, v) -> (c, r, v)) coo.entries)
+
+let to_dense coo =
+  let d = Granii_tensor.Dense.zeros coo.n_rows coo.n_cols in
+  Array.iter (fun (r, c, v) -> Granii_tensor.Dense.set d r c v) coo.entries;
+  d

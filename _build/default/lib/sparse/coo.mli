@@ -1,0 +1,29 @@
+(** Coordinate-format sparse matrices.
+
+    COO is the construction format: graph generators and loaders emit edge
+    triples here, which are then sorted, deduplicated, and converted to
+    {!Csr.t} for computation. *)
+
+type t = private {
+  n_rows : int;
+  n_cols : int;
+  entries : (int * int * float) array;  (** (row, col, value) triples *)
+}
+
+val make : n_rows:int -> n_cols:int -> (int * int * float) array -> t
+(** Validates bounds, sorts entries by (row, col), and sums duplicates.
+    Raises [Invalid_argument] on an out-of-bounds index. *)
+
+val of_edges : n:int -> (int * int) list -> t
+(** [of_edges ~n edges] builds an [n]x[n] unweighted (value [1.]) matrix from
+    directed edge pairs, deduplicating. *)
+
+val symmetrize : t -> t
+(** Adds the transpose of every entry (summing duplicates once), producing an
+    undirected adjacency structure. *)
+
+val nnz : t -> int
+
+val transpose : t -> t
+
+val to_dense : t -> Granii_tensor.Dense.t

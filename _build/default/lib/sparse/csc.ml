@@ -1,0 +1,86 @@
+module Dense = Granii_tensor.Dense
+
+type t = {
+  n_rows : int;
+  n_cols : int;
+  col_ptr : int array;
+  row_idx : int array;
+  values : float array option;
+}
+
+let nnz m = m.col_ptr.(m.n_cols)
+let is_weighted m = m.values <> None
+
+let of_csr (csr : Csr.t) =
+  let t = Csr.transpose csr in
+  (* The transpose's rows are the original's columns: reuse its arrays with
+     the roles of rows and columns swapped. *)
+  { n_rows = csr.Csr.n_rows;
+    n_cols = csr.Csr.n_cols;
+    col_ptr = t.Csr.row_ptr;
+    row_idx = t.Csr.col_idx;
+    values = t.Csr.values }
+
+let to_csr m =
+  Csr.transpose
+    (Csr.make ~n_rows:m.n_cols ~n_cols:m.n_rows ~row_ptr:m.col_ptr
+       ~col_idx:m.row_idx ~values:m.values)
+
+let value m p = match m.values with None -> 1. | Some v -> v.(p)
+
+let get m i j =
+  let lo = ref m.col_ptr.(j) and hi = ref (m.col_ptr.(j + 1) - 1) in
+  let found = ref 0. in
+  while !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let r = m.row_idx.(mid) in
+    if r = i then begin
+      found := value m mid;
+      lo := !hi + 1
+    end
+    else if r < i then lo := mid + 1
+    else hi := mid - 1
+  done;
+  !found
+
+let to_dense m =
+  let d = Dense.zeros m.n_rows m.n_cols in
+  for j = 0 to m.n_cols - 1 do
+    for p = m.col_ptr.(j) to m.col_ptr.(j + 1) - 1 do
+      Dense.set d m.row_idx.(p) j (value m p)
+    done
+  done;
+  d
+
+let spmm (a : t) (b : Dense.t) =
+  if a.n_cols <> b.Dense.rows then invalid_arg "Csc.spmm: inner dimension mismatch";
+  let n = a.n_rows and k = b.Dense.cols in
+  let out = Array.make (n * k) 0. in
+  let bd = b.Dense.data in
+  (* Column-driven: column j of A contributes A(., j) * B(j, .) — every
+     stored entry scatters one scaled row of B into the output. *)
+  (match a.values with
+  | Some vals ->
+      for j = 0 to a.n_cols - 1 do
+        let bbase = j * k in
+        for p = a.col_ptr.(j) to a.col_ptr.(j + 1) - 1 do
+          let v = vals.(p) in
+          let obase = a.row_idx.(p) * k in
+          for c = 0 to k - 1 do
+            out.(obase + c) <- out.(obase + c) +. (v *. bd.(bbase + c))
+          done
+        done
+      done
+  | None ->
+      for j = 0 to a.n_cols - 1 do
+        let bbase = j * k in
+        for p = a.col_ptr.(j) to a.col_ptr.(j + 1) - 1 do
+          let obase = a.row_idx.(p) * k in
+          for c = 0 to k - 1 do
+            out.(obase + c) <- out.(obase + c) +. bd.(bbase + c)
+          done
+        done
+      done);
+  Dense.of_flat ~rows:n ~cols:k out
+
+let equal_approx ?eps a b = Csr.equal_approx ?eps (to_csr a) (to_csr b)

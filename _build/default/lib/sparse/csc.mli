@@ -1,0 +1,36 @@
+(** Compressed-sparse-column matrices.
+
+    The column-major dual of {!Csr}. GRANII's paper treats sparse {e format}
+    selection as orthogonal related work (Qiu et al., WISE); this module
+    provides the substrate for that dimension: the same g-SpMM computed from
+    CSC has a scatter (column-driven) access pattern whose profitability
+    depends on the transpose's degree skew. *)
+
+type t = private {
+  n_rows : int;
+  n_cols : int;
+  col_ptr : int array;         (** length [n_cols + 1] *)
+  row_idx : int array;         (** length [nnz], row indices, sorted per column *)
+  values : float array option; (** [None] = unweighted *)
+}
+
+val of_csr : Csr.t -> t
+(** O(nnz) conversion preserving values. *)
+
+val to_csr : t -> Csr.t
+
+val nnz : t -> int
+
+val is_weighted : t -> bool
+
+val get : t -> int -> int -> float
+(** Entry at [(i, j)], [0.] if absent (binary search within the column). *)
+
+val to_dense : t -> Granii_tensor.Dense.t
+
+val spmm : t -> Granii_tensor.Dense.t -> Granii_tensor.Dense.t
+(** {m A \cdot B} evaluated column-by-column with scatter-adds into the
+    output — the access pattern a GPU would implement with atomics. Equals
+    [Spmm.run (to_csr a) b] numerically. *)
+
+val equal_approx : ?eps:float -> t -> t -> bool

@@ -1,0 +1,80 @@
+module Vector = Granii_tensor.Vector
+
+let scale_rows d (a : Csr.t) =
+  if Array.length d <> a.Csr.n_rows then
+    invalid_arg "Sparse_ops.scale_rows: dimension mismatch";
+  let count = Csr.nnz a in
+  let out = Array.make count 0. in
+  for i = 0 to a.Csr.n_rows - 1 do
+    for p = a.Csr.row_ptr.(i) to a.Csr.row_ptr.(i + 1) - 1 do
+      out.(p) <- d.(i) *. Csr.value a p
+    done
+  done;
+  Csr.with_values a out
+
+let scale_cols (a : Csr.t) d =
+  if Array.length d <> a.Csr.n_cols then
+    invalid_arg "Sparse_ops.scale_cols: dimension mismatch";
+  let count = Csr.nnz a in
+  let out = Array.make count 0. in
+  for p = 0 to count - 1 do
+    out.(p) <- Csr.value a p *. d.(a.Csr.col_idx.(p))
+  done;
+  Csr.with_values a out
+
+let scale_bilateral dl (a : Csr.t) dr = Sddmm.rank1 a dl dr
+
+let add (a : Csr.t) (b : Csr.t) =
+  if a.Csr.n_rows <> b.Csr.n_rows || a.Csr.n_cols <> b.Csr.n_cols then
+    invalid_arg "Sparse_ops.add: shape mismatch";
+  let entries = ref [] in
+  Csr.iter (fun i j v -> entries := (i, j, v) :: !entries) a;
+  Csr.iter (fun i j v -> entries := (i, j, v) :: !entries) b;
+  Csr.of_coo
+    (Coo.make ~n_rows:a.Csr.n_rows ~n_cols:a.Csr.n_cols (Array.of_list !entries))
+
+let row_softmax (a : Csr.t) =
+  let count = Csr.nnz a in
+  let out = Array.make count 0. in
+  for i = 0 to a.Csr.n_rows - 1 do
+    let lo = a.Csr.row_ptr.(i) and hi = a.Csr.row_ptr.(i + 1) - 1 in
+    if hi >= lo then begin
+      let mx = ref neg_infinity in
+      for p = lo to hi do
+        if Csr.value a p > !mx then mx := Csr.value a p
+      done;
+      let total = ref 0. in
+      for p = lo to hi do
+        let e = exp (Csr.value a p -. !mx) in
+        out.(p) <- e;
+        total := !total +. e
+      done;
+      for p = lo to hi do
+        out.(p) <- out.(p) /. !total
+      done
+    end
+  done;
+  Csr.with_values a out
+
+let row_sums (a : Csr.t) =
+  Vector.init a.Csr.n_rows (fun i ->
+      let acc = ref 0. in
+      for p = a.Csr.row_ptr.(i) to a.Csr.row_ptr.(i + 1) - 1 do
+        acc := !acc +. Csr.value a p
+      done;
+      !acc)
+
+let weighted_degrees = row_sums
+
+let binned_degrees (a : Csr.t) =
+  (* Semantically a scatter-add over destination bins, exactly what
+     WiseGraph's binning function computes. Sequentially there is no atomic
+     cost; the hardware model charges contention for it on GPUs. *)
+  let bins = Vector.zeros a.Csr.n_rows in
+  for i = 0 to a.Csr.n_rows - 1 do
+    for p = a.Csr.row_ptr.(i) to a.Csr.row_ptr.(i + 1) - 1 do
+      ignore p;
+      bins.(i) <- bins.(i) +. 1.
+    done
+  done;
+  bins

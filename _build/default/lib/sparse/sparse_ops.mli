@@ -1,0 +1,36 @@
+(** Assorted sparse kernels used by GNN compositions. *)
+
+val scale_rows : Granii_tensor.Vector.t -> Csr.t -> Csr.t
+(** [scale_rows d a] is {m \mathrm{diag}(d) \cdot A}: stored entry
+    {m (i, j)} becomes {m d_i \cdot A_{ij}}. The result is weighted. *)
+
+val scale_cols : Csr.t -> Granii_tensor.Vector.t -> Csr.t
+(** [scale_cols a d] is {m A \cdot \mathrm{diag}(d)}. *)
+
+val scale_bilateral : Granii_tensor.Vector.t -> Csr.t -> Granii_tensor.Vector.t -> Csr.t
+(** [scale_bilateral dl a dr] is {m \mathrm{diag}(d^L) \cdot A \cdot
+    \mathrm{diag}(d^R)} in a single pass — the fused form of GCN's
+    normalization precomputation (equals {!Sddmm.rank1}). *)
+
+val add : Csr.t -> Csr.t -> Csr.t
+(** Sparse-sparse addition; the result's structure is the union. Raises
+    [Invalid_argument] on a shape mismatch. *)
+
+val row_softmax : Csr.t -> Csr.t
+(** Softmax over each row's stored values (numerically stabilized): the
+    attention-normalization kernel of GAT. Rows with no entries are left
+    empty. *)
+
+val row_sums : Csr.t -> Granii_tensor.Vector.t
+(** Sum of stored values per row; on an unweighted matrix this is the
+    out-degree vector as floats. *)
+
+val weighted_degrees : Csr.t -> Granii_tensor.Vector.t
+(** Alias of {!row_sums}, under the name the GNN code uses. *)
+
+val binned_degrees : Csr.t -> Granii_tensor.Vector.t
+(** Degree computation in the style of WiseGraph's PyTorch binning function
+    (paper, Sec. VI-C1): scatter-add of ones over destination bins. The
+    result equals {!row_sums} on an unweighted matrix; the point of modeling
+    it separately is its very different cost profile (atomic contention on
+    dense graphs), which {!Granii_hw.Kernel_model} accounts for. *)

@@ -1,0 +1,23 @@
+(** Generalized sparse-matrix dense-matrix multiplication (g-SpMM).
+
+    Computes {m C_{i,:} = \bigoplus_{j \in N(i)} A_{ij} \otimes B_{j,:}} for a
+    CSR matrix [A] and dense [B] over a {!Granii_tensor.Semiring.t}
+    (paper, Sec. II-B and Appendix A). The node-feature aggregation of every
+    GNN model lowers to this primitive. *)
+
+val run : ?semiring:Granii_tensor.Semiring.t -> Csr.t -> Granii_tensor.Dense.t ->
+  Granii_tensor.Dense.t
+(** [run a b] is {m A \cdot B}. Defaults to {!Granii_tensor.Semiring.plus_times}.
+    When [a] is unweighted and the semiring multiplication is [plus_times] or
+    [plus_rhs], the kernel skips reading edge values entirely — the paper's
+    cheaper unweighted aggregation. Raises [Invalid_argument] on an inner
+    dimension mismatch. *)
+
+val run_transposed : Granii_tensor.Dense.t -> Csr.t -> Granii_tensor.Dense.t
+(** [run_transposed b a] is the dense-times-sparse product {m B \cdot A} over
+    the arithmetic semiring, evaluated without materializing [A]'s transpose
+    (scatter along the stored entries). *)
+
+val spmv : ?semiring:Granii_tensor.Semiring.t -> Csr.t -> Granii_tensor.Vector.t ->
+  Granii_tensor.Vector.t
+(** Sparse matrix–vector product, the [k = 1] special case. *)

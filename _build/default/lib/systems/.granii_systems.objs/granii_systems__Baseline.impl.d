@@ -1,0 +1,1 @@
+lib/systems/baseline.ml: Granii_core Granii_mp Hashtbl List Printf System

@@ -1,0 +1,1 @@
+lib/systems/baseline.mli: Granii_core Granii_mp System

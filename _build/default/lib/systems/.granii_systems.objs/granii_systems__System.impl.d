@@ -1,0 +1,1 @@
+lib/systems/system.ml: List String

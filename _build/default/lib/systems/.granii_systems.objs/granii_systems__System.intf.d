@@ -1,0 +1,1 @@
+lib/systems/system.mli:

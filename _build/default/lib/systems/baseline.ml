@@ -1,0 +1,120 @@
+module Core = Granii_core
+module Mp = Granii_mp
+
+type t = {
+  sys : System.t;
+  model : Mp.Mp_ast.model;
+  low : Mp.Lower.lowered;
+  forest : Core.Assoc_tree.t list;
+}
+
+let forest_cache : (string, Mp.Lower.lowered * Core.Assoc_tree.t list) Hashtbl.t =
+  Hashtbl.create 8
+
+let make sys (model : Mp.Mp_ast.model) =
+  let low, forest =
+    match Hashtbl.find_opt forest_cache model.Mp.Mp_ast.name with
+    | Some cached -> cached
+    | None ->
+        let low = Mp.Lower.lower model in
+        let forest = Core.Enumerate.forest low.Mp.Lower.ir in
+        Hashtbl.add forest_cache model.Mp.Mp_ast.name (low, forest);
+        (low, forest)
+  in
+  { sys; model; low; forest }
+
+let lowered b = b.low
+let system b = b.sys
+
+let is_dynamic_pure tree =
+  List.for_all
+    (fun prim ->
+      match prim with
+      | Core.Primitive.Sddmm_rank1 | Core.Primitive.Diag_scale _
+      | Core.Primitive.Sparse_add _ | Core.Primitive.Diag_combine
+      | Core.Primitive.Dense_sparse_mm _ ->
+          false
+      | Core.Primitive.Spmm { weighted; _ } -> not weighted
+      | Core.Primitive.Gemm _ | Core.Primitive.Row_broadcast _
+      | Core.Primitive.Col_broadcast _ | Core.Primitive.Dense_add _
+      | Core.Primitive.Edge_score _ | Core.Primitive.Edge_softmax
+      | Core.Primitive.Dense_map _ | Core.Primitive.Degree _ ->
+          true)
+    (Core.Assoc_tree.primitives tree)
+
+let spmm_dims tree =
+  List.filter_map
+    (function Core.Primitive.Spmm { k; _ } -> Some k | _ -> None)
+    (Core.Assoc_tree.primitives tree)
+
+let gemm_count tree =
+  List.length
+    (List.filter
+       (function Core.Primitive.Gemm _ -> true | _ -> false)
+       (Core.Assoc_tree.primitives tree))
+
+let op_count tree = List.length (Core.Assoc_tree.ops tree)
+
+(* Deterministic pick: fewest operations, then lexicographic key. *)
+let pick_min trees =
+  match
+    List.sort
+      (fun a b ->
+        match compare (op_count a) (op_count b) with
+        | 0 -> compare (Core.Assoc_tree.tree_key a) (Core.Assoc_tree.tree_key b)
+        | c -> c)
+      trees
+  with
+  | [] -> None
+  | best :: _ -> Some best
+
+let gat_tree b ~recompute =
+  let want_gemms = if recompute then 2 else 1 in
+  match pick_min (List.filter (fun t -> gemm_count t = want_gemms) b.forest) with
+  | Some t -> t
+  | None -> failwith "Baseline: GAT composition not found in forest"
+
+(* GCN-family default: dynamic normalization with the update GEMM either
+   after aggregation (aggregate-first: SpMMs run at Kin) or before
+   (update-first: SpMMs run at Kout). *)
+let dynamic_tree b ~update_first =
+  let want = if update_first then Core.Dim.Kout else Core.Dim.Kin in
+  let matches t =
+    is_dynamic_pure t
+    &&
+    let dims = spmm_dims t in
+    dims <> [] && List.for_all (Core.Dim.equal want) dims
+  in
+  match pick_min (List.filter matches b.forest) with
+  | Some t -> t
+  | None -> (
+      (* Models without an aggregation at the requested position fall back
+         to any dynamic composition. *)
+      match pick_min (List.filter is_dynamic_pure b.forest) with
+      | Some t -> t
+      | None -> failwith ("Baseline: no dynamic composition for " ^ b.model.Mp.Mp_ast.name))
+
+let default_tree b ~k_in ~k_out =
+  let model_name = b.model.Mp.Mp_ast.name in
+  if b.model.Mp.Mp_ast.attention then
+    let recompute =
+      match b.sys.System.gat_policy with
+      | System.Always_reuse -> false
+      | System.Recompute_when_growing -> k_in < k_out
+    in
+    gat_tree b ~recompute
+  else begin
+    let update_first =
+      if b.sys.System.reorders_by_config model_name then k_in > k_out
+      else (* fixed default: aggregate first, update last *) false
+    in
+    dynamic_tree b ~update_first
+  end
+
+let plan b ~k_in ~k_out =
+  let tree = default_tree b ~k_in ~k_out in
+  Core.Plan.of_tree ~hoist:false
+    ~degree_leaves:(Mp.Lower.degree_leaves b.low ~binned:b.sys.System.binned_degrees)
+    ~name:
+      (Printf.sprintf "%s_%s_default" b.sys.System.sys_name b.model.Mp.Mp_ast.name)
+    tree

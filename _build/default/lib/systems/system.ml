@@ -1,0 +1,26 @@
+type gat_policy = Always_reuse | Recompute_when_growing
+
+type t = {
+  sys_name : string;
+  binned_degrees : bool;
+  reorders_by_config : string -> bool;
+  gat_policy : gat_policy;
+}
+
+let wisegraph =
+  { sys_name = "WiseGraph";
+    binned_degrees = true;
+    reorders_by_config = (fun _model -> true);
+    gat_policy = Recompute_when_growing }
+
+let dgl =
+  { sys_name = "DGL";
+    binned_degrees = false;
+    reorders_by_config = (fun model -> String.equal model "GCN");
+    gat_policy = Always_reuse }
+
+let all = [ wisegraph; dgl ]
+
+let find name =
+  let n = String.uppercase_ascii name in
+  List.find (fun s -> String.equal (String.uppercase_ascii s.sys_name) n) all

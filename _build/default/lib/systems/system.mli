@@ -1,0 +1,43 @@
+(** Baseline GNN systems (paper, Sec. VI-B "Baseline Systems").
+
+    The paper evaluates GRANII against the default, hard-coded primitive
+    compositions of WiseGraph and DGL. A system here is exactly that: a
+    fixed composition policy per model (possibly conditioned on the model
+    configuration, i.e. embedding sizes — the "config-based operator
+    reordering" some implementations do), plus two system-specific traits:
+
+    - which degree kernel its normalization uses (WiseGraph's binned
+      scatter-add vs DGL's cheap row-pointer diff — Sec. VI-C1);
+    - no loop-invariant hoisting: framework model code is straight-line
+      Python re-executed every iteration, so normalization is recomputed
+      each forward pass.
+
+    GRANII-generated code executing {e inside} a system inherits the degree
+    kernel but does hoist (its runtime caches one-time work). *)
+
+type gat_policy =
+  | Always_reuse            (** DGL's default (Sec. VI-C1) *)
+  | Recompute_when_growing  (** WiseGraph's config-based choice *)
+
+type t = {
+  sys_name : string;
+  binned_degrees : bool;
+  reorders_by_config : string -> bool;
+      (** per model name: does the default implementation place the update
+          GEMM according to the embedding sizes? *)
+  gat_policy : gat_policy;
+}
+
+val wisegraph : t
+(** WiseGraph (EuroSys'24): binned degrees, config-based reordering for all
+    models, recompute-based GAT for growing embeddings. *)
+
+val dgl : t
+(** DGL v2.4: cheap degrees, config-based reordering only for GCN
+    ([GraphConv]); GIN / SGC / TAGCN always aggregate first (Sec. VI-C1);
+    GAT always reuses. *)
+
+val all : t list
+
+val find : string -> t
+(** Case-insensitive lookup. Raises [Not_found]. *)

@@ -1,0 +1,1 @@
+lib/tensor/dense.ml: Array Float Format Int64 List Semiring Stdlib Vector

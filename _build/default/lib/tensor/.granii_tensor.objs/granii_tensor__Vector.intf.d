@@ -1,0 +1,1 @@
+lib/tensor/vector.mli: Format

@@ -1,0 +1,261 @@
+type t = { rows : int; cols : int; data : float array }
+
+let create rows cols x =
+  if rows < 0 || cols < 0 then invalid_arg "Dense.create: negative dimension";
+  { rows; cols; data = Array.make (rows * cols) x }
+
+let init rows cols f =
+  if rows < 0 || cols < 0 then invalid_arg "Dense.init: negative dimension";
+  let data = Array.make (rows * cols) 0. in
+  for i = 0 to rows - 1 do
+    let base = i * cols in
+    for j = 0 to cols - 1 do
+      data.(base + j) <- f i j
+    done
+  done;
+  { rows; cols; data }
+
+let zeros rows cols = create rows cols 0.
+let ones rows cols = create rows cols 1.
+let identity n = init n n (fun i j -> if i = j then 1. else 0.)
+
+let of_arrays a =
+  let rows = Array.length a in
+  if rows = 0 then invalid_arg "Dense.of_arrays: no rows";
+  let cols = Array.length a.(0) in
+  Array.iter
+    (fun r -> if Array.length r <> cols then invalid_arg "Dense.of_arrays: ragged rows")
+    a;
+  init rows cols (fun i j -> a.(i).(j))
+
+let of_flat ~rows ~cols data =
+  if Array.length data <> rows * cols then invalid_arg "Dense.of_flat: size mismatch";
+  { rows; cols; data }
+
+(* SplitMix64-style deterministic generator so tests and benches reproduce
+   across platforms regardless of the stdlib Random implementation. *)
+let splitmix_next state =
+  let open Int64 in
+  state := add !state 0x9E3779B97F4A7C15L;
+  let z = !state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let uniform_of_state state =
+  (* 53 random bits -> [0, 1) *)
+  let bits = Int64.shift_right_logical (splitmix_next state) 11 in
+  Int64.to_float bits /. 9007199254740992.
+
+let random ?(seed = 0) ?(scale = 1.) rows cols =
+  let state = ref (Int64.of_int (seed + 0x1234567)) in
+  init rows cols (fun _ _ -> scale *. ((2. *. uniform_of_state state) -. 1.))
+
+let glorot ?(seed = 0) rows cols =
+  let bound = sqrt (6. /. float_of_int (rows + cols)) in
+  random ~seed ~scale:bound rows cols
+
+let copy m = { m with data = Array.copy m.data }
+
+let get m i j = m.data.((i * m.cols) + j)
+let set m i j x = m.data.((i * m.cols) + j) <- x
+let dims m = (m.rows, m.cols)
+let row m i = Array.sub m.data (i * m.cols) m.cols
+let col m j = Array.init m.rows (fun i -> get m i j)
+let to_arrays m = Array.init m.rows (fun i -> row m i)
+
+let matmul a b =
+  if a.cols <> b.rows then invalid_arg "Dense.matmul: inner dimension mismatch";
+  let m = a.rows and k = a.cols and n = b.cols in
+  let out = Array.make (m * n) 0. in
+  let ad = a.data and bd = b.data in
+  (* i-k-j loop order: the inner loop streams over contiguous rows of B and
+     the output, which is the cache-friendly order for row-major storage. *)
+  for i = 0 to m - 1 do
+    let arow = i * k and orow = i * n in
+    for p = 0 to k - 1 do
+      let av = ad.(arow + p) in
+      if av <> 0. then begin
+        let brow = p * n in
+        for j = 0 to n - 1 do
+          out.(orow + j) <- out.(orow + j) +. (av *. bd.(brow + j))
+        done
+      end
+    done
+  done;
+  { rows = m; cols = n; data = out }
+
+let matmul_gen (sr : Semiring.t) a b =
+  if Semiring.is_plus_times sr then matmul a b
+  else begin
+    if a.cols <> b.rows then invalid_arg "Dense.matmul_gen: inner dimension mismatch";
+    let m = a.rows and k = a.cols and n = b.cols in
+    init m n (fun i j ->
+        let acc = ref sr.zero in
+        for p = 0 to k - 1 do
+          acc := sr.add !acc (sr.mul (get a i p) (get b p j))
+        done;
+        !acc)
+  end
+
+let transpose m = init m.cols m.rows (fun i j -> get m j i)
+
+let map2 f a b =
+  if a.rows <> b.rows || a.cols <> b.cols then invalid_arg "Dense.map2: shape mismatch";
+  { a with data = Array.init (Array.length a.data) (fun i -> f a.data.(i) b.data.(i)) }
+
+let map f m = { m with data = Array.map f m.data }
+let add = map2 ( +. )
+let sub = map2 ( -. )
+let scale s = map (fun x -> s *. x)
+let mul_elementwise = map2 ( *. )
+
+let add_row_vector m v =
+  if Array.length v <> m.cols then invalid_arg "Dense.add_row_vector: dimension mismatch";
+  init m.rows m.cols (fun i j -> get m i j +. v.(j))
+
+let row_broadcast d m =
+  if Array.length d <> m.rows then invalid_arg "Dense.row_broadcast: dimension mismatch";
+  init m.rows m.cols (fun i j -> d.(i) *. get m i j)
+
+let col_broadcast m d =
+  if Array.length d <> m.cols then invalid_arg "Dense.col_broadcast: dimension mismatch";
+  init m.rows m.cols (fun i j -> get m i j *. d.(j))
+
+let concat_cols parts =
+  match parts with
+  | [] -> invalid_arg "Dense.concat_cols: empty list"
+  | first :: _ ->
+      let rows = first.rows in
+      List.iter
+        (fun m ->
+          if m.rows <> rows then invalid_arg "Dense.concat_cols: row count mismatch")
+        parts;
+      let total = List.fold_left (fun acc m -> acc + m.cols) 0 parts in
+      let out = create rows total 0. in
+      let offset = ref 0 in
+      List.iter
+        (fun m ->
+          for i = 0 to rows - 1 do
+            Array.blit m.data (i * m.cols) out.data ((i * total) + !offset) m.cols
+          done;
+          offset := !offset + m.cols)
+        parts;
+      out
+
+let split_cols m parts =
+  if parts <= 0 || m.cols mod parts <> 0 then
+    invalid_arg "Dense.split_cols: width not divisible by parts";
+  let w = m.cols / parts in
+  List.init parts (fun p -> init m.rows w (fun i j -> get m i ((p * w) + j)))
+
+let relu = map (fun x -> if x > 0. then x else 0.)
+let sigmoid = map (fun x -> 1. /. (1. +. exp (-.x)))
+let leaky_relu ?(slope = 0.2) = map (fun x -> if x > 0. then x else slope *. x)
+
+let softmax_rows m =
+  let out = copy m in
+  for i = 0 to m.rows - 1 do
+    let base = i * m.cols in
+    let mx = ref neg_infinity in
+    for j = 0 to m.cols - 1 do
+      if m.data.(base + j) > !mx then mx := m.data.(base + j)
+    done;
+    let total = ref 0. in
+    for j = 0 to m.cols - 1 do
+      let e = exp (m.data.(base + j) -. !mx) in
+      out.data.(base + j) <- e;
+      total := !total +. e
+    done;
+    for j = 0 to m.cols - 1 do
+      out.data.(base + j) <- out.data.(base + j) /. !total
+    done
+  done;
+  out
+
+let log_softmax_rows m =
+  let out = copy m in
+  for i = 0 to m.rows - 1 do
+    let base = i * m.cols in
+    let mx = ref neg_infinity in
+    for j = 0 to m.cols - 1 do
+      if m.data.(base + j) > !mx then mx := m.data.(base + j)
+    done;
+    let total = ref 0. in
+    for j = 0 to m.cols - 1 do
+      total := !total +. exp (m.data.(base + j) -. !mx)
+    done;
+    let log_z = !mx +. log !total in
+    for j = 0 to m.cols - 1 do
+      out.data.(base + j) <- m.data.(base + j) -. log_z
+    done
+  done;
+  out
+
+let sum m = Array.fold_left ( +. ) 0. m.data
+
+let frobenius m =
+  sqrt (Array.fold_left (fun acc x -> acc +. (x *. x)) 0. m.data)
+
+let row_sums m =
+  Vector.init m.rows (fun i ->
+      let acc = ref 0. in
+      for j = 0 to m.cols - 1 do
+        acc := !acc +. get m i j
+      done;
+      !acc)
+
+let col_sums m =
+  let acc = Vector.zeros m.cols in
+  for i = 0 to m.rows - 1 do
+    for j = 0 to m.cols - 1 do
+      acc.(j) <- acc.(j) +. get m i j
+    done
+  done;
+  acc
+
+let argmax_rows m =
+  Array.init m.rows (fun i ->
+      let best = ref 0 in
+      for j = 1 to m.cols - 1 do
+        if get m i j > get m i !best then best := j
+      done;
+      !best)
+
+let max_abs_diff a b =
+  if a.rows <> b.rows || a.cols <> b.cols then infinity
+  else begin
+    let d = ref 0. in
+    for i = 0 to Array.length a.data - 1 do
+      let x = Float.abs (a.data.(i) -. b.data.(i)) in
+      if x > !d then d := x
+    done;
+    !d
+  end
+
+let equal_approx ?(eps = 1e-8) a b =
+  a.rows = b.rows && a.cols = b.cols
+  && begin
+       let ok = ref true in
+       for i = 0 to Array.length a.data - 1 do
+         let d = Float.abs (a.data.(i) -. b.data.(i)) in
+         let bound =
+           eps *. Float.max 1. (Float.max (Float.abs a.data.(i)) (Float.abs b.data.(i)))
+         in
+         if d > bound then ok := false
+       done;
+       !ok
+     end
+
+let pp ppf m =
+  Format.fprintf ppf "@[<v>";
+  for i = 0 to Stdlib.min (m.rows - 1) 9 do
+    Format.fprintf ppf "|";
+    for j = 0 to Stdlib.min (m.cols - 1) 9 do
+      Format.fprintf ppf " %8.4f" (get m i j)
+    done;
+    if m.cols > 10 then Format.fprintf ppf " ...";
+    Format.fprintf ppf " |@,"
+  done;
+  if m.rows > 10 then Format.fprintf ppf "... (%dx%d)@," m.rows m.cols;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,40 @@
+(** Deterministic pseudo-random number generator (SplitMix64).
+
+    All stochastic components (weight init, graph generators, neighborhood
+    sampling, cost-model training) draw from this generator so that every
+    experiment is reproducible bit-for-bit across runs and platforms,
+    independent of the OCaml stdlib [Random] implementation. *)
+
+type t
+
+val create : int -> t
+(** [create seed] is a fresh generator. Equal seeds give equal streams. *)
+
+val split : t -> t
+(** [split t] derives an independent generator, advancing [t]. *)
+
+val int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val float : t -> float
+(** Uniform in [[0, 1)]. *)
+
+val uniform : t -> float -> float -> float
+(** [uniform t lo hi] is uniform in [[lo, hi)]. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [[0, bound)]. Raises [Invalid_argument] if
+    [bound <= 0]. *)
+
+val bool : t -> float -> bool
+(** [bool t p] is [true] with probability [p]. *)
+
+val normal : t -> float
+(** Standard normal via Box–Muller. *)
+
+val shuffle_in_place : t -> 'a array -> unit
+(** Fisher–Yates shuffle. *)
+
+val sample_without_replacement : t -> int -> int -> int array
+(** [sample_without_replacement t k n] draws [k] distinct values from
+    [[0, n)]; if [k >= n] it returns all of [[0, n)] in random order. *)

@@ -1,0 +1,18 @@
+type t = {
+  name : string;
+  zero : float;
+  add : float -> float -> float;
+  mul : float -> float -> float;
+}
+
+let make ~name ~zero ~add ~mul = { name; zero; add; mul }
+
+let plus_times = make ~name:"plus_times" ~zero:0. ~add:( +. ) ~mul:( *. )
+let max_plus = make ~name:"max_plus" ~zero:neg_infinity ~add:Float.max ~mul:( +. )
+let min_plus = make ~name:"min_plus" ~zero:infinity ~add:Float.min ~mul:( +. )
+let max_times = make ~name:"max_times" ~zero:neg_infinity ~add:Float.max ~mul:( *. )
+let plus_rhs = make ~name:"plus_rhs" ~zero:0. ~add:( +. ) ~mul:(fun _ y -> y)
+
+let is_plus_times sr = sr == plus_times
+let equal_name a b = String.equal a.name b.name
+let pp ppf sr = Format.fprintf ppf "%s" sr.name

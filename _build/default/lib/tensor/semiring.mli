@@ -1,0 +1,48 @@
+(** Semirings for generalized sparse primitives.
+
+    DGL showed that all sparse matrix operations needed by GNNs are covered by
+    generalized SpMM / SDDMM where the scalar [( + , * )] pair is replaced by
+    an arbitrary semiring {m (\oplus, \otimes)} (paper, Sec. II-B). A
+    semiring here is a commutative-monoid addition with identity [zero] and a
+    multiplication; we do not require distributivity to be proved, only used
+    consistently by kernels. *)
+
+type t = private {
+  name : string;
+  zero : float;  (** identity of [add] *)
+  add : float -> float -> float;
+  mul : float -> float -> float;
+}
+
+val make :
+  name:string -> zero:float -> add:(float -> float -> float) ->
+  mul:(float -> float -> float) -> t
+(** Define a custom semiring. *)
+
+val plus_times : t
+(** The standard arithmetic semiring {m (+, \times)} with zero [0.]. *)
+
+val max_plus : t
+(** Tropical semiring {m (\max, +)} with zero [neg_infinity]; used e.g. for
+    longest-path style aggregations. *)
+
+val min_plus : t
+(** Tropical semiring {m (\min, +)} with zero [infinity]. *)
+
+val max_times : t
+(** {m (\max, \times)} with zero [neg_infinity]; max-pooling aggregation over
+    weighted neighbors. *)
+
+val plus_rhs : t
+(** {m (+, (\_, y) \mapsto y)}: ignores the left (edge) operand and sums the
+    right operand. This is the cheap aggregation used for unweighted graphs
+    (paper, Appendix B): the edge value need not be read at all. *)
+
+val is_plus_times : t -> bool
+(** [true] iff the semiring is (pointer-)identical to {!plus_times}; kernels
+    use it to dispatch to a specialized fast path. *)
+
+val equal_name : t -> t -> bool
+(** Structural identity by [name]. *)
+
+val pp : Format.formatter -> t -> unit

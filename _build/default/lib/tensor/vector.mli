@@ -1,0 +1,64 @@
+(** Dense float vectors.
+
+    Thin helpers over [float array] used for node-wise quantities such as
+    degree vectors and normalization factors ({m D^{-1/2}}). *)
+
+type t = float array
+
+val create : int -> float -> t
+(** [create n x] is a vector of length [n] filled with [x]. *)
+
+val init : int -> (int -> float) -> t
+(** [init n f] is [| f 0; ...; f (n-1) |]. *)
+
+val zeros : int -> t
+
+val ones : int -> t
+
+val dim : t -> int
+
+val map : (float -> float) -> t -> t
+
+val map2 : (float -> float -> float) -> t -> t -> t
+(** [map2 f a b] applies [f] pointwise. Raises [Invalid_argument] on
+    dimension mismatch. *)
+
+val add : t -> t -> t
+
+val sub : t -> t -> t
+
+val scale : float -> t -> t
+
+val dot : t -> t -> float
+
+val sum : t -> float
+
+val mean : t -> float
+
+val max : t -> float
+(** Maximum element. Raises [Invalid_argument] on the empty vector. *)
+
+val min : t -> float
+(** Minimum element. Raises [Invalid_argument] on the empty vector. *)
+
+val variance : t -> float
+(** Population variance. *)
+
+val std : t -> float
+
+val norm2 : t -> float
+(** Euclidean norm. *)
+
+val pow : float -> t -> t
+(** [pow p v] raises every element to the power [p]. Elements equal to [0.]
+    are mapped to [0.] (used for pseudo-inverse degree scalings). *)
+
+val inv_sqrt : t -> t
+(** [inv_sqrt v] is the elementwise {m x \mapsto x^{-1/2}}, mapping [0.] to
+    [0.]. This is the GCN normalization vector {m D^{-1/2}}. *)
+
+val equal_approx : ?eps:float -> t -> t -> bool
+(** Pointwise comparison with absolute/relative tolerance [eps]
+    (default [1e-9]). *)
+
+val pp : Format.formatter -> t -> unit

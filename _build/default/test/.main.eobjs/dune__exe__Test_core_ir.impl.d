@@ -1,0 +1,1 @@
+test/test_core_ir.ml: Alcotest Dim Granii_core Granii_mp List Matrix_ir Rewrite String Test_util

@@ -1,0 +1,1 @@
+test/test_enumerate.ml: Alcotest Assoc_tree Dim Enumerate Granii_core Granii_mp List Matrix_ir Primitive Prune QCheck2 Test_util

@@ -1,0 +1,1 @@
+test/test_gnn.ml: Alcotest Array Codegen Dim Executor Float Granii Granii_core Granii_gnn Granii_graph Granii_hw Granii_mp Granii_tensor Lazy List Printf String Test_util

@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Datasets Float Generators Granii_graph Granii_sparse Graph Graph_features List Sampling String Test_util

@@ -1,0 +1,1 @@
+test/test_hw.ml: Alcotest Array Float Granii_hw Hw_profile Kernel_model List QCheck2 String Test_util Timer

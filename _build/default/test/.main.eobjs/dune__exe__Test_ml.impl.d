@@ -1,0 +1,1 @@
+test/test_ml.ml: Alcotest Array Gbrt Granii_ml Granii_tensor Ml_dataset Ml_metrics Printf QCheck2 Regression_tree Test_util

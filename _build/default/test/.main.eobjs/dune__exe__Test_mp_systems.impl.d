@@ -1,0 +1,1 @@
+test/test_mp_systems.ml: Alcotest Codegen Dim Executor Granii Granii_core Granii_gnn Granii_graph Granii_mp Granii_systems Granii_tensor List Matrix_ir Plan Primitive Printf String Test_util

@@ -1,0 +1,1 @@
+test/test_sparse.ml: Alcotest Array Coo Csc Csr Float Granii_sparse Granii_tensor Sddmm Semiring Sparse_ops Spmm Test_util Vector

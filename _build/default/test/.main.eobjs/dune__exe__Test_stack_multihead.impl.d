@@ -1,0 +1,1 @@
+test/test_stack_multihead.ml: Alcotest Array Cost_model Dim Executor Granii Granii_core Granii_gnn Granii_graph Granii_hw Granii_mp Granii_tensor Lazy List Plan Printf Test_util

@@ -1,0 +1,1 @@
+test/test_tensor.ml: Alcotest Array Dense Float Granii_tensor List Prng QCheck2 Semiring Test_util Vector

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Granii_graph Granii_sparse Granii_tensor QCheck2 QCheck_alcotest String

@@ -1,0 +1,16 @@
+let () =
+  Alcotest.run "granii"
+    [ ("tensor", Test_tensor.suite);
+      ("sparse", Test_sparse.suite);
+      ("graph", Test_graph.suite);
+      ("hw", Test_hw.suite);
+      ("ml", Test_ml.suite);
+      ("core-ir", Test_core_ir.suite);
+      ("enumerate-prune", Test_enumerate.suite);
+      ("plan-executor", Test_plan_exec.suite);
+      ("selection", Test_selection.suite);
+      ("mp-systems", Test_mp_systems.suite);
+      ("gnn", Test_gnn.suite);
+      ("persistence", Test_persistence.suite);
+      ("stack-multihead", Test_stack_multihead.suite);
+      ("integration", Test_integration.suite) ]

@@ -1,0 +1,148 @@
+open Granii_core
+open Test_util
+module Ir = Matrix_ir
+
+let d = Ir.diagonal "D"
+let a = Ir.adjacency "A"
+let h = Ir.features "H"
+let w = Ir.weight "W"
+
+let gcn_chain = Ir.Mult [ Ir.Leaf d; Ir.Leaf a; Ir.Leaf d; Ir.Leaf h; Ir.Leaf w ]
+
+let test_infer_leaves () =
+  check_true "adjacency is sparse" (Ir.is_sparse (Ir.Leaf a));
+  check_true "diagonal detected" (Ir.is_diagonal (Ir.Leaf d));
+  check_true "features dense" (Ir.is_dense (Ir.Leaf h));
+  let (r, c), attr = Ir.infer (Ir.Leaf w) in
+  check_true "weight shape" (Dim.equal r Dim.Kin && Dim.equal c Dim.Kout);
+  check_true "weight attr" (attr = Ir.Dense Ir.Weight)
+
+let test_infer_chain () =
+  let (r, c), attr = Ir.infer gcn_chain in
+  check_true "chain shape N x Kout" (Dim.equal r Dim.N && Dim.equal c Dim.Kout);
+  check_true "chain with dense elements is dense" (attr = Ir.Dense Ir.Data)
+
+let test_infer_sparse_chain () =
+  let (_, _), attr = Ir.infer (Ir.Mult [ Ir.Leaf d; Ir.Leaf a; Ir.Leaf d ]) in
+  check_true "normalized adjacency is weighted sparse" (attr = Ir.Sparse Ir.Weighted);
+  let (_, _), attr2 = Ir.infer (Ir.Mult [ Ir.Leaf d; Ir.Leaf d ]) in
+  check_true "diag . diag is diagonal" (attr2 = Ir.Sparse Ir.Diagonal)
+
+let test_infer_errors () =
+  let bad_inner = Ir.Mult [ Ir.Leaf w; Ir.Leaf w ] in
+  check_true "inner dim mismatch raises"
+    (try ignore (Ir.infer bad_inner); false with Ir.Ill_formed _ -> true);
+  check_true "short chain raises"
+    (try ignore (Ir.infer (Ir.Mult [ Ir.Leaf h ])); false with Ir.Ill_formed _ -> true);
+  check_true "add shape mismatch raises"
+    (try ignore (Ir.infer (Ir.Add [ Ir.Leaf h; Ir.Leaf w ])); false
+     with Ir.Ill_formed _ -> true);
+  check_true "row_broadcast needs a diagonal"
+    (try ignore (Ir.infer (Ir.Row_broadcast (Ir.Leaf a, Ir.Leaf h))); false
+     with Ir.Ill_formed _ -> true);
+  check_true "dense nonlinearity rejects sparse"
+    (try ignore (Ir.infer (Ir.Nonlinear (Ir.Relu, Ir.Leaf a))); false
+     with Ir.Ill_formed _ -> true)
+
+let test_keys () =
+  check_true "identical exprs share a key" (Ir.equal gcn_chain gcn_chain);
+  check_true "different exprs differ"
+    (not (Ir.equal gcn_chain (Ir.Mult [ Ir.Leaf a; Ir.Leaf h ])))
+
+let test_leaves_order () =
+  let names = List.map (fun (l : Ir.leaf) -> l.Ir.name) (Ir.leaves gcn_chain) in
+  Alcotest.(check (list string)) "left-to-right with duplicates"
+    [ "D"; "A"; "D"; "H"; "W" ] names
+
+let test_flatten () =
+  let nested = Ir.Mult [ Ir.Leaf a; Ir.Mult [ Ir.Leaf h; Ir.Leaf w ] ] in
+  match Rewrite.flatten nested with
+  | Ir.Mult [ Ir.Leaf _; Ir.Leaf _; Ir.Leaf _ ] -> ()
+  | e -> Alcotest.failf "expected flat 3-chain, got %s" (Ir.key e)
+
+let test_flatten_singleton () =
+  match Rewrite.flatten (Ir.Mult [ Ir.Mult [ Ir.Leaf h; Ir.Leaf w ] ]) with
+  | Ir.Mult [ Ir.Leaf _; Ir.Leaf _ ] -> ()
+  | e -> Alcotest.failf "singleton chain collapsed wrongly: %s" (Ir.key e)
+
+let test_broadcast_elimination () =
+  let e = Ir.Row_broadcast (Ir.Leaf d, Ir.Mult [ Ir.Leaf h; Ir.Leaf w ]) in
+  match Rewrite.eliminate_broadcasts e with
+  | Ir.Mult [ Ir.Leaf l; Ir.Leaf _; Ir.Leaf _ ] ->
+      check_true "diagonal first" (String.equal l.Ir.name "D")
+  | e' -> Alcotest.failf "expected 3-chain, got %s" (Ir.key e')
+
+let test_broadcast_elimination_semantics () =
+  (* The eliminated form must still infer to the same shape/attr. *)
+  let e = Ir.Row_broadcast (Ir.Leaf d, Ir.Leaf h) in
+  let s1 = Ir.infer e and s2 = Ir.infer (Rewrite.eliminate_broadcasts e) in
+  check_true "shape preserved" (fst s1 = fst s2)
+
+let test_distribute () =
+  let e =
+    Ir.Mult [ Ir.Add [ Ir.Leaf d; Ir.Leaf a ]; Ir.Leaf h; Ir.Leaf w ]
+  in
+  let variants = Rewrite.distribute_once e in
+  check_int "one distribution site" 1 (List.length variants);
+  match variants with
+  | [ Ir.Add [ Ir.Mult m1; Ir.Mult m2 ] ] ->
+      check_int "term chains keep the tail" 3 (List.length m1);
+      check_int "term chains keep the tail (2)" 3 (List.length m2)
+  | _ -> Alcotest.fail "unexpected distribution shape"
+
+let test_factor () =
+  let e =
+    Ir.Add
+      [ Ir.Mult [ Ir.Leaf d; Ir.Leaf h ]; Ir.Mult [ Ir.Leaf a; Ir.Leaf h ] ]
+  in
+  let variants = Rewrite.factor_once e in
+  check_true "suffix factoring found" (List.length variants >= 1);
+  match List.hd variants with
+  | Ir.Mult [ Ir.Add [ Ir.Leaf _; Ir.Leaf _ ]; Ir.Leaf l ] ->
+      check_true "common tail factored" (String.equal l.Ir.name "H")
+  | e' -> Alcotest.failf "unexpected factoring: %s" (Ir.key e')
+
+let test_distribute_factor_inverse () =
+  let e = Ir.Mult [ Ir.Add [ Ir.Leaf d; Ir.Leaf a ]; Ir.Leaf h ] in
+  match Rewrite.distribute_once e with
+  | [ distributed ] ->
+      let back = Rewrite.factor_once distributed in
+      check_true "factoring recovers the original"
+        (List.exists (Ir.equal e) back)
+  | _ -> Alcotest.fail "expected one distribution"
+
+let test_variants_closed_and_unique () =
+  let vs = Rewrite.variants gcn_chain in
+  check_true "original first" (Ir.equal (List.hd vs) gcn_chain);
+  let keys = List.map Ir.key vs in
+  check_int "no duplicate variants" (List.length keys)
+    (List.length (List.sort_uniq compare keys))
+
+let test_variants_wellformed =
+  (* Every rewrite variant of every model IR must remain well-formed. *)
+  Alcotest.test_case "all model variants well-formed" `Quick (fun () ->
+      List.iter
+        (fun m ->
+          let low = Granii_mp.Lower.lower m in
+          List.iter
+            (fun v -> ignore (Ir.infer v))
+            (Rewrite.variants low.Granii_mp.Lower.ir))
+        Granii_mp.Mp_models.all)
+
+let suite =
+  [ Alcotest.test_case "infer leaves" `Quick test_infer_leaves;
+    Alcotest.test_case "infer chain" `Quick test_infer_chain;
+    Alcotest.test_case "infer sparse chain" `Quick test_infer_sparse_chain;
+    Alcotest.test_case "infer errors" `Quick test_infer_errors;
+    Alcotest.test_case "canonical keys" `Quick test_keys;
+    Alcotest.test_case "leaves order" `Quick test_leaves_order;
+    Alcotest.test_case "flatten" `Quick test_flatten;
+    Alcotest.test_case "flatten singleton" `Quick test_flatten_singleton;
+    Alcotest.test_case "broadcast elimination" `Quick test_broadcast_elimination;
+    Alcotest.test_case "broadcast elimination semantics" `Quick
+      test_broadcast_elimination_semantics;
+    Alcotest.test_case "distribute" `Quick test_distribute;
+    Alcotest.test_case "factor" `Quick test_factor;
+    Alcotest.test_case "distribute/factor inverse" `Quick test_distribute_factor_inverse;
+    Alcotest.test_case "variants closure" `Quick test_variants_closed_and_unique;
+    test_variants_wellformed ]

@@ -1,0 +1,199 @@
+open Granii_core
+open Test_util
+module Ir = Matrix_ir
+
+let d = Ir.diagonal "D"
+let a = Ir.adjacency "A"
+let h = Ir.features "H"
+let w = Ir.weight "W"
+let gcn = Ir.Mult [ Ir.Leaf d; Ir.Leaf a; Ir.Leaf d; Ir.Leaf h; Ir.Leaf w ]
+
+let forest_of model =
+  let low = Granii_mp.Lower.lower model in
+  Enumerate.forest low.Granii_mp.Lower.ir
+
+let test_simple_pair () =
+  let trees = Enumerate.forest (Ir.Mult [ Ir.Leaf a; Ir.Leaf h ]) in
+  check_int "single reduction" 1 (List.length trees);
+  match Assoc_tree.primitives (List.hd trees) with
+  | [ Primitive.Spmm { weighted = false; _ } ] -> ()
+  | prims ->
+      Alcotest.failf "expected one unweighted SpMM, got %d prims" (List.length prims)
+
+let test_three_chain () =
+  let trees = Enumerate.forest (Ir.Mult [ Ir.Leaf a; Ir.Leaf h; Ir.Leaf w ]) in
+  check_int "two associations of a 3-chain" 2 (List.length trees)
+
+let test_gcn_counts () =
+  (* Our rule set enumerates 16 re-associations for GCN (the paper's rules
+     report 12 — see DESIGN.md); pruning keeps 8, split 4/4 by scenario. *)
+  let trees = Enumerate.forest gcn in
+  check_int "gcn enumerated" 16 (List.length trees);
+  let r = Prune.run trees in
+  check_int "gcn pruned" 8 r.Prune.n_pruned;
+  check_int "gcn promoted" 8 (List.length r.Prune.promoted);
+  let by_scenario s =
+    List.length
+      (List.filter (fun c -> List.mem s c.Prune.scenarios) r.Prune.promoted)
+  in
+  check_int "4 shrinking candidates" 4 (by_scenario Dim.Shrinking);
+  check_int "4 growing candidates" 4 (by_scenario Dim.Growing)
+
+let test_gcn_has_both_paper_compositions () =
+  let trees = Enumerate.forest gcn in
+  let has_precompute =
+    List.exists
+      (fun t -> List.exists (( = ) Primitive.Sddmm_rank1) (Assoc_tree.primitives t))
+      trees
+  in
+  let has_dynamic =
+    List.exists
+      (fun t ->
+        List.for_all
+          (function
+            | Primitive.Sddmm_rank1 | Primitive.Diag_scale _ -> false
+            | _ -> true)
+          (Assoc_tree.primitives t))
+      trees
+  in
+  check_true "precomputation-based composition present (Eq. 3)" has_precompute;
+  check_true "dynamic-normalization composition present (Eq. 2)" has_dynamic
+
+let test_gat_counts () =
+  (* Matches the paper exactly: 2 compositions, 0 pruned. *)
+  let trees = forest_of Granii_mp.Mp_models.gat in
+  check_int "gat enumerated" 2 (List.length trees);
+  let r = Prune.run trees in
+  check_int "gat pruned" 0 r.Prune.n_pruned;
+  List.iter
+    (fun c ->
+      check_int "gat candidates valid under both scenarios" 2
+        (List.length c.Prune.scenarios))
+    r.Prune.promoted
+
+let test_gat_reuse_vs_recompute () =
+  let trees = forest_of Granii_mp.Mp_models.gat in
+  let gemms t =
+    List.length
+      (List.filter (function Primitive.Gemm _ -> true | _ -> false)
+         (Assoc_tree.primitives t))
+  in
+  let counts = List.sort compare (List.map gemms trees) in
+  Alcotest.(check (list int)) "one reuse (1 GEMM), one recompute (2 GEMMs)"
+    [ 1; 2 ] counts
+
+let test_gin_counts () =
+  let trees = forest_of Granii_mp.Mp_models.gin in
+  check_int "gin enumerated (paper: 8)" 7 (List.length trees);
+  let has_preadd =
+    List.exists
+      (fun t ->
+        List.exists
+          (function Primitive.Sparse_add { diag = true } -> true | _ -> false)
+          (Assoc_tree.primitives t))
+      trees
+  in
+  check_true "pre-added (1+eps)I + A composition exposed" has_preadd
+
+let test_all_models_enumerate =
+  Alcotest.test_case "all models enumerate non-empty, well-typed forests" `Quick
+    (fun () ->
+      List.iter
+        (fun m ->
+          let trees = forest_of m in
+          check_true (m.Granii_mp.Mp_ast.name ^ " forest non-empty")
+            (List.length trees > 0);
+          (* every tree computes an N x Kout dense result *)
+          List.iter
+            (fun t ->
+              let r, c = Assoc_tree.node_shape t.Assoc_tree.root in
+              check_true "root shape" (Dim.equal r Dim.N && Dim.equal c Dim.Kout))
+            trees)
+        Granii_mp.Mp_models.all)
+
+let test_forest_dedup () =
+  let trees = Enumerate.forest gcn in
+  let keys = List.map Assoc_tree.tree_key trees in
+  check_int "no duplicate trees" (List.length keys)
+    (List.length (List.sort_uniq compare keys))
+
+let test_max_trees_guard () =
+  check_true "tiny budget trips the guard"
+    (try ignore (Enumerate.forest ~max_trees:1 gcn); false
+     with Enumerate.Too_many_trees _ -> true)
+
+let test_cse_shares_subtrees () =
+  (* GAT's reuse candidate contains the theta GEMM twice in the tree but
+     once in the CSE'd op list. *)
+  let trees = forest_of Granii_mp.Mp_models.gat in
+  let reuse =
+    List.find
+      (fun t ->
+        List.length
+          (List.filter (function Primitive.Gemm _ -> true | _ -> false)
+             (Assoc_tree.primitives t))
+        = 1)
+      trees
+  in
+  let ops = Assoc_tree.ops reuse in
+  let keys = List.map (fun (o : Assoc_tree.op) -> o.Assoc_tree.okey) ops in
+  check_int "ops deduplicated by key" (List.length keys)
+    (List.length (List.sort_uniq compare keys))
+
+let test_prune_never_removes_everything =
+  qtest ~count:20 "pruning keeps at least one candidate per scenario"
+    QCheck2.Gen.(int_range 0 5)
+    (fun _ ->
+      let r = Prune.run (Enumerate.forest gcn) in
+      List.for_all
+        (fun s -> List.exists (fun c -> List.mem s c.Prune.scenarios) r.Prune.promoted)
+        Dim.all_scenarios)
+
+let test_prune_signature () =
+  let trees = Enumerate.forest gcn in
+  let t = List.hd trees in
+  let s = Prune.signature Dim.Shrinking ~nnz_per_node:16. t in
+  check_int "one signature entry per primitive" (List.length (Assoc_tree.primitives t))
+    (List.length s);
+  check_true "sorted" (List.sort compare s = s)
+
+let test_prune_subset_rule () =
+  (* A tree plus an extra primitive must be dominated. *)
+  let small = Enumerate.forest (Ir.Mult [ Ir.Leaf a; Ir.Leaf h ]) in
+  let base = List.hd small in
+  let extra =
+    Assoc_tree.of_root
+      (Assoc_tree.mk_op
+         ~prim:(Primitive.Dense_map { kind = Ir.Relu; m = Dim.N; k = Dim.Kin })
+         ~args:[ base.Assoc_tree.root ] ~rows:Dim.N ~cols:Dim.Kin
+         ~attr:(Ir.Dense Ir.Data))
+  in
+  let r = Prune.run [ base; extra ] in
+  check_int "superset pruned" 1 r.Prune.n_pruned;
+  check_true "base survives"
+    (List.exists
+       (fun c -> Assoc_tree.tree_key c.Prune.tree = Assoc_tree.tree_key base)
+       r.Prune.promoted)
+
+let test_prune_duplicates () =
+  let trees = Enumerate.forest gcn in
+  let t = List.hd trees in
+  let r = Prune.run [ t; t; t ] in
+  check_int "duplicates collapse to one" 1 (List.length r.Prune.promoted)
+
+let suite =
+  [ Alcotest.test_case "pair reduction" `Quick test_simple_pair;
+    Alcotest.test_case "3-chain" `Quick test_three_chain;
+    Alcotest.test_case "GCN counts" `Quick test_gcn_counts;
+    Alcotest.test_case "GCN paper compositions" `Quick test_gcn_has_both_paper_compositions;
+    Alcotest.test_case "GAT counts (paper: 2/0)" `Quick test_gat_counts;
+    Alcotest.test_case "GAT reuse vs recompute" `Quick test_gat_reuse_vs_recompute;
+    Alcotest.test_case "GIN counts" `Quick test_gin_counts;
+    test_all_models_enumerate;
+    Alcotest.test_case "forest dedup" `Quick test_forest_dedup;
+    Alcotest.test_case "max_trees guard" `Quick test_max_trees_guard;
+    Alcotest.test_case "CSE shares subtrees" `Quick test_cse_shares_subtrees;
+    test_prune_never_removes_everything;
+    Alcotest.test_case "prune signature" `Quick test_prune_signature;
+    Alcotest.test_case "prune subset rule" `Quick test_prune_subset_rule;
+    Alcotest.test_case "prune duplicates" `Quick test_prune_duplicates ]

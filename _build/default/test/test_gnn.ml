@@ -1,0 +1,201 @@
+open Granii_core
+open Test_util
+module Dense = Granii_tensor.Dense
+module G = Granii_graph
+module Gnn = Granii_gnn
+module Mp = Granii_mp
+
+let graph = lazy (G.Generators.erdos_renyi ~seed:13 ~n:40 ~avg_degree:4. ())
+
+let compiled_of model =
+  let low = Mp.Lower.lower model in
+  let compiled, _ =
+    Granii.compile ~name:model.Mp.Mp_ast.name
+      ~degree_leaves:(Mp.Lower.degree_leaves low ~binned:false)
+      low.Mp.Lower.ir
+  in
+  (low, compiled)
+
+let test_loss_values () =
+  (* Uniform logits over c classes: loss = log c, and gradient sums to 0. *)
+  let logits = Dense.zeros 4 3 in
+  let labels = [| 0; 1; 2; 0 |] in
+  let loss, grad = Gnn.Loss.softmax_cross_entropy ~logits ~labels () in
+  check_float ~eps:1e-9 "uniform loss = log 3" (log 3.) loss;
+  check_float ~eps:1e-9 "gradient sums to zero" 0. (Dense.sum grad)
+
+let test_loss_mask () =
+  let logits = Dense.of_arrays [| [| 10.; 0. |]; [| 0.; 10. |] |] in
+  let labels = [| 0; 0 |] in
+  let mask = [| true; false |] in
+  let loss_masked, grad = Gnn.Loss.softmax_cross_entropy ~mask ~logits ~labels () in
+  check_true "masked node ignored" (loss_masked < 0.01);
+  check_float "masked row has zero grad" 0. (Dense.get grad 1 0);
+  check_float "accuracy on mask" 1. (Gnn.Loss.accuracy ~mask ~logits ~labels ())
+
+let test_loss_validation () =
+  check_true "label range checked"
+    (try
+       ignore (Gnn.Loss.softmax_cross_entropy ~logits:(Dense.zeros 1 2) ~labels:[| 5 |] ());
+       false
+     with Invalid_argument _ -> true)
+
+(* Finite-difference gradient check on GCN weights through the full plan. *)
+let test_autodiff_finite_difference () =
+  let graph = Lazy.force graph in
+  let n = G.Graph.n_nodes graph in
+  let k_in = 5 and k_out = 3 in
+  let low, compiled = compiled_of Mp.Mp_models.gcn in
+  let plan = (List.hd compiled.Codegen.candidates).Codegen.plan in
+  let env = { Dim.n; nnz = G.Graph.n_edges graph + n; k_in; k_out } in
+  let params = Gnn.Layer.init_params ~seed:7 ~env low in
+  let h = Dense.random ~seed:8 n k_in in
+  let labels = Array.init n (fun i -> i mod k_out) in
+  let loss_of params =
+    let bindings = Gnn.Layer.bindings ~graph ~h params in
+    let fwd = Executor.run ~timing:Executor.Measure ~graph ~bindings plan in
+    match fwd.Executor.output with
+    | Executor.Vdense logits ->
+        let loss, dlogits = Gnn.Loss.softmax_cross_entropy ~logits ~labels () in
+        (loss, dlogits, fwd, bindings)
+    | _ -> Alcotest.fail "dense output expected"
+  in
+  let _, dlogits, fwd, bindings = loss_of params in
+  let grads = Gnn.Autodiff.backward ~plan ~graph ~bindings ~forward:fwd ~seed:dlogits in
+  let gw = List.assoc "W" grads in
+  let w = List.assoc "W" params in
+  let eps = 1e-5 in
+  List.iter
+    (fun (i, j) ->
+      let perturb delta =
+        let w' = Dense.copy w in
+        Dense.set w' i j (Dense.get w i j +. delta);
+        let params' = List.map (fun (nm, v) -> if nm = "W" then (nm, w') else (nm, v)) params in
+        let l, _, _, _ = loss_of params' in
+        l
+      in
+      let numeric = (perturb eps -. perturb (-.eps)) /. (2. *. eps) in
+      let analytic = Dense.get gw i j in
+      check_true
+        (Printf.sprintf "dW[%d,%d]: numeric %.6f vs analytic %.6f" i j numeric analytic)
+        (Float.abs (numeric -. analytic) < 1e-4 *. Float.max 1. (Float.abs numeric)))
+    [ (0, 0); (1, 2); (4, 1) ]
+
+let test_autodiff_gat_finite_difference () =
+  let graph = Lazy.force graph in
+  let n = G.Graph.n_nodes graph in
+  let k_in = 4 and k_out = 3 in
+  let low, compiled = compiled_of Mp.Mp_models.gat in
+  let plan = (List.hd compiled.Codegen.candidates).Codegen.plan in
+  let env = { Dim.n; nnz = G.Graph.n_edges graph + n; k_in; k_out } in
+  let params = Gnn.Layer.init_params ~seed:17 ~env low in
+  let h = Dense.random ~seed:18 n k_in in
+  let labels = Array.init n (fun i -> i mod k_out) in
+  let loss_of params =
+    let bindings = Gnn.Layer.bindings ~graph ~h params in
+    let fwd = Executor.run ~timing:Executor.Measure ~graph ~bindings plan in
+    match fwd.Executor.output with
+    | Executor.Vdense logits ->
+        let loss, dlogits = Gnn.Loss.softmax_cross_entropy ~logits ~labels () in
+        (loss, dlogits, fwd, bindings)
+    | _ -> Alcotest.fail "dense output expected"
+  in
+  let _, dlogits, fwd, bindings = loss_of params in
+  let grads = Gnn.Autodiff.backward ~plan ~graph ~bindings ~forward:fwd ~seed:dlogits in
+  List.iter
+    (fun pname ->
+      let gp = List.assoc pname grads in
+      let p = List.assoc pname params in
+      let eps = 1e-5 in
+      let i, j = (0, 0) in
+      let perturb delta =
+        let p' = Dense.copy p in
+        Dense.set p' i j (Dense.get p i j +. delta);
+        let params' = List.map (fun (nm, v) -> if nm = pname then (nm, p') else (nm, v)) params in
+        let l, _, _, _ = loss_of params' in
+        l
+      in
+      let numeric = (perturb eps -. perturb (-.eps)) /. (2. *. eps) in
+      let analytic = Dense.get gp i j in
+      check_true
+        (Printf.sprintf "GAT d%s: numeric %.6f vs analytic %.6f" pname numeric analytic)
+        (Float.abs (numeric -. analytic) < 1e-3 *. Float.max 1. (Float.abs numeric)))
+    [ "W"; "Asrc"; "Adst" ]
+
+let test_optimizer_sgd () =
+  let params = [ ("w", Dense.ones 1 1) ] in
+  let grads = [ ("w", Dense.ones 1 1) ] in
+  let opt = Gnn.Optimizer.sgd ~lr:0.5 () in
+  let params' = Gnn.Optimizer.step opt params grads in
+  check_float "sgd step" 0.5 (Dense.get (List.assoc "w" params') 0 0);
+  check_true "name" (String.equal (Gnn.Optimizer.name opt) "sgd")
+
+let test_optimizer_adam_direction () =
+  let params = [ ("w", Dense.ones 1 1) ] in
+  let grads = [ ("w", Dense.ones 1 1) ] in
+  let opt = Gnn.Optimizer.adam ~lr:0.1 () in
+  let params' = Gnn.Optimizer.step opt params grads in
+  check_true "adam moves against the gradient"
+    (Dense.get (List.assoc "w" params') 0 0 < 1.)
+
+let test_training_reduces_loss model () =
+  let graph = Lazy.force graph in
+  let n = G.Graph.n_nodes graph in
+  let classes = 3 in
+  let low, compiled = compiled_of model in
+  let plan = (List.hd compiled.Codegen.candidates).Codegen.plan in
+  let env = { Dim.n; nnz = G.Graph.n_edges graph + n; k_in = 6; k_out = classes } in
+  let params = Gnn.Layer.init_params ~seed:23 ~env low in
+  let features = Dense.random ~seed:24 n 6 in
+  let labels = Array.init n (fun i -> i mod classes) in
+  let hist =
+    Gnn.Trainer.train ~epochs:25 ~optimizer:(Gnn.Optimizer.adam ~lr:0.05 ()) ~plan
+      ~graph ~features ~labels ~params ()
+  in
+  let first = hist.Gnn.Trainer.losses.(0) in
+  let last = hist.Gnn.Trainer.losses.(24) in
+  check_true
+    (Printf.sprintf "%s loss decreases (%.4f -> %.4f)" model.Mp.Mp_ast.name first last)
+    (last < first -. 0.01)
+
+let test_timing_modes () =
+  let graph = Lazy.force graph in
+  let n = G.Graph.n_nodes graph in
+  let _, compiled = compiled_of Mp.Mp_models.gcn in
+  let plan = (List.hd compiled.Codegen.candidates).Codegen.plan in
+  let env = { Dim.n; nnz = G.Graph.n_edges graph + n; k_in = 64; k_out = 64 } in
+  let profile = Granii_hw.Hw_profile.a100 in
+  let inf = Gnn.Trainer.inference_time ~profile ~graph ~env plan in
+  let tr = Gnn.Trainer.training_time ~profile ~graph ~env plan in
+  check_true "training costs more than inference" (tr > inf);
+  check_true "100 iterations cost ~100x of 1"
+    (Gnn.Trainer.inference_time ~profile ~graph ~env ~iterations:100 plan
+    > 50. *. Gnn.Trainer.inference_time ~profile ~graph ~env ~iterations:1 plan)
+
+let test_backward_kernels_nonempty () =
+  let graph = Lazy.force graph in
+  let n = G.Graph.n_nodes graph in
+  let _, compiled = compiled_of Mp.Mp_models.gat in
+  let plan = (List.hd compiled.Codegen.candidates).Codegen.plan in
+  let env = { Dim.n; nnz = G.Graph.n_edges graph + n; k_in = 16; k_out = 16 } in
+  let kernels = Gnn.Autodiff.backward_kernels ~graph ~env plan in
+  check_true "backward workload present" (List.length kernels >= 4)
+
+let suite =
+  [ Alcotest.test_case "loss values" `Quick test_loss_values;
+    Alcotest.test_case "loss mask" `Quick test_loss_mask;
+    Alcotest.test_case "loss validation" `Quick test_loss_validation;
+    Alcotest.test_case "GCN finite-difference gradients" `Quick
+      test_autodiff_finite_difference;
+    Alcotest.test_case "GAT finite-difference gradients" `Quick
+      test_autodiff_gat_finite_difference;
+    Alcotest.test_case "sgd" `Quick test_optimizer_sgd;
+    Alcotest.test_case "adam" `Quick test_optimizer_adam_direction;
+    Alcotest.test_case "GCN training converges" `Quick
+      (test_training_reduces_loss Mp.Mp_models.gcn);
+    Alcotest.test_case "GIN training converges" `Quick
+      (test_training_reduces_loss Mp.Mp_models.gin);
+    Alcotest.test_case "GAT training converges" `Quick
+      (test_training_reduces_loss Mp.Mp_models.gat);
+    Alcotest.test_case "timing modes" `Quick test_timing_modes;
+    Alcotest.test_case "backward kernels" `Quick test_backward_kernels_nonempty ]

@@ -1,0 +1,173 @@
+(* Cross-module integration and end-to-end invariants. *)
+
+open Granii_core
+open Test_util
+module G = Granii_graph
+module Mp = Granii_mp
+module Sys_ = Granii_systems
+module Gnn = Granii_gnn
+
+let compiled_of ?(binned = false) model =
+  let low = Mp.Lower.lower model in
+  let compiled, stats =
+    Granii.compile ~name:model.Mp.Mp_ast.name
+      ~degree_leaves:(Mp.Lower.degree_leaves low ~binned)
+      low.Mp.Lower.ir
+  in
+  (low, compiled, stats)
+
+let test_parametric_hops () =
+  check_true "sgc_k 2 = sgc"
+    (Matrix_ir.equal
+       (Mp.Lower.lower (Mp.Mp_models.sgc_k 2)).Mp.Lower.ir
+       (Mp.Lower.lower Mp.Mp_models.sgc).Mp.Lower.ir);
+  let sgc1 = Mp.Lower.lower (Mp.Mp_models.sgc_k 1) in
+  let sgc3 = Mp.Lower.lower (Mp.Mp_models.sgc_k 3) in
+  check_int "1-hop SGC chain has 5 leaves" 5 (List.length (Matrix_ir.leaves sgc1.Mp.Lower.ir));
+  check_int "3-hop SGC chain has 11 leaves" 11
+    (List.length (Matrix_ir.leaves sgc3.Mp.Lower.ir));
+  check_true "k < 1 rejected"
+    (try ignore (Mp.Mp_models.sgc_k 0); false with Invalid_argument _ -> true);
+  (* deep chains stay tractable thanks to local dominance filtering *)
+  let _, _, stats =
+    compiled_of (Mp.Mp_models.sgc_k 3)
+  in
+  check_true "3-hop SGC enumerates without explosion"
+    (stats.Granii.n_promoted > 0 && stats.Granii.n_promoted < 200);
+  let _, _, stats3 = compiled_of (Mp.Mp_models.tagcn_k 3) in
+  check_true "3-hop TAGCN enumerates without explosion"
+    (stats3.Granii.n_promoted > 0 && stats3.Granii.n_promoted < 500);
+  let t0 = Sys.time () in
+  let _, _, stats4 = compiled_of (Mp.Mp_models.tagcn_k 4) in
+  check_true "4-hop TAGCN compiles in seconds"
+    (stats4.Granii.n_promoted > 0 && Sys.time () -. t0 < 30.)
+
+let test_parametric_hops_execute () =
+  (* all promoted candidates of a 3-hop SGC still agree numerically *)
+  let graph = G.Generators.erdos_renyi ~seed:41 ~n:40 ~avg_degree:4. () in
+  let low, compiled, _ = compiled_of (Mp.Mp_models.sgc_k 3) in
+  let n = G.Graph.n_nodes graph in
+  let env = { Dim.n; nnz = G.Graph.n_edges graph + n; k_in = 5; k_out = 4 } in
+  let params = Gnn.Layer.init_params ~seed:1 ~env low in
+  let h = Granii_tensor.Dense.random ~seed:2 n 5 in
+  let bindings = Gnn.Layer.bindings ~graph ~h params in
+  let outputs =
+    List.map
+      (fun (c : Codegen.ccand) ->
+        match
+          (Executor.run ~timing:Executor.Measure ~graph ~bindings c.Codegen.plan)
+            .Executor.output
+        with
+        | Executor.Vdense d -> d
+        | _ -> Alcotest.fail "dense expected")
+      compiled.Codegen.candidates
+  in
+  let reference = List.hd outputs in
+  List.iter
+    (fun out ->
+      check_true "3-hop candidates agree"
+        (Granii_tensor.Dense.equal_approx ~eps:1e-7 reference out))
+    (List.tl outputs)
+
+(* Pruning near-optimality: the best tree of the FULL forest is never much
+   better than the best promoted tree, for random inputs and any profile. *)
+let test_prune_near_optimal =
+  qtest ~count:15 "pruning keeps a near-optimal candidate"
+    QCheck2.Gen.(triple (int_range 0 1000) (int_range 0 2) (int_range 0 3))
+    (fun (seed, profile_idx, pair_idx) ->
+      let profile = List.nth Granii_hw.Hw_profile.all profile_idx in
+      let k_in, k_out = List.nth [ (32, 32); (256, 64); (64, 256); (512, 512) ] pair_idx in
+      let graph =
+        G.Generators.rmat ~seed ~scale:9 ~edge_factor:(8 + (seed mod 32)) ()
+      in
+      let low = Mp.Lower.lower Mp.Mp_models.gcn in
+      let forest = Enumerate.forest low.Mp.Lower.ir in
+      let pruned = Prune.run forest in
+      let n = G.Graph.n_nodes graph in
+      let env = { Dim.n; nnz = G.Graph.n_edges graph + n; k_in; k_out } in
+      let time tree =
+        let plan =
+          Plan.of_tree ~degree_leaves:(Mp.Lower.degree_leaves low ~binned:false)
+            ~name:"t" tree
+        in
+        let setup, iter = Executor.estimate ~profile ~env plan in
+        Executor.total_time ~setup ~iteration:iter ~iterations:100
+      in
+      let best_all = List.fold_left (fun acc t -> Float.min acc (time t)) infinity forest in
+      let best_promoted =
+        List.fold_left
+          (fun acc (c : Prune.candidate) -> Float.min acc (time c.Prune.tree))
+          infinity pruned.Prune.promoted
+      in
+      best_promoted <= best_all *. 1.10)
+
+(* The headline claim as an integration test: on a small grid, GRANII with
+   the analytic cost model is never slower than either baseline system by
+   more than noise, and is faster overall. *)
+let test_headline_speedup () =
+  let cm_of = Cost_model.analytic in
+  let graphs =
+    [ G.Generators.rmat ~seed:51 ~scale:10 ~edge_factor:48 ();
+      G.Generators.grid2d ~seed:52 ~rows:48 ~cols:48 () ]
+  in
+  let speedups = ref [] in
+  List.iter
+    (fun sys ->
+      List.iter
+        (fun (model : Mp.Mp_ast.model) ->
+          let low, compiled, _ =
+            compiled_of ~binned:sys.Sys_.System.binned_degrees model
+          in
+          ignore low;
+          let b = Sys_.Baseline.make sys model in
+          List.iter
+            (fun profile ->
+              List.iter
+                (fun graph ->
+                  List.iter
+                    (fun (k_in, k_out) ->
+                      if not (model.Mp.Mp_ast.attention && k_in >= k_out) then begin
+                        let n = G.Graph.n_nodes graph in
+                        let env =
+                          { Dim.n; nnz = G.Graph.n_edges graph + n; k_in; k_out }
+                        in
+                        let feats = Featurizer.extract graph in
+                        let choice =
+                          Selector.select ~cost_model:(cm_of profile) ~feats ~env
+                            ~iterations:100 compiled
+                        in
+                        let t plan =
+                          let setup, iter = Executor.estimate ~profile ~env plan in
+                          Executor.total_time ~setup ~iteration:iter ~iterations:100
+                        in
+                        let tg = t choice.Selector.candidate.Codegen.plan in
+                        let tb = t (Sys_.Baseline.plan b ~k_in ~k_out) in
+                        speedups := (tb /. tg) :: !speedups
+                      end)
+                    [ (64, 64); (512, 64); (64, 512) ])
+                graphs)
+            [ Granii_hw.Hw_profile.a100; Granii_hw.Hw_profile.h100 ])
+        [ Mp.Mp_models.gcn; Mp.Mp_models.gat ])
+    Sys_.System.all;
+  let geomean =
+    exp
+      (List.fold_left (fun a x -> a +. log x) 0. !speedups
+      /. float_of_int (List.length !speedups))
+  in
+  check_true
+    (Printf.sprintf "geomean speedup > 1.05 (got %.3f)" geomean)
+    (geomean > 1.05);
+  check_true "never catastrophically slower"
+    (List.for_all (fun s -> s > 0.5) !speedups)
+
+let test_cli_graph_shorthand () =
+  (* generator shorthands must cover the spectrum used by the CLI docs *)
+  let er = G.Generators.erdos_renyi ~n:100 ~avg_degree:4. () in
+  check_int "er shorthand size" 100 (G.Graph.n_nodes er)
+
+let suite =
+  [ Alcotest.test_case "parametric hop counts" `Quick test_parametric_hops;
+    Alcotest.test_case "3-hop candidates agree" `Quick test_parametric_hops_execute;
+    test_prune_near_optimal;
+    Alcotest.test_case "headline speedup holds" `Slow test_headline_speedup;
+    Alcotest.test_case "generator shorthand" `Quick test_cli_graph_shorthand ]

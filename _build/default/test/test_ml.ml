@@ -1,0 +1,133 @@
+open Granii_ml
+open Test_util
+
+let linear_dataset ?(n = 200) ?(noise = 0.) ?(seed = 0) () =
+  (* y = 3 x0 - 2 x1 + noise *)
+  let rng = Granii_tensor.Prng.create seed in
+  let features =
+    Array.init n (fun _ ->
+        [| Granii_tensor.Prng.uniform rng (-1.) 1.;
+           Granii_tensor.Prng.uniform rng (-1.) 1. |])
+  in
+  let labels =
+    Array.map
+      (fun x ->
+        (3. *. x.(0)) -. (2. *. x.(1))
+        +. (noise *. Granii_tensor.Prng.normal rng))
+      features
+  in
+  Ml_dataset.make features labels
+
+let step_dataset () =
+  (* y = 1 if x0 > 0.5 else 0: a single split should nail it *)
+  let features = Array.init 100 (fun i -> [| float_of_int i /. 100. |]) in
+  let labels = Array.map (fun x -> if x.(0) > 0.5 then 1. else 0.) features in
+  Ml_dataset.make features labels
+
+let test_dataset_validation () =
+  Alcotest.check_raises "ragged rows rejected"
+    (Invalid_argument "Ml_dataset.make: ragged feature rows") (fun () ->
+      ignore (Ml_dataset.make [| [| 1. |]; [| 1.; 2. |] |] [| 0.; 0. |]));
+  Alcotest.check_raises "label mismatch rejected"
+    (Invalid_argument "Ml_dataset.make: label count mismatch") (fun () ->
+      ignore (Ml_dataset.make [| [| 1. |] |] [| 0.; 1. |]))
+
+let test_dataset_split () =
+  let ds = linear_dataset () in
+  let train, valid = Ml_dataset.split ~seed:1 ~train_fraction:0.8 ds in
+  check_int "sizes add up" (Ml_dataset.n_samples ds)
+    (Ml_dataset.n_samples train + Ml_dataset.n_samples valid);
+  check_true "both non-empty"
+    (Ml_dataset.n_samples train > 0 && Ml_dataset.n_samples valid > 0)
+
+let test_tree_fits_step () =
+  let tree = Regression_tree.fit (step_dataset ()) in
+  check_true "left of step" (Regression_tree.predict tree [| 0.2 |] < 0.2);
+  check_true "right of step" (Regression_tree.predict tree [| 0.9 |] > 0.8);
+  check_true "nontrivial tree" (Regression_tree.n_leaves tree >= 2);
+  check_true "depth within bound"
+    (Regression_tree.depth tree <= Regression_tree.default_params.Regression_tree.max_depth)
+
+let test_tree_constant_labels () =
+  let ds = Ml_dataset.make (Array.init 10 (fun i -> [| float_of_int i |])) (Array.make 10 7.) in
+  let tree = Regression_tree.fit ds in
+  check_int "constant target gives a leaf" 1 (Regression_tree.n_leaves tree);
+  check_float "predicts the constant" 7. (Regression_tree.predict tree [| 3. |])
+
+let test_tree_importance () =
+  let tree = Regression_tree.fit (step_dataset ()) in
+  let fi = Regression_tree.feature_importance tree 1 in
+  check_true "split feature has positive gain" (fi.(0) > 0.)
+
+let test_gbrt_fits_linear () =
+  let ds = linear_dataset ~n:400 () in
+  let model = Gbrt.fit ds in
+  let preds = Gbrt.predict_many model ds.Ml_dataset.features in
+  let r2 = Ml_metrics.r2 ds.Ml_dataset.labels preds in
+  check_true (Printf.sprintf "train r2 > 0.95 (got %.3f)" r2) (r2 > 0.95)
+
+let test_gbrt_generalizes () =
+  let ds = linear_dataset ~n:600 ~noise:0.05 ~seed:3 () in
+  let train, valid = Ml_dataset.split ~seed:2 ~train_fraction:0.7 ds in
+  let model = Gbrt.fit train in
+  let preds = Gbrt.predict_many model valid.Ml_dataset.features in
+  check_true "validation spearman > 0.9"
+    (Ml_metrics.spearman valid.Ml_dataset.labels preds > 0.9)
+
+let test_gbrt_more_trees_help () =
+  let ds = linear_dataset ~n:300 ~seed:5 () in
+  let fit n_trees =
+    let params = { Gbrt.default_params with Gbrt.n_trees; subsample = 1. } in
+    let m = Gbrt.fit ~params ds in
+    Ml_metrics.rmse ds.Ml_dataset.labels (Gbrt.predict_many m ds.Ml_dataset.features)
+  in
+  check_true "120 trees beat 5 trees on train RMSE" (fit 120 < fit 5)
+
+let test_gbrt_deterministic () =
+  let ds = linear_dataset ~n:100 ~seed:9 () in
+  let a = Gbrt.fit ds and b = Gbrt.fit ds in
+  let x = [| 0.3; -0.7 |] in
+  check_float "same fit twice" (Gbrt.predict a x) (Gbrt.predict b x)
+
+let test_metrics_known_values () =
+  let truth = [| 1.; 2.; 3.; 4. |] in
+  check_float "rmse of exact prediction" 0. (Ml_metrics.rmse truth truth);
+  check_float "r2 of exact prediction" 1. (Ml_metrics.r2 truth truth);
+  check_float "spearman of monotone map" 1.
+    (Ml_metrics.spearman truth (Array.map (fun x -> x *. x) truth));
+  check_float "spearman of reversed order" (-1.)
+    (Ml_metrics.spearman truth [| 4.; 3.; 2.; 1. |]);
+  check_float "pairwise accuracy of reversed order" 0.
+    (Ml_metrics.pairwise_ranking_accuracy truth [| 4.; 3.; 2.; 1. |]);
+  check_float "mae" 0.5 (Ml_metrics.mae truth [| 1.5; 2.5; 2.5; 3.5 |])
+
+let test_metrics_ties () =
+  check_float "spearman with all-tied predictions is 0" 0.
+    (Ml_metrics.spearman [| 1.; 2.; 3. |] [| 5.; 5.; 5. |])
+
+let test_monotone_response =
+  (* GBRT fitted to a monotone target should be broadly monotone. *)
+  qtest ~count:20 "gbrt roughly monotone on monotone target"
+    QCheck2.Gen.(int_range 0 100)
+    (fun seed ->
+      let rng = Granii_tensor.Prng.create seed in
+      let features = Array.init 150 (fun _ -> [| Granii_tensor.Prng.uniform rng 0. 1. |]) in
+      let labels = Array.map (fun x -> (2. *. x.(0)) +. 1. ) features in
+      let model = Gbrt.fit (Ml_dataset.make features labels) in
+      let grid = Array.init 11 (fun i -> [| float_of_int i /. 10. |]) in
+      let preds = Gbrt.predict_many model grid in
+      Ml_metrics.spearman (Array.map (fun g -> g.(0)) grid) preds > 0.85)
+
+let suite =
+  [ Alcotest.test_case "dataset validation" `Quick test_dataset_validation;
+    Alcotest.test_case "dataset split" `Quick test_dataset_split;
+    Alcotest.test_case "tree fits a step" `Quick test_tree_fits_step;
+    Alcotest.test_case "tree on constant labels" `Quick test_tree_constant_labels;
+    Alcotest.test_case "tree feature importance" `Quick test_tree_importance;
+    Alcotest.test_case "gbrt fits linear data" `Quick test_gbrt_fits_linear;
+    Alcotest.test_case "gbrt generalizes" `Quick test_gbrt_generalizes;
+    Alcotest.test_case "more trees help" `Quick test_gbrt_more_trees_help;
+    Alcotest.test_case "gbrt deterministic" `Quick test_gbrt_deterministic;
+    Alcotest.test_case "metric values" `Quick test_metrics_known_values;
+    Alcotest.test_case "metric ties" `Quick test_metrics_ties;
+    test_monotone_response ]

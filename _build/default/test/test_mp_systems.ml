@@ -1,0 +1,178 @@
+open Granii_core
+open Test_util
+module Mp = Granii_mp
+module Sys_ = Granii_systems
+
+let test_validate () =
+  let bad =
+    { Mp.Mp_ast.name = "BAD";
+      program = Mp.Mp_ast.Linear ("Wmissing", Mp.Mp_ast.Input);
+      weights = [];
+      attention = false }
+  in
+  check_true "missing weight spec rejected"
+    (try Mp.Mp_ast.validate bad; false with Invalid_argument _ -> true);
+  List.iter Mp.Mp_ast.validate Mp.Mp_models.all
+
+let test_gcn_lowering () =
+  let low = Mp.Lower.lower Mp.Mp_models.gcn in
+  (* After flattening, GCN is relu over a row-broadcast chain. *)
+  check_true "GCN IR mentions all leaves"
+    (let names =
+       List.map (fun (l : Matrix_ir.leaf) -> l.Matrix_ir.name)
+         (Matrix_ir.leaves low.Mp.Lower.ir)
+     in
+     List.mem "A" names && List.mem "H" names && List.mem "W" names
+     && List.mem "D" names);
+  Alcotest.(check (list string)) "one norm leaf" [ "D" ] low.Mp.Lower.norm_leaves
+
+let test_sage_lowering () =
+  let low = Mp.Lower.lower Mp.Mp_models.sage in
+  Alcotest.(check (list string)) "sage uses mean normalization" [ "Dinv" ]
+    low.Mp.Lower.norm_leaves;
+  let specs = Mp.Lower.degree_leaves low ~binned:false in
+  match specs with
+  | [ ("Dinv", spec) ] ->
+      check_true "mean normalization uses D^-1" (spec.Plan.power = Primitive.Inv)
+  | _ -> Alcotest.fail "expected a single Dinv degree leaf"
+
+let test_gat_lowering_shares_theta () =
+  let low = Mp.Lower.lower Mp.Mp_models.gat in
+  match low.Mp.Lower.ir with
+  | Matrix_ir.Nonlinear (Matrix_ir.Relu, Matrix_ir.Mult (alpha :: rest)) ->
+      check_int "theta spliced into the chain" 2 (List.length rest);
+      (match alpha with
+      | Matrix_ir.Nonlinear (Matrix_ir.Edge_softmax, Matrix_ir.Edge_score _) -> ()
+      | _ -> Alcotest.fail "alpha structure unexpected")
+  | _ -> Alcotest.fail "GAT IR shape unexpected"
+
+let test_param_leaves () =
+  let low = Mp.Lower.lower Mp.Mp_models.gat in
+  let names = List.map (fun (l : Matrix_ir.leaf) -> l.Matrix_ir.name) low.Mp.Lower.param_leaves in
+  Alcotest.(check (list string)) "weights and attention vectors"
+    [ "W"; "Asrc"; "Adst" ] names
+
+let test_models_find () =
+  check_true "find by lowercase name"
+    (String.equal (Mp.Mp_models.find "gcn").Mp.Mp_ast.name "GCN");
+  check_int "paper set has five models" 5 (List.length Mp.Mp_models.paper_five)
+
+let baseline_plan sys model ~k_in ~k_out =
+  Sys_.Baseline.plan (Sys_.Baseline.make sys model) ~k_in ~k_out
+
+let spmm_dims_of_plan plan =
+  List.filter_map
+    (function Primitive.Spmm { k; _ } -> Some k | _ -> None)
+    (Plan.primitives plan)
+
+let test_dgl_gcn_reorders () =
+  let shrink = baseline_plan Sys_.System.dgl Mp.Mp_models.gcn ~k_in:512 ~k_out:32 in
+  let grow = baseline_plan Sys_.System.dgl Mp.Mp_models.gcn ~k_in:32 ~k_out:512 in
+  check_true "update-first when shrinking"
+    (List.for_all (Dim.equal Dim.Kout) (spmm_dims_of_plan shrink));
+  check_true "aggregate-first when growing"
+    (List.for_all (Dim.equal Dim.Kin) (spmm_dims_of_plan grow))
+
+let test_dgl_gin_never_reorders () =
+  let shrink = baseline_plan Sys_.System.dgl Mp.Mp_models.gin ~k_in:512 ~k_out:32 in
+  check_true "DGL GIN aggregates first even when shrinking (Sec VI-C1)"
+    (List.for_all (Dim.equal Dim.Kin) (spmm_dims_of_plan shrink))
+
+let test_wisegraph_gin_reorders () =
+  let shrink = baseline_plan Sys_.System.wisegraph Mp.Mp_models.gin ~k_in:512 ~k_out:32 in
+  check_true "WiseGraph GIN updates first when shrinking"
+    (List.for_all (Dim.equal Dim.Kout) (spmm_dims_of_plan shrink))
+
+let gemm_count plan =
+  List.length
+    (List.filter (function Primitive.Gemm _ -> true | _ -> false) (Plan.primitives plan))
+
+let test_gat_policies () =
+  let dgl_grow = baseline_plan Sys_.System.dgl Mp.Mp_models.gat ~k_in:32 ~k_out:512 in
+  check_int "DGL always reuses (1 GEMM)" 1 (gemm_count dgl_grow);
+  let wise_grow = baseline_plan Sys_.System.wisegraph Mp.Mp_models.gat ~k_in:32 ~k_out:512 in
+  check_int "WiseGraph recomputes when growing (2 GEMMs)" 2 (gemm_count wise_grow);
+  let wise_shrink = baseline_plan Sys_.System.wisegraph Mp.Mp_models.gat ~k_in:512 ~k_out:32 in
+  check_int "WiseGraph reuses when shrinking" 1 (gemm_count wise_shrink)
+
+let test_degree_kernels_per_system () =
+  let has_binned plan =
+    List.exists
+      (function Primitive.Degree { binned; _ } -> binned | _ -> false)
+      (Plan.primitives plan)
+  in
+  let wise = baseline_plan Sys_.System.wisegraph Mp.Mp_models.gcn ~k_in:64 ~k_out:64 in
+  let dgl = baseline_plan Sys_.System.dgl Mp.Mp_models.gcn ~k_in:64 ~k_out:64 in
+  check_true "WiseGraph bins degrees" (has_binned wise);
+  check_true "DGL does not" (not (has_binned dgl))
+
+let test_baselines_never_hoist () =
+  List.iter
+    (fun sys ->
+      List.iter
+        (fun m ->
+          let plan = baseline_plan sys m ~k_in:64 ~k_out:64 in
+          check_int
+            (Printf.sprintf "%s/%s has no setup phase" sys.Sys_.System.sys_name
+               m.Mp.Mp_ast.name)
+            0
+            (List.length (Plan.setup_steps plan)))
+        Mp.Mp_models.all)
+    Sys_.System.all
+
+let test_baselines_are_dynamic () =
+  List.iter
+    (fun m ->
+      let plan = baseline_plan Sys_.System.dgl m ~k_in:64 ~k_out:64 in
+      check_true
+        (m.Mp.Mp_ast.name ^ " default avoids precomputed sparse intermediates")
+        (List.for_all
+           (function
+             | Primitive.Sddmm_rank1 | Primitive.Sparse_add _ -> false
+             | _ -> true)
+           (Plan.primitives plan)))
+    Mp.Mp_models.all
+
+let test_baseline_matches_enumeration () =
+  (* Baseline compositions must be drawn from GRANII's own search space:
+     execute the DGL GCN default and a GRANII candidate and compare. *)
+  let graph = Granii_graph.Generators.erdos_renyi ~seed:9 ~n:50 ~avg_degree:4. () in
+  let low = Mp.Lower.lower Mp.Mp_models.gcn in
+  let compiled, _ =
+    Granii.compile ~name:"GCN"
+      ~degree_leaves:(Mp.Lower.degree_leaves low ~binned:false)
+      low.Mp.Lower.ir
+  in
+  let n = Granii_graph.Graph.n_nodes graph in
+  let env = { Dim.n; nnz = Granii_graph.Graph.n_edges graph + n; k_in = 6; k_out = 4 } in
+  let params = Granii_gnn.Layer.init_params ~seed:3 ~env low in
+  let h = Granii_tensor.Dense.random ~seed:4 n 6 in
+  let bindings = Granii_gnn.Layer.bindings ~graph ~h params in
+  let run plan =
+    match
+      (Executor.run ~timing:Executor.Measure ~graph ~bindings plan).Executor.output
+    with
+    | Executor.Vdense d -> d
+    | _ -> Alcotest.fail "dense expected"
+  in
+  let baseline = run (baseline_plan Sys_.System.dgl Mp.Mp_models.gcn ~k_in:6 ~k_out:4) in
+  let granii = run (List.hd compiled.Codegen.candidates).Codegen.plan in
+  check_true "baseline computes the same function"
+    (Granii_tensor.Dense.equal_approx ~eps:1e-8 baseline granii)
+
+let suite =
+  [ Alcotest.test_case "model validation" `Quick test_validate;
+    Alcotest.test_case "GCN lowering" `Quick test_gcn_lowering;
+    Alcotest.test_case "SAGE lowering" `Quick test_sage_lowering;
+    Alcotest.test_case "GAT lowering shares theta" `Quick test_gat_lowering_shares_theta;
+    Alcotest.test_case "param leaves" `Quick test_param_leaves;
+    Alcotest.test_case "model lookup" `Quick test_models_find;
+    Alcotest.test_case "DGL GCN reorders by config" `Quick test_dgl_gcn_reorders;
+    Alcotest.test_case "DGL GIN fixed order" `Quick test_dgl_gin_never_reorders;
+    Alcotest.test_case "WiseGraph GIN reorders" `Quick test_wisegraph_gin_reorders;
+    Alcotest.test_case "GAT policies" `Quick test_gat_policies;
+    Alcotest.test_case "degree kernels per system" `Quick test_degree_kernels_per_system;
+    Alcotest.test_case "baselines never hoist" `Quick test_baselines_never_hoist;
+    Alcotest.test_case "baselines are dynamic" `Quick test_baselines_are_dynamic;
+    Alcotest.test_case "baseline semantics = GRANII semantics" `Quick
+      test_baseline_matches_enumeration ]

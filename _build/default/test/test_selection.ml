@@ -1,0 +1,175 @@
+open Granii_core
+open Test_util
+module G = Granii_graph
+module Hw = Granii_hw
+module Mp = Granii_mp
+
+(* A small, cached learned cost model so the suite stays fast. *)
+let small_cost_model =
+  lazy
+    (let graphs =
+       [ G.Generators.erdos_renyi ~seed:21 ~n:512 ~avg_degree:6. ();
+         G.Generators.rmat ~seed:22 ~scale:9 ~edge_factor:32 ();
+         G.Generators.grid2d ~seed:23 ~rows:32 ~cols:32 ();
+         G.Generators.barabasi_albert ~seed:24 ~n:512 ~m:4 () ]
+     in
+     let data =
+       Profiling.collect ~profile:Hw.Hw_profile.a100 ~graphs
+         ~sizes:[ 32; 128; 512 ] ()
+     in
+     let gbrt_params =
+       { Granii_ml.Gbrt.default_params with Granii_ml.Gbrt.n_trees = 40 }
+     in
+     Cost_model.train ~gbrt_params ~profile:Hw.Hw_profile.a100 data)
+
+let test_featurizer () =
+  let g = G.Generators.erdos_renyi ~seed:2 ~n:200 ~avg_degree:6. () in
+  let f = Featurizer.extract g in
+  check_int "graph feature width"
+    (Array.length G.Graph_features.names)
+    (Array.length f.Featurizer.graph_features);
+  check_true "extraction time recorded" (f.Featurizer.extraction_time >= 0.);
+  let input = Featurizer.primitive_input f ~dims:(10., 20., 30.) in
+  check_int "total input width" Featurizer.n_inputs (Array.length input);
+  check_int "names aligned" Featurizer.n_inputs (Array.length Featurizer.input_names)
+
+let test_profiling_counts () =
+  let graphs = [ G.Generators.erdos_renyi ~seed:31 ~n:256 ~avg_degree:4. () ] in
+  let data =
+    Profiling.collect ~profile:Hw.Hw_profile.h100 ~graphs ~sizes:[ 32; 64 ] ()
+  in
+  check_true "every primitive name has a dataset" (List.length data >= 14);
+  List.iter
+    (fun (_, ds) -> check_true "non-empty" (Granii_ml.Ml_dataset.n_samples ds >= 4))
+    data
+
+let test_learned_model_accuracy () =
+  (* Held-out ranking quality: the learned model must order GEMM instances
+     of very different sizes correctly. *)
+  let cm = Lazy.force small_cost_model in
+  let g = G.Generators.erdos_renyi ~seed:41 ~n:1024 ~avg_degree:8. () in
+  let feats = Featurizer.extract g in
+  let env k = { Dim.n = 1024; nnz = 9000; k_in = k; k_out = k } in
+  let cost k =
+    Cost_model.predict cm feats ~env:(env k)
+      (Primitive.Gemm { m = Dim.N; k = Dim.Kin; n = Dim.Kout })
+  in
+  check_true "bigger GEMM predicted more expensive" (cost 512 > cost 32)
+
+let test_analytic_vs_learned_agree_on_ranking () =
+  let cm = Lazy.force small_cost_model in
+  let analytic = Cost_model.analytic Hw.Hw_profile.a100 in
+  let g = G.Generators.rmat ~seed:51 ~scale:10 ~edge_factor:48 () in
+  let feats = Featurizer.extract g in
+  let env = { Dim.n = 1024; nnz = 50_000; k_in = 256; k_out = 256 } in
+  let prims =
+    [ Primitive.Spmm { k = Dim.Kin; weighted = true };
+      Primitive.Row_broadcast { k = Dim.Kin };
+      Primitive.Gemm { m = Dim.N; k = Dim.Kin; n = Dim.Kout } ]
+  in
+  let rank cmodel =
+    List.sort compare
+      (List.map (fun p -> (Cost_model.predict cmodel feats ~env p, Primitive.name p)) prims)
+    |> List.map snd
+  in
+  Alcotest.(check (list string)) "same cost ordering" (rank analytic) (rank cm)
+
+let test_flops_model () =
+  let feats = Featurizer.extract (G.Generators.ring ~n:64) in
+  let env = { Dim.n = 64; nnz = 192; k_in = 8; k_out = 4 } in
+  let c =
+    Cost_model.predict Cost_model.flops_only feats ~env
+      (Primitive.Gemm { m = Dim.N; k = Dim.Kin; n = Dim.Kout })
+  in
+  check_float "flops model counts flops" (2. *. 64. *. 8. *. 4.) c
+
+let compiled_gcn =
+  lazy
+    (let low = Mp.Lower.lower Mp.Mp_models.gcn in
+     fst
+       (Granii.compile ~name:"GCN"
+          ~degree_leaves:(Mp.Lower.degree_leaves low ~binned:false)
+          low.Mp.Lower.ir))
+
+let test_selector_scenario_guard () =
+  check_true "shrinking" (Selector.scenario_of ~k_in:8 ~k_out:8 = Dim.Shrinking);
+  check_true "growing" (Selector.scenario_of ~k_in:8 ~k_out:9 = Dim.Growing)
+
+let test_selector_picks_minimum () =
+  let compiled = Lazy.force compiled_gcn in
+  let cm = Cost_model.analytic Hw.Hw_profile.a100 in
+  let g = G.Generators.rmat ~seed:61 ~scale:10 ~edge_factor:64 () in
+  let feats = Featurizer.extract g in
+  let env =
+    { Dim.n = G.Graph.n_nodes g; nnz = G.Graph.n_edges g; k_in = 128; k_out = 128 }
+  in
+  let ranked = Selector.rank ~cost_model:cm ~feats ~env ~iterations:100 compiled in
+  let choice = Selector.select ~cost_model:cm ~feats ~env ~iterations:100 compiled in
+  check_true "select returns the cheapest ranked candidate"
+    (String.equal
+       (fst (List.hd ranked)).Codegen.plan.Plan.name
+       choice.Selector.candidate.Codegen.plan.Plan.name);
+  check_true "rank is sorted"
+    (let costs = List.map snd ranked in
+     List.sort compare costs = costs);
+  check_true "cost models were consulted" choice.Selector.used_cost_models
+
+let test_selector_respects_scenario () =
+  let compiled = Lazy.force compiled_gcn in
+  let cm = Cost_model.analytic Hw.Hw_profile.a100 in
+  let g = G.Generators.erdos_renyi ~seed:71 ~n:256 ~avg_degree:6. () in
+  let feats = Featurizer.extract g in
+  let env = { Dim.n = 256; nnz = 1600; k_in = 32; k_out = 512 } in
+  let choice = Selector.select ~cost_model:cm ~feats ~env ~iterations:100 compiled in
+  check_true "selected candidate allows the growing scenario"
+    (List.mem Dim.Growing choice.Selector.candidate.Codegen.scenarios)
+
+let test_selection_iterations_matter () =
+  (* With one iteration, precompute setup cannot amortize; with many it can.
+     The predicted cost gap between iteration counts must reflect setup. *)
+  let compiled = Lazy.force compiled_gcn in
+  let cm = Cost_model.analytic Hw.Hw_profile.a100 in
+  let g = G.Generators.rmat ~seed:81 ~scale:11 ~edge_factor:64 () in
+  let feats = Featurizer.extract g in
+  let env =
+    { Dim.n = G.Graph.n_nodes g;
+      nnz = G.Graph.n_edges g + G.Graph.n_nodes g;
+      k_in = 64;
+      k_out = 64 }
+  in
+  let cost iters =
+    (Selector.select ~cost_model:cm ~feats ~env ~iterations:iters compiled)
+      .Selector.predicted_cost
+  in
+  check_true "100 iterations cost more than 1" (cost 100 > cost 1)
+
+let test_codegen_pp_mentions_candidates () =
+  let compiled = Lazy.force compiled_gcn in
+  let text = Format.asprintf "%a" Codegen.pp compiled in
+  check_true "pseudocode shows both guards"
+    (contains text "k_in >= k_out" && contains text "k_in < k_out")
+
+let test_granii_optimize_end_to_end () =
+  let compiled = Lazy.force compiled_gcn in
+  let cm = Lazy.force small_cost_model in
+  let g = G.Generators.rmat ~seed:91 ~scale:10 ~edge_factor:32 () in
+  let decision = Granii.optimize ~cost_model:cm ~graph:g ~k_in:128 ~k_out:32 compiled in
+  check_true "overhead recorded" (decision.Granii.overhead >= 0.);
+  check_true "simulated overhead positive"
+    (Granii.simulated_overhead ~profile:Hw.Hw_profile.a100
+       ~env:{ Dim.n = 1024; nnz = 32_000; k_in = 128; k_out = 32 }
+    > 0.)
+
+let suite =
+  [ Alcotest.test_case "featurizer" `Quick test_featurizer;
+    Alcotest.test_case "profiling datasets" `Quick test_profiling_counts;
+    Alcotest.test_case "learned model size ordering" `Slow test_learned_model_accuracy;
+    Alcotest.test_case "analytic vs learned ranking" `Slow
+      test_analytic_vs_learned_agree_on_ranking;
+    Alcotest.test_case "flops ablation model" `Quick test_flops_model;
+    Alcotest.test_case "scenario guard" `Quick test_selector_scenario_guard;
+    Alcotest.test_case "selector picks minimum" `Quick test_selector_picks_minimum;
+    Alcotest.test_case "selector respects scenario" `Quick test_selector_respects_scenario;
+    Alcotest.test_case "iterations affect cost" `Quick test_selection_iterations_matter;
+    Alcotest.test_case "codegen pseudocode" `Quick test_codegen_pp_mentions_candidates;
+    Alcotest.test_case "granii optimize e2e" `Slow test_granii_optimize_end_to_end ]

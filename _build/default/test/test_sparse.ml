@@ -1,0 +1,215 @@
+open Granii_sparse
+open Granii_tensor
+open Test_util
+
+let small_csr () =
+  Csr.of_coo
+    (Coo.make ~n_rows:3 ~n_cols:3 [| (0, 1, 2.); (1, 0, 3.); (1, 2, 1.); (2, 2, 5.) |])
+
+let test_coo_dedup () =
+  let coo = Coo.make ~n_rows:2 ~n_cols:2 [| (0, 0, 1.); (0, 0, 2.); (1, 1, 3.) |] in
+  check_int "duplicates summed" 2 (Coo.nnz coo);
+  let d = Coo.to_dense coo in
+  check_float "summed value" 3. (Granii_tensor.Dense.get d 0 0)
+
+let test_coo_bounds () =
+  Alcotest.check_raises "out of bounds rejected"
+    (Invalid_argument "Coo.make: entry (2, 0) out of bounds for 2x2") (fun () ->
+      ignore (Coo.make ~n_rows:2 ~n_cols:2 [| (2, 0, 1.) |]))
+
+let test_coo_symmetrize () =
+  let coo = Coo.make ~n_rows:3 ~n_cols:3 [| (0, 1, 4.); (2, 2, 1.) |] in
+  let s = Coo.symmetrize coo in
+  check_int "adds reverse edge" 3 (Coo.nnz s);
+  let d = Coo.to_dense s in
+  check_float "reverse value" 4. (Granii_tensor.Dense.get d 1 0);
+  let s2 = Coo.symmetrize s in
+  check_int "symmetrize is idempotent" (Coo.nnz s) (Coo.nnz s2)
+
+let test_csr_structure () =
+  let m = small_csr () in
+  check_int "nnz" 4 (Csr.nnz m);
+  check_float "get stored" 3. (Csr.get m 1 0);
+  check_float "get missing" 0. (Csr.get m 0 0);
+  Alcotest.(check (array int)) "row degrees" [| 1; 2; 1 |] (Csr.row_degrees m);
+  Alcotest.(check (array int)) "col degrees" [| 1; 1; 2 |] (Csr.col_degrees m)
+
+let test_csr_transpose_involution =
+  qtest "transpose . transpose = id" csr_gen (fun m ->
+      Csr.equal_approx m (Csr.transpose (Csr.transpose m)))
+
+let test_csr_transpose_dense =
+  qtest "transpose agrees with dense transpose" csr_gen (fun m ->
+      Granii_tensor.Dense.equal_approx
+        (Csr.to_dense (Csr.transpose m))
+        (Granii_tensor.Dense.transpose (Csr.to_dense m)))
+
+let test_csr_of_dense_roundtrip =
+  qtest "of_dense . to_dense = id" csr_gen (fun m ->
+      Csr.equal_approx m (Csr.of_dense (Csr.to_dense m)))
+
+let test_csr_unweighted () =
+  let m = Csr.drop_values (small_csr ()) in
+  check_true "unweighted" (not (Csr.is_weighted m));
+  check_float "values read as 1" 1. (Csr.value m 0);
+  check_float "get missing still 0" 0. (Csr.get m 0 0)
+
+let test_csr_validation () =
+  Alcotest.check_raises "row_ptr must be monotone"
+    (Invalid_argument "Csr.make: row_ptr must be monotone") (fun () ->
+      ignore
+        (Csr.make ~n_rows:2 ~n_cols:2 ~row_ptr:[| 0; 2; 1 |] ~col_idx:[| 0 |]
+           ~values:None))
+
+let test_spmm_reference =
+  qtest ~count:200 "SpMM agrees with dense reference" csr_gen (fun m ->
+      let k = 5 in
+      let b = Granii_tensor.Dense.random ~seed:(Csr.nnz m) m.Csr.n_cols k in
+      let via_sparse = Spmm.run m b in
+      let via_dense = Granii_tensor.Dense.matmul (Csr.to_dense m) b in
+      Granii_tensor.Dense.equal_approx ~eps:1e-9 via_sparse via_dense)
+
+let test_spmm_unweighted_reference =
+  qtest "unweighted SpMM treats entries as 1" csr_gen (fun m ->
+      let m = Csr.drop_values m in
+      let b = Granii_tensor.Dense.random ~seed:1 m.Csr.n_cols 3 in
+      Granii_tensor.Dense.equal_approx (Spmm.run m b)
+        (Granii_tensor.Dense.matmul (Csr.to_dense m) b))
+
+let test_spmm_transposed_reference =
+  qtest "dense-times-sparse agrees with dense reference" csr_gen (fun m ->
+      let b = Granii_tensor.Dense.random ~seed:2 4 m.Csr.n_rows in
+      Granii_tensor.Dense.equal_approx (Spmm.run_transposed b m)
+        (Granii_tensor.Dense.matmul b (Csr.to_dense m)))
+
+let test_spmm_semiring_max_plus () =
+  (* adjacency of a path 0 -> 1 with weight 2; max_plus SpMM on a vector of
+     node potentials computes the best relaxed distance *)
+  let m = Csr.of_coo (Coo.make ~n_rows:2 ~n_cols:2 [| (0, 1, 2.) |]) in
+  let b = Granii_tensor.Dense.of_arrays [| [| 0. |]; [| 10. |] |] in
+  let r = Spmm.run ~semiring:Semiring.max_plus m b in
+  check_float "max_plus aggregation" 12. (Granii_tensor.Dense.get r 0 0);
+  check_float "empty row gives semiring zero" neg_infinity (Granii_tensor.Dense.get r 1 0)
+
+let test_spmv () =
+  let m = small_csr () in
+  let v = Spmm.spmv m [| 1.; 1.; 1. |] in
+  check_float "row 1 sum" 4. v.(1)
+
+let test_sddmm_reference =
+  qtest ~count:200 "SDDMM agrees with masked dense product" csr_gen (fun mask ->
+      let k = 4 in
+      let a = Granii_tensor.Dense.random ~seed:3 mask.Csr.n_rows k in
+      let b = Granii_tensor.Dense.random ~seed:4 k mask.Csr.n_cols in
+      let r = Sddmm.run mask a b in
+      let full = Granii_tensor.Dense.matmul a b in
+      let ok = ref true in
+      Csr.iter
+        (fun i j v ->
+          let expected = Csr.get mask i j *. Granii_tensor.Dense.get full i j in
+          if Float.abs (v -. expected) > 1e-9 then ok := false)
+        r;
+      !ok && Csr.equal_structure r mask)
+
+let test_sddmm_rank1_matches_general =
+  qtest "rank-1 SDDMM = general SDDMM with vector operands" csr_gen (fun mask ->
+      let n = mask.Csr.n_rows and c = mask.Csr.n_cols in
+      let dl = Array.init n (fun i -> float_of_int (i + 1)) in
+      let dr = Array.init c (fun j -> 1. /. float_of_int (j + 1)) in
+      let a = Granii_tensor.Dense.init n 1 (fun i _ -> dl.(i)) in
+      let b = Granii_tensor.Dense.init 1 c (fun _ j -> dr.(j)) in
+      Csr.equal_approx (Sddmm.rank1 mask dl dr) (Sddmm.run mask a b))
+
+let test_dot_rows_matches_run =
+  qtest "dot_rows = run with transposed second operand" csr_gen (fun mask ->
+      let k = 3 in
+      let x = Granii_tensor.Dense.random ~seed:5 mask.Csr.n_rows k in
+      let y = Granii_tensor.Dense.random ~seed:6 mask.Csr.n_cols k in
+      Csr.equal_approx (Sddmm.dot_rows mask x y)
+        (Sddmm.run mask x (Granii_tensor.Dense.transpose y)))
+
+let test_scale_rows_cols =
+  qtest "bilateral scaling = rows then cols" csr_gen (fun m ->
+      let dl = Array.init m.Csr.n_rows (fun i -> float_of_int i +. 0.5) in
+      let dr = Array.init m.Csr.n_cols (fun j -> 2. -. (0.1 *. float_of_int j)) in
+      Csr.equal_approx
+        (Sparse_ops.scale_bilateral dl m dr)
+        (Sparse_ops.scale_cols (Sparse_ops.scale_rows dl m) dr))
+
+let test_sparse_add () =
+  let a = Csr.of_coo (Coo.make ~n_rows:2 ~n_cols:2 [| (0, 0, 1.) |]) in
+  let b = Csr.of_coo (Coo.make ~n_rows:2 ~n_cols:2 [| (0, 0, 2.); (1, 1, 4.) |]) in
+  let s = Sparse_ops.add a b in
+  check_int "union structure" 2 (Csr.nnz s);
+  check_float "overlapping summed" 3. (Csr.get s 0 0);
+  check_float "disjoint kept" 4. (Csr.get s 1 1)
+
+let test_row_softmax () =
+  let m =
+    Csr.of_coo (Coo.make ~n_rows:2 ~n_cols:3 [| (0, 0, 1.); (0, 2, 1.); (1, 1, 100.) |])
+  in
+  let s = Sparse_ops.row_softmax m in
+  check_float "uniform over equal scores" 0.5 (Csr.get s 0 0);
+  check_float "single entry row is 1" 1. (Csr.get s 1 1);
+  let sums = Sparse_ops.row_sums s in
+  check_float ~eps:1e-12 "rows sum to 1" 1. sums.(0)
+
+let test_csc_roundtrip =
+  qtest "CSC <-> CSR roundtrip" csr_gen (fun m ->
+      Csr.equal_approx m (Csc.to_csr (Csc.of_csr m)))
+
+let test_csc_dense_agree =
+  qtest "CSC to_dense = CSR to_dense" csr_gen (fun m ->
+      Granii_tensor.Dense.equal_approx
+        (Csc.to_dense (Csc.of_csr m))
+        (Csr.to_dense m))
+
+let test_csc_spmm_agree =
+  qtest ~count:150 "column-driven SpMM = row-driven SpMM" csr_gen (fun m ->
+      let b = Granii_tensor.Dense.random ~seed:(Csr.nnz m + 1) m.Csr.n_cols 4 in
+      Granii_tensor.Dense.equal_approx ~eps:1e-9
+        (Csc.spmm (Csc.of_csr m) b)
+        (Spmm.run m b))
+
+let test_csc_get =
+  qtest "CSC get = CSR get" csr_gen (fun m ->
+      let c = Csc.of_csr m in
+      let ok = ref true in
+      for i = 0 to m.Csr.n_rows - 1 do
+        for j = 0 to m.Csr.n_cols - 1 do
+          if Float.abs (Csc.get c i j -. Csr.get m i j) > 1e-12 then ok := false
+        done
+      done;
+      !ok && Csc.nnz c = Csr.nnz m)
+
+let test_degrees_agree () =
+  let m = Csr.drop_values (small_csr ()) in
+  check_true "binned = rowptr degree values"
+    (Vector.equal_approx (Sparse_ops.binned_degrees m) (Sparse_ops.row_sums m))
+
+let suite =
+  [ Alcotest.test_case "coo dedup" `Quick test_coo_dedup;
+    Alcotest.test_case "coo bounds" `Quick test_coo_bounds;
+    Alcotest.test_case "coo symmetrize" `Quick test_coo_symmetrize;
+    Alcotest.test_case "csr structure" `Quick test_csr_structure;
+    test_csr_transpose_involution;
+    test_csr_transpose_dense;
+    test_csr_of_dense_roundtrip;
+    Alcotest.test_case "csr unweighted" `Quick test_csr_unweighted;
+    Alcotest.test_case "csr validation" `Quick test_csr_validation;
+    test_spmm_reference;
+    test_spmm_unweighted_reference;
+    test_spmm_transposed_reference;
+    Alcotest.test_case "spmm max_plus semiring" `Quick test_spmm_semiring_max_plus;
+    Alcotest.test_case "spmv" `Quick test_spmv;
+    test_sddmm_reference;
+    test_sddmm_rank1_matches_general;
+    test_dot_rows_matches_run;
+    test_scale_rows_cols;
+    Alcotest.test_case "sparse add" `Quick test_sparse_add;
+    Alcotest.test_case "row softmax" `Quick test_row_softmax;
+    test_csc_roundtrip;
+    test_csc_dense_agree;
+    test_csc_spmm_agree;
+    test_csc_get;
+    Alcotest.test_case "degree kernels agree" `Quick test_degrees_agree ]

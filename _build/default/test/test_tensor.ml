@@ -1,0 +1,169 @@
+open Granii_tensor
+open Test_util
+
+let test_vector_basics () =
+  let v = Vector.init 4 float_of_int in
+  check_float "sum" 6. (Vector.sum v);
+  check_float "mean" 1.5 (Vector.mean v);
+  check_float "max" 3. (Vector.max v);
+  check_float "min" 0. (Vector.min v);
+  check_float "dot" 14. (Vector.dot v v);
+  check_float "norm2" (sqrt 14.) (Vector.norm2 v)
+
+let test_vector_inv_sqrt () =
+  let v = [| 4.; 0.; 1.; 16. |] in
+  let r = Vector.inv_sqrt v in
+  check_float "4 -> 1/2" 0.5 r.(0);
+  check_float "0 -> 0 (pseudo-inverse)" 0. r.(1);
+  check_float "1 -> 1" 1. r.(2);
+  check_float "16 -> 1/4" 0.25 r.(3)
+
+let test_vector_variance () =
+  check_float "constant vector has zero variance" 0. (Vector.variance (Vector.create 5 3.));
+  check_float "variance of [0;2]" 1. (Vector.variance [| 0.; 2. |])
+
+let test_vector_mismatch () =
+  Alcotest.check_raises "map2 rejects mismatched dims"
+    (Invalid_argument "Vector.map2: dimension mismatch") (fun () ->
+      ignore (Vector.map2 ( +. ) [| 1. |] [| 1.; 2. |]))
+
+let test_dense_construction () =
+  let m = Dense.init 2 3 (fun i j -> float_of_int ((i * 3) + j)) in
+  check_int "rows" 2 (fst (Dense.dims m));
+  check_int "cols" 3 (snd (Dense.dims m));
+  check_float "get (1,2)" 5. (Dense.get m 1 2);
+  let m' = Dense.of_arrays (Dense.to_arrays m) in
+  check_true "roundtrip through arrays" (Dense.equal_approx m m')
+
+let test_dense_matmul_identity () =
+  let m = Dense.random ~seed:3 5 5 in
+  check_true "m * I = m" (Dense.equal_approx m (Dense.matmul m (Dense.identity 5)));
+  check_true "I * m = m" (Dense.equal_approx m (Dense.matmul (Dense.identity 5) m))
+
+let test_dense_matmul_known () =
+  let a = Dense.of_arrays [| [| 1.; 2. |]; [| 3.; 4. |] |] in
+  let b = Dense.of_arrays [| [| 5.; 6. |]; [| 7.; 8. |] |] in
+  let c = Dense.matmul a b in
+  check_float "c00" 19. (Dense.get c 0 0);
+  check_float "c01" 22. (Dense.get c 0 1);
+  check_float "c10" 43. (Dense.get c 1 0);
+  check_float "c11" 50. (Dense.get c 1 1)
+
+let test_dense_matmul_mismatch () =
+  Alcotest.check_raises "inner dim mismatch"
+    (Invalid_argument "Dense.matmul: inner dimension mismatch") (fun () ->
+      ignore (Dense.matmul (Dense.zeros 2 3) (Dense.zeros 2 3)))
+
+let test_dense_broadcasts () =
+  let m = Dense.ones 3 2 in
+  let d = [| 1.; 2.; 3. |] in
+  let r = Dense.row_broadcast d m in
+  check_float "row 2 scaled" 3. (Dense.get r 2 0);
+  let c = Dense.col_broadcast m [| 10.; 20. |] in
+  check_float "col 1 scaled" 20. (Dense.get c 0 1)
+
+let test_dense_softmax () =
+  let m = Dense.of_arrays [| [| 0.; 0. |]; [| 1000.; 1000. |] |] in
+  let s = Dense.softmax_rows m in
+  check_float "uniform row" 0.5 (Dense.get s 0 0);
+  check_float "large values stay stable" 0.5 (Dense.get s 1 1);
+  let rs = Dense.row_sums s in
+  check_float ~eps:1e-12 "softmax rows sum to one" 1. rs.(0)
+
+let test_dense_log_softmax_consistent () =
+  let m = Dense.random ~seed:8 4 5 in
+  let a = Dense.softmax_rows m and b = Dense.map exp (Dense.log_softmax_rows m) in
+  check_true "exp(log_softmax) = softmax" (Dense.equal_approx ~eps:1e-9 a b)
+
+let test_dense_activations () =
+  let m = Dense.of_arrays [| [| -1.; 2. |] |] in
+  check_float "relu clamps" 0. (Dense.get (Dense.relu m) 0 0);
+  check_float "relu keeps" 2. (Dense.get (Dense.relu m) 0 1);
+  check_float "leaky default slope" (-0.2) (Dense.get (Dense.leaky_relu m) 0 0);
+  check_float ~eps:1e-12 "sigmoid(0-ish)" (1. /. (1. +. exp 1.))
+    (Dense.get (Dense.sigmoid m) 0 0)
+
+let test_dense_argmax () =
+  let m = Dense.of_arrays [| [| 1.; 3.; 2. |]; [| 9.; 0.; 0. |] |] in
+  Alcotest.(check (array int)) "argmax per row" [| 1; 0 |] (Dense.argmax_rows m)
+
+let test_glorot_bounds () =
+  let m = Dense.glorot ~seed:5 30 20 in
+  let bound = sqrt (6. /. 50.) +. 1e-12 in
+  check_true "within glorot bound"
+    (Array.for_all (fun x -> Float.abs x <= bound) m.Dense.data)
+
+let test_semiring_laws =
+  qtest "plus_times semiring laws on floats"
+    QCheck2.Gen.(triple (float_range (-10.) 10.) (float_range (-10.) 10.) (float_range (-10.) 10.))
+    (fun (a, b, c) ->
+      let sr = Semiring.plus_times in
+      let ( +! ) = sr.Semiring.add and ( *! ) = sr.Semiring.mul in
+      Float.abs ((a +! b) -. (b +! a)) < 1e-9
+      && Float.abs ((a *! (b +! c)) -. ((a *! b) +. (a *! c))) < 1e-6
+      && a +! sr.Semiring.zero = a)
+
+let test_semiring_tropical () =
+  let sr = Semiring.max_plus in
+  check_float "max_plus add" 3. (sr.Semiring.add 3. 1.);
+  check_float "max_plus mul" 4. (sr.Semiring.mul 3. 1.);
+  check_float "zero is neg_infinity absorbed" 5. (sr.Semiring.add neg_infinity 5.);
+  check_true "plus_rhs ignores lhs" (Semiring.plus_rhs.Semiring.mul 99. 2. = 2.)
+
+let test_prng_determinism () =
+  let a = Prng.create 42 and b = Prng.create 42 in
+  for _ = 1 to 50 do
+    check_float "same stream" (Prng.float a) (Prng.float b)
+  done;
+  let c = Prng.create 43 in
+  check_true "different seeds diverge" (Prng.float a <> Prng.float c)
+
+let test_prng_ranges =
+  qtest "Prng.int stays in range"
+    QCheck2.Gen.(pair (int_range 0 1000) (int_range 1 50))
+    (fun (seed, bound) ->
+      let rng = Prng.create seed in
+      let x = Prng.int rng bound in
+      x >= 0 && x < bound)
+
+let test_prng_sample_without_replacement () =
+  let rng = Prng.create 7 in
+  let s = Prng.sample_without_replacement rng 10 100 in
+  check_int "ten elements" 10 (Array.length s);
+  let sorted = Array.copy s in
+  Array.sort compare sorted;
+  let distinct = Array.length sorted = List.length (List.sort_uniq compare (Array.to_list sorted)) in
+  check_true "all distinct" distinct;
+  let all = Prng.sample_without_replacement rng 200 20 in
+  check_int "k >= n returns all" 20 (Array.length all)
+
+let test_prng_uniformity () =
+  let rng = Prng.create 11 in
+  let acc = ref 0. in
+  let n = 20_000 in
+  for _ = 1 to n do
+    acc := !acc +. Prng.float rng
+  done;
+  check_true "mean near 0.5" (Float.abs ((!acc /. float_of_int n) -. 0.5) < 0.02)
+
+let suite =
+  [ Alcotest.test_case "vector basics" `Quick test_vector_basics;
+    Alcotest.test_case "vector inv_sqrt" `Quick test_vector_inv_sqrt;
+    Alcotest.test_case "vector variance" `Quick test_vector_variance;
+    Alcotest.test_case "vector mismatch" `Quick test_vector_mismatch;
+    Alcotest.test_case "dense construction" `Quick test_dense_construction;
+    Alcotest.test_case "matmul identity" `Quick test_dense_matmul_identity;
+    Alcotest.test_case "matmul known values" `Quick test_dense_matmul_known;
+    Alcotest.test_case "matmul mismatch" `Quick test_dense_matmul_mismatch;
+    Alcotest.test_case "row/col broadcast" `Quick test_dense_broadcasts;
+    Alcotest.test_case "softmax stability" `Quick test_dense_softmax;
+    Alcotest.test_case "log_softmax consistency" `Quick test_dense_log_softmax_consistent;
+    Alcotest.test_case "activations" `Quick test_dense_activations;
+    Alcotest.test_case "argmax rows" `Quick test_dense_argmax;
+    Alcotest.test_case "glorot bounds" `Quick test_glorot_bounds;
+    test_semiring_laws;
+    Alcotest.test_case "tropical semirings" `Quick test_semiring_tropical;
+    Alcotest.test_case "prng determinism" `Quick test_prng_determinism;
+    test_prng_ranges;
+    Alcotest.test_case "sample without replacement" `Quick test_prng_sample_without_replacement;
+    Alcotest.test_case "prng uniformity" `Quick test_prng_uniformity ]
