@@ -1,1 +1,1 @@
-bench/bench_micro.ml: Analyze Bechamel Bench_common Benchmark Granii_graph Granii_sparse Granii_tensor Hashtbl Instance List Measure Printf Staged Test Time Toolkit
+bench/bench_micro.ml: Analyze Bechamel Bench_common Benchmark Domain Granii_graph Granii_hw Granii_sparse Granii_tensor Hashtbl Instance List Measure Printf Staged Test Time Toolkit

@@ -31,6 +31,14 @@ let env_of graph ~k_in ~k_out =
   let n = G.Graph.n_nodes graph in
   { Dim.n; nnz = G.Graph.n_edges graph + n; k_in; k_out }
 
+(* Thread count for the real-execution benches ([micro], [real]); set by the
+   driver's [--threads N] flag. The simulated-profile benches are unaffected
+   except where they featurize with it explicitly. *)
+let threads = ref 1
+
+(* [None] while [!threads <= 1]; otherwise the shared process-wide pool. *)
+let pool () = Hw.Domain_pool.for_threads !threads
+
 (* ---- caches: everything below is built once per bench process ---- *)
 
 let cost_model_cache : (string, Cost_model.t) Hashtbl.t = Hashtbl.create 4

@@ -26,7 +26,48 @@ let tests () =
       Test.make ~name:"degree" (Staged.stage (fun () -> G.Graph.norm_inv_sqrt graph));
       Test.make ~name:"featurize" (Staged.stage (fun () -> G.Graph_features.extract graph)) ]
 
+(* Multicore engine speedups: sequential kernels vs the domain pool on a
+   ~100k-edge power-law graph at K=64 (the acceptance setting). Wall-clock,
+   so the numbers only separate when the machine actually has the cores. *)
+let run_parallel () =
+  let threads = !Bench_common.threads in
+  Bench_common.section
+    (Printf.sprintf
+       "Parallel engine: sequential vs %d-thread pool (rmat scale=13 ef=12, k=64)"
+       threads);
+  let graph = G.Generators.rmat ~seed:5 ~scale:13 ~edge_factor:12 () in
+  let a = G.Graph.with_self_loops graph in
+  let n = G.Graph.n_nodes graph in
+  let k = 64 in
+  let h = Dense.random ~seed:1 n k in
+  let w = Dense.random ~seed:2 k k in
+  let aw = Granii_sparse.Sparse_ops.scale_rows (G.Graph.norm_inv_sqrt graph) a in
+  Printf.printf "graph: n=%d nnz=%d, host cores available: %d\n" n (Csr.nnz a)
+    (Domain.recommended_domain_count ());
+  let pool = Granii_hw.Domain_pool.for_threads threads in
+  let cases =
+    [ ("spmm_unweighted",
+       (fun () -> ignore (Granii_sparse.Spmm.run a h)),
+       (fun () -> ignore (Granii_sparse.Spmm.run ?pool a h)));
+      ("spmm_weighted",
+       (fun () -> ignore (Granii_sparse.Spmm.run aw h)),
+       (fun () -> ignore (Granii_sparse.Spmm.run ?pool aw h)));
+      ("gemm_n_k_k",
+       (fun () -> ignore (Dense.matmul h w)),
+       (fun () -> ignore (Dense.matmul ?pool h w))) ]
+  in
+  Printf.printf "%-20s %12s %12s %9s\n" "kernel" "seq/run" "pool/run" "speedup";
+  Bench_common.hr ();
+  List.iter
+    (fun (name, seq, par) ->
+      let t_seq = Granii_hw.Timer.measure_n ~warmup:1 ~n:5 seq in
+      let t_par = Granii_hw.Timer.measure_n ~warmup:1 ~n:5 par in
+      Printf.printf "%-20s %9.3f ms %9.3f ms %8.2fx\n" name (1000. *. t_seq)
+        (1000. *. t_par) (t_seq /. t_par))
+    cases
+
 let run () =
+  run_parallel ();
   Bench_common.section
     "Microbenchmarks: real host-CPU kernels (rmat scale=10, k=32, bechamel)";
   let instance = Instance.monotonic_clock in

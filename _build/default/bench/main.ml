@@ -24,7 +24,8 @@ let benches =
     ("ext", "Extensions: multi-head GAT, executed stacks, deep hops", Bench_ext.run) ]
 
 let usage () =
-  print_endline "usage: main.exe [--list | --only <id> [--only <id> ...]]";
+  print_endline
+    "usage: main.exe [--list | --threads <n> | --only <id> [--only <id> ...]]";
   print_endline "available benches:";
   List.iter (fun (id, descr, _) -> Printf.printf "  %-6s %s\n" id descr) benches
 
@@ -33,6 +34,16 @@ let () =
   let rec selected = function
     | [] -> []
     | "--only" :: id :: rest -> id :: selected rest
+    | "--threads" :: n :: rest ->
+        (match int_of_string_opt n with
+        | Some t when t >= 1 -> Bench_common.threads := t
+        | Some _ | None ->
+            Printf.eprintf "--threads expects a positive integer, got %s\n" n;
+            exit 1);
+        selected rest
+    | [ "--threads" ] ->
+        Printf.eprintf "--threads expects a positive integer\n";
+        exit 1
     | "--list" :: _ ->
         usage ();
         exit 0

@@ -151,6 +151,12 @@ let select_cmd =
     Arg.(value & flag
          & info [ "analytic" ] ~doc:"Use the analytic cost model instead of training GBRTs.")
   in
+  let threads =
+    Arg.(value & opt int 1
+         & info [ "threads"; "t" ] ~docv:"N"
+             ~doc:"Thread count of the execution engine the selection targets \
+                   (fed to the featurizer and the cost models).")
+  in
   let env_of graph k_in k_out =
     { Dim.n = G.Graph.n_nodes graph;
       nnz = G.Graph.n_edges graph + G.Graph.n_nodes graph;
@@ -162,7 +168,11 @@ let select_cmd =
          & info [ "models-file" ] ~docv:"FILE"
              ~doc:"Load cost models saved by $(b,granii train) instead of retraining.")
   in
-  let run model graph k_in k_out profile iterations system analytic models_file =
+  let run model graph k_in k_out profile iterations system analytic threads models_file =
+    if threads < 1 then begin
+      Printf.eprintf "--threads expects a positive integer\n";
+      exit 1
+    end;
     let sys = Sys_.System.find system in
     let _, compiled, _ = compile_model model ~binned:sys.Sys_.System.binned_degrees in
     let cost_model =
@@ -176,10 +186,14 @@ let select_cmd =
             Cost_model.train ~profile (Profiling.collect ~profile ())
           end
     in
-    let decision = Granii.optimize ~cost_model ~graph ~k_in ~k_out ~iterations compiled in
-    Printf.printf "input: %s (n=%d nnz=%d), %d -> %d, cost model %s, %d iterations\n"
+    let decision =
+      Granii.optimize ~cost_model ~graph ~k_in ~k_out ~iterations ~threads compiled
+    in
+    Printf.printf
+      "input: %s (n=%d nnz=%d), %d -> %d, cost model %s, %d iterations, %d thread%s\n"
       graph.G.Graph.name (G.Graph.n_nodes graph) (G.Graph.n_edges graph) k_in k_out
-      (Cost_model.name cost_model) iterations;
+      (Cost_model.name cost_model) iterations threads
+      (if threads = 1 then "" else "s");
     Printf.printf "overhead: %.3f ms (featurize %.3f + select %.3f)\n"
       (1000. *. decision.Granii.overhead)
       (1000. *. decision.Granii.feats.Featurizer.extraction_time)
@@ -202,7 +216,7 @@ let select_cmd =
     (Cmd.info "select"
        ~doc:"Run the online stage: featurize an input and rank the candidates")
     Term.(const run $ model_pos $ graph $ k_in $ k_out $ hw $ iterations $ system
-          $ analytic $ models_file)
+          $ analytic $ threads $ models_file)
 
 let baseline_cmd =
   let k_in = Arg.(value & opt int 256 & info [ "kin" ] ~doc:"Input embedding size.") in
@@ -235,7 +249,19 @@ let train_cmd =
                "Label the profiling data by actually executing and timing every \
                 primitive on this machine's CPU instead of the simulated profile.")
   in
-  let run profile output measured =
+  let threads_grid =
+    Arg.(value & opt (list int) [ 1 ]
+         & info [ "threads-grid" ] ~docv:"N,N,..."
+             ~doc:
+               "Thread counts to profile the simulated kernels at (e.g. \
+                $(b,1,2,4,8)); the trained models then see the thread count \
+                as a feature. Ignored with $(b,--measured).")
+  in
+  let run profile output measured threads_grid =
+    if List.exists (fun t -> t < 1) threads_grid || threads_grid = [] then begin
+      Printf.eprintf "--threads-grid expects positive integers\n";
+      exit 1
+    end;
     let data, profile =
       if measured then begin
         Printf.printf "measuring primitives on the host CPU...\n%!";
@@ -244,7 +270,7 @@ let train_cmd =
       else begin
         Printf.printf "profiling primitives on %s...\n%!"
           profile.Granii_hw.Hw_profile.name;
-        (Profiling.collect ~profile (), profile)
+        (Profiling.collect ~profile ~threads_grid (), profile)
       end
     in
     Printf.printf "training %d per-primitive models...\n%!" (List.length data);
@@ -257,7 +283,7 @@ let train_cmd =
        ~doc:
          "The initialization script: profile every primitive and train the \
           per-primitive cost models, saving them to disk")
-    Term.(const run $ hw $ output $ measured)
+    Term.(const run $ hw $ output $ measured $ threads_grid)
 
 let main =
   let doc = "GRANII: input-aware selection and ordering of GNN primitives" in

@@ -1,1 +1,1 @@
-lib/core/granii.mli: Codegen Cost_model Dim Executor Featurizer Granii_graph Granii_hw Logs Matrix_ir Plan Selector
+lib/core/granii.mli: Codegen Cost_model Dim Executor Featurizer Granii_graph Granii_hw Granii_tensor Logs Matrix_ir Plan Selector

@@ -25,13 +25,14 @@ let analytic profile = Analytic profile
 
 let flops_only = Flops
 
-let analytic_time profile ~env prim =
+let analytic_time ?threads profile ~env prim =
   List.fold_left
-    (fun acc kernel -> acc +. K.time profile kernel)
+    (fun acc kernel -> acc +. K.time ?threads profile kernel)
     0.
     (Primitive.to_kernels env prim)
 
 let predict t feats ~env prim =
+  let threads = feats.Featurizer.threads in
   match t with
   | Learned { profile; table } -> (
       match Hashtbl.find_opt table (Primitive.name prim) with
@@ -40,8 +41,8 @@ let predict t feats ~env prim =
             Featurizer.primitive_input feats ~dims:(Primitive.instantiated_dims env prim)
           in
           exp (Granii_ml.Gbrt.predict model input)
-      | None -> analytic_time profile ~env prim)
-  | Analytic profile -> analytic_time profile ~env prim
+      | None -> analytic_time ~threads profile ~env prim)
+  | Analytic profile -> analytic_time ~threads profile ~env prim
   | Flops ->
       List.fold_left
         (fun acc kernel -> acc +. K.flops kernel)

@@ -48,43 +48,44 @@ let diag_to_csr v =
 
 (* GAT's attention function: per stored edge (i, j),
    leaky_relu(a_src . feats_i + a_dst . feats_j). *)
-let edge_score mask feats a_src a_dst =
-  let s = Dense.matmul feats a_src and t = Dense.matmul feats a_dst in
+let edge_score ?pool mask feats a_src a_dst =
+  let s = Dense.matmul ?pool feats a_src and t = Dense.matmul ?pool feats a_dst in
   let count = Csr.nnz mask in
   let out = Array.make count 0. in
-  for i = 0 to mask.Csr.n_rows - 1 do
-    let si = Dense.get s i 0 in
-    for p = mask.Csr.row_ptr.(i) to mask.Csr.row_ptr.(i + 1) - 1 do
-      let x = si +. Dense.get t (mask.Csr.col_idx.(p)) 0 in
-      out.(p) <- (if x > 0. then x else 0.2 *. x)
-    done
-  done;
+  Granii_tensor.Parallel.rows_weighted ?pool ~prefix:mask.Csr.row_ptr (fun lo hi ->
+      for i = lo to hi - 1 do
+        let si = Dense.get s i 0 in
+        for p = mask.Csr.row_ptr.(i) to mask.Csr.row_ptr.(i + 1) - 1 do
+          let x = si +. Dense.get t (mask.Csr.col_idx.(p)) 0 in
+          out.(p) <- (if x > 0. then x else 0.2 *. x)
+        done
+      done);
   Csr.with_values mask out
 
-let apply_nonlinear kind d =
+let apply_nonlinear ?pool kind d =
   match kind with
-  | Matrix_ir.Relu -> Dense.relu d
-  | Matrix_ir.Leaky_relu -> Dense.leaky_relu d
-  | Matrix_ir.Sigmoid -> Dense.sigmoid d
-  | Matrix_ir.Log_softmax -> Dense.log_softmax_rows d
+  | Matrix_ir.Relu -> Dense.relu ?pool d
+  | Matrix_ir.Leaky_relu -> Dense.leaky_relu ?pool d
+  | Matrix_ir.Sigmoid -> Dense.sigmoid ?pool d
+  | Matrix_ir.Log_softmax -> Dense.log_softmax_rows ?pool d
   | Matrix_ir.Edge_softmax -> err "edge_softmax reached dense map"
 
-let exec_prim (prim : Primitive.t) (graph : Granii_graph.Graph.t) args =
+let exec_prim ?pool (prim : Primitive.t) (graph : Granii_graph.Graph.t) args =
   match (prim, args) with
-  | Primitive.Gemm _, [ a; b ] -> Vdense (Dense.matmul (dense a) (dense b))
-  | Primitive.Spmm _, [ a; b ] -> Vdense (Spmm.run (sparse a) (dense b))
+  | Primitive.Gemm _, [ a; b ] -> Vdense (Dense.matmul ?pool (dense a) (dense b))
+  | Primitive.Spmm _, [ a; b ] -> Vdense (Spmm.run ?pool (sparse a) (dense b))
   | Primitive.Dense_sparse_mm _, [ a; b ] ->
-      Vdense (Spmm.run_transposed (dense a) (sparse b))
+      Vdense (Spmm.run_transposed ?pool (dense a) (sparse b))
   | Primitive.Sddmm_rank1, [ dl; a; dr ] ->
-      Vsparse (Sddmm.rank1 (sparse a) (diag dl) (diag dr))
+      Vsparse (Sddmm.rank1 ?pool (sparse a) (diag dl) (diag dr))
   | Primitive.Diag_scale { side = `Left }, [ d; a ] ->
-      Vsparse (Sparse_ops.scale_rows (diag d) (sparse a))
+      Vsparse (Sparse_ops.scale_rows ?pool (diag d) (sparse a))
   | Primitive.Diag_scale { side = `Right }, [ a; d ] ->
-      Vsparse (Sparse_ops.scale_cols (sparse a) (diag d))
+      Vsparse (Sparse_ops.scale_cols ?pool (sparse a) (diag d))
   | Primitive.Row_broadcast _, [ d; x ] ->
-      Vdense (Dense.row_broadcast (diag d) (dense x))
+      Vdense (Dense.row_broadcast ?pool (diag d) (dense x))
   | Primitive.Col_broadcast _, [ x; d ] ->
-      Vdense (Dense.col_broadcast (dense x) (diag d))
+      Vdense (Dense.col_broadcast ?pool (dense x) (diag d))
   | Primitive.Diag_combine, [ a; b ] -> Vdiag (Vector.map2 ( *. ) (diag a) (diag b))
   | Primitive.Sparse_add _, parts ->
       let as_csr = function
@@ -99,11 +100,13 @@ let exec_prim (prim : Primitive.t) (graph : Granii_graph.Graph.t) args =
   | Primitive.Dense_add _, parts -> (
       match List.map dense parts with
       | [] -> err "dense_add with no operands"
-      | first :: rest -> Vdense (List.fold_left Dense.add first rest))
+      | first :: rest ->
+          Vdense (List.fold_left (fun acc d -> Dense.add ?pool acc d) first rest))
   | Primitive.Edge_score _, [ mask; feats; a_src; a_dst ] ->
-      Vsparse (edge_score (sparse mask) (dense feats) (dense a_src) (dense a_dst))
-  | Primitive.Edge_softmax, [ a ] -> Vsparse (Sparse_ops.row_softmax (sparse a))
-  | Primitive.Dense_map { kind; _ }, [ a ] -> Vdense (apply_nonlinear kind (dense a))
+      Vsparse (edge_score ?pool (sparse mask) (dense feats) (dense a_src) (dense a_dst))
+  | Primitive.Edge_softmax, [ a ] -> Vsparse (Sparse_ops.row_softmax ?pool (sparse a))
+  | Primitive.Dense_map { kind; _ }, [ a ] ->
+      Vdense (apply_nonlinear ?pool kind (dense a))
   | Primitive.Degree { power; _ }, [ _graph_token ] -> (
       match power with
       | Primitive.Inv_sqrt -> Vdiag (Granii_graph.Graph.norm_inv_sqrt graph)
@@ -114,7 +117,7 @@ let exec_prim (prim : Primitive.t) (graph : Granii_graph.Graph.t) args =
   | prim, args ->
       err "primitive %a applied to %d arguments" Primitive.pp prim (List.length args)
 
-let apply = exec_prim
+let apply ?pool prim graph args = exec_prim ?pool prim graph args
 
 (* Kernels of a step, sized from the actual operand values (so sampling or
    precomputed sparse intermediates are charged their true nnz). *)
@@ -175,7 +178,7 @@ let kernels_of_step (prim : Primitive.t) (graph : Granii_graph.Graph.t) args res
       err "kernels: primitive %a applied to %d arguments" Primitive.pp prim
         (List.length args)
 
-let run ?(seed = 0) ~timing ~graph ~bindings (plan : Plan.t) =
+let run ?(seed = 0) ?pool ~timing ~graph ~bindings (plan : Plan.t) =
   let results : (int, value) Hashtbl.t = Hashtbl.create 16 in
   let lookup = function
     | Plan.Computed i -> (
@@ -198,14 +201,22 @@ let run ?(seed = 0) ~timing ~graph ~bindings (plan : Plan.t) =
       let value, elapsed =
         match timing with
         | Measure ->
-            let v, t = Granii_hw.Timer.measure (fun () -> exec_prim s.Plan.prim graph args) in
+            let v, t =
+              Granii_hw.Timer.measure (fun () -> exec_prim ?pool s.Plan.prim graph args)
+            in
             (v, t)
         | Simulate profile ->
-            let v = exec_prim s.Plan.prim graph args in
+            let v = exec_prim ?pool s.Plan.prim graph args in
             let kernels = kernels_of_step s.Plan.prim graph args v in
+            let threads =
+              match pool with
+              | None -> 1
+              | Some p -> Granii_tensor.Parallel.threads p
+            in
             let t =
               List.fold_left
-                (fun acc k -> acc +. K.time_noisy profile ~seed:(seed + s.Plan.idx) k)
+                (fun acc k ->
+                  acc +. K.time_noisy ~threads profile ~seed:(seed + s.Plan.idx) k)
                 0. kernels
             in
             (v, t)

@@ -6,8 +6,9 @@
     - [Measure]: host wall-clock per step — the "real CPU" mode;
     - [Simulate profile]: each step is charged the analytic
       {!Granii_hw.Kernel_model} time for its instantiated kernels on the
-      given hardware profile, with deterministic jitter. This is the
-      substitute for the paper's A100/H100 testbeds (see DESIGN.md).
+      given hardware profile, with deterministic jitter (at the pool's
+      thread count when a [?pool] is given). This is the substitute for the
+      paper's A100/H100 testbeds (see DESIGN.md).
 
     [estimate] skips execution entirely and just sums predicted kernel times
     — used by the large parameter sweeps of the benches. *)
@@ -32,14 +33,17 @@ type report = {
 exception Execution_error of string
 
 val apply :
+  ?pool:Granii_tensor.Parallel.t ->
   Primitive.t -> Granii_graph.Graph.t -> value list -> value
 (** Execute one primitive against concrete operand values — the kernel
     dispatch used by {!run}, exposed so measured profiling
     ({!Profiling.collect_measured}) can time individual primitives. Raises
-    {!Execution_error} on an argument-kind mismatch. *)
+    {!Execution_error} on an argument-kind mismatch. With [?pool], kernels
+    run on the multicore engine ({!Granii_hw.Domain_pool}). *)
 
 val run :
-  ?seed:int -> timing:timing -> graph:Granii_graph.Graph.t ->
+  ?seed:int -> ?pool:Granii_tensor.Parallel.t -> timing:timing ->
+  graph:Granii_graph.Graph.t ->
   bindings:(string * value) list -> Plan.t -> report
 (** Executes the plan once. Leaf names are resolved in [bindings]; the
     graph's {m \tilde A} and normalization vector are available to [Degree]

@@ -30,8 +30,8 @@ type decision = {
   overhead : float;
 }
 
-let optimize ~cost_model ~graph ~k_in ~k_out ?(iterations = 100) compiled =
-  let feats = Featurizer.extract graph in
+let optimize ~cost_model ~graph ~k_in ~k_out ?(iterations = 100) ?(threads = 1) compiled =
+  let feats = Featurizer.extract ~threads graph in
   let env =
     { Dim.n = Granii_graph.Graph.n_nodes graph;
       nnz = Granii_graph.Graph.n_edges graph + Granii_graph.Graph.n_nodes graph;
@@ -50,8 +50,9 @@ let optimize ~cost_model ~graph ~k_in ~k_out ?(iterations = 100) compiled =
     feats;
     overhead = feats.Featurizer.extraction_time +. choice.Selector.selection_time }
 
-let execute ?seed ~timing ~graph ~bindings decision =
-  Executor.run ?seed ~timing ~graph ~bindings decision.choice.Selector.candidate.Codegen.plan
+let execute ?seed ?pool ~timing ~graph ~bindings decision =
+  Executor.run ?seed ?pool ~timing ~graph ~bindings
+    decision.choice.Selector.candidate.Codegen.plan
 
 let simulated_overhead ~profile ~env =
   let featurize =

@@ -33,14 +33,17 @@ type decision = {
 
 val optimize :
   cost_model:Cost_model.t -> graph:Granii_graph.Graph.t -> k_in:int ->
-  k_out:int -> ?iterations:int -> Codegen.t -> decision
+  k_out:int -> ?iterations:int -> ?threads:int -> Codegen.t -> decision
 (** The online stage (default [iterations = 100], matching the paper's
-    evaluation). *)
+    evaluation). [threads] (default [1]) is the multicore engine's width;
+    it enters the cost-model features, so selection can rank compositions
+    differently at different parallelism levels. *)
 
 val execute :
-  ?seed:int -> timing:Executor.timing -> graph:Granii_graph.Graph.t ->
+  ?seed:int -> ?pool:Granii_tensor.Parallel.t -> timing:Executor.timing ->
+  graph:Granii_graph.Graph.t ->
   bindings:(string * Executor.value) list -> decision -> Executor.report
-(** Runs the selected plan. *)
+(** Runs the selected plan, on the multicore engine when [?pool] is given. *)
 
 val simulated_overhead :
   profile:Granii_hw.Hw_profile.t -> env:Dim.env -> float

@@ -30,54 +30,59 @@ let templates =
 
 let embedding_grid = [ 32; 64; 128; 256; 512; 1024; 2048 ]
 
-let collect ?(seed = 0) ?graphs ?sizes ~profile () =
+let collect ?(seed = 0) ?graphs ?sizes ?(threads_grid = [ 1 ]) ~profile () =
   let graphs =
     match graphs with
     | Some gs -> gs
     | None -> Granii_graph.Datasets.training_pool ~seed:(seed + 1000) ()
   in
   let sizes = match sizes with Some s -> s | None -> embedding_grid in
+  let threads_grid = match threads_grid with [] -> [ 1 ] | g -> g in
   let acc : (string, (float array * float) list ref) Hashtbl.t = Hashtbl.create 16 in
   let sample_idx = ref 0 in
   List.iter
     (fun graph ->
-      let feats =
-        Featurizer.of_features (Granii_graph.Graph_features.extract graph)
-      in
+      let base_feats = Granii_graph.Graph_features.extract graph in
       let n = Granii_graph.Graph.n_nodes graph in
       let nnz = Granii_graph.Graph.n_edges graph + n in
       List.iter
-        (fun k_in ->
+        (fun threads ->
+          let feats = Featurizer.of_features ~threads base_feats in
           List.iter
-            (fun k_out ->
-              let env = { Dim.n; nnz; k_in; k_out } in
+            (fun k_in ->
               List.iter
-                (fun template ->
-                  incr sample_idx;
-                  let time =
-                    List.fold_left
-                      (fun t kernel ->
-                        t +. K.time_noisy profile ~seed:(seed + !sample_idx) kernel)
-                      0.
-                      (Primitive.to_kernels env template)
-                  in
-                  let input =
-                    Featurizer.primitive_input feats
-                      ~dims:(Primitive.instantiated_dims env template)
-                  in
-                  let name = Primitive.name template in
-                  let bucket =
-                    match Hashtbl.find_opt acc name with
-                    | Some b -> b
-                    | None ->
-                        let b = ref [] in
-                        Hashtbl.add acc name b;
-                        b
-                  in
-                  bucket := (input, log time) :: !bucket)
-                templates)
+                (fun k_out ->
+                  let env = { Dim.n; nnz; k_in; k_out } in
+                  List.iter
+                    (fun template ->
+                      incr sample_idx;
+                      let time =
+                        List.fold_left
+                          (fun t kernel ->
+                            t
+                            +. K.time_noisy ~threads profile
+                                 ~seed:(seed + !sample_idx) kernel)
+                          0.
+                          (Primitive.to_kernels env template)
+                      in
+                      let input =
+                        Featurizer.primitive_input feats
+                          ~dims:(Primitive.instantiated_dims env template)
+                      in
+                      let name = Primitive.name template in
+                      let bucket =
+                        match Hashtbl.find_opt acc name with
+                        | Some b -> b
+                        | None ->
+                            let b = ref [] in
+                            Hashtbl.add acc name b;
+                            b
+                      in
+                      bucket := (input, log time) :: !bucket)
+                    templates)
+                sizes)
             sizes)
-        sizes)
+        threads_grid)
     graphs;
   Hashtbl.fold
     (fun name bucket out ->

@@ -1,0 +1,1 @@
+lib/hw/domain_pool.ml: Fun Granii_tensor

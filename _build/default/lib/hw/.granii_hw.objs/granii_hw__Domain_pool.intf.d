@@ -1,0 +1,1 @@
+lib/hw/domain_pool.mli: Granii_tensor

@@ -1,5 +1,6 @@
 type t = {
   name : string;
+  cores : int;
   dense_gflops : float;
   sparse_gflops : float;
   stream_gbps : float;
@@ -12,6 +13,8 @@ type t = {
 
 let cpu =
   { name = "CPU";
+    (* Xeon Gold 6348: 28 cores; the multicore engine tops out there. *)
+    cores = 28;
     dense_gflops = 150.;
     sparse_gflops = 12.;
     stream_gbps = 80.;
@@ -24,6 +27,7 @@ let cpu =
 
 let a100 =
   { name = "A100";
+    cores = 108;
     dense_gflops = 18_000.;
     sparse_gflops = 900.;
     stream_gbps = 1_500.;
@@ -37,6 +41,7 @@ let a100 =
 
 let h100 =
   { name = "H100";
+    cores = 132;
     dense_gflops = 55_000.;
     sparse_gflops = 1_800.;
     stream_gbps = 3_000.;

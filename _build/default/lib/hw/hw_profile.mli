@@ -11,6 +11,9 @@
 
 type t = {
   name : string;
+  cores : int;
+  (** independent execution units (CPU cores / GPU SMs): the ceiling the
+      kernel model clamps a requested thread count to *)
   dense_gflops : float;
   (** sustained dense-GEMM throughput, GFLOP/s *)
   sparse_gflops : float;

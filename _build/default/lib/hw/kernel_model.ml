@@ -65,22 +65,35 @@ let is_dense_compute = function
   | Degree_binning _ | Degree_rowptr _ ->
       false
 
-let time (p : Hw_profile.t) kernel =
+(* Marginal efficiency of each extra thread on the compute-bound part:
+   static row chunking leaves some imbalance and the domains share caches, so
+   n threads deliver 1 + 0.85 (n - 1) rather than n. Bandwidth-bound work is
+   shared across cores and gains much less per thread. *)
+let compute_efficiency = 0.85
+let memory_efficiency = 0.25
+
+let time ?(threads = 1) (p : Hw_profile.t) kernel =
+  let t = max 1 (min threads p.Hw_profile.cores) in
+  let compute_speedup = 1. +. (compute_efficiency *. float_of_int (t - 1)) in
+  let memory_speedup = 1. +. (memory_efficiency *. float_of_int (t - 1)) in
   let compute_throughput =
     (if is_dense_compute kernel then p.Hw_profile.dense_gflops
      else p.Hw_profile.sparse_gflops)
     *. 1e9
   in
-  let compute_t = flops kernel /. compute_throughput in
+  let compute_t = flops kernel /. compute_throughput /. compute_speedup in
   let memory_t =
-    (bytes_streamed kernel /. (p.Hw_profile.stream_gbps *. 1e9))
-    +. (bytes_random kernel /. (p.Hw_profile.random_gbps *. 1e9))
+    ((bytes_streamed kernel /. (p.Hw_profile.stream_gbps *. 1e9))
+    +. (bytes_random kernel /. (p.Hw_profile.random_gbps *. 1e9)))
+    /. memory_speedup
   in
   let atomic_t =
     match kernel with
     | Degree_binning { nnz; avg_collisions; _ } ->
+        (* contention grows with concurrent writers *)
         f nnz *. p.Hw_profile.atomic_ns *. 1e-9
         *. (1. +. (p.Hw_profile.atomic_contention_factor *. avg_collisions))
+        *. (1. +. (p.Hw_profile.atomic_contention_factor *. float_of_int (t - 1)))
     | Gemm _ | Spmm _ | Dense_sparse_mm _ | Sddmm _ | Row_broadcast _
     | Col_broadcast _ | Diag_scale_sparse _ | Diag_combine _ | Elementwise _
     | Edge_softmax _ | Degree_rowptr _ ->
@@ -91,8 +104,8 @@ let time (p : Hw_profile.t) kernel =
 let kernel_hash kernel =
   Hashtbl.hash kernel
 
-let time_noisy (p : Hw_profile.t) ~seed kernel =
-  let base = time p kernel in
+let time_noisy ?threads (p : Hw_profile.t) ~seed kernel =
+  let base = time ?threads p kernel in
   let rng = Granii_tensor.Prng.create (seed + (31 * kernel_hash kernel)) in
   let jitter = 1. +. (p.Hw_profile.noise *. ((2. *. Granii_tensor.Prng.float rng) -. 1.)) in
   base *. jitter

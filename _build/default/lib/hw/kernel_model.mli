@@ -49,10 +49,14 @@ val bytes_random : kernel -> float
 val is_dense_compute : kernel -> bool
 (** Whether the kernel runs at dense ([Gemm]) or irregular throughput. *)
 
-val time : Hw_profile.t -> kernel -> float
-(** Predicted runtime in seconds, noise-free. *)
+val time : ?threads:int -> Hw_profile.t -> kernel -> float
+(** Predicted runtime in seconds, noise-free. [?threads] (default [1])
+    models the multicore engine: the compute term scales by
+    [1 + 0.85 (t - 1)], the memory term by the much flatter
+    [1 + 0.25 (t - 1)] (bandwidth is shared), atomics pay extra contention,
+    and [t] is clamped to the profile's [cores]. *)
 
-val time_noisy : Hw_profile.t -> seed:int -> kernel -> float
+val time_noisy : ?threads:int -> Hw_profile.t -> seed:int -> kernel -> float
 (** {!time} scaled by a deterministic jitter in
     [[1 - noise, 1 + noise]] derived from [seed] and the kernel. *)
 

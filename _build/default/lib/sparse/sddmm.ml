@@ -1,7 +1,12 @@
 module Dense = Granii_tensor.Dense
 module Semiring = Granii_tensor.Semiring
+module Parallel = Granii_tensor.Parallel
 
-let run ?(semiring = Semiring.plus_times) (mask : Csr.t) (a : Dense.t) (b : Dense.t) =
+(* All kernels chunk mask rows with the nonzero-balanced partitioner; each
+   stored position (and so each output slot) belongs to exactly one chunk,
+   keeping the parallel result bitwise identical to the sequential one. *)
+
+let run ?(semiring = Semiring.plus_times) ?pool (mask : Csr.t) (a : Dense.t) (b : Dense.t) =
   if a.Dense.rows <> mask.Csr.n_rows then
     invalid_arg "Sddmm.run: A row count must match mask rows";
   if b.Dense.cols <> mask.Csr.n_cols then
@@ -12,50 +17,52 @@ let run ?(semiring = Semiring.plus_times) (mask : Csr.t) (a : Dense.t) (b : Dens
   let out = Array.make count 0. in
   let sr = semiring in
   let plus_times = Semiring.is_plus_times sr in
-  for i = 0 to mask.Csr.n_rows - 1 do
-    let abase = i * k in
-    for p = mask.Csr.row_ptr.(i) to mask.Csr.row_ptr.(i + 1) - 1 do
-      let j = mask.Csr.col_idx.(p) in
-      let dotv =
-        if plus_times then begin
-          let acc = ref 0. in
-          for q = 0 to k - 1 do
-            acc := !acc +. (a.Dense.data.(abase + q) *. Dense.get b q j)
-          done;
-          !acc
-        end
-        else begin
-          let acc = ref sr.Semiring.zero in
-          for q = 0 to k - 1 do
-            acc :=
-              sr.Semiring.add !acc
-                (sr.Semiring.mul a.Dense.data.(abase + q) (Dense.get b q j))
-          done;
-          !acc
-        end
-      in
-      out.(p) <- (if plus_times then Csr.value mask p *. dotv
-                  else sr.Semiring.mul (Csr.value mask p) dotv)
-    done
-  done;
+  Parallel.rows_weighted ?pool ~prefix:mask.Csr.row_ptr (fun lo hi ->
+      for i = lo to hi - 1 do
+        let abase = i * k in
+        for p = mask.Csr.row_ptr.(i) to mask.Csr.row_ptr.(i + 1) - 1 do
+          let j = mask.Csr.col_idx.(p) in
+          let dotv =
+            if plus_times then begin
+              let acc = ref 0. in
+              for q = 0 to k - 1 do
+                acc := !acc +. (a.Dense.data.(abase + q) *. Dense.get b q j)
+              done;
+              !acc
+            end
+            else begin
+              let acc = ref sr.Semiring.zero in
+              for q = 0 to k - 1 do
+                acc :=
+                  sr.Semiring.add !acc
+                    (sr.Semiring.mul a.Dense.data.(abase + q) (Dense.get b q j))
+              done;
+              !acc
+            end
+          in
+          out.(p) <- (if plus_times then Csr.value mask p *. dotv
+                      else sr.Semiring.mul (Csr.value mask p) dotv)
+        done
+      done);
   Csr.with_values mask out
 
-let rank1 (mask : Csr.t) d_left d_right =
+let rank1 ?pool (mask : Csr.t) d_left d_right =
   if Array.length d_left <> mask.Csr.n_rows then
     invalid_arg "Sddmm.rank1: left vector dimension mismatch";
   if Array.length d_right <> mask.Csr.n_cols then
     invalid_arg "Sddmm.rank1: right vector dimension mismatch";
   let count = Csr.nnz mask in
   let out = Array.make count 0. in
-  for i = 0 to mask.Csr.n_rows - 1 do
-    let dl = d_left.(i) in
-    for p = mask.Csr.row_ptr.(i) to mask.Csr.row_ptr.(i + 1) - 1 do
-      out.(p) <- Csr.value mask p *. dl *. d_right.(mask.Csr.col_idx.(p))
-    done
-  done;
+  Parallel.rows_weighted ?pool ~prefix:mask.Csr.row_ptr (fun lo hi ->
+      for i = lo to hi - 1 do
+        let dl = d_left.(i) in
+        for p = mask.Csr.row_ptr.(i) to mask.Csr.row_ptr.(i + 1) - 1 do
+          out.(p) <- Csr.value mask p *. dl *. d_right.(mask.Csr.col_idx.(p))
+        done
+      done);
   Csr.with_values mask out
 
-let dot_rows (mask : Csr.t) (x : Dense.t) (y : Dense.t) =
+let dot_rows ?pool (mask : Csr.t) (x : Dense.t) (y : Dense.t) =
   if x.Dense.rows <> mask.Csr.n_rows then
     invalid_arg "Sddmm.dot_rows: X row count must match mask rows";
   if y.Dense.rows <> mask.Csr.n_cols then
@@ -65,15 +72,16 @@ let dot_rows (mask : Csr.t) (x : Dense.t) (y : Dense.t) =
   let k = x.Dense.cols in
   let count = Csr.nnz mask in
   let out = Array.make count 0. in
-  for i = 0 to mask.Csr.n_rows - 1 do
-    let xbase = i * k in
-    for p = mask.Csr.row_ptr.(i) to mask.Csr.row_ptr.(i + 1) - 1 do
-      let ybase = mask.Csr.col_idx.(p) * k in
-      let acc = ref 0. in
-      for q = 0 to k - 1 do
-        acc := !acc +. (x.Dense.data.(xbase + q) *. y.Dense.data.(ybase + q))
-      done;
-      out.(p) <- Csr.value mask p *. !acc
-    done
-  done;
+  Parallel.rows_weighted ?pool ~prefix:mask.Csr.row_ptr (fun lo hi ->
+      for i = lo to hi - 1 do
+        let xbase = i * k in
+        for p = mask.Csr.row_ptr.(i) to mask.Csr.row_ptr.(i + 1) - 1 do
+          let ybase = mask.Csr.col_idx.(p) * k in
+          let acc = ref 0. in
+          for q = 0 to k - 1 do
+            acc := !acc +. (x.Dense.data.(xbase + q) *. y.Dense.data.(ybase + q))
+          done;
+          out.(p) <- Csr.value mask p *. !acc
+        done
+      done);
   Csr.with_values mask out

@@ -1,28 +1,32 @@
 module Vector = Granii_tensor.Vector
+module Parallel = Granii_tensor.Parallel
 
-let scale_rows d (a : Csr.t) =
+let scale_rows ?pool d (a : Csr.t) =
   if Array.length d <> a.Csr.n_rows then
     invalid_arg "Sparse_ops.scale_rows: dimension mismatch";
   let count = Csr.nnz a in
   let out = Array.make count 0. in
-  for i = 0 to a.Csr.n_rows - 1 do
-    for p = a.Csr.row_ptr.(i) to a.Csr.row_ptr.(i + 1) - 1 do
-      out.(p) <- d.(i) *. Csr.value a p
-    done
-  done;
+  Parallel.rows_weighted ?pool ~prefix:a.Csr.row_ptr (fun lo hi ->
+      for i = lo to hi - 1 do
+        for p = a.Csr.row_ptr.(i) to a.Csr.row_ptr.(i + 1) - 1 do
+          out.(p) <- d.(i) *. Csr.value a p
+        done
+      done);
   Csr.with_values a out
 
-let scale_cols (a : Csr.t) d =
+let scale_cols ?pool (a : Csr.t) d =
   if Array.length d <> a.Csr.n_cols then
     invalid_arg "Sparse_ops.scale_cols: dimension mismatch";
   let count = Csr.nnz a in
   let out = Array.make count 0. in
-  for p = 0 to count - 1 do
-    out.(p) <- Csr.value a p *. d.(a.Csr.col_idx.(p))
-  done;
+  (* value-parallel, not row-parallel: the entry stream is the only index *)
+  Parallel.rows ?pool ~n:count (fun lo hi ->
+      for p = lo to hi - 1 do
+        out.(p) <- Csr.value a p *. d.(a.Csr.col_idx.(p))
+      done);
   Csr.with_values a out
 
-let scale_bilateral dl (a : Csr.t) dr = Sddmm.rank1 a dl dr
+let scale_bilateral ?pool dl (a : Csr.t) dr = Sddmm.rank1 ?pool a dl dr
 
 let add (a : Csr.t) (b : Csr.t) =
   if a.Csr.n_rows <> b.Csr.n_rows || a.Csr.n_cols <> b.Csr.n_cols then
@@ -33,27 +37,28 @@ let add (a : Csr.t) (b : Csr.t) =
   Csr.of_coo
     (Coo.make ~n_rows:a.Csr.n_rows ~n_cols:a.Csr.n_cols (Array.of_list !entries))
 
-let row_softmax (a : Csr.t) =
+let row_softmax ?pool (a : Csr.t) =
   let count = Csr.nnz a in
   let out = Array.make count 0. in
-  for i = 0 to a.Csr.n_rows - 1 do
-    let lo = a.Csr.row_ptr.(i) and hi = a.Csr.row_ptr.(i + 1) - 1 in
-    if hi >= lo then begin
-      let mx = ref neg_infinity in
-      for p = lo to hi do
-        if Csr.value a p > !mx then mx := Csr.value a p
-      done;
-      let total = ref 0. in
-      for p = lo to hi do
-        let e = exp (Csr.value a p -. !mx) in
-        out.(p) <- e;
-        total := !total +. e
-      done;
-      for p = lo to hi do
-        out.(p) <- out.(p) /. !total
-      done
-    end
-  done;
+  Parallel.rows_weighted ?pool ~prefix:a.Csr.row_ptr (fun rlo rhi ->
+      for i = rlo to rhi - 1 do
+        let lo = a.Csr.row_ptr.(i) and hi = a.Csr.row_ptr.(i + 1) - 1 in
+        if hi >= lo then begin
+          let mx = ref neg_infinity in
+          for p = lo to hi do
+            if Csr.value a p > !mx then mx := Csr.value a p
+          done;
+          let total = ref 0. in
+          for p = lo to hi do
+            let e = exp (Csr.value a p -. !mx) in
+            out.(p) <- e;
+            total := !total +. e
+          done;
+          for p = lo to hi do
+            out.(p) <- out.(p) /. !total
+          done
+        end
+      done);
   Csr.with_values a out
 
 let row_sums (a : Csr.t) =

@@ -1,54 +1,69 @@
 module Dense = Granii_tensor.Dense
 module Semiring = Granii_tensor.Semiring
+module Parallel = Granii_tensor.Parallel
 
-let run ?(semiring = Semiring.plus_times) (a : Csr.t) (b : Dense.t) =
+let run ?(semiring = Semiring.plus_times) ?pool (a : Csr.t) (b : Dense.t) =
   if a.Csr.n_cols <> b.Dense.rows then
     invalid_arg "Spmm.run: inner dimension mismatch";
   let n = a.Csr.n_rows and k = b.Dense.cols in
   let bd = b.Dense.data in
   let row_ptr = a.Csr.row_ptr and col_idx = a.Csr.col_idx in
+  (* All branches chunk output rows with the nonzero-balanced partitioner:
+     a row never spans chunks, so per-row accumulation order — and therefore
+     the result, bit for bit — matches the sequential kernel. *)
   if Semiring.is_plus_times semiring || Semiring.equal_name semiring Semiring.plus_rhs
   then begin
     let out = Array.make (n * k) 0. in
     (match a.Csr.values with
     | Some vals when Semiring.is_plus_times semiring ->
-        for i = 0 to n - 1 do
-          let obase = i * k in
-          for p = row_ptr.(i) to row_ptr.(i + 1) - 1 do
-            let v = vals.(p) in
-            let bbase = col_idx.(p) * k in
-            for j = 0 to k - 1 do
-              out.(obase + j) <- out.(obase + j) +. (v *. bd.(bbase + j))
-            done
-          done
-        done
+        Parallel.rows_weighted ?pool ~prefix:row_ptr (fun lo hi ->
+            for i = lo to hi - 1 do
+              let obase = i * k in
+              for p = row_ptr.(i) to row_ptr.(i + 1) - 1 do
+                let v = vals.(p) in
+                let bbase = col_idx.(p) * k in
+                for j = 0 to k - 1 do
+                  out.(obase + j) <- out.(obase + j) +. (v *. bd.(bbase + j))
+                done
+              done
+            done)
     | Some _ | None ->
         (* Unweighted fast path, and plus_rhs on any matrix: the edge value is
            never read (the paper's cheap aggregation for unweighted graphs). *)
-        for i = 0 to n - 1 do
+        Parallel.rows_weighted ?pool ~prefix:row_ptr (fun lo hi ->
+            for i = lo to hi - 1 do
+              let obase = i * k in
+              for p = row_ptr.(i) to row_ptr.(i + 1) - 1 do
+                let bbase = col_idx.(p) * k in
+                for j = 0 to k - 1 do
+                  out.(obase + j) <- out.(obase + j) +. bd.(bbase + j)
+                done
+              done
+            done));
+    Dense.of_flat ~rows:n ~cols:k out
+  end
+  else begin
+    (* Generic-semiring path, in the same row-major accumulation structure as
+       the fast path (one pass over each row's nonzeros, streaming over B's
+       rows) instead of an element-at-a-time [Dense.init] that re-walked
+       [row_ptr] bounds per (i, j). *)
+    let sr = semiring in
+    let out = Array.make (n * k) sr.Semiring.zero in
+    Parallel.rows_weighted ?pool ~prefix:row_ptr (fun lo hi ->
+        for i = lo to hi - 1 do
           let obase = i * k in
           for p = row_ptr.(i) to row_ptr.(i + 1) - 1 do
+            let v = Csr.value a p in
             let bbase = col_idx.(p) * k in
             for j = 0 to k - 1 do
-              out.(obase + j) <- out.(obase + j) +. bd.(bbase + j)
+              out.(obase + j) <- sr.Semiring.add out.(obase + j) (sr.Semiring.mul v bd.(bbase + j))
             done
           done
         done);
     Dense.of_flat ~rows:n ~cols:k out
   end
-  else begin
-    let sr = semiring in
-    Dense.init n k (fun i j ->
-        let acc = ref sr.Semiring.zero in
-        for p = row_ptr.(i) to row_ptr.(i + 1) - 1 do
-          acc :=
-            sr.Semiring.add !acc
-              (sr.Semiring.mul (Csr.value a p) (Dense.get b (col_idx.(p)) j))
-        done;
-        !acc)
-  end
 
-let run_transposed (b : Dense.t) (a : Csr.t) =
+let run_transposed ?pool (b : Dense.t) (a : Csr.t) =
   if b.Dense.cols <> a.Csr.n_rows then
     invalid_arg "Spmm.run_transposed: inner dimension mismatch";
   let m = b.Dense.rows and n = a.Csr.n_cols in
@@ -57,35 +72,38 @@ let run_transposed (b : Dense.t) (a : Csr.t) =
   let row_ptr = a.Csr.row_ptr and col_idx = a.Csr.col_idx in
   (* (B * A).(i, c) = sum over r of B.(i, r) * A.(r, c): iterate the sparse
      entries (r, c) and scatter into row i of the output, so writes stay in a
-     single contiguous row per outer iteration. *)
+     single contiguous row per outer iteration — and each output row is owned
+     by one chunk, so the parallel path scatters without conflicts. *)
   (match a.Csr.values with
   | Some vals ->
-      for i = 0 to m - 1 do
-        let bbase = i * b.Dense.cols and obase = i * n in
-        for r = 0 to a.Csr.n_rows - 1 do
-          let biv = bd.(bbase + r) in
-          if biv <> 0. then
-            for p = row_ptr.(r) to row_ptr.(r + 1) - 1 do
-              let c = col_idx.(p) in
-              out.(obase + c) <- out.(obase + c) +. (biv *. vals.(p))
+      Parallel.rows ?pool ~n:m (fun lo hi ->
+          for i = lo to hi - 1 do
+            let bbase = i * b.Dense.cols and obase = i * n in
+            for r = 0 to a.Csr.n_rows - 1 do
+              let biv = bd.(bbase + r) in
+              if biv <> 0. then
+                for p = row_ptr.(r) to row_ptr.(r + 1) - 1 do
+                  let c = col_idx.(p) in
+                  out.(obase + c) <- out.(obase + c) +. (biv *. vals.(p))
+                done
             done
-        done
-      done
+          done)
   | None ->
-      for i = 0 to m - 1 do
-        let bbase = i * b.Dense.cols and obase = i * n in
-        for r = 0 to a.Csr.n_rows - 1 do
-          let biv = bd.(bbase + r) in
-          if biv <> 0. then
-            for p = row_ptr.(r) to row_ptr.(r + 1) - 1 do
-              let c = col_idx.(p) in
-              out.(obase + c) <- out.(obase + c) +. biv
+      Parallel.rows ?pool ~n:m (fun lo hi ->
+          for i = lo to hi - 1 do
+            let bbase = i * b.Dense.cols and obase = i * n in
+            for r = 0 to a.Csr.n_rows - 1 do
+              let biv = bd.(bbase + r) in
+              if biv <> 0. then
+                for p = row_ptr.(r) to row_ptr.(r + 1) - 1 do
+                  let c = col_idx.(p) in
+                  out.(obase + c) <- out.(obase + c) +. biv
+                done
             done
-        done
-      done);
+          done));
   Dense.of_flat ~rows:m ~cols:n out
 
-let spmv ?semiring (a : Csr.t) (v : Granii_tensor.Vector.t) =
+let spmv ?semiring ?pool (a : Csr.t) (v : Granii_tensor.Vector.t) =
   let b = Dense.of_flat ~rows:(Array.length v) ~cols:1 (Array.copy v) in
-  let c = run ?semiring a b in
+  let c = run ?semiring ?pool a b in
   c.Dense.data

@@ -1,1 +1,1 @@
-lib/tensor/dense.ml: Array Float Format Int64 List Semiring Stdlib Vector
+lib/tensor/dense.ml: Array Float Format Int64 List Parallel Semiring Stdlib Vector

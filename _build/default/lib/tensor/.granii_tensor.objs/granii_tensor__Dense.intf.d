@@ -1,1 +1,1 @@
-lib/tensor/dense.mli: Format Semiring Vector
+lib/tensor/dense.mli: Format Parallel Semiring Vector

@@ -1,0 +1,1 @@
+lib/tensor/parallel.ml: Array Condition Domain Mutex String Sys

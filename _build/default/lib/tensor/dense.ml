@@ -64,63 +64,111 @@ let row m i = Array.sub m.data (i * m.cols) m.cols
 let col m j = Array.init m.rows (fun i -> get m i j)
 let to_arrays m = Array.init m.rows (fun i -> row m i)
 
-let matmul a b =
+let matmul ?pool a b =
   if a.cols <> b.rows then invalid_arg "Dense.matmul: inner dimension mismatch";
   let m = a.rows and k = a.cols and n = b.cols in
   let out = Array.make (m * n) 0. in
   let ad = a.data and bd = b.data in
   (* i-k-j loop order: the inner loop streams over contiguous rows of B and
-     the output, which is the cache-friendly order for row-major storage. *)
-  for i = 0 to m - 1 do
-    let arow = i * k and orow = i * n in
-    for p = 0 to k - 1 do
-      let av = ad.(arow + p) in
-      if av <> 0. then begin
-        let brow = p * n in
-        for j = 0 to n - 1 do
-          out.(orow + j) <- out.(orow + j) +. (av *. bd.(brow + j))
+     the output, which is the cache-friendly order for row-major storage.
+     Parallel path: output rows are partitioned statically, each computed
+     exactly as in the sequential loop, so results are bitwise identical. *)
+  Parallel.rows ?pool ~n:m (fun lo hi ->
+      for i = lo to hi - 1 do
+        let arow = i * k and orow = i * n in
+        for p = 0 to k - 1 do
+          let av = ad.(arow + p) in
+          if av <> 0. then begin
+            let brow = p * n in
+            for j = 0 to n - 1 do
+              out.(orow + j) <- out.(orow + j) +. (av *. bd.(brow + j))
+            done
+          end
         done
-      end
-    done
-  done;
+      done);
   { rows = m; cols = n; data = out }
 
-let matmul_gen (sr : Semiring.t) a b =
-  if Semiring.is_plus_times sr then matmul a b
+let matmul_gen ?pool (sr : Semiring.t) a b =
+  if Semiring.is_plus_times sr then matmul ?pool a b
   else begin
     if a.cols <> b.rows then invalid_arg "Dense.matmul_gen: inner dimension mismatch";
     let m = a.rows and k = a.cols and n = b.cols in
-    init m n (fun i j ->
-        let acc = ref sr.zero in
-        for p = 0 to k - 1 do
-          acc := sr.add !acc (sr.mul (get a i p) (get b p j))
-        done;
-        !acc)
+    let out = Array.make (m * n) sr.zero in
+    let ad = a.data and bd = b.data in
+    Parallel.rows ?pool ~n:m (fun lo hi ->
+        for i = lo to hi - 1 do
+          let arow = i * k and orow = i * n in
+          for p = 0 to k - 1 do
+            let av = ad.(arow + p) in
+            let brow = p * n in
+            for j = 0 to n - 1 do
+              out.(orow + j) <- sr.add out.(orow + j) (sr.mul av bd.(brow + j))
+            done
+          done
+        done);
+    { rows = m; cols = n; data = out }
   end
 
 let transpose m = init m.cols m.rows (fun i j -> get m j i)
 
-let map2 f a b =
+let map2 ?pool f a b =
   if a.rows <> b.rows || a.cols <> b.cols then invalid_arg "Dense.map2: shape mismatch";
-  { a with data = Array.init (Array.length a.data) (fun i -> f a.data.(i) b.data.(i)) }
+  let len = Array.length a.data in
+  let out = Array.make len 0. in
+  let ad = a.data and bd = b.data in
+  Parallel.rows ?pool ~n:len (fun lo hi ->
+      for i = lo to hi - 1 do
+        out.(i) <- f ad.(i) bd.(i)
+      done);
+  { a with data = out }
 
-let map f m = { m with data = Array.map f m.data }
-let add = map2 ( +. )
-let sub = map2 ( -. )
-let scale s = map (fun x -> s *. x)
-let mul_elementwise = map2 ( *. )
+let map ?pool f m =
+  let len = Array.length m.data in
+  let out = Array.make len 0. in
+  let src = m.data in
+  Parallel.rows ?pool ~n:len (fun lo hi ->
+      for i = lo to hi - 1 do
+        out.(i) <- f src.(i)
+      done);
+  { m with data = out }
+
+let add ?pool a b = map2 ?pool ( +. ) a b
+let sub ?pool a b = map2 ?pool ( -. ) a b
+let scale ?pool s m = map ?pool (fun x -> s *. x) m
+let mul_elementwise ?pool a b = map2 ?pool ( *. ) a b
 
 let add_row_vector m v =
   if Array.length v <> m.cols then invalid_arg "Dense.add_row_vector: dimension mismatch";
   init m.rows m.cols (fun i j -> get m i j +. v.(j))
 
-let row_broadcast d m =
+let row_broadcast ?pool d m =
   if Array.length d <> m.rows then invalid_arg "Dense.row_broadcast: dimension mismatch";
-  init m.rows m.cols (fun i j -> d.(i) *. get m i j)
+  let k = m.cols in
+  let out = Array.make (m.rows * k) 0. in
+  let src = m.data in
+  Parallel.rows ?pool ~n:m.rows (fun lo hi ->
+      for i = lo to hi - 1 do
+        let base = i * k in
+        let di = d.(i) in
+        for j = 0 to k - 1 do
+          out.(base + j) <- di *. src.(base + j)
+        done
+      done);
+  { m with data = out }
 
-let col_broadcast m d =
+let col_broadcast ?pool m d =
   if Array.length d <> m.cols then invalid_arg "Dense.col_broadcast: dimension mismatch";
-  init m.rows m.cols (fun i j -> get m i j *. d.(j))
+  let k = m.cols in
+  let out = Array.make (m.rows * k) 0. in
+  let src = m.data in
+  Parallel.rows ?pool ~n:m.rows (fun lo hi ->
+      for i = lo to hi - 1 do
+        let base = i * k in
+        for j = 0 to k - 1 do
+          out.(base + j) <- src.(base + j) *. d.(j)
+        done
+      done);
+  { m with data = out }
 
 let concat_cols parts =
   match parts with
@@ -149,47 +197,51 @@ let split_cols m parts =
   let w = m.cols / parts in
   List.init parts (fun p -> init m.rows w (fun i j -> get m i ((p * w) + j)))
 
-let relu = map (fun x -> if x > 0. then x else 0.)
-let sigmoid = map (fun x -> 1. /. (1. +. exp (-.x)))
-let leaky_relu ?(slope = 0.2) = map (fun x -> if x > 0. then x else slope *. x)
+let relu ?pool m = map ?pool (fun x -> if x > 0. then x else 0.) m
+let sigmoid ?pool m = map ?pool (fun x -> 1. /. (1. +. exp (-.x))) m
 
-let softmax_rows m =
+let leaky_relu ?pool ?(slope = 0.2) m =
+  map ?pool (fun x -> if x > 0. then x else slope *. x) m
+
+let softmax_rows ?pool m =
   let out = copy m in
-  for i = 0 to m.rows - 1 do
-    let base = i * m.cols in
-    let mx = ref neg_infinity in
-    for j = 0 to m.cols - 1 do
-      if m.data.(base + j) > !mx then mx := m.data.(base + j)
-    done;
-    let total = ref 0. in
-    for j = 0 to m.cols - 1 do
-      let e = exp (m.data.(base + j) -. !mx) in
-      out.data.(base + j) <- e;
-      total := !total +. e
-    done;
-    for j = 0 to m.cols - 1 do
-      out.data.(base + j) <- out.data.(base + j) /. !total
-    done
-  done;
+  Parallel.rows ?pool ~n:m.rows (fun lo hi ->
+      for i = lo to hi - 1 do
+        let base = i * m.cols in
+        let mx = ref neg_infinity in
+        for j = 0 to m.cols - 1 do
+          if m.data.(base + j) > !mx then mx := m.data.(base + j)
+        done;
+        let total = ref 0. in
+        for j = 0 to m.cols - 1 do
+          let e = exp (m.data.(base + j) -. !mx) in
+          out.data.(base + j) <- e;
+          total := !total +. e
+        done;
+        for j = 0 to m.cols - 1 do
+          out.data.(base + j) <- out.data.(base + j) /. !total
+        done
+      done);
   out
 
-let log_softmax_rows m =
+let log_softmax_rows ?pool m =
   let out = copy m in
-  for i = 0 to m.rows - 1 do
-    let base = i * m.cols in
-    let mx = ref neg_infinity in
-    for j = 0 to m.cols - 1 do
-      if m.data.(base + j) > !mx then mx := m.data.(base + j)
-    done;
-    let total = ref 0. in
-    for j = 0 to m.cols - 1 do
-      total := !total +. exp (m.data.(base + j) -. !mx)
-    done;
-    let log_z = !mx +. log !total in
-    for j = 0 to m.cols - 1 do
-      out.data.(base + j) <- m.data.(base + j) -. log_z
-    done
-  done;
+  Parallel.rows ?pool ~n:m.rows (fun lo hi ->
+      for i = lo to hi - 1 do
+        let base = i * m.cols in
+        let mx = ref neg_infinity in
+        for j = 0 to m.cols - 1 do
+          if m.data.(base + j) > !mx then mx := m.data.(base + j)
+        done;
+        let total = ref 0. in
+        for j = 0 to m.cols - 1 do
+          total := !total +. exp (m.data.(base + j) -. !mx)
+        done;
+        let log_z = !mx +. log !total in
+        for j = 0 to m.cols - 1 do
+          out.data.(base + j) <- m.data.(base + j) -. log_z
+        done
+      done);
   out
 
 let sum m = Array.fold_left ( +. ) 0. m.data

@@ -1,0 +1,1 @@
+test/test_parallel.ml: Alcotest Array Codegen Dim Executor Fun Granii Granii_core Granii_gnn Granii_graph Granii_hw Granii_mp Granii_sparse Granii_tensor Lazy List Printf QCheck2 Sys Test_util

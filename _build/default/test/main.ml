@@ -13,4 +13,5 @@ let () =
       ("gnn", Test_gnn.suite);
       ("persistence", Test_persistence.suite);
       ("stack-multihead", Test_stack_multihead.suite);
+      ("parallel", Test_parallel.suite);
       ("integration", Test_integration.suite) ]

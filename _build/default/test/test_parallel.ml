@@ -1,0 +1,444 @@
+(* Differential tests for the multicore kernel engine: every parallel path
+   is checked against the sequential kernel as oracle, at several pool
+   widths. Static row chunking keeps whole rows inside one chunk and the
+   per-row accumulation order equal to the sequential loop, so the parallel
+   outputs must be {e bitwise} identical — the checks below use exact
+   equality, not epsilons, wherever that guarantee applies.
+
+   GRANII_STRESS=<k> multiplies the randomized case counts by k (the
+   @parallel-stress dune alias sets it). *)
+
+open Test_util
+module Parallel = Granii_tensor.Parallel
+module Pool = Granii_hw.Domain_pool
+module Dense = Granii_tensor.Dense
+module Semiring = Granii_tensor.Semiring
+module Csr = Granii_sparse.Csr
+module Coo = Granii_sparse.Coo
+module Spmm = Granii_sparse.Spmm
+module Sddmm = Granii_sparse.Sddmm
+module Sparse_ops = Granii_sparse.Sparse_ops
+module G = Granii_graph
+module Mp = Granii_mp
+module Gnn = Granii_gnn
+open Granii_core
+
+let stress n =
+  match Sys.getenv_opt "GRANII_STRESS" with
+  | Some s -> (match int_of_string_opt s with Some k when k > 0 -> n * k | _ -> n)
+  | None -> n
+
+(* The widths the differential suite sweeps. Width 1 exercises the inline
+   (pool-less) shortcut inside [Parallel.rows]. *)
+let widths = [ 1; 2; 4; 8 ]
+
+let with_pool_of_width w f =
+  if w <= 1 then f None
+  else
+    let pool = Pool.create ~threads:w () in
+    Fun.protect ~finally:(fun () -> Pool.shutdown pool) (fun () -> f (Some pool))
+
+let at_every_width name f =
+  List.iter
+    (fun w ->
+      with_pool_of_width w (fun pool -> f (Printf.sprintf "%s@%d" name w) pool))
+    widths
+
+let check_dense_exact msg seq par =
+  check_true (msg ^ " (bitwise)") (Dense.dims seq = Dense.dims par
+                                   && Dense.max_abs_diff seq par = 0.)
+
+let check_csr_exact msg seq par =
+  check_true (msg ^ " (bitwise)")
+    (Csr.equal_structure seq par && Csr.equal_approx ~eps:0. seq par)
+
+let check_vec_exact msg (seq : float array) (par : float array) =
+  check_true (msg ^ " (bitwise)") (seq = par)
+
+(* ---- fixture matrices: the shapes the issue calls out ---- *)
+
+let csr_of_entries ~n_rows ~n_cols entries =
+  Csr.of_coo (Coo.make ~n_rows ~n_cols (Array.of_list entries))
+
+let with_random_values seed m =
+  let rng = Granii_tensor.Prng.create seed in
+  Csr.with_values m
+    (Array.init (Csr.nnz m) (fun _ -> Granii_tensor.Prng.uniform rng (-2.) 2.))
+
+let fixtures =
+  lazy
+    (let adj g = G.Graph.with_self_loops g in
+     let er = adj (G.Generators.erdos_renyi ~seed:1 ~n:150 ~avg_degree:6. ()) in
+     let ba = adj (G.Generators.barabasi_albert ~seed:2 ~n:200 ~m:4 ()) in
+     let star = adj (G.Generators.star ~n:64) in
+     [ ("er-unweighted", er);
+       ("er-weighted", with_random_values 11 er);
+       ("ba-powerlaw", ba);
+       ("ba-weighted", with_random_values 12 ba);
+       (* extreme skew: the hub row holds half the nonzeros *)
+       ("star-hub", with_random_values 13 star);
+       ("empty-rows",
+        csr_of_entries ~n_rows:10 ~n_cols:8
+          [ (1, 0, 1.5); (1, 7, -0.5); (3, 2, 2.); (4, 4, 1.) ]);
+       ("one-by-n",
+        csr_of_entries ~n_rows:1 ~n_cols:50 [ (0, 0, 1.); (0, 7, 2.); (0, 49, -1.) ]);
+       ("n-by-one",
+        csr_of_entries ~n_rows:50 ~n_cols:1 [ (0, 0, 1.); (17, 0, -2.); (49, 0, 0.5) ]);
+       (* fewer rows than the widest pool *)
+       ("tiny-rows", csr_of_entries ~n_rows:3 ~n_cols:5 [ (0, 1, 1.); (2, 4, 2.) ]) ])
+
+(* 0/1-valued copy for the boolean semiring *)
+let boolean m = Csr.map_values (fun _ -> 1.) m
+
+let semirings =
+  [ Semiring.plus_times; Semiring.plus_rhs; Semiring.max_plus;
+    Semiring.min_plus; Semiring.max_times; Semiring.or_and ]
+
+(* ---- chunker unit tests ---- *)
+
+let covers_exactly ~n chunks =
+  let seen = Array.make (max n 1) 0 in
+  Array.iter
+    (fun (lo, hi) ->
+      check_true "chunk bounds sane" (0 <= lo && lo <= hi && hi <= n);
+      for i = lo to hi - 1 do
+        seen.(i) <- seen.(i) + 1
+      done)
+    chunks;
+  if n > 0 then
+    Array.iteri (fun i c -> check_int (Printf.sprintf "row %d covered once" i) 1 c) seen
+
+let test_chunks_cover () =
+  List.iter
+    (fun (n, parts) -> covers_exactly ~n (Parallel.chunks ~n ~parts))
+    [ (0, 4); (1, 4); (3, 8); (8, 3); (100, 7); (64, 64); (5, 1) ]
+
+let test_balanced_chunks_cover () =
+  let prefix_of_degrees degs =
+    let p = Array.make (Array.length degs + 1) 0 in
+    Array.iteri (fun i d -> p.(i + 1) <- p.(i) + d) degs;
+    p
+  in
+  let cases =
+    [ [| 1000; 0; 0; 0; 1; 1; 1; 1 |];  (* one giant row first *)
+      [| 0; 0; 0; 0 |];                  (* all empty *)
+      [| 1; 1; 1; 1; 1; 1; 1; 1 |];
+      [| 0; 5; 0; 900; 0; 5; 0; 90 |];
+      [| 7 |] ]
+  in
+  List.iter
+    (fun degs ->
+      List.iter
+        (fun parts ->
+          let chunks =
+            Parallel.balanced_chunks ~prefix:(prefix_of_degrees degs) ~parts
+          in
+          covers_exactly ~n:(Array.length degs) chunks)
+        [ 1; 2; 4; 8 ])
+    cases
+
+let test_balanced_chunks_balance () =
+  (* on a skewed distribution the heavy row must not drag its whole
+     neighborhood into one chunk: the row after the hub starts a new chunk *)
+  let prefix = [| 0; 1000; 1001; 1002; 1003; 1004 |] in
+  let chunks = Parallel.balanced_chunks ~prefix ~parts:4 in
+  covers_exactly ~n:5 chunks;
+  let hub_chunk = Array.to_list chunks |> List.find (fun (lo, hi) -> lo <= 0 && 0 < hi) in
+  check_true "hub row isolated" (hub_chunk = (0, 1))
+
+(* ---- SpMM family differentials ---- *)
+
+let test_spmm_differential () =
+  List.iter
+    (fun (name, m) ->
+      List.iter
+        (fun k ->
+          let b = Dense.random ~seed:(17 + k) m.Csr.n_cols k in
+          let b01 = Dense.map (fun x -> if x > 0. then 1. else 0.) b in
+          at_every_width name (fun tag pool ->
+              check_dense_exact (tag ^ " spmm default")
+                (Spmm.run m b) (Spmm.run ?pool m b);
+              List.iter
+                (fun sr ->
+                  let mb, bb =
+                    if Semiring.equal_name sr Semiring.or_and then (boolean m, b01)
+                    else (m, b)
+                  in
+                  check_dense_exact
+                    (Printf.sprintf "%s spmm %s" tag sr.Semiring.name)
+                    (Spmm.run ~semiring:sr mb bb)
+                    (Spmm.run ~semiring:sr ?pool mb bb))
+                semirings))
+        [ 1; 7 ])
+    (Lazy.force fixtures)
+
+let test_spmm_transposed_differential () =
+  List.iter
+    (fun (name, m) ->
+      let b = Dense.random ~seed:23 4 m.Csr.n_rows in
+      at_every_width name (fun tag pool ->
+          check_dense_exact (tag ^ " dense*sparse")
+            (Spmm.run_transposed b m) (Spmm.run_transposed ?pool b m)))
+    (Lazy.force fixtures)
+
+let test_spmv_differential () =
+  List.iter
+    (fun (name, m) ->
+      let rng = Granii_tensor.Prng.create 31 in
+      let v = Array.init m.Csr.n_cols (fun _ -> Granii_tensor.Prng.uniform rng (-1.) 1.) in
+      at_every_width name (fun tag pool ->
+          check_vec_exact (tag ^ " spmv") (Spmm.spmv m v) (Spmm.spmv ?pool m v);
+          check_vec_exact (tag ^ " spmv max_plus")
+            (Spmm.spmv ~semiring:Semiring.max_plus m v)
+            (Spmm.spmv ~semiring:Semiring.max_plus ?pool m v)))
+    (Lazy.force fixtures)
+
+(* ---- SDDMM family differentials ---- *)
+
+let test_sddmm_differential () =
+  List.iter
+    (fun (name, m) ->
+      let k = 6 in
+      let a = Dense.random ~seed:41 m.Csr.n_rows k in
+      let b = Dense.random ~seed:42 k m.Csr.n_cols in
+      let x = Dense.random ~seed:43 m.Csr.n_rows k in
+      let y = Dense.random ~seed:44 m.Csr.n_cols k in
+      let rng = Granii_tensor.Prng.create 45 in
+      let dl = Array.init m.Csr.n_rows (fun _ -> Granii_tensor.Prng.uniform rng 0.1 2.) in
+      let dr = Array.init m.Csr.n_cols (fun _ -> Granii_tensor.Prng.uniform rng 0.1 2.) in
+      at_every_width name (fun tag pool ->
+          check_csr_exact (tag ^ " sddmm") (Sddmm.run m a b) (Sddmm.run ?pool m a b);
+          check_csr_exact (tag ^ " sddmm max_times")
+            (Sddmm.run ~semiring:Semiring.max_times m a b)
+            (Sddmm.run ~semiring:Semiring.max_times ?pool m a b);
+          check_csr_exact (tag ^ " rank1")
+            (Sddmm.rank1 m dl dr) (Sddmm.rank1 ?pool m dl dr);
+          check_csr_exact (tag ^ " dot_rows")
+            (Sddmm.dot_rows m x y) (Sddmm.dot_rows ?pool m x y)))
+    (Lazy.force fixtures)
+
+(* ---- dense kernel differentials ---- *)
+
+let test_dense_differential () =
+  let h = Dense.random ~seed:51 37 19 in
+  let h' = Dense.random ~seed:52 37 19 in
+  let w = Dense.random ~seed:53 19 11 in
+  let rng = Granii_tensor.Prng.create 54 in
+  let row_v = Array.init 37 (fun _ -> Granii_tensor.Prng.uniform rng (-1.) 1.) in
+  let col_v = Array.init 19 (fun _ -> Granii_tensor.Prng.uniform rng (-1.) 1.) in
+  at_every_width "dense" (fun tag pool ->
+      check_dense_exact (tag ^ " matmul") (Dense.matmul h w) (Dense.matmul ?pool h w);
+      check_dense_exact (tag ^ " matmul_gen max_plus")
+        (Dense.matmul_gen Semiring.max_plus h w)
+        (Dense.matmul_gen ?pool Semiring.max_plus h w);
+      check_dense_exact (tag ^ " map")
+        (Dense.map (fun x -> (x *. x) -. 1.) h)
+        (Dense.map ?pool (fun x -> (x *. x) -. 1.) h);
+      check_dense_exact (tag ^ " map2")
+        (Dense.map2 ( +. ) h h') (Dense.map2 ?pool ( +. ) h h');
+      check_dense_exact (tag ^ " add") (Dense.add h h') (Dense.add ?pool h h');
+      check_dense_exact (tag ^ " mul_elementwise")
+        (Dense.mul_elementwise h h') (Dense.mul_elementwise ?pool h h');
+      check_dense_exact (tag ^ " scale") (Dense.scale 1.7 h) (Dense.scale ?pool 1.7 h);
+      check_dense_exact (tag ^ " row_broadcast")
+        (Dense.row_broadcast row_v h) (Dense.row_broadcast ?pool row_v h);
+      check_dense_exact (tag ^ " col_broadcast")
+        (Dense.col_broadcast h col_v) (Dense.col_broadcast ?pool h col_v);
+      check_dense_exact (tag ^ " relu") (Dense.relu h) (Dense.relu ?pool h);
+      check_dense_exact (tag ^ " sigmoid") (Dense.sigmoid h) (Dense.sigmoid ?pool h);
+      check_dense_exact (tag ^ " leaky_relu")
+        (Dense.leaky_relu h) (Dense.leaky_relu ?pool h);
+      check_dense_exact (tag ^ " softmax_rows")
+        (Dense.softmax_rows h) (Dense.softmax_rows ?pool h);
+      check_dense_exact (tag ^ " log_softmax_rows")
+        (Dense.log_softmax_rows h) (Dense.log_softmax_rows ?pool h))
+
+let test_sparse_ops_differential () =
+  List.iter
+    (fun (name, m) ->
+      let rng = Granii_tensor.Prng.create 61 in
+      let dl = Array.init m.Csr.n_rows (fun _ -> Granii_tensor.Prng.uniform rng 0.1 2.) in
+      let dr = Array.init m.Csr.n_cols (fun _ -> Granii_tensor.Prng.uniform rng 0.1 2.) in
+      at_every_width name (fun tag pool ->
+          check_csr_exact (tag ^ " scale_rows")
+            (Sparse_ops.scale_rows dl m) (Sparse_ops.scale_rows ?pool dl m);
+          check_csr_exact (tag ^ " scale_cols")
+            (Sparse_ops.scale_cols m dr) (Sparse_ops.scale_cols ?pool m dr);
+          check_csr_exact (tag ^ " scale_bilateral")
+            (Sparse_ops.scale_bilateral dl m dr)
+            (Sparse_ops.scale_bilateral ?pool dl m dr);
+          check_csr_exact (tag ^ " row_softmax")
+            (Sparse_ops.row_softmax m) (Sparse_ops.row_softmax ?pool m)))
+    (Lazy.force fixtures)
+
+(* randomized sweep over small CSR shapes at width 4 (scaled by GRANII_STRESS) *)
+let test_random_spmm =
+  qtest ~count:(stress 60) "random csr: parallel spmm = sequential"
+    QCheck2.Gen.(pair csr_gen (int_range 1 9))
+    (fun (m, k) ->
+      let b = Dense.random ~seed:(k * 7) m.Csr.n_cols k in
+      with_pool_of_width 4 (fun pool ->
+          List.for_all
+            (fun sr ->
+              let mb, bb =
+                if Semiring.equal_name sr Semiring.or_and then
+                  (boolean m, Dense.map (fun x -> if x > 0. then 1. else 0.) b)
+                else (m, b)
+              in
+              Dense.max_abs_diff
+                (Spmm.run ~semiring:sr mb bb)
+                (Spmm.run ~semiring:sr ?pool mb bb)
+              = 0.)
+            semirings))
+
+(* ---- oracle tests: the generic SpMM branch vs a naive reference ---- *)
+
+(* Naive per-(i,j) semiring fold, written against the mathematical
+   definition: C(i,:) = fold_add over stored (i,j) of mul a_ij b(j,:). *)
+let spmm_reference sr (m : Csr.t) b =
+  let _, k = Dense.dims b in
+  let rows = Array.make m.Csr.n_rows [] in
+  Csr.iter (fun i j v -> rows.(i) <- (j, v) :: rows.(i)) m;
+  let rows = Array.map List.rev rows in
+  Dense.init m.Csr.n_rows k (fun i jo ->
+      List.fold_left
+        (fun acc (j, v) -> sr.Semiring.add acc (sr.Semiring.mul v (Dense.get b j jo)))
+        sr.Semiring.zero rows.(i))
+
+let test_spmm_oracle_nonarithmetic () =
+  List.iter
+    (fun (name, m) ->
+      let b = Dense.random ~seed:71 m.Csr.n_cols 5 in
+      List.iter
+        (fun sr ->
+          let mb, bb =
+            if Semiring.equal_name sr Semiring.or_and then
+              (boolean m, Dense.map (fun x -> if x > 0. then 1. else 0.) b)
+            else (m, b)
+          in
+          let expected = spmm_reference sr mb bb in
+          check_dense_exact
+            (Printf.sprintf "%s %s vs naive reference" name sr.Semiring.name)
+            expected
+            (Spmm.run ~semiring:sr mb bb);
+          with_pool_of_width 4 (fun pool ->
+              check_dense_exact
+                (Printf.sprintf "%s %s parallel vs naive reference" name
+                   sr.Semiring.name)
+                expected
+                (Spmm.run ~semiring:sr ?pool mb bb)))
+        [ Semiring.max_plus; Semiring.min_plus; Semiring.max_times;
+          Semiring.or_and ])
+    (Lazy.force fixtures)
+
+(* ---- regression: generic branch vs the plus-times fast path ---- *)
+
+(* A physically distinct clone of plus-times is NOT pointer-equal to
+   [Semiring.plus_times], so it routes down the generic row-major branch;
+   its accumulation order matches the fast path, so results are bitwise
+   equal. This pins the fix for the old generic branch that re-walked
+   [row_ptr] per output element. *)
+let plus_times_clone =
+  Semiring.make ~name:"plus_times_clone" ~zero:0. ~add:( +. ) ~mul:( *. )
+
+let test_generic_branch_matches_fast_path () =
+  check_true "clone dodges the fast path"
+    (not (Semiring.is_plus_times plus_times_clone));
+  List.iter
+    (fun (name, m) ->
+      let b = Dense.random ~seed:81 m.Csr.n_cols 6 in
+      check_dense_exact (name ^ " generic = fast path")
+        (Spmm.run m b)
+        (Spmm.run ~semiring:plus_times_clone m b);
+      with_pool_of_width 4 (fun pool ->
+          check_dense_exact (name ^ " generic = fast path (parallel)")
+            (Spmm.run ?pool m b)
+            (Spmm.run ~semiring:plus_times_clone ?pool m b)))
+    (Lazy.force fixtures)
+
+(* ---- pool robustness ---- *)
+
+let test_pool_reusable_after_exception () =
+  with_pool_of_width 4 (function
+    | None -> Alcotest.fail "expected a pool"
+    | Some pool ->
+        let h = Dense.random ~seed:91 16 4 in
+        check_true "user exception propagates"
+          (try
+             ignore (Dense.map ~pool (fun _ -> failwith "boom") h);
+             false
+           with Failure _ -> true);
+        (* the pool must survive the failed wave *)
+        check_dense_exact "pool still works" (Dense.relu h) (Dense.relu ~pool h))
+
+let test_for_threads_shape () =
+  check_true "width 1 is sequential" (Pool.for_threads 1 = None);
+  check_true "width 0 is sequential" (Pool.for_threads 0 = None);
+  match Pool.for_threads 3 with
+  | None -> Alcotest.fail "expected a shared pool"
+  | Some p -> check_int "shared pool width" 3 (Pool.threads p)
+
+(* ---- property-based end-to-end: every surviving plan, 1 vs 4 threads ---- *)
+
+let compile_model (m : Mp.Mp_ast.model) =
+  let low = Mp.Lower.lower m in
+  let compiled, _ =
+    Granii.compile ~name:m.Mp.Mp_ast.name
+      ~degree_leaves:(Mp.Lower.degree_leaves low ~binned:false)
+      low.Mp.Lower.ir
+  in
+  (low, compiled)
+
+let dense_of_output (r : Executor.report) =
+  match r.Executor.output with
+  | Executor.Vdense d -> d
+  | Executor.Vsparse _ | Executor.Vdiag _ -> Alcotest.fail "expected dense output"
+
+let e2e_gen =
+  QCheck2.Gen.(pair graph_gen (int_range 0 (List.length Mp.Mp_models.all - 1)))
+
+let test_e2e_plans_agree =
+  qtest ~count:(stress 8) "every surviving plan: 1 thread = 4 threads"
+    e2e_gen
+    (fun (graph, mi) ->
+      let m = List.nth Mp.Mp_models.all mi in
+      let low, compiled = compile_model m in
+      let n = G.Graph.n_nodes graph in
+      let k_in = 6 in
+      let env = { Dim.n; nnz = G.Graph.n_edges graph + n; k_in; k_out = 5 } in
+      let params = Gnn.Layer.init_params ~seed:7 ~env low in
+      let h = Dense.random ~seed:8 n k_in in
+      let bindings = Gnn.Layer.bindings ~graph ~h params in
+      let run ?pool c =
+        dense_of_output
+          (Executor.run ?pool
+             ~timing:(Executor.Simulate Granii_hw.Hw_profile.a100)
+             ~graph ~bindings c.Codegen.plan)
+      in
+      with_pool_of_width 4 (fun pool ->
+          List.for_all
+            (fun c -> Dense.max_abs_diff (run c) (run ?pool c) <= 1e-9)
+            compiled.Codegen.candidates))
+
+let suite =
+  [ Alcotest.test_case "static chunks cover" `Quick test_chunks_cover;
+    Alcotest.test_case "balanced chunks cover" `Quick test_balanced_chunks_cover;
+    Alcotest.test_case "balanced chunks isolate hubs" `Quick
+      test_balanced_chunks_balance;
+    Alcotest.test_case "spmm differential" `Quick test_spmm_differential;
+    Alcotest.test_case "dense*sparse differential" `Quick
+      test_spmm_transposed_differential;
+    Alcotest.test_case "spmv differential" `Quick test_spmv_differential;
+    Alcotest.test_case "sddmm differential" `Quick test_sddmm_differential;
+    Alcotest.test_case "dense kernels differential" `Quick test_dense_differential;
+    Alcotest.test_case "sparse ops differential" `Quick
+      test_sparse_ops_differential;
+    test_random_spmm;
+    Alcotest.test_case "non-arithmetic semiring oracles" `Quick
+      test_spmm_oracle_nonarithmetic;
+    Alcotest.test_case "generic branch = fast path" `Quick
+      test_generic_branch_matches_fast_path;
+    Alcotest.test_case "pool survives exceptions" `Quick
+      test_pool_reusable_after_exception;
+    Alcotest.test_case "for_threads shape" `Quick test_for_threads_shape;
+    test_e2e_plans_agree ]

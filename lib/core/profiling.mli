@@ -19,10 +19,14 @@ val embedding_grid : int list
 
 val collect :
   ?seed:int -> ?graphs:Granii_graph.Graph.t list -> ?sizes:int list ->
+  ?threads_grid:int list ->
   profile:Granii_hw.Hw_profile.t -> unit -> datasets
-(** Runs the sweep. Defaults: the {!Granii_graph.Datasets.training_pool} and
-    {!embedding_grid}. Sample counts land in the paper's 700–8000 range per
-    primitive. *)
+(** Runs the sweep. Defaults: the {!Granii_graph.Datasets.training_pool},
+    {!embedding_grid} and [threads_grid = [1]] (sequential kernels only).
+    Pass e.g. [~threads_grid:[1; 2; 4; 8]] to profile the multicore engine:
+    each sample is featurized with its thread count so the learned models
+    can rank compositions differently at different parallelism levels.
+    Sample counts land in the paper's 700–8000 range per primitive. *)
 
 val collect_measured :
   ?seed:int -> ?graphs:Granii_graph.Graph.t list -> ?sizes:int list ->

@@ -1,0 +1,31 @@
+(** The multicore execution engine's domain pool.
+
+    A thin hardware-layer front door over {!Granii_tensor.Parallel} (where
+    the pool itself lives so the dense kernels can use it): pool lifecycle
+    helpers and the process-wide shared pool that the CLI / bench [--threads]
+    flags and {!Granii_core.Executor} use. See DESIGN.md, "Threading
+    model". *)
+
+type t = Granii_tensor.Parallel.t
+
+val create : ?threads:int -> unit -> t
+(** Spawn a fresh pool; see {!Granii_tensor.Parallel.create}. *)
+
+val threads : t -> int
+
+val shutdown : t -> unit
+
+val default_threads : unit -> int
+(** [GRANII_THREADS] if set, else [Domain.recommended_domain_count ()]. *)
+
+val with_pool : ?threads:int -> (t -> 'a) -> 'a
+(** [with_pool f] runs [f] with a fresh pool and always shuts it down. *)
+
+val shared_pool : ?threads:int -> unit -> t
+(** The lazily-created process-wide pool. Requesting a different width
+    replaces (and shuts down) the previous shared pool. *)
+
+val for_threads : int -> t option
+(** [for_threads n] is [None] for [n <= 1] (sequential execution) and
+    [Some (shared_pool ~threads:n ())] otherwise — the shape executors
+    take. *)

@@ -1,0 +1,185 @@
+(* A small reusable pool of OCaml 5 domains for data-parallel kernels.
+
+   Design constraints (DESIGN.md, "Threading model"):
+
+   - No work stealing and no atomics: every parallel region is a static
+     partition of an index range into at most [threads] chunks, each chunk
+     processed sequentially by one domain, writing to a disjoint slice of the
+     output. The partition is a pure function of the problem shape and the
+     pool width, so for a fixed pool the output is bitwise identical across
+     runs — and because every kernel keeps whole rows inside one chunk, it is
+     in fact bitwise identical to the sequential kernel.
+
+   - Workers are long-lived and communicate through per-worker mailboxes
+     (mutex + two condition variables), so a parallel region costs two
+     synchronizations per worker and no allocation beyond the chunk
+     closures. *)
+
+type job = No_job | Job of (unit -> unit) | Quit
+type outcome = Pending | Finished of exn option
+
+type slot = {
+  mutex : Mutex.t;
+  work_ready : Condition.t;
+  work_done : Condition.t;
+  mutable job : job;
+  mutable outcome : outcome;
+}
+
+type t = {
+  n_threads : int;
+  slots : slot array; (* length n_threads - 1; the caller is worker 0 *)
+  domains : unit Domain.t array;
+  mutable live : bool;
+}
+
+let make_slot () =
+  { mutex = Mutex.create ();
+    work_ready = Condition.create ();
+    work_done = Condition.create ();
+    job = No_job;
+    outcome = Pending }
+
+let rec worker_loop slot =
+  Mutex.lock slot.mutex;
+  while (match slot.job with No_job -> true | Job _ | Quit -> false) do
+    Condition.wait slot.work_ready slot.mutex
+  done;
+  let job = slot.job in
+  slot.job <- No_job;
+  Mutex.unlock slot.mutex;
+  match job with
+  | Quit -> ()
+  | No_job -> assert false
+  | Job f ->
+      let result = (try f (); None with e -> Some e) in
+      Mutex.lock slot.mutex;
+      slot.outcome <- Finished result;
+      Condition.signal slot.work_done;
+      Mutex.unlock slot.mutex;
+      worker_loop slot
+
+let submit slot f =
+  Mutex.lock slot.mutex;
+  slot.job <- Job f;
+  slot.outcome <- Pending;
+  Condition.signal slot.work_ready;
+  Mutex.unlock slot.mutex
+
+let join slot =
+  Mutex.lock slot.mutex;
+  while (match slot.outcome with Pending -> true | Finished _ -> false) do
+    Condition.wait slot.work_done slot.mutex
+  done;
+  let result = match slot.outcome with Finished r -> r | Pending -> assert false in
+  slot.outcome <- Pending;
+  Mutex.unlock slot.mutex;
+  result
+
+let default_threads () =
+  match Sys.getenv_opt "GRANII_THREADS" with
+  | Some s -> (try max 1 (int_of_string (String.trim s)) with _ -> 1)
+  | None -> max 1 (Domain.recommended_domain_count ())
+
+let create ?threads () =
+  let n_threads =
+    match threads with Some t -> max 1 t | None -> default_threads ()
+  in
+  let slots = Array.init (n_threads - 1) (fun _ -> make_slot ()) in
+  let domains =
+    Array.map (fun slot -> Domain.spawn (fun () -> worker_loop slot)) slots
+  in
+  { n_threads; slots; domains; live = true }
+
+let threads t = t.n_threads
+
+let shutdown t =
+  if t.live then begin
+    t.live <- false;
+    Array.iter
+      (fun slot ->
+        Mutex.lock slot.mutex;
+        slot.job <- Quit;
+        Condition.signal slot.work_ready;
+        Mutex.unlock slot.mutex)
+      t.slots;
+    Array.iter Domain.join t.domains
+  end
+
+(* ---- partitioners ---- *)
+
+let chunks ~n ~parts =
+  let parts = max 1 (min parts (max n 1)) in
+  Array.init parts (fun c -> (c * n / parts, (c + 1) * n / parts))
+
+let balanced_chunks ~prefix ~parts =
+  let n = Array.length prefix - 1 in
+  if n < 0 then invalid_arg "Parallel.balanced_chunks: empty prefix";
+  let parts = max 1 (min parts (max n 1)) in
+  let total = prefix.(n) in
+  if total = 0 || parts = 1 then chunks ~n ~parts
+  else begin
+    (* Boundary [c] is the first row whose cumulative weight reaches
+       [c/parts] of the total — rows with huge weight may leave some chunks
+       empty, which is exactly the skew-balancing intent. *)
+    let bounds = Array.make (parts + 1) n in
+    bounds.(0) <- 0;
+    let row = ref 0 in
+    for c = 1 to parts - 1 do
+      let target = c * total / parts in
+      while !row < n && prefix.(!row) < target do
+        incr row
+      done;
+      bounds.(c) <- !row
+    done;
+    Array.init parts (fun c -> (bounds.(c), bounds.(c + 1)))
+  end
+
+(* ---- parallel iteration ---- *)
+
+let iter_chunks t chunk_array f =
+  let n_chunks = Array.length chunk_array in
+  if n_chunks = 0 then ()
+  else if Array.length t.slots = 0 || n_chunks = 1 then
+    Array.iter (fun (lo, hi) -> f lo hi) chunk_array
+  else begin
+    if not t.live then invalid_arg "Parallel.iter_chunks: pool was shut down";
+    (* Waves of at most [threads] chunks: the caller takes the first chunk of
+       each wave and the workers the rest. Chunk order (hence the partition a
+       given domain runs) is fixed, keeping determinism. *)
+    let next = ref 0 in
+    let first_exn = ref None in
+    let record = function
+      | None -> ()
+      | Some e -> if !first_exn = None then first_exn := Some e
+    in
+    while !next < n_chunks do
+      let batch = min (Array.length t.slots + 1) (n_chunks - !next) in
+      for j = 1 to batch - 1 do
+        let lo, hi = chunk_array.(!next + j) in
+        submit t.slots.(j - 1) (fun () -> f lo hi)
+      done;
+      (let lo, hi = chunk_array.(!next) in
+       record (try f lo hi; None with e -> Some e));
+      for j = 1 to batch - 1 do
+        record (join t.slots.(j - 1))
+      done;
+      next := !next + batch
+    done;
+    match !first_exn with Some e -> raise e | None -> ()
+  end
+
+let rows ?pool ~n f =
+  match pool with
+  | None -> f 0 n
+  | Some t ->
+      if t.n_threads = 1 || n <= 1 then f 0 n
+      else iter_chunks t (chunks ~n ~parts:t.n_threads) f
+
+let rows_weighted ?pool ~prefix f =
+  let n = Array.length prefix - 1 in
+  match pool with
+  | None -> f 0 n
+  | Some t ->
+      if t.n_threads = 1 || n <= 1 then f 0 n
+      else iter_chunks t (balanced_chunks ~prefix ~parts:t.n_threads) f

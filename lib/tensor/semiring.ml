@@ -13,6 +13,11 @@ let min_plus = make ~name:"min_plus" ~zero:infinity ~add:Float.min ~mul:( +. )
 let max_times = make ~name:"max_times" ~zero:neg_infinity ~add:Float.max ~mul:( *. )
 let plus_rhs = make ~name:"plus_rhs" ~zero:0. ~add:( +. ) ~mul:(fun _ y -> y)
 
+let or_and =
+  make ~name:"or_and" ~zero:0.
+    ~add:(fun x y -> if x <> 0. || y <> 0. then 1. else 0.)
+    ~mul:(fun x y -> if x <> 0. && y <> 0. then 1. else 0.)
+
 let is_plus_times sr = sr == plus_times
 let equal_name a b = String.equal a.name b.name
 let pp ppf sr = Format.fprintf ppf "%s" sr.name

@@ -38,6 +38,10 @@ val plus_rhs : t
     right operand. This is the cheap aggregation used for unweighted graphs
     (paper, Appendix B): the edge value need not be read at all. *)
 
+val or_and : t
+(** Boolean semiring {m (\lor, \land)} over [{0., 1.}] (any nonzero input is
+    treated as true): reachability / structural aggregations. *)
+
 val is_plus_times : t -> bool
 (** [true] iff the semiring is (pointer-)identical to {!plus_times}; kernels
     use it to dispatch to a specialized fast path. *)
