@@ -18,9 +18,16 @@ let shrinking_pairs = [ (512, 64); (2048, 256) ]
 let growing_pairs = [ (64, 512); (256, 2048); (1024, 2048) ]
 let all_pairs = square_pairs @ shrinking_pairs @ growing_pairs
 
+(* Smoke mode (driver's [--smoke], the @bench-smoke alias): every section
+   runs one tiny configuration — first dataset, one embedding pair, analytic
+   cost models instead of the GBRT fit — so the perf plumbing is exercised
+   without the full sweeps. *)
+let smoke = ref false
+
 (* GAT is evaluated only on increasing sizes (Sec. VI-B). *)
 let pairs_for (m : Mp.Mp_ast.model) =
-  if m.Mp.Mp_ast.attention then growing_pairs else all_pairs
+  let pairs = if m.Mp.Mp_ast.attention then growing_pairs else all_pairs in
+  if !smoke then [ List.hd pairs ] else pairs
 
 let geomean = function
   | [] -> nan
@@ -44,14 +51,16 @@ let pool () = Hw.Domain_pool.for_threads !threads
 let cost_model_cache : (string, Cost_model.t) Hashtbl.t = Hashtbl.create 4
 
 let cost_model profile =
-  let key = profile.Hw.Hw_profile.name in
-  match Hashtbl.find_opt cost_model_cache key with
-  | Some cm -> cm
-  | None ->
-      let data = Profiling.collect ~profile () in
-      let cm = Cost_model.train ~profile data in
-      Hashtbl.add cost_model_cache key cm;
-      cm
+  if !smoke then Cost_model.analytic profile
+  else
+    let key = profile.Hw.Hw_profile.name in
+    match Hashtbl.find_opt cost_model_cache key with
+    | Some cm -> cm
+    | None ->
+        let data = Profiling.collect ~profile () in
+        let cm = Cost_model.train ~profile data in
+        Hashtbl.add cost_model_cache key cm;
+        cm
 
 let compiled_cache : (string, Mp.Lower.lowered * Codegen.t * Granii.offline_stats) Hashtbl.t =
   Hashtbl.create 16
@@ -92,7 +101,9 @@ let feats graph =
       Hashtbl.add feats_cache key f;
       f
 
-let datasets () = List.map (fun d -> (d, G.Datasets.load d)) G.Datasets.all
+let datasets () =
+  let all = if !smoke then [ List.hd G.Datasets.all ] else G.Datasets.all in
+  List.map (fun d -> (d, G.Datasets.load d)) all
 
 type mode = Inference | Training
 
@@ -127,6 +138,53 @@ let baseline_time ~mode ~profile ~sys ~model ~graph ~k_in ~k_out ?(iterations = 
 let speedup ~mode ~profile ~sys ~model ~graph ~k_in ~k_out ?(iterations = 100) () =
   baseline_time ~mode ~profile ~sys ~model ~graph ~k_in ~k_out ~iterations ()
   /. granii_time ~mode ~profile ~sys ~model ~graph ~k_in ~k_out ~iterations ()
+
+(* ---- machine-readable output ---- *)
+
+(* Rows for the driver's [--json FILE] dump: each bench can record flat
+   records (numbers, strings, bools); the memory section uses this to emit
+   per-iteration Gc allocation stats next to the time numbers, so future
+   changes can track an allocation trajectory alongside the time one. *)
+type json_value = F of float | I of int | S of string | B of bool
+
+let json_rows : (string * (string * json_value) list) list ref = ref []
+
+let json_add ~bench fields = json_rows := (bench, fields) :: !json_rows
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_write path =
+  let oc = open_out path in
+  let pv = function
+    | F x ->
+        if Float.is_finite x then Printf.sprintf "%.9g" x
+        else Printf.sprintf "\"%s\"" (string_of_float x)
+    | I i -> string_of_int i
+    | S s -> Printf.sprintf "\"%s\"" (json_escape s)
+    | B b -> string_of_bool b
+  in
+  let row (bench, fields) =
+    let fields = ("bench", S bench) :: fields in
+    "  {"
+    ^ String.concat ", "
+        (List.map (fun (k, v) -> Printf.sprintf "\"%s\": %s" (json_escape k) (pv v)) fields)
+    ^ "}"
+  in
+  output_string oc "[\n";
+  output_string oc (String.concat ",\n" (List.rev_map row !json_rows));
+  output_string oc "\n]\n";
+  close_out oc
 
 (* ---- formatting ---- *)
 

@@ -21,13 +21,16 @@ let benches =
     ("acc", "Sec. VI-G: cost-model accuracy on held-out graphs", Bench_costmodel.run);
     ("real", "Validation: measured host CPU vs simulator", Bench_real.run);
     ("micro", "Bechamel microbenchmarks of the real kernels", Bench_micro.run);
+    ("mem", "Memory: workspace reuse, tiled GEMM, subtree cache", Bench_memory.run);
     ("ext", "Extensions: multi-head GAT, executed stacks, deep hops", Bench_ext.run) ]
 
 let usage () =
   print_endline
-    "usage: main.exe [--list | --threads <n> | --only <id> [--only <id> ...]]";
+    "usage: main.exe [--list | --smoke | --threads <n> | --json <file> | --only <id> [--only <id> ...]]";
   print_endline "available benches:";
   List.iter (fun (id, descr, _) -> Printf.printf "  %-6s %s\n" id descr) benches
+
+let json_out = ref None
 
 let () =
   let args = Array.to_list Sys.argv in
@@ -43,6 +46,15 @@ let () =
         selected rest
     | [ "--threads" ] ->
         Printf.eprintf "--threads expects a positive integer\n";
+        exit 1
+    | "--smoke" :: rest ->
+        Bench_common.smoke := true;
+        selected rest
+    | "--json" :: file :: rest ->
+        json_out := Some file;
+        selected rest
+    | [ "--json" ] ->
+        Printf.eprintf "--json expects a file name\n";
         exit 1
     | "--list" :: _ ->
         usage ();
@@ -72,6 +84,13 @@ let () =
     (fun (id, _, run) ->
       let t = Sys.time () in
       run ();
-      Printf.printf "\n[%s finished in %.1fs cpu]\n%!" id (Sys.time () -. t))
+      let dt = Sys.time () -. t in
+      Bench_common.(json_add ~bench:id [ ("kind", S "timing"); ("cpu_s", F dt) ]);
+      Printf.printf "\n[%s finished in %.1fs cpu]\n%!" id dt)
     to_run;
-  Printf.printf "\nAll benches finished in %.1fs cpu.\n" (Sys.time () -. t0)
+  Printf.printf "\nAll benches finished in %.1fs cpu.\n" (Sys.time () -. t0);
+  match !json_out with
+  | None -> ()
+  | Some file ->
+      Bench_common.json_write file;
+      Printf.printf "wrote %d JSON rows to %s\n" (List.length !Bench_common.json_rows) file

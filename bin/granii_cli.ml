@@ -168,13 +168,30 @@ let select_cmd =
          & info [ "models-file" ] ~docv:"FILE"
              ~doc:"Load cost models saved by $(b,granii train) instead of retraining.")
   in
-  let run model graph k_in k_out profile iterations system analytic threads models_file =
+  let execute =
+    Arg.(value & opt (some int) None
+         & info [ "execute" ] ~docv:"N"
+             ~doc:
+               "After ranking, actually run the selected plan $(docv) times \
+                on this machine's CPU (random features) and report measured \
+                times plus per-iteration GC allocation.")
+  in
+  let workspace =
+    Arg.(value & flag
+         & info [ "workspace" ]
+             ~doc:
+               "With $(b,--execute), run iterations out of a buffer-reuse \
+                workspace arena: outputs are bitwise identical, steady-state \
+                allocation drops to zero.")
+  in
+  let run model graph k_in k_out profile iterations system analytic threads models_file
+      execute workspace =
     if threads < 1 then begin
       Printf.eprintf "--threads expects a positive integer\n";
       exit 1
     end;
     let sys = Sys_.System.find system in
-    let _, compiled, _ = compile_model model ~binned:sys.Sys_.System.binned_degrees in
+    let low, compiled, _ = compile_model model ~binned:sys.Sys_.System.binned_degrees in
     let cost_model =
       match models_file with
       | Some file -> Cost_model.load file
@@ -210,13 +227,59 @@ let select_cmd =
           (String.concat " ; "
              (List.map (Format.asprintf "%a" Primitive.pp)
                 (Plan.primitives c.Codegen.plan))))
-      ranked
+      ranked;
+    match execute with
+    | None ->
+        if workspace then
+          Printf.eprintf "note: --workspace only matters with --execute N\n"
+    | Some iters when iters < 1 ->
+        Printf.eprintf "--execute expects a positive integer\n";
+        exit 1
+    | Some iters ->
+        let module Dense = Granii_tensor.Dense in
+        let module Gnn = Granii_gnn in
+        let plan = decision.Granii.choice.Selector.candidate.Codegen.plan in
+        let params = Gnn.Layer.init_params ~seed:0 ~env low in
+        let h = Dense.random ~seed:1 (G.Graph.n_nodes graph) k_in in
+        let bindings = Gnn.Layer.bindings ~graph ~h params in
+        let ws =
+          if workspace then Some (Granii_tensor.Workspace.create ()) else None
+        in
+        let run_once () =
+          Executor.run_iterations ?workspace:ws ~timing:Executor.Measure ~graph
+            ~bindings ~iterations:iters plan
+        in
+        (* warm-up run so the measured one sees steady state (and, with
+           --workspace, a warm arena) *)
+        ignore (run_once ());
+        let g0 = Gc.quick_stat () in
+        let r = run_once () in
+        let g1 = Gc.quick_stat () in
+        let per x = x /. float_of_int iters in
+        Printf.printf
+          "executed %s on host CPU: %d iterations%s\n\
+          \  setup %.3f ms, %.3f ms/iteration\n\
+          \  GC: %.0f minor + %.0f major words/iteration\n"
+          plan.Plan.name iters
+          (if workspace then " (workspace arena)" else "")
+          (1000. *. r.Executor.setup_time)
+          (1000. *. r.Executor.iteration_time)
+          (per (g1.Gc.minor_words -. g0.Gc.minor_words))
+          (per (g1.Gc.major_words -. g0.Gc.major_words));
+        match ws with
+        | None -> ()
+        | Some w ->
+            let s = Granii_tensor.Workspace.stats w in
+            Printf.printf "  arena: %d hits / %d misses, %d words held\n"
+              s.Granii_tensor.Workspace.hits s.Granii_tensor.Workspace.misses
+              (s.Granii_tensor.Workspace.held_words
+              + s.Granii_tensor.Workspace.issued_words)
   in
   Cmd.v
     (Cmd.info "select"
        ~doc:"Run the online stage: featurize an input and rank the candidates")
     Term.(const run $ model_pos $ graph $ k_in $ k_out $ hw $ iterations $ system
-          $ analytic $ threads $ models_file)
+          $ analytic $ threads $ models_file $ execute $ workspace)
 
 let baseline_cmd =
   let k_in = Arg.(value & opt int 256 & info [ "kin" ] ~doc:"Input embedding size.") in

@@ -11,7 +11,26 @@
       paper's A100/H100 testbeds (see DESIGN.md).
 
     [estimate] skips execution entirely and just sums predicted kernel times
-    — used by the large parameter sweeps of the benches. *)
+    — used by the large parameter sweeps of the benches.
+
+    {2 Memory model}
+
+    With [?workspace], every kernel output comes from a
+    {!Granii_tensor.Workspace.t} arena. {!run} reclaims the arena on entry,
+    so all values produced by the previous run on the same workspace are
+    invalidated by the next one — copy anything you keep. Outputs are
+    bitwise identical to the allocating path. With
+    [keep_intermediates:false], a {!Liveness} pass additionally recycles
+    each intermediate's buffer the moment its last reader retires (the
+    default keeps them alive — {!Granii_gnn.Autodiff} reads every
+    intermediate in its backward pass).
+
+    With [?cache], steps whose {!Plan.step.skey} was already executed are
+    served from the shared-subtree cache instead of re-executed, so a
+    selection or profiling sweep executes each common subexpression once per
+    input rather than once per candidate plan. A cache is only valid for one
+    (graph, bindings) pair. [?workspace] and [?cache] cannot be combined:
+    cached values would alias arena buffers that the next reclaim recycles. *)
 
 type value =
   | Vdense of Granii_tensor.Dense.t
@@ -27,28 +46,60 @@ type report = {
   per_step : (Primitive.t * Plan.phase * float) list;
   intermediates : (int * value) list;
       (** every step's output, by step index — consumed by the reverse pass
-          of {!Granii_gnn.Autodiff} *)
+          of {!Granii_gnn.Autodiff}; empty when run with
+          [keep_intermediates:false] *)
 }
 
 exception Execution_error of string
 
+type cache
+(** Shared-subtree execution cache: structural key → (value, measured
+    time). On a [Measure]-mode hit the stored time is charged (the work is
+    genuinely skipped); on a [Simulate]-mode hit the analytic time is
+    recomputed with the hitting step's own jitter seed, so caching is
+    timing-transparent. *)
+
+val cache_create : unit -> cache
+
+val cache_stats : cache -> int * int
+(** [(hits, misses)] since creation. *)
+
 val apply :
-  ?pool:Granii_tensor.Parallel.t ->
+  ?pool:Granii_tensor.Parallel.t -> ?ws:Granii_tensor.Workspace.t ->
   Primitive.t -> Granii_graph.Graph.t -> value list -> value
 (** Execute one primitive against concrete operand values — the kernel
     dispatch used by {!run}, exposed so measured profiling
     ({!Profiling.collect_measured}) can time individual primitives. Raises
     {!Execution_error} on an argument-kind mismatch. With [?pool], kernels
-    run on the multicore engine ({!Granii_hw.Domain_pool}). *)
+    run on the multicore engine ({!Granii_hw.Domain_pool}); with [?ws],
+    outputs are drawn from the workspace arena. *)
 
 val run :
-  ?seed:int -> ?pool:Granii_tensor.Parallel.t -> timing:timing ->
+  ?seed:int -> ?pool:Granii_tensor.Parallel.t ->
+  ?workspace:Granii_tensor.Workspace.t -> ?cache:cache ->
+  ?keep_intermediates:bool -> timing:timing ->
   graph:Granii_graph.Graph.t ->
   bindings:(string * value) list -> Plan.t -> report
 (** Executes the plan once. Leaf names are resolved in [bindings]; the
     graph's {m \tilde A} and normalization vector are available to [Degree]
-    steps. Raises {!Execution_error} on an unbound input or an
-    argument-kind mismatch (which would indicate an enumeration bug). *)
+    steps. [keep_intermediates] defaults to [true]. Raises
+    {!Execution_error} on an unbound input or an argument-kind mismatch
+    (which would indicate an enumeration bug), [Invalid_argument] when both
+    [?workspace] and [?cache] are given. Bindings must not be backed by
+    buffers issued from the same workspace. *)
+
+val run_iterations :
+  ?seed:int -> ?pool:Granii_tensor.Parallel.t ->
+  ?workspace:Granii_tensor.Workspace.t -> ?keep_intermediates:bool ->
+  timing:timing -> graph:Granii_graph.Graph.t ->
+  bindings:(string * value) list -> iterations:int -> Plan.t -> report
+(** Steady-state driver: setup steps run once, per-iteration steps run
+    [iterations] times with fixed bindings, re-using preallocated argument
+    arrays and (with [?workspace]) re-using the previous iteration's
+    buffers — the loop the trainer, profiler and selection micro-benchmarks
+    actually sit in. [iteration_time] is the {e mean} per-iteration time;
+    [per_step] and [intermediates] reflect the last iteration. Raises
+    [Invalid_argument] when [iterations < 1]. *)
 
 val estimate :
   ?seed:int -> profile:Granii_hw.Hw_profile.t -> env:Dim.env -> Plan.t ->

@@ -50,8 +50,8 @@ let optimize ~cost_model ~graph ~k_in ~k_out ?(iterations = 100) ?(threads = 1) 
     feats;
     overhead = feats.Featurizer.extraction_time +. choice.Selector.selection_time }
 
-let execute ?seed ?pool ~timing ~graph ~bindings decision =
-  Executor.run ?seed ?pool ~timing ~graph ~bindings
+let execute ?seed ?pool ?workspace ~timing ~graph ~bindings decision =
+  Executor.run ?seed ?pool ?workspace ~timing ~graph ~bindings
     decision.choice.Selector.candidate.Codegen.plan
 
 let simulated_overhead ~profile ~env =

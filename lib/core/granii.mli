@@ -40,10 +40,13 @@ val optimize :
     differently at different parallelism levels. *)
 
 val execute :
-  ?seed:int -> ?pool:Granii_tensor.Parallel.t -> timing:Executor.timing ->
+  ?seed:int -> ?pool:Granii_tensor.Parallel.t ->
+  ?workspace:Granii_tensor.Workspace.t -> timing:Executor.timing ->
   graph:Granii_graph.Graph.t ->
   bindings:(string * Executor.value) list -> decision -> Executor.report
-(** Runs the selected plan, on the multicore engine when [?pool] is given. *)
+(** Runs the selected plan, on the multicore engine when [?pool] is given
+    and with arena-allocated buffers when [?workspace] is given (see
+    {!Executor.run}). *)
 
 val simulated_overhead :
   profile:Granii_hw.Hw_profile.t -> env:Dim.env -> float

@@ -9,6 +9,7 @@ type step = {
   prim : Primitive.t;
   args : source list;
   phase : phase;
+  skey : string;
 }
 
 type t = {
@@ -32,10 +33,12 @@ let of_tree ?(hoist = true) ?(degree_leaves = []) ~name tree =
     List.mapi
       (fun i (leaf_name, spec) ->
         ( leaf_name,
+          let prim = Primitive.Degree { binned = spec.binned; power = spec.power } in
           { idx = i;
-            prim = Primitive.Degree { binned = spec.binned; power = spec.power };
+            prim;
             args = [ Input "__graph__" ];
-            phase = (if hoist then Setup else Per_iteration) } ))
+            phase = (if hoist then Setup else Per_iteration);
+            skey = Format.asprintf "%a(__graph__)" Primitive.pp prim } ))
       used_degree_leaves
   in
   let offset = List.length degree_steps in
@@ -61,7 +64,8 @@ let of_tree ?(hoist = true) ?(degree_leaves = []) ~name tree =
         { idx = i + offset;
           prim = o.Assoc_tree.prim;
           args = List.map source_of_node o.Assoc_tree.args;
-          phase = (if hoist && graph_only then Setup else Per_iteration) })
+          phase = (if hoist && graph_only then Setup else Per_iteration);
+          skey = o.Assoc_tree.okey })
       ops
   in
   let steps = List.map snd degree_steps @ op_steps in

@@ -137,6 +137,10 @@ let collect_measured ?(seed = 0) ?graphs ?sizes ?(runs = 3) () =
   in
   let sizes = match sizes with Some s -> s | None -> [ 8; 16; 32; 64 ] in
   let acc : (string, (float array * float) list ref) Hashtbl.t = Hashtbl.create 16 in
+  (* one arena for the whole sweep: after the warmup run every repetition of
+     a primitive reuses the previous repetition's output buffers, so the
+     measured times are steady-state times, not allocator times *)
+  let ws = Granii_tensor.Workspace.create () in
   List.iter
     (fun graph ->
       let feats =
@@ -154,7 +158,8 @@ let collect_measured ?(seed = 0) ?graphs ?sizes ?(runs = 3) () =
                   let args = measured_args env graph template in
                   let time =
                     Granii_hw.Timer.measure_n ~warmup:1 ~n:runs (fun () ->
-                        Executor.apply template graph args)
+                        Granii_tensor.Workspace.reclaim ws;
+                        Executor.apply ~ws template graph args)
                   in
                   (* clamp below the clock resolution so log stays finite *)
                   let time = Float.max time 1e-9 in

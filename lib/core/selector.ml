@@ -19,6 +19,30 @@ let rank ~cost_model ~feats ~env ~iterations (compiled : Codegen.t) =
   in
   List.sort (fun (_, a) (_, b) -> compare a b) scored
 
+let measure ?seed ?pool ~timing ~graph ~bindings ~env ~iterations
+    (compiled : Codegen.t) =
+  let scenario = scenario_of ~k_in:env.Dim.k_in ~k_out:env.Dim.k_out in
+  let cands = Codegen.for_scenario compiled scenario in
+  (* One shared-subtree cache across every candidate: plans of the same
+     model overlap heavily (the reuse-vs-recompute structure differs in a
+     few steps), so each common subexpression executes once per input
+     instead of once per plan. Valid because all candidates run on the same
+     (graph, bindings). *)
+  let cache = Executor.cache_create () in
+  let timed =
+    List.map
+      (fun (c : Codegen.ccand) ->
+        let report =
+          Executor.run ?seed ?pool ~cache ~keep_intermediates:false ~timing
+            ~graph ~bindings c.Codegen.plan
+        in
+        ( c,
+          Executor.total_time ~setup:report.Executor.setup_time
+            ~iteration:report.Executor.iteration_time ~iterations ))
+      cands
+  in
+  (List.sort (fun (_, a) (_, b) -> compare a b) timed, Executor.cache_stats cache)
+
 let select ~cost_model ~feats ~env ~iterations compiled =
   let result, selection_time =
     Granii_hw.Timer.measure (fun () ->

@@ -28,3 +28,15 @@ val rank :
   iterations:int -> Codegen.t -> (Codegen.ccand * float) list
 (** All scenario-compatible candidates with predicted costs, cheapest first
     (diagnostic view of the same decision). *)
+
+val measure :
+  ?seed:int -> ?pool:Granii_tensor.Parallel.t -> timing:Executor.timing ->
+  graph:Granii_graph.Graph.t -> bindings:(string * Executor.value) list ->
+  env:Dim.env -> iterations:int -> Codegen.t ->
+  (Codegen.ccand * float) list * (int * int)
+(** Ground-truth companion to {!rank}: {e executes} every
+    scenario-compatible candidate on a concrete input and returns them
+    sorted by measured (or simulated) total time at [iterations], cheapest
+    first, plus the [(hits, misses)] of the shared-subtree cache — all
+    candidates share one {!Executor.cache}, so each common subexpression
+    executes once per input instead of once per plan. *)

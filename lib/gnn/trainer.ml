@@ -7,16 +7,20 @@ type history = {
   final_params : Layer.params;
 }
 
-let train ?(seed = 0) ?mask ~epochs ~optimizer ~plan ~graph ~features ~labels ~params
-    () =
+let train ?(seed = 0) ?mask ?workspace ~epochs ~optimizer ~plan ~graph ~features
+    ~labels ~params () =
   if epochs <= 0 then invalid_arg "Trainer.train: epochs must be positive";
   let losses = Array.make epochs 0. in
   let params = ref params in
   let last_logits = ref None in
   for epoch = 0 to epochs - 1 do
     let bindings = Layer.bindings ~graph ~h:features !params in
+    (* With [?workspace], each epoch's forward pass reuses the previous
+       epoch's buffers (the arena is reclaimed on entry to [run]). The
+       epoch body — loss, backward, optimizer step — only reads this
+       epoch's values, all of which stay valid until the next run. *)
     let forward =
-      Core.Executor.run ~seed:(seed + epoch)
+      Core.Executor.run ~seed:(seed + epoch) ?workspace
         ~timing:(Core.Executor.Simulate Granii_hw.Hw_profile.cpu) ~graph ~bindings plan
     in
     let logits =

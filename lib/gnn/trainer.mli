@@ -12,13 +12,16 @@ type history = {
 }
 
 val train :
-  ?seed:int -> ?mask:bool array -> epochs:int -> optimizer:Optimizer.t ->
+  ?seed:int -> ?mask:bool array -> ?workspace:Granii_tensor.Workspace.t ->
+  epochs:int -> optimizer:Optimizer.t ->
   plan:Granii_core.Plan.t -> graph:Granii_graph.Graph.t ->
   features:Granii_tensor.Dense.t -> labels:int array ->
   params:Layer.params -> unit -> history
 (** Full-graph training for node classification. The plan's output must be
     dense [N]x[classes] logits. Losses are recorded per epoch; training is
-    deterministic given [seed]. *)
+    deterministic given [seed]. With [?workspace], every epoch's forward
+    pass reuses the previous epoch's buffers — numerically identical,
+    allocation-free in steady state. *)
 
 val inference_time :
   profile:Granii_hw.Hw_profile.t -> graph:Granii_graph.Graph.t ->

@@ -5,6 +5,7 @@ type t = {
   sparse_gflops : float;
   stream_gbps : float;
   random_gbps : float;
+  cache_bytes : float;
   launch_overhead_s : float;
   atomic_ns : float;
   atomic_contention_factor : float;
@@ -19,6 +20,8 @@ let cpu =
     sparse_gflops = 12.;
     stream_gbps = 80.;
     random_gbps = 6.;
+    (* 42 MB of shared L3 *)
+    cache_bytes = 42e6;
     launch_overhead_s = 0.;
     (* Sequential scatter-adds have no contention at all. *)
     atomic_ns = 1.;
@@ -32,6 +35,8 @@ let a100 =
     sparse_gflops = 900.;
     stream_gbps = 1_500.;
     random_gbps = 350.;
+    (* 40 MB L2 *)
+    cache_bytes = 40e6;
     launch_overhead_s = 6e-6;
     (* The paper attributes WiseGraph's dense-graph slowdowns to the atomic
        binning kernel; the A100 pays the most for contended atomics. *)
@@ -46,6 +51,8 @@ let h100 =
     sparse_gflops = 1_800.;
     stream_gbps = 3_000.;
     random_gbps = 700.;
+    (* 50 MB L2 *)
+    cache_bytes = 50e6;
     launch_overhead_s = 5e-6;
     atomic_ns = 0.35;
     atomic_contention_factor = 0.012;

@@ -22,6 +22,10 @@ type t = {
   (** streaming memory bandwidth, GB/s *)
   random_gbps : float;
   (** effective bandwidth for random gathers (SpMM row fetches), GB/s *)
+  cache_bytes : float;
+  (** capacity of the last-level cache: random traffic whose working set
+      fits here is served at streaming rate instead (see
+      {!Kernel_model.time}) *)
   launch_overhead_s : float;
   (** fixed per-kernel cost (GPU launch latency; ~0 on CPU) *)
   atomic_ns : float;

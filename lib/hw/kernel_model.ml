@@ -58,6 +58,24 @@ let bytes_random = function
   | Edge_softmax _ -> 0.
   | Degree_binning { nnz; _ } -> elt_bytes *. f nnz
 
+(* Distinct bytes touched by the random-access stream: when this working
+   set fits in the profile's last-level cache, the "random" gathers are
+   really cache hits after the first touch and run at streaming rate. *)
+let random_working_set = function
+  | Gemm _ -> 0.
+  (* the gathered operand is the full dense matrix B *)
+  | Spmm { rows; k; _ } -> elt_bytes *. f rows *. f k
+  (* scatter targets are row-local: one output row resident at a time *)
+  | Dense_sparse_mm { cols; _ } -> elt_bytes *. f cols
+  (* distinct dense rows ~ nnz / avg_degree (~8), two operands of width k *)
+  | Sddmm { nnz; k } -> elt_bytes *. f nnz *. f k /. 4.
+  (* the gathered diagonal, one entry per distinct column *)
+  | Diag_scale_sparse { nnz } -> elt_bytes *. f nnz /. 8.
+  | Degree_binning { n; _ } -> elt_bytes *. f n
+  | Row_broadcast _ | Col_broadcast _ | Diag_combine _ | Elementwise _
+  | Edge_softmax _ | Degree_rowptr _ ->
+      0.
+
 let is_dense_compute = function
   | Gemm _ -> true
   | Spmm _ | Dense_sparse_mm _ | Sddmm _ | Row_broadcast _ | Col_broadcast _
@@ -82,9 +100,20 @@ let time ?(threads = 1) (p : Hw_profile.t) kernel =
     *. 1e9
   in
   let compute_t = flops kernel /. compute_throughput /. compute_speedup in
+  let random_t =
+    let br = bytes_random kernel in
+    if br = 0. then 0.
+    else
+      let ws = random_working_set kernel in
+      (* fraction of random traffic served from cache: once the working set
+         fits in the LLC the gathers hit after the first touch and run at
+         streaming rate *)
+      let hit = if ws <= 0. then 1. else Float.min 1. (p.Hw_profile.cache_bytes /. ws) in
+      (hit *. br /. (p.Hw_profile.stream_gbps *. 1e9))
+      +. ((1. -. hit) *. br /. (p.Hw_profile.random_gbps *. 1e9))
+  in
   let memory_t =
-    ((bytes_streamed kernel /. (p.Hw_profile.stream_gbps *. 1e9))
-    +. (bytes_random kernel /. (p.Hw_profile.random_gbps *. 1e9)))
+    ((bytes_streamed kernel /. (p.Hw_profile.stream_gbps *. 1e9)) +. random_t)
     /. memory_speedup
   in
   let atomic_t =

@@ -1,11 +1,12 @@
 module Vector = Granii_tensor.Vector
 module Parallel = Granii_tensor.Parallel
+module Workspace = Granii_tensor.Workspace
 
-let scale_rows ?pool d (a : Csr.t) =
+let scale_rows ?pool ?ws d (a : Csr.t) =
   if Array.length d <> a.Csr.n_rows then
     invalid_arg "Sparse_ops.scale_rows: dimension mismatch";
   let count = Csr.nnz a in
-  let out = Array.make count 0. in
+  let out = Workspace.alloc_uninit ws count in
   Parallel.rows_weighted ?pool ~prefix:a.Csr.row_ptr (fun lo hi ->
       for i = lo to hi - 1 do
         for p = a.Csr.row_ptr.(i) to a.Csr.row_ptr.(i + 1) - 1 do
@@ -14,11 +15,11 @@ let scale_rows ?pool d (a : Csr.t) =
       done);
   Csr.with_values a out
 
-let scale_cols ?pool (a : Csr.t) d =
+let scale_cols ?pool ?ws (a : Csr.t) d =
   if Array.length d <> a.Csr.n_cols then
     invalid_arg "Sparse_ops.scale_cols: dimension mismatch";
   let count = Csr.nnz a in
-  let out = Array.make count 0. in
+  let out = Workspace.alloc_uninit ws count in
   (* value-parallel, not row-parallel: the entry stream is the only index *)
   Parallel.rows ?pool ~n:count (fun lo hi ->
       for p = lo to hi - 1 do
@@ -26,7 +27,7 @@ let scale_cols ?pool (a : Csr.t) d =
       done);
   Csr.with_values a out
 
-let scale_bilateral ?pool dl (a : Csr.t) dr = Sddmm.rank1 ?pool a dl dr
+let scale_bilateral ?pool ?ws dl (a : Csr.t) dr = Sddmm.rank1 ?pool ?ws a dl dr
 
 let add (a : Csr.t) (b : Csr.t) =
   if a.Csr.n_rows <> b.Csr.n_rows || a.Csr.n_cols <> b.Csr.n_cols then
@@ -37,27 +38,37 @@ let add (a : Csr.t) (b : Csr.t) =
   Csr.of_coo
     (Coo.make ~n_rows:a.Csr.n_rows ~n_cols:a.Csr.n_cols (Array.of_list !entries))
 
-let row_softmax ?pool (a : Csr.t) =
+let row_softmax ?pool ?ws (a : Csr.t) =
   let count = Csr.nnz a in
-  let out = Array.make count 0. in
+  let out = Workspace.alloc ws count in
+  (* read the value array directly: a [Csr.value] call per entry would box
+     its float result on every inner-loop read *)
+  let vals = a.Csr.values in
   Parallel.rows_weighted ?pool ~prefix:a.Csr.row_ptr (fun rlo rhi ->
       for i = rlo to rhi - 1 do
         let lo = a.Csr.row_ptr.(i) and hi = a.Csr.row_ptr.(i + 1) - 1 in
-        if hi >= lo then begin
-          let mx = ref neg_infinity in
-          for p = lo to hi do
-            if Csr.value a p > !mx then mx := Csr.value a p
-          done;
-          let total = ref 0. in
-          for p = lo to hi do
-            let e = exp (Csr.value a p -. !mx) in
-            out.(p) <- e;
-            total := !total +. e
-          done;
-          for p = lo to hi do
-            out.(p) <- out.(p) /. !total
-          done
-        end
+        if hi >= lo then
+          match vals with
+          | None ->
+              (* unweighted: softmax of equal scores is uniform over the row *)
+              let u = 1. /. float_of_int (hi - lo + 1) in
+              for p = lo to hi do
+                out.(p) <- u
+              done
+          | Some v ->
+              let mx = ref neg_infinity in
+              for p = lo to hi do
+                if Array.unsafe_get v p > !mx then mx := Array.unsafe_get v p
+              done;
+              let total = ref 0. in
+              for p = lo to hi do
+                let e = exp (Array.unsafe_get v p -. !mx) in
+                out.(p) <- e;
+                total := !total +. e
+              done;
+              for p = lo to hi do
+                out.(p) <- out.(p) /. !total
+              done
       done);
   Csr.with_values a out
 

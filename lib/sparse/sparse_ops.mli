@@ -1,16 +1,16 @@
 (** Assorted sparse kernels used by GNN compositions. *)
 
-val scale_rows : ?pool:Granii_tensor.Parallel.t -> Granii_tensor.Vector.t ->
-  Csr.t -> Csr.t
+val scale_rows : ?pool:Granii_tensor.Parallel.t -> ?ws:Granii_tensor.Workspace.t ->
+  Granii_tensor.Vector.t -> Csr.t -> Csr.t
 (** [scale_rows d a] is {m \mathrm{diag}(d) \cdot A}: stored entry
     {m (i, j)} becomes {m d_i \cdot A_{ij}}. The result is weighted. *)
 
-val scale_cols : ?pool:Granii_tensor.Parallel.t -> Csr.t ->
-  Granii_tensor.Vector.t -> Csr.t
+val scale_cols : ?pool:Granii_tensor.Parallel.t -> ?ws:Granii_tensor.Workspace.t ->
+  Csr.t -> Granii_tensor.Vector.t -> Csr.t
 (** [scale_cols a d] is {m A \cdot \mathrm{diag}(d)}. *)
 
-val scale_bilateral : ?pool:Granii_tensor.Parallel.t -> Granii_tensor.Vector.t ->
-  Csr.t -> Granii_tensor.Vector.t -> Csr.t
+val scale_bilateral : ?pool:Granii_tensor.Parallel.t -> ?ws:Granii_tensor.Workspace.t ->
+  Granii_tensor.Vector.t -> Csr.t -> Granii_tensor.Vector.t -> Csr.t
 (** [scale_bilateral dl a dr] is {m \mathrm{diag}(d^L) \cdot A \cdot
     \mathrm{diag}(d^R)} in a single pass — the fused form of GCN's
     normalization precomputation (equals {!Sddmm.rank1}). *)
@@ -19,7 +19,8 @@ val add : Csr.t -> Csr.t -> Csr.t
 (** Sparse-sparse addition; the result's structure is the union. Raises
     [Invalid_argument] on a shape mismatch. *)
 
-val row_softmax : ?pool:Granii_tensor.Parallel.t -> Csr.t -> Csr.t
+val row_softmax : ?pool:Granii_tensor.Parallel.t -> ?ws:Granii_tensor.Workspace.t ->
+  Csr.t -> Csr.t
 (** Softmax over each row's stored values (numerically stabilized): the
     attention-normalization kernel of GAT. Rows with no entries are left
     empty. *)

@@ -1,44 +1,72 @@
 module Dense = Granii_tensor.Dense
 module Semiring = Granii_tensor.Semiring
 module Parallel = Granii_tensor.Parallel
+module Workspace = Granii_tensor.Workspace
 
-let run ?(semiring = Semiring.plus_times) ?pool (a : Csr.t) (b : Dense.t) =
+(* Feature-dimension tiling: above this width the dense operand's rows are
+   processed in strips of [default_tile] columns so the slice of B touched by
+   a chunk's neighborhoods stays cache-resident across consecutive output
+   rows (SENSEi's observation that memory traffic, not flops, dominates
+   SpMM). Strips re-walk the CSR structure once per strip, so tiling only
+   pays off once rows of B outgrow the index-rewalk cost — narrow features
+   keep the single-pass loop. Per output element the accumulation still runs
+   over the row's nonzeros in ascending order, so tiled, untiled, and
+   parallel kernels all agree bit for bit. *)
+let tile_threshold = 512
+let default_tile = 256
+
+let strip_width k = function
+  | Some t when t > 0 -> min t k
+  | Some _ | None -> if k >= tile_threshold then default_tile else k
+
+let run ?(semiring = Semiring.plus_times) ?pool ?ws ?tile_k (a : Csr.t) (b : Dense.t) =
   if a.Csr.n_cols <> b.Dense.rows then
     invalid_arg "Spmm.run: inner dimension mismatch";
   let n = a.Csr.n_rows and k = b.Dense.cols in
   let bd = b.Dense.data in
   let row_ptr = a.Csr.row_ptr and col_idx = a.Csr.col_idx in
+  let tk = strip_width k tile_k in
   (* All branches chunk output rows with the nonzero-balanced partitioner:
      a row never spans chunks, so per-row accumulation order — and therefore
      the result, bit for bit — matches the sequential kernel. *)
   if Semiring.is_plus_times semiring || Semiring.equal_name semiring Semiring.plus_rhs
   then begin
-    let out = Array.make (n * k) 0. in
+    let out = Workspace.alloc ws (n * k) in
     (match a.Csr.values with
     | Some vals when Semiring.is_plus_times semiring ->
         Parallel.rows_weighted ?pool ~prefix:row_ptr (fun lo hi ->
-            for i = lo to hi - 1 do
-              let obase = i * k in
-              for p = row_ptr.(i) to row_ptr.(i + 1) - 1 do
-                let v = vals.(p) in
-                let bbase = col_idx.(p) * k in
-                for j = 0 to k - 1 do
-                  out.(obase + j) <- out.(obase + j) +. (v *. bd.(bbase + j))
+            let j0 = ref 0 in
+            while !j0 < k do
+              let jhi = min k (!j0 + tk) in
+              for i = lo to hi - 1 do
+                let obase = i * k in
+                for p = row_ptr.(i) to row_ptr.(i + 1) - 1 do
+                  let v = vals.(p) in
+                  let bbase = col_idx.(p) * k in
+                  for j = !j0 to jhi - 1 do
+                    out.(obase + j) <- out.(obase + j) +. (v *. bd.(bbase + j))
+                  done
                 done
-              done
+              done;
+              j0 := jhi
             done)
     | Some _ | None ->
         (* Unweighted fast path, and plus_rhs on any matrix: the edge value is
            never read (the paper's cheap aggregation for unweighted graphs). *)
         Parallel.rows_weighted ?pool ~prefix:row_ptr (fun lo hi ->
-            for i = lo to hi - 1 do
-              let obase = i * k in
-              for p = row_ptr.(i) to row_ptr.(i + 1) - 1 do
-                let bbase = col_idx.(p) * k in
-                for j = 0 to k - 1 do
-                  out.(obase + j) <- out.(obase + j) +. bd.(bbase + j)
+            let j0 = ref 0 in
+            while !j0 < k do
+              let jhi = min k (!j0 + tk) in
+              for i = lo to hi - 1 do
+                let obase = i * k in
+                for p = row_ptr.(i) to row_ptr.(i + 1) - 1 do
+                  let bbase = col_idx.(p) * k in
+                  for j = !j0 to jhi - 1 do
+                    out.(obase + j) <- out.(obase + j) +. bd.(bbase + j)
+                  done
                 done
-              done
+              done;
+              j0 := jhi
             done));
     Dense.of_flat ~rows:n ~cols:k out
   end
@@ -48,26 +76,31 @@ let run ?(semiring = Semiring.plus_times) ?pool (a : Csr.t) (b : Dense.t) =
        rows) instead of an element-at-a-time [Dense.init] that re-walked
        [row_ptr] bounds per (i, j). *)
     let sr = semiring in
-    let out = Array.make (n * k) sr.Semiring.zero in
+    let out = Workspace.alloc_fill ws sr.Semiring.zero (n * k) in
     Parallel.rows_weighted ?pool ~prefix:row_ptr (fun lo hi ->
-        for i = lo to hi - 1 do
-          let obase = i * k in
-          for p = row_ptr.(i) to row_ptr.(i + 1) - 1 do
-            let v = Csr.value a p in
-            let bbase = col_idx.(p) * k in
-            for j = 0 to k - 1 do
-              out.(obase + j) <- sr.Semiring.add out.(obase + j) (sr.Semiring.mul v bd.(bbase + j))
+        let j0 = ref 0 in
+        while !j0 < k do
+          let jhi = min k (!j0 + tk) in
+          for i = lo to hi - 1 do
+            let obase = i * k in
+            for p = row_ptr.(i) to row_ptr.(i + 1) - 1 do
+              let v = Csr.value a p in
+              let bbase = col_idx.(p) * k in
+              for j = !j0 to jhi - 1 do
+                out.(obase + j) <- sr.Semiring.add out.(obase + j) (sr.Semiring.mul v bd.(bbase + j))
+              done
             done
-          done
+          done;
+          j0 := jhi
         done);
     Dense.of_flat ~rows:n ~cols:k out
   end
 
-let run_transposed ?pool (b : Dense.t) (a : Csr.t) =
+let run_transposed ?pool ?ws (b : Dense.t) (a : Csr.t) =
   if b.Dense.cols <> a.Csr.n_rows then
     invalid_arg "Spmm.run_transposed: inner dimension mismatch";
   let m = b.Dense.rows and n = a.Csr.n_cols in
-  let out = Array.make (m * n) 0. in
+  let out = Workspace.alloc ws (m * n) in
   let bd = b.Dense.data in
   let row_ptr = a.Csr.row_ptr and col_idx = a.Csr.col_idx in
   (* (B * A).(i, c) = sum over r of B.(i, r) * A.(r, c): iterate the sparse

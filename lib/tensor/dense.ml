@@ -64,10 +64,10 @@ let row m i = Array.sub m.data (i * m.cols) m.cols
 let col m j = Array.init m.rows (fun i -> get m i j)
 let to_arrays m = Array.init m.rows (fun i -> row m i)
 
-let matmul ?pool a b =
+let matmul_unblocked ?pool ?ws a b =
   if a.cols <> b.rows then invalid_arg "Dense.matmul: inner dimension mismatch";
   let m = a.rows and k = a.cols and n = b.cols in
-  let out = Array.make (m * n) 0. in
+  let out = Workspace.alloc ws (m * n) in
   let ad = a.data and bd = b.data in
   (* i-k-j loop order: the inner loop streams over contiguous rows of B and
      the output, which is the cache-friendly order for row-major storage.
@@ -88,12 +88,161 @@ let matmul ?pool a b =
       done);
   { rows = m; cols = n; data = out }
 
-let matmul_gen ?pool (sr : Semiring.t) a b =
-  if Semiring.is_plus_times sr then matmul ?pool a b
+(* ---- cache-blocked GEMM ----
+
+   GEBP structure: B is packed one column block at a time into an
+   [nr]-interleaved panel (micro-panel mp holds columns [j0 + mp*nr ..) in
+   k-major order, so the micro-kernel streams it contiguously), and a
+   register-tiled [mr x nr] micro-kernel accumulates over the full K
+   extent. Because every output element still accumulates its products in
+   ascending-k order — registers instead of read-modify-write on [out],
+   but the same additions in the same order — the result is bitwise
+   identical to {!matmul_unblocked} on finite inputs, for any block sizes
+   and any row partition (so the [?pool] path stays deterministic too).
+
+   A's rows are already contiguous in row-major storage, so only B needs
+   packing. The panel (at most [panel_words] floats, sized to sit in L2
+   while each k-major micro-panel walks through L1) is the only scratch;
+   with [?ws] it comes from the workspace, making steady-state GEMM
+   allocation-free apart from the output itself. *)
+
+let mr = 4
+let nr = 2
+let panel_words = 32_768 (* 256 KB of packed B per column block *)
+
+(* Accumulation scratch: [mr * nr] floats reused across every micro-tile of
+   a chunk (flat float arrays store doubles unboxed; a [float ref] would box
+   on every store). *)
+let micro_generic ~acc ~ad ~panel ~out ~k ~n ~i0 ~mb ~pb ~jbase ~cb =
+  Array.fill acc 0 (mr * nr) 0.;
+  for kk = 0 to k - 1 do
+    let pk = pb + (kk * nr) in
+    for r = 0 to mb - 1 do
+      let av = Array.unsafe_get ad (((i0 + r) * k) + kk) in
+      for c = 0 to cb - 1 do
+        let idx = (r * nr) + c in
+        Array.unsafe_set acc idx
+          (Array.unsafe_get acc idx +. (av *. Array.unsafe_get panel (pk + c)))
+      done
+    done
+  done;
+  for r = 0 to mb - 1 do
+    let orow = ((i0 + r) * n) + jbase in
+    for c = 0 to cb - 1 do
+      Array.unsafe_set out (orow + c) (Array.unsafe_get acc ((r * nr) + c))
+    done
+  done
+
+(* Specialized full 4x2 tile: 8 accumulators, B loaded once per k and reused
+   across the four rows. Same per-output accumulation order as the generic
+   kernel. *)
+let micro_4x2 ~acc ~ad ~panel ~out ~k ~n ~i0 ~pb ~jbase =
+  Array.fill acc 0 8 0.;
+  let a0 = i0 * k and a1 = (i0 + 1) * k and a2 = (i0 + 2) * k and a3 = (i0 + 3) * k in
+  for kk = 0 to k - 1 do
+    let pk = pb + (kk * nr) in
+    let b0 = Array.unsafe_get panel pk and b1 = Array.unsafe_get panel (pk + 1) in
+    let x0 = Array.unsafe_get ad (a0 + kk) in
+    Array.unsafe_set acc 0 (Array.unsafe_get acc 0 +. (x0 *. b0));
+    Array.unsafe_set acc 1 (Array.unsafe_get acc 1 +. (x0 *. b1));
+    let x1 = Array.unsafe_get ad (a1 + kk) in
+    Array.unsafe_set acc 2 (Array.unsafe_get acc 2 +. (x1 *. b0));
+    Array.unsafe_set acc 3 (Array.unsafe_get acc 3 +. (x1 *. b1));
+    let x2 = Array.unsafe_get ad (a2 + kk) in
+    Array.unsafe_set acc 4 (Array.unsafe_get acc 4 +. (x2 *. b0));
+    Array.unsafe_set acc 5 (Array.unsafe_get acc 5 +. (x2 *. b1));
+    let x3 = Array.unsafe_get ad (a3 + kk) in
+    Array.unsafe_set acc 6 (Array.unsafe_get acc 6 +. (x3 *. b0));
+    Array.unsafe_set acc 7 (Array.unsafe_get acc 7 +. (x3 *. b1))
+  done;
+  for r = 0 to 3 do
+    let orow = ((i0 + r) * n) + jbase in
+    Array.unsafe_set out orow (Array.unsafe_get acc (r * nr));
+    Array.unsafe_set out (orow + 1) (Array.unsafe_get acc ((r * nr) + 1))
+  done
+
+let blocked_rows ~ad ~bd ~out ~panel ~acc ~m:_ ~k ~n lo hi =
+  let nc =
+    let by_budget = panel_words / max 1 k in
+    max nr (min n (by_budget - (by_budget mod nr)))
+  in
+  let j0 = ref 0 in
+  while !j0 < n do
+    let ncb = min nc (n - !j0) in
+    let n_micro = (ncb + nr - 1) / nr in
+    (* pack columns [j0, j0+ncb) of B; padding lanes are never read because
+       the micro-kernels only touch [cb] real columns *)
+    for mp = 0 to n_micro - 1 do
+      let jb = !j0 + (mp * nr) in
+      let cb = min nr (!j0 + ncb - jb) in
+      let base = mp * k * nr in
+      for kk = 0 to k - 1 do
+        let brow = (kk * n) + jb in
+        let pk = base + (kk * nr) in
+        for c = 0 to cb - 1 do
+          Array.unsafe_set panel (pk + c) (Array.unsafe_get bd (brow + c))
+        done
+      done
+    done;
+    let i0 = ref lo in
+    while !i0 < hi do
+      let mb = min mr (hi - !i0) in
+      for mp = 0 to n_micro - 1 do
+        let jbase = !j0 + (mp * nr) in
+        let cb = min nr (!j0 + ncb - jbase) in
+        let pb = mp * k * nr in
+        if mb = mr && cb = nr then
+          micro_4x2 ~acc ~ad ~panel ~out ~k ~n ~i0:!i0 ~pb ~jbase
+        else micro_generic ~acc ~ad ~panel ~out ~k ~n ~i0:!i0 ~mb ~pb ~jbase ~cb
+      done;
+      i0 := !i0 + mb
+    done;
+    j0 := !j0 + ncb
+  done
+
+(* Below this flop count the packing overhead outweighs the locality win and
+   the streaming kernel is used instead. *)
+let blocked_flop_threshold = 32_768
+
+let matmul ?pool ?ws a b =
+  if a.cols <> b.rows then invalid_arg "Dense.matmul: inner dimension mismatch";
+  let m = a.rows and k = a.cols and n = b.cols in
+  if m * k * n < blocked_flop_threshold || n < nr || k < 8 then
+    matmul_unblocked ?pool ?ws a b
+  else begin
+    let out = Workspace.alloc_uninit ws (m * n) in
+    let ad = a.data and bd = b.data in
+    let panel_len =
+      let nc =
+        let by_budget = panel_words / max 1 k in
+        max nr (min n (by_budget - (by_budget mod nr)))
+      in
+      (* interleaved panels round the column block up to a multiple of nr *)
+      k * (((min n nc + nr - 1) / nr) * nr)
+    in
+    (match pool with
+    | None ->
+        let panel = Workspace.alloc_uninit ws panel_len in
+        let acc = Workspace.alloc_uninit ws (mr * nr) in
+        blocked_rows ~ad ~bd ~out ~panel ~acc ~m ~k ~n 0 m;
+        Workspace.give_back ws acc;
+        Workspace.give_back ws panel
+    | Some _ ->
+        (* each chunk packs its own panel: the workspace is not domain-safe,
+           so parallel scratch comes from the regular allocator *)
+        Parallel.rows ?pool ~n:m (fun lo hi ->
+            let panel = Array.create_float panel_len in
+            let acc = Array.create_float (mr * nr) in
+            blocked_rows ~ad ~bd ~out ~panel ~acc ~m ~k ~n lo hi));
+    { rows = m; cols = n; data = out }
+  end
+
+let matmul_gen ?pool ?ws (sr : Semiring.t) a b =
+  if Semiring.is_plus_times sr then matmul ?pool ?ws a b
   else begin
     if a.cols <> b.rows then invalid_arg "Dense.matmul_gen: inner dimension mismatch";
     let m = a.rows and k = a.cols and n = b.cols in
-    let out = Array.make (m * n) sr.zero in
+    let out = Workspace.alloc_fill ws sr.zero (m * n) in
     let ad = a.data and bd = b.data in
     Parallel.rows ?pool ~n:m (fun lo hi ->
         for i = lo to hi - 1 do
@@ -111,10 +260,10 @@ let matmul_gen ?pool (sr : Semiring.t) a b =
 
 let transpose m = init m.cols m.rows (fun i j -> get m j i)
 
-let map2 ?pool f a b =
+let map2 ?pool ?ws f a b =
   if a.rows <> b.rows || a.cols <> b.cols then invalid_arg "Dense.map2: shape mismatch";
   let len = Array.length a.data in
-  let out = Array.make len 0. in
+  let out = Workspace.alloc_uninit ws len in
   let ad = a.data and bd = b.data in
   Parallel.rows ?pool ~n:len (fun lo hi ->
       for i = lo to hi - 1 do
@@ -122,9 +271,9 @@ let map2 ?pool f a b =
       done);
   { a with data = out }
 
-let map ?pool f m =
+let map ?pool ?ws f m =
   let len = Array.length m.data in
-  let out = Array.make len 0. in
+  let out = Workspace.alloc_uninit ws len in
   let src = m.data in
   Parallel.rows ?pool ~n:len (fun lo hi ->
       for i = lo to hi - 1 do
@@ -132,19 +281,57 @@ let map ?pool f m =
       done);
   { m with data = out }
 
-let add ?pool a b = map2 ?pool ( +. ) a b
-let sub ?pool a b = map2 ?pool ( -. ) a b
-let scale ?pool s m = map ?pool (fun x -> s *. x) m
-let mul_elementwise ?pool a b = map2 ?pool ( *. ) a b
+(* The arithmetic elementwise ops get direct loops rather than going through
+   [map2 f]: calling an unknown closure boxes every float argument and
+   result, which costs ~4 minor-heap words per element — the dominant
+   per-iteration allocation once outputs come from a workspace. *)
+
+let binop ?pool ?ws op a b =
+  if a.rows <> b.rows || a.cols <> b.cols then invalid_arg "Dense.map2: shape mismatch";
+  let len = Array.length a.data in
+  let out = Workspace.alloc_uninit ws len in
+  let ad = a.data and bd = b.data in
+  Parallel.rows ?pool ~n:len (fun lo hi ->
+      match op with
+      | `Add ->
+          for i = lo to hi - 1 do
+            Array.unsafe_set out i
+              (Array.unsafe_get ad i +. Array.unsafe_get bd i)
+          done
+      | `Sub ->
+          for i = lo to hi - 1 do
+            Array.unsafe_set out i
+              (Array.unsafe_get ad i -. Array.unsafe_get bd i)
+          done
+      | `Mul ->
+          for i = lo to hi - 1 do
+            Array.unsafe_set out i
+              (Array.unsafe_get ad i *. Array.unsafe_get bd i)
+          done);
+  { a with data = out }
+
+let add ?pool ?ws a b = binop ?pool ?ws `Add a b
+let sub ?pool ?ws a b = binop ?pool ?ws `Sub a b
+let mul_elementwise ?pool ?ws a b = binop ?pool ?ws `Mul a b
+
+let scale ?pool ?ws s m =
+  let len = Array.length m.data in
+  let out = Workspace.alloc_uninit ws len in
+  let src = m.data in
+  Parallel.rows ?pool ~n:len (fun lo hi ->
+      for i = lo to hi - 1 do
+        Array.unsafe_set out i (s *. Array.unsafe_get src i)
+      done);
+  { m with data = out }
 
 let add_row_vector m v =
   if Array.length v <> m.cols then invalid_arg "Dense.add_row_vector: dimension mismatch";
   init m.rows m.cols (fun i j -> get m i j +. v.(j))
 
-let row_broadcast ?pool d m =
+let row_broadcast ?pool ?ws d m =
   if Array.length d <> m.rows then invalid_arg "Dense.row_broadcast: dimension mismatch";
   let k = m.cols in
-  let out = Array.make (m.rows * k) 0. in
+  let out = Workspace.alloc_uninit ws (m.rows * k) in
   let src = m.data in
   Parallel.rows ?pool ~n:m.rows (fun lo hi ->
       for i = lo to hi - 1 do
@@ -156,10 +343,10 @@ let row_broadcast ?pool d m =
       done);
   { m with data = out }
 
-let col_broadcast ?pool m d =
+let col_broadcast ?pool ?ws m d =
   if Array.length d <> m.cols then invalid_arg "Dense.col_broadcast: dimension mismatch";
   let k = m.cols in
-  let out = Array.make (m.rows * k) 0. in
+  let out = Workspace.alloc_uninit ws (m.rows * k) in
   let src = m.data in
   Parallel.rows ?pool ~n:m.rows (fun lo hi ->
       for i = lo to hi - 1 do
@@ -197,52 +384,77 @@ let split_cols m parts =
   let w = m.cols / parts in
   List.init parts (fun p -> init m.rows w (fun i j -> get m i ((p * w) + j)))
 
-let relu ?pool m = map ?pool (fun x -> if x > 0. then x else 0.) m
-let sigmoid ?pool m = map ?pool (fun x -> 1. /. (1. +. exp (-.x))) m
+(* Direct loops for the same reason as [binop]: a closure call per element
+   boxes its float argument and result. *)
+let unop ?pool ?ws op m =
+  let len = Array.length m.data in
+  let out = Workspace.alloc_uninit ws len in
+  let src = m.data in
+  Parallel.rows ?pool ~n:len (fun lo hi ->
+      match op with
+      | `Relu ->
+          for i = lo to hi - 1 do
+            let x = Array.unsafe_get src i in
+            Array.unsafe_set out i (if x > 0. then x else 0.)
+          done
+      | `Leaky slope ->
+          for i = lo to hi - 1 do
+            let x = Array.unsafe_get src i in
+            Array.unsafe_set out i (if x > 0. then x else slope *. x)
+          done
+      | `Sigmoid ->
+          for i = lo to hi - 1 do
+            let x = Array.unsafe_get src i in
+            Array.unsafe_set out i (1. /. (1. +. exp (-.x)))
+          done);
+  { m with data = out }
 
-let leaky_relu ?pool ?(slope = 0.2) m =
-  map ?pool (fun x -> if x > 0. then x else slope *. x) m
+let relu ?pool ?ws m = unop ?pool ?ws `Relu m
+let sigmoid ?pool ?ws m = unop ?pool ?ws `Sigmoid m
+let leaky_relu ?pool ?ws ?(slope = 0.2) m = unop ?pool ?ws (`Leaky slope) m
 
-let softmax_rows ?pool m =
-  let out = copy m in
+let softmax_rows ?pool ?ws m =
+  let src = m.data in
+  let out = Workspace.alloc_uninit ws (Array.length src) in
   Parallel.rows ?pool ~n:m.rows (fun lo hi ->
       for i = lo to hi - 1 do
         let base = i * m.cols in
         let mx = ref neg_infinity in
         for j = 0 to m.cols - 1 do
-          if m.data.(base + j) > !mx then mx := m.data.(base + j)
+          if src.(base + j) > !mx then mx := src.(base + j)
         done;
         let total = ref 0. in
         for j = 0 to m.cols - 1 do
-          let e = exp (m.data.(base + j) -. !mx) in
-          out.data.(base + j) <- e;
+          let e = exp (src.(base + j) -. !mx) in
+          out.(base + j) <- e;
           total := !total +. e
         done;
         for j = 0 to m.cols - 1 do
-          out.data.(base + j) <- out.data.(base + j) /. !total
+          out.(base + j) <- out.(base + j) /. !total
         done
       done);
-  out
+  { m with data = out }
 
-let log_softmax_rows ?pool m =
-  let out = copy m in
+let log_softmax_rows ?pool ?ws m =
+  let src = m.data in
+  let out = Workspace.alloc_uninit ws (Array.length src) in
   Parallel.rows ?pool ~n:m.rows (fun lo hi ->
       for i = lo to hi - 1 do
         let base = i * m.cols in
         let mx = ref neg_infinity in
         for j = 0 to m.cols - 1 do
-          if m.data.(base + j) > !mx then mx := m.data.(base + j)
+          if src.(base + j) > !mx then mx := src.(base + j)
         done;
         let total = ref 0. in
         for j = 0 to m.cols - 1 do
-          total := !total +. exp (m.data.(base + j) -. !mx)
+          total := !total +. exp (src.(base + j) -. !mx)
         done;
         let log_z = !mx +. log !total in
         for j = 0 to m.cols - 1 do
-          out.data.(base + j) <- m.data.(base + j) -. log_z
+          out.(base + j) <- src.(base + j) -. log_z
         done
       done);
-  out
+  { m with data = out }
 
 let sum m = Array.fold_left ( +. ) 0. m.data
 

@@ -59,25 +59,33 @@ val to_arrays : t -> float array array
 
 (** {1 Linear algebra} *)
 
-val matmul : ?pool:Parallel.t -> t -> t -> t
+val matmul : ?pool:Parallel.t -> ?ws:Workspace.t -> t -> t -> t
 (** [matmul a b] is the GEMM {m A \cdot B}. Raises [Invalid_argument] on an
-    inner-dimension mismatch. With [?pool], output rows are computed in
-    parallel chunks; the result is bitwise identical to the sequential
-    kernel. *)
+    inner-dimension mismatch. Large products go through a cache-blocked
+    kernel (packed B panels, register-tiled micro-kernel) whose result is
+    bitwise identical to {!matmul_unblocked} on finite inputs. With
+    [?pool], output rows are computed in parallel chunks; the result is
+    bitwise identical to the sequential kernel. With [?ws], the output
+    (and, sequentially, the packing scratch) comes from the workspace. *)
 
-val matmul_gen : ?pool:Parallel.t -> Semiring.t -> t -> t -> t
+val matmul_unblocked : ?pool:Parallel.t -> ?ws:Workspace.t -> t -> t -> t
+(** The streaming i-k-j GEMM without cache blocking — the kernel {!matmul}
+    falls back to below its size threshold, exposed for benchmarking the
+    tiled kernel against. *)
+
+val matmul_gen : ?pool:Parallel.t -> ?ws:Workspace.t -> Semiring.t -> t -> t -> t
 (** GEMM over an arbitrary semiring. [matmul_gen Semiring.plus_times] is
     {!matmul}. *)
 
 val transpose : t -> t
 
-val add : ?pool:Parallel.t -> t -> t -> t
+val add : ?pool:Parallel.t -> ?ws:Workspace.t -> t -> t -> t
 
-val sub : ?pool:Parallel.t -> t -> t -> t
+val sub : ?pool:Parallel.t -> ?ws:Workspace.t -> t -> t -> t
 
-val scale : ?pool:Parallel.t -> float -> t -> t
+val scale : ?pool:Parallel.t -> ?ws:Workspace.t -> float -> t -> t
 
-val mul_elementwise : ?pool:Parallel.t -> t -> t -> t
+val mul_elementwise : ?pool:Parallel.t -> ?ws:Workspace.t -> t -> t -> t
 (** Hadamard product. *)
 
 val add_row_vector : t -> Vector.t -> t
@@ -93,31 +101,31 @@ val split_cols : t -> int -> t list
     the inverse of {!concat_cols} for equal widths. Raises
     [Invalid_argument] if the width is not divisible. *)
 
-val row_broadcast : ?pool:Parallel.t -> Vector.t -> t -> t
+val row_broadcast : ?pool:Parallel.t -> ?ws:Workspace.t -> Vector.t -> t -> t
 (** [row_broadcast d m] is the paper's row-broadcast primitive (Eq. 1):
     [c.(i).(j) = d.(i) *. m.(i).(j)], i.e. {m \mathrm{diag}(d) \cdot M}. *)
 
-val col_broadcast : ?pool:Parallel.t -> t -> Vector.t -> t
+val col_broadcast : ?pool:Parallel.t -> ?ws:Workspace.t -> t -> Vector.t -> t
 (** [col_broadcast m d] scales column [j] of [m] by [d.(j)],
     i.e. {m M \cdot \mathrm{diag}(d)}. *)
 
 (** {1 Elementwise and reductions} *)
 
-val map : ?pool:Parallel.t -> (float -> float) -> t -> t
+val map : ?pool:Parallel.t -> ?ws:Workspace.t -> (float -> float) -> t -> t
 
-val map2 : ?pool:Parallel.t -> (float -> float -> float) -> t -> t -> t
+val map2 : ?pool:Parallel.t -> ?ws:Workspace.t -> (float -> float -> float) -> t -> t -> t
 
-val relu : ?pool:Parallel.t -> t -> t
+val relu : ?pool:Parallel.t -> ?ws:Workspace.t -> t -> t
 
-val sigmoid : ?pool:Parallel.t -> t -> t
+val sigmoid : ?pool:Parallel.t -> ?ws:Workspace.t -> t -> t
 
-val leaky_relu : ?pool:Parallel.t -> ?slope:float -> t -> t
+val leaky_relu : ?pool:Parallel.t -> ?ws:Workspace.t -> ?slope:float -> t -> t
 (** Leaky ReLU with negative [slope] (default [0.2], GAT's choice). *)
 
-val softmax_rows : ?pool:Parallel.t -> t -> t
+val softmax_rows : ?pool:Parallel.t -> ?ws:Workspace.t -> t -> t
 (** Numerically-stable softmax applied to each row independently. *)
 
-val log_softmax_rows : ?pool:Parallel.t -> t -> t
+val log_softmax_rows : ?pool:Parallel.t -> ?ws:Workspace.t -> t -> t
 
 val sum : t -> float
 

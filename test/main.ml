@@ -14,4 +14,5 @@ let () =
       ("persistence", Test_persistence.suite);
       ("stack-multihead", Test_stack_multihead.suite);
       ("parallel", Test_parallel.suite);
+      ("memory", Test_memory.suite);
       ("integration", Test_integration.suite) ]

@@ -1,0 +1,383 @@
+(* The memory system: workspace arena semantics, liveness analysis, bitwise
+   equality of workspace-backed execution against the allocating path, and
+   the shared-subtree execution cache. *)
+
+open Granii_core
+open Test_util
+module Dense = Granii_tensor.Dense
+module Vector = Granii_tensor.Vector
+module Workspace = Granii_tensor.Workspace
+module Csr = Granii_sparse.Csr
+module G = Granii_graph
+module Mp = Granii_mp
+module Gnn = Granii_gnn
+
+(* ---- helpers ---- *)
+
+let small_graph ?(seed = 3) ?(n = 60) () =
+  G.Generators.erdos_renyi ~seed ~n ~avg_degree:5. ()
+
+let compile_model (m : Mp.Mp_ast.model) =
+  let low = Mp.Lower.lower m in
+  let compiled, _ =
+    Granii.compile ~name:m.Mp.Mp_ast.name
+      ~degree_leaves:(Mp.Lower.degree_leaves low ~binned:false)
+      low.Mp.Lower.ir
+  in
+  (low, compiled)
+
+let setup_bindings ?(seed = 11) ~k_in low graph =
+  let n = G.Graph.n_nodes graph in
+  let env = { Dim.n; nnz = G.Graph.n_edges graph + n; k_in; k_out = 7 } in
+  let params = Gnn.Layer.init_params ~seed ~env low in
+  let h = Dense.random ~seed:(seed + 1) n k_in in
+  (env, Gnn.Layer.bindings ~graph ~h params)
+
+let bits_equal a b =
+  Array.length a = Array.length b
+  && (let ok = ref true in
+      Array.iteri
+        (fun i x ->
+          if Int64.bits_of_float x <> Int64.bits_of_float b.(i) then ok := false)
+        a;
+      !ok)
+
+(* Strict bitwise equality — workspace execution must not change a single
+   ulp, and must preserve even the signs of zeros. *)
+let value_bits_equal (a : Executor.value) (b : Executor.value) =
+  match (a, b) with
+  | Executor.Vdense x, Executor.Vdense y ->
+      x.Dense.rows = y.Dense.rows && x.Dense.cols = y.Dense.cols
+      && bits_equal x.Dense.data y.Dense.data
+  | Executor.Vdiag x, Executor.Vdiag y -> bits_equal x y
+  | Executor.Vsparse x, Executor.Vsparse y -> (
+      x.Csr.row_ptr = y.Csr.row_ptr
+      && x.Csr.col_idx = y.Csr.col_idx
+      &&
+      match (x.Csr.values, y.Csr.values) with
+      | None, None -> true
+      | Some v, Some w -> bits_equal v w
+      | _ -> false)
+  | _ -> false
+
+let timing = Executor.Simulate Granii_hw.Hw_profile.a100
+
+(* ---- workspace unit tests ---- *)
+
+let test_workspace_reuse () =
+  let ws = Workspace.create () in
+  let some = Some ws in
+  let a = Workspace.alloc some 100 in
+  check_true "alloc zero-fills" (Array.for_all (( = ) 0.) a);
+  a.(0) <- 42.;
+  Workspace.give_back some a;
+  let b = Workspace.alloc some 100 in
+  check_true "same buffer reused after give_back" (a == b);
+  check_true "reused buffer zero-filled again" (b.(0) = 0.);
+  let c = Workspace.alloc_uninit some 100 in
+  check_true "distinct buffer while first is issued" (not (c == b));
+  Workspace.reclaim ws;
+  let d = Workspace.alloc_uninit some 100 in
+  let e = Workspace.alloc_uninit some 100 in
+  check_true "reclaim returns every issued buffer"
+    ((d == b || d == c) && (e == b || e == c) && not (d == e));
+  let s = Workspace.stats ws in
+  check_int "issued tracked" 2 s.Workspace.issued;
+  check_int "issued words tracked" 200 s.Workspace.issued_words
+
+let test_workspace_exact_classes () =
+  let ws = Workspace.create () in
+  let some = Some ws in
+  let a = Workspace.alloc_uninit some 64 in
+  Workspace.give_back some a;
+  let b = Workspace.alloc_uninit some 65 in
+  check_true "a 65-word ask never returns a 64-word buffer" (not (a == b));
+  check_int "65-word buffer has exact length" 65 (Array.length b)
+
+let test_workspace_foreign_buffer () =
+  let ws = Workspace.create () in
+  let some = Some ws in
+  let foreign = Array.make 32 1. in
+  Workspace.give_back some foreign;
+  let a = Workspace.alloc_uninit some 32 in
+  check_true "give_back is a no-op on buffers the ws did not issue"
+    (not (a == foreign));
+  (* None workspace: plain allocation, give_back is a no-op *)
+  let plain = Workspace.alloc None 8 in
+  Workspace.give_back None plain;
+  check_true "None path allocates fresh zeroed arrays"
+    (Array.for_all (( = ) 0.) plain)
+
+let test_workspace_alloc_fill () =
+  let ws = Workspace.create () in
+  let some = Some ws in
+  let a = Workspace.alloc_fill some 3.5 10 in
+  check_true "alloc_fill fills" (Array.for_all (( = ) 3.5) a);
+  Workspace.give_back some a;
+  let b = Workspace.alloc_fill some (-1.) 10 in
+  check_true "refilled on reuse" (b == a && Array.for_all (( = ) (-1.)) b)
+
+(* ---- liveness unit tests ---- *)
+
+let test_liveness_gcn () =
+  let _, compiled = compile_model Mp.Mp_models.gcn in
+  List.iter
+    (fun (c : Codegen.ccand) ->
+      let plan = c.Codegen.plan in
+      let l = Liveness.analyze plan in
+      let n = List.length plan.Plan.steps in
+      (match Liveness.output l with
+      | Some o ->
+          check_true "output index in range" (o >= 0 && o < n);
+          check_int "output never dies" max_int (Liveness.last_use l o)
+      | None -> Alcotest.fail "computed plan must have a computed output");
+      (* every non-output value's last use is a later step (or itself when
+         unread), and it appears in exactly that step's dead list *)
+      let seen = Array.make n 0 in
+      for j = 0 to n - 1 do
+        List.iter
+          (fun i ->
+            seen.(i) <- seen.(i) + 1;
+            check_true "dead value's last_use is the freeing step"
+              (Liveness.last_use l i = j || (Liveness.last_use l i = -1 && i = j)))
+          (Liveness.dead_after l j)
+      done;
+      let dead_total = Array.fold_left ( + ) 0 seen in
+      check_int "every non-output value dies exactly once" (n - 1) dead_total;
+      check_true "max_live is positive and bounded"
+        (Liveness.max_live l >= 1 && Liveness.max_live l <= n))
+    compiled.Codegen.candidates
+
+(* ---- differential: workspace vs allocating execution ---- *)
+
+let test_workspace_bitwise (m : Mp.Mp_ast.model) () =
+  let graph = small_graph () in
+  let low, compiled = compile_model m in
+  let _, bindings = setup_bindings ~k_in:9 low graph in
+  let ws = Workspace.create () in
+  List.iter
+    (fun (c : Codegen.ccand) ->
+      let plan = c.Codegen.plan in
+      let reference = Executor.run ~timing ~graph ~bindings plan in
+      let with_ws = Executor.run ~workspace:ws ~timing ~graph ~bindings plan in
+      check_true
+        (Printf.sprintf "%s: workspace output bitwise equal" plan.Plan.name)
+        (value_bits_equal reference.Executor.output with_ws.Executor.output);
+      (* liveness recycling drops intermediates but must not change the
+         output *)
+      let recycled =
+        Executor.run ~workspace:ws ~keep_intermediates:false ~timing ~graph
+          ~bindings plan
+      in
+      check_true
+        (Printf.sprintf "%s: recycled output bitwise equal" plan.Plan.name)
+        (value_bits_equal reference.Executor.output recycled.Executor.output);
+      check_true "recycling drops intermediates"
+        (recycled.Executor.intermediates = []);
+      (* steady-state driver, fresh and warm arena *)
+      let iterated =
+        Executor.run_iterations ~workspace:ws ~timing ~graph ~bindings
+          ~iterations:3 plan
+      in
+      check_true
+        (Printf.sprintf "%s: run_iterations output bitwise equal" plan.Plan.name)
+        (value_bits_equal reference.Executor.output iterated.Executor.output))
+    compiled.Codegen.candidates
+
+let test_run_iterations_no_ws () =
+  let graph = small_graph () in
+  let low, compiled = compile_model Mp.Mp_models.gcn in
+  let _, bindings = setup_bindings ~k_in:9 low graph in
+  let c = List.hd compiled.Codegen.candidates in
+  let reference = Executor.run ~timing ~graph ~bindings c.Codegen.plan in
+  let iterated =
+    Executor.run_iterations ~timing ~graph ~bindings ~iterations:2 c.Codegen.plan
+  in
+  check_true "run_iterations without workspace matches run"
+    (value_bits_equal reference.Executor.output iterated.Executor.output);
+  check_true "iterations must be positive"
+    (try
+       ignore
+         (Executor.run_iterations ~timing ~graph ~bindings ~iterations:0
+            c.Codegen.plan);
+       false
+     with Invalid_argument _ -> true)
+
+(* A reused buffer must never leak one run's data into the next: execute
+   with two different inputs alternately on one arena and check each result
+   against the allocating path. *)
+let test_no_stale_aliasing () =
+  let graph = small_graph ~seed:7 () in
+  let low, compiled = compile_model Mp.Mp_models.gcn in
+  let _, bindings1 = setup_bindings ~seed:11 ~k_in:9 low graph in
+  let _, bindings2 = setup_bindings ~seed:23 ~k_in:9 low graph in
+  let ws = Workspace.create () in
+  let c = List.hd compiled.Codegen.candidates in
+  let plan = c.Codegen.plan in
+  let ref1 = Executor.run ~timing ~graph ~bindings:bindings1 plan in
+  let ref2 = Executor.run ~timing ~graph ~bindings:bindings2 plan in
+  for _ = 1 to 3 do
+    let r1 = Executor.run ~workspace:ws ~timing ~graph ~bindings:bindings1 plan in
+    check_true "input 1 result uncontaminated"
+      (value_bits_equal ref1.Executor.output r1.Executor.output);
+    let r2 = Executor.run ~workspace:ws ~timing ~graph ~bindings:bindings2 plan in
+    check_true "input 2 result uncontaminated"
+      (value_bits_equal ref2.Executor.output r2.Executor.output)
+  done;
+  let s = Workspace.stats ws in
+  check_true "arena was actually reused (hits observed)" (s.Workspace.hits > 0)
+
+(* The previous run's output physically lives in the arena: the next run on
+   the same workspace recycles it. This documents the invalidation contract
+   (copy anything you keep). *)
+let test_reclaim_invalidates () =
+  let graph = small_graph () in
+  let low, compiled = compile_model Mp.Mp_models.gcn in
+  let _, bindings = setup_bindings ~k_in:9 low graph in
+  let ws = Workspace.create () in
+  let c = List.hd compiled.Codegen.candidates in
+  let r1 = Executor.run ~workspace:ws ~timing ~graph ~bindings c.Codegen.plan in
+  let d1 = match r1.Executor.output with
+    | Executor.Vdense d -> d
+    | _ -> Alcotest.fail "dense expected"
+  in
+  let r2 = Executor.run ~workspace:ws ~timing ~graph ~bindings c.Codegen.plan in
+  let d2 = match r2.Executor.output with
+    | Executor.Vdense d -> d
+    | _ -> Alcotest.fail "dense expected"
+  in
+  check_true "second run reuses the first run's output buffer"
+    (d1.Dense.data == d2.Dense.data)
+
+(* ---- shared-subtree cache ---- *)
+
+let test_cache_hits_and_equality () =
+  let graph = small_graph () in
+  let low, compiled = compile_model Mp.Mp_models.gcn in
+  let _, bindings = setup_bindings ~k_in:9 low graph in
+  let cache = Executor.cache_create () in
+  List.iter
+    (fun (c : Codegen.ccand) ->
+      let plan = c.Codegen.plan in
+      let reference = Executor.run ~timing ~graph ~bindings plan in
+      let cached = Executor.run ~cache ~timing ~graph ~bindings plan in
+      check_true
+        (Printf.sprintf "%s: cached output bitwise equal" plan.Plan.name)
+        (value_bits_equal reference.Executor.output cached.Executor.output))
+    compiled.Codegen.candidates;
+  let hits, misses = Executor.cache_stats cache in
+  check_true "shared subtrees were actually served from the cache" (hits > 0);
+  check_true "distinct subtrees were computed once each" (misses > 0)
+
+let test_cache_timing_transparent () =
+  (* In simulate mode a cache hit must charge the same deterministic time
+     the step would have been charged uncached. *)
+  let graph = small_graph () in
+  let low, compiled = compile_model Mp.Mp_models.gcn in
+  let _, bindings = setup_bindings ~k_in:9 low graph in
+  let cache = Executor.cache_create () in
+  List.iter
+    (fun (c : Codegen.ccand) ->
+      let plan = c.Codegen.plan in
+      let plain = Executor.run ~seed:5 ~timing ~graph ~bindings plan in
+      let cached = Executor.run ~seed:5 ~cache ~timing ~graph ~bindings plan in
+      check_float ~eps:1e-12
+        (Printf.sprintf "%s: setup time unchanged by caching" plan.Plan.name)
+        plain.Executor.setup_time cached.Executor.setup_time;
+      check_float ~eps:1e-12
+        (Printf.sprintf "%s: iteration time unchanged by caching" plan.Plan.name)
+        plain.Executor.iteration_time cached.Executor.iteration_time)
+    compiled.Codegen.candidates
+
+let test_cache_workspace_exclusive () =
+  let graph = small_graph () in
+  let low, compiled = compile_model Mp.Mp_models.gcn in
+  let _, bindings = setup_bindings ~k_in:9 low graph in
+  let c = List.hd compiled.Codegen.candidates in
+  check_true "workspace + cache is rejected"
+    (try
+       ignore
+         (Executor.run
+            ~workspace:(Workspace.create ())
+            ~cache:(Executor.cache_create ())
+            ~timing ~graph ~bindings c.Codegen.plan);
+       false
+     with Invalid_argument _ -> true)
+
+let test_selector_measure () =
+  let graph = small_graph () in
+  let low, compiled = compile_model Mp.Mp_models.gcn in
+  let env, bindings = setup_bindings ~k_in:9 low graph in
+  let ranked, (hits, misses) =
+    Selector.measure ~timing ~graph ~bindings ~env ~iterations:100 compiled
+  in
+  check_true "at least one candidate measured" (ranked <> []);
+  let costs = List.map snd ranked in
+  check_true "sorted cheapest first"
+    (List.for_all2 ( <= )
+       (List.filteri (fun i _ -> i < List.length costs - 1) costs)
+       (List.tl costs));
+  check_true "sweep shares subtrees across candidates" (hits > 0 && misses > 0)
+
+(* ---- dense kernel paths exercised with a workspace ---- *)
+
+let test_tiled_gemm_bitwise () =
+  (* shapes straddling the blocking threshold and panel boundaries *)
+  List.iter
+    (fun (m, k, n) ->
+      let a = Dense.random ~seed:(m + k) m k and b = Dense.random ~seed:n k n in
+      let plain = Dense.matmul_unblocked a b in
+      let tiled = Dense.matmul a b in
+      check_true
+        (Printf.sprintf "gemm %dx%dx%d tiled = untiled bitwise" m k n)
+        (bits_equal plain.Dense.data tiled.Dense.data);
+      let ws = Workspace.create () in
+      let with_ws = Dense.matmul ~ws a b in
+      check_true
+        (Printf.sprintf "gemm %dx%dx%d ws path bitwise" m k n)
+        (bits_equal plain.Dense.data with_ws.Dense.data))
+    [ (5, 7, 3); (37, 41, 53); (64, 64, 64); (130, 17, 64); (96, 200, 99) ]
+
+let test_tiled_sparse_bitwise () =
+  let graph = G.Generators.erdos_renyi ~seed:9 ~n:120 ~avg_degree:6. () in
+  let a = G.Graph.with_self_loops graph in
+  let aw = Granii_sparse.Sparse_ops.scale_rows (G.Graph.norm_inv_sqrt graph) a in
+  let n = G.Graph.n_nodes graph in
+  List.iter
+    (fun k ->
+      let h = Dense.random ~seed:k n k in
+      let spmm_ref = Granii_sparse.Spmm.run a h in
+      let spmm_tiled = Granii_sparse.Spmm.run ~tile_k:7 a h in
+      check_true
+        (Printf.sprintf "spmm k=%d tiled bitwise" k)
+        (bits_equal spmm_ref.Dense.data spmm_tiled.Dense.data);
+      let sddmm_ref = Granii_sparse.Sddmm.dot_rows aw h h in
+      let sddmm_tiled = Granii_sparse.Sddmm.dot_rows ~tile_k:7 aw h h in
+      check_true
+        (Printf.sprintf "sddmm k=%d tiled bitwise" k)
+        (match (sddmm_ref.Csr.values, sddmm_tiled.Csr.values) with
+        | Some v, Some w -> bits_equal v w
+        | _ -> false))
+    [ 4; 13; 32 ]
+
+let model_case m =
+  Alcotest.test_case
+    (Printf.sprintf "%s workspace bitwise" m.Mp.Mp_ast.name)
+    `Quick (test_workspace_bitwise m)
+
+let suite =
+  [ Alcotest.test_case "workspace reuse & reclaim" `Quick test_workspace_reuse;
+    Alcotest.test_case "workspace exact size classes" `Quick test_workspace_exact_classes;
+    Alcotest.test_case "workspace foreign buffers" `Quick test_workspace_foreign_buffer;
+    Alcotest.test_case "workspace alloc_fill" `Quick test_workspace_alloc_fill;
+    Alcotest.test_case "liveness on GCN candidates" `Quick test_liveness_gcn ]
+  @ List.map model_case Mp.Mp_models.all
+  @ [ Alcotest.test_case "run_iterations without workspace" `Quick test_run_iterations_no_ws;
+      Alcotest.test_case "no stale aliasing across runs" `Quick test_no_stale_aliasing;
+      Alcotest.test_case "reclaim invalidates previous output" `Quick test_reclaim_invalidates;
+      Alcotest.test_case "subtree cache hits & equality" `Quick test_cache_hits_and_equality;
+      Alcotest.test_case "subtree cache timing-transparent" `Quick test_cache_timing_transparent;
+      Alcotest.test_case "workspace + cache rejected" `Quick test_cache_workspace_exclusive;
+      Alcotest.test_case "selector measure sweep" `Quick test_selector_measure;
+      Alcotest.test_case "tiled gemm bitwise" `Quick test_tiled_gemm_bitwise;
+      Alcotest.test_case "tiled sparse kernels bitwise" `Quick test_tiled_sparse_bitwise ]
