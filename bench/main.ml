@@ -22,6 +22,7 @@ let benches =
     ("real", "Validation: measured host CPU vs simulator", Bench_real.run);
     ("micro", "Bechamel microbenchmarks of the real kernels", Bench_micro.run);
     ("mem", "Memory: workspace reuse, tiled GEMM, subtree cache", Bench_memory.run);
+    ("locality", "Locality: reordering + hybrid format speedups and amortization", Bench_locality.run);
     ("ext", "Extensions: multi-head GAT, executed stacks, deep hops", Bench_ext.run) ]
 
 let usage () =

@@ -184,12 +184,60 @@ let select_cmd =
                 workspace arena: outputs are bitwise identical, steady-state \
                 allocation drops to zero.")
   in
+  let reorder =
+    Arg.(value & opt string "auto"
+         & info [ "reorder" ] ~docv:"STRATEGY"
+             ~doc:
+               "Vertex ordering: $(b,auto) (cost model decides), \
+                $(b,identity), $(b,degree), $(b,bfs) or $(b,rcm).")
+  in
+  let format_ =
+    Arg.(value & opt string "auto"
+         & info [ "format" ] ~docv:"FORMAT"
+             ~doc:
+               "Sparse format for the g-kernels: $(b,auto) (cost model \
+                decides), $(b,csr) (forces the legacy path) or $(b,hybrid) \
+                (ELL slab + CSR tail).")
+  in
   let run model graph k_in k_out profile iterations system analytic threads models_file
-      execute workspace =
+      execute workspace reorder format_ =
     if threads < 1 then begin
       Printf.eprintf "--threads expects a positive integer\n";
       exit 1
     end;
+    (* The --reorder/--format axes restrict the configuration space the
+       joint argmin searches; "auto" leaves an axis free. *)
+    let strategies =
+      if reorder = "auto" then G.Reorder.all_strategies
+      else
+        match G.Reorder.strategy_of_string reorder with
+        | Some s -> [ s ]
+        | None ->
+            Printf.eprintf
+              "--reorder expects auto, identity, degree, bfs or rcm\n";
+            exit 1
+    in
+    let formats =
+      if format_ = "auto" then Locality.all_formats
+      else
+        match Locality.format_of_string format_ with
+        | Some f -> [ f ]
+        | None ->
+            Printf.eprintf "--format expects auto, csr or hybrid\n";
+            exit 1
+    in
+    let configs =
+      let cross =
+        List.concat_map
+          (fun strategy ->
+            List.map (fun format -> { Locality.strategy; format }) formats)
+          strategies
+      in
+      (* keep the default (legacy) configuration first so it wins ties *)
+      if List.exists Locality.is_default cross then
+        Locality.default :: List.filter (fun c -> not (Locality.is_default c)) cross
+      else cross
+    in
     let sys = Sys_.System.find system in
     let low, compiled, _ = compile_model model ~binned:sys.Sys_.System.binned_degrees in
     let cost_model =
@@ -203,9 +251,11 @@ let select_cmd =
             Cost_model.train ~profile (Profiling.collect ~profile ())
           end
     in
-    let decision =
-      Granii.optimize ~cost_model ~graph ~k_in ~k_out ~iterations ~threads compiled
+    let localized =
+      Granii.optimize_localized ~cost_model ~graph ~k_in ~k_out ~iterations
+        ~threads ~configs compiled
     in
+    let decision = localized.Granii.ldecision in
     Printf.printf
       "input: %s (n=%d nnz=%d), %d -> %d, cost model %s, %d iterations, %d thread%s\n"
       graph.G.Graph.name (G.Graph.n_nodes graph) (G.Graph.n_edges graph) k_in k_out
@@ -215,6 +265,12 @@ let select_cmd =
       (1000. *. decision.Granii.overhead)
       (1000. *. decision.Granii.feats.Featurizer.extraction_time)
       (1000. *. decision.Granii.choice.Selector.selection_time);
+    Printf.printf "layout: %s" (Locality.config_to_string localized.Granii.config);
+    if not (Locality.is_default localized.Granii.config) then
+      Printf.printf " (%.3f ms predicted vs %.3f ms legacy)"
+        (1000. *. decision.Granii.choice.Selector.predicted_cost)
+        (1000. *. localized.Granii.base_cost);
+    print_newline ();
     let env = env_of graph k_in k_out in
     let ranked =
       Selector.rank ~cost_model ~feats:decision.Granii.feats ~env ~iterations compiled
@@ -246,7 +302,8 @@ let select_cmd =
           if workspace then Some (Granii_tensor.Workspace.create ()) else None
         in
         let run_once () =
-          Executor.run_iterations ?workspace:ws ~timing:Executor.Measure ~graph
+          Executor.run_iterations ?workspace:ws
+            ~locality:localized.Granii.config ~timing:Executor.Measure ~graph
             ~bindings ~iterations:iters plan
         in
         (* warm-up run so the measured one sees steady state (and, with
@@ -258,11 +315,12 @@ let select_cmd =
         let per x = x /. float_of_int iters in
         Printf.printf
           "executed %s on host CPU: %d iterations%s\n\
-          \  setup %.3f ms, %.3f ms/iteration\n\
+          \  setup %.3f ms, layout %.3f ms, %.3f ms/iteration\n\
           \  GC: %.0f minor + %.0f major words/iteration\n"
           plan.Plan.name iters
           (if workspace then " (workspace arena)" else "")
           (1000. *. r.Executor.setup_time)
+          (1000. *. r.Executor.layout_time)
           (1000. *. r.Executor.iteration_time)
           (per (g1.Gc.minor_words -. g0.Gc.minor_words))
           (per (g1.Gc.major_words -. g0.Gc.major_words));
@@ -279,7 +337,8 @@ let select_cmd =
     (Cmd.info "select"
        ~doc:"Run the online stage: featurize an input and rank the candidates")
     Term.(const run $ model_pos $ graph $ k_in $ k_out $ hw $ iterations $ system
-          $ analytic $ threads $ models_file $ execute $ workspace)
+          $ analytic $ threads $ models_file $ execute $ workspace $ reorder
+          $ format_)
 
 let baseline_cmd =
   let k_in = Arg.(value & opt int 256 & info [ "kin" ] ~doc:"Input embedding size.") in

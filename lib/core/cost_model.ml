@@ -63,6 +63,10 @@ let name = function
   | Analytic profile -> "analytic-" ^ profile.Granii_hw.Hw_profile.name
   | Flops -> "flops"
 
+let profile = function
+  | Learned { profile; _ } | Analytic profile -> Some profile
+  | Flops -> None
+
 module Sexp = Granii_ml.Sexp_lite
 
 let save t path =

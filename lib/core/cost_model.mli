@@ -33,6 +33,11 @@ val predict_plan :
 
 val name : t -> string
 
+val profile : t -> Granii_hw.Hw_profile.t option
+(** The hardware profile the model targets; [None] for {!flops_only}, which
+    has no hardware terms (the locality adjustment is then zero and joint
+    selection degenerates to the legacy per-primitive choice). *)
+
 val models : t -> (string * Granii_ml.Gbrt.t) list
 (** The underlying learned models ([[]] for ablations) — exposed for
     accuracy evaluation. *)

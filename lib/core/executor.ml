@@ -6,6 +6,8 @@ module Coo = Granii_sparse.Coo
 module Spmm = Granii_sparse.Spmm
 module Sddmm = Granii_sparse.Sddmm
 module Sparse_ops = Granii_sparse.Sparse_ops
+module Hybrid = Granii_sparse.Hybrid
+module Reorder = Granii_graph.Reorder
 module K = Granii_hw.Kernel_model
 
 type value =
@@ -19,6 +21,7 @@ type report = {
   output : value;
   setup_time : float;
   iteration_time : float;
+  layout_time : float;
   per_step : (Primitive.t * Plan.phase * float) list;
   intermediates : (int * value) list;
 }
@@ -84,16 +87,29 @@ let apply_nonlinear ?pool ?ws kind d =
   | Matrix_ir.Edge_softmax -> err "edge_softmax reached dense map"
 
 (* Dispatch on argument arrays so the steady-state loop can reuse one
-   preallocated array per step instead of rebuilding argument lists. *)
-let exec_prim ?pool ?ws (prim : Primitive.t) (graph : Granii_graph.Graph.t)
+   preallocated array per step instead of rebuilding argument lists.
+   [?hybrid] is the locality engine's format lookup: when it returns a
+   hybrid form for a sparse operand (iteration-stable matrices only — the
+   run drivers register bindings and setup outputs), the g-kernels run from
+   the slab+tail layout; the results are bitwise identical to the Csr
+   kernels, so the switch is invisible to everything downstream. *)
+let exec_prim ?pool ?ws ?hybrid (prim : Primitive.t) (graph : Granii_graph.Graph.t)
     (args : value array) =
+  let hybrid_of m = match hybrid with None -> None | Some f -> f m in
   match (prim, args) with
   | Primitive.Gemm _, [| a; b |] -> Vdense (Dense.matmul ?pool ?ws (dense a) (dense b))
-  | Primitive.Spmm _, [| a; b |] -> Vdense (Spmm.run ?pool ?ws (sparse a) (dense b))
+  | Primitive.Spmm _, [| a; b |] -> (
+      let m = sparse a in
+      match hybrid_of m with
+      | Some h -> Vdense (Hybrid.spmm ?pool ?ws h (dense b))
+      | None -> Vdense (Spmm.run ?pool ?ws m (dense b)))
   | Primitive.Dense_sparse_mm _, [| a; b |] ->
       Vdense (Spmm.run_transposed ?pool ?ws (dense a) (sparse b))
-  | Primitive.Sddmm_rank1, [| dl; a; dr |] ->
-      Vsparse (Sddmm.rank1 ?pool ?ws (sparse a) (diag dl) (diag dr))
+  | Primitive.Sddmm_rank1, [| dl; a; dr |] -> (
+      let m = sparse a in
+      match hybrid_of m with
+      | Some h -> Vsparse (Hybrid.rank1 ?pool ?ws h (diag dl) (diag dr))
+      | None -> Vsparse (Sddmm.rank1 ?pool ?ws m (diag dl) (diag dr)))
   | Primitive.Diag_scale { side = `Left }, [| d; a |] ->
       Vsparse (Sparse_ops.scale_rows ?pool ?ws (diag d) (sparse a))
   | Primitive.Diag_scale { side = `Right }, [| a; d |] ->
@@ -245,14 +261,140 @@ let shares_backing a v =
 let sim_threads pool =
   match pool with None -> 1 | Some p -> Granii_tensor.Parallel.threads p
 
-let run ?(seed = 0) ?pool ?workspace ?cache ?(keep_intermediates = true) ~timing
-    ~graph ~bindings (plan : Plan.t) =
+(* ---- locality boundary ----
+
+   Under a non-default [Locality.config] the run is bracketed: graph and
+   bindings are permuted on entry, the plan executes entirely in the new id
+   space (optionally from the hybrid format), and outputs are
+   inverse-permuted on exit. Values are classified by shape — the rule the
+   GNN binding convention establishes: an [n x _] dense matrix or length-[n]
+   diagonal is node-indexed (permute rows), an [n x n] sparse matrix is
+   graph-shaped (permute symmetrically), everything else (weight matrices)
+   is id-free. All of it is timed into [layout_time], separate from
+   setup/iteration so the bench can report amortization honestly. *)
+
+let permute_value r n = function
+  | Vdense d when d.Dense.rows = n -> Vdense (Reorder.permute_dense_rows r d)
+  | Vsparse s when s.Csr.n_rows = n && s.Csr.n_cols = n ->
+      Vsparse (Reorder.permute_csr r s)
+  | Vdiag v when Array.length v = n -> Vdiag (Reorder.permute_vector r v)
+  | v -> v
+
+let inverse_value r inv_r n = function
+  | Vdense d when d.Dense.rows = n -> Vdense (Reorder.inverse_dense_rows r d)
+  | Vsparse s when s.Csr.n_rows = n && s.Csr.n_cols = n ->
+      Vsparse (Reorder.permute_csr inv_r s)
+  | Vdiag v when Array.length v = n -> Vdiag (Reorder.inverse_vector r v)
+  | v -> v
+
+(* Mutable locality state for one run: the computed ordering (if any) and the
+   memo of hybrid conversions, keyed by physical identity — only
+   iteration-stable matrices (bindings, setup-step outputs) are registered,
+   so per-iteration-fresh sparse values keep the Csr path and never pay a
+   per-iteration conversion. *)
+type locality_state = {
+  config : Locality.config;
+  reorder : Reorder.t option;
+  inverse : Reorder.t option; (* the inverse ordering, for Csr outputs *)
+  mutable hybrids : (Csr.t * Hybrid.t) list;
+  mutable layout : float;
+}
+
+let locality_enter ~locality ~graph ~bindings =
+  if Locality.is_default locality then
+    (None, graph, bindings)
+  else begin
+    let n = Granii_graph.Graph.n_nodes graph in
+    let (st, graph', bindings'), t =
+      Granii_hw.Timer.measure (fun () ->
+          match locality.Locality.strategy with
+          | Granii_graph.Reorder.Identity ->
+              ( { config = locality;
+                  reorder = None;
+                  inverse = None;
+                  hybrids = [];
+                  layout = 0. },
+                graph,
+                bindings )
+          | strategy ->
+              let r =
+                Reorder.compute strategy graph.Granii_graph.Graph.adj
+              in
+              let inv = Reorder.of_perm ~strategy r.Reorder.inv in
+              ( { config = locality;
+                  reorder = Some r;
+                  inverse = Some inv;
+                  hybrids = [];
+                  layout = 0. },
+                Reorder.apply_graph r graph,
+                List.map (fun (name, v) -> (name, permute_value r n v)) bindings
+              ))
+    in
+    st.layout <- t;
+    (Some st, graph', bindings')
+  end
+
+(* Register an iteration-stable sparse value for hybrid execution; the
+   conversion cost is layout work, not kernel time. *)
+let locality_register st v =
+  match st with
+  | None -> ()
+  | Some st ->
+      if st.config.Locality.format = Locality.Hybrid then begin
+        match v with
+        | Vsparse s
+          when s.Csr.n_rows = s.Csr.n_cols
+               && not (List.exists (fun (m, _) -> m == s) st.hybrids) ->
+            let h, t = Granii_hw.Timer.measure (fun () -> Hybrid.of_csr s) in
+            st.layout <- st.layout +. t;
+            st.hybrids <- (s, h) :: st.hybrids
+        | _ -> ()
+      end
+
+let locality_lookup st =
+  match st with
+  | None -> None
+  | Some st ->
+      if st.config.Locality.format = Locality.Hybrid then
+        Some
+          (fun m ->
+            List.find_opt (fun (m', _) -> m' == m) st.hybrids
+            |> Option.map snd)
+      else None
+
+let locality_exit st ~n output intermediates =
+  match st with
+  | None -> (output, intermediates, 0.)
+  | Some st -> (
+      match (st.reorder, st.inverse) with
+      | Some r, Some inv_r ->
+          let (o, ints), t =
+            Granii_hw.Timer.measure (fun () ->
+                ( inverse_value r inv_r n output,
+                  List.map (fun (i, v) -> (i, inverse_value r inv_r n v)) intermediates ))
+          in
+          st.layout <- st.layout +. t;
+          (o, ints, st.layout)
+      | _ -> (output, intermediates, st.layout))
+
+let run ?(seed = 0) ?pool ?workspace ?cache ?(keep_intermediates = true)
+    ?(locality = Locality.default) ~timing ~graph ~bindings (plan : Plan.t) =
   (match (workspace, cache) with
   | Some _, Some _ ->
       invalid_arg
         "Executor.run: ?workspace and ?cache cannot be combined (cached values \
          would alias arena buffers that the next reclaim recycles)"
   | _ -> ());
+  (match cache with
+  | Some _ when not (Locality.is_default locality) ->
+      invalid_arg
+        "Executor.run: ?cache and a non-default ?locality cannot be combined \
+         (cached values live in a different vertex id space)"
+  | _ -> ());
+  let orig_n = Granii_graph.Graph.n_nodes graph in
+  let lstate, graph, bindings = locality_enter ~locality ~graph ~bindings in
+  List.iter (fun (_, v) -> locality_register lstate v) bindings;
+  let hybrid = locality_lookup lstate in
   let ws = workspace in
   (match ws with Some w -> Workspace.reclaim w | None -> ());
   let steps = Array.of_list plan.Plan.steps in
@@ -334,7 +476,8 @@ let run ?(seed = 0) ?pool ?workspace ?cache ?(keep_intermediates = true) ~timing
             (v, t)
         | None, Measure ->
             let v, t =
-              Granii_hw.Timer.measure (fun () -> exec_prim ?pool ?ws s.Plan.prim graph args)
+              Granii_hw.Timer.measure (fun () ->
+                  exec_prim ?pool ?ws ?hybrid s.Plan.prim graph args)
             in
             (match cache with
             | Some c ->
@@ -343,7 +486,7 @@ let run ?(seed = 0) ?pool ?workspace ?cache ?(keep_intermediates = true) ~timing
             | None -> ());
             (v, t)
         | None, Simulate profile ->
-            let v = exec_prim ?pool ?ws s.Plan.prim graph args in
+            let v = exec_prim ?pool ?ws ?hybrid s.Plan.prim graph args in
             let kernels = kernels_of_step s.Plan.prim graph args v in
             let t =
               List.fold_left
@@ -361,6 +504,8 @@ let run ?(seed = 0) ?pool ?workspace ?cache ?(keep_intermediates = true) ~timing
             (v, t)
       in
       slots.(s.Plan.idx) <- Some value;
+      (* setup outputs are iteration-stable: candidates for the hybrid form *)
+      if s.Plan.phase = Plan.Setup then locality_register lstate value;
       (match s.Plan.phase with
       | Plan.Setup -> setup_time := !setup_time +. elapsed
       | Plan.Per_iteration -> iteration_time := !iteration_time +. elapsed);
@@ -378,9 +523,13 @@ let run ?(seed = 0) ?pool ?workspace ?cache ?(keep_intermediates = true) ~timing
     end
     else []
   in
+  let output, intermediates, layout_time =
+    locality_exit lstate ~n:orig_n output intermediates
+  in
   { output;
     setup_time = !setup_time;
     iteration_time = !iteration_time;
+    layout_time;
     per_step = List.rev !per_step;
     intermediates }
 
@@ -396,10 +545,15 @@ let run ?(seed = 0) ?pool ?workspace ?cache ?(keep_intermediates = true) ~timing
    per-step minor allocation beyond what the kernels themselves do. *)
 
 let run_iterations ?(seed = 0) ?pool ?workspace ?(keep_intermediates = true)
-    ~timing ~graph ~bindings ~iterations (plan : Plan.t) =
+    ?(locality = Locality.default) ~timing ~graph ~bindings ~iterations
+    (plan : Plan.t) =
   if iterations < 1 then invalid_arg "Executor.run_iterations: iterations < 1";
   let ws = workspace in
   (match ws with Some w -> Workspace.reclaim w | None -> ());
+  let orig_n = Granii_graph.Graph.n_nodes graph in
+  let lstate, graph, bindings = locality_enter ~locality ~graph ~bindings in
+  List.iter (fun (_, v) -> locality_register lstate v) bindings;
+  let hybrid = locality_lookup lstate in
   let steps = Array.of_list plan.Plan.steps in
   let n = Array.length steps in
   let slots : value option array = Array.make n None in
@@ -438,10 +592,10 @@ let run_iterations ?(seed = 0) ?pool ?workspace ?(keep_intermediates = true)
     match timing with
     | Measure ->
         let t0 = Granii_hw.Timer.now () in
-        let v = exec_prim ?pool ?ws s.Plan.prim graph args in
+        let v = exec_prim ?pool ?ws ?hybrid s.Plan.prim graph args in
         (v, Granii_hw.Timer.now () -. t0)
     | Simulate profile ->
-        let v = exec_prim ?pool ?ws s.Plan.prim graph args in
+        let v = exec_prim ?pool ?ws ?hybrid s.Plan.prim graph args in
         let t =
           List.fold_left
             (fun acc k -> acc +. K.time_noisy ~threads profile ~seed:(seed + s.Plan.idx) k)
@@ -457,6 +611,7 @@ let run_iterations ?(seed = 0) ?pool ?workspace ?(keep_intermediates = true)
       if not is_iter.(i) then begin
         let v, t = exec_step s (refresh_args i) in
         slots.(i) <- Some v;
+        locality_register lstate v;
         per_step_time.(i) <- t;
         setup_time := !setup_time +. t
       end)
@@ -518,9 +673,13 @@ let run_iterations ?(seed = 0) ?pool ?workspace ?(keep_intermediates = true)
     end
     else []
   in
+  let output, intermediates, layout_time =
+    locality_exit lstate ~n:orig_n output intermediates
+  in
   { output;
     setup_time = !setup_time;
     iteration_time = !total_iter_time /. float_of_int iterations;
+    layout_time;
     per_step;
     intermediates }
 

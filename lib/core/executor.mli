@@ -30,7 +30,31 @@
     selection or profiling sweep executes each common subexpression once per
     input rather than once per candidate plan. A cache is only valid for one
     (graph, bindings) pair. [?workspace] and [?cache] cannot be combined:
-    cached values would alias arena buffers that the next reclaim recycles. *)
+    cached values would alias arena buffers that the next reclaim recycles.
+
+    {2 Locality}
+
+    With [?locality] (a non-default {!Locality.config}), the executor runs
+    the plan under a graph layout chosen by the cost model: the graph (and
+    every n-row/n-sized binding) is symmetrically permuted by the configured
+    {!Granii_graph.Reorder} strategy before execution, square sparse
+    operands are converted to the {!Granii_sparse.Hybrid} format when the
+    configured format asks for it, and the output plus all intermediates are
+    inverse-permuted back to the original vertex order before the report is
+    built. The permutation is {e stable} (each row keeps its entry order),
+    so for structure-preserving plans (every GCN/GAT composition) the
+    returned values are bitwise identical to an unpermuted run; plans that
+    re-sort sparse structure (e.g. GIN's [Sparse_add]) may differ in entry
+    order but not in semantics. Bindings are classified by shape: n×_ dense
+    values are row-permuted, n×n sparse values symmetrically permuted,
+    length-n diagonals permuted, everything else passed through — a k×k
+    weight matrix is only at risk when k = n, which the compositions never
+    produce. Layout work (reordering, hybrid conversion, inverse
+    permutation) is timed into [layout_time], never into setup or iteration
+    time. Hybrid conversion is memoized per physical value and applied to
+    bindings and setup-phase outputs only; per-iteration sparse values fall
+    back to CSR. [?cache] cannot be combined with a non-default [?locality]
+    (cached values live in the permuted id space of their first run). *)
 
 type value =
   | Vdense of Granii_tensor.Dense.t
@@ -43,6 +67,10 @@ type report = {
   output : value;
   setup_time : float;
   iteration_time : float;
+  layout_time : float;
+      (** time spent on locality work: graph reordering, binding
+          permutation, hybrid-format conversion and the final inverse
+          permutation; [0.] under {!Locality.default} *)
   per_step : (Primitive.t * Plan.phase * float) list;
   intermediates : (int * value) list;
       (** every step's output, by step index — consumed by the reverse pass
@@ -77,7 +105,7 @@ val apply :
 val run :
   ?seed:int -> ?pool:Granii_tensor.Parallel.t ->
   ?workspace:Granii_tensor.Workspace.t -> ?cache:cache ->
-  ?keep_intermediates:bool -> timing:timing ->
+  ?keep_intermediates:bool -> ?locality:Locality.config -> timing:timing ->
   graph:Granii_graph.Graph.t ->
   bindings:(string * value) list -> Plan.t -> report
 (** Executes the plan once. Leaf names are resolved in [bindings]; the
@@ -91,7 +119,8 @@ val run :
 val run_iterations :
   ?seed:int -> ?pool:Granii_tensor.Parallel.t ->
   ?workspace:Granii_tensor.Workspace.t -> ?keep_intermediates:bool ->
-  timing:timing -> graph:Granii_graph.Graph.t ->
+  ?locality:Locality.config -> timing:timing ->
+  graph:Granii_graph.Graph.t ->
   bindings:(string * value) list -> iterations:int -> Plan.t -> report
 (** Steady-state driver: setup steps run once, per-iteration steps run
     [iterations] times with fixed bindings, re-using preallocated argument

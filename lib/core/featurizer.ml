@@ -2,18 +2,25 @@ module Gf = Granii_graph.Graph_features
 
 type t = {
   graph_features : float array;
+  stats : Gf.t;
   extraction_time : float;
   threads : int;
 }
 
 let extract ?(threads = 1) graph =
-  let features, extraction_time =
+  let stats, extraction_time =
     Granii_hw.Timer.measure (fun () -> Gf.extract graph)
   in
-  { graph_features = Gf.to_array features; extraction_time; threads = max 1 threads }
+  { graph_features = Gf.to_array stats;
+    stats;
+    extraction_time;
+    threads = max 1 threads }
 
 let of_features ?(threads = 1) f =
-  { graph_features = Gf.to_array f; extraction_time = 0.; threads = max 1 threads }
+  { graph_features = Gf.to_array f;
+    stats = f;
+    extraction_time = 0.;
+    threads = max 1 threads }
 
 let with_threads t threads = { t with threads = max 1 threads }
 

@@ -39,14 +39,35 @@ val optimize :
     it enters the cost-model features, so selection can rank compositions
     differently at different parallelism levels. *)
 
+type localized_decision = {
+  ldecision : decision;      (** the winning candidate, scored jointly *)
+  config : Locality.config;  (** the winning {e ordering × format} layout *)
+  base_cost : float;
+      (** the winner's predicted cost under {!Locality.default}; the
+          difference to [ldecision.choice.predicted_cost] is the layout gain
+          the model claims *)
+}
+
+val optimize_localized :
+  cost_model:Cost_model.t -> graph:Granii_graph.Graph.t -> k_in:int ->
+  k_out:int -> ?iterations:int -> ?threads:int ->
+  ?configs:Locality.config list -> Codegen.t -> localized_decision
+(** {!optimize} with the layout axes in the argmin: every candidate is
+    scored under every {!Locality.config} in [configs] (default: all of
+    them) via {!Selector.select_localized}. Pass a singleton [configs] to
+    force a layout, or restrict one axis (the CLI's [--reorder]/[--format]).
+    With a profile-less cost model the layout adjustment is zero and the
+    result coincides with {!optimize}. Feed [config] to {!execute}'s
+    [?locality]. *)
+
 val execute :
   ?seed:int -> ?pool:Granii_tensor.Parallel.t ->
-  ?workspace:Granii_tensor.Workspace.t -> timing:Executor.timing ->
-  graph:Granii_graph.Graph.t ->
+  ?workspace:Granii_tensor.Workspace.t -> ?locality:Locality.config ->
+  timing:Executor.timing -> graph:Granii_graph.Graph.t ->
   bindings:(string * Executor.value) list -> decision -> Executor.report
-(** Runs the selected plan, on the multicore engine when [?pool] is given
-    and with arena-allocated buffers when [?workspace] is given (see
-    {!Executor.run}). *)
+(** Runs the selected plan, on the multicore engine when [?pool] is given,
+    with arena-allocated buffers when [?workspace] is given, and under the
+    chosen graph layout when [?locality] is given (see {!Executor.run}). *)
 
 val simulated_overhead :
   profile:Granii_hw.Hw_profile.t -> env:Dim.env -> float

@@ -43,6 +43,104 @@ let measure ?seed ?pool ~timing ~graph ~bindings ~env ~iterations
   in
   (List.sort (fun (_, a) (_, b) -> compare a b) timed, Executor.cache_stats cache)
 
+type localized_choice = {
+  lchoice : choice;
+  config : Locality.config;
+  base_cost : float;
+      (* predicted cost of the same candidate under the default config *)
+}
+
+(* Joint {ordering × format × candidate} argmin. The base prediction only
+   depends on the candidate; each configuration's analytic layout
+   adjustment is applied as a {e relative} factor — the analytic model is
+   consulted for how much the layout changes the plan, and that ratio
+   scales the cost model's own base prediction. For the [Analytic] model
+   the two scales coincide and this reduces to [base + adjustment]; for a
+   [Learned] model (GBRT log-runtime scale) an absolute analytic delta
+   could dwarf the base and go negative. The profile-less Flops model has
+   no layout terms at all — the minimum is then the legacy choice. The
+   comparison is a strict [<] with the default configuration enumerated
+   first, so a configuration must be predicted strictly cheaper to
+   displace the legacy path. *)
+let rank_localized ~cost_model ~feats ~env ~iterations ?(configs = Locality.all_configs)
+    (compiled : Codegen.t) =
+  let scenario = scenario_of ~k_in:env.Dim.k_in ~k_out:env.Dim.k_out in
+  let cands = Codegen.for_scenario compiled scenario in
+  let profile = Cost_model.profile cost_model in
+  let threads = feats.Featurizer.threads in
+  let stats = feats.Featurizer.stats in
+  let scored =
+    List.concat_map
+      (fun (c : Codegen.ccand) ->
+        let base =
+          Cost_model.predict_plan cost_model feats ~env ~iterations
+            c.Codegen.plan
+        in
+        let analytic_base =
+          match profile with
+          | None -> 0.
+          | Some p ->
+              Cost_model.predict_plan (Cost_model.analytic p) feats ~env
+                ~iterations c.Codegen.plan
+        in
+        List.map
+          (fun config ->
+            let adjusted =
+              match profile with
+              | None -> base
+              | Some p ->
+                  let adj =
+                    Locality.plan_adjustment ~threads p ~stats ~env ~iterations
+                      config c.Codegen.plan
+                  in
+                  if adj = 0. then base
+                  else if analytic_base > 0. then
+                    (* layout effects never flip a cost's sign: floor the
+                       relative change well above zero *)
+                    base
+                    *. Float.max 0.05
+                         ((analytic_base +. adj) /. analytic_base)
+                  else base +. adj
+            in
+            (c, config, base, adjusted))
+          configs)
+      cands
+  in
+  List.stable_sort (fun (_, _, _, a) (_, _, _, b) -> compare a b) scored
+
+let select_localized ~cost_model ~feats ~env ~iterations ?configs compiled =
+  let result, selection_time =
+    Granii_hw.Timer.measure (fun () ->
+        match
+          rank_localized ~cost_model ~feats ~env ~iterations ?configs compiled
+        with
+        | [] ->
+            invalid_arg
+              (Printf.sprintf
+                 "Selector.select_localized: no candidate for scenario in %s"
+                 compiled.Codegen.model_name)
+        | (c0, cfg0, base0, cost0) :: rest ->
+            let (c, cfg, base, cost), considered =
+              (* stable sort + default-first enumeration already favors the
+                 legacy path on ties; fold with strict < for clarity *)
+              List.fold_left
+                (fun (((_, _, _, bc) as best), n) ((_, _, _, cc) as cand) ->
+                  ((if cc < bc then cand else best), n + 1))
+                ((c0, cfg0, base0, cost0), 1)
+                rest
+            in
+            (c, cfg, base, cost, considered))
+  in
+  let candidate, config, base_cost, predicted_cost, considered = result in
+  { lchoice =
+      { candidate;
+        predicted_cost;
+        selection_time;
+        considered;
+        used_cost_models = considered > 1 };
+    config;
+    base_cost }
+
 let select ~cost_model ~feats ~env ~iterations compiled =
   let result, selection_time =
     Granii_hw.Timer.measure (fun () ->

@@ -14,6 +14,14 @@ type choice = {
   used_cost_models : bool; (** [false] on the embedding-size fast path *)
 }
 
+type localized_choice = {
+  lchoice : choice;          (** the winning candidate, scored jointly *)
+  config : Locality.config;  (** the winning layout configuration *)
+  base_cost : float;
+      (** the same candidate's predicted cost under {!Locality.default} —
+          [predicted_cost - base_cost] is the layout gain the model claims *)
+}
+
 val scenario_of : k_in:int -> k_out:int -> Dim.scenario
 
 val select :
@@ -28,6 +36,30 @@ val rank :
   iterations:int -> Codegen.t -> (Codegen.ccand * float) list
 (** All scenario-compatible candidates with predicted costs, cheapest first
     (diagnostic view of the same decision). *)
+
+val select_localized :
+  cost_model:Cost_model.t -> feats:Featurizer.t -> env:Dim.env ->
+  iterations:int -> ?configs:Locality.config list -> Codegen.t ->
+  localized_choice
+(** Joint {e {ordering × format × candidate}} selection: every candidate is
+    scored under every configuration in [configs] (default:
+    {!Locality.all_configs}), where a configuration's score is the base
+    plan prediction scaled by the {e relative} analytic layout change
+    ({!Locality.plan_adjustment} over the analytic plan cost — exactly
+    [base + adjustment] for the analytic model, and scale-invariant for
+    learned models whose predictions live on their own scale).
+    Strict-minimum with the default configuration first, so the legacy
+    path wins all ties; with a profile-less cost model every adjustment is
+    zero and the result coincides with {!select}. Pass a singleton
+    [configs] to force a configuration (the CLI's
+    [--reorder]/[--format]). *)
+
+val rank_localized :
+  cost_model:Cost_model.t -> feats:Featurizer.t -> env:Dim.env ->
+  iterations:int -> ?configs:Locality.config list -> Codegen.t ->
+  (Codegen.ccand * Locality.config * float * float) list
+(** Every (candidate, config) pair as [(cand, config, base, adjusted)],
+    cheapest adjusted cost first. *)
 
 val measure :
   ?seed:int -> ?pool:Granii_tensor.Parallel.t -> timing:Executor.timing ->

@@ -11,6 +11,10 @@ type t = {
   degree_gini : float;
   skew_fraction : float;
   empty_fraction : float;
+  degree_variance : float;
+  avg_bandwidth : float;
+  max_bandwidth : float;
+  ell_packing : float;
 }
 
 let gini sorted_degrees =
@@ -47,6 +51,27 @@ let extract (g : Graph.t) =
   Array.sort compare sorted;
   let skew = Array.fold_left (fun acc d -> if d > 4. *. avg then acc + 1 else acc) 0 degf in
   let empty = Array.fold_left (fun acc d -> if d = 0 then acc + 1 else acc) 0 deg in
+  (* Layout statistics for the locality model. Bandwidths are normalized by n
+     so they read as "how far across the matrix an average/worst edge
+     reaches" in [0, 1]; ell_packing is the slab occupancy a hybrid split at
+     the default width (mean degree, rounded up) would achieve. *)
+  let band_sum = ref 0 and band_max = ref 0 in
+  Csr.iter
+    (fun i j _ ->
+      let b = abs (i - j) in
+      band_sum := !band_sum + b;
+      if b > !band_max then band_max := b)
+    g.Graph.adj;
+  let avg_bw =
+    if nnz = 0 || n = 0 then 0.
+    else float_of_int !band_sum /. float_of_int nnz /. nf
+  in
+  let max_bw = if n = 0 then 0. else float_of_int !band_max /. nf in
+  let width = max 1 (int_of_float (Float.ceil avg)) in
+  let packed = Array.fold_left (fun acc d -> acc + min d width) 0 deg in
+  let ell_packing =
+    if n = 0 then 1. else float_of_int packed /. float_of_int (n * width)
+  in
   { n_nodes = nf;
     nnz = float_of_int nnz;
     density = (if n = 0 then 0. else float_of_int nnz /. (nf *. nf));
@@ -56,7 +81,11 @@ let extract (g : Graph.t) =
     degree_cv = (if avg = 0. then 0. else std /. avg);
     degree_gini = gini sorted;
     skew_fraction = (if n = 0 then 0. else float_of_int skew /. nf);
-    empty_fraction = (if n = 0 then 0. else float_of_int empty /. nf) }
+    empty_fraction = (if n = 0 then 0. else float_of_int empty /. nf);
+    degree_variance = std *. std;
+    avg_bandwidth = avg_bw;
+    max_bandwidth = max_bw;
+    ell_packing }
 
 let log1 x = log (1. +. x)
 
@@ -70,11 +99,16 @@ let to_array f =
      f.degree_cv;
      f.degree_gini;
      f.skew_fraction;
-     f.empty_fraction |]
+     f.empty_fraction;
+     log1 f.degree_variance;
+     f.avg_bandwidth;
+     f.max_bandwidth;
+     f.ell_packing |]
 
 let names =
   [| "log_n"; "log_nnz"; "density"; "log_avg_deg"; "log_max_deg"; "min_deg";
-     "deg_cv"; "deg_gini"; "skew_frac"; "empty_frac" |]
+     "deg_cv"; "deg_gini"; "skew_frac"; "empty_frac"; "log_deg_var";
+     "avg_bandwidth"; "max_bandwidth"; "ell_packing" |]
 
 let pp ppf f =
   Format.fprintf ppf

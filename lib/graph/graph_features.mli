@@ -17,6 +17,10 @@ type t = {
   degree_gini : float;   (** Gini coefficient of the degree distribution *)
   skew_fraction : float; (** fraction of nodes with degree > 4 x average *)
   empty_fraction : float;(** fraction of isolated nodes *)
+  degree_variance : float; (** variance of the row-length distribution *)
+  avg_bandwidth : float; (** mean [|i - j|] over stored entries, / n *)
+  max_bandwidth : float; (** max [|i - j|] over stored entries, / n *)
+  ell_packing : float;   (** hybrid slab occupancy at the default width *)
 }
 
 val extract : Graph.t -> t

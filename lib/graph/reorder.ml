@@ -1,0 +1,215 @@
+module Csr = Granii_sparse.Csr
+module Dense = Granii_tensor.Dense
+
+(* Vertex reordering for the locality engine. An ordering is a bijection on
+   node ids; running a plan on the permuted graph and inverse-permuting the
+   output must reproduce the unpermuted run bit for bit. That holds because
+   the symmetric permutation below is *stable*: each permuted row keeps its
+   source row's entry order, so every per-element FP accumulation sees the
+   same values in the same sequence — only memory addresses change. (The
+   permuted matrix's rows are therefore NOT sorted by column index; consumers
+   that binary-search rows must not be fed a permuted matrix.) *)
+
+type strategy = Identity | Degree_sort | Bfs | Rcm
+
+type t = {
+  strategy : strategy;
+  perm : int array; (* old id -> new id *)
+  inv : int array;  (* new id -> old id *)
+}
+
+let strategy_to_string = function
+  | Identity -> "identity"
+  | Degree_sort -> "degree"
+  | Bfs -> "bfs"
+  | Rcm -> "rcm"
+
+let strategy_of_string = function
+  | "identity" | "none" -> Some Identity
+  | "degree" | "degree-sort" | "degree_sort" -> Some Degree_sort
+  | "bfs" -> Some Bfs
+  | "rcm" -> Some Rcm
+  | _ -> None
+
+let all_strategies = [ Identity; Degree_sort; Bfs; Rcm ]
+
+let invert perm =
+  let inv = Array.make (Array.length perm) 0 in
+  Array.iteri (fun old nw -> inv.(nw) <- old) perm;
+  inv
+
+let of_perm ~strategy perm =
+  let n = Array.length perm in
+  let seen = Array.make n false in
+  Array.iter
+    (fun p ->
+      if p < 0 || p >= n || seen.(p) then
+        invalid_arg "Reorder.of_perm: not a permutation";
+      seen.(p) <- true)
+    perm;
+  { strategy; perm = Array.copy perm; inv = invert perm }
+
+let identity n =
+  { strategy = Identity; perm = Array.init n Fun.id; inv = Array.init n Fun.id }
+
+(* Hubs first: new id ascends with descending degree (stable on ties), so
+   high-degree rows of B — the ones most edges point at — cluster at the top
+   of the dense operand and stay cache-resident. *)
+let degree_sort (adj : Csr.t) =
+  let n = adj.Csr.n_rows in
+  let deg = Csr.row_degrees adj in
+  let ids = Array.init n Fun.id in
+  Array.sort
+    (fun a b ->
+      if deg.(a) <> deg.(b) then compare deg.(b) deg.(a) else compare a b)
+    ids;
+  (* ids.(new) = old *)
+  let perm = invert ids in
+  { strategy = Degree_sort; perm; inv = ids }
+
+(* Cuthill–McKee: BFS from a minimum-degree root of each component, visiting
+   neighbors in ascending degree order. Numbers neighbors consecutively,
+   shrinking bandwidth. [Rcm] reverses the visit order (the classic variant,
+   usually a further profile reduction). *)
+let cuthill_mckee ~reverse (adj : Csr.t) =
+  let n = adj.Csr.n_rows in
+  let deg = Csr.row_degrees adj in
+  let visited = Array.make n false in
+  let order = Array.make n 0 in
+  let count = ref 0 in
+  let queue = Queue.create () in
+  let by_degree = Array.init n Fun.id in
+  Array.sort
+    (fun a b ->
+      if deg.(a) <> deg.(b) then compare deg.(a) deg.(b) else compare a b)
+    by_degree;
+  let nbrs = Array.make (Array.fold_left max 0 deg) 0 in
+  Array.iter
+    (fun root ->
+      if not visited.(root) then begin
+        visited.(root) <- true;
+        Queue.push root queue;
+        while not (Queue.is_empty queue) do
+          let u = Queue.pop queue in
+          order.(!count) <- u;
+          incr count;
+          let lo = adj.Csr.row_ptr.(u) and hi = adj.Csr.row_ptr.(u + 1) in
+          let m = ref 0 in
+          for p = lo to hi - 1 do
+            let v = adj.Csr.col_idx.(p) in
+            if not visited.(v) then begin
+              visited.(v) <- true;
+              nbrs.(!m) <- v;
+              incr m
+            end
+          done;
+          let frontier = Array.sub nbrs 0 !m in
+          Array.sort
+            (fun a b ->
+              if deg.(a) <> deg.(b) then compare deg.(a) deg.(b)
+              else compare a b)
+            frontier;
+          Array.iter (fun v -> Queue.push v queue) frontier
+        done
+      end)
+    by_degree;
+  let inv =
+    if reverse then Array.init n (fun i -> order.(n - 1 - i)) else order
+  in
+  { strategy = (if reverse then Rcm else Bfs); perm = invert inv; inv }
+
+let compute strategy (adj : Csr.t) =
+  if adj.Csr.n_rows <> adj.Csr.n_cols then
+    invalid_arg "Reorder.compute: adjacency must be square";
+  match strategy with
+  | Identity -> identity adj.Csr.n_rows
+  | Degree_sort -> degree_sort adj
+  | Bfs -> cuthill_mckee ~reverse:false adj
+  | Rcm -> cuthill_mckee ~reverse:true adj
+
+(* Symmetric permutation P A Pᵀ via the shared counting-scatter: row [i]
+   lands in bucket [perm.(i)] whole and in source entry order (each bucket
+   receives exactly one row), columns are remapped through [perm]. Stable in
+   the sense documented at the top of this file. *)
+let permute_csr r (m : Csr.t) =
+  if m.Csr.n_rows <> m.Csr.n_cols then
+    invalid_arg "Reorder.permute_csr: matrix must be square";
+  if Array.length r.perm <> m.Csr.n_rows then
+    invalid_arg "Reorder.permute_csr: size mismatch";
+  let perm = r.perm in
+  let row_ptr, order, _ =
+    Csr.counting_scatter ~n_buckets:m.Csr.n_rows
+      ~bucket:(fun i _ -> perm.(i))
+      m
+  in
+  let src_cols = m.Csr.col_idx in
+  let col_idx = Array.map (fun p -> perm.(src_cols.(p))) order in
+  let values =
+    match m.Csr.values with
+    | None -> None
+    | Some v -> Some (Array.map (fun p -> v.(p)) order)
+  in
+  Csr.make ~n_rows:m.Csr.n_rows ~n_cols:m.Csr.n_cols ~row_ptr ~col_idx ~values
+
+let apply_graph r (g : Graph.t) =
+  Graph.make
+    ~name:(g.Graph.name ^ "+" ^ strategy_to_string r.strategy)
+    (permute_csr r g.Graph.adj)
+
+(* Row permutations of dense node-feature matrices: new row [perm.(i)] is old
+   row [i]; the inverse gathers them back. Whole-row blits, values untouched. *)
+let permute_dense_rows r (d : Dense.t) =
+  if d.Dense.rows <> Array.length r.perm then
+    invalid_arg "Reorder.permute_dense_rows: size mismatch";
+  let k = d.Dense.cols in
+  let out = Array.make (d.Dense.rows * k) 0. in
+  Array.iteri
+    (fun i nw -> Array.blit d.Dense.data (i * k) out (nw * k) k)
+    r.perm;
+  Dense.of_flat ~rows:d.Dense.rows ~cols:k out
+
+let inverse_dense_rows r (d : Dense.t) =
+  if d.Dense.rows <> Array.length r.perm then
+    invalid_arg "Reorder.inverse_dense_rows: size mismatch";
+  let k = d.Dense.cols in
+  let out = Array.make (d.Dense.rows * k) 0. in
+  Array.iteri
+    (fun i nw -> Array.blit d.Dense.data (nw * k) out (i * k) k)
+    r.perm;
+  Dense.of_flat ~rows:d.Dense.rows ~cols:k out
+
+let permute_vector r v =
+  if Array.length v <> Array.length r.perm then
+    invalid_arg "Reorder.permute_vector: size mismatch";
+  let out = Array.make (Array.length v) 0. in
+  Array.iteri (fun i nw -> out.(nw) <- v.(i)) r.perm;
+  out
+
+let inverse_vector r v =
+  if Array.length v <> Array.length r.perm then
+    invalid_arg "Reorder.inverse_vector: size mismatch";
+  let out = Array.make (Array.length v) 0. in
+  Array.iteri (fun i nw -> out.(i) <- v.(nw)) r.perm;
+  out
+
+(* (average, maximum) |i - j| over stored entries, optionally under an
+   ordering — the quantity BFS/RCM minimize and the cost model's proxy for
+   how far apart an edge's endpoints land in memory. *)
+let bandwidth ?order (m : Csr.t) =
+  let remap =
+    match order with None -> Fun.id | Some r -> fun i -> r.perm.(i)
+  in
+  let sum = ref 0 and mx = ref 0 and count = ref 0 in
+  Csr.iter
+    (fun i j _ ->
+      let b = abs (remap i - remap j) in
+      sum := !sum + b;
+      if b > !mx then mx := b;
+      incr count)
+    m;
+  let avg = if !count = 0 then 0. else float_of_int !sum /. float_of_int !count in
+  (avg, !mx)
+
+let pp ppf r =
+  Format.fprintf ppf "reorder %s (n=%d)" (strategy_to_string r.strategy)
+    (Array.length r.perm)

@@ -1,6 +1,8 @@
 type kernel =
   | Gemm of { m : int; k : int; n : int }
   | Spmm of { rows : int; nnz : int; k : int; weighted : bool }
+  | Spmm_hybrid of
+      { rows : int; nnz : int; k : int; weighted : bool; packing : float }
   | Dense_sparse_mm of { rows : int; nnz : int; cols : int; k : int }
   | Sddmm of { nnz : int; k : int }
   | Row_broadcast of { n : int; k : int }
@@ -11,13 +13,14 @@ type kernel =
   | Edge_softmax of { nnz : int }
   | Degree_binning of { n : int; nnz : int; avg_collisions : float }
   | Degree_rowptr of { n : int }
+  | Layout_pass of { n : int; nnz : int }
 
 let f = float_of_int
 let elt_bytes = 4.
 
 let flops = function
   | Gemm { m; k; n } -> 2. *. f m *. f k *. f n
-  | Spmm { nnz; k; _ } -> 2. *. f nnz *. f k
+  | Spmm { nnz; k; _ } | Spmm_hybrid { nnz; k; _ } -> 2. *. f nnz *. f k
   | Dense_sparse_mm { rows; nnz; _ } -> 2. *. f rows *. f nnz
   | Sddmm { nnz; k } -> 2. *. f nnz *. f k
   | Row_broadcast { n; k } | Col_broadcast { n; k } -> f n *. f k
@@ -28,12 +31,20 @@ let flops = function
   | Edge_softmax { nnz } -> 12. *. f nnz
   | Degree_binning { nnz; _ } -> f nnz
   | Degree_rowptr { n } -> f n
+  (* counting passes: comparisons and index arithmetic, no FP *)
+  | Layout_pass { nnz; _ } -> f nnz
 
 let bytes_streamed = function
   | Gemm { m; k; n } -> elt_bytes *. ((f m *. f k) +. (f k *. f n) +. (2. *. f m *. f n))
   | Spmm { rows; nnz; k; weighted } ->
       (* indices, optional values, and the streamed output *)
       elt_bytes *. ((f nnz *. if weighted then 2. else 1.) +. (f rows *. f k))
+  | Spmm_hybrid { rows; nnz; k; weighted; packing } ->
+      (* the slab streams its padding too: index traffic inflates by the
+         reciprocal of the packing efficiency *)
+      let pad = 1. /. Float.max 0.05 packing in
+      elt_bytes
+      *. ((f nnz *. pad *. if weighted then 2. else 1.) +. (f rows *. f k))
   | Dense_sparse_mm { rows; nnz; cols; k } ->
       elt_bytes *. ((f rows *. f k) +. (2. *. f nnz) +. (f rows *. f cols))
   | Sddmm { nnz; _ } -> elt_bytes *. 2. *. f nnz
@@ -45,10 +56,13 @@ let bytes_streamed = function
   | Edge_softmax { nnz } -> elt_bytes *. 4. *. f nnz
   | Degree_binning { n; nnz; _ } -> elt_bytes *. (f nnz +. f n)
   | Degree_rowptr { n } -> elt_bytes *. 2. *. f n
+  (* read indices + values, write the re-indexed copy, plus the prefix *)
+  | Layout_pass { n; nnz } -> elt_bytes *. ((4. *. f nnz) +. (2. *. f n))
 
 let bytes_random = function
   | Gemm _ -> 0.
-  | Spmm { nnz; k; _ } -> elt_bytes *. f nnz *. f k
+  | Spmm { nnz; k; _ } | Spmm_hybrid { nnz; k; _ } ->
+      elt_bytes *. f nnz *. f k
   | Dense_sparse_mm { nnz; k; _ } -> elt_bytes *. f nnz *. f k
   | Sddmm { nnz; k } -> elt_bytes *. 2. *. f nnz *. f k
   | Row_broadcast _ | Col_broadcast _ | Diag_combine _ | Elementwise _
@@ -57,6 +71,8 @@ let bytes_random = function
   | Diag_scale_sparse { nnz } -> elt_bytes *. f nnz
   | Edge_softmax _ -> 0.
   | Degree_binning { nnz; _ } -> elt_bytes *. f nnz
+  (* the scatter of the counting pass *)
+  | Layout_pass { nnz; _ } -> elt_bytes *. f nnz
 
 (* Distinct bytes touched by the random-access stream: when this working
    set fits in the profile's last-level cache, the "random" gathers are
@@ -64,7 +80,8 @@ let bytes_random = function
 let random_working_set = function
   | Gemm _ -> 0.
   (* the gathered operand is the full dense matrix B *)
-  | Spmm { rows; k; _ } -> elt_bytes *. f rows *. f k
+  | Spmm { rows; k; _ } | Spmm_hybrid { rows; k; _ } ->
+      elt_bytes *. f rows *. f k
   (* scatter targets are row-local: one output row resident at a time *)
   | Dense_sparse_mm { cols; _ } -> elt_bytes *. f cols
   (* distinct dense rows ~ nnz / avg_degree (~8), two operands of width k *)
@@ -72,15 +89,17 @@ let random_working_set = function
   (* the gathered diagonal, one entry per distinct column *)
   | Diag_scale_sparse { nnz } -> elt_bytes *. f nnz /. 8.
   | Degree_binning { n; _ } -> elt_bytes *. f n
+  (* scatter targets cover the whole re-indexed copy *)
+  | Layout_pass { nnz; _ } -> elt_bytes *. f nnz
   | Row_broadcast _ | Col_broadcast _ | Diag_combine _ | Elementwise _
   | Edge_softmax _ | Degree_rowptr _ ->
       0.
 
 let is_dense_compute = function
   | Gemm _ -> true
-  | Spmm _ | Dense_sparse_mm _ | Sddmm _ | Row_broadcast _ | Col_broadcast _
-  | Diag_scale_sparse _ | Diag_combine _ | Elementwise _ | Edge_softmax _
-  | Degree_binning _ | Degree_rowptr _ ->
+  | Spmm _ | Spmm_hybrid _ | Dense_sparse_mm _ | Sddmm _ | Row_broadcast _
+  | Col_broadcast _ | Diag_scale_sparse _ | Diag_combine _ | Elementwise _
+  | Edge_softmax _ | Degree_binning _ | Degree_rowptr _ | Layout_pass _ ->
       false
 
 (* Marginal efficiency of each extra thread on the compute-bound part:
@@ -90,7 +109,7 @@ let is_dense_compute = function
 let compute_efficiency = 0.85
 let memory_efficiency = 0.25
 
-let time ?(threads = 1) (p : Hw_profile.t) kernel =
+let time ?(threads = 1) ?(gather_discount = 0.) (p : Hw_profile.t) kernel =
   let t = max 1 (min threads p.Hw_profile.cores) in
   let compute_speedup = 1. +. (compute_efficiency *. float_of_int (t - 1)) in
   let memory_speedup = 1. +. (memory_efficiency *. float_of_int (t - 1)) in
@@ -101,7 +120,11 @@ let time ?(threads = 1) (p : Hw_profile.t) kernel =
   in
   let compute_t = flops kernel /. compute_throughput /. compute_speedup in
   let random_t =
-    let br = bytes_random kernel in
+    (* locality credit: packing + ordering shrink the effective random
+       traffic (they turn scattered gathers into near-neighbor reuse) *)
+    let br =
+      bytes_random kernel *. (1. -. Float.max 0. (Float.min 1. gather_discount))
+    in
     if br = 0. then 0.
     else
       let ws = random_working_set kernel in
@@ -123,9 +146,9 @@ let time ?(threads = 1) (p : Hw_profile.t) kernel =
         f nnz *. p.Hw_profile.atomic_ns *. 1e-9
         *. (1. +. (p.Hw_profile.atomic_contention_factor *. avg_collisions))
         *. (1. +. (p.Hw_profile.atomic_contention_factor *. float_of_int (t - 1)))
-    | Gemm _ | Spmm _ | Dense_sparse_mm _ | Sddmm _ | Row_broadcast _
-    | Col_broadcast _ | Diag_scale_sparse _ | Diag_combine _ | Elementwise _
-    | Edge_softmax _ | Degree_rowptr _ ->
+    | Gemm _ | Spmm _ | Spmm_hybrid _ | Dense_sparse_mm _ | Sddmm _
+    | Row_broadcast _ | Col_broadcast _ | Diag_scale_sparse _ | Diag_combine _
+    | Elementwise _ | Edge_softmax _ | Degree_rowptr _ | Layout_pass _ ->
         0.
   in
   Float.max compute_t memory_t +. atomic_t +. p.Hw_profile.launch_overhead_s
@@ -144,6 +167,11 @@ let pp ppf = function
   | Spmm { rows; nnz; k; weighted } ->
       Format.fprintf ppf "spmm(rows=%d,nnz=%d,k=%d%s)" rows nnz k
         (if weighted then ",w" else "")
+  | Spmm_hybrid { rows; nnz; k; weighted; packing } ->
+      Format.fprintf ppf "spmm_hyb(rows=%d,nnz=%d,k=%d%s,pack=%.2f)" rows nnz
+        k
+        (if weighted then ",w" else "")
+        packing
   | Dense_sparse_mm { rows; nnz; cols; k } ->
       Format.fprintf ppf "dspmm(rows=%d,nnz=%d,cols=%d,k=%d)" rows nnz cols k
   | Sddmm { nnz; k } -> Format.fprintf ppf "sddmm(nnz=%d,k=%d)" nnz k
@@ -155,3 +183,4 @@ let pp ppf = function
   | Edge_softmax { nnz } -> Format.fprintf ppf "edge_softmax(nnz=%d)" nnz
   | Degree_binning { n; nnz; _ } -> Format.fprintf ppf "degree_binning(n=%d,nnz=%d)" n nnz
   | Degree_rowptr { n } -> Format.fprintf ppf "degree_rowptr(n=%d)" n
+  | Layout_pass { n; nnz } -> Format.fprintf ppf "layout_pass(n=%d,nnz=%d)" n nnz

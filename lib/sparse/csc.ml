@@ -12,14 +12,21 @@ let nnz m = m.col_ptr.(m.n_cols)
 let is_weighted m = m.values <> None
 
 let of_csr (csr : Csr.t) =
-  let t = Csr.transpose csr in
-  (* The transpose's rows are the original's columns: reuse its arrays with
-     the roles of rows and columns swapped. *)
-  { n_rows = csr.Csr.n_rows;
-    n_cols = csr.Csr.n_cols;
-    col_ptr = t.Csr.row_ptr;
-    row_idx = t.Csr.col_idx;
-    values = t.Csr.values }
+  (* One counting-sort pass bucketed by column — no transposed Csr.t
+     intermediate. Scatter order is row-major, so each column's row indices
+     come out sorted and values land next to their entry. *)
+  let col_idx = csr.Csr.col_idx in
+  let col_ptr, order, row_idx =
+    Csr.counting_scatter ~n_buckets:csr.Csr.n_cols
+      ~bucket:(fun _ p -> col_idx.(p))
+      csr
+  in
+  let values =
+    match csr.Csr.values with
+    | None -> None
+    | Some v -> Some (Array.map (fun p -> v.(p)) order)
+  in
+  { n_rows = csr.Csr.n_rows; n_cols = csr.Csr.n_cols; col_ptr; row_idx; values }
 
 let to_csr m =
   Csr.transpose

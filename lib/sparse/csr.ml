@@ -97,6 +97,40 @@ let transpose m =
   done;
   { n_rows = m.n_cols; n_cols = m.n_rows; row_ptr = row_ptr'; col_idx = col_idx'; values = vals' }
 
+(* Shared counting-sort pass: distribute the stored entries of [m] into
+   [n_buckets] stable buckets. Entries are visited in row-major storage order,
+   so within a bucket they keep that order — the property both consumers rely
+   on: CSC construction gets row indices sorted per column, and the reorder
+   engine gets a permuted matrix whose per-row entry order (and therefore
+   per-element FP accumulation order) matches the source row exactly. *)
+let counting_scatter ~n_buckets ~bucket m =
+  let count = nnz m in
+  let ptr = Array.make (n_buckets + 1) 0 in
+  for i = 0 to m.n_rows - 1 do
+    for p = m.row_ptr.(i) to m.row_ptr.(i + 1) - 1 do
+      let b = bucket i p in
+      if b < 0 || b >= n_buckets then
+        invalid_arg "Csr.counting_scatter: bucket out of range";
+      ptr.(b + 1) <- ptr.(b + 1) + 1
+    done
+  done;
+  for b = 0 to n_buckets - 1 do
+    ptr.(b + 1) <- ptr.(b + 1) + ptr.(b)
+  done;
+  let order = Array.make count 0 in
+  let src_row = Array.make count 0 in
+  let cursor = Array.copy ptr in
+  for i = 0 to m.n_rows - 1 do
+    for p = m.row_ptr.(i) to m.row_ptr.(i + 1) - 1 do
+      let b = bucket i p in
+      let q = cursor.(b) in
+      order.(q) <- p;
+      src_row.(q) <- i;
+      cursor.(b) <- q + 1
+    done
+  done;
+  (ptr, order, src_row)
+
 let get m i j =
   let lo = ref m.row_ptr.(i) and hi = ref (m.row_ptr.(i + 1) - 1) in
   let found = ref 0. in

@@ -49,6 +49,20 @@ val col_degrees : t -> int array
 val transpose : t -> t
 (** Structure-and-value transpose in O(nnz). *)
 
+val counting_scatter :
+  n_buckets:int -> bucket:(int -> int -> int) -> t ->
+  int array * int array * int array
+(** [counting_scatter ~n_buckets ~bucket m] distributes the stored entries
+    into stable buckets with one counting pass. [bucket row p] names the
+    destination bucket of the [p]-th stored entry (which lives in [row]).
+    Returns [(ptr, order, src_row)]: [ptr] is the bucket prefix (length
+    [n_buckets + 1]), and for each destination slot [q],
+    [order.(q)] is the source entry position and [src_row.(q)] its source
+    row. Entries are scattered in row-major storage order, so each bucket
+    preserves that order — {!Csc.of_csr} gets per-column sorted rows and the
+    reorder engine gets permuted rows whose entry (and FP accumulation)
+    order matches the source bit for bit. *)
+
 val get : t -> int -> int -> float
 (** [get m i j] is the entry at [(i, j)], [0.] if not stored. Binary search
     within the row. *)

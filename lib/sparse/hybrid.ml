@@ -1,0 +1,345 @@
+module Dense = Granii_tensor.Dense
+module Parallel = Granii_tensor.Parallel
+module Workspace = Granii_tensor.Workspace
+
+(* Hybrid row-split format (SELL-C-sigma-lite): each row's first [width]
+   entries live in a packed row-major ELL slab, the rest spill into a CSR
+   tail. Both halves keep the source row's entry order, so walking slab then
+   tail reproduces the CSR entry sequence exactly — the invariant every
+   kernel here relies on for bitwise equality with the Csr kernels.
+
+   The slab gives the kernels a branch-free inner structure with the column
+   indices of consecutive short rows packed densely (one cache line of
+   [ell_cols] covers several rows on low-degree graphs), while hub rows pay
+   the pointer-chasing CSR cost only for their spill. *)
+
+type t = {
+  n_rows : int;
+  n_cols : int;
+  width : int;
+  ell_len : int array;          (* per-row packed count = min(degree, width) *)
+  ell_cols : int array;         (* n_rows * width, row-major; padding unread *)
+  ell_vals : float array option;
+  tail : Csr.t;                 (* spill entries, per-row order preserved *)
+  src : Csr.t;                  (* source matrix: row_ptr reused for chunking
+                                   and as the SDDMM output layout *)
+}
+
+let nnz h = Csr.nnz h.src
+let is_weighted h = h.ell_vals <> None
+let ell_nnz h = Array.fold_left ( + ) 0 h.ell_len
+let tail_nnz h = Csr.nnz h.tail
+
+(* Fraction of slab slots that hold a real entry (1.0 = no padding). *)
+let packing h =
+  if h.n_rows = 0 || h.width = 0 then 1.
+  else float_of_int (ell_nnz h) /. float_of_int (h.n_rows * h.width)
+
+(* Default slab width: the mean degree, rounded up. Short rows (the bulk of a
+   power-law graph) fit entirely; hubs spill. *)
+let default_width (m : Csr.t) =
+  let n = max 1 m.Csr.n_rows in
+  max 1 ((Csr.nnz m + n - 1) / n)
+
+let of_csr ?width (m : Csr.t) =
+  let n = m.Csr.n_rows in
+  let row_ptr = m.Csr.row_ptr and col_idx = m.Csr.col_idx in
+  let width = match width with Some w -> max 1 w | None -> default_width m in
+  let deg i = row_ptr.(i + 1) - row_ptr.(i) in
+  let ell_len = Array.init n (fun i -> min (deg i) width) in
+  let ell_cols = Array.make (n * width) 0 in
+  let weighted = Csr.is_weighted m in
+  let ell_vals = if weighted then Some (Array.make (n * width) 0.) else None in
+  let tail_ptr = Array.make (n + 1) 0 in
+  for i = 0 to n - 1 do
+    tail_ptr.(i + 1) <- tail_ptr.(i) + (deg i - ell_len.(i))
+  done;
+  let spill = tail_ptr.(n) in
+  let tail_cols = Array.make spill 0 in
+  let tail_vals = if weighted then Some (Array.make spill 0.) else None in
+  for i = 0 to n - 1 do
+    let base = row_ptr.(i) and eb = i * width and tb = tail_ptr.(i) in
+    let len = ell_len.(i) in
+    for s = 0 to len - 1 do
+      ell_cols.(eb + s) <- col_idx.(base + s)
+    done;
+    for s = len to deg i - 1 do
+      tail_cols.(tb + s - len) <- col_idx.(base + s)
+    done;
+    match (ell_vals, tail_vals, m.Csr.values) with
+    | Some ev, Some tv, Some sv ->
+        for s = 0 to len - 1 do
+          ev.(eb + s) <- sv.(base + s)
+        done;
+        for s = len to deg i - 1 do
+          tv.(tb + s - len) <- sv.(base + s)
+        done
+    | _ -> ()
+  done;
+  let tail =
+    Csr.make ~n_rows:n ~n_cols:m.Csr.n_cols ~row_ptr:tail_ptr
+      ~col_idx:tail_cols ~values:tail_vals
+  in
+  { n_rows = n;
+    n_cols = m.Csr.n_cols;
+    width;
+    ell_len;
+    ell_cols;
+    ell_vals;
+    tail;
+    src = m }
+
+(* Reconstructs the CSR matrix from slab + tail (not just [h.src]), so the
+   round-trip test exercises the split. *)
+let to_csr h =
+  let n = h.n_rows in
+  let tail_ptr = h.tail.Csr.row_ptr in
+  let row_ptr = Array.make (n + 1) 0 in
+  for i = 0 to n - 1 do
+    row_ptr.(i + 1) <-
+      row_ptr.(i) + h.ell_len.(i) + (tail_ptr.(i + 1) - tail_ptr.(i))
+  done;
+  let count = row_ptr.(n) in
+  let col_idx = Array.make count 0 in
+  let values = if is_weighted h then Some (Array.make count 0.) else None in
+  for i = 0 to n - 1 do
+    let base = row_ptr.(i) and eb = i * h.width and len = h.ell_len.(i) in
+    for s = 0 to len - 1 do
+      col_idx.(base + s) <- h.ell_cols.(eb + s)
+    done;
+    for p = tail_ptr.(i) to tail_ptr.(i + 1) - 1 do
+      col_idx.(base + len + p - tail_ptr.(i)) <- h.tail.Csr.col_idx.(p)
+    done;
+    match (values, h.ell_vals, h.tail.Csr.values) with
+    | Some dst, Some ev, Some tv ->
+        for s = 0 to len - 1 do
+          dst.(base + s) <- ev.(eb + s)
+        done;
+        for p = tail_ptr.(i) to tail_ptr.(i + 1) - 1 do
+          dst.(base + len + p - tail_ptr.(i)) <- tv.(p)
+        done
+    | _ -> ()
+  done;
+  Csr.make ~n_rows:n ~n_cols:h.n_cols ~row_ptr ~col_idx ~values
+
+(* SpMM, plus-times. Per output element the terms are added in the row's
+   entry order (slab first, then tail — i.e. CSR order), so the result is
+   bitwise identical to [Spmm.run h.src b]. The feature dimension is
+   register-blocked four wide: each block walks the row's entries once with
+   four scalar accumulators, which keeps the output row out of the
+   load-add-store loop the Csr kernel pays per entry. Blocking across j never
+   reorders any element's additions. *)
+let spmm ?pool ?ws (h : t) (b : Dense.t) =
+  if h.n_cols <> b.Dense.rows then
+    invalid_arg "Hybrid.spmm: inner dimension mismatch";
+  let n = h.n_rows and k = b.Dense.cols in
+  let bd = b.Dense.data in
+  let ell_cols = h.ell_cols and ell_len = h.ell_len and width = h.width in
+  let tail_ptr = h.tail.Csr.row_ptr and tail_cols = h.tail.Csr.col_idx in
+  let out = Workspace.alloc_uninit ws (n * k) in
+  let body lo hi =
+    match (h.ell_vals, h.tail.Csr.values) with
+    | Some ev, Some tv ->
+        for i = lo to hi - 1 do
+          let eb = i * width and len = Array.unsafe_get ell_len i in
+          let t0 = Array.unsafe_get tail_ptr i
+          and t1 = Array.unsafe_get tail_ptr (i + 1) in
+          let obase = i * k in
+          let j = ref 0 in
+          while !j + 4 <= k do
+            let j0 = !j in
+            let acc0 = ref 0. and acc1 = ref 0. and acc2 = ref 0.
+            and acc3 = ref 0. in
+            for s = 0 to len - 1 do
+              let v = Array.unsafe_get ev (eb + s) in
+              let bb = (Array.unsafe_get ell_cols (eb + s) * k) + j0 in
+              acc0 := !acc0 +. (v *. Array.unsafe_get bd bb);
+              acc1 := !acc1 +. (v *. Array.unsafe_get bd (bb + 1));
+              acc2 := !acc2 +. (v *. Array.unsafe_get bd (bb + 2));
+              acc3 := !acc3 +. (v *. Array.unsafe_get bd (bb + 3))
+            done;
+            for p = t0 to t1 - 1 do
+              let v = Array.unsafe_get tv p in
+              let bb = (Array.unsafe_get tail_cols p * k) + j0 in
+              acc0 := !acc0 +. (v *. Array.unsafe_get bd bb);
+              acc1 := !acc1 +. (v *. Array.unsafe_get bd (bb + 1));
+              acc2 := !acc2 +. (v *. Array.unsafe_get bd (bb + 2));
+              acc3 := !acc3 +. (v *. Array.unsafe_get bd (bb + 3))
+            done;
+            Array.unsafe_set out (obase + j0) !acc0;
+            Array.unsafe_set out (obase + j0 + 1) !acc1;
+            Array.unsafe_set out (obase + j0 + 2) !acc2;
+            Array.unsafe_set out (obase + j0 + 3) !acc3;
+            j := j0 + 4
+          done;
+          while !j < k do
+            let j0 = !j in
+            let acc = ref 0. in
+            for s = 0 to len - 1 do
+              acc :=
+                !acc
+                +. Array.unsafe_get ev (eb + s)
+                   *. Array.unsafe_get bd
+                        ((Array.unsafe_get ell_cols (eb + s) * k) + j0)
+            done;
+            for p = t0 to t1 - 1 do
+              acc :=
+                !acc
+                +. Array.unsafe_get tv p
+                   *. Array.unsafe_get bd
+                        ((Array.unsafe_get tail_cols p * k) + j0)
+            done;
+            Array.unsafe_set out (obase + j0) !acc;
+            incr j
+          done
+        done
+    | _ ->
+        (* Unweighted: edge values are never read. *)
+        for i = lo to hi - 1 do
+          let eb = i * width and len = Array.unsafe_get ell_len i in
+          let t0 = Array.unsafe_get tail_ptr i
+          and t1 = Array.unsafe_get tail_ptr (i + 1) in
+          let obase = i * k in
+          let j = ref 0 in
+          while !j + 4 <= k do
+            let j0 = !j in
+            let acc0 = ref 0. and acc1 = ref 0. and acc2 = ref 0.
+            and acc3 = ref 0. in
+            for s = 0 to len - 1 do
+              let bb = (Array.unsafe_get ell_cols (eb + s) * k) + j0 in
+              acc0 := !acc0 +. Array.unsafe_get bd bb;
+              acc1 := !acc1 +. Array.unsafe_get bd (bb + 1);
+              acc2 := !acc2 +. Array.unsafe_get bd (bb + 2);
+              acc3 := !acc3 +. Array.unsafe_get bd (bb + 3)
+            done;
+            for p = t0 to t1 - 1 do
+              let bb = (Array.unsafe_get tail_cols p * k) + j0 in
+              acc0 := !acc0 +. Array.unsafe_get bd bb;
+              acc1 := !acc1 +. Array.unsafe_get bd (bb + 1);
+              acc2 := !acc2 +. Array.unsafe_get bd (bb + 2);
+              acc3 := !acc3 +. Array.unsafe_get bd (bb + 3)
+            done;
+            Array.unsafe_set out (obase + j0) !acc0;
+            Array.unsafe_set out (obase + j0 + 1) !acc1;
+            Array.unsafe_set out (obase + j0 + 2) !acc2;
+            Array.unsafe_set out (obase + j0 + 3) !acc3;
+            j := j0 + 4
+          done;
+          while !j < k do
+            let j0 = !j in
+            let acc = ref 0. in
+            for s = 0 to len - 1 do
+              acc :=
+                !acc
+                +. Array.unsafe_get bd
+                     ((Array.unsafe_get ell_cols (eb + s) * k) + j0)
+            done;
+            for p = t0 to t1 - 1 do
+              acc :=
+                !acc
+                +. Array.unsafe_get bd
+                     ((Array.unsafe_get tail_cols p * k) + j0)
+            done;
+            Array.unsafe_set out (obase + j0) !acc;
+            incr j
+          done
+        done
+  in
+  Parallel.rows_weighted ?pool ~prefix:h.src.Csr.row_ptr body;
+  Dense.of_flat ~rows:n ~cols:k out
+
+(* SDDMM, plus-times: dot products land in the source CSR's value layout
+   (slab entry [s] of row [i] is source position [row_ptr.(i) + s]; tail
+   entry [p] is [row_ptr.(i) + ell_len.(i) + (p - tail_ptr.(i))]), so the
+   result is [Csr.with_values h.src _] and bitwise matches
+   [Sddmm.run h.src a b]. *)
+let sddmm ?pool ?ws (h : t) (a : Dense.t) (b : Dense.t) =
+  if a.Dense.rows <> h.n_rows then
+    invalid_arg "Hybrid.sddmm: A row count must match mask rows";
+  if b.Dense.cols <> h.n_cols then
+    invalid_arg "Hybrid.sddmm: B column count must match mask cols";
+  if a.Dense.cols <> b.Dense.rows then
+    invalid_arg "Hybrid.sddmm: inner dimension mismatch";
+  let k = a.Dense.cols in
+  let src = h.src in
+  let out = Workspace.alloc_uninit ws (Csr.nnz src) in
+  let ad = a.Dense.data and bd = b.Dense.data and bn = b.Dense.cols in
+  let ell_cols = h.ell_cols and ell_len = h.ell_len and width = h.width in
+  let tail_ptr = h.tail.Csr.row_ptr and tail_cols = h.tail.Csr.col_idx in
+  let row_ptr = src.Csr.row_ptr in
+  let dot abase col v =
+    let acc = ref 0. in
+    for q = 0 to k - 1 do
+      acc :=
+        !acc
+        +. (Array.unsafe_get ad (abase + q)
+            *. Array.unsafe_get bd ((q * bn) + col))
+    done;
+    v *. !acc
+  in
+  Parallel.rows_weighted ?pool ~prefix:row_ptr (fun lo hi ->
+      for i = lo to hi - 1 do
+        let abase = i * k and eb = i * width and len = ell_len.(i) in
+        let base = row_ptr.(i) in
+        (match h.ell_vals with
+        | Some ev ->
+            for s = 0 to len - 1 do
+              out.(base + s) <- dot abase ell_cols.(eb + s) ev.(eb + s)
+            done
+        | None ->
+            for s = 0 to len - 1 do
+              out.(base + s) <- dot abase ell_cols.(eb + s) 1.
+            done);
+        let t0 = tail_ptr.(i) in
+        match h.tail.Csr.values with
+        | Some tv ->
+            for p = t0 to tail_ptr.(i + 1) - 1 do
+              out.(base + len + p - t0) <- dot abase tail_cols.(p) tv.(p)
+            done
+        | None ->
+            for p = t0 to tail_ptr.(i + 1) - 1 do
+              out.(base + len + p - t0) <- dot abase tail_cols.(p) 1.
+            done
+      done);
+  Csr.with_values src out
+
+(* Rank-1 SDDMM (the attention-score shape): mirrors [Sddmm.rank1]. *)
+let rank1 ?pool ?ws (h : t) d_left d_right =
+  if Array.length d_left <> h.n_rows then
+    invalid_arg "Hybrid.rank1: left vector dimension mismatch";
+  if Array.length d_right <> h.n_cols then
+    invalid_arg "Hybrid.rank1: right vector dimension mismatch";
+  let src = h.src in
+  let out = Workspace.alloc_uninit ws (Csr.nnz src) in
+  let ell_cols = h.ell_cols and ell_len = h.ell_len and width = h.width in
+  let tail_ptr = h.tail.Csr.row_ptr and tail_cols = h.tail.Csr.col_idx in
+  let row_ptr = src.Csr.row_ptr in
+  Parallel.rows_weighted ?pool ~prefix:row_ptr (fun lo hi ->
+      for i = lo to hi - 1 do
+        let dl = d_left.(i) in
+        let eb = i * width and len = ell_len.(i) and base = row_ptr.(i) in
+        (match h.ell_vals with
+        | Some ev ->
+            for s = 0 to len - 1 do
+              out.(base + s) <- ev.(eb + s) *. dl *. d_right.(ell_cols.(eb + s))
+            done
+        | None ->
+            for s = 0 to len - 1 do
+              out.(base + s) <- 1. *. dl *. d_right.(ell_cols.(eb + s))
+            done);
+        let t0 = tail_ptr.(i) in
+        match h.tail.Csr.values with
+        | Some tv ->
+            for p = t0 to tail_ptr.(i + 1) - 1 do
+              out.(base + len + p - t0) <- tv.(p) *. dl *. d_right.(tail_cols.(p))
+            done
+        | None ->
+            for p = t0 to tail_ptr.(i + 1) - 1 do
+              out.(base + len + p - t0) <- 1. *. dl *. d_right.(tail_cols.(p))
+            done
+      done);
+  Csr.with_values src out
+
+let pp ppf h =
+  Format.fprintf ppf "hybrid %dx%d nnz=%d width=%d packing=%.2f tail=%d"
+    h.n_rows h.n_cols (nnz h) h.width (packing h) (tail_nnz h)

@@ -15,4 +15,5 @@ let () =
       ("stack-multihead", Test_stack_multihead.suite);
       ("parallel", Test_parallel.suite);
       ("memory", Test_memory.suite);
+      ("locality", Test_locality.suite);
       ("integration", Test_integration.suite) ]
