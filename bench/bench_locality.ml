@@ -151,7 +151,10 @@ let executor_section (graph : G.Graph.t) ~k ~iterations =
   let h = Dense.random ~seed:1 (G.Graph.n_nodes graph) k in
   let bindings = Gnn.Layer.bindings ~graph ~h params in
   let run locality =
-    Executor.run_iterations ~locality ~timing:Executor.Measure ~graph ~bindings
+    let engine =
+      Engine.create_exn { Engine.default_config with locality }
+    in
+    Executor.exec_iterations ~engine ~timing:Executor.Measure ~graph ~bindings
       ~iterations plan
   in
   let base = run Locality.default in

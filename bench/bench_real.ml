@@ -51,8 +51,13 @@ let run () =
           let measure (c : Codegen.ccand) =
             (* one warm-up, then a timed run of the per-iteration steps via
                total report times *)
-            ignore (Executor.run ~timing:Executor.Measure ~graph ~bindings c.Codegen.plan);
-            let r = Executor.run ~timing:Executor.Measure ~graph ~bindings c.Codegen.plan in
+            let engine = Engine.default () in
+            let exec () =
+              Executor.exec ~engine ~timing:Executor.Measure ~graph ~bindings
+                c.Codegen.plan
+            in
+            ignore (exec ());
+            let r = exec () in
             r.Executor.setup_time +. (3. *. r.Executor.iteration_time)
           in
           let simulate (c : Codegen.ccand) =

@@ -184,6 +184,21 @@ let select_cmd =
                 workspace arena: outputs are bitwise identical, steady-state \
                 allocation drops to zero.")
   in
+  let engine_spec =
+    Arg.(value & opt (some string) None
+         & info [ "engine" ] ~docv:"SPEC"
+             ~doc:
+               "Execution-engine configuration for $(b,--execute), as \
+                comma-separated key=value pairs parsed by \
+                $(b,Engine.config_of_string): $(b,threads)=N, \
+                $(b,workspace)=on|off, $(b,cache)=on|off, \
+                $(b,locality)=<strategy>+<format>, \
+                $(b,intermediates)=keep|drop. Omitted keys keep their \
+                defaults; a $(b,locality) key forces the layout (otherwise \
+                selection's choice is used). Illegal combinations are \
+                rejected up front with a typed error. $(b,--engine show) \
+                prints the engine the run would use and exits.")
+  in
   let reorder =
     Arg.(value & opt string "auto"
          & info [ "reorder" ] ~docv:"STRATEGY"
@@ -200,10 +215,42 @@ let select_cmd =
                 (ELL slab + CSR tail).")
   in
   let run model graph k_in k_out profile iterations system analytic threads models_file
-      execute workspace reorder format_ =
+      execute workspace engine_spec reorder format_ =
     if threads < 1 then begin
       Printf.eprintf "--threads expects a positive integer\n";
       exit 1
+    end;
+    (* --engine SPEC configures the execution substrate of --execute; the
+       locality axis stays with selection unless the spec forces it. *)
+    let spec_forces_locality spec =
+      String.split_on_char ',' spec |> List.map String.trim
+      |> List.exists (fun f ->
+             String.length f >= 9 && String.sub f 0 9 = "locality=")
+    in
+    let engine_base, engine_forces_locality =
+      match engine_spec with
+      | None | Some "show" -> (Engine.default_config, false)
+      | Some spec -> (
+          match Engine.config_of_string spec with
+          | Ok c -> (c, spec_forces_locality spec)
+          | Error msg ->
+              Printf.eprintf "--engine: %s\n" msg;
+              exit 1)
+    in
+    let engine_base =
+      { engine_base with workspace = engine_base.Engine.workspace || workspace }
+    in
+    (match Engine.create engine_base with
+    | Ok e -> Engine.shutdown e
+    | Error e ->
+        Printf.eprintf "--engine: %s\n" (Engine.error_to_string e);
+        exit 1);
+    if engine_spec = Some "show" then begin
+      print_endline (Engine.describe_config engine_base);
+      print_endline
+        "(locality is selection's choice at --execute time unless the spec \
+         carries a locality= key)";
+      exit 0
     end;
     (* The --reorder/--format axes restrict the configuration space the
        joint argmin searches; "auto" leaves an axis free. *)
@@ -237,6 +284,14 @@ let select_cmd =
       if List.exists Locality.is_default cross then
         Locality.default :: List.filter (fun c -> not (Locality.is_default c)) cross
       else cross
+    in
+    (* a locality= key in --engine overrides the joint argmin's layout axis;
+       a cache without one restricts the search to the default layout (the
+       only one a cache-enabled engine can legally execute) *)
+    let configs =
+      if engine_forces_locality then [ engine_base.Engine.locality ]
+      else if engine_base.Engine.cache then [ Locality.default ]
+      else configs
     in
     let sys = Sys_.System.find system in
     let low, compiled, _ = compile_model model ~binned:sys.Sys_.System.binned_degrees in
@@ -298,47 +353,58 @@ let select_cmd =
         let params = Gnn.Layer.init_params ~seed:0 ~env low in
         let h = Dense.random ~seed:1 (G.Graph.n_nodes graph) k_in in
         let bindings = Gnn.Layer.bindings ~graph ~h params in
-        let ws =
-          if workspace then Some (Granii_tensor.Workspace.create ()) else None
+        let ecfg =
+          { engine_base with
+            Engine.locality =
+              (if engine_forces_locality then engine_base.Engine.locality
+               else localized.Granii.config) }
+        in
+        let engine =
+          match Engine.create ecfg with
+          | Ok e -> e
+          | Error e ->
+              Printf.eprintf "--engine: %s\n" (Engine.error_to_string e);
+              exit 1
         in
         let run_once () =
-          Executor.run_iterations ?workspace:ws
-            ~locality:localized.Granii.config ~timing:Executor.Measure ~graph
+          Executor.exec_iterations ~engine ~timing:Executor.Measure ~graph
             ~bindings ~iterations:iters plan
         in
-        (* warm-up run so the measured one sees steady state (and, with
-           --workspace, a warm arena) *)
+        (* warm-up run so the measured one sees steady state (and, with a
+           workspace, a warm arena) *)
         ignore (run_once ());
         let g0 = Gc.quick_stat () in
         let r = run_once () in
         let g1 = Gc.quick_stat () in
         let per x = x /. float_of_int iters in
         Printf.printf
-          "executed %s on host CPU: %d iterations%s\n\
+          "executed %s on host CPU: %d iterations\n\
+          \  engine: %s\n\
           \  setup %.3f ms, layout %.3f ms, %.3f ms/iteration\n\
           \  GC: %.0f minor + %.0f major words/iteration\n"
           plan.Plan.name iters
-          (if workspace then " (workspace arena)" else "")
+          (Engine.describe engine)
           (1000. *. r.Executor.setup_time)
           (1000. *. r.Executor.layout_time)
           (1000. *. r.Executor.iteration_time)
           (per (g1.Gc.minor_words -. g0.Gc.minor_words))
           (per (g1.Gc.major_words -. g0.Gc.major_words));
-        match ws with
+        (match Engine.workspace engine with
         | None -> ()
         | Some w ->
             let s = Granii_tensor.Workspace.stats w in
             Printf.printf "  arena: %d hits / %d misses, %d words held\n"
               s.Granii_tensor.Workspace.hits s.Granii_tensor.Workspace.misses
               (s.Granii_tensor.Workspace.held_words
-              + s.Granii_tensor.Workspace.issued_words)
+              + s.Granii_tensor.Workspace.issued_words));
+        Engine.shutdown engine
   in
   Cmd.v
     (Cmd.info "select"
        ~doc:"Run the online stage: featurize an input and rank the candidates")
     Term.(const run $ model_pos $ graph $ k_in $ k_out $ hw $ iterations $ system
-          $ analytic $ threads $ models_file $ execute $ workspace $ reorder
-          $ format_)
+          $ analytic $ threads $ models_file $ execute $ workspace $ engine_spec
+          $ reorder $ format_)
 
 let baseline_cmd =
   let k_in = Arg.(value & opt int 256 & info [ "kin" ] ~doc:"Input embedding size.") in

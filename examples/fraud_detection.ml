@@ -69,7 +69,10 @@ let () =
 
   (* evaluate on held-out accounts *)
   let bindings = Gnn.Layer.bindings ~graph ~h:features history.Gnn.Trainer.final_params in
-  let out = Executor.run ~timing:Executor.Measure ~graph ~bindings plan in
+  let out =
+    Executor.exec ~engine:(Engine.default ()) ~timing:Executor.Measure ~graph
+      ~bindings plan
+  in
   (match out.Executor.output with
   | Executor.Vdense logits ->
       Printf.printf "held-out fraud-detection accuracy: %.1f%%\n"

@@ -48,7 +48,8 @@ let () =
   let params = Gnn.Layer.init_params ~env:(Dim.{ n; nnz = G.Graph.n_edges graph + n; k_in; k_out }) low in
   let h = Granii_tensor.Dense.random ~seed:2 n k_in in
   let report =
-    Granii.execute ~timing:(Executor.Simulate profile) ~graph
+    Granii.execute_with ~engine:(Engine.default ())
+      ~timing:(Executor.Simulate profile) ~graph
       ~bindings:(Gnn.Layer.bindings ~graph ~h params)
       decision
   in

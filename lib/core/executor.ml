@@ -1,19 +1,10 @@
-module Dense = Granii_tensor.Dense
-module Vector = Granii_tensor.Vector
 module Workspace = Granii_tensor.Workspace
-module Csr = Granii_sparse.Csr
-module Coo = Granii_sparse.Coo
-module Spmm = Granii_sparse.Spmm
-module Sddmm = Granii_sparse.Sddmm
-module Sparse_ops = Granii_sparse.Sparse_ops
-module Hybrid = Granii_sparse.Hybrid
-module Reorder = Granii_graph.Reorder
 module K = Granii_hw.Kernel_model
 
-type value =
-  | Vdense of Dense.t
-  | Vsparse of Csr.t
-  | Vdiag of Vector.t
+type value = Dispatch.value =
+  | Vdense of Granii_tensor.Dense.t
+  | Vsparse of Granii_sparse.Csr.t
+  | Vdiag of Granii_tensor.Vector.t
 
 type timing = Measure | Simulate of Granii_hw.Hw_profile.t
 
@@ -24,380 +15,54 @@ type report = {
   layout_time : float;
   per_step : (Primitive.t * Plan.phase * float) list;
   intermediates : (int * value) list;
+  trace : string list;
 }
 
-exception Execution_error of string
+exception Execution_error = Dispatch.Execution_error
 
 let err fmt = Format.kasprintf (fun s -> raise (Execution_error s)) fmt
 
-let shape_of = function
-  | Vdense d -> Dense.dims d
-  | Vsparse s -> (s.Csr.n_rows, s.Csr.n_cols)
-  | Vdiag v -> (Array.length v, Array.length v)
+let shape_of = Dispatch.shape_of
+let pp_value = Dispatch.pp_value
 
-let pp_value ppf = function
-  | Vdense d ->
-      let r, c = Dense.dims d in
-      Format.fprintf ppf "dense %dx%d" r c
-  | Vsparse s -> Csr.pp ppf s
-  | Vdiag v -> Format.fprintf ppf "diag n=%d" (Array.length v)
+let apply ?pool ?ws prim graph args =
+  Dispatch.exec { Dispatch.pool; ws; hybrid = None } prim graph
+    (Array.of_list args)
 
-let dense = function Vdense d -> d | v -> err "expected dense, got %a" pp_value v
-let sparse = function Vsparse s -> s | v -> err "expected sparse, got %a" pp_value v
-let diag = function Vdiag d -> d | v -> err "expected diagonal, got %a" pp_value v
+(* Analytic time of one executed step: the kernel-model prediction for its
+   instantiated kernels, with deterministic jitter seeded per step index. *)
+let analytic_time ~threads ~seed profile (s : Plan.step) graph args v =
+  List.fold_left
+    (fun acc k ->
+      acc +. K.time_noisy ~threads profile ~seed:(seed + s.Plan.idx) k)
+    0.
+    (Dispatch.kernels_of_step s.Plan.prim graph args v)
 
-let diag_to_csr ?ws v =
-  (* the diagonal's CSR structure is known in closed form: row i holds the
-     single entry (i, i), so row_ptr is 0..n and col_idx the identity — no
-     COO staging or sort needed *)
-  let n = Array.length v in
-  let row_ptr = Array.init (n + 1) (fun i -> i) in
-  let col_idx = Array.init n (fun i -> i) in
-  let values = Workspace.alloc_uninit ws n in
-  Array.blit v 0 values 0 n;
-  Csr.make ~n_rows:n ~n_cols:n ~row_ptr ~col_idx ~values:(Some values)
+(* ---- the dispatch loop ----
 
-(* GAT's attention function: per stored edge (i, j),
-   leaky_relu(a_src . feats_i + a_dst . feats_j). *)
-let edge_score ?pool ?ws mask feats a_src a_dst =
-  let s = Dense.matmul ?pool ?ws feats a_src and t = Dense.matmul ?pool ?ws feats a_dst in
-  let count = Csr.nnz mask in
-  let out = Workspace.alloc_uninit ws count in
-  (* index the score columns directly ([s] and [t] are n x 1): a [Dense.get]
-     call per edge would box its float result in the inner loop *)
-  let sd = s.Dense.data and td = t.Dense.data in
-  Granii_tensor.Parallel.rows_weighted ?pool ~prefix:mask.Csr.row_ptr (fun lo hi ->
-      for i = lo to hi - 1 do
-        let si = Array.unsafe_get sd i in
-        for p = mask.Csr.row_ptr.(i) to mask.Csr.row_ptr.(i + 1) - 1 do
-          let x = si +. Array.unsafe_get td (Array.unsafe_get mask.Csr.col_idx p) in
-          out.(p) <- (if x > 0. then x else 0.2 *. x)
-        done
-      done);
-  Workspace.give_back ws s.Dense.data;
-  Workspace.give_back ws t.Dense.data;
-  Csr.with_values mask out
+   All policy lives elsewhere: the engine owns pool/workspace/cache/layout
+   and was validated at construction; the pass pipeline decided what is
+   wired in (argument lowering, liveness recycling, layout bracketing,
+   cache keys). What remains here is: resolve arguments, dispatch each step
+   through the kernel registry, time it, and recycle dead buffers. *)
 
-let apply_nonlinear ?pool ?ws kind d =
-  match kind with
-  | Matrix_ir.Relu -> Dense.relu ?pool ?ws d
-  | Matrix_ir.Leaky_relu -> Dense.leaky_relu ?pool ?ws d
-  | Matrix_ir.Sigmoid -> Dense.sigmoid ?pool ?ws d
-  | Matrix_ir.Log_softmax -> Dense.log_softmax_rows ?pool ?ws d
-  | Matrix_ir.Edge_softmax -> err "edge_softmax reached dense map"
-
-(* Dispatch on argument arrays so the steady-state loop can reuse one
-   preallocated array per step instead of rebuilding argument lists.
-   [?hybrid] is the locality engine's format lookup: when it returns a
-   hybrid form for a sparse operand (iteration-stable matrices only — the
-   run drivers register bindings and setup outputs), the g-kernels run from
-   the slab+tail layout; the results are bitwise identical to the Csr
-   kernels, so the switch is invisible to everything downstream. *)
-let exec_prim ?pool ?ws ?hybrid (prim : Primitive.t) (graph : Granii_graph.Graph.t)
-    (args : value array) =
-  let hybrid_of m = match hybrid with None -> None | Some f -> f m in
-  match (prim, args) with
-  | Primitive.Gemm _, [| a; b |] -> Vdense (Dense.matmul ?pool ?ws (dense a) (dense b))
-  | Primitive.Spmm _, [| a; b |] -> (
-      let m = sparse a in
-      match hybrid_of m with
-      | Some h -> Vdense (Hybrid.spmm ?pool ?ws h (dense b))
-      | None -> Vdense (Spmm.run ?pool ?ws m (dense b)))
-  | Primitive.Dense_sparse_mm _, [| a; b |] ->
-      Vdense (Spmm.run_transposed ?pool ?ws (dense a) (sparse b))
-  | Primitive.Sddmm_rank1, [| dl; a; dr |] -> (
-      let m = sparse a in
-      match hybrid_of m with
-      | Some h -> Vsparse (Hybrid.rank1 ?pool ?ws h (diag dl) (diag dr))
-      | None -> Vsparse (Sddmm.rank1 ?pool ?ws m (diag dl) (diag dr)))
-  | Primitive.Diag_scale { side = `Left }, [| d; a |] ->
-      Vsparse (Sparse_ops.scale_rows ?pool ?ws (diag d) (sparse a))
-  | Primitive.Diag_scale { side = `Right }, [| a; d |] ->
-      Vsparse (Sparse_ops.scale_cols ?pool ?ws (sparse a) (diag d))
-  | Primitive.Row_broadcast _, [| d; x |] ->
-      Vdense (Dense.row_broadcast ?pool ?ws (diag d) (dense x))
-  | Primitive.Col_broadcast _, [| x; d |] ->
-      Vdense (Dense.col_broadcast ?pool ?ws (dense x) (diag d))
-  | Primitive.Diag_combine, [| a; b |] ->
-      let da = diag a and db = diag b in
-      let n = Array.length da in
-      if Array.length db <> n then err "diag_combine: dimension mismatch";
-      let out = Workspace.alloc_uninit ws n in
-      for i = 0 to n - 1 do
-        out.(i) <- da.(i) *. db.(i)
-      done;
-      Vdiag out
-  | Primitive.Sparse_add _, parts ->
-      let as_csr = function
-        | Vdiag d -> diag_to_csr ?ws d
-        | Vsparse s -> s
-        | Vdense _ -> err "sparse_add over a dense operand"
-      in
-      (match Array.length parts with
-      | 0 -> err "sparse_add with no operands"
-      | len ->
-          let acc = ref (as_csr parts.(0)) in
-          for i = 1 to len - 1 do
-            acc := Sparse_ops.add !acc (as_csr parts.(i))
-          done;
-          Vsparse !acc)
-  | Primitive.Dense_add _, parts -> (
-      match Array.length parts with
-      | 0 -> err "dense_add with no operands"
-      | len ->
-          let acc = ref (dense parts.(0)) in
-          for i = 1 to len - 1 do
-            let next = Dense.add ?pool ?ws !acc (dense parts.(i)) in
-            (* fold temporaries (never the first operand, which a caller may
-               still hold) go straight back to the arena *)
-            if i > 1 then Workspace.give_back ws !acc.Dense.data;
-            acc := next
-          done;
-          Vdense !acc)
-  | Primitive.Edge_score _, [| mask; feats; a_src; a_dst |] ->
-      Vsparse (edge_score ?pool ?ws (sparse mask) (dense feats) (dense a_src) (dense a_dst))
-  | Primitive.Edge_softmax, [| a |] -> Vsparse (Sparse_ops.row_softmax ?pool ?ws (sparse a))
-  | Primitive.Dense_map { kind; _ }, [| a |] ->
-      Vdense (apply_nonlinear ?pool ?ws kind (dense a))
-  | Primitive.Degree { power; _ }, [| _graph_token |] -> (
-      match power with
-      | Primitive.Inv_sqrt -> Vdiag (Granii_graph.Graph.norm_inv_sqrt graph)
-      | Primitive.Inv ->
-          Vdiag
-            (Granii_tensor.Vector.pow (-1.)
-               (Granii_graph.Graph.degrees_tilde graph)))
-  | prim, args ->
-      err "primitive %a applied to %d arguments" Primitive.pp prim (Array.length args)
-
-let apply ?pool ?ws prim graph args = exec_prim ?pool ?ws prim graph (Array.of_list args)
-
-(* Kernels of a step, sized from the actual operand values (so sampling or
-   precomputed sparse intermediates are charged their true nnz). *)
-let kernels_of_step (prim : Primitive.t) (graph : Granii_graph.Graph.t)
-    (args : value array) result =
-  let nnz_of v = Csr.nnz (sparse v) in
-  let dense_dims v = Dense.dims (dense v) in
-  match (prim, args) with
-  | Primitive.Gemm _, [| a; b |] ->
-      let m, k = dense_dims a and _, n = dense_dims b in
-      [ K.Gemm { m; k; n } ]
-  | Primitive.Spmm { weighted; _ }, [| a; b |] ->
-      let rows = (sparse a).Csr.n_rows and _, k = dense_dims b in
-      [ K.Spmm { rows; nnz = nnz_of a; k; weighted } ]
-  | Primitive.Dense_sparse_mm _, [| a; b |] ->
-      let rows, k = dense_dims a in
-      [ K.Dense_sparse_mm { rows; nnz = nnz_of b; cols = (sparse b).Csr.n_cols; k } ]
-  | Primitive.Sddmm_rank1, [| _; a; _ |] -> [ K.Sddmm { nnz = nnz_of a; k = 1 } ]
-  | Primitive.Diag_scale _, [| a; b |] ->
-      let nnz = match a with Vsparse s -> Csr.nnz s | _ -> nnz_of b in
-      [ K.Diag_scale_sparse { nnz } ]
-  | Primitive.Row_broadcast _, [| _; x |] ->
-      let n, k = dense_dims x in
-      [ K.Row_broadcast { n; k } ]
-  | Primitive.Col_broadcast _, [| x; _ |] ->
-      let n, k = dense_dims x in
-      [ K.Col_broadcast { n; k } ]
-  | Primitive.Diag_combine, [| a; _ |] -> [ K.Diag_combine { n = Array.length (diag a) } ]
-  | Primitive.Sparse_add _, _ ->
-      let nnz = match result with Vsparse s -> Csr.nnz s | _ -> 0 in
-      [ K.Diag_scale_sparse { nnz } ]
-  | Primitive.Dense_add _, parts when Array.length parts > 0 ->
-      let n, k = dense_dims parts.(0) in
-      [ K.Elementwise { n; k; flops_per_elt = float_of_int (Array.length parts - 1) } ]
-  | Primitive.Edge_score _, [| mask; feats; _; _ |] ->
-      let n, k = dense_dims feats in
-      [ K.Gemm { m = n; k; n = 1 };
-        K.Gemm { m = n; k; n = 1 };
-        K.Sddmm { nnz = nnz_of mask; k = 1 } ]
-  | Primitive.Edge_softmax, [| a |] -> [ K.Edge_softmax { nnz = nnz_of a } ]
-  | Primitive.Dense_map { kind; _ }, [| a |] ->
-      let n, k = dense_dims a in
-      let flops_per_elt =
-        match kind with
-        | Matrix_ir.Relu -> 1.
-        | Matrix_ir.Leaky_relu -> 2.
-        | Matrix_ir.Sigmoid -> 10.
-        | Matrix_ir.Log_softmax | Matrix_ir.Edge_softmax -> 12.
-      in
-      [ K.Elementwise { n; k; flops_per_elt } ]
-  | Primitive.Degree { binned; _ }, _ ->
-      let n = Granii_graph.Graph.n_nodes graph in
-      let nnz = Granii_graph.Graph.n_edges graph + n in
-      if binned then
-        [ K.Degree_binning
-            { n; nnz; avg_collisions = float_of_int nnz /. float_of_int (max n 1) } ]
-      else [ K.Degree_rowptr { n } ]
-  | prim, args ->
-      err "kernels: primitive %a applied to %d arguments" Primitive.pp prim
-        (Array.length args)
-
-(* ---- shared-subtree execution cache ----
-
-   Keyed by [Plan.step.skey], the association tree's structural CSE key, so
-   a value computed while executing one candidate plan is recognized by
-   every other candidate of the same model that contains the same subtree —
-   the GAT reuse-vs-recompute structure. One cache is only valid for one
-   (graph, bindings) pair; the caller owns that contract. *)
-
-type cache = {
-  tbl : (string, value * float) Hashtbl.t;
-  mutable cache_hits : int;
-  mutable cache_misses : int;
-}
-
-let cache_create () = { tbl = Hashtbl.create 64; cache_hits = 0; cache_misses = 0 }
-let cache_stats c = (c.cache_hits, c.cache_misses)
-
-(* Backing float arrays of a value — what the workspace pools. CSR structure
-   arrays are ints and shared with the mask/graph, so only values move. *)
-let backing_arrays = function
-  | Vdense d -> [ d.Dense.data ]
-  | Vsparse s -> ( match s.Csr.values with Some v -> [ v ] | None -> [] )
-  | Vdiag v -> [ v ]
-
-let shares_backing a v =
-  List.exists (fun b -> b == a) (backing_arrays v)
-
-let sim_threads pool =
-  match pool with None -> 1 | Some p -> Granii_tensor.Parallel.threads p
-
-(* ---- locality boundary ----
-
-   Under a non-default [Locality.config] the run is bracketed: graph and
-   bindings are permuted on entry, the plan executes entirely in the new id
-   space (optionally from the hybrid format), and outputs are
-   inverse-permuted on exit. Values are classified by shape — the rule the
-   GNN binding convention establishes: an [n x _] dense matrix or length-[n]
-   diagonal is node-indexed (permute rows), an [n x n] sparse matrix is
-   graph-shaped (permute symmetrically), everything else (weight matrices)
-   is id-free. All of it is timed into [layout_time], separate from
-   setup/iteration so the bench can report amortization honestly. *)
-
-let permute_value r n = function
-  | Vdense d when d.Dense.rows = n -> Vdense (Reorder.permute_dense_rows r d)
-  | Vsparse s when s.Csr.n_rows = n && s.Csr.n_cols = n ->
-      Vsparse (Reorder.permute_csr r s)
-  | Vdiag v when Array.length v = n -> Vdiag (Reorder.permute_vector r v)
-  | v -> v
-
-let inverse_value r inv_r n = function
-  | Vdense d when d.Dense.rows = n -> Vdense (Reorder.inverse_dense_rows r d)
-  | Vsparse s when s.Csr.n_rows = n && s.Csr.n_cols = n ->
-      Vsparse (Reorder.permute_csr inv_r s)
-  | Vdiag v when Array.length v = n -> Vdiag (Reorder.inverse_vector r v)
-  | v -> v
-
-(* Mutable locality state for one run: the computed ordering (if any) and the
-   memo of hybrid conversions, keyed by physical identity — only
-   iteration-stable matrices (bindings, setup-step outputs) are registered,
-   so per-iteration-fresh sparse values keep the Csr path and never pay a
-   per-iteration conversion. *)
-type locality_state = {
-  config : Locality.config;
-  reorder : Reorder.t option;
-  inverse : Reorder.t option; (* the inverse ordering, for Csr outputs *)
-  mutable hybrids : (Csr.t * Hybrid.t) list;
-  mutable layout : float;
-}
-
-let locality_enter ~locality ~graph ~bindings =
-  if Locality.is_default locality then
-    (None, graph, bindings)
-  else begin
-    let n = Granii_graph.Graph.n_nodes graph in
-    let (st, graph', bindings'), t =
-      Granii_hw.Timer.measure (fun () ->
-          match locality.Locality.strategy with
-          | Granii_graph.Reorder.Identity ->
-              ( { config = locality;
-                  reorder = None;
-                  inverse = None;
-                  hybrids = [];
-                  layout = 0. },
-                graph,
-                bindings )
-          | strategy ->
-              let r =
-                Reorder.compute strategy graph.Granii_graph.Graph.adj
-              in
-              let inv = Reorder.of_perm ~strategy r.Reorder.inv in
-              ( { config = locality;
-                  reorder = Some r;
-                  inverse = Some inv;
-                  hybrids = [];
-                  layout = 0. },
-                Reorder.apply_graph r graph,
-                List.map (fun (name, v) -> (name, permute_value r n v)) bindings
-              ))
-    in
-    st.layout <- t;
-    (Some st, graph', bindings')
-  end
-
-(* Register an iteration-stable sparse value for hybrid execution; the
-   conversion cost is layout work, not kernel time. *)
-let locality_register st v =
-  match st with
-  | None -> ()
-  | Some st ->
-      if st.config.Locality.format = Locality.Hybrid then begin
-        match v with
-        | Vsparse s
-          when s.Csr.n_rows = s.Csr.n_cols
-               && not (List.exists (fun (m, _) -> m == s) st.hybrids) ->
-            let h, t = Granii_hw.Timer.measure (fun () -> Hybrid.of_csr s) in
-            st.layout <- st.layout +. t;
-            st.hybrids <- (s, h) :: st.hybrids
-        | _ -> ()
-      end
-
-let locality_lookup st =
-  match st with
-  | None -> None
-  | Some st ->
-      if st.config.Locality.format = Locality.Hybrid then
-        Some
-          (fun m ->
-            List.find_opt (fun (m', _) -> m' == m) st.hybrids
-            |> Option.map snd)
-      else None
-
-let locality_exit st ~n output intermediates =
-  match st with
-  | None -> (output, intermediates, 0.)
-  | Some st -> (
-      match (st.reorder, st.inverse) with
-      | Some r, Some inv_r ->
-          let (o, ints), t =
-            Granii_hw.Timer.measure (fun () ->
-                ( inverse_value r inv_r n output,
-                  List.map (fun (i, v) -> (i, inverse_value r inv_r n v)) intermediates ))
-          in
-          st.layout <- st.layout +. t;
-          (o, ints, st.layout)
-      | _ -> (output, intermediates, st.layout))
-
-let run ?(seed = 0) ?pool ?workspace ?cache ?(keep_intermediates = true)
-    ?(locality = Locality.default) ~timing ~graph ~bindings (plan : Plan.t) =
-  (match (workspace, cache) with
-  | Some _, Some _ ->
-      invalid_arg
-        "Executor.run: ?workspace and ?cache cannot be combined (cached values \
-         would alias arena buffers that the next reclaim recycles)"
-  | _ -> ());
-  (match cache with
-  | Some _ when not (Locality.is_default locality) ->
-      invalid_arg
-        "Executor.run: ?cache and a non-default ?locality cannot be combined \
-         (cached values live in a different vertex id space)"
-  | _ -> ());
+let exec_prepared ~seed ~engine ~timing ~graph ~bindings (prep : Pass.prepared) =
+  let pool = Engine.pool engine and ws = Engine.workspace engine in
+  let cache =
+    match (Engine.cache engine, prep.Pass.cache_keys) with
+    | Some c, Some keys ->
+        Engine.cache_bind_graph c graph;
+        Some (c, keys)
+    | _ -> None
+  in
   let orig_n = Granii_graph.Graph.n_nodes graph in
-  let lstate, graph, bindings = locality_enter ~locality ~graph ~bindings in
-  List.iter (fun (_, v) -> locality_register lstate v) bindings;
-  let hybrid = locality_lookup lstate in
-  let ws = workspace in
+  let lstate, graph, bindings =
+    Pass.Layout.enter ~locality:prep.Pass.locality ~graph ~bindings
+  in
+  List.iter (fun (_, v) -> Pass.Layout.register lstate v) bindings;
+  let ctx = { Dispatch.pool; ws; hybrid = Pass.Layout.hybrid_of lstate } in
   (match ws with Some w -> Workspace.reclaim w | None -> ());
-  let steps = Array.of_list plan.Plan.steps in
+  let steps = prep.Pass.steps in
   let n = Array.length steps in
   let slots : value option array = Array.make n None in
   let lookup = function
@@ -413,14 +78,13 @@ let run ?(seed = 0) ?pool ?workspace ?cache ?(keep_intermediates = true)
         | Some v -> v
         | None -> err "unbound input %s" name)
   in
-  (* Within-run recycling: only without [keep_intermediates] (autodiff needs
-     every intermediate alive until the backward pass). *)
-  let live =
-    if (not keep_intermediates) && ws <> None then Some (Liveness.analyze plan)
-    else None
+  let arg_values i (s : Plan.step) =
+    match prep.Pass.args with
+    | Some srcs -> Array.map lookup srcs.(i)
+    | None -> Array.of_list (List.map lookup s.Plan.args)
   in
   let free_dead_after i =
-    match live with
+    match prep.Pass.live with
     | None -> ()
     | Some lv ->
         List.iter
@@ -439,82 +103,61 @@ let run ?(seed = 0) ?pool ?workspace ?cache ?(keep_intermediates = true)
                     Array.iteri
                       (fun j s ->
                         match s with
-                        | Some sv when j <> d && shares_backing a sv -> shared := true
+                        | Some sv when j <> d && Dispatch.shares_backing a sv ->
+                            shared := true
                         | _ -> ())
                       slots;
                     if not !shared then Workspace.give_back ws a)
-                  (backing_arrays v);
+                  (Dispatch.backing_arrays v);
                 slots.(d) <- None)
           (Liveness.dead_after lv i)
   in
+  let threads = Engine.threads engine in
   let setup_time = ref 0. and iteration_time = ref 0. in
   let per_step = ref [] in
-  Array.iter
-    (fun (s : Plan.step) ->
-      let args = Array.of_list (List.map lookup s.Plan.args) in
+  Array.iteri
+    (fun i (s : Plan.step) ->
+      let args = arg_values i s in
+      let cached =
+        match cache with
+        | None -> None
+        | Some (c, keys) -> Engine.cache_find c keys.(i)
+      in
       let value, elapsed =
-        let cached = match cache with None -> None | Some c -> Hashtbl.find_opt c.tbl s.Plan.skey in
         match (cached, timing) with
         | Some (v, measured), Measure ->
-            (match cache with Some c -> c.cache_hits <- c.cache_hits + 1 | None -> ());
             (* the work is genuinely skipped; charge what it cost when it ran *)
             (v, measured)
         | Some (v, _), Simulate profile ->
-            (match cache with Some c -> c.cache_hits <- c.cache_hits + 1 | None -> ());
             (* simulated jitter is seeded per step index, which differs
                between plans — recompute the analytic time for THIS step so
                a cache hit is timing-transparent in Simulate mode *)
-            let kernels = kernels_of_step s.Plan.prim graph args v in
-            let t =
-              List.fold_left
-                (fun acc k ->
-                  acc
-                  +. K.time_noisy ~threads:(sim_threads pool) profile
-                       ~seed:(seed + s.Plan.idx) k)
-                0. kernels
-            in
-            (v, t)
+            (v, analytic_time ~threads ~seed profile s graph args v)
         | None, Measure ->
             let v, t =
               Granii_hw.Timer.measure (fun () ->
-                  exec_prim ?pool ?ws ?hybrid s.Plan.prim graph args)
+                  Dispatch.exec ctx s.Plan.prim graph args)
             in
-            (match cache with
-            | Some c ->
-                c.cache_misses <- c.cache_misses + 1;
-                Hashtbl.replace c.tbl s.Plan.skey (v, t)
-            | None -> ());
+            Engine.cache_insert engine s.Plan.skey v t;
             (v, t)
         | None, Simulate profile ->
-            let v = exec_prim ?pool ?ws ?hybrid s.Plan.prim graph args in
-            let kernels = kernels_of_step s.Plan.prim graph args v in
-            let t =
-              List.fold_left
-                (fun acc k ->
-                  acc
-                  +. K.time_noisy ~threads:(sim_threads pool) profile
-                       ~seed:(seed + s.Plan.idx) k)
-                0. kernels
-            in
-            (match cache with
-            | Some c ->
-                c.cache_misses <- c.cache_misses + 1;
-                Hashtbl.replace c.tbl s.Plan.skey (v, t)
-            | None -> ());
+            let v = Dispatch.exec ctx s.Plan.prim graph args in
+            let t = analytic_time ~threads ~seed profile s graph args v in
+            Engine.cache_insert engine s.Plan.skey v t;
             (v, t)
       in
       slots.(s.Plan.idx) <- Some value;
       (* setup outputs are iteration-stable: candidates for the hybrid form *)
-      if s.Plan.phase = Plan.Setup then locality_register lstate value;
+      if s.Plan.phase = Plan.Setup then Pass.Layout.register lstate value;
       (match s.Plan.phase with
       | Plan.Setup -> setup_time := !setup_time +. elapsed
       | Plan.Per_iteration -> iteration_time := !iteration_time +. elapsed);
       per_step := (s.Plan.prim, s.Plan.phase, elapsed) :: !per_step;
       free_dead_after s.Plan.idx)
     steps;
-  let output = lookup plan.Plan.output in
+  let output = lookup prep.Pass.plan.Plan.output in
   let intermediates =
-    if keep_intermediates then begin
+    if Engine.keep_intermediates engine then begin
       let acc = ref [] in
       for i = n - 1 downto 0 do
         match slots.(i) with Some v -> acc := (i, v) :: !acc | None -> ()
@@ -524,37 +167,47 @@ let run ?(seed = 0) ?pool ?workspace ?cache ?(keep_intermediates = true)
     else []
   in
   let output, intermediates, layout_time =
-    locality_exit lstate ~n:orig_n output intermediates
+    Pass.Layout.exit_ lstate ~n:orig_n output intermediates
   in
   { output;
     setup_time = !setup_time;
     iteration_time = !iteration_time;
     layout_time;
     per_step = List.rev !per_step;
-    intermediates }
+    intermediates;
+    trace = prep.Pass.trace }
+
+let exec ?(seed = 0) ?disable ~engine ~timing ~graph ~bindings (plan : Plan.t) =
+  exec_prepared ~seed ~engine ~timing ~graph ~bindings
+    (Pass.prepare ?disable engine plan)
 
 (* ---- steady-state iteration driver ----
 
-   [run] pays per-step bookkeeping (argument lists, timing closures) that is
-   invisible for a single execution but IS the allocation profile of a
+   [exec] pays per-step bookkeeping (argument lists, timing closures) that
+   is invisible for a single execution but IS the allocation profile of a
    trainer epoch loop or a profiling sweep. This driver hoists all of it:
    argument arrays are preallocated per step and input bindings resolved
    once, setup steps run once, and each iteration re-executes only the
    per-iteration steps after returning the previous iteration's buffers to
-   the workspace arena — so with [?workspace] the loop body performs no
-   per-step minor allocation beyond what the kernels themselves do. *)
+   the workspace arena — so with a workspace engine the loop body performs
+   no per-step minor allocation beyond what the kernels themselves do. The
+   subtree cache is {e not} consulted here: per-iteration steps recompute
+   identical values by construction, so serving them from the cache would
+   make the steady state it exists to measure meaningless. *)
 
-let run_iterations ?(seed = 0) ?pool ?workspace ?(keep_intermediates = true)
-    ?(locality = Locality.default) ~timing ~graph ~bindings ~iterations
-    (plan : Plan.t) =
-  if iterations < 1 then invalid_arg "Executor.run_iterations: iterations < 1";
-  let ws = workspace in
+let exec_iterations ?(seed = 0) ?disable ~engine ~timing ~graph ~bindings
+    ~iterations (plan : Plan.t) =
+  if iterations < 1 then invalid_arg "Executor.exec_iterations: iterations < 1";
+  let prep = Pass.prepare ?disable engine plan in
+  let pool = Engine.pool engine and ws = Engine.workspace engine in
   (match ws with Some w -> Workspace.reclaim w | None -> ());
   let orig_n = Granii_graph.Graph.n_nodes graph in
-  let lstate, graph, bindings = locality_enter ~locality ~graph ~bindings in
-  List.iter (fun (_, v) -> locality_register lstate v) bindings;
-  let hybrid = locality_lookup lstate in
-  let steps = Array.of_list plan.Plan.steps in
+  let lstate, graph, bindings =
+    Pass.Layout.enter ~locality:prep.Pass.locality ~graph ~bindings
+  in
+  List.iter (fun (_, v) -> Pass.Layout.register lstate v) bindings;
+  let ctx = { Dispatch.pool; ws; hybrid = Pass.Layout.hybrid_of lstate } in
+  let steps = prep.Pass.steps in
   let n = Array.length steps in
   let slots : value option array = Array.make n None in
   let graph_token = Vsparse graph.Granii_graph.Graph.adj in
@@ -565,13 +218,19 @@ let run_iterations ?(seed = 0) ?pool ?workspace ?(keep_intermediates = true)
       | Some v -> v
       | None -> err "unbound input %s" name
   in
-  let args_src = Array.map (fun (s : Plan.step) -> Array.of_list s.Plan.args) steps in
+  let args_src =
+    match prep.Pass.args with
+    | Some srcs -> srcs
+    | None -> Array.map (fun (s : Plan.step) -> Array.of_list s.Plan.args) steps
+  in
   (* input operands never change across iterations: resolve them once; the
      placeholder in Computed positions is overwritten before first use *)
   let args_val =
     Array.map
       (fun src ->
-        Array.map (function Plan.Input name -> resolve name | Plan.Computed _ -> graph_token) src)
+        Array.map
+          (function Plan.Input name -> resolve name | Plan.Computed _ -> graph_token)
+          src)
       args_src
   in
   let refresh_args i =
@@ -587,31 +246,27 @@ let run_iterations ?(seed = 0) ?pool ?workspace ?(keep_intermediates = true)
     dst
   in
   let per_step_time = Array.make n 0. in
-  let threads = sim_threads pool in
+  let threads = Engine.threads engine in
   let exec_step (s : Plan.step) args =
     match timing with
     | Measure ->
         let t0 = Granii_hw.Timer.now () in
-        let v = exec_prim ?pool ?ws ?hybrid s.Plan.prim graph args in
+        let v = Dispatch.exec ctx s.Plan.prim graph args in
         (v, Granii_hw.Timer.now () -. t0)
     | Simulate profile ->
-        let v = exec_prim ?pool ?ws ?hybrid s.Plan.prim graph args in
-        let t =
-          List.fold_left
-            (fun acc k -> acc +. K.time_noisy ~threads profile ~seed:(seed + s.Plan.idx) k)
-            0.
-            (kernels_of_step s.Plan.prim graph args v)
-        in
-        (v, t)
+        let v = Dispatch.exec ctx s.Plan.prim graph args in
+        (v, analytic_time ~threads ~seed profile s graph args v)
   in
-  let is_iter = Array.map (fun (s : Plan.step) -> s.Plan.phase = Plan.Per_iteration) steps in
+  let is_iter =
+    Array.map (fun (s : Plan.step) -> s.Plan.phase = Plan.Per_iteration) steps
+  in
   let setup_time = ref 0. in
   Array.iteri
     (fun i (s : Plan.step) ->
       if not is_iter.(i) then begin
         let v, t = exec_step s (refresh_args i) in
         slots.(i) <- Some v;
-        locality_register lstate v;
+        Pass.Layout.register lstate v;
         per_step_time.(i) <- t;
         setup_time := !setup_time +. t
       end)
@@ -622,7 +277,10 @@ let run_iterations ?(seed = 0) ?pool ?workspace ?(keep_intermediates = true)
     Array.to_list steps
     |> List.concat_map (fun (s : Plan.step) ->
            if is_iter.(s.Plan.idx) then []
-           else match slots.(s.Plan.idx) with Some v -> backing_arrays v | None -> [])
+           else
+             match slots.(s.Plan.idx) with
+             | Some v -> Dispatch.backing_arrays v
+             | None -> [])
   in
   let release_iteration_slots () =
     for i = 0 to n - 1 do
@@ -633,7 +291,7 @@ let run_iterations ?(seed = 0) ?pool ?workspace ?(keep_intermediates = true)
               (fun a ->
                 if not (List.exists (fun sb -> sb == a) setup_backing) then
                   Workspace.give_back ws a)
-              (backing_arrays v)
+              (Dispatch.backing_arrays v)
         | None -> ());
         slots.(i) <- None
       end
@@ -653,7 +311,7 @@ let run_iterations ?(seed = 0) ?pool ?workspace ?(keep_intermediates = true)
     done
   done;
   let output =
-    match plan.Plan.output with
+    match prep.Pass.plan.Plan.output with
     | Plan.Computed i -> (
         match slots.(i) with
         | Some v -> v
@@ -661,10 +319,14 @@ let run_iterations ?(seed = 0) ?pool ?workspace ?(keep_intermediates = true)
     | Plan.Input name -> resolve name
   in
   let per_step =
-    Array.to_list (Array.map (fun (s : Plan.step) -> (s.Plan.prim, s.Plan.phase, per_step_time.(s.Plan.idx))) steps)
+    Array.to_list
+      (Array.map
+         (fun (s : Plan.step) ->
+           (s.Plan.prim, s.Plan.phase, per_step_time.(s.Plan.idx)))
+         steps)
   in
   let intermediates =
-    if keep_intermediates then begin
+    if Engine.keep_intermediates engine then begin
       let acc = ref [] in
       for i = n - 1 downto 0 do
         match slots.(i) with Some v -> acc := (i, v) :: !acc | None -> ()
@@ -674,14 +336,41 @@ let run_iterations ?(seed = 0) ?pool ?workspace ?(keep_intermediates = true)
     else []
   in
   let output, intermediates, layout_time =
-    locality_exit lstate ~n:orig_n output intermediates
+    Pass.Layout.exit_ lstate ~n:orig_n output intermediates
   in
   { output;
     setup_time = !setup_time;
     iteration_time = !total_iter_time /. float_of_int iterations;
     layout_time;
     per_step;
-    intermediates }
+    intermediates;
+    trace = prep.Pass.trace }
+
+(* ---- deprecated optional-argument wrappers ----
+
+   One release of compatibility: each builds a one-shot engine mirroring
+   its optional arguments (via [Engine.of_legacy], which never spawns a
+   pool, so no cleanup is owed) and delegates. Illegal combinations now
+   surface as [Engine.Error] at the call instead of [Invalid_argument]
+   mid-run. New code should construct an {!Engine.t} and call [exec]. *)
+
+type cache = Engine.cache
+
+let cache_create = Engine.cache_create
+let cache_stats = Engine.cache_stats
+
+let run ?seed ?pool ?workspace ?cache ?keep_intermediates ?locality ~timing
+    ~graph ~bindings plan =
+  let engine =
+    Engine.of_legacy ?pool ?workspace ?cache ?keep_intermediates ?locality ()
+  in
+  exec ?seed ~engine ~timing ~graph ~bindings plan
+
+let run_iterations ?seed ?pool ?workspace ?keep_intermediates ?locality ~timing
+    ~graph ~bindings ~iterations plan =
+  if iterations < 1 then invalid_arg "Executor.run_iterations: iterations < 1";
+  let engine = Engine.of_legacy ?pool ?workspace ?keep_intermediates ?locality () in
+  exec_iterations ?seed ~engine ~timing ~graph ~bindings ~iterations plan
 
 let estimate ?(seed = 0) ~profile ~env (plan : Plan.t) =
   let setup = ref 0. and iter = ref 0. in

@@ -1,42 +1,54 @@
 (** Plan execution, with real or simulated timing.
 
+    The executor is the thin top of the execution stack
+    ({!Dispatch} < {!Engine} < {!Pass} < [Executor]): {!exec} prepares the
+    plan through the pass pipeline and then runs a dispatch loop that
+    resolves arguments, routes each step through the kernel registry and
+    accumulates times. Everything configurable — pool, workspace arena,
+    subtree cache, locality layout, liveness policy — lives in the
+    {!Engine.t} the caller constructs once.
+
     Every step is {e always} executed for real (so numerical results can be
     cross-checked between candidates); what differs is the clock:
 
     - [Measure]: host wall-clock per step — the "real CPU" mode;
     - [Simulate profile]: each step is charged the analytic
       {!Granii_hw.Kernel_model} time for its instantiated kernels on the
-      given hardware profile, with deterministic jitter (at the pool's
-      thread count when a [?pool] is given). This is the substitute for the
-      paper's A100/H100 testbeds (see DESIGN.md).
+      given hardware profile, with deterministic jitter (at the engine's
+      thread count). This is the substitute for the paper's A100/H100
+      testbeds (see DESIGN.md).
 
     [estimate] skips execution entirely and just sums predicted kernel times
     — used by the large parameter sweeps of the benches.
 
     {2 Memory model}
 
-    With [?workspace], every kernel output comes from a
-    {!Granii_tensor.Workspace.t} arena. {!run} reclaims the arena on entry,
+    With a workspace engine, every kernel output comes from a
+    {!Granii_tensor.Workspace.t} arena. {!exec} reclaims the arena on entry,
     so all values produced by the previous run on the same workspace are
     invalidated by the next one — copy anything you keep. Outputs are
     bitwise identical to the allocating path. With
-    [keep_intermediates:false], a {!Liveness} pass additionally recycles
-    each intermediate's buffer the moment its last reader retires (the
-    default keeps them alive — {!Granii_gnn.Autodiff} reads every
+    [keep_intermediates = false], the {!Pass.liveness} pass additionally
+    recycles each intermediate's buffer the moment its last reader retires
+    (the default keeps them alive — {!Granii_gnn.Autodiff} reads every
     intermediate in its backward pass).
 
-    With [?cache], steps whose {!Plan.step.skey} was already executed are
-    served from the shared-subtree cache instead of re-executed, so a
+    With a cache engine, steps whose {!Plan.step.skey} was already executed
+    are served from the shared-subtree cache instead of re-executed, so a
     selection or profiling sweep executes each common subexpression once per
-    input rather than once per candidate plan. A cache is only valid for one
-    (graph, bindings) pair. [?workspace] and [?cache] cannot be combined:
-    cached values would alias arena buffers that the next reclaim recycles.
+    input rather than once per candidate plan. The cache is fingerprinted
+    against the first graph it runs on and raises
+    [Engine.Error (Cache_graph_mismatch _)] on any other; keeping the
+    bindings fixed remains the caller's contract. Workspace and cache
+    {e can} be combined (entries are epoch-pinned: copied out of the arena
+    on insert) — except under [keep_intermediates = false], which
+    {!Engine.create} rejects as {!Engine.Workspace_cache_discard}.
 
     {2 Locality}
 
-    With [?locality] (a non-default {!Locality.config}), the executor runs
-    the plan under a graph layout chosen by the cost model: the graph (and
-    every n-row/n-sized binding) is symmetrically permuted by the configured
+    With a non-default {!Locality.config}, the executor runs the plan under
+    a graph layout chosen by the cost model: the graph (and every
+    n-row/n-sized binding) is symmetrically permuted by the configured
     {!Granii_graph.Reorder} strategy before execution, square sparse
     operands are converted to the {!Granii_sparse.Hybrid} format when the
     configured format asks for it, and the output plus all intermediates are
@@ -53,10 +65,9 @@
     permutation) is timed into [layout_time], never into setup or iteration
     time. Hybrid conversion is memoized per physical value and applied to
     bindings and setup-phase outputs only; per-iteration sparse values fall
-    back to CSR. [?cache] cannot be combined with a non-default [?locality]
-    (cached values live in the permuted id space of their first run). *)
+    back to CSR. *)
 
-type value =
+type value = Dispatch.value =
   | Vdense of Granii_tensor.Dense.t
   | Vsparse of Granii_sparse.Csr.t
   | Vdiag of Granii_tensor.Vector.t
@@ -75,32 +86,72 @@ type report = {
   intermediates : (int * value) list;
       (** every step's output, by step index — consumed by the reverse pass
           of {!Granii_gnn.Autodiff}; empty when run with
-          [keep_intermediates:false] *)
+          [keep_intermediates = false] *)
+  trace : string list;
+      (** names of the {!Pass} pipeline passes that prepared this run, in
+          application order *)
 }
 
 exception Execution_error of string
-
-type cache
-(** Shared-subtree execution cache: structural key → (value, measured
-    time). On a [Measure]-mode hit the stored time is charged (the work is
-    genuinely skipped); on a [Simulate]-mode hit the analytic time is
-    recomputed with the hitting step's own jitter seed, so caching is
-    timing-transparent. *)
-
-val cache_create : unit -> cache
-
-val cache_stats : cache -> int * int
-(** [(hits, misses)] since creation. *)
+(** Re-exported {!Dispatch.Execution_error}. *)
 
 val apply :
   ?pool:Granii_tensor.Parallel.t -> ?ws:Granii_tensor.Workspace.t ->
   Primitive.t -> Granii_graph.Graph.t -> value list -> value
 (** Execute one primitive against concrete operand values — the kernel
-    dispatch used by {!run}, exposed so measured profiling
+    dispatch used by {!exec}, exposed so measured profiling
     ({!Profiling.collect_measured}) can time individual primitives. Raises
     {!Execution_error} on an argument-kind mismatch. With [?pool], kernels
     run on the multicore engine ({!Granii_hw.Domain_pool}); with [?ws],
     outputs are drawn from the workspace arena. *)
+
+val exec :
+  ?seed:int -> ?disable:string list -> engine:Engine.t -> timing:timing ->
+  graph:Granii_graph.Graph.t ->
+  bindings:(string * value) list -> Plan.t -> report
+(** Executes the plan once under the engine's configuration. Leaf names are
+    resolved in [bindings]; the graph's {m \tilde A} and normalization
+    vector are available to [Degree] steps. [disable] skips the named
+    {!Pass} pipeline passes (ablation/debugging). Raises
+    {!Execution_error} on an unbound input or an argument-kind mismatch
+    (which would indicate an enumeration bug), and {!Engine.Error} on a
+    cache/graph fingerprint mismatch. Bindings must not be backed by
+    buffers issued from the engine's own workspace. *)
+
+val exec_iterations :
+  ?seed:int -> ?disable:string list -> engine:Engine.t -> timing:timing ->
+  graph:Granii_graph.Graph.t ->
+  bindings:(string * value) list -> iterations:int -> Plan.t -> report
+(** Steady-state driver: setup steps run once, per-iteration steps run
+    [iterations] times with fixed bindings, re-using preallocated argument
+    arrays and (with a workspace engine) re-using the previous iteration's
+    buffers — the loop the trainer, profiler and selection micro-benchmarks
+    actually sit in. [iteration_time] is the {e mean} per-iteration time;
+    [per_step] and [intermediates] reflect the last iteration. The
+    engine's subtree cache is {e not} consulted (per-iteration steps
+    recompute identical values by construction, so cache hits would fake
+    the steady state this driver measures). Raises [Invalid_argument] when
+    [iterations < 1]. *)
+
+(** {2 Deprecated optional-argument entry points}
+
+    Kept for one release as thin wrappers that build a one-shot
+    {!Engine.t} ({!Engine.of_legacy}) per call. Their legality errors are
+    now typed: combinations rejected by {!Engine.create} raise
+    {!Engine.Error} instead of [Invalid_argument] — and workspace + cache
+    is no longer rejected at all (entries are epoch-pinned). New code
+    should construct an engine and call {!exec}/{!exec_iterations}; CI
+    forbids these wrappers inside [lib/]. *)
+
+type cache = Engine.cache
+(** @deprecated Use {!Engine.cache} via an engine config with [cache = true]. *)
+
+val cache_create : unit -> cache
+(** @deprecated Use {!Engine.cache_create} (or let {!Engine.create} own it). *)
+
+val cache_stats : cache -> int * int
+(** [(hits, misses)] since creation.
+    @deprecated Use {!Engine.cache_stats}. *)
 
 val run :
   ?seed:int -> ?pool:Granii_tensor.Parallel.t ->
@@ -108,13 +159,8 @@ val run :
   ?keep_intermediates:bool -> ?locality:Locality.config -> timing:timing ->
   graph:Granii_graph.Graph.t ->
   bindings:(string * value) list -> Plan.t -> report
-(** Executes the plan once. Leaf names are resolved in [bindings]; the
-    graph's {m \tilde A} and normalization vector are available to [Degree]
-    steps. [keep_intermediates] defaults to [true]. Raises
-    {!Execution_error} on an unbound input or an argument-kind mismatch
-    (which would indicate an enumeration bug), [Invalid_argument] when both
-    [?workspace] and [?cache] are given. Bindings must not be backed by
-    buffers issued from the same workspace. *)
+(** {!exec} over a one-shot engine mirroring the optional arguments.
+    @deprecated Construct an {!Engine.t} and call {!exec}. *)
 
 val run_iterations :
   ?seed:int -> ?pool:Granii_tensor.Parallel.t ->
@@ -122,13 +168,10 @@ val run_iterations :
   ?locality:Locality.config -> timing:timing ->
   graph:Granii_graph.Graph.t ->
   bindings:(string * value) list -> iterations:int -> Plan.t -> report
-(** Steady-state driver: setup steps run once, per-iteration steps run
-    [iterations] times with fixed bindings, re-using preallocated argument
-    arrays and (with [?workspace]) re-using the previous iteration's
-    buffers — the loop the trainer, profiler and selection micro-benchmarks
-    actually sit in. [iteration_time] is the {e mean} per-iteration time;
-    [per_step] and [intermediates] reflect the last iteration. Raises
-    [Invalid_argument] when [iterations < 1]. *)
+(** {!exec_iterations} over a one-shot engine.
+    @deprecated Construct an {!Engine.t} and call {!exec_iterations}. *)
+
+(** {2 Analytic estimation} *)
 
 val estimate :
   ?seed:int -> profile:Granii_hw.Hw_profile.t -> env:Dim.env -> Plan.t ->

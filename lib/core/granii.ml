@@ -86,9 +86,21 @@ let optimize_localized ~cost_model ~graph ~k_in ~k_out ?(iterations = 100)
     config = lc.Selector.config;
     base_cost = lc.Selector.base_cost }
 
-let execute ?seed ?pool ?workspace ?locality ~timing ~graph ~bindings decision =
-  Executor.run ?seed ?pool ?workspace ?locality ~timing ~graph ~bindings
+let execute_with ?seed ?disable ~engine ~timing ~graph ~bindings decision =
+  Executor.exec ?seed ?disable ~engine ~timing ~graph ~bindings
     decision.choice.Selector.candidate.Codegen.plan
+
+let engine_config ?(threads = 1) ?(workspace = false) ?(cache = false)
+    ?(keep_intermediates = true) (localized : localized_decision) =
+  { Engine.threads;
+    workspace;
+    cache;
+    locality = localized.config;
+    keep_intermediates }
+
+let execute ?seed ?pool ?workspace ?locality ~timing ~graph ~bindings decision =
+  let engine = Engine.of_legacy ?pool ?workspace ?locality () in
+  execute_with ?seed ~engine ~timing ~graph ~bindings decision
 
 let simulated_overhead ~profile ~env =
   let featurize =

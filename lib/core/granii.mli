@@ -60,14 +60,30 @@ val optimize_localized :
     result coincides with {!optimize}. Feed [config] to {!execute}'s
     [?locality]. *)
 
+val execute_with :
+  ?seed:int -> ?disable:string list -> engine:Engine.t ->
+  timing:Executor.timing -> graph:Granii_graph.Graph.t ->
+  bindings:(string * Executor.value) list -> decision -> Executor.report
+(** Runs the selected plan under a validated {!Engine.t} (see
+    {!Executor.exec}); [disable] skips named {!Pass} pipeline passes. *)
+
+val engine_config :
+  ?threads:int -> ?workspace:bool -> ?cache:bool ->
+  ?keep_intermediates:bool -> localized_decision -> Engine.config
+(** An engine configuration whose locality axis is the layout
+    {!optimize_localized} picked — the canonical way to turn a localized
+    decision into an engine: feed the result to {!Engine.create} and the
+    engine to {!execute_with}. *)
+
 val execute :
   ?seed:int -> ?pool:Granii_tensor.Parallel.t ->
   ?workspace:Granii_tensor.Workspace.t -> ?locality:Locality.config ->
   timing:Executor.timing -> graph:Granii_graph.Graph.t ->
   bindings:(string * Executor.value) list -> decision -> Executor.report
-(** Runs the selected plan, on the multicore engine when [?pool] is given,
-    with arena-allocated buffers when [?workspace] is given, and under the
-    chosen graph layout when [?locality] is given (see {!Executor.run}). *)
+(** Runs the selected plan over a one-shot engine mirroring the optional
+    arguments.
+    @deprecated Build an {!Engine.t} (e.g. from {!engine_config}) and call
+    {!execute_with}. *)
 
 val simulated_overhead :
   profile:Granii_hw.Hw_profile.t -> env:Dim.env -> float

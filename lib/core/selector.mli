@@ -70,5 +70,5 @@ val measure :
     scenario-compatible candidate on a concrete input and returns them
     sorted by measured (or simulated) total time at [iterations], cheapest
     first, plus the [(hits, misses)] of the shared-subtree cache — all
-    candidates share one {!Executor.cache}, so each common subexpression
-    executes once per input instead of once per plan. *)
+    candidates run on one cache-enabled {!Engine.t}, so each common
+    subexpression executes once per input instead of once per plan. *)

@@ -20,9 +20,12 @@ val backward :
   bindings:(string * Granii_core.Executor.value) list ->
   forward:Granii_core.Executor.report -> seed:Granii_tensor.Dense.t -> grads
 (** [backward ~plan ~forward ~seed] pulls the output cotangent [seed] back
-    through the recorded forward execution. Gradients through the graph
-    structure (adjacency, normalization diagonals) are not materialized.
-    Raises [Granii_core.Executor.Execution_error] on malformed plans. *)
+    through the recorded forward execution. The forward report must carry
+    every intermediate, so the forward run's engine must keep
+    [keep_intermediates = true] (the {!Granii_core.Engine.default_config}
+    setting). Gradients through the graph structure (adjacency,
+    normalization diagonals) are not materialized. Raises
+    [Granii_core.Executor.Execution_error] on malformed plans. *)
 
 val backward_kernels :
   graph:Granii_graph.Graph.t -> env:Granii_core.Dim.env ->

@@ -27,13 +27,17 @@ let create ?(seed = 0) ~cost_model ~graph ~compiled ~lowered ~heads ~k_in
     plan = choice.Core.Selector.candidate.Core.Codegen.plan;
     k_out_per_head }
 
-let forward ~graph ~features t =
+let forward ?engine ~graph ~features t =
+  let engine =
+    match engine with Some e -> e | None -> Core.Engine.default ()
+  in
   let outputs =
     List.map
       (fun params ->
         let bindings = Layer.bindings ~graph ~h:features params in
         match
-          (Core.Executor.run ~timing:Core.Executor.Measure ~graph ~bindings t.plan)
+          (Core.Executor.exec ~engine ~timing:Core.Executor.Measure ~graph
+             ~bindings t.plan)
             .Core.Executor.output
         with
         | Core.Executor.Vdense d -> d

@@ -23,9 +23,11 @@ val create :
     [Invalid_argument] if [heads <= 0]. *)
 
 val forward :
+  ?engine:Granii_core.Engine.t ->
   graph:Granii_graph.Graph.t -> features:Granii_tensor.Dense.t -> t ->
   Granii_tensor.Dense.t
-(** [N]x[heads * k_out_per_head] concatenated head outputs. *)
+(** [N]x[heads * k_out_per_head] concatenated head outputs, executed under
+    [?engine] when given (default {!Granii_core.Engine.default}). *)
 
 val inference_time :
   profile:Granii_hw.Hw_profile.t -> graph:Granii_graph.Graph.t ->

@@ -44,15 +44,18 @@ let dense_output (r : Core.Executor.report) =
   | Core.Executor.Vsparse _ | Core.Executor.Vdiag _ ->
       invalid_arg "Stack: layer output is not dense"
 
-let forward ?(keep_reports = true) ~graph ~features stack =
+let forward ?engine ?(keep_reports = true) ~graph ~features stack =
+  let engine =
+    match engine with Some e -> e | None -> Core.Engine.default ()
+  in
   let h = ref features in
   let reports = ref [] in
   List.iter
     (fun layer ->
       let bindings = Layer.bindings ~graph ~h:!h layer.l_params in
       let report =
-        Core.Executor.run ~timing:Core.Executor.Measure ~graph ~bindings
-          layer.l_plan
+        Core.Executor.exec ~engine ~timing:Core.Executor.Measure ~graph
+          ~bindings layer.l_plan
       in
       h := dense_output report;
       if keep_reports then reports := (report, bindings) :: !reports)

@@ -31,10 +31,12 @@ val build :
     Raises [Invalid_argument] if [dims] has fewer than two entries. *)
 
 val forward :
-  ?keep_reports:bool -> graph:Granii_graph.Graph.t ->
+  ?engine:Granii_core.Engine.t -> ?keep_reports:bool ->
+  graph:Granii_graph.Graph.t ->
   features:Granii_tensor.Dense.t -> t ->
   Granii_tensor.Dense.t * (Granii_core.Executor.report * (string * Granii_core.Executor.value) list) list
-(** Runs all layers (real execution); returns the final activations and,
+(** Runs all layers (real execution, under [?engine] when given — default
+    {!Granii_core.Engine.default}); returns the final activations and,
     when [keep_reports] (default [true]), each layer's execution report and
     bindings for use by {!backward}. *)
 

@@ -7,20 +7,32 @@ type history = {
   final_params : Layer.params;
 }
 
-let train ?(seed = 0) ?mask ?workspace ~epochs ~optimizer ~plan ~graph ~features
-    ~labels ~params () =
+let train ?(seed = 0) ?mask ?workspace ?engine ~epochs ~optimizer ~plan ~graph
+    ~features ~labels ~params () =
   if epochs <= 0 then invalid_arg "Trainer.train: epochs must be positive";
+  let engine =
+    match engine with
+    | Some e ->
+        (* the backward pass reads every forward intermediate *)
+        if not (Core.Engine.keep_intermediates e) then
+          invalid_arg
+            "Trainer.train: the engine must keep intermediates (autodiff \
+             reads them in the backward pass)";
+        e
+    | None -> Core.Engine.of_legacy ?workspace ()
+  in
   let losses = Array.make epochs 0. in
   let params = ref params in
   let last_logits = ref None in
   for epoch = 0 to epochs - 1 do
     let bindings = Layer.bindings ~graph ~h:features !params in
-    (* With [?workspace], each epoch's forward pass reuses the previous
-       epoch's buffers (the arena is reclaimed on entry to [run]). The
-       epoch body — loss, backward, optimizer step — only reads this
-       epoch's values, all of which stay valid until the next run. *)
+    (* With a workspace engine, each epoch's forward pass reuses the
+       previous epoch's buffers (the arena is reclaimed on entry to
+       [exec]). The epoch body — loss, backward, optimizer step — only
+       reads this epoch's values, all of which stay valid until the next
+       run. *)
     let forward =
-      Core.Executor.run ~seed:(seed + epoch) ?workspace
+      Core.Executor.exec ~seed:(seed + epoch) ~engine
         ~timing:(Core.Executor.Simulate Granii_hw.Hw_profile.cpu) ~graph ~bindings plan
     in
     let logits =

@@ -13,15 +13,20 @@ type history = {
 
 val train :
   ?seed:int -> ?mask:bool array -> ?workspace:Granii_tensor.Workspace.t ->
+  ?engine:Granii_core.Engine.t ->
   epochs:int -> optimizer:Optimizer.t ->
   plan:Granii_core.Plan.t -> graph:Granii_graph.Graph.t ->
   features:Granii_tensor.Dense.t -> labels:int array ->
   params:Layer.params -> unit -> history
 (** Full-graph training for node classification. The plan's output must be
     dense [N]x[classes] logits. Losses are recorded per epoch; training is
-    deterministic given [seed]. With [?workspace], every epoch's forward
-    pass reuses the previous epoch's buffers — numerically identical,
-    allocation-free in steady state. *)
+    deterministic given [seed]. [?engine] runs every forward pass under a
+    validated {!Granii_core.Engine.t}; it must keep intermediates
+    ({!Granii_gnn.Autodiff} reads them in the backward pass — raises
+    [Invalid_argument] otherwise). With a workspace (via the engine or the
+    deprecated [?workspace], ignored when [?engine] is given), every
+    epoch's forward pass reuses the previous epoch's buffers — numerically
+    identical, allocation-free in steady state. *)
 
 val inference_time :
   profile:Granii_hw.Hw_profile.t -> graph:Granii_graph.Graph.t ->

@@ -14,6 +14,7 @@ let () =
       ("persistence", Test_persistence.suite);
       ("stack-multihead", Test_stack_multihead.suite);
       ("parallel", Test_parallel.suite);
+      ("engine", Test_engine.suite);
       ("memory", Test_memory.suite);
       ("locality", Test_locality.suite);
       ("integration", Test_integration.suite) ]

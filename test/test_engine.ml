@@ -1,0 +1,382 @@
+(* The engine layer: config legality as typed errors, describe/parse
+   round-trips, pass-pipeline idempotence and tracing, and the differential
+   guarantee — every legal engine configuration executes every model
+   bitwise-identically to the seed (plain) path. *)
+
+open Granii_core
+open Test_util
+module Dense = Granii_tensor.Dense
+module Csr = Granii_sparse.Csr
+module G = Granii_graph
+module Reorder = G.Reorder
+module Mp = Granii_mp
+module Gnn = Granii_gnn
+
+let bits_equal a b =
+  Array.length a = Array.length b
+  && (let ok = ref true in
+      Array.iteri
+        (fun i x ->
+          if Int64.bits_of_float x <> Int64.bits_of_float b.(i) then ok := false)
+        a;
+      !ok)
+
+let value_bits_equal (a : Executor.value) (b : Executor.value) =
+  match (a, b) with
+  | Executor.Vdense x, Executor.Vdense y ->
+      x.Dense.rows = y.Dense.rows && x.Dense.cols = y.Dense.cols
+      && bits_equal x.Dense.data y.Dense.data
+  | Executor.Vdiag x, Executor.Vdiag y -> bits_equal x y
+  | Executor.Vsparse x, Executor.Vsparse y -> (
+      x.Csr.row_ptr = y.Csr.row_ptr && x.Csr.col_idx = y.Csr.col_idx
+      &&
+      match (x.Csr.values, y.Csr.values) with
+      | None, None -> true
+      | Some v, Some w -> bits_equal v w
+      | _ -> false)
+  | _ -> false
+
+let compile_model (m : Mp.Mp_ast.model) =
+  let low = Mp.Lower.lower m in
+  let compiled, _ =
+    Granii.compile ~name:m.Mp.Mp_ast.name
+      ~degree_leaves:(Mp.Lower.degree_leaves low ~binned:false)
+      low.Mp.Lower.ir
+  in
+  (low, compiled)
+
+let setup_bindings ?(seed = 11) ~k_in ~k_out low graph =
+  let n = G.Graph.n_nodes graph in
+  let env = { Dim.n; nnz = G.Graph.n_edges graph + n; k_in; k_out } in
+  let params = Gnn.Layer.init_params ~seed ~env low in
+  let h = Dense.random ~seed:(seed + 1) n k_in in
+  (env, Gnn.Layer.bindings ~graph ~h params)
+
+let non_default_localities =
+  List.filter (fun c -> not (Locality.is_default c)) Locality.all_configs
+
+(* ---- legality: every illegal config is a typed error ---- *)
+
+let test_illegal_typed () =
+  let expect name cfg pred =
+    match Engine.create cfg with
+    | Ok e ->
+        Engine.shutdown e;
+        Alcotest.fail (name ^ ": expected a typed error, got Ok")
+    | Error e ->
+        check_true (name ^ ": the right error constructor") (pred e);
+        check_true
+          (name ^ ": error_to_string is meaningful")
+          (String.length (Engine.error_to_string e) > 0)
+    | exception exn ->
+        Alcotest.fail
+          (Printf.sprintf "%s: create leaked exception %s instead of Error"
+             name (Printexc.to_string exn))
+  in
+  List.iter
+    (fun t ->
+      expect
+        (Printf.sprintf "threads=%d" t)
+        { Engine.default_config with threads = t }
+        (function Engine.Invalid_threads n -> n = t | _ -> false))
+    [ 0; -1; -8 ];
+  List.iter
+    (fun locality ->
+      expect
+        ("cache + " ^ Locality.config_to_string locality)
+        { Engine.default_config with cache = true; locality }
+        (function Engine.Cache_with_locality c -> c = locality | _ -> false))
+    non_default_localities;
+  expect "workspace + cache + drop"
+    { Engine.default_config with
+      workspace = true;
+      cache = true;
+      keep_intermediates = false }
+    (function Engine.Workspace_cache_discard -> true | _ -> false)
+
+(* ---- every legal config round-trips through describe ---- *)
+
+let legal_grid =
+  List.concat_map
+    (fun threads ->
+      List.concat_map
+        (fun workspace ->
+          List.concat_map
+            (fun cache ->
+              List.concat_map
+                (fun keep_intermediates ->
+                  List.filter_map
+                    (fun locality ->
+                      let cfg =
+                        { Engine.threads;
+                          workspace;
+                          cache;
+                          locality;
+                          keep_intermediates }
+                      in
+                      match Engine.create cfg with
+                      | Ok e ->
+                          Engine.shutdown e;
+                          Some cfg
+                      | Error _ -> None)
+                    Locality.all_configs)
+                [ true; false ])
+            [ false; true ])
+        [ false; true ])
+    [ 1; 2 ]
+
+let test_describe_roundtrip () =
+  check_true "the legal grid is non-trivial" (List.length legal_grid > 10);
+  List.iter
+    (fun cfg ->
+      let s = Engine.describe_config cfg in
+      match Engine.config_of_string s with
+      | Ok cfg' ->
+          check_true (s ^ " round-trips exactly") (cfg = cfg')
+      | Error msg -> Alcotest.fail (s ^ " failed to parse back: " ^ msg))
+    legal_grid;
+  (* the empty / "default" specs mean the default config *)
+  check_true "empty spec is the default"
+    (Engine.config_of_string "" = Ok Engine.default_config);
+  check_true "'default' spec is the default"
+    (Engine.config_of_string "default" = Ok Engine.default_config);
+  check_true "junk keys are a parse error"
+    (match Engine.config_of_string "turbo=yes" with
+    | Error _ -> true
+    | Ok _ -> false)
+
+(* ---- pass pipeline: idempotence and ordering ---- *)
+
+let prepared_plan () =
+  let _, compiled = compile_model (Mp.Mp_models.find "gcn") in
+  (List.hd compiled.Codegen.candidates).Codegen.plan
+
+let engines_with_distinct_passes () =
+  [ ("default", Engine.default ());
+    ( "cache",
+      Engine.create_exn { Engine.default_config with cache = true } );
+    ( "locality",
+      Engine.create_exn
+        { Engine.default_config with
+          locality = List.hd non_default_localities } );
+    ( "ws+drop",
+      Engine.create_exn
+        { Engine.default_config with
+          workspace = true;
+          keep_intermediates = false } ) ]
+
+let test_pass_idempotent () =
+  let plan = prepared_plan () in
+  List.iter
+    (fun (ename, engine) ->
+      List.iter
+        (fun (pass : Pass.pass) ->
+          let once = Pass.apply engine pass (Pass.base plan) in
+          let twice = Pass.apply engine pass once in
+          check_true
+            (Printf.sprintf "%s under %s engine is idempotent" pass.Pass.name
+               ename)
+            (once = twice))
+        Pass.all;
+      (* the full pipeline is idempotent too: re-applying every pass to a
+         prepared plan changes nothing *)
+      let prep = Pass.prepare engine plan in
+      let again =
+        List.fold_left (fun p pass -> Pass.apply engine pass p) prep Pass.all
+      in
+      check_true
+        (Printf.sprintf "full pipeline under %s engine is idempotent" ename)
+        (prep = again))
+    (engines_with_distinct_passes ())
+
+let test_pass_trace () =
+  let plan = prepared_plan () in
+  let expected = function
+    | "default" -> [ "lowering" ]
+    | "cache" -> [ "lowering"; "cache-keying" ]
+    | "locality" -> [ "lowering"; "locality-layout" ]
+    | "ws+drop" -> [ "lowering"; "liveness" ]
+    | _ -> assert false
+  in
+  List.iter
+    (fun (ename, engine) ->
+      let prep = Pass.prepare engine plan in
+      check_true
+        (Printf.sprintf "%s engine: trace is %s" ename
+           (String.concat "," (expected ename)))
+        (prep.Pass.trace = expected ename))
+    (engines_with_distinct_passes ())
+
+let test_trace_in_report () =
+  let graph = G.Generators.erdos_renyi ~seed:3 ~n:40 ~avg_degree:4. () in
+  let model = Mp.Mp_models.find "gcn" in
+  let low, compiled = compile_model model in
+  let _, bindings = setup_bindings ~k_in:9 ~k_out:7 low graph in
+  let plan = (List.hd compiled.Codegen.candidates).Codegen.plan in
+  let engine =
+    Engine.create_exn { Engine.default_config with cache = true }
+  in
+  let r =
+    Executor.exec ~engine ~timing:Executor.Measure ~graph ~bindings plan
+  in
+  check_true "report records the applied passes in order"
+    (r.Executor.trace = [ "lowering"; "cache-keying" ])
+
+let test_all_disabled_is_seed () =
+  (* with every pass disabled the executor degenerates to the seed path:
+     bitwise-identical outputs on all three models *)
+  let graph = G.Generators.barabasi_albert ~seed:5 ~n:60 ~m:3 () in
+  let disable = List.map (fun (p : Pass.pass) -> p.Pass.name) Pass.all in
+  List.iter
+    (fun name ->
+      let model = Mp.Mp_models.find name in
+      let low, compiled = compile_model model in
+      let _, bindings = setup_bindings ~k_in:9 ~k_out:7 low graph in
+      List.iter
+        (fun (c : Codegen.ccand) ->
+          let reference =
+            Executor.run ~timing:Executor.Measure ~graph ~bindings
+              c.Codegen.plan
+          in
+          let bare =
+            Executor.exec ~engine:(Engine.default ()) ~disable
+              ~timing:Executor.Measure ~graph ~bindings c.Codegen.plan
+          in
+          check_true
+            (Printf.sprintf "%s/%s: all-passes-disabled is the seed path"
+               name c.Codegen.plan.Plan.name)
+            (value_bits_equal reference.Executor.output bare.Executor.output);
+          check_true "no pass in the trace" (bare.Executor.trace = []))
+        compiled.Codegen.candidates)
+    [ "gcn"; "gat"; "gin" ]
+
+(* ---- the differential acceptance grid ----
+
+   Every legal engine configuration must execute GCN, GAT and GIN
+   bitwise-identically to the pre-refactor (plain, optionless) path.
+   GIN's Sparse_add makes entry order part of the output, so a permuted
+   layout legitimately produces a structurally different (equal-as-math)
+   sparse sum — non-default localities are skipped for it, exactly as the
+   locality suite always has. *)
+
+let test_differential_grid () =
+  let graph = G.Generators.erdos_renyi ~seed:17 ~n:50 ~avg_degree:5. () in
+  List.iter
+    (fun name ->
+      let model = Mp.Mp_models.find name in
+      let low, compiled = compile_model model in
+      let _, bindings = setup_bindings ~k_in:9 ~k_out:7 low graph in
+      let grid =
+        List.filter
+          (fun cfg ->
+            cfg.Engine.threads = 1
+            && (name <> "gin" || Locality.is_default cfg.Engine.locality))
+          legal_grid
+      in
+      List.iter
+        (fun (c : Codegen.ccand) ->
+          let reference =
+            Executor.run ~timing:Executor.Measure ~graph ~bindings
+              c.Codegen.plan
+          in
+          List.iter
+            (fun cfg ->
+              let engine = Engine.create_exn cfg in
+              (* two runs so a cache-enabled engine also serves hits *)
+              ignore
+                (Executor.exec ~engine ~timing:Executor.Measure ~graph
+                   ~bindings c.Codegen.plan);
+              let r =
+                Executor.exec ~engine ~timing:Executor.Measure ~graph
+                  ~bindings c.Codegen.plan
+              in
+              check_true
+                (Printf.sprintf "%s/%s under %s bitwise" name
+                   c.Codegen.plan.Plan.name
+                   (Engine.describe_config cfg))
+                (value_bits_equal reference.Executor.output r.Executor.output);
+              Engine.shutdown engine)
+            grid)
+        compiled.Codegen.candidates)
+    [ "gcn"; "gat"; "gin" ]
+
+let test_multicore_engine_bitwise () =
+  (* one spawned-pool configuration, exercised separately so the grid above
+     stays single-threaded and fast *)
+  let graph = G.Generators.erdos_renyi ~seed:21 ~n:64 ~avg_degree:6. () in
+  let model = Mp.Mp_models.find "gcn" in
+  let low, compiled = compile_model model in
+  let _, bindings = setup_bindings ~k_in:8 ~k_out:8 low graph in
+  let plan = (List.hd compiled.Codegen.candidates).Codegen.plan in
+  let reference =
+    Executor.run ~timing:Executor.Measure ~graph ~bindings plan
+  in
+  let engine = Engine.create_exn { Engine.default_config with threads = 2 } in
+  let r =
+    Executor.exec ~engine ~timing:Executor.Measure ~graph ~bindings plan
+  in
+  Engine.shutdown engine;
+  check_true "threads=2 engine output bitwise"
+    (value_bits_equal reference.Executor.output r.Executor.output)
+
+(* ---- cache graph fingerprint ---- *)
+
+let test_cache_graph_mismatch () =
+  let model = Mp.Mp_models.find "gcn" in
+  let low, compiled = compile_model model in
+  let plan = (List.hd compiled.Codegen.candidates).Codegen.plan in
+  let g1 = G.Generators.erdos_renyi ~seed:1 ~n:30 ~avg_degree:4. () in
+  let g2 = G.Generators.erdos_renyi ~seed:2 ~n:31 ~avg_degree:4. () in
+  let _, b1 = setup_bindings ~k_in:9 ~k_out:7 low g1 in
+  let _, b2 = setup_bindings ~k_in:9 ~k_out:7 low g2 in
+  let engine =
+    Engine.create_exn { Engine.default_config with cache = true }
+  in
+  ignore
+    (Executor.exec ~engine ~timing:Executor.Measure ~graph:g1 ~bindings:b1
+       plan);
+  check_true "reusing a bound cache on a different graph is a typed error"
+    (try
+       ignore
+         (Executor.exec ~engine ~timing:Executor.Measure ~graph:g2
+            ~bindings:b2 plan);
+       false
+     with Engine.Error (Engine.Cache_graph_mismatch _) -> true);
+  (* the same graph keeps working afterwards *)
+  ignore
+    (Executor.exec ~engine ~timing:Executor.Measure ~graph:g1 ~bindings:b1
+       plan)
+
+(* ---- of_legacy mirrors the optional arguments ---- *)
+
+let test_of_legacy_mirrors () =
+  let e = Engine.of_legacy () in
+  check_true "bare of_legacy is the default config"
+    (Engine.config e = Engine.default_config);
+  let ws = Granii_tensor.Workspace.create () in
+  let e = Engine.of_legacy ~workspace:ws ~keep_intermediates:false () in
+  check_true "workspace reflected" (Engine.config e).Engine.workspace;
+  check_true "liveness policy reflected"
+    (not (Engine.config e).Engine.keep_intermediates);
+  check_true "injected workspace is the one stored"
+    (match Engine.workspace e with Some w -> w == ws | None -> false)
+
+let suite =
+  [ Alcotest.test_case "illegal configs are typed errors" `Quick
+      test_illegal_typed;
+    Alcotest.test_case "legal configs round-trip describe" `Quick
+      test_describe_roundtrip;
+    Alcotest.test_case "passes idempotent" `Quick test_pass_idempotent;
+    Alcotest.test_case "pass trace per engine" `Quick test_pass_trace;
+    Alcotest.test_case "trace surfaces in the report" `Quick
+      test_trace_in_report;
+    Alcotest.test_case "all passes disabled = seed path" `Quick
+      test_all_disabled_is_seed;
+    Alcotest.test_case "differential grid vs seed path" `Quick
+      test_differential_grid;
+    Alcotest.test_case "multicore engine bitwise" `Quick
+      test_multicore_engine_bitwise;
+    Alcotest.test_case "cache graph fingerprint" `Quick
+      test_cache_graph_mismatch;
+    Alcotest.test_case "of_legacy mirrors arguments" `Quick
+      test_of_legacy_mirrors ]

@@ -291,20 +291,29 @@ let test_run_iterations_localized () =
     all_localities
 
 let test_cache_locality_rejected () =
+  (* the legality matrix lives in Engine.create: a cache combined with a
+     non-default layout is a typed error (cached values would live in a
+     permuted vertex id space), both at construction and through the
+     deprecated wrapper. *)
+  let locality =
+    { Locality.strategy = Reorder.Degree_sort; format = Locality.Hybrid }
+  in
+  (match Engine.create { Engine.default_config with cache = true; locality } with
+  | Error (Engine.Cache_with_locality c) ->
+      check_true "error carries the offending layout" (c = locality)
+  | Ok _ | Error _ -> Alcotest.fail "cache + locality must be rejected");
   let model = Mp.Mp_models.find "gcn" in
   let low, compiled = compile_model model in
   let graph = G.Generators.erdos_renyi ~seed:3 ~n:30 ~avg_degree:4. () in
   let _, bindings = setup_bindings ~k_in:9 ~k_out:7 low graph in
   let plan = (List.hd compiled.Codegen.candidates).Codegen.plan in
-  Alcotest.check_raises "cache + locality rejected"
-    (Invalid_argument
-       "Executor.run: ?cache and a non-default ?locality cannot be combined \
-        (cached values live in a different vertex id space)")
-    (fun () ->
-      ignore
-        (Executor.run ~cache:(Executor.cache_create ())
-           ~locality:{ Locality.strategy = Reorder.Degree_sort; format = Locality.Hybrid }
-           ~timing:Executor.Measure ~graph ~bindings plan))
+  check_true "deprecated wrapper raises the same typed error"
+    (try
+       ignore
+         (Executor.run ~cache:(Executor.cache_create ()) ~locality
+            ~timing:Executor.Measure ~graph ~bindings plan);
+       false
+     with Engine.Error (Engine.Cache_with_locality _) -> true)
 
 (* ---- featurizer layout statistics ---- *)
 

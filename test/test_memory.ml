@@ -289,20 +289,45 @@ let test_cache_timing_transparent () =
         plain.Executor.iteration_time cached.Executor.iteration_time)
     compiled.Codegen.candidates
 
-let test_cache_workspace_exclusive () =
+let test_cache_workspace_legal () =
+  (* workspace + cache is legal when intermediates are kept: cache entries
+     are epoch-pinned (copied out of the arena on insert), so arena reuse
+     across runs cannot corrupt them. *)
   let graph = small_graph () in
   let low, compiled = compile_model Mp.Mp_models.gcn in
   let _, bindings = setup_bindings ~k_in:9 low graph in
   let c = List.hd compiled.Codegen.candidates in
-  check_true "workspace + cache is rejected"
-    (try
-       ignore
-         (Executor.run
-            ~workspace:(Workspace.create ())
-            ~cache:(Executor.cache_create ())
-            ~timing ~graph ~bindings c.Codegen.plan);
-       false
-     with Invalid_argument _ -> true)
+  let plan = c.Codegen.plan in
+  let reference = Executor.run ~timing ~graph ~bindings plan in
+  let engine =
+    Engine.create_exn
+      { Engine.default_config with workspace = true; cache = true }
+  in
+  ignore (Executor.exec ~engine ~timing ~graph ~bindings plan);
+  let second = Executor.exec ~engine ~timing ~graph ~bindings plan in
+  let hits, _ =
+    match Engine.cache engine with
+    | Some cc -> Engine.cache_stats cc
+    | None -> (0, 0)
+  in
+  check_true "second run is served from the cache" (hits > 0);
+  check_true "workspace+cache output bitwise equal to the plain run"
+    (value_bits_equal reference.Executor.output second.Executor.output)
+
+let test_cache_workspace_discard_rejected () =
+  (* the one still-illegal corner: dropping intermediates while both a
+     workspace and a cache are on (reclaimed buffers could alias pinned
+     entries' producers mid-run) is rejected with a typed error. *)
+  check_true "workspace + cache + drop is rejected with a typed error"
+    (match
+       Engine.create
+         { Engine.default_config with
+           workspace = true;
+           cache = true;
+           keep_intermediates = false }
+     with
+    | Error Engine.Workspace_cache_discard -> true
+    | Ok _ | Error _ -> false)
 
 let test_selector_measure () =
   let graph = small_graph () in
@@ -377,7 +402,10 @@ let suite =
       Alcotest.test_case "reclaim invalidates previous output" `Quick test_reclaim_invalidates;
       Alcotest.test_case "subtree cache hits & equality" `Quick test_cache_hits_and_equality;
       Alcotest.test_case "subtree cache timing-transparent" `Quick test_cache_timing_transparent;
-      Alcotest.test_case "workspace + cache rejected" `Quick test_cache_workspace_exclusive;
+      Alcotest.test_case "workspace + cache legal (epoch-pinned)" `Quick
+        test_cache_workspace_legal;
+      Alcotest.test_case "workspace + cache + drop rejected" `Quick
+        test_cache_workspace_discard_rejected;
       Alcotest.test_case "selector measure sweep" `Quick test_selector_measure;
       Alcotest.test_case "tiled gemm bitwise" `Quick test_tiled_gemm_bitwise;
       Alcotest.test_case "tiled sparse kernels bitwise" `Quick test_tiled_sparse_bitwise ]
