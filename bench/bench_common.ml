@@ -43,6 +43,11 @@ let env_of graph ~k_in ~k_out =
    except where they featurize with it explicitly. *)
 let threads = ref 1
 
+(* Telemetry sink for the real-execution sections; [Obs.disabled] unless the
+   driver's [--trace]/[--metrics] flags enabled it, so passing
+   [~obs:!Bench_common.obs] into an engine is always safe. *)
+let obs = ref Granii_obs.Obs.disabled
+
 (* [None] while [!threads <= 1]; otherwise the shared process-wide pool. *)
 let pool () = Hw.Domain_pool.for_threads !threads
 

@@ -152,7 +152,8 @@ let executor_section (graph : G.Graph.t) ~k ~iterations =
   let bindings = Gnn.Layer.bindings ~graph ~h params in
   let run locality =
     let engine =
-      Engine.create_exn { Engine.default_config with locality }
+      Engine.create_exn ~obs:!Bench_common.obs
+        { Engine.default_config with locality }
     in
     Executor.exec_iterations ~engine ~timing:Executor.Measure ~graph ~bindings
       ~iterations plan

@@ -70,7 +70,8 @@ let run_model (model : Granii_mp.Mp_ast.model) ~k_in ~k_out ~iters graph =
         done)
   in
   let ws_engine =
-    Engine.create_exn { Engine.default_config with workspace = true }
+    Engine.create_exn ~obs:!Bench_common.obs
+      { Engine.default_config with workspace = true }
   in
   let run_ws () =
     Executor.exec_iterations ~engine:ws_engine ~timing:Executor.Measure ~graph
@@ -175,7 +176,7 @@ let run_ws_cache graph =
       ~bindings plan
   in
   let engine =
-    Engine.create_exn
+    Engine.create_exn ~obs:!Bench_common.obs
       { Engine.default_config with workspace = true; cache = true }
   in
   ignore (Executor.exec ~engine ~timing:Executor.Measure ~graph ~bindings plan);

@@ -60,8 +60,8 @@ let run_parallel () =
   Bench_common.hr ();
   List.iter
     (fun (name, seq, par) ->
-      let t_seq = Granii_hw.Timer.measure_n ~warmup:1 ~n:5 seq in
-      let t_par = Granii_hw.Timer.measure_n ~warmup:1 ~n:5 par in
+      let t_seq = Granii_hw.Timer.measure_n_wall ~warmup:1 ~n:5 seq in
+      let t_par = Granii_hw.Timer.measure_n_wall ~warmup:1 ~n:5 par in
       Printf.printf "%-20s %9.3f ms %9.3f ms %8.2fx\n" name (1000. *. t_seq)
         (1000. *. t_par) (t_seq /. t_par))
     cases

@@ -27,11 +27,58 @@ let benches =
 
 let usage () =
   print_endline
-    "usage: main.exe [--list | --smoke | --threads <n> | --json <file> | --only <id> [--only <id> ...]]";
+    "usage: main.exe [--list | --smoke | --threads <n> | --json <file> | \
+     --trace <file> | --metrics <file> | --only <id> [--only <id> ...]]";
   print_endline "available benches:";
   List.iter (fun (id, descr, _) -> Printf.printf "  %-6s %s\n" id descr) benches
 
+module Obs = Granii_obs.Obs
+
 let json_out = ref None
+let trace_out = ref None
+let metrics_out = ref None
+
+let write_file path s =
+  let oc = open_out path in
+  output_string oc s;
+  close_out oc
+
+(* The telemetry block of BENCH_*.json: per-bench wall time (already
+   recorded as the sections ran) plus the sink's counters/gauges and the
+   span aggregate, flattened into rows tagged bench="telemetry". *)
+let telemetry_rows obs =
+  (match obs.Obs.metrics with
+  | None -> ()
+  | Some m ->
+      List.iter
+        (fun (name, v) ->
+          Bench_common.(
+            json_add ~bench:"telemetry"
+              [ ("kind", S "counter"); ("name", S name); ("value", I v) ]))
+        (Obs.Metrics.counters m);
+      List.iter
+        (fun (name, v) ->
+          Bench_common.(
+            json_add ~bench:"telemetry"
+              [ ("kind", S "gauge"); ("name", S name); ("value", F v) ]))
+        (Obs.Metrics.gauges m);
+      List.iter
+        (fun (name, (count, sum, min_, max_)) ->
+          Bench_common.(
+            json_add ~bench:"telemetry"
+              [ ("kind", S "histogram"); ("name", S name); ("count", I count);
+                ("sum_s", F sum); ("min_s", F min_); ("max_s", F max_) ]))
+        (Obs.Metrics.histograms m));
+  match obs.Obs.trace with
+  | None -> ()
+  | Some t ->
+      List.iter
+        (fun (name, count, total) ->
+          Bench_common.(
+            json_add ~bench:"telemetry"
+              [ ("kind", S "span"); ("name", S name); ("count", I count);
+                ("total_s", F total) ]))
+        (Obs.Trace.aggregate t)
 
 let () =
   let args = Array.to_list Sys.argv in
@@ -57,6 +104,18 @@ let () =
     | [ "--json" ] ->
         Printf.eprintf "--json expects a file name\n";
         exit 1
+    | "--trace" :: file :: rest ->
+        trace_out := Some file;
+        selected rest
+    | [ "--trace" ] ->
+        Printf.eprintf "--trace expects a file name\n";
+        exit 1
+    | "--metrics" :: file :: rest ->
+        metrics_out := Some file;
+        selected rest
+    | [ "--metrics" ] ->
+        Printf.eprintf "--metrics expects a file name\n";
+        exit 1
     | "--list" :: _ ->
         usage ();
         exit 0
@@ -80,18 +139,36 @@ let () =
           ids;
         List.filter (fun (id, _, _) -> List.mem id ids) benches
   in
+  if !trace_out <> None || !metrics_out <> None then
+    Bench_common.obs := Obs.create ~trace:(!trace_out <> None) ();
+  let obs = !Bench_common.obs in
   let t0 = Sys.time () in
   List.iter
     (fun (id, _, run) ->
       let t = Sys.time () in
-      run ();
+      Obs.span obs ~cat:"bench" id run;
       let dt = Sys.time () -. t in
       Bench_common.(json_add ~bench:id [ ("kind", S "timing"); ("cpu_s", F dt) ]);
       Printf.printf "\n[%s finished in %.1fs cpu]\n%!" id dt)
     to_run;
   Printf.printf "\nAll benches finished in %.1fs cpu.\n" (Sys.time () -. t0);
+  (match (!trace_out, obs.Obs.trace) with
+  | Some file, Some t ->
+      write_file file
+        (if Filename.check_suffix file ".folded" then Obs.Trace.to_folded t
+         else Obs.Trace.to_chrome_json t);
+      Printf.printf "wrote %d spans to %s\n" (Obs.Trace.count t) file
+  | _ -> ());
+  (match (!metrics_out, obs.Obs.metrics) with
+  | Some file, Some m ->
+      write_file file
+        (if Filename.check_suffix file ".prom" then Obs.Metrics.to_prometheus m
+         else Obs.Metrics.to_json m);
+      Printf.printf "wrote metrics to %s\n" file
+  | _ -> ());
   match !json_out with
   | None -> ()
   | Some file ->
+      telemetry_rows obs;
       Bench_common.json_write file;
       Printf.printf "wrote %d JSON rows to %s\n" (List.length !Bench_common.json_rows) file

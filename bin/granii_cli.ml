@@ -6,6 +6,49 @@ open Granii_core
 module G = Granii_graph
 module Mp = Granii_mp
 module Sys_ = Granii_systems
+module Obs = Granii_obs.Obs
+
+(* ---- telemetry plumbing shared by select and stats ---- *)
+
+let trace_file_arg =
+  Arg.(value & opt (some string) None
+       & info [ "trace" ] ~docv:"FILE"
+           ~doc:
+             "Write a trace of the run to $(docv): Chrome trace_event JSON \
+              (load in chrome://tracing or Perfetto), or folded flamegraph \
+              lines when $(docv) ends in $(b,.folded).")
+
+let metrics_file_arg =
+  Arg.(value & opt (some string) None
+       & info [ "metrics" ] ~docv:"FILE"
+           ~doc:
+             "Write the metrics registry to $(docv): JSON, or Prometheus \
+              text exposition format when $(docv) ends in $(b,.prom).")
+
+let write_file path s =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () ->
+      output_string oc s)
+
+let obs_of_flags ~trace_file ~metrics_file =
+  if trace_file = None && metrics_file = None then Obs.disabled
+  else Obs.create ~trace:(trace_file <> None) ()
+
+let export_telemetry obs ~trace_file ~metrics_file =
+  (match (trace_file, obs.Obs.trace) with
+  | Some path, Some t ->
+      write_file path
+        (if Filename.check_suffix path ".folded" then Obs.Trace.to_folded t
+         else Obs.Trace.to_chrome_json t);
+      Printf.printf "wrote %d spans to %s\n" (Obs.Trace.count t) path
+  | _ -> ());
+  match (metrics_file, obs.Obs.metrics) with
+  | Some path, Some m ->
+      write_file path
+        (if Filename.check_suffix path ".prom" then Obs.Metrics.to_prometheus m
+         else Obs.Metrics.to_json m);
+      Printf.printf "wrote metrics to %s\n" path
+  | _ -> ()
 
 (* ---- shared argument converters ---- *)
 
@@ -59,10 +102,10 @@ let graph_arg =
 
 let model_pos = Arg.(required & pos 0 (some model_arg) None & info [] ~docv:"MODEL")
 
-let compile_model (m : Mp.Mp_ast.model) ~binned =
+let compile_model ?obs (m : Mp.Mp_ast.model) ~binned =
   let low = Mp.Lower.lower m in
   let compiled, stats =
-    Granii.compile ~name:m.Mp.Mp_ast.name
+    Granii.compile ?obs ~name:m.Mp.Mp_ast.name
       ~degree_leaves:(Mp.Lower.degree_leaves low ~binned)
       low.Mp.Lower.ir
   in
@@ -215,7 +258,7 @@ let select_cmd =
                 (ELL slab + CSR tail).")
   in
   let run model graph k_in k_out profile iterations system analytic threads models_file
-      execute workspace engine_spec reorder format_ =
+      execute workspace engine_spec reorder format_ trace_file metrics_file =
     if threads < 1 then begin
       Printf.eprintf "--threads expects a positive integer\n";
       exit 1
@@ -293,8 +336,11 @@ let select_cmd =
       else if engine_base.Engine.cache then [ Locality.default ]
       else configs
     in
+    let obs = obs_of_flags ~trace_file ~metrics_file in
     let sys = Sys_.System.find system in
-    let low, compiled, _ = compile_model model ~binned:sys.Sys_.System.binned_degrees in
+    let low, compiled, _ =
+      compile_model ~obs model ~binned:sys.Sys_.System.binned_degrees
+    in
     let cost_model =
       match models_file with
       | Some file -> Cost_model.load file
@@ -307,7 +353,7 @@ let select_cmd =
           end
     in
     let localized =
-      Granii.optimize_localized ~cost_model ~graph ~k_in ~k_out ~iterations
+      Granii.optimize_localized ~obs ~cost_model ~graph ~k_in ~k_out ~iterations
         ~threads ~configs compiled
     in
     let decision = localized.Granii.ldecision in
@@ -339,7 +385,7 @@ let select_cmd =
              (List.map (Format.asprintf "%a" Primitive.pp)
                 (Plan.primitives c.Codegen.plan))))
       ranked;
-    match execute with
+    (match execute with
     | None ->
         if workspace then
           Printf.eprintf "note: --workspace only matters with --execute N\n"
@@ -360,7 +406,7 @@ let select_cmd =
                else localized.Granii.config) }
         in
         let engine =
-          match Engine.create ecfg with
+          match Engine.create ~obs ecfg with
           | Ok e -> e
           | Error e ->
               Printf.eprintf "--engine: %s\n" (Engine.error_to_string e);
@@ -397,14 +443,143 @@ let select_cmd =
               s.Granii_tensor.Workspace.hits s.Granii_tensor.Workspace.misses
               (s.Granii_tensor.Workspace.held_words
               + s.Granii_tensor.Workspace.issued_words));
-        Engine.shutdown engine
+        Engine.shutdown engine);
+    export_telemetry obs ~trace_file ~metrics_file
   in
   Cmd.v
     (Cmd.info "select"
        ~doc:"Run the online stage: featurize an input and rank the candidates")
     Term.(const run $ model_pos $ graph $ k_in $ k_out $ hw $ iterations $ system
           $ analytic $ threads $ models_file $ execute $ workspace $ engine_spec
-          $ reorder $ format_)
+          $ reorder $ format_ $ trace_file_arg $ metrics_file_arg)
+
+(* granii stats: a fully-telemetered end-to-end run (compile -> featurize ->
+   select -> execute N iterations in Measure mode on the host CPU) reported
+   through the observability subsystem itself: span aggregate, metrics
+   registry and the cost-model accuracy monitor. *)
+let stats_cmd =
+  let graph =
+    Arg.(value & opt graph_arg (G.Generators.rmat ~scale:10 ~edge_factor:8 ())
+         & info [ "graph"; "g" ] ~docv:"GRAPH"
+             ~doc:"Input graph (dataset key or generator spec).")
+  in
+  let k_in = Arg.(value & opt int 64 & info [ "kin" ] ~doc:"Input embedding size.") in
+  let k_out = Arg.(value & opt int 64 & info [ "kout" ] ~doc:"Output embedding size.") in
+  let iterations =
+    Arg.(value & opt int 10
+         & info [ "iterations"; "n" ] ~doc:"Measured iterations to execute.")
+  in
+  let threads =
+    Arg.(value & opt int 1 & info [ "threads"; "t" ] ~doc:"Engine thread count.")
+  in
+  let run model graph k_in k_out iterations threads trace_file metrics_file =
+    if iterations < 1 || threads < 1 then begin
+      Printf.eprintf "--iterations and --threads expect positive integers\n";
+      exit 1
+    end;
+    let obs = Obs.create () in
+    let low, compiled, _ = compile_model ~obs model ~binned:false in
+    (* the analytic host-CPU model: the same predictor the cost monitor
+       scores against the measured wall clock *)
+    let cost_model = Cost_model.analytic Granii_hw.Hw_profile.cpu in
+    let localized =
+      Granii.optimize_localized ~obs ~cost_model ~graph ~k_in ~k_out ~iterations
+        ~threads compiled
+    in
+    let decision = localized.Granii.ldecision in
+    let plan = decision.Granii.choice.Selector.candidate.Codegen.plan in
+    let env =
+      { Dim.n = G.Graph.n_nodes graph;
+        nnz = G.Graph.n_edges graph + G.Graph.n_nodes graph;
+        k_in;
+        k_out }
+    in
+    let module Dense = Granii_tensor.Dense in
+    let module Gnn = Granii_gnn in
+    let params = Gnn.Layer.init_params ~seed:0 ~env low in
+    let h = Dense.random ~seed:1 (G.Graph.n_nodes graph) k_in in
+    let bindings = Gnn.Layer.bindings ~graph ~h params in
+    let ecfg = Granii.engine_config ~threads ~telemetry:true localized in
+    let engine =
+      match Engine.create ~obs ecfg with
+      | Ok e -> e
+      | Error e ->
+          Printf.eprintf "engine: %s\n" (Engine.error_to_string e);
+          exit 1
+    in
+    let r =
+      Executor.exec_iterations ~engine ~timing:Executor.Measure ~graph ~bindings
+        ~iterations plan
+    in
+    Engine.shutdown engine;
+    Printf.printf
+      "%s on %s (n=%d nnz=%d) %d->%d, %d iterations, engine %s\n\
+       selected %s: setup %.3f ms, layout %.3f ms, %.3f ms/iteration\n\n"
+      compiled.Codegen.model_name graph.G.Graph.name (G.Graph.n_nodes graph)
+      (G.Graph.n_edges graph) k_in k_out iterations (Engine.describe engine)
+      plan.Plan.name
+      (1000. *. r.Executor.setup_time)
+      (1000. *. r.Executor.layout_time)
+      (1000. *. r.Executor.iteration_time);
+    (match obs.Obs.trace with
+    | None -> ()
+    | Some t ->
+        Printf.printf "spans (%d recorded, %d still open):\n" (Obs.Trace.count t)
+          (Obs.Trace.open_spans t);
+        Printf.printf "  %-22s %8s %14s\n" "name" "count" "total ms";
+        List.iter
+          (fun (name, count, total) ->
+            Printf.printf "  %-22s %8d %14.3f\n" name count (1000. *. total))
+          (Obs.Trace.aggregate t);
+        (* the invariant granii's traces promise: per-step spans of the
+           iteration phase sum to the report's measured iteration time *)
+        let step_total =
+          List.fold_left
+            (fun acc (name, _, total) ->
+              if List.exists
+                   (fun (s : Plan.step) -> Primitive.name s.Plan.prim = name)
+                   plan.Plan.steps
+              then acc +. total
+              else acc)
+            0. (Obs.Trace.aggregate t)
+        in
+        Printf.printf
+          "  step spans total %.3f ms vs measured %.3f ms (setup + %d x iteration)\n\n"
+          (1000. *. step_total)
+          (1000.
+          *. (r.Executor.setup_time
+             +. (float_of_int iterations *. r.Executor.iteration_time)))
+          iterations);
+    (match obs.Obs.metrics with
+    | None -> ()
+    | Some m ->
+        Printf.printf "counters:\n";
+        List.iter
+          (fun (name, v) -> Printf.printf "  %-38s %12d\n" name v)
+          (Obs.Metrics.counters m);
+        Printf.printf "gauges:\n";
+        List.iter
+          (fun (name, v) -> Printf.printf "  %-38s %12.0f\n" name v)
+          (Obs.Metrics.gauges m);
+        Printf.printf "histograms:\n";
+        List.iter
+          (fun (name, (count, sum, min_, max_)) ->
+            Printf.printf "  %-38s n=%-6d sum %10.3f ms  [%0.3f .. %0.3f ms]\n"
+              name count (1000. *. sum) (1000. *. min_) (1000. *. max_))
+          (Obs.Metrics.histograms m);
+        print_newline ());
+    (match obs.Obs.costmon with
+    | None -> ()
+    | Some cm -> Format.printf "%a@." Obs.Cost_monitor.pp cm);
+    export_telemetry obs ~trace_file ~metrics_file
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Run a fully-telemetered compile/select/execute cycle and report \
+          spans, metrics and cost-model accuracy")
+    Term.(const run $ model_pos $ graph $ k_in $ k_out $ iterations $ threads
+          $ trace_file_arg $ metrics_file_arg)
 
 let baseline_cmd =
   let k_in = Arg.(value & opt int 256 & info [ "kin" ] ~doc:"Input embedding size.") in
@@ -478,7 +653,7 @@ let main =
   Cmd.group
     (Cmd.info "granii" ~version:"1.0.0" ~doc)
     [ models_cmd; datasets_cmd; enumerate_cmd; codegen_cmd; select_cmd;
-      baseline_cmd; train_cmd ]
+      stats_cmd; baseline_cmd; train_cmd ]
 
 let () =
   (* -v / GRANII_VERBOSE=1 turns on the library's decision log *)

@@ -1,0 +1,81 @@
+(* Telemetry artifact checker (used by CI): validates that every file given
+   on the command line is well-formed for its format, inferred from the
+   extension — .json through the strict RFC 8259 validator, .folded as
+   flamegraph lines ("frame;frame;... <int>"), .prom as Prometheus text
+   exposition lines. Exits non-zero naming the first offending file. *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let check_folded s =
+  let bad = ref None in
+  String.split_on_char '\n' s
+  |> List.iteri (fun i line ->
+         if !bad = None && String.trim line <> "" then
+           match String.rindex_opt line ' ' with
+           | None -> bad := Some (i + 1, "no self-time field")
+           | Some sp -> (
+               let stack = String.sub line 0 sp in
+               let self =
+                 String.sub line (sp + 1) (String.length line - sp - 1)
+               in
+               if stack = "" then bad := Some (i + 1, "empty stack")
+               else
+                 match int_of_string_opt self with
+                 | Some n when n >= 0 -> ()
+                 | _ -> bad := Some (i + 1, "self-time not a non-negative int")));
+  match !bad with
+  | None -> Ok ()
+  | Some (ln, msg) -> Error (Printf.sprintf "line %d: %s" ln msg)
+
+let check_prometheus s =
+  let bad = ref None in
+  String.split_on_char '\n' s
+  |> List.iteri (fun i line ->
+         if !bad = None && String.trim line <> "" then
+           if String.length line >= 1 && line.[0] = '#' then ()
+           else
+             match String.rindex_opt line ' ' with
+             | None -> bad := Some (i + 1, "no value field")
+             | Some sp -> (
+                 let value =
+                   String.sub line (sp + 1) (String.length line - sp - 1)
+                 in
+                 match float_of_string_opt value with
+                 | Some _ -> ()
+                 | None -> bad := Some (i + 1, "value not a number")));
+  match !bad with
+  | None -> Ok ()
+  | Some (ln, msg) -> Error (Printf.sprintf "line %d: %s" ln msg)
+
+let check path =
+  let content = read_file path in
+  if String.length content = 0 then Error "empty file"
+  else if Filename.check_suffix path ".json" then
+    Granii_obs.Obs.Json.validate content
+  else if Filename.check_suffix path ".folded" then check_folded content
+  else if Filename.check_suffix path ".prom" then check_prometheus content
+  else Error "unknown extension (expected .json, .folded or .prom)"
+
+let () =
+  let files = List.tl (Array.to_list Sys.argv) in
+  if files = [] then begin
+    prerr_endline "usage: obs_check FILE.{json,folded,prom} ...";
+    exit 2
+  end;
+  let failed = ref false in
+  List.iter
+    (fun f ->
+      match check f with
+      | Ok () -> Printf.printf "ok: %s\n" f
+      | Error msg ->
+          Printf.eprintf "FAIL: %s: %s\n" f msg;
+          failed := true
+      | exception Sys_error e ->
+          Printf.eprintf "FAIL: %s\n" e;
+          failed := true)
+    files;
+  if !failed then exit 1

@@ -67,6 +67,12 @@ val lookup : ?backend:backend -> fmt:fmt -> string -> impl option
 val registered : ?backend:backend -> unit -> string list
 (** Registry keys for a backend, sorted — a diagnostic view. *)
 
+val fmt_to_string : fmt -> string
+
+val format_of : ctx -> Primitive.t -> value array -> fmt
+(** The operand format {!exec} would dispatch a step under — exposed so the
+    telemetry layer can attribute a span to the kernel that actually ran. *)
+
 val exec :
   ?backend:backend -> ctx -> Primitive.t -> Granii_graph.Graph.t ->
   value array -> value

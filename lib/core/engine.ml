@@ -4,12 +4,15 @@ module Dense = Granii_tensor.Dense
 module Csr = Granii_sparse.Csr
 module Reorder = Granii_graph.Reorder
 
+module Obs = Granii_obs.Obs
+
 type config = {
   threads : int;
   workspace : bool;
   cache : bool;
   locality : Locality.config;
   keep_intermediates : bool;
+  telemetry : bool;
 }
 
 let default_config =
@@ -17,7 +20,8 @@ let default_config =
     workspace = false;
     cache = false;
     locality = Locality.default;
-    keep_intermediates = true }
+    keep_intermediates = true;
+    telemetry = false }
 
 type error =
   | Invalid_threads of int
@@ -129,6 +133,7 @@ type t = {
   owns_pool : bool;
   ws : Workspace.t option;
   cache_ : cache option;
+  obs : Obs.t;
 }
 
 let validate (cfg : config) =
@@ -139,14 +144,17 @@ let validate (cfg : config) =
     Some Workspace_cache_discard
   else None
 
-let create ?pool ?workspace ?cache (cfg : config) =
+let create ?pool ?workspace ?cache ?obs (cfg : config) =
   (* normalize the config to the resources actually present, so [describe]
      is truthful when resources are injected by a legacy wrapper *)
   let cfg =
     { cfg with
       threads = (match pool with Some p -> Parallel.threads p | None -> cfg.threads);
       workspace = cfg.workspace || workspace <> None;
-      cache = cfg.cache || cache <> None }
+      cache = cfg.cache || cache <> None;
+      telemetry =
+        (cfg.telemetry
+        || match obs with Some o -> Obs.enabled o | None -> false) }
   in
   match validate cfg with
   | Some e -> Result.error e
@@ -168,10 +176,15 @@ let create ?pool ?workspace ?cache (cfg : config) =
         | Some _ as c -> c
         | None -> if cfg.cache then Some (cache_create ()) else None
       in
-      Result.ok { cfg; pool; owns_pool; ws; cache_ }
+      let obs =
+        match obs with
+        | Some o -> o
+        | None -> if cfg.telemetry then Obs.create () else Obs.disabled
+      in
+      Result.ok { cfg; pool; owns_pool; ws; cache_; obs }
 
-let create_exn ?pool ?workspace ?cache cfg =
-  match create ?pool ?workspace ?cache cfg with
+let create_exn ?pool ?workspace ?cache ?obs cfg =
+  match create ?pool ?workspace ?cache ?obs cfg with
   | Ok t -> t
   | Error e -> raise (Error e)
 
@@ -184,7 +197,8 @@ let of_legacy ?pool ?workspace ?cache ?(keep_intermediates = true)
       workspace = workspace <> None;
       cache = cache <> None;
       locality;
-      keep_intermediates }
+      keep_intermediates;
+      telemetry = false }
 
 let config t = t.cfg
 let threads t = t.cfg.threads
@@ -193,6 +207,7 @@ let workspace t = t.ws
 let cache t = t.cache_
 let locality t = t.cfg.locality
 let keep_intermediates t = t.cfg.keep_intermediates
+let obs t = t.obs
 
 let shutdown t = if t.owns_pool then Option.iter Parallel.shutdown t.pool
 
@@ -208,10 +223,12 @@ let cache_insert t key v time =
 let onoff = function true -> "on" | false -> "off"
 
 let describe_config (cfg : config) =
-  Printf.sprintf "threads=%d,workspace=%s,cache=%s,locality=%s,intermediates=%s"
+  Printf.sprintf
+    "threads=%d,workspace=%s,cache=%s,locality=%s,intermediates=%s,telemetry=%s"
     cfg.threads (onoff cfg.workspace) (onoff cfg.cache)
     (Locality.config_to_string cfg.locality)
     (if cfg.keep_intermediates then "keep" else "drop")
+    (onoff cfg.telemetry)
 
 let describe t = describe_config t.cfg
 
@@ -277,5 +294,8 @@ let config_of_string s =
                   Error
                     (Printf.sprintf
                        "engine spec: intermediates expects keep|drop (got %s)" v))
+          | "telemetry" ->
+              let* b = parse_flag key v in
+              Ok { cfg with telemetry = b }
           | _ -> Error (Printf.sprintf "engine spec: unknown key %s" key)))
     (Ok default_config) fields

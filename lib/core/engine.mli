@@ -31,6 +31,10 @@ type config = {
   keep_intermediates : bool;
       (** [false] lets the liveness pass recycle each intermediate's buffer
           the moment its last reader retires (requires the workspace) *)
+  telemetry : bool;
+      (** attach a live {!Granii_obs.Obs} sink (tracing + metrics +
+          cost-model monitor); off = the zero-overhead {!Granii_obs.Obs.disabled}
+          sink *)
 }
 
 val default_config : config
@@ -67,17 +71,20 @@ type cache
 
 val create :
   ?pool:Granii_tensor.Parallel.t -> ?workspace:Granii_tensor.Workspace.t ->
-  ?cache:cache -> config -> (t, error) result
+  ?cache:cache -> ?obs:Granii_obs.Obs.t -> config -> (t, error) result
 (** Validates and builds the context. A pool is spawned when
     [config.threads > 1]; the injection parameters let a caller hand in
     already-owned resources (the deprecated wrappers and {!Selector.measure}
     do) — an injected resource is never shut down by {!shutdown}, and the
     stored config is normalized to reflect it ([threads] from the injected
-    pool's width, [workspace]/[cache] forced on). *)
+    pool's width, [workspace]/[cache] forced on, [telemetry] on when the
+    injected sink is live). [config.telemetry = true] without an injected
+    sink builds a fresh all-on {!Granii_obs.Obs.create}; an injected
+    {!Granii_obs.Obs.disabled} keeps telemetry off. *)
 
 val create_exn :
   ?pool:Granii_tensor.Parallel.t -> ?workspace:Granii_tensor.Workspace.t ->
-  ?cache:cache -> config -> t
+  ?cache:cache -> ?obs:Granii_obs.Obs.t -> config -> t
 (** {!create}, raising {!Error} instead of returning it. *)
 
 val default : unit -> t
@@ -104,6 +111,10 @@ val workspace : t -> Granii_tensor.Workspace.t option
 val cache : t -> cache option
 val locality : t -> Locality.config
 val keep_intermediates : t -> bool
+
+val obs : t -> Granii_obs.Obs.t
+(** The telemetry sink; {!Granii_obs.Obs.disabled} unless the config asked
+    for telemetry or a live sink was injected. *)
 
 (** {2 Cache operations} (used by {!Executor}) *)
 
@@ -137,5 +148,6 @@ val describe_config : config -> string
 val config_of_string : string -> (config, string) result
 (** Parse a comma-separated [key=value] spec; omitted keys keep their
     {!default_config} values, [""] and ["default"] are the default config.
-    Keys: [threads] (int), [workspace]/[cache] (on|off), [locality]
-    (<identity|degree|bfs|rcm>+<csr|hybrid>), [intermediates] (keep|drop). *)
+    Keys: [threads] (int), [workspace]/[cache]/[telemetry] (on|off),
+    [locality] (<identity|degree|bfs|rcm>+<csr|hybrid>), [intermediates]
+    (keep|drop). *)

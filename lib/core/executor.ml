@@ -1,5 +1,7 @@
 module Workspace = Granii_tensor.Workspace
 module K = Granii_hw.Kernel_model
+module Timer = Granii_hw.Timer
+module Obs = Granii_obs.Obs
 
 type value = Dispatch.value =
   | Vdense of Granii_tensor.Dense.t
@@ -38,6 +40,93 @@ let analytic_time ~threads ~seed profile (s : Plan.step) graph args v =
     0.
     (Dispatch.kernels_of_step s.Plan.prim graph args v)
 
+(* ---- telemetry helpers ----
+
+   Everything below is guarded on the sink's components, so a disabled
+   engine pays one option match per use and allocates nothing. *)
+
+let phase_name = function
+  | Plan.Setup -> "setup"
+  | Plan.Per_iteration -> "iteration"
+
+let step_attrs ~threads ~ctx (s : Plan.step) args v =
+  let r, c = Dispatch.shape_of v in
+  let attrs =
+    [ ("prim", Primitive.name s.Plan.prim);
+      ("phase", phase_name s.Plan.phase);
+      ("format",
+       Dispatch.fmt_to_string (Dispatch.format_of ctx s.Plan.prim args));
+      ("shape", Printf.sprintf "%dx%d" r c);
+      ("threads", string_of_int threads) ]
+  in
+  match v with
+  | Vsparse m -> ("nnz", string_of_int (Granii_sparse.Csr.nnz m)) :: attrs
+  | _ -> attrs
+
+let step_span_enter tr (s : Plan.step) =
+  match tr with
+  | None -> None
+  | Some t -> Some (Obs.Trace.enter t ~cat:"step" (Primitive.name s.Plan.prim))
+
+let step_span_exit tr sp ~threads ~ctx (s : Plan.step) args v elapsed =
+  match (tr, sp) with
+  | Some t, Some sp ->
+      Obs.Trace.exit_ t ~dur:elapsed ~attrs:(step_attrs ~threads ~ctx s args v)
+        sp
+  | _ -> ()
+
+let step_observe (obs : Obs.t) (s : Plan.step) elapsed =
+  match obs.Obs.metrics with
+  | None -> ()
+  | Some m ->
+      Obs.Metrics.observe m ("step." ^ Primitive.name s.Plan.prim) elapsed
+
+(* Predicted-vs-measured pair for the cost-model monitor: the noise-free
+   analytic host-CPU prediction against the wall clock — only computed when
+   the monitor is live and the step was genuinely measured. *)
+let costmon_record (obs : Obs.t) ~threads (s : Plan.step) graph args v measured
+    =
+  match obs.Obs.costmon with
+  | None -> ()
+  | Some cm ->
+      let predicted =
+        List.fold_left
+          (fun acc k -> acc +. K.time ~threads Granii_hw.Hw_profile.cpu k)
+          0.
+          (Dispatch.kernels_of_step s.Plan.prim graph args v)
+      in
+      Obs.Cost_monitor.record cm ~prim:(Primitive.name s.Plan.prim) ~predicted
+        ~measured
+
+let bracket_span tr ~cat name =
+  match tr with None -> None | Some t -> Some (Obs.Trace.enter t ~cat name)
+
+let bracket_exit tr sp ?attrs () =
+  match (tr, sp) with
+  | Some t, Some sp -> Obs.Trace.exit_ t ?attrs sp
+  | _ -> ()
+
+(* Post-run metrics: workspace arena deltas plus a GC snapshot. *)
+let run_metrics (obs : Obs.t) ws before =
+  match obs.Obs.metrics with
+  | None -> ()
+  | Some m ->
+      (match (ws, before) with
+      | Some w, Some (b : Workspace.stats) ->
+          let s = Workspace.stats w in
+          Obs.Metrics.add m "workspace.alloc.hits"
+            (s.Workspace.hits - b.Workspace.hits);
+          Obs.Metrics.add m "workspace.alloc.misses"
+            (s.Workspace.misses - b.Workspace.misses);
+          Obs.Metrics.set_gauge m "workspace.bytes.held"
+            (float_of_int (8 * s.Workspace.held_words));
+          Obs.Metrics.set_gauge m "workspace.bytes.issued"
+            (float_of_int (8 * s.Workspace.issued_words))
+      | _ -> ());
+      let g = Gc.quick_stat () in
+      Obs.Metrics.set_gauge m "gc.major_words" g.Gc.major_words;
+      Obs.Metrics.add m "engine.runs" 1
+
 (* ---- the dispatch loop ----
 
    All policy lives elsewhere: the engine owns pool/workspace/cache/layout
@@ -48,6 +137,9 @@ let analytic_time ~threads ~seed profile (s : Plan.step) graph args v =
 
 let exec_prepared ~seed ~engine ~timing ~graph ~bindings (prep : Pass.prepared) =
   let pool = Engine.pool engine and ws = Engine.workspace engine in
+  let obs = Engine.obs engine in
+  let tr = obs.Obs.trace in
+  let exec_span = bracket_span tr ~cat:"engine" "execute" in
   let cache =
     match (Engine.cache engine, prep.Pass.cache_keys) with
     | Some c, Some keys ->
@@ -56,12 +148,15 @@ let exec_prepared ~seed ~engine ~timing ~graph ~bindings (prep : Pass.prepared) 
     | _ -> None
   in
   let orig_n = Granii_graph.Graph.n_nodes graph in
+  let layout_span = bracket_span tr ~cat:"engine" "layout" in
   let lstate, graph, bindings =
     Pass.Layout.enter ~locality:prep.Pass.locality ~graph ~bindings
   in
   List.iter (fun (_, v) -> Pass.Layout.register lstate v) bindings;
+  bracket_exit tr layout_span ~attrs:[ ("stage", "enter") ] ();
   let ctx = { Dispatch.pool; ws; hybrid = Pass.Layout.hybrid_of lstate } in
   (match ws with Some w -> Workspace.reclaim w | None -> ());
+  let ws_before = Option.map Workspace.stats ws in
   let steps = prep.Pass.steps in
   let n = Array.length steps in
   let slots : value option array = Array.make n None in
@@ -118,11 +213,16 @@ let exec_prepared ~seed ~engine ~timing ~graph ~bindings (prep : Pass.prepared) 
   Array.iteri
     (fun i (s : Plan.step) ->
       let args = arg_values i s in
+      let sp = step_span_enter tr s in
       let cached =
         match cache with
         | None -> None
         | Some (c, keys) -> Engine.cache_find c keys.(i)
       in
+      if cache <> None then
+        Obs.count obs
+          (match cached with Some _ -> "cache.hits" | None -> "cache.misses")
+          1;
       let value, elapsed =
         match (cached, timing) with
         | Some (v, measured), Measure ->
@@ -135,10 +235,11 @@ let exec_prepared ~seed ~engine ~timing ~graph ~bindings (prep : Pass.prepared) 
             (v, analytic_time ~threads ~seed profile s graph args v)
         | None, Measure ->
             let v, t =
-              Granii_hw.Timer.measure (fun () ->
+              Timer.measure_wall (fun () ->
                   Dispatch.exec ctx s.Plan.prim graph args)
             in
             Engine.cache_insert engine s.Plan.skey v t;
+            costmon_record obs ~threads s graph args v t;
             (v, t)
         | None, Simulate profile ->
             let v = Dispatch.exec ctx s.Plan.prim graph args in
@@ -146,6 +247,8 @@ let exec_prepared ~seed ~engine ~timing ~graph ~bindings (prep : Pass.prepared) 
             Engine.cache_insert engine s.Plan.skey v t;
             (v, t)
       in
+      step_span_exit tr sp ~threads ~ctx s args value elapsed;
+      step_observe obs s elapsed;
       slots.(s.Plan.idx) <- Some value;
       (* setup outputs are iteration-stable: candidates for the hybrid form *)
       if s.Plan.phase = Plan.Setup then Pass.Layout.register lstate value;
@@ -166,9 +269,15 @@ let exec_prepared ~seed ~engine ~timing ~graph ~bindings (prep : Pass.prepared) 
     end
     else []
   in
+  let exit_span = bracket_span tr ~cat:"engine" "layout" in
   let output, intermediates, layout_time =
     Pass.Layout.exit_ lstate ~n:orig_n output intermediates
   in
+  bracket_exit tr exit_span ~attrs:[ ("stage", "exit") ] ();
+  run_metrics obs ws ws_before;
+  bracket_exit tr exec_span
+    ~attrs:[ ("plan", prep.Pass.plan.Plan.name) ]
+    ();
   { output;
     setup_time = !setup_time;
     iteration_time = !iteration_time;
@@ -200,12 +309,18 @@ let exec_iterations ?(seed = 0) ?disable ~engine ~timing ~graph ~bindings
   if iterations < 1 then invalid_arg "Executor.exec_iterations: iterations < 1";
   let prep = Pass.prepare ?disable engine plan in
   let pool = Engine.pool engine and ws = Engine.workspace engine in
+  let obs = Engine.obs engine in
+  let tr = obs.Obs.trace in
+  let exec_span = bracket_span tr ~cat:"engine" "execute" in
   (match ws with Some w -> Workspace.reclaim w | None -> ());
+  let ws_before = Option.map Workspace.stats ws in
   let orig_n = Granii_graph.Graph.n_nodes graph in
+  let layout_span = bracket_span tr ~cat:"engine" "layout" in
   let lstate, graph, bindings =
     Pass.Layout.enter ~locality:prep.Pass.locality ~graph ~bindings
   in
   List.iter (fun (_, v) -> Pass.Layout.register lstate v) bindings;
+  bracket_exit tr layout_span ~attrs:[ ("stage", "enter") ] ();
   let ctx = { Dispatch.pool; ws; hybrid = Pass.Layout.hybrid_of lstate } in
   let steps = prep.Pass.steps in
   let n = Array.length steps in
@@ -248,14 +363,22 @@ let exec_iterations ?(seed = 0) ?disable ~engine ~timing ~graph ~bindings
   let per_step_time = Array.make n 0. in
   let threads = Engine.threads engine in
   let exec_step (s : Plan.step) args =
-    match timing with
-    | Measure ->
-        let t0 = Granii_hw.Timer.now () in
-        let v = Dispatch.exec ctx s.Plan.prim graph args in
-        (v, Granii_hw.Timer.now () -. t0)
-    | Simulate profile ->
-        let v = Dispatch.exec ctx s.Plan.prim graph args in
-        (v, analytic_time ~threads ~seed profile s graph args v)
+    let sp = step_span_enter tr s in
+    let v, t =
+      match timing with
+      | Measure ->
+          let t0 = Timer.wall () in
+          let v = Dispatch.exec ctx s.Plan.prim graph args in
+          let t = Timer.wall () -. t0 in
+          costmon_record obs ~threads s graph args v t;
+          (v, t)
+      | Simulate profile ->
+          let v = Dispatch.exec ctx s.Plan.prim graph args in
+          (v, analytic_time ~threads ~seed profile s graph args v)
+    in
+    step_span_exit tr sp ~threads ~ctx s args v t;
+    step_observe obs s t;
+    (v, t)
   in
   let is_iter =
     Array.map (fun (s : Plan.step) -> s.Plan.phase = Plan.Per_iteration) steps
@@ -300,6 +423,14 @@ let exec_iterations ?(seed = 0) ?disable ~engine ~timing ~graph ~bindings
   let total_iter_time = ref 0. in
   for it = 1 to iterations do
     if it > 1 then release_iteration_slots ();
+    let it_span =
+      match tr with
+      | None -> None
+      | Some t ->
+          let sp = Obs.Trace.enter t ~cat:"engine" "iteration" in
+          Obs.Trace.add_attrs sp [ ("i", string_of_int it) ];
+          Some sp
+    in
     for i = 0 to n - 1 do
       if is_iter.(i) then begin
         let s = Array.unsafe_get steps i in
@@ -308,7 +439,8 @@ let exec_iterations ?(seed = 0) ?disable ~engine ~timing ~graph ~bindings
         per_step_time.(i) <- t;
         total_iter_time := !total_iter_time +. t
       end
-    done
+    done;
+    bracket_exit tr it_span ()
   done;
   let output =
     match prep.Pass.plan.Plan.output with
@@ -335,9 +467,17 @@ let exec_iterations ?(seed = 0) ?disable ~engine ~timing ~graph ~bindings
     end
     else []
   in
+  let exit_span = bracket_span tr ~cat:"engine" "layout" in
   let output, intermediates, layout_time =
     Pass.Layout.exit_ lstate ~n:orig_n output intermediates
   in
+  bracket_exit tr exit_span ~attrs:[ ("stage", "exit") ] ();
+  run_metrics obs ws ws_before;
+  bracket_exit tr exec_span
+    ~attrs:
+      [ ("plan", prep.Pass.plan.Plan.name);
+        ("iterations", string_of_int iterations) ]
+    ();
   { output;
     setup_time = !setup_time;
     iteration_time = !total_iter_time /. float_of_int iterations;

@@ -9,7 +9,7 @@ type t = {
 
 let extract ?(threads = 1) graph =
   let stats, extraction_time =
-    Granii_hw.Timer.measure (fun () -> Gf.extract graph)
+    Granii_hw.Timer.measure_wall (fun () -> Gf.extract graph)
   in
   { graph_features = Gf.to_array stats;
     stats;

@@ -9,11 +9,27 @@ type offline_stats = {
   n_promoted : int;
 }
 
-let compile ?max_trees ?degree_leaves ~name expr =
-  let n_variants = List.length (Rewrite.variants expr) in
-  let forest = Enumerate.forest ?max_trees expr in
-  let pruned = Prune.run forest in
-  let compiled = Codegen.compile ?degree_leaves ~name pruned in
+module Obs = Granii_obs.Obs
+
+let compile ?(obs = Obs.disabled) ?max_trees ?degree_leaves ~name expr =
+  Obs.span obs ~cat:"compile" ~attrs:[ ("model", name) ] "compile" @@ fun () ->
+  let n_variants =
+    Obs.span obs ~cat:"compile" "rewrite" @@ fun () ->
+    List.length (Rewrite.variants expr)
+  in
+  let forest =
+    Obs.span obs ~cat:"compile" "enumerate" @@ fun () ->
+    Enumerate.forest ?max_trees expr
+  in
+  let pruned = Obs.span obs ~cat:"compile" "prune" @@ fun () -> Prune.run forest in
+  let compiled =
+    Obs.span obs ~cat:"compile" "codegen" @@ fun () ->
+    Codegen.compile ?degree_leaves ~name pruned
+  in
+  Obs.count obs "offline.variants" n_variants;
+  Obs.count obs "offline.enumerated" pruned.Prune.n_enumerated;
+  Obs.count obs "offline.pruned" pruned.Prune.n_pruned;
+  Obs.count obs "offline.promoted" (List.length pruned.Prune.promoted);
   Log.info (fun m ->
       m "compiled %s: %d variants, %d enumerated, %d pruned, %d promoted" name
         n_variants pruned.Prune.n_enumerated pruned.Prune.n_pruned
@@ -30,15 +46,27 @@ type decision = {
   overhead : float;
 }
 
-let optimize ~cost_model ~graph ~k_in ~k_out ?(iterations = 100) ?(threads = 1) compiled =
+let featurize ?(obs = Obs.disabled) ~threads graph =
   let feats = Featurizer.extract ~threads graph in
+  (match obs.Obs.trace with
+  | None -> ()
+  | Some t ->
+      let sp = Obs.Trace.enter t ~cat:"engine" "featurize" in
+      Obs.Trace.exit_ t ~dur:feats.Featurizer.extraction_time sp);
+  (match obs.Obs.metrics with
+  | None -> ()
+  | Some m -> Obs.Metrics.observe m "featurize.time" feats.Featurizer.extraction_time);
+  feats
+
+let optimize ?obs ~cost_model ~graph ~k_in ~k_out ?(iterations = 100) ?(threads = 1) compiled =
+  let feats = featurize ?obs ~threads graph in
   let env =
     { Dim.n = Granii_graph.Graph.n_nodes graph;
       nnz = Granii_graph.Graph.n_edges graph + Granii_graph.Graph.n_nodes graph;
       k_in;
       k_out }
   in
-  let choice = Selector.select ~cost_model ~feats ~env ~iterations compiled in
+  let choice = Selector.select ?obs ~cost_model ~feats ~env ~iterations compiled in
   Log.info (fun m ->
       m "selected %s for %s (n=%d nnz=%d %d->%d, %d iterations): %.3e s predicted, %s"
         choice.Selector.candidate.Codegen.plan.Plan.name compiled.Codegen.model_name
@@ -56,9 +84,9 @@ type localized_decision = {
   base_cost : float;
 }
 
-let optimize_localized ~cost_model ~graph ~k_in ~k_out ?(iterations = 100)
+let optimize_localized ?obs ~cost_model ~graph ~k_in ~k_out ?(iterations = 100)
     ?(threads = 1) ?configs compiled =
-  let feats = Featurizer.extract ~threads graph in
+  let feats = featurize ?obs ~threads graph in
   let env =
     { Dim.n = Granii_graph.Graph.n_nodes graph;
       nnz = Granii_graph.Graph.n_edges graph + Granii_graph.Graph.n_nodes graph;
@@ -66,7 +94,7 @@ let optimize_localized ~cost_model ~graph ~k_in ~k_out ?(iterations = 100)
       k_out }
   in
   let lc =
-    Selector.select_localized ~cost_model ~feats ~env ~iterations ?configs
+    Selector.select_localized ?obs ~cost_model ~feats ~env ~iterations ?configs
       compiled
   in
   let choice = lc.Selector.lchoice in
@@ -91,12 +119,14 @@ let execute_with ?seed ?disable ~engine ~timing ~graph ~bindings decision =
     decision.choice.Selector.candidate.Codegen.plan
 
 let engine_config ?(threads = 1) ?(workspace = false) ?(cache = false)
-    ?(keep_intermediates = true) (localized : localized_decision) =
+    ?(keep_intermediates = true) ?(telemetry = false)
+    (localized : localized_decision) =
   { Engine.threads;
     workspace;
     cache;
     locality = localized.config;
-    keep_intermediates }
+    keep_intermediates;
+    telemetry }
 
 let execute ?seed ?pool ?workspace ?locality ~timing ~graph ~bindings decision =
   let engine = Engine.of_legacy ?pool ?workspace ?locality () in

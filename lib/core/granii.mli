@@ -17,11 +17,14 @@ type offline_stats = {
 }
 
 val compile :
-  ?max_trees:int -> ?degree_leaves:(string * Plan.degree_spec) list ->
+  ?obs:Granii_obs.Obs.t -> ?max_trees:int ->
+  ?degree_leaves:(string * Plan.degree_spec) list ->
   name:string -> Matrix_ir.expr -> Codegen.t * offline_stats
 (** The offline compilation stage. [degree_leaves] marks normalization
     leaves, with [true] selecting the binned degree kernel of the host
-    system. *)
+    system. A live [obs] records a ["compile"] span with
+    rewrite/enumerate/prune/codegen children and the [offline.*]
+    counters mirroring {!offline_stats}. *)
 
 type decision = {
   choice : Selector.choice;
@@ -32,7 +35,8 @@ type decision = {
 }
 
 val optimize :
-  cost_model:Cost_model.t -> graph:Granii_graph.Graph.t -> k_in:int ->
+  ?obs:Granii_obs.Obs.t -> cost_model:Cost_model.t ->
+  graph:Granii_graph.Graph.t -> k_in:int ->
   k_out:int -> ?iterations:int -> ?threads:int -> Codegen.t -> decision
 (** The online stage (default [iterations = 100], matching the paper's
     evaluation). [threads] (default [1]) is the multicore engine's width;
@@ -49,7 +53,8 @@ type localized_decision = {
 }
 
 val optimize_localized :
-  cost_model:Cost_model.t -> graph:Granii_graph.Graph.t -> k_in:int ->
+  ?obs:Granii_obs.Obs.t -> cost_model:Cost_model.t ->
+  graph:Granii_graph.Graph.t -> k_in:int ->
   k_out:int -> ?iterations:int -> ?threads:int ->
   ?configs:Locality.config list -> Codegen.t -> localized_decision
 (** {!optimize} with the layout axes in the argmin: every candidate is
@@ -69,7 +74,8 @@ val execute_with :
 
 val engine_config :
   ?threads:int -> ?workspace:bool -> ?cache:bool ->
-  ?keep_intermediates:bool -> localized_decision -> Engine.config
+  ?keep_intermediates:bool -> ?telemetry:bool -> localized_decision ->
+  Engine.config
 (** An engine configuration whose locality axis is the layout
     {!optimize_localized} picked — the canonical way to turn a localized
     decision into an engine: feed the result to {!Engine.create} and the

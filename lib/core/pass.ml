@@ -120,7 +120,7 @@ module Layout = struct
     else begin
       let n = Granii_graph.Graph.n_nodes graph in
       let (st, graph', bindings'), t =
-        Granii_hw.Timer.measure (fun () ->
+        Granii_hw.Timer.measure_wall (fun () ->
             match locality.Locality.strategy with
             | Granii_graph.Reorder.Identity ->
                 ( { config = locality;
@@ -159,7 +159,7 @@ module Layout = struct
           | Dispatch.Vsparse s
             when s.Csr.n_rows = s.Csr.n_cols
                  && not (List.exists (fun (m, _) -> m == s) st.hybrids) ->
-              let h, t = Granii_hw.Timer.measure (fun () -> Hybrid.of_csr s) in
+              let h, t = Granii_hw.Timer.measure_wall (fun () -> Hybrid.of_csr s) in
               st.layout <- st.layout +. t;
               st.hybrids <- (s, h) :: st.hybrids
           | _ -> ()
@@ -183,7 +183,7 @@ module Layout = struct
         match (st.reorder, st.inverse) with
         | Some r, Some inv_r ->
             let (o, ints), t =
-              Granii_hw.Timer.measure (fun () ->
+              Granii_hw.Timer.measure_wall (fun () ->
                   ( inverse_value r inv_r n output,
                     List.map
                       (fun (i, v) -> (i, inverse_value r inv_r n v))

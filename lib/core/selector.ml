@@ -1,3 +1,5 @@
+module Obs = Granii_obs.Obs
+
 type choice = {
   candidate : Codegen.ccand;
   predicted_cost : float;
@@ -19,7 +21,7 @@ let rank ~cost_model ~feats ~env ~iterations (compiled : Codegen.t) =
   in
   List.sort (fun (_, a) (_, b) -> compare a b) scored
 
-let measure ?seed ?pool ~timing ~graph ~bindings ~env ~iterations
+let measure ?seed ?pool ?obs ~timing ~graph ~bindings ~env ~iterations
     (compiled : Codegen.t) =
   let scenario = scenario_of ~k_in:env.Dim.k_in ~k_out:env.Dim.k_out in
   let cands = Codegen.for_scenario compiled scenario in
@@ -29,7 +31,7 @@ let measure ?seed ?pool ~timing ~graph ~bindings ~env ~iterations
      instead of once per plan. Valid because all candidates run on the same
      (graph, bindings) — the engine's cache fingerprints the graph. *)
   let engine =
-    Engine.create_exn ?pool
+    Engine.create_exn ?pool ?obs
       { Engine.default_config with cache = true; keep_intermediates = false }
   in
   let timed =
@@ -115,9 +117,29 @@ let rank_localized ~cost_model ~feats ~env ~iterations ?(configs = Locality.all_
   in
   List.stable_sort (fun (_, _, _, a) (_, _, _, b) -> compare a b) scored
 
-let select_localized ~cost_model ~feats ~env ~iterations ?configs compiled =
+(* Selection telemetry: a retro-dated "select" span carrying the measured
+   selection_time (so trace and [choice.selection_time] agree exactly) plus
+   the candidates-considered counter. *)
+let record_selection obs ~name ~plan ~considered ~selection_time =
+  match obs with
+  | None -> ()
+  | Some o ->
+      (match o.Obs.trace with
+      | None -> ()
+      | Some t ->
+          let sp = Obs.Trace.enter t ~cat:"engine" name in
+          Obs.Trace.exit_ t ~dur:selection_time
+            ~attrs:[ ("plan", plan); ("considered", string_of_int considered) ]
+            sp);
+      Obs.count o "select.runs" 1;
+      Obs.count o "select.candidates.considered" considered;
+      (match o.Obs.metrics with
+      | None -> ()
+      | Some m -> Obs.Metrics.observe m "select.time" selection_time)
+
+let select_localized ?obs ~cost_model ~feats ~env ~iterations ?configs compiled =
   let result, selection_time =
-    Granii_hw.Timer.measure (fun () ->
+    Granii_hw.Timer.measure_wall (fun () ->
         match
           rank_localized ~cost_model ~feats ~env ~iterations ?configs compiled
         with
@@ -139,6 +161,8 @@ let select_localized ~cost_model ~feats ~env ~iterations ?configs compiled =
             (c, cfg, base, cost, considered))
   in
   let candidate, config, base_cost, predicted_cost, considered = result in
+  record_selection obs ~name:"select_localized"
+    ~plan:candidate.Codegen.plan.Plan.name ~considered ~selection_time;
   { lchoice =
       { candidate;
         predicted_cost;
@@ -148,9 +172,9 @@ let select_localized ~cost_model ~feats ~env ~iterations ?configs compiled =
     config;
     base_cost }
 
-let select ~cost_model ~feats ~env ~iterations compiled =
+let select ?obs ~cost_model ~feats ~env ~iterations compiled =
   let result, selection_time =
-    Granii_hw.Timer.measure (fun () ->
+    Granii_hw.Timer.measure_wall (fun () ->
         let scenario = scenario_of ~k_in:env.Dim.k_in ~k_out:env.Dim.k_out in
         match Codegen.for_scenario compiled scenario with
         | [] ->
@@ -182,4 +206,6 @@ let select ~cost_model ~feats ~env ~iterations compiled =
             (best, best_cost, List.length several, true))
   in
   let candidate, predicted_cost, considered, used_cost_models = result in
+  record_selection obs ~name:"select" ~plan:candidate.Codegen.plan.Plan.name
+    ~considered ~selection_time;
   { candidate; predicted_cost; selection_time; considered; used_cost_models }

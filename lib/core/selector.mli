@@ -25,11 +25,14 @@ type localized_choice = {
 val scenario_of : k_in:int -> k_out:int -> Dim.scenario
 
 val select :
-  cost_model:Cost_model.t -> feats:Featurizer.t -> env:Dim.env ->
-  iterations:int -> Codegen.t -> choice
+  ?obs:Granii_obs.Obs.t -> cost_model:Cost_model.t -> feats:Featurizer.t ->
+  env:Dim.env -> iterations:int -> Codegen.t -> choice
 (** Raises [Invalid_argument] if the compiled model has no candidate for the
     input's scenario (cannot happen for {!Codegen.compile} output on a
-    non-empty pruning result). *)
+    non-empty pruning result). A live [obs] records a ["select"] span whose
+    duration is exactly [selection_time], plus the [select.runs] /
+    [select.candidates.considered] counters and a [select.time]
+    histogram sample. *)
 
 val rank :
   cost_model:Cost_model.t -> feats:Featurizer.t -> env:Dim.env ->
@@ -38,9 +41,9 @@ val rank :
     (diagnostic view of the same decision). *)
 
 val select_localized :
-  cost_model:Cost_model.t -> feats:Featurizer.t -> env:Dim.env ->
-  iterations:int -> ?configs:Locality.config list -> Codegen.t ->
-  localized_choice
+  ?obs:Granii_obs.Obs.t -> cost_model:Cost_model.t -> feats:Featurizer.t ->
+  env:Dim.env -> iterations:int -> ?configs:Locality.config list ->
+  Codegen.t -> localized_choice
 (** Joint {e {ordering × format × candidate}} selection: every candidate is
     scored under every configuration in [configs] (default:
     {!Locality.all_configs}), where a configuration's score is the base
@@ -62,8 +65,9 @@ val rank_localized :
     cheapest adjusted cost first. *)
 
 val measure :
-  ?seed:int -> ?pool:Granii_tensor.Parallel.t -> timing:Executor.timing ->
-  graph:Granii_graph.Graph.t -> bindings:(string * Executor.value) list ->
+  ?seed:int -> ?pool:Granii_tensor.Parallel.t -> ?obs:Granii_obs.Obs.t ->
+  timing:Executor.timing -> graph:Granii_graph.Graph.t ->
+  bindings:(string * Executor.value) list ->
   env:Dim.env -> iterations:int -> Codegen.t ->
   (Codegen.ccand * float) list * (int * int)
 (** Ground-truth companion to {!rank}: {e executes} every

@@ -1,6 +1,13 @@
-(* Sys.time measures CPU time which is what we want for single-threaded
-   kernel benchmarking (immune to scheduler noise); fall back semantics are
-   identical on all supported platforms. *)
+(* Two clocks, deliberately kept apart:
+
+   - [now]/[measure]/[measure_n] read [Sys.time], i.e. process CPU time —
+     right for single-threaded kernel microbenches (immune to scheduler
+     noise), but it sums over every running domain, so a run on the
+     multicore engine reports ~threads x the elapsed time;
+   - [wall]/[measure_wall]/[measure_n_wall] read [Unix.gettimeofday], i.e.
+     elapsed real time — what every parallel-path measurement, executor
+     step timing and telemetry span must use. *)
+
 let now () = Sys.time ()
 
 let measure f =
@@ -19,4 +26,24 @@ let measure_n ?(warmup = 1) ~n f =
     ignore (Sys.opaque_identity (f ()))
   done;
   let t1 = now () in
+  (t1 -. t0) /. float_of_int n
+
+let wall () = Unix.gettimeofday ()
+
+let measure_wall f =
+  let t0 = wall () in
+  let x = f () in
+  let t1 = wall () in
+  (x, t1 -. t0)
+
+let measure_n_wall ?(warmup = 1) ~n f =
+  if n <= 0 then invalid_arg "Timer.measure_n_wall: n must be positive";
+  for _ = 1 to warmup do
+    ignore (Sys.opaque_identity (f ()))
+  done;
+  let t0 = wall () in
+  for _ = 1 to n do
+    ignore (Sys.opaque_identity (f ()))
+  done;
+  let t1 = wall () in
   (t1 -. t0) /. float_of_int n

@@ -1,13 +1,31 @@
-(** Wall-clock measurement helpers for real (host-CPU) execution. *)
+(** Measurement helpers for real (host-CPU) execution: a CPU-time clock for
+    single-threaded kernel microbenches and a wall clock for everything
+    that may run on more than one domain.
+
+    [Sys.time] is {e process CPU time}: it sums over every running domain,
+    so timing a run on the multicore engine with it reports roughly
+    [threads x] the elapsed time. All parallel-path measurements — executor
+    step timing, telemetry spans, the parallel-speedup benches — use the
+    [wall] family; the CPU family stays for sequential microbenches, where
+    its immunity to scheduler noise is an asset. *)
 
 val now : unit -> float
-(** Monotonic-enough wall-clock seconds ([Unix]-free; uses
-    [Sys.time]-independent [Stdlib] clock via [Sys.opaque_identity]-safe
-    sampling). *)
+(** Process CPU seconds ([Sys.time]). *)
 
 val measure : (unit -> 'a) -> 'a * float
-(** [measure f] runs [f] once and returns its result with elapsed seconds. *)
+(** [measure f] runs [f] once and returns its result with elapsed CPU
+    seconds. *)
 
 val measure_n : ?warmup:int -> n:int -> (unit -> 'a) -> float
 (** [measure_n ~n f] runs [f] [warmup] times (default [1]) untimed, then [n]
-    times timed, returning the {e average} seconds per run. *)
+    times timed, returning the {e average} CPU seconds per run. *)
+
+val wall : unit -> float
+(** Wall-clock seconds ([Unix.gettimeofday]); the clock for all parallel
+    paths and telemetry spans. *)
+
+val measure_wall : (unit -> 'a) -> 'a * float
+(** {!measure} on the wall clock. *)
+
+val measure_n_wall : ?warmup:int -> n:int -> (unit -> 'a) -> float
+(** {!measure_n} on the wall clock. *)

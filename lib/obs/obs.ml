@@ -1,0 +1,643 @@
+module Timer = Granii_hw.Timer
+
+(* ---- hierarchical span recorder ---- *)
+
+module Trace = struct
+  type span = {
+    name : string;
+    cat : string;
+    depth : int;
+    ts : float;              (* wall seconds at enter, absolute *)
+    mutable dur : float;     (* seconds; < 0 while the span is open *)
+    mutable attrs : (string * string) list;
+  }
+
+  type t = {
+    epoch : float;
+    mutable spans_rev : span list;  (* every entered span, newest first *)
+    mutable n : int;
+    mutable stack : span list;      (* open spans, innermost first *)
+  }
+
+  let create () =
+    { epoch = Timer.wall (); spans_rev = []; n = 0; stack = [] }
+
+  let count t = t.n
+  let open_spans t = List.length t.stack
+
+  let enter t ?(cat = "granii") name =
+    let sp =
+      { name;
+        cat;
+        depth = List.length t.stack;
+        ts = Timer.wall ();
+        dur = -1.;
+        attrs = [] }
+    in
+    t.spans_rev <- sp :: t.spans_rev;
+    t.n <- t.n + 1;
+    t.stack <- sp :: t.stack;
+    sp
+
+  (* Close [sp], closing any still-open descendant first so the recorder
+     stays balanced even when a callee leaked a span (e.g. an exception
+     unwound past a manual enter). *)
+  let exit_ t ?(attrs = []) ?dur sp =
+    let close s d = if s.dur < 0. then s.dur <- d in
+    let rec pop () =
+      match t.stack with
+      | [] -> ()
+      | s :: rest ->
+          t.stack <- rest;
+          if s == sp then begin
+            (match dur with
+            | Some d -> close s d
+            | None -> close s (Timer.wall () -. s.ts));
+            s.attrs <- attrs @ s.attrs
+          end
+          else begin
+            close s (Timer.wall () -. s.ts);
+            pop ()
+          end
+    in
+    if List.exists (fun s -> s == sp) t.stack then pop ()
+
+  let with_span t ?cat ?(attrs = []) name f =
+    let sp = enter t ?cat name in
+    match f () with
+    | x ->
+        exit_ t ~attrs sp;
+        x
+    | exception e ->
+        exit_ t ~attrs:(("error", Printexc.to_string e) :: attrs) sp;
+        raise e
+
+  let add_attrs sp attrs = sp.attrs <- attrs @ sp.attrs
+
+  let ordered t = List.rev t.spans_rev
+
+  let dur_of sp = Float.max 0. sp.dur
+
+  (* name -> (count, total seconds), sorted by descending total *)
+  let aggregate t =
+    let tbl = Hashtbl.create 16 in
+    List.iter
+      (fun sp ->
+        let c, s =
+          match Hashtbl.find_opt tbl sp.name with
+          | Some (c, s) -> (c, s)
+          | None -> (0, 0.)
+        in
+        Hashtbl.replace tbl sp.name (c + 1, s +. dur_of sp))
+      (ordered t);
+    Hashtbl.fold (fun name (c, s) acc -> (name, c, s) :: acc) tbl []
+    |> List.sort (fun (_, _, a) (_, _, b) -> compare b a)
+
+  let json_escape s =
+    let b = Buffer.create (String.length s + 2) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '\n' -> Buffer.add_string b "\\n"
+        | c when Char.code c < 0x20 ->
+            Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.contents b
+
+  (* Chrome trace_event format: one complete ("ph":"X") event per span,
+     timestamps in microseconds relative to the trace epoch. Loadable by
+     chrome://tracing and Perfetto. *)
+  let to_chrome_json t =
+    let b = Buffer.create 4096 in
+    Buffer.add_string b "[";
+    let first = ref true in
+    List.iter
+      (fun sp ->
+        if not !first then Buffer.add_string b ",";
+        first := false;
+        Buffer.add_string b
+          (Printf.sprintf
+             "\n  {\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"X\", \
+              \"ts\": %.3f, \"dur\": %.3f, \"pid\": 0, \"tid\": 0"
+             (json_escape sp.name) (json_escape sp.cat)
+             ((sp.ts -. t.epoch) *. 1e6)
+             (dur_of sp *. 1e6));
+        (match sp.attrs with
+        | [] -> ()
+        | attrs ->
+            Buffer.add_string b ", \"args\": {";
+            List.iteri
+              (fun i (k, v) ->
+                if i > 0 then Buffer.add_string b ", ";
+                Buffer.add_string b
+                  (Printf.sprintf "\"%s\": \"%s\"" (json_escape k)
+                     (json_escape v)))
+              attrs;
+            Buffer.add_string b "}");
+        Buffer.add_string b "}")
+      (ordered t);
+    Buffer.add_string b "\n]\n";
+    Buffer.contents b
+
+  (* Folded flamegraph lines: "root;child;leaf <self-time-in-us>", one line
+     per distinct stack, mergeable by flamegraph.pl / speedscope. Self time
+     is a span's duration minus its direct children's. *)
+  let to_folded t =
+    let totals = Hashtbl.create 16 in
+    let add path self =
+      let v = try Hashtbl.find totals path with Not_found -> 0. in
+      Hashtbl.replace totals path (v +. Float.max 0. self)
+    in
+    (* stack of (span, children-duration accumulator, path) *)
+    let stack = ref [] in
+    let retire (sp, children, path) = add path (dur_of sp -. !children) in
+    let rec unwind depth =
+      match !stack with
+      | ((sp, _, _) as top) :: rest when sp.depth >= depth ->
+          retire top;
+          stack := rest;
+          (match rest with
+          | (_, children, _) :: _ -> children := !children +. dur_of sp
+          | [] -> ());
+          unwind depth
+      | _ -> ()
+    in
+    List.iter
+      (fun sp ->
+        unwind sp.depth;
+        let path =
+          match !stack with
+          | (_, _, parent) :: _ -> parent ^ ";" ^ sp.name
+          | [] -> sp.name
+        in
+        stack := (sp, ref 0., path) :: !stack)
+      (ordered t);
+    unwind 0;
+    let lines =
+      Hashtbl.fold
+        (fun path self acc ->
+          (Printf.sprintf "%s %.0f" path (self *. 1e6)) :: acc)
+        totals []
+      |> List.sort compare
+    in
+    String.concat "\n" lines ^ if lines = [] then "" else "\n"
+end
+
+(* ---- metrics registry ---- *)
+
+module Metrics = struct
+  (* log-spaced "less or equal" bucket bounds, in seconds when the metric is
+     a time; the +Inf bucket is implicit *)
+  let default_buckets = [| 1e-6; 1e-5; 1e-4; 1e-3; 1e-2; 1e-1; 1.; 10. |]
+
+  type hist = {
+    mutable count : int;
+    mutable sum : float;
+    mutable min : float;
+    mutable max : float;
+    bounds : float array;
+    buckets : int array;  (* non-cumulative; one slot per bound + overflow *)
+  }
+
+  type t = {
+    counters : (string, int ref) Hashtbl.t;
+    gauges : (string, float ref) Hashtbl.t;
+    hists : (string, hist) Hashtbl.t;
+  }
+
+  let create () =
+    { counters = Hashtbl.create 16;
+      gauges = Hashtbl.create 16;
+      hists = Hashtbl.create 16 }
+
+  let add t name n =
+    match Hashtbl.find_opt t.counters name with
+    | Some r -> r := !r + n
+    | None -> Hashtbl.add t.counters name (ref n)
+
+  let set_gauge t name v =
+    match Hashtbl.find_opt t.gauges name with
+    | Some r -> r := v
+    | None -> Hashtbl.add t.gauges name (ref v)
+
+  let observe t name v =
+    let h =
+      match Hashtbl.find_opt t.hists name with
+      | Some h -> h
+      | None ->
+          let h =
+            { count = 0;
+              sum = 0.;
+              min = infinity;
+              max = neg_infinity;
+              bounds = default_buckets;
+              buckets = Array.make (Array.length default_buckets + 1) 0 }
+          in
+          Hashtbl.add t.hists name h;
+          h
+    in
+    h.count <- h.count + 1;
+    h.sum <- h.sum +. v;
+    if v < h.min then h.min <- v;
+    if v > h.max then h.max <- v;
+    let rec slot i =
+      if i >= Array.length h.bounds then i
+      else if v <= h.bounds.(i) then i
+      else slot (i + 1)
+    in
+    let i = slot 0 in
+    h.buckets.(i) <- h.buckets.(i) + 1
+
+  let counter_value t name =
+    match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0
+
+  let gauge_value t name =
+    match Hashtbl.find_opt t.gauges name with Some r -> Some !r | None -> None
+
+  let hist_stats t name =
+    match Hashtbl.find_opt t.hists name with
+    | None -> None
+    | Some h -> Some (h.count, h.sum, h.min, h.max)
+
+  let sorted_keys tbl =
+    Hashtbl.fold (fun k _ acc -> k :: acc) tbl [] |> List.sort compare
+
+  let counters t = List.map (fun k -> (k, counter_value t k)) (sorted_keys t.counters)
+  let gauges t =
+    List.map
+      (fun k -> (k, match gauge_value t k with Some v -> v | None -> 0.))
+      (sorted_keys t.gauges)
+  let histograms t =
+    List.filter_map
+      (fun k ->
+        match Hashtbl.find_opt t.hists k with
+        | Some h -> Some (k, (h.count, h.sum, h.min, h.max))
+        | None -> None)
+      (sorted_keys t.hists)
+
+  let esc = Trace.json_escape
+
+  let fnum x =
+    if Float.is_finite x then Printf.sprintf "%.9g" x
+    else Printf.sprintf "\"%s\"" (string_of_float x)
+
+  let to_json t =
+    let b = Buffer.create 1024 in
+    Buffer.add_string b "{\n  \"counters\": {";
+    List.iteri
+      (fun i k ->
+        if i > 0 then Buffer.add_string b ",";
+        Buffer.add_string b
+          (Printf.sprintf "\n    \"%s\": %d" (esc k) (counter_value t k)))
+      (sorted_keys t.counters);
+    Buffer.add_string b "\n  },\n  \"gauges\": {";
+    List.iteri
+      (fun i k ->
+        if i > 0 then Buffer.add_string b ",";
+        let v = match gauge_value t k with Some v -> v | None -> 0. in
+        Buffer.add_string b (Printf.sprintf "\n    \"%s\": %s" (esc k) (fnum v)))
+      (sorted_keys t.gauges);
+    Buffer.add_string b "\n  },\n  \"histograms\": {";
+    List.iteri
+      (fun i k ->
+        if i > 0 then Buffer.add_string b ",";
+        let h = Hashtbl.find t.hists k in
+        Buffer.add_string b
+          (Printf.sprintf
+             "\n    \"%s\": {\"count\": %d, \"sum\": %s, \"min\": %s, \
+              \"max\": %s, \"buckets\": ["
+             (esc k) h.count (fnum h.sum)
+             (fnum (if h.count = 0 then 0. else h.min))
+             (fnum (if h.count = 0 then 0. else h.max)));
+        Array.iteri
+          (fun i c ->
+            if i > 0 then Buffer.add_string b ", ";
+            Buffer.add_string b (string_of_int c))
+          h.buckets;
+        Buffer.add_string b "]}")
+      (sorted_keys t.hists);
+    Buffer.add_string b "\n  }\n}\n";
+    Buffer.contents b
+
+  (* Prometheus text exposition format. Metric names are sanitized to the
+     [a-zA-Z0-9_] alphabet and prefixed "granii_". *)
+  let prom_name name =
+    "granii_"
+    ^ String.map
+        (fun c ->
+          match c with
+          | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> c
+          | _ -> '_')
+        name
+
+  let to_prometheus t =
+    let b = Buffer.create 1024 in
+    List.iter
+      (fun k ->
+        let n = prom_name k in
+        Buffer.add_string b (Printf.sprintf "# TYPE %s counter\n" n);
+        Buffer.add_string b (Printf.sprintf "%s %d\n" n (counter_value t k)))
+      (sorted_keys t.counters);
+    List.iter
+      (fun k ->
+        let n = prom_name k in
+        let v = match gauge_value t k with Some v -> v | None -> 0. in
+        Buffer.add_string b (Printf.sprintf "# TYPE %s gauge\n" n);
+        Buffer.add_string b (Printf.sprintf "%s %.9g\n" n v))
+      (sorted_keys t.gauges);
+    List.iter
+      (fun k ->
+        let h = Hashtbl.find t.hists k in
+        let n = prom_name k in
+        Buffer.add_string b (Printf.sprintf "# TYPE %s histogram\n" n);
+        let cum = ref 0 in
+        Array.iteri
+          (fun i bound ->
+            cum := !cum + h.buckets.(i);
+            Buffer.add_string b
+              (Printf.sprintf "%s_bucket{le=\"%.0e\"} %d\n" n bound !cum))
+          h.bounds;
+        Buffer.add_string b
+          (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" n h.count);
+        Buffer.add_string b (Printf.sprintf "%s_sum %.9g\n" n h.sum);
+        Buffer.add_string b (Printf.sprintf "%s_count %d\n" n h.count))
+      (sorted_keys t.hists);
+    Buffer.contents b
+end
+
+(* ---- cost-model accuracy monitor ---- *)
+
+module Cost_monitor = struct
+  (* Per-primitive (predicted, measured) pairs; capped so a long profiling
+     sweep cannot grow the monitor without bound (the summary statistics of
+     the first [max_pairs] runs are representative). *)
+  let max_pairs = 4096
+
+  type series = { mutable pairs : (float * float) list; mutable n : int }
+
+  type t = (string, series) Hashtbl.t
+
+  let create () : t = Hashtbl.create 16
+
+  let record (t : t) ~prim ~predicted ~measured =
+    let s =
+      match Hashtbl.find_opt t prim with
+      | Some s -> s
+      | None ->
+          let s = { pairs = []; n = 0 } in
+          Hashtbl.add t prim s;
+          s
+    in
+    s.n <- s.n + 1;
+    if List.length s.pairs < max_pairs then
+      s.pairs <- (predicted, measured) :: s.pairs
+
+  type summary = {
+    prim : string;
+    n : int;                    (* recorded runs *)
+    mean_abs_log_err : float;   (* mean |ln(predicted / measured)| *)
+    rank_inversions : int;      (* discordant (predicted, measured) pairs *)
+    pairs_compared : int;       (* pair count the inversions are out of *)
+  }
+
+  let summarize prim (s : series) =
+    let pairs =
+      List.filter (fun (p, m) -> p > 0. && m > 0.) (List.rev s.pairs)
+    in
+    let k = List.length pairs in
+    let mean_abs_log_err =
+      if k = 0 then nan
+      else
+        List.fold_left (fun acc (p, m) -> acc +. Float.abs (log (p /. m))) 0. pairs
+        /. float_of_int k
+    in
+    let arr = Array.of_list pairs in
+    let inv = ref 0 and total = ref 0 in
+    for i = 0 to Array.length arr - 1 do
+      for j = i + 1 to Array.length arr - 1 do
+        let pi, mi = arr.(i) and pj, mj = arr.(j) in
+        if pi <> pj && mi <> mj then begin
+          incr total;
+          if (pi -. pj) *. (mi -. mj) < 0. then incr inv
+        end
+      done
+    done;
+    { prim;
+      n = s.n;
+      mean_abs_log_err;
+      rank_inversions = !inv;
+      pairs_compared = !total }
+
+  let summaries (t : t) =
+    Hashtbl.fold (fun prim s acc -> summarize prim s :: acc) t []
+    |> List.sort (fun a b -> compare a.prim b.prim)
+
+  let to_json (t : t) =
+    let b = Buffer.create 512 in
+    Buffer.add_string b "{";
+    List.iteri
+      (fun i s ->
+        if i > 0 then Buffer.add_string b ",";
+        Buffer.add_string b
+          (Printf.sprintf
+             "\n  \"%s\": {\"n\": %d, \"mean_abs_log_err\": %s, \
+              \"rank_inversions\": %d, \"pairs_compared\": %d}"
+             (Trace.json_escape s.prim) s.n
+             (Metrics.fnum s.mean_abs_log_err)
+             s.rank_inversions s.pairs_compared))
+      (summaries t);
+    Buffer.add_string b "\n}\n";
+    Buffer.contents b
+
+  let pp ppf (t : t) =
+    Format.fprintf ppf "%-16s %6s %14s %16s@." "primitive" "runs"
+      "mean|log err|" "rank inversions";
+    List.iter
+      (fun s ->
+        Format.fprintf ppf "%-16s %6d %14.3f %10d/%d@." s.prim s.n
+          s.mean_abs_log_err s.rank_inversions s.pairs_compared)
+      (summaries t)
+end
+
+(* ---- the sink threaded through the engine ---- *)
+
+type t = {
+  trace : Trace.t option;
+  metrics : Metrics.t option;
+  costmon : Cost_monitor.t option;
+}
+
+let disabled = { trace = None; metrics = None; costmon = None }
+
+let create ?(trace = true) ?(metrics = true) ?(costmon = true) () =
+  { trace = (if trace then Some (Trace.create ()) else None);
+    metrics = (if metrics then Some (Metrics.create ()) else None);
+    costmon = (if costmon then Some (Cost_monitor.create ()) else None) }
+
+let enabled t = t.trace <> None || t.metrics <> None || t.costmon <> None
+let tracing t = t.trace <> None
+
+let span t ?cat ?attrs name f =
+  match t.trace with
+  | None -> f ()
+  | Some tr -> Trace.with_span tr ?cat ?attrs name f
+
+let count t name n =
+  match t.metrics with None -> () | Some m -> Metrics.add m name n
+
+let gauge t name v =
+  match t.metrics with None -> () | Some m -> Metrics.set_gauge m name v
+
+let observe t name v =
+  match t.metrics with None -> () | Some m -> Metrics.observe m name v
+
+let record_cost t ~prim ~predicted ~measured =
+  match t.costmon with
+  | None -> ()
+  | Some cm -> Cost_monitor.record cm ~prim ~predicted ~measured
+
+(* ---- minimal JSON well-formedness checker ----
+
+   Used by the exporter tests and the CI telemetry checker; accepts exactly
+   the JSON grammar (RFC 8259), reports the failing byte offset. *)
+
+module Json = struct
+  exception Bad of int * string
+
+  let validate s =
+    let n = String.length s in
+    let pos = ref 0 in
+    let peek () = if !pos < n then Some s.[!pos] else None in
+    let bump () = incr pos in
+    let fail msg = raise (Bad (!pos, msg)) in
+    let rec ws () =
+      match peek () with
+      | Some (' ' | '\t' | '\n' | '\r') ->
+          bump ();
+          ws ()
+      | _ -> ()
+    in
+    let expect c =
+      match peek () with
+      | Some c' when c' = c -> bump ()
+      | _ -> fail (Printf.sprintf "expected %c" c)
+    in
+    let literal l =
+      String.iter (fun c -> expect c) l
+    in
+    let string_ () =
+      expect '"';
+      let rec go () =
+        match peek () with
+        | None -> fail "unterminated string"
+        | Some '"' -> bump ()
+        | Some '\\' -> (
+            bump ();
+            match peek () with
+            | Some ('"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't') ->
+                bump ();
+                go ()
+            | Some 'u' ->
+                bump ();
+                for _ = 1 to 4 do
+                  match peek () with
+                  | Some ('0' .. '9' | 'a' .. 'f' | 'A' .. 'F') -> bump ()
+                  | _ -> fail "bad \\u escape"
+                done;
+                go ()
+            | _ -> fail "bad escape")
+        | Some c when Char.code c < 0x20 -> fail "control char in string"
+        | Some _ ->
+            bump ();
+            go ()
+      in
+      go ()
+    in
+    let number () =
+      (match peek () with Some '-' -> bump () | _ -> ());
+      let digits () =
+        let saw = ref false in
+        let rec go () =
+          match peek () with
+          | Some '0' .. '9' ->
+              saw := true;
+              bump ();
+              go ()
+          | _ -> ()
+        in
+        go ();
+        if not !saw then fail "expected digit"
+      in
+      digits ();
+      (match peek () with
+      | Some '.' ->
+          bump ();
+          digits ()
+      | _ -> ());
+      match peek () with
+      | Some ('e' | 'E') ->
+          bump ();
+          (match peek () with Some ('+' | '-') -> bump () | _ -> ());
+          digits ()
+      | _ -> ()
+    in
+    let rec value () =
+      ws ();
+      match peek () with
+      | Some '{' ->
+          bump ();
+          ws ();
+          if peek () = Some '}' then bump ()
+          else begin
+            let rec members () =
+              ws ();
+              string_ ();
+              ws ();
+              expect ':';
+              value ();
+              ws ();
+              match peek () with
+              | Some ',' ->
+                  bump ();
+                  members ()
+              | Some '}' -> bump ()
+              | _ -> fail "expected , or }"
+            in
+            members ()
+          end
+      | Some '[' ->
+          bump ();
+          ws ();
+          if peek () = Some ']' then bump ()
+          else begin
+            let rec elements () =
+              value ();
+              ws ();
+              match peek () with
+              | Some ',' ->
+                  bump ();
+                  elements ()
+              | Some ']' -> bump ()
+              | _ -> fail "expected , or ]"
+            in
+            elements ()
+          end
+      | Some '"' -> string_ ()
+      | Some 't' -> literal "true"
+      | Some 'f' -> literal "false"
+      | Some 'n' -> literal "null"
+      | Some ('-' | '0' .. '9') -> number ()
+      | _ -> fail "expected a JSON value"
+    in
+    match
+      value ();
+      ws ();
+      if !pos <> n then fail "trailing garbage"
+    with
+    | () -> Ok ()
+    | exception Bad (at, msg) ->
+        Error (Printf.sprintf "invalid JSON at byte %d: %s" at msg)
+end

@@ -1,0 +1,167 @@
+(** Telemetry: hierarchical tracing, a metrics registry and a cost-model
+    accuracy monitor (DESIGN.md §11).
+
+    An {!t} is the sink an {!Granii_core.Engine.t} carries; each of its
+    three components is independently optional, and {!disabled} — the
+    default — makes every recording entry point a cheap no-op (one option
+    match, no allocation), so an untelemetered run is indistinguishable
+    from the pre-observability executor.
+
+    All span and recording entry points are for the {e orchestrating}
+    thread only (like the workspace arena); worker domains never touch the
+    sink. *)
+
+(** {1 Hierarchical span recorder} *)
+
+module Trace : sig
+  type t
+
+  type span
+  (** A handle to an open span; mutable, owned by the recorder. *)
+
+  val create : unit -> t
+
+  val enter : t -> ?cat:string -> string -> span
+  (** Open a span named [name] (category default ["granii"]) at the current
+      stack depth, timestamped with {!Granii_hw.Timer.wall}. *)
+
+  val exit_ : t -> ?attrs:(string * string) list -> ?dur:float -> span -> unit
+  (** Close the span: duration from the wall clock, or [dur] seconds when
+      the caller already measured the bracket (the executor does — spans
+      and [per_step] report entries then agree exactly). Any still-open
+      descendant is closed first, so the recorder stays balanced even when
+      an exception unwound past a manual {!enter}. Closing an
+      already-closed span is a no-op. *)
+
+  val with_span :
+    t -> ?cat:string -> ?attrs:(string * string) list -> string ->
+    (unit -> 'a) -> 'a
+  (** Exception-safe bracket; a raising body still closes the span (with an
+      ["error"] attribute) before the exception propagates. *)
+
+  val add_attrs : span -> (string * string) list -> unit
+
+  val count : t -> int
+  (** Spans recorded so far. *)
+
+  val open_spans : t -> int
+  (** Currently unbalanced spans; [0] after every bracket closed. *)
+
+  val aggregate : t -> (string * int * float) list
+  (** Per-name [(count, total seconds)], sorted by descending total. *)
+
+  val to_chrome_json : t -> string
+  (** Chrome [trace_event] JSON (complete ["X"] events, microsecond
+      timestamps relative to the trace epoch) — loadable by
+      [chrome://tracing] and Perfetto. *)
+
+  val to_folded : t -> string
+  (** Folded flamegraph lines (["stack;frames self-us"]) for
+      [flamegraph.pl] / speedscope. *)
+end
+
+(** {1 Metrics registry} *)
+
+module Metrics : sig
+  type t
+
+  val create : unit -> t
+
+  val add : t -> string -> int -> unit
+  (** Increment a counter (created at first use). *)
+
+  val set_gauge : t -> string -> float -> unit
+
+  val observe : t -> string -> float -> unit
+  (** Record a sample into a histogram (log-spaced seconds buckets,
+      [1e-6 .. 10] plus overflow). *)
+
+  val counter_value : t -> string -> int
+  (** [0] for an unknown counter. *)
+
+  val gauge_value : t -> string -> float option
+
+  val hist_stats : t -> string -> (int * float * float * float) option
+  (** [(count, sum, min, max)] of a histogram. *)
+
+  val counters : t -> (string * int) list
+  (** Sorted by name; likewise {!gauges} and {!histograms}. *)
+
+  val gauges : t -> (string * float) list
+
+  val histograms : t -> (string * (int * float * float * float)) list
+
+  val to_json : t -> string
+
+  val to_prometheus : t -> string
+  (** Prometheus text exposition format; names are sanitized to
+      [[a-zA-Z0-9_]] and prefixed ["granii_"]. *)
+end
+
+(** {1 Cost-model accuracy monitor} *)
+
+module Cost_monitor : sig
+  type t
+
+  val create : unit -> t
+
+  val record : t -> prim:string -> predicted:float -> measured:float -> unit
+  (** Log one (predicted, measured) runtime pair for a primitive. The
+      per-primitive series is capped at 4096 pairs; later runs still count
+      toward [n] but do not enter the summary statistics. *)
+
+  type summary = {
+    prim : string;
+    n : int;                    (** recorded runs *)
+    mean_abs_log_err : float;
+        (** mean [|ln (predicted / measured)|] over positive pairs;
+            [0] = perfect, [ln 2 ≈ 0.69] = off by 2x on average *)
+    rank_inversions : int;
+        (** discordant pairs: the model predicted [a] faster than [b] but
+            [b] measured faster — the quantity selection actually depends
+            on (Kendall-tau numerator) *)
+    pairs_compared : int;       (** pairs with distinct values on both axes *)
+  }
+
+  val summaries : t -> summary list
+  (** Sorted by primitive name. *)
+
+  val to_json : t -> string
+
+  val pp : Format.formatter -> t -> unit
+end
+
+(** {1 The sink} *)
+
+type t = {
+  trace : Trace.t option;
+  metrics : Metrics.t option;
+  costmon : Cost_monitor.t option;
+}
+
+val disabled : t
+(** All three components off; every helper below is a no-op. *)
+
+val create : ?trace:bool -> ?metrics:bool -> ?costmon:bool -> unit -> t
+(** A live sink; each component defaults to on. *)
+
+val enabled : t -> bool
+
+val tracing : t -> bool
+
+val span : t -> ?cat:string -> ?attrs:(string * string) list -> string ->
+  (unit -> 'a) -> 'a
+(** {!Trace.with_span} when tracing, plain call otherwise. *)
+
+val count : t -> string -> int -> unit
+val gauge : t -> string -> float -> unit
+val observe : t -> string -> float -> unit
+val record_cost : t -> prim:string -> predicted:float -> measured:float -> unit
+
+(** {1 JSON checker} *)
+
+module Json : sig
+  val validate : string -> (unit, string) result
+  (** Accepts exactly RFC 8259 JSON; the error names the failing byte
+      offset. Used by the exporter tests and the CI telemetry checker. *)
+end

@@ -15,6 +15,7 @@ let () =
       ("stack-multihead", Test_stack_multihead.suite);
       ("parallel", Test_parallel.suite);
       ("engine", Test_engine.suite);
+      ("obs", Test_obs.suite);
       ("memory", Test_memory.suite);
       ("locality", Test_locality.suite);
       ("integration", Test_integration.suite) ]

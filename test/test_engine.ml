@@ -112,7 +112,8 @@ let legal_grid =
                           workspace;
                           cache;
                           locality;
-                          keep_intermediates }
+                          keep_intermediates;
+                          telemetry = false }
                       in
                       match Engine.create cfg with
                       | Ok e ->
