@@ -648,12 +648,153 @@ let train_cmd =
           per-primitive cost models, saving them to disk")
     Term.(const run $ hw $ output $ measured $ threads_grid)
 
+(* granii serve-sim: closed-loop load against the multi-tenant serving
+   runtime (lib/serve). Each simulated client keeps one request outstanding;
+   the report is the serving tentpole's headline numbers — latency
+   percentiles, throughput, batch widths and plan-cache amortization. *)
+let serve_sim_cmd =
+  let module Serve = Granii_serve.Serve in
+  let module Ssim = Granii_serve.Sim in
+  let graph =
+    Arg.(value & opt graph_arg (G.Generators.rmat ~scale:10 ~edge_factor:8 ())
+         & info [ "graph"; "g" ] ~docv:"GRAPH"
+             ~doc:"Input graph (dataset key or generator spec).")
+  in
+  let k_in = Arg.(value & opt int 32 & info [ "kin" ] ~doc:"Input embedding size.") in
+  let k_out = Arg.(value & opt int 16 & info [ "kout" ] ~doc:"Output embedding size.") in
+  let requests =
+    Arg.(value & opt int 256
+         & info [ "requests"; "n" ] ~doc:"Total requests to serve.")
+  in
+  let clients =
+    Arg.(value & opt int 8
+         & info [ "clients" ]
+             ~doc:"Concurrent closed-loop clients (each keeps one request \
+                   outstanding).")
+  in
+  let tenants =
+    Arg.(value & opt int 2
+         & info [ "tenants" ] ~doc:"Tenants the clients are spread across.")
+  in
+  let workers =
+    Arg.(value & opt int 2
+         & info [ "workers" ]
+             ~doc:"Worker domains; $(b,0) runs the scheduler on the \
+                   simulation loop itself (manual mode).")
+  in
+  let queue_bound =
+    Arg.(value & opt int 64
+         & info [ "queue-bound" ] ~doc:"Per-tenant admission-queue capacity.")
+  in
+  let window =
+    Arg.(value & opt int 0
+         & info [ "window" ] ~docv:"USEC"
+             ~doc:"Microseconds a worker holds a partial batch open for \
+                   late-arriving coalescible requests.")
+  in
+  let max_batch =
+    Arg.(value & opt int 8
+         & info [ "max-batch" ] ~doc:"Widest coalesced batch.")
+  in
+  let no_batch =
+    Arg.(value & flag
+         & info [ "no-batch" ]
+             ~doc:"Disable request coalescing (every execution has width 1).")
+  in
+  let no_plan_cache =
+    Arg.(value & flag
+         & info [ "no-plan-cache" ]
+             ~doc:"Disable the plan cache (selection runs on every request).")
+  in
+  let threads =
+    Arg.(value & opt int 1
+         & info [ "threads"; "t" ]
+             ~doc:"Kernel thread count (manual mode only; worker domains \
+                   always run kernels sequentially).")
+  in
+  let seed =
+    Arg.(value & opt int 7 & info [ "seed" ] ~doc:"Client feature-matrix seed.")
+  in
+  let run model graph k_in k_out requests clients tenants workers queue_bound
+      window max_batch no_batch no_plan_cache threads seed trace_file
+      metrics_file =
+    if k_in < 1 || k_out < 1 || requests < 1 || clients < 1 || tenants < 1 then begin
+      Printf.eprintf
+        "--kin, --kout, --requests, --clients and --tenants expect positive \
+         integers\n";
+      exit 1
+    end;
+    let obs = obs_of_flags ~trace_file ~metrics_file in
+    let cfg =
+      { Serve.default_config with
+        workers;
+        queue_bound;
+        batch_window = window;
+        max_batch;
+        plan_cache = (if no_plan_cache then 0 else Serve.default_config.Serve.plan_cache);
+        batching = not no_batch;
+        threads }
+    in
+    let server =
+      try Serve.create ~obs cfg
+      with Invalid_argument msg ->
+        Printf.eprintf "%s\n" msg;
+        exit 1
+    in
+    Serve.register_graph server ~name:graph.G.Graph.name graph;
+    let load =
+      { Ssim.clients;
+        requests;
+        tenants;
+        graph = graph.G.Graph.name;
+        model = model.Mp.Mp_ast.name;
+        k_in;
+        k_out;
+        seed }
+    in
+    let res = Ssim.run server load in
+    Serve.shutdown server;
+    let s = res.Ssim.stats in
+    Printf.printf
+      "serve-sim: %s on %s (n=%d nnz=%d) %d->%d\n\
+       %d requests, %d clients across %d tenants; workers=%d threads=%d \
+       queue_bound=%d window=%dus max_batch=%d batching=%s plan_cache=%d\n\n"
+      model.Mp.Mp_ast.name graph.G.Graph.name (G.Graph.n_nodes graph)
+      (G.Graph.n_edges graph) k_in k_out requests clients tenants workers
+      threads queue_bound window max_batch
+      (if no_batch then "off" else "on")
+      cfg.Serve.plan_cache;
+    Printf.printf "completed   %d in %.3f s  =  %.1f req/s\n" s.Serve.completed
+      res.Ssim.wall res.Ssim.throughput;
+    Printf.printf "latency     p50 %.3f ms   p99 %.3f ms   mean %.3f ms\n"
+      (1000. *. res.Ssim.p50) (1000. *. res.Ssim.p99)
+      (1000. *. res.Ssim.mean_latency);
+    Printf.printf
+      "batches     %d (mean width %.2f, max %d), %d widened steps\n"
+      s.Serve.batches res.Ssim.mean_width s.Serve.max_width
+      s.Serve.widened_steps;
+    let pc = s.Serve.plan_cache in
+    Printf.printf "plan cache  %d hits / %d misses / %d evictions\n"
+      pc.Granii_serve.Plan_cache.hits pc.Granii_serve.Plan_cache.misses
+      pc.Granii_serve.Plan_cache.evictions;
+    Printf.printf "backpressure retries %d\n" res.Ssim.retries;
+    export_telemetry obs ~trace_file ~metrics_file
+  in
+  Cmd.v
+    (Cmd.info "serve-sim"
+       ~doc:
+         "Drive the multi-tenant serving runtime with closed-loop simulated \
+          load and report latency percentiles, throughput and batching stats")
+    Term.(const run $ model_pos $ graph $ k_in $ k_out $ requests $ clients
+          $ tenants $ workers $ queue_bound $ window $ max_batch $ no_batch
+          $ no_plan_cache $ threads $ seed $ trace_file_arg $ metrics_file_arg)
+
 let main =
   let doc = "GRANII: input-aware selection and ordering of GNN primitives" in
   Cmd.group
     (Cmd.info "granii" ~version:"1.0.0" ~doc)
     [ models_cmd; datasets_cmd; enumerate_cmd; codegen_cmd; select_cmd;
-      stats_cmd; baseline_cmd; train_cmd ]
+      stats_cmd; baseline_cmd; train_cmd; serve_sim_cmd ]
 
 let () =
   (* -v / GRANII_VERBOSE=1 turns on the library's decision log *)

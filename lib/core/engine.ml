@@ -13,6 +13,8 @@ type config = {
   locality : Locality.config;
   keep_intermediates : bool;
   telemetry : bool;
+  queue_bound : int;
+  batch_window : int;
 }
 
 let default_config =
@@ -21,13 +23,17 @@ let default_config =
     cache = false;
     locality = Locality.default;
     keep_intermediates = true;
-    telemetry = false }
+    telemetry = false;
+    queue_bound = 64;
+    batch_window = 0 }
 
 type error =
   | Invalid_threads of int
   | Cache_with_locality of Locality.config
   | Workspace_cache_discard
   | Cache_graph_mismatch of { expected : string; got : string }
+  | Invalid_queue_bound of int
+  | Invalid_batch_window of int
 
 exception Error of error
 
@@ -48,6 +54,14 @@ let error_to_string = function
          graph %s (cached values are only valid for one (graph, bindings) \
          pair)"
         expected got
+  | Invalid_queue_bound q ->
+      Printf.sprintf
+        "engine: queue_bound must be >= 1 (got %d) — the serving runtime \
+         needs at least one admission slot per tenant"
+        q
+  | Invalid_batch_window w ->
+      Printf.sprintf
+        "engine: batch_window must be >= 0 microseconds (got %d)" w
 
 let () =
   Printexc.register_printer (function
@@ -142,6 +156,8 @@ let validate (cfg : config) =
     Some (Cache_with_locality cfg.locality)
   else if cfg.workspace && cfg.cache && not cfg.keep_intermediates then
     Some Workspace_cache_discard
+  else if cfg.queue_bound < 1 then Some (Invalid_queue_bound cfg.queue_bound)
+  else if cfg.batch_window < 0 then Some (Invalid_batch_window cfg.batch_window)
   else None
 
 let create ?pool ?workspace ?cache ?obs (cfg : config) =
@@ -193,12 +209,12 @@ let default () = create_exn default_config
 let of_legacy ?pool ?workspace ?cache ?(keep_intermediates = true)
     ?(locality = Locality.default) () =
   create_exn ?pool ?workspace ?cache
-    { threads = (match pool with Some p -> Parallel.threads p | None -> 1);
+    { default_config with
+      threads = (match pool with Some p -> Parallel.threads p | None -> 1);
       workspace = workspace <> None;
       cache = cache <> None;
       locality;
-      keep_intermediates;
-      telemetry = false }
+      keep_intermediates }
 
 let config t = t.cfg
 let threads t = t.cfg.threads
@@ -224,11 +240,11 @@ let onoff = function true -> "on" | false -> "off"
 
 let describe_config (cfg : config) =
   Printf.sprintf
-    "threads=%d,workspace=%s,cache=%s,locality=%s,intermediates=%s,telemetry=%s"
+    "threads=%d,workspace=%s,cache=%s,locality=%s,intermediates=%s,telemetry=%s,queue_bound=%d,batch_window=%d"
     cfg.threads (onoff cfg.workspace) (onoff cfg.cache)
     (Locality.config_to_string cfg.locality)
     (if cfg.keep_intermediates then "keep" else "drop")
-    (onoff cfg.telemetry)
+    (onoff cfg.telemetry) cfg.queue_bound cfg.batch_window
 
 let describe t = describe_config t.cfg
 
@@ -297,5 +313,19 @@ let config_of_string s =
           | "telemetry" ->
               let* b = parse_flag key v in
               Ok { cfg with telemetry = b }
+          | "queue_bound" -> (
+              match int_of_string_opt v with
+              | Some q -> Ok { cfg with queue_bound = q }
+              | None ->
+                  Error
+                    (Printf.sprintf
+                       "engine spec: queue_bound expects an integer (got %s)" v))
+          | "batch_window" -> (
+              match int_of_string_opt v with
+              | Some w -> Ok { cfg with batch_window = w }
+              | None ->
+                  Error
+                    (Printf.sprintf
+                       "engine spec: batch_window expects an integer (got %s)" v))
           | _ -> Error (Printf.sprintf "engine spec: unknown key %s" key)))
     (Ok default_config) fields

@@ -35,11 +35,21 @@ type config = {
       (** attach a live {!Granii_obs.Obs} sink (tracing + metrics +
           cost-model monitor); off = the zero-overhead {!Granii_obs.Obs.disabled}
           sink *)
+  queue_bound : int;
+      (** serving axis: per-tenant admission-queue capacity (requests); the
+          serving runtime rejects with [Queue_full] beyond it. Must be
+          >= 1. Ignored by direct (non-serving) execution. *)
+  batch_window : int;
+      (** serving axis: how long (microseconds) the batcher may hold an
+          admitted request open waiting for coalescible peers; [0] batches
+          only what is already queued. Must be >= 0. Ignored by direct
+          (non-serving) execution. *)
 }
 
 val default_config : config
 (** [threads=1], everything off, {!Locality.default}, keep intermediates —
-    the seed executor's behavior. *)
+    the seed executor's behavior. Serving axes default to
+    [queue_bound=64], [batch_window=0]. *)
 
 type error =
   | Invalid_threads of int
@@ -50,6 +60,11 @@ type error =
           recycling reclaims buffers mid-run, before insertion can pin them *)
   | Cache_graph_mismatch of { expected : string; got : string }
       (** the cache was bound to one graph and used with another *)
+  | Invalid_queue_bound of int
+      (** [queue_bound < 1]: the serving runtime needs at least one
+          admission slot per tenant *)
+  | Invalid_batch_window of int
+      (** [batch_window < 0] microseconds *)
 
 exception Error of error
 
@@ -142,7 +157,7 @@ val cache_insert : t -> string -> Dispatch.value -> float -> unit
 val describe : t -> string
 
 val describe_config : config -> string
-(** E.g. ["threads=4,workspace=on,cache=off,locality=identity+csr,intermediates=keep"].
+(** E.g. ["threads=4,workspace=on,cache=off,locality=identity+csr,intermediates=keep,telemetry=off,queue_bound=64,batch_window=0"].
     Round-trips exactly through {!config_of_string}. *)
 
 val config_of_string : string -> (config, string) result
@@ -150,4 +165,13 @@ val config_of_string : string -> (config, string) result
     {!default_config} values, [""] and ["default"] are the default config.
     Keys: [threads] (int), [workspace]/[cache]/[telemetry] (on|off),
     [locality] (<identity|degree|bfs|rcm>+<csr|hybrid>), [intermediates]
-    (keep|drop). *)
+    (keep|drop), [queue_bound] (int), [batch_window] (int, microseconds). *)
+
+(** {2 Structural fingerprinting} (shared with the serving plan cache) *)
+
+val graph_fingerprint : Granii_graph.Graph.t -> string
+(** Cheap structural fingerprint of a graph: exact node/edge counts plus a
+    bounded hash of the adjacency arrays ([Hashtbl.hash_param] walks at most
+    256 elements, so this is O(1) on huge graphs). Used by the subtree
+    cache's graph binding and as the graph component of the serving layer's
+    plan-cache key. *)

@@ -121,7 +121,8 @@ let execute_with ?seed ?disable ~engine ~timing ~graph ~bindings decision =
 let engine_config ?(threads = 1) ?(workspace = false) ?(cache = false)
     ?(keep_intermediates = true) ?(telemetry = false)
     (localized : localized_decision) =
-  { Engine.threads;
+  { Engine.default_config with
+    threads;
     workspace;
     cache;
     locality = localized.config;

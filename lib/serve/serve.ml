@@ -1,0 +1,649 @@
+module Dense = Granii_tensor.Dense
+module Csr = Granii_sparse.Csr
+module Parallel = Granii_tensor.Parallel
+module Workspace = Granii_tensor.Workspace
+module Graph = Granii_graph.Graph
+module Timer = Granii_hw.Timer
+module Obs = Granii_obs.Obs
+module Engine = Granii_core.Engine
+module Executor = Granii_core.Executor
+module Selector = Granii_core.Selector
+module Featurizer = Granii_core.Featurizer
+module Cost_model = Granii_core.Cost_model
+module Locality = Granii_core.Locality
+module Dim = Granii_core.Dim
+module Codegen = Granii_core.Codegen
+module Mp = Granii_mp
+module Layer = Granii_gnn.Layer
+
+type config = {
+  workers : int;
+  queue_bound : int;
+  batch_window : int;
+  max_batch : int;
+  plan_cache : int;
+  batching : bool;
+  threads : int;
+  profile : Granii_hw.Hw_profile.t;
+  iterations : int;
+  param_seed : int;
+}
+
+let default_config =
+  { workers = 0;
+    queue_bound = 64;
+    batch_window = 0;
+    max_batch = 8;
+    plan_cache = 32;
+    batching = true;
+    threads = 1;
+    profile = Granii_hw.Hw_profile.cpu;
+    iterations = 1;
+    param_seed = 11 }
+
+let with_engine_axes (ec : Engine.config) cfg =
+  { cfg with
+    queue_bound = ec.Engine.queue_bound;
+    batch_window = ec.Engine.batch_window;
+    threads = ec.Engine.threads }
+
+type reject = Queue_full of { tenant : string; bound : int } | Shutdown
+
+let reject_to_string = function
+  | Queue_full { tenant; bound } ->
+      Printf.sprintf "queue full for tenant %s (bound %d)" tenant bound
+  | Shutdown -> "server shutting down"
+
+type response = { value : Executor.value; latency : float; width : int }
+
+type ticket = { mutable result : response option }
+
+type stats = {
+  submitted : int;
+  completed : int;
+  rejected : int;
+  batches : int;
+  max_width : int;
+  sum_width : int;
+  widened_steps : int;
+  plan_cache : Plan_cache.stats;
+}
+
+type graph_entry = {
+  graph : Graph.t;
+  fp : string;
+  mutable feats : Featurizer.t option;
+}
+
+type tenant = {
+  tname : string;
+  mutable queue : pending list;  (* arrival order *)
+  mutable busy : bool;  (* a width-1 job currently uses this arena *)
+  ws : Workspace.t;
+}
+
+and pending = {
+  id : int;
+  powner : tenant;
+  gentry : graph_entry;
+  model : string;
+  k_in : int;
+  k_out : int;
+  features : Dense.t;
+  t_submit : float;
+  ticket : ticket;
+}
+
+type job = {
+  mutable reqs : pending list;  (* id order *)
+  mutable use_arena : bool;     (* width-1 job holding [powner]'s arena *)
+}
+
+type t = {
+  cfg : config;
+  obs : Obs.t;
+  clock : unit -> float;
+  cost_model : Cost_model.t;
+  pool : Parallel.t option;  (* manual-mode kernel pool *)
+  pc : Plan_cache.t;
+  graphs : (string, graph_entry) Hashtbl.t;
+  models : (string, Mp.Lower.lowered * Codegen.t) Hashtbl.t;
+  params : (string * int * int, Layer.params) Hashtbl.t;
+  tenants : (string, tenant) Hashtbl.t;
+  m : Mutex.t;
+  work_cv : Condition.t;
+  done_cv : Condition.t;
+  mutable domains : unit Domain.t list;
+  mutable next_id : int;
+  mutable shutting : bool;
+  mutable shut_done : bool;
+  mutable submitted : int;
+  mutable completed : int;
+  mutable rejected : int;
+  mutable batches : int;
+  mutable max_width : int;
+  mutable sum_width : int;
+  mutable widened_steps : int;
+}
+
+let locked t f =
+  Mutex.lock t.m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
+
+(* ---- job selection (lock held) ---- *)
+
+let jkey (p : pending) = (p.gentry.fp, p.model, p.k_in, p.k_out)
+
+let depth_gauge t (ten : tenant) =
+  Obs.gauge t.obs
+    ("serve.queue.depth." ^ ten.tname)
+    (float_of_int (List.length ten.queue))
+
+let remove_from_queue t (p : pending) =
+  p.powner.queue <- List.filter (fun q -> q.id <> p.id) p.powner.queue;
+  depth_gauge t p.powner
+
+(* Coalesce queued requests compatible with [p0] — same graph, model and
+   widths, across all tenants — in global arrival order. *)
+let collect_compatible t (p0 : pending) ~room =
+  let key = jkey p0 in
+  let matching = ref [] in
+  Hashtbl.iter
+    (fun _ ten ->
+      List.iter
+        (fun p -> if jkey p = key then matching := p :: !matching)
+        ten.queue)
+    t.tenants;
+  let sorted = List.sort (fun a b -> compare a.id b.id) !matching in
+  let taken = List.filteri (fun i _ -> i < room) sorted in
+  List.iter (remove_from_queue t) taken;
+  taken
+
+let pick t =
+  let oldest = ref None in
+  Hashtbl.iter
+    (fun _ ten ->
+      match ten.queue with
+      | [] -> ()
+      | p :: _ -> (
+          match !oldest with
+          | Some o when o.id < p.id -> ()
+          | _ -> oldest := Some p))
+    t.tenants;
+  match !oldest with
+  | None -> None
+  | Some p0 ->
+      let reqs =
+        if t.cfg.batching && t.cfg.max_batch > 1 then
+          collect_compatible t p0 ~room:t.cfg.max_batch
+        else begin
+          remove_from_queue t p0;
+          [ p0 ]
+        end
+      in
+      let use_arena =
+        match reqs with
+        | [ p ] when not p.powner.busy ->
+            p.powner.busy <- true;
+            true
+        | _ -> false
+      in
+      Some { reqs; use_arena }
+
+(* Late widening through the batch window: the job's requests are already
+   off the queues, so only newly arrived (or previously incompatible-head)
+   requests are added. *)
+let collect_more t (j : job) =
+  match j.reqs with
+  | [] -> ()
+  | p0 :: _ ->
+      let room = t.cfg.max_batch - List.length j.reqs in
+      if room > 0 then begin
+        let extra = collect_compatible t p0 ~room in
+        if extra <> [] then begin
+          j.reqs <-
+            List.sort (fun a b -> compare a.id b.id) (j.reqs @ extra);
+          if j.use_arena then begin
+            (match j.reqs with
+            | p :: _ -> p.powner.busy <- false
+            | [] -> ());
+            j.use_arena <- false
+          end
+        end
+      end
+
+(* ---- plan and parameter resolution (lock held) ---- *)
+
+let model_entry t name =
+  let key = String.lowercase_ascii name in
+  match Hashtbl.find_opt t.models key with
+  | Some e -> e
+  | None ->
+      let low = Mp.Lower.lower (Mp.Mp_models.find key) in
+      let compiled, _ =
+        Granii_core.Granii.compile ~name:key
+          ~degree_leaves:(Mp.Lower.degree_leaves low ~binned:false)
+          low.Mp.Lower.ir
+      in
+      Hashtbl.replace t.models key (low, compiled);
+      (low, compiled)
+
+let params_for t (ge : graph_entry) ~model ~k_in ~k_out =
+  let key = (String.lowercase_ascii model, k_in, k_out) in
+  match Hashtbl.find_opt t.params key with
+  | Some p -> p
+  | None ->
+      let low, _ = model_entry t model in
+      let n = Graph.n_nodes ge.graph in
+      let env = { Dim.n; nnz = Graph.n_edges ge.graph + n; k_in; k_out } in
+      let p = Layer.init_params ~seed:t.cfg.param_seed ~env low in
+      Hashtbl.replace t.params key p;
+      p
+
+let feats_of (ge : graph_entry) =
+  match ge.feats with
+  | Some f -> f
+  | None ->
+      let f = Featurizer.extract ge.graph in
+      ge.feats <- Some f;
+      f
+
+(* Selection, amortized through the plan cache: one counting lookup per
+   executor invocation. Serving pins the layout axis to the default config
+   (per-request graph reordering does not amortize — DESIGN.md §12), so
+   the localized selection reduces to candidate choice. *)
+let select_plan t (ge : graph_entry) ~model ~k_in ~k_out =
+  let key =
+    { Plan_cache.graph_fp = ge.fp;
+      model = String.lowercase_ascii model;
+      k_in;
+      k_out;
+      hw = t.cfg.profile.Granii_hw.Hw_profile.name;
+      threads = t.cfg.threads }
+  in
+  let lc =
+    match Plan_cache.find t.pc key with
+    | Some lc -> lc
+    | None ->
+        let _, compiled = model_entry t model in
+        let feats = feats_of ge in
+        let n = Graph.n_nodes ge.graph in
+        let env = { Dim.n; nnz = Graph.n_edges ge.graph + n; k_in; k_out } in
+        let lc =
+          Obs.span t.obs "serve.select" (fun () ->
+              Selector.select_localized ~obs:t.obs ~cost_model:t.cost_model
+                ~feats ~env ~iterations:t.cfg.iterations
+                ~configs:[ Locality.default ] compiled)
+        in
+        Plan_cache.add t.pc key lc;
+        lc
+  in
+  lc.Selector.lchoice.Selector.candidate.Codegen.plan
+
+let resolve t (j : job) =
+  match j.reqs with
+  | [] -> assert false
+  | p :: _ ->
+      let plan =
+        select_plan t p.gentry ~model:p.model ~k_in:p.k_in ~k_out:p.k_out
+      in
+      let params =
+        params_for t p.gentry ~model:p.model ~k_in:p.k_in ~k_out:p.k_out
+      in
+      (plan, params)
+
+(* ---- execution (no lock unless manual mode) ---- *)
+
+(* Arena-backed outputs are invalidated by the tenant's next run: deep-copy
+   before the ticket completes. *)
+let copy_value = function
+  | Executor.Vdense d ->
+      Executor.Vdense
+        (Dense.of_flat ~rows:d.Dense.rows ~cols:d.Dense.cols
+           (Array.copy d.Dense.data))
+  | Executor.Vsparse s -> (
+      match s.Csr.values with
+      | None -> Executor.Vsparse s
+      | Some v -> Executor.Vsparse (Csr.with_values s (Array.copy v)))
+  | Executor.Vdiag d -> Executor.Vdiag (Array.copy d)
+
+let execute ?pool (j : job) (plan, params) =
+  match j.reqs with
+  | [] -> assert false
+  | [ p ] ->
+      let bindings =
+        Layer.bindings ~graph:p.gentry.graph ~h:p.features params
+      in
+      let engine =
+        if j.use_arena then
+          Engine.create_exn ?pool ~workspace:p.powner.ws Engine.default_config
+        else Engine.create_exn ?pool Engine.default_config
+      in
+      let r =
+        Executor.exec ~engine ~timing:Executor.Measure ~graph:p.gentry.graph
+          ~bindings plan
+      in
+      let out =
+        if j.use_arena then copy_value r.Executor.output
+        else r.Executor.output
+      in
+      ([ out ], 0)
+  | p0 :: _ as reqs ->
+      let shared =
+        List.filter
+          (fun (name, _) -> name <> "H")
+          (Layer.bindings ~graph:p0.gentry.graph ~h:p0.features params)
+      in
+      let outs, bstats =
+        Batch.exec_batch ?pool ~graph:p0.gentry.graph ~bindings:shared
+          ~input:"H"
+          ~features:(List.map (fun p -> p.features) reqs)
+          plan
+      in
+      (outs, bstats.Batch.widened_steps)
+
+(* ---- completion (lock held) ---- *)
+
+let fulfill t (j : job) outs widened =
+  let now = t.clock () in
+  let width = List.length j.reqs in
+  List.iter2
+    (fun p v ->
+      let latency = now -. p.t_submit in
+      p.ticket.result <- Some { value = v; latency; width };
+      t.completed <- t.completed + 1;
+      Obs.count t.obs "serve.requests.completed" 1;
+      Obs.observe t.obs "serve.latency" latency)
+    j.reqs outs;
+  t.batches <- t.batches + 1;
+  t.sum_width <- t.sum_width + width;
+  if width > t.max_width then t.max_width <- width;
+  t.widened_steps <- t.widened_steps + widened;
+  Obs.count t.obs "serve.batches" 1;
+  Obs.gauge t.obs "serve.batch.width" (float_of_int width);
+  if j.use_arena then (
+    match j.reqs with
+    | p :: _ -> p.powner.busy <- false
+    | [] -> ());
+  Condition.broadcast t.done_cv
+
+(* ---- worker loop (threaded mode) ---- *)
+
+let worker_loop t =
+  let rec next () =
+    Mutex.lock t.m;
+    let job = ref (pick t) in
+    while !job = None && not t.shutting do
+      Condition.wait t.work_cv t.m;
+      job := pick t
+    done;
+    match !job with
+    | None -> Mutex.unlock t.m (* shutting down with empty queues *)
+    | Some j ->
+        let resolved =
+          if
+            t.cfg.batching && t.cfg.batch_window > 0
+            && List.length j.reqs < t.cfg.max_batch
+            && not t.shutting
+          then begin
+            (* hold the job open for late-arriving coalescible requests *)
+            Mutex.unlock t.m;
+            Unix.sleepf (float_of_int t.cfg.batch_window *. 1e-6);
+            Mutex.lock t.m;
+            collect_more t j;
+            resolve t j
+          end
+          else resolve t j
+        in
+        Mutex.unlock t.m;
+        (* workers run kernels sequentially: the shared domain pool is not
+           reentrant across domains *)
+        let outs, widened = execute j resolved in
+        Mutex.lock t.m;
+        fulfill t j outs widened;
+        Mutex.unlock t.m;
+        next ()
+  in
+  next ()
+
+(* ---- public API ---- *)
+
+let create ?(obs = Obs.disabled) ?(clock = Timer.wall) cfg =
+  if cfg.queue_bound < 1 then
+    invalid_arg "Serve.create: queue_bound must be >= 1";
+  if cfg.max_batch < 1 then invalid_arg "Serve.create: max_batch must be >= 1";
+  if cfg.threads < 1 then invalid_arg "Serve.create: threads must be >= 1";
+  if cfg.workers < 0 then invalid_arg "Serve.create: workers must be >= 0";
+  if cfg.batch_window < 0 then
+    invalid_arg "Serve.create: batch_window must be >= 0";
+  if cfg.plan_cache < 0 then
+    invalid_arg "Serve.create: plan_cache must be >= 0";
+  if cfg.iterations < 1 then
+    invalid_arg "Serve.create: iterations must be >= 1";
+  let pool =
+    if cfg.workers = 0 && cfg.threads > 1 then
+      Some (Parallel.create ~threads:cfg.threads ())
+    else None
+  in
+  let t =
+    { cfg;
+      obs;
+      clock;
+      cost_model = Cost_model.analytic cfg.profile;
+      pool;
+      pc = Plan_cache.create ~obs ~capacity:cfg.plan_cache ();
+      graphs = Hashtbl.create 8;
+      models = Hashtbl.create 8;
+      params = Hashtbl.create 16;
+      tenants = Hashtbl.create 8;
+      m = Mutex.create ();
+      work_cv = Condition.create ();
+      done_cv = Condition.create ();
+      domains = [];
+      next_id = 0;
+      shutting = false;
+      shut_done = false;
+      submitted = 0;
+      completed = 0;
+      rejected = 0;
+      batches = 0;
+      max_width = 0;
+      sum_width = 0;
+      widened_steps = 0 }
+  in
+  t.domains <-
+    List.init cfg.workers (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let register_graph t ~name graph =
+  locked t (fun () ->
+      if Hashtbl.mem t.graphs name then
+        invalid_arg
+          (Printf.sprintf "Serve.register_graph: %s already registered" name);
+      Hashtbl.replace t.graphs name
+        { graph; fp = Engine.graph_fingerprint graph; feats = None })
+
+let tenant_of t name =
+  match Hashtbl.find_opt t.tenants name with
+  | Some ten -> ten
+  | None ->
+      let ten =
+        { tname = name; queue = []; busy = false; ws = Workspace.create () }
+      in
+      Hashtbl.replace t.tenants name ten;
+      ten
+
+let submit t ~tenant ~graph ~model ~k_out ~features =
+  if k_out < 1 then invalid_arg "Serve.submit: k_out must be >= 1";
+  (try ignore (Mp.Mp_models.find model)
+   with Not_found ->
+     invalid_arg (Printf.sprintf "Serve.submit: unknown model %s" model));
+  locked t (fun () ->
+      let ge =
+        match Hashtbl.find_opt t.graphs graph with
+        | Some ge -> ge
+        | None ->
+            invalid_arg
+              (Printf.sprintf "Serve.submit: unregistered graph %s" graph)
+      in
+      if features.Dense.rows <> Graph.n_nodes ge.graph then
+        invalid_arg
+          (Printf.sprintf
+             "Serve.submit: feature rows %d do not match graph %s (%d nodes)"
+             features.Dense.rows graph (Graph.n_nodes ge.graph));
+      if t.shutting then begin
+        t.rejected <- t.rejected + 1;
+        Obs.count t.obs "serve.requests.rejected" 1;
+        Error Shutdown
+      end
+      else begin
+        let ten = tenant_of t tenant in
+        if List.length ten.queue >= t.cfg.queue_bound then begin
+          t.rejected <- t.rejected + 1;
+          Obs.count t.obs "serve.requests.rejected" 1;
+          Error (Queue_full { tenant; bound = t.cfg.queue_bound })
+        end
+        else begin
+          let id = t.next_id in
+          t.next_id <- id + 1;
+          let p =
+            { id;
+              powner = ten;
+              gentry = ge;
+              model;
+              k_in = features.Dense.cols;
+              k_out;
+              features;
+              t_submit = t.clock ();
+              ticket = { result = None } }
+          in
+          ten.queue <- ten.queue @ [ p ];
+          t.submitted <- t.submitted + 1;
+          Obs.count t.obs "serve.requests.submitted" 1;
+          depth_gauge t ten;
+          Condition.signal t.work_cv;
+          Ok p.ticket
+        end
+      end)
+
+let poll t (ticket : ticket) = locked t (fun () -> ticket.result)
+
+let pump t =
+  if t.cfg.workers > 0 then
+    invalid_arg "Serve.pump: manual mode only (workers = 0)";
+  locked t (fun () ->
+      match pick t with
+      | None -> false
+      | Some j ->
+          let resolved = resolve t j in
+          let outs, widened =
+            Obs.span t.obs "serve.exec" (fun () ->
+                execute ?pool:t.pool j resolved)
+          in
+          fulfill t j outs widened;
+          true)
+
+let drain t = while pump t do () done
+
+let await t (ticket : ticket) =
+  if t.cfg.workers = 0 then begin
+    let rec go () =
+      match poll t ticket with
+      | Some r -> r
+      | None ->
+          if pump t then go ()
+          else
+            invalid_arg
+              "Serve.await: pending ticket but every queue is empty"
+    in
+    go ()
+  end
+  else
+    locked t (fun () ->
+        while ticket.result = None do
+          Condition.wait t.done_cv t.m
+        done;
+        Option.get ticket.result)
+
+let queue_depth t name =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.tenants name with
+      | Some ten -> List.length ten.queue
+      | None -> 0)
+
+let shutdown t =
+  let was_done =
+    locked t (fun () ->
+        if t.shut_done then true
+        else begin
+          t.shutting <- true;
+          Condition.broadcast t.work_cv;
+          false
+        end)
+  in
+  if not was_done then begin
+    if t.cfg.workers > 0 then begin
+      List.iter Domain.join t.domains;
+      t.domains <- []
+    end
+    else drain t;
+    locked t (fun () -> t.shut_done <- true);
+    Option.iter Parallel.shutdown t.pool
+  end
+
+let workers t = t.cfg.workers
+
+let graph_nodes t name =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.graphs name with
+      | Some ge -> Graph.n_nodes ge.graph
+      | None ->
+          invalid_arg
+            (Printf.sprintf "Serve.graph_nodes: unregistered graph %s" name))
+
+let stats t =
+  locked t (fun () ->
+      { submitted = t.submitted;
+        completed = t.completed;
+        rejected = t.rejected;
+        batches = t.batches;
+        max_width = t.max_width;
+        sum_width = t.sum_width;
+        widened_steps = t.widened_steps;
+        plan_cache = Plan_cache.stats t.pc })
+
+let obs t = t.obs
+
+(* The single-threaded reference path: same parameters, same (deterministic)
+   selection, a plain sequential engine, no queues and no counter traffic. *)
+let oracle t ~graph ~model ~k_out ~features =
+  let ge, plan, params =
+    locked t (fun () ->
+        let ge =
+          match Hashtbl.find_opt t.graphs graph with
+          | Some ge -> ge
+          | None ->
+              invalid_arg
+                (Printf.sprintf "Serve.oracle: unregistered graph %s" graph)
+        in
+        let k_in = features.Dense.cols in
+        let _, compiled = model_entry t model in
+        let feats = feats_of ge in
+        let n = Graph.n_nodes ge.graph in
+        let env = { Dim.n; nnz = Graph.n_edges ge.graph + n; k_in; k_out } in
+        let lc =
+          Selector.select_localized ~cost_model:t.cost_model ~feats ~env
+            ~iterations:t.cfg.iterations ~configs:[ Locality.default ]
+            compiled
+        in
+        ( ge,
+          lc.Selector.lchoice.Selector.candidate.Codegen.plan,
+          params_for t ge ~model ~k_in ~k_out ))
+  in
+  let bindings = Layer.bindings ~graph:ge.graph ~h:features params in
+  let r =
+    Executor.exec
+      ~engine:(Engine.default ())
+      ~timing:Executor.Measure ~graph:ge.graph ~bindings plan
+  in
+  r.Executor.output

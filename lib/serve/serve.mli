@@ -1,0 +1,177 @@
+(** Multi-tenant inference serving over the GRANII engine (DESIGN.md §12).
+
+    A server owns the shared model/parameter registries, a {!Plan_cache}
+    (selection once per distinct input shape), and per-tenant bounded
+    admission queues. Requests name a registered graph, a model and a
+    feature matrix; the scheduler coalesces compatible queued requests —
+    same graph, model and embedding widths, {e across} tenants — into one
+    {!Batch.exec_batch} invocation and scatters the results back to each
+    request's ticket.
+
+    {2 Scheduler modes}
+
+    - [workers = 0] ({b manual mode}): nothing runs until the caller pumps.
+      {!submit} only enqueues; {!pump} synchronously picks, batches and
+      executes one job; {!drain} pumps until every queue is empty. With an
+      injected [?clock] this makes request interleavings fully scripted —
+      the deterministic concurrency harness of [test/test_serve.ml].
+    - [workers > 0] ({b threaded mode}): that many OCaml 5 domains run the
+      same pick/execute loop concurrently, coordinated by one mutex and two
+      condition variables. Kernels run sequentially inside each worker
+      (the shared domain pool is not reentrant across domains); concurrency
+      comes from overlapping independent jobs.
+
+    {2 Admission control and backpressure}
+
+    Each tenant has a bounded FIFO queue ([queue_bound] requests). A
+    {!submit} beyond the bound returns [Error (Queue_full _)] — typed
+    backpressure, never an exception; after {!shutdown} began it returns
+    [Error Shutdown]. Everything admitted before shutdown is executed and
+    answered (graceful drain). Malformed requests (unknown graph, feature
+    shape mismatch) raise [Invalid_argument]: they are caller bugs, not
+    load conditions.
+
+    {2 Memory}
+
+    Each tenant owns a private workspace arena, used only for single-request
+    (width-1) executions and never shared across tenants; response values
+    are copied out of the arena before the ticket completes, so a response
+    is never invalidated by a later request. Batched executions allocate
+    normally (no arena). All serving executions run under the default graph
+    layout — per-request reordering does not amortize (DESIGN.md §12).
+
+    {2 Telemetry}
+
+    With a live sink: [serve.requests.submitted/completed/rejected],
+    [serve.batches], [serve.batch.width] (gauge),
+    [serve.plan_cache.hits/misses/evictions], [serve.queue.depth.<tenant>]
+    (gauge) and a [serve.latency] log-bucketed histogram, plus
+    [serve.select] / [serve.exec] spans (spans on the scheduler's
+    orchestrating path only). All sink access is serialized under the
+    scheduler lock. *)
+
+type config = {
+  workers : int;       (** worker domains; [0] = manual (pump-driven) mode *)
+  queue_bound : int;   (** per-tenant admission-queue capacity, >= 1 *)
+  batch_window : int;
+      (** microseconds a threaded worker holds a sub-[max_batch] job open
+          for late-arriving coalescible requests; [0] (and manual mode)
+          batches only what is already queued *)
+  max_batch : int;     (** widest coalesced batch, >= 1 *)
+  plan_cache : int;    (** {!Plan_cache} capacity; [0] disables it *)
+  batching : bool;     (** [false]: every job has width 1 (ablation arm) *)
+  threads : int;
+      (** domain-pool width for manual-mode kernel execution (threaded
+          workers always run kernels sequentially); also part of the plan
+          cache key — selection is thread-count-aware *)
+  profile : Granii_hw.Hw_profile.t;
+      (** hardware profile the selection cost model targets *)
+  iterations : int;
+      (** selection horizon: serving is single-shot inference, so the
+          default [1] charges setup steps at full price *)
+  param_seed : int;
+      (** server-side parameters are Glorot-initialized per
+          (model, K_in, K_out) from this seed and shared by every tenant —
+          batches may span tenants because weights are server state *)
+}
+
+val default_config : config
+(** [workers=0], [queue_bound=64], [batch_window=0], [max_batch=8],
+    [plan_cache=32], [batching=true], [threads=1], host-CPU profile,
+    [iterations=1], [param_seed=11]. *)
+
+val with_engine_axes : Granii_core.Engine.config -> config -> config
+(** Copy the serving axes an {!Granii_core.Engine.config} carries
+    ([queue_bound], [batch_window], [threads]) into a serving config — the
+    bridge from the CLI's [--engine] spec. *)
+
+type reject =
+  | Queue_full of { tenant : string; bound : int }
+  | Shutdown
+
+val reject_to_string : reject -> string
+
+type response = {
+  value : Granii_core.Executor.value;  (** the plan output for this request *)
+  latency : float;  (** seconds from {!submit} to completion *)
+  width : int;      (** how many requests shared the executor invocation *)
+}
+
+type ticket
+(** Handle to an admitted request; completed at most once. *)
+
+type stats = {
+  submitted : int;
+  completed : int;
+  rejected : int;
+  batches : int;         (** executor invocations *)
+  max_width : int;
+  sum_width : int;       (** [sum_width / batches] = mean batch width *)
+  widened_steps : int;   (** plan steps executed once over widened operands *)
+  plan_cache : Plan_cache.stats;
+}
+
+type t
+
+val create : ?obs:Granii_obs.Obs.t -> ?clock:(unit -> float) -> config -> t
+(** [clock] (default {!Granii_hw.Timer.wall}) timestamps submissions and
+    completions — inject a manual clock for scripted-latency tests. Raises
+    [Invalid_argument] on a non-positive [queue_bound]/[max_batch]/[threads],
+    negative [workers]/[batch_window]/[plan_cache] or [iterations < 1]. *)
+
+val register_graph : t -> name:string -> Granii_graph.Graph.t -> unit
+(** Graphs are server state, named at registration. Re-registering a name
+    raises [Invalid_argument]. *)
+
+val submit :
+  t -> tenant:string -> graph:string -> model:string -> k_out:int ->
+  features:Granii_tensor.Dense.t -> (ticket, reject) result
+(** Enqueue one inference request ([K_in] is the feature width). The tenant
+    is created on first use. In threaded mode execution starts immediately;
+    in manual mode nothing happens until {!pump}/{!drain}. Raises
+    [Invalid_argument] on an unregistered graph, unknown model, feature row
+    count not matching the graph, or [k_out < 1]. *)
+
+val poll : t -> ticket -> response option
+(** Non-blocking completion check. *)
+
+val await : t -> ticket -> response
+(** Manual mode: pumps until the ticket completes. Threaded mode: blocks on
+    the completion condition. *)
+
+val pump : t -> bool
+(** Manual mode only: pick the oldest queued request, coalesce its
+    compatible peers (up to [max_batch], across tenants), execute, fulfill.
+    Returns [false] when every queue was empty. Raises [Invalid_argument]
+    in threaded mode. *)
+
+val drain : t -> unit
+(** {!pump} until empty (manual mode only). *)
+
+val queue_depth : t -> string -> int
+(** Currently queued requests of a tenant ([0] for an unknown tenant). *)
+
+val shutdown : t -> unit
+(** Graceful drain: stop admitting ([submit] returns [Error Shutdown]),
+    execute everything already admitted, join the workers (threaded mode),
+    release the domain pool. Idempotent. *)
+
+val workers : t -> int
+(** The configured worker-domain count ([0] = manual mode). *)
+
+val graph_nodes : t -> string -> int
+(** Node count of a registered graph — the feature row count a client must
+    provide. Raises [Invalid_argument] on an unregistered name. *)
+
+val stats : t -> stats
+
+val obs : t -> Granii_obs.Obs.t
+
+val oracle :
+  t -> graph:string -> model:string -> k_out:int ->
+  features:Granii_tensor.Dense.t -> Granii_core.Executor.value
+(** The single-threaded reference: run this one request synchronously
+    through {!Granii_core.Executor.exec} on a default engine with the
+    server's own parameters and selection (bypassing queues, batching and
+    the plan cache's counters). Differential tests compare every served
+    response against this. *)

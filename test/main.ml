@@ -18,4 +18,5 @@ let () =
       ("obs", Test_obs.suite);
       ("memory", Test_memory.suite);
       ("locality", Test_locality.suite);
+      ("serve", Test_serve.suite);
       ("integration", Test_integration.suite) ]

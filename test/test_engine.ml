@@ -81,6 +81,20 @@ let test_illegal_typed () =
         (function Engine.Invalid_threads n -> n = t | _ -> false))
     [ 0; -1; -8 ];
   List.iter
+    (fun q ->
+      expect
+        (Printf.sprintf "queue_bound=%d" q)
+        { Engine.default_config with queue_bound = q }
+        (function Engine.Invalid_queue_bound n -> n = q | _ -> false))
+    [ 0; -1 ];
+  List.iter
+    (fun w ->
+      expect
+        (Printf.sprintf "batch_window=%d" w)
+        { Engine.default_config with batch_window = w }
+        (function Engine.Invalid_batch_window n -> n = w | _ -> false))
+    [ -1; -250 ];
+  List.iter
     (fun locality ->
       expect
         ("cache + " ^ Locality.config_to_string locality)
@@ -98,33 +112,39 @@ let test_illegal_typed () =
 
 let legal_grid =
   List.concat_map
-    (fun threads ->
+    (fun (queue_bound, batch_window) ->
       List.concat_map
-        (fun workspace ->
+        (fun threads ->
           List.concat_map
-            (fun cache ->
+            (fun workspace ->
               List.concat_map
-                (fun keep_intermediates ->
-                  List.filter_map
-                    (fun locality ->
-                      let cfg =
-                        { Engine.threads;
-                          workspace;
-                          cache;
-                          locality;
-                          keep_intermediates;
-                          telemetry = false }
-                      in
-                      match Engine.create cfg with
-                      | Ok e ->
-                          Engine.shutdown e;
-                          Some cfg
-                      | Error _ -> None)
-                    Locality.all_configs)
-                [ true; false ])
+                (fun cache ->
+                  List.concat_map
+                    (fun keep_intermediates ->
+                      List.filter_map
+                        (fun locality ->
+                          let cfg =
+                            { Engine.default_config with
+                              threads;
+                              workspace;
+                              cache;
+                              locality;
+                              keep_intermediates;
+                              queue_bound;
+                              batch_window }
+                          in
+                          match Engine.create cfg with
+                          | Ok e ->
+                              Engine.shutdown e;
+                              Some cfg
+                          | Error _ -> None)
+                        Locality.all_configs)
+                    [ true; false ])
+                [ false; true ])
             [ false; true ])
-        [ false; true ])
-    [ 1; 2 ]
+        [ 1; 2 ])
+    (* the serving axes (PR 6): admission-queue bound and batch window *)
+    [ (64, 0); (1, 250); (512, 5000) ]
 
 let test_describe_roundtrip () =
   check_true "the legal grid is non-trivial" (List.length legal_grid > 10);
@@ -144,7 +164,20 @@ let test_describe_roundtrip () =
   check_true "junk keys are a parse error"
     (match Engine.config_of_string "turbo=yes" with
     | Error _ -> true
-    | Ok _ -> false)
+    | Ok _ -> false);
+  (* the serving axes parse, and reject non-integers *)
+  check_true "serving axes parse"
+    (match Engine.config_of_string "queue_bound=128,batch_window=500" with
+    | Ok cfg ->
+        cfg.Engine.queue_bound = 128 && cfg.Engine.batch_window = 500
+    | Error _ -> false);
+  List.iter
+    (fun spec ->
+      check_true (spec ^ " is a parse error")
+        (match Engine.config_of_string spec with
+        | Error _ -> true
+        | Ok _ -> false))
+    [ "queue_bound=lots"; "batch_window=soon" ]
 
 (* ---- pass pipeline: idempotence and ordering ---- *)
 
@@ -271,6 +304,11 @@ let test_differential_grid () =
         List.filter
           (fun cfg ->
             cfg.Engine.threads = 1
+            (* the serving axes are admission parameters with no effect on
+               execution — one representative point keeps the grid fast *)
+            && cfg.Engine.queue_bound = Engine.default_config.Engine.queue_bound
+            && cfg.Engine.batch_window
+               = Engine.default_config.Engine.batch_window
             && (name <> "gin" || Locality.is_default cfg.Engine.locality))
           legal_grid
       in
@@ -342,11 +380,23 @@ let test_cache_graph_mismatch () =
          (Executor.exec ~engine ~timing:Executor.Measure ~graph:g2
             ~bindings:b2 plan);
        false
-     with Engine.Error (Engine.Cache_graph_mismatch _) -> true);
+     with Engine.Error (Engine.Cache_graph_mismatch _ as e) ->
+       String.length (Engine.error_to_string e) > 0);
   (* the same graph keeps working afterwards *)
   ignore
     (Executor.exec ~engine ~timing:Executor.Measure ~graph:g1 ~bindings:b1
-       plan)
+       plan);
+  (* equal node counts with different structure still mismatch — the
+     fingerprint hashes the adjacency arrays, not just the dimensions *)
+  let g3 = G.Generators.erdos_renyi ~seed:9 ~n:30 ~avg_degree:4. () in
+  let _, b3 = setup_bindings ~k_in:9 ~k_out:7 low g3 in
+  check_true "same-size different-structure graph is still a mismatch"
+    (try
+       ignore
+         (Executor.exec ~engine ~timing:Executor.Measure ~graph:g3
+            ~bindings:b3 plan);
+       false
+     with Engine.Error (Engine.Cache_graph_mismatch _) -> true)
 
 (* ---- of_legacy mirrors the optional arguments ---- *)
 

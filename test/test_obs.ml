@@ -216,6 +216,56 @@ let test_costmon_statistics () =
       | Error e -> Alcotest.fail ("cost monitor JSON: " ^ e))
   | l -> Alcotest.fail (Printf.sprintf "expected 3 summaries, got %d" (List.length l))
 
+(* At the 4096-pair cap later pairs still count toward [n] but stay out of
+   the summary statistics: an adversarially wrong pair recorded after the
+   cap must not move the error or the inversion count. *)
+let test_costmon_cap () =
+  let cm = Cm.create () in
+  for _ = 1 to 4096 do
+    Cm.record cm ~prim:"spmm" ~predicted:1. ~measured:1.
+  done;
+  Cm.record cm ~prim:"spmm" ~predicted:1. ~measured:1024.;
+  Cm.record cm ~prim:"spmm" ~predicted:1024. ~measured:1.;
+  match Cm.summaries cm with
+  | [ s ] ->
+      check_int "every run counted, capped or not" 4098 s.Cm.n;
+      check_float "post-cap pairs do not enter the statistics" ~eps:1e-12 0.
+        s.Cm.mean_abs_log_err;
+      check_int "post-cap pairs cause no inversions" 0 s.Cm.rank_inversions;
+      (match Obs.Json.validate (Cm.to_json cm) with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail ("capped monitor JSON: " ^ e))
+  | l -> Alcotest.fail (Printf.sprintf "expected 1 summary, got %d" (List.length l))
+
+(* ---- the JSON checker's rejection paths ---- *)
+
+let test_json_validate_rejects () =
+  let ok s =
+    match Obs.Json.validate s with Ok () -> true | Error _ -> false
+  in
+  List.iter
+    (fun s -> check_true ("accepts " ^ s) (ok s))
+    [ "{}"; "[]"; "[1, -2.5e3, true, false, null]"; "{\"a\": [\"b\\n\"]}" ];
+  List.iter
+    (fun (name, s) ->
+      match Obs.Json.validate s with
+      | Ok () -> Alcotest.fail (name ^ ": accepted invalid JSON")
+      | Error e ->
+          check_true (name ^ ": error names the byte offset")
+            (contains e "invalid JSON at byte"))
+    [ ("empty input", "");
+      ("bare garbage", "granii");
+      ("unterminated object", "{\"a\": 1");
+      ("trailing comma", "[1, 2,]");
+      ("missing colon", "{\"a\" 1}");
+      ("unquoted key", "{a: 1}");
+      ("unterminated string", "\"abc");
+      ("bad escape", "\"\\x41\"");
+      ("bare minus", "[-]");
+      ("single quotes", "['a']");
+      ("trailing garbage", "{} extra");
+      ("nan literal", "[NaN]") ]
+
 (* ---- the two clocks ---- *)
 
 let test_wall_vs_cpu_clock () =
@@ -347,6 +397,10 @@ let suite =
       test_metrics_prometheus;
     Alcotest.test_case "cost monitor statistics" `Quick
       test_costmon_statistics;
+    Alcotest.test_case "cost monitor at the 4096-pair cap" `Quick
+      test_costmon_cap;
+    Alcotest.test_case "json checker rejection paths" `Quick
+      test_json_validate_rejects;
     Alcotest.test_case "wall vs cpu clock" `Quick test_wall_vs_cpu_clock;
     Alcotest.test_case "disabled sink is bitwise invisible" `Quick
       test_disabled_sink_bitwise_identical;
