@@ -1,0 +1,169 @@
+(* Sparse-format benches: what the BSR tiling and the CBM neighbor-dedup
+   factoring buy over CSR on the graph family each one targets — and what
+   they cost on an unfavorable skewed graph, which is exactly the trade the
+   cost model's fill/overlap terms encode. Kernel sweeps run on the raw
+   adjacency (no self-loops): diagonal insertion breaks CBM's exact-prefix
+   sharing, so {m \tilde A} workloads see the smaller gains the overlap
+   statistic predicts. Conversion amortization is reported like
+   BENCH_locality.json; every measured output is checked bitwise against
+   the CSR oracle. *)
+
+open Bench_common
+module Csr = Granii_sparse.Csr
+module Bsr = Granii_sparse.Bsr
+module Cbm = Granii_sparse.Cbm
+module Spmm = Granii_sparse.Spmm
+module Sddmm = Granii_sparse.Sddmm
+module Dense = Granii_tensor.Dense
+module Parallel = Granii_tensor.Parallel
+module G = Granii_graph
+
+let bits_equal a b =
+  Array.length a = Array.length b
+  && (let ok = ref true in
+      Array.iteri
+        (fun i x ->
+          if Int64.bits_of_float x <> Int64.bits_of_float b.(i) then ok := false)
+        a;
+      !ok)
+
+let dense_bits_equal (a : Dense.t) (b : Dense.t) =
+  a.Dense.rows = b.Dense.rows && a.Dense.cols = b.Dense.cols
+  && bits_equal a.Dense.data b.Dense.data
+
+(* Best-of-[reps] wall time (first call additionally warms the caches). *)
+let time_best ?(reps = 3) f =
+  ignore (f ());
+  let best = ref infinity in
+  let result = ref None in
+  for _ = 1 to reps do
+    let r, t = Granii_hw.Timer.measure f in
+    if t < !best then best := t;
+    result := Some r
+  done;
+  (Option.get !result, !best)
+
+let format_name = function `Bsr -> "bsr" | `Cbm -> "cbm"
+
+(* ---- SpMM: {format x graph family x k x threads} ---- *)
+
+let spmm_point (graph : G.Graph.t) ~family ~fmt ~k ~threads =
+  let m = graph.G.Graph.adj in
+  let n = m.Csr.n_rows in
+  let nnz = Csr.nnz m in
+  let pool = if threads > 1 then Some (Parallel.create ~threads ()) else None in
+  let b = Dense.random ~seed:1 n k in
+  let reference, t_csr = time_best (fun () -> Spmm.run ?pool m b) in
+  let convert_s, stat_name, stat, run =
+    match fmt with
+    | `Bsr ->
+        let f, s = Granii_hw.Timer.measure (fun () -> Bsr.of_csr m) in
+        (s, "fill", Bsr.fill f, fun () -> Bsr.spmm ?pool f b)
+    | `Cbm ->
+        let d, s = Granii_hw.Timer.measure (fun () -> Cbm.of_csr m) in
+        (s, "dedup", Cbm.dedup_ratio d, fun () -> Cbm.spmm ?pool d b)
+  in
+  let out, t_fmt = time_best run in
+  (match pool with Some p -> Parallel.shutdown p | None -> ());
+  let bitwise = dense_bits_equal out reference in
+  let gain = t_csr -. t_fmt in
+  let amortize = if gain > 0. then convert_s /. gain else infinity in
+  Printf.printf
+    "  %-9s %-4s t=%d k=%-4d: csr %8.3f ms, %s %8.3f ms (%.2fx, %s %.2f)  \
+     convert %6.3f ms -> amortized after %s iterations  %s\n"
+    family (format_name fmt) threads k (ms t_csr) (format_name fmt) (ms t_fmt)
+    (t_csr /. t_fmt) stat_name stat (ms convert_s)
+    (if Float.is_finite amortize then Printf.sprintf "%.1f" amortize else "inf")
+    (if bitwise then "[bitwise ok]" else "[MISMATCH]");
+  json_add ~bench:"formats"
+    [ ("kind", S "spmm");
+      ("graph", S graph.G.Graph.name);
+      ("family", S family);
+      ("format", S (format_name fmt));
+      ("n", I n);
+      ("nnz", I nnz);
+      ("k", I k);
+      ("threads", I threads);
+      (stat_name, F stat);
+      ("t_csr_s", F t_csr);
+      ("t_format_s", F t_fmt);
+      ("speedup", F (t_csr /. t_fmt));
+      ("convert_s", F convert_s);
+      ("gain_per_iteration_s", F gain);
+      ("amortize_iterations",
+       F (if Float.is_finite amortize then amortize else -1.));
+      ("bitwise", B bitwise) ]
+
+(* ---- SDDMM: each format on its favorable family, single thread ---- *)
+
+let sddmm_point (graph : G.Graph.t) ~family ~fmt ~k =
+  let m = graph.G.Graph.adj in
+  let n = m.Csr.n_rows in
+  let a = Dense.random ~seed:2 n k and b = Dense.random ~seed:3 k n in
+  let reference, t_csr = time_best (fun () -> Sddmm.run m a b) in
+  let run =
+    match fmt with
+    | `Bsr ->
+        let f = Bsr.of_csr m in
+        fun () -> Bsr.sddmm f a b
+    | `Cbm ->
+        (* CBM's sharing is an SpMM property; SDDMM recomputes every entry
+           and must cost CSR time — this row pins the fallback *)
+        let d = Cbm.of_csr m in
+        fun () -> Cbm.sddmm d a b
+  in
+  let out, t_fmt = time_best run in
+  let bitwise =
+    match (reference.Csr.values, out.Csr.values) with
+    | Some v, Some w ->
+        out.Csr.row_ptr = reference.Csr.row_ptr
+        && out.Csr.col_idx = reference.Csr.col_idx
+        && bits_equal v w
+    | _ -> false
+  in
+  Printf.printf "  %-9s %-4s sddmm k=%d: csr %8.3f ms, %s %8.3f ms (%.2fx)  %s\n"
+    family (format_name fmt) k (ms t_csr) (format_name fmt) (ms t_fmt)
+    (t_csr /. t_fmt)
+    (if bitwise then "[bitwise ok]" else "[MISMATCH]");
+  json_add ~bench:"formats"
+    [ ("kind", S "sddmm");
+      ("graph", S graph.G.Graph.name);
+      ("family", S family);
+      ("format", S (format_name fmt));
+      ("n", I n);
+      ("nnz", I (Csr.nnz m));
+      ("k", I k);
+      ("t_csr_s", F t_csr);
+      ("t_format_s", F t_fmt);
+      ("speedup", F (t_csr /. t_fmt));
+      ("bitwise", B bitwise) ]
+
+let run () =
+  section "Formats: BSR tiles and CBM dedup vs CSR (raw adjacency)";
+  let n = if !smoke then 2048 else 8192 in
+  let families =
+    [ ("blocked", G.Generators.blocked ~seed:1 ~n ~blocks_per_row:6 ());
+      ( "overlap",
+        G.Generators.community_overlap ~seed:1 ~n ~groups:(n / 64) ~degree:16 () );
+      ( "skewed",
+        G.Generators.rmat ~scale:(if !smoke then 11 else 13) ~edge_factor:8 () )
+    ]
+  in
+  let ks = if !smoke then [ 32 ] else [ 32; 128 ] in
+  let threads_list = if !smoke then [ 1; 2 ] else [ 1; 2; 4 ] in
+  List.iter
+    (fun (family, graph) ->
+      List.iter
+        (fun fmt ->
+          List.iter
+            (fun k ->
+              List.iter
+                (fun threads -> spmm_point graph ~family ~fmt ~k ~threads)
+                threads_list)
+            ks)
+        [ `Bsr; `Cbm ])
+    families;
+  print_newline ();
+  let k = 32 in
+  sddmm_point (List.assoc "blocked" families) ~family:"blocked" ~fmt:`Bsr ~k;
+  sddmm_point (List.assoc "overlap" families) ~family:"overlap" ~fmt:`Cbm ~k

@@ -23,6 +23,7 @@ let benches =
     ("micro", "Bechamel microbenchmarks of the real kernels", Bench_micro.run);
     ("mem", "Memory: workspace reuse, tiled GEMM, subtree cache", Bench_memory.run);
     ("locality", "Locality: reordering + hybrid format speedups and amortization", Bench_locality.run);
+    ("formats", "Formats: BSR tiles and CBM dedup vs CSR", Bench_formats.run);
     ("ext", "Extensions: multi-head GAT, executed stacks, deep hops", Bench_ext.run);
     ("serve", "Serving: plan-cache amortization + request batching", Bench_serve.run) ]
 

@@ -6,6 +6,8 @@ module Spmm = Granii_sparse.Spmm
 module Sddmm = Granii_sparse.Sddmm
 module Sparse_ops = Granii_sparse.Sparse_ops
 module Hybrid = Granii_sparse.Hybrid
+module Bsr = Granii_sparse.Bsr
+module Cbm = Granii_sparse.Cbm
 module K = Granii_hw.Kernel_model
 
 type value =
@@ -44,16 +46,23 @@ let shares_backing a v = List.exists (fun b -> b == a) (backing_arrays v)
 
 (* ---- execution context ---- *)
 
+(* A localized physical form of a sparse operand: what the Pass layout
+   bracket converted the graph's matrix into for this engine config. *)
+type form =
+  | Fhybrid of Hybrid.t
+  | Fbsr of Bsr.t
+  | Fcbm of Cbm.t
+
 type ctx = {
   pool : Granii_tensor.Parallel.t option;
   ws : Workspace.t option;
-  hybrid : (Csr.t -> Hybrid.t option) option;
+  localize : (Csr.t -> form option) option;
 }
 
-let plain = { pool = None; ws = None; hybrid = None }
+let plain = { pool = None; ws = None; localize = None }
 
-let hybrid_of ctx m =
-  match ctx.hybrid with None -> None | Some f -> f m
+let form_of ctx m =
+  match ctx.localize with None -> None | Some f -> f m
 
 (* ---- shared kernel helpers ---- *)
 
@@ -101,19 +110,25 @@ let apply_nonlinear ?pool ?ws kind d =
 
    One implementation per (backend, primitive, operand format). The format
    axis is how the locality engine swaps the g-kernels to the hybrid
-   slab+tail layout without the dispatch loop knowing; the backend axis is
-   the seam future accelerator backends plug into. [Fmt_hybrid] entries fall
-   back to [Fmt_csr] when absent, so only the primitives that actually have
-   a hybrid kernel need a second registration. *)
+   slab+tail, block-sparse or neighbor-dedup layouts without the dispatch
+   loop knowing; the backend axis is the seam future accelerator backends
+   plug into. Non-CSR entries fall back to [Fmt_csr] when absent, so only
+   the primitives that actually have a format-specific kernel need a second
+   registration. *)
 
 type backend = Cpu
 
-type fmt = Fmt_csr | Fmt_hybrid
+type fmt = Fmt_csr | Fmt_hybrid | Fmt_bsr | Fmt_cbm
 
 type impl = ctx -> Granii_graph.Graph.t -> Primitive.t -> value array -> value
 
 let backend_to_string = function Cpu -> "cpu"
-let fmt_to_string = function Fmt_csr -> "csr" | Fmt_hybrid -> "hybrid"
+
+let fmt_to_string = function
+  | Fmt_csr -> "csr"
+  | Fmt_hybrid -> "hybrid"
+  | Fmt_bsr -> "bsr"
+  | Fmt_cbm -> "cbm"
 
 let registry : (string, impl) Hashtbl.t = Hashtbl.create 64
 
@@ -126,7 +141,7 @@ let register ?(backend = Cpu) ?(fmt = Fmt_csr) name impl =
 let lookup ?(backend = Cpu) ~fmt name =
   match Hashtbl.find_opt registry (key backend fmt name) with
   | Some impl -> Some impl
-  | None when fmt = Fmt_hybrid ->
+  | None when fmt <> Fmt_csr ->
       Hashtbl.find_opt registry (key backend Fmt_csr name)
   | None -> None
 
@@ -139,17 +154,27 @@ let registered ?(backend = Cpu) () =
     registry []
   |> List.sort_uniq compare
 
-(* The format a step executes under: hybrid only when the locality engine
-   has a registered hybrid form for the step's sparse operand (the lookup is
-   by physical identity, so per-iteration-fresh values fall back to CSR). *)
+(* The format a step executes under: non-CSR only when the locality engine
+   has a registered localized form for the step's sparse operand (the lookup
+   is by physical identity, so per-iteration-fresh values fall back to
+   CSR). *)
+let fmt_of_form = function
+  | Fhybrid _ -> Fmt_hybrid
+  | Fbsr _ -> Fmt_bsr
+  | Fcbm _ -> Fmt_cbm
+
 let format_of ctx (prim : Primitive.t) (args : value array) =
-  match ctx.hybrid with
+  match ctx.localize with
   | None -> Fmt_csr
   | Some f -> (
+      let form_fmt m =
+        match f m with Some frm -> Some (fmt_of_form frm) | None -> None
+      in
       match (prim, args) with
-      | Primitive.Spmm _, [| Vsparse m; _ |] when f m <> None -> Fmt_hybrid
-      | Primitive.Sddmm_rank1, [| _; Vsparse m; _ |] when f m <> None ->
-          Fmt_hybrid
+      | Primitive.Spmm _, [| Vsparse m; _ |] -> (
+          match form_fmt m with Some fmt -> fmt | None -> Fmt_csr)
+      | Primitive.Sddmm_rank1, [| _; Vsparse m; _ |] -> (
+          match form_fmt m with Some fmt -> fmt | None -> Fmt_csr)
       | _ -> Fmt_csr)
 
 let exec ?(backend = Cpu) ctx (prim : Primitive.t) graph (args : value array) =
@@ -176,12 +201,20 @@ let () =
     | [| a; b |] -> Vdense (Spmm.run ?pool ?ws (sparse a) (dense b))
     | _ -> bad_arity prim args
   in
-  let spmm_hybrid : impl = fun ctx _g prim args ->
+  (* Localized SpMM: run the kernel of whatever form the layout bracket
+     registered for this operand; CSR when the memo misses (per-iteration
+     fresh values). *)
+  let spmm_form : impl = fun ctx _g prim args ->
     match args with
     | [| a; b |] -> (
         let m = sparse a in
-        match hybrid_of ctx m with
-        | Some h -> Vdense (Hybrid.spmm ?pool:ctx.pool ?ws:ctx.ws h (dense b))
+        match form_of ctx m with
+        | Some (Fhybrid h) ->
+            Vdense (Hybrid.spmm ?pool:ctx.pool ?ws:ctx.ws h (dense b))
+        | Some (Fbsr bm) ->
+            Vdense (Bsr.spmm ?pool:ctx.pool ?ws:ctx.ws bm (dense b))
+        | Some (Fcbm cm) ->
+            Vdense (Cbm.spmm ?pool:ctx.pool ?ws:ctx.ws cm (dense b))
         | None -> Vdense (Spmm.run ?pool:ctx.pool ?ws:ctx.ws m (dense b)))
     | _ -> bad_arity prim args
   in
@@ -189,7 +222,9 @@ let () =
   List.iter
     (fun name ->
       reg name spmm_csr;
-      register ~fmt:Fmt_hybrid name spmm_hybrid)
+      register ~fmt:Fmt_hybrid name spmm_form;
+      register ~fmt:Fmt_bsr name spmm_form;
+      register ~fmt:Fmt_cbm name spmm_form)
     [ "spmm_w"; "spmm_u" ];
   reg "dspmm" (fun { pool; ws; _ } _g prim args ->
       match args with
@@ -203,9 +238,13 @@ let () =
       match args with
       | [| dl; a; dr |] -> (
           let m = sparse a in
-          match hybrid_of ctx m with
-          | Some h -> Vsparse (Hybrid.rank1 ?pool:ctx.pool ?ws:ctx.ws h (diag dl) (diag dr))
-          | None -> Vsparse (Sddmm.rank1 ?pool:ctx.pool ?ws:ctx.ws m (diag dl) (diag dr)))
+          match form_of ctx m with
+          | Some (Fhybrid h) ->
+              Vsparse (Hybrid.rank1 ?pool:ctx.pool ?ws:ctx.ws h (diag dl) (diag dr))
+          | Some (Fbsr _) | Some (Fcbm _) | None ->
+              (* rank-1 gains nothing from tiles or dedup: the k=1 dot is
+                 the value read itself *)
+              Vsparse (Sddmm.rank1 ?pool:ctx.pool ?ws:ctx.ws m (diag dl) (diag dr)))
       | _ -> bad_arity prim args);
   reg "diag_scale" (fun { pool; ws; _ } _g prim args ->
       match (prim, args) with

@@ -32,14 +32,23 @@ val shares_backing : float array -> value -> bool
 (** {2 Execution context}
 
     What a kernel may use while running: the domain pool, the workspace
-    arena, and the locality engine's hybrid-format lookup (physical-identity
-    memo over iteration-stable sparse matrices). Built by {!Executor} from
-    an {!Engine.t}; {!plain} is the bare sequential context. *)
+    arena, and the locality engine's localized-form lookup
+    (physical-identity memo over iteration-stable sparse matrices). Built by
+    {!Executor} from an {!Engine.t}; {!plain} is the bare sequential
+    context. *)
+
+type form =
+  | Fhybrid of Granii_sparse.Hybrid.t
+  | Fbsr of Granii_sparse.Bsr.t
+  | Fcbm of Granii_sparse.Cbm.t
+      (** A localized physical form of a sparse operand — what the [Pass]
+          layout bracket converted a graph matrix into under the engine's
+          locality config. *)
 
 type ctx = {
   pool : Granii_tensor.Parallel.t option;
   ws : Granii_tensor.Workspace.t option;
-  hybrid : (Granii_sparse.Csr.t -> Granii_sparse.Hybrid.t option) option;
+  localize : (Granii_sparse.Csr.t -> form option) option;
 }
 
 val plain : ctx
@@ -48,7 +57,7 @@ val plain : ctx
 
 type backend = Cpu
 
-type fmt = Fmt_csr | Fmt_hybrid
+type fmt = Fmt_csr | Fmt_hybrid | Fmt_bsr | Fmt_cbm
 
 type impl = ctx -> Granii_graph.Graph.t -> Primitive.t -> value array -> value
 (** One kernel implementation. The primitive is passed through so one entry
@@ -60,9 +69,9 @@ val register : ?backend:backend -> ?fmt:fmt -> string -> impl -> unit
     replaces the previous implementation. *)
 
 val lookup : ?backend:backend -> fmt:fmt -> string -> impl option
-(** [Fmt_hybrid] falls back to the [Fmt_csr] entry when no hybrid kernel is
-    registered, so only primitives with a genuine hybrid variant need two
-    registrations. *)
+(** Non-CSR formats fall back to the [Fmt_csr] entry when no format-specific
+    kernel is registered, so only primitives with a genuine localized
+    variant need extra registrations. *)
 
 val registered : ?backend:backend -> unit -> string list
 (** Registry keys for a backend, sorted — a diagnostic view. *)
@@ -76,8 +85,8 @@ val format_of : ctx -> Primitive.t -> value array -> fmt
 val exec :
   ?backend:backend -> ctx -> Primitive.t -> Granii_graph.Graph.t ->
   value array -> value
-(** Execute one primitive: pick the operand format (hybrid when the context
-    has a registered hybrid form for the step's sparse operand), look the
+(** Execute one primitive: pick the operand format (non-CSR when the context
+    has a registered localized form for the step's sparse operand), look the
     implementation up and run it. Raises {!Execution_error} when no
     implementation is registered. *)
 

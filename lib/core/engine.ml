@@ -34,6 +34,8 @@ type error =
   | Cache_graph_mismatch of { expected : string; got : string }
   | Invalid_queue_bound of int
   | Invalid_batch_window of int
+  | Invalid_format of string
+  | Bsr_with_reorder of Locality.config
 
 exception Error of error
 
@@ -62,6 +64,16 @@ let error_to_string = function
   | Invalid_batch_window w ->
       Printf.sprintf
         "engine: batch_window must be >= 0 microseconds (got %d)" w
+  | Invalid_format f ->
+      Printf.sprintf
+        "engine: unknown sparse format %s (expected csr, hybrid, bsr or cbm)"
+        f
+  | Bsr_with_reorder c ->
+      Printf.sprintf
+        "engine: the bsr format cannot be combined with ordering %s (tiles \
+         accumulate in column-sorted order, but reordered matrices keep \
+         source entry order — the bitwise contract would break)"
+        (Granii_graph.Reorder.strategy_to_string c.Locality.strategy)
 
 let () =
   Printexc.register_printer (function
@@ -154,6 +166,8 @@ let validate (cfg : config) =
   if cfg.threads < 1 then Some (Invalid_threads cfg.threads)
   else if cfg.cache && not (Locality.is_default cfg.locality) then
     Some (Cache_with_locality cfg.locality)
+  else if not (Locality.legal cfg.locality) then
+    Some (Bsr_with_reorder cfg.locality)
   else if cfg.workspace && cfg.cache && not cfg.keep_intermediates then
     Some Workspace_cache_discard
   else if cfg.queue_bound < 1 then Some (Invalid_queue_bound cfg.queue_bound)
@@ -257,13 +271,18 @@ let parse_flag key v =
 let parse_locality v =
   match String.split_on_char '+' v with
   | [ s; f ] -> (
-      match (Reorder.strategy_of_string s, Locality.format_of_string f) with
-      | Some strategy, Some format -> Ok { Locality.strategy; format }
-      | _ ->
-          Error
+      match Reorder.strategy_of_string s with
+      | None ->
+          Result.Error
             (Printf.sprintf
-               "engine spec: locality expects <identity|degree|bfs|rcm>+<csr|hybrid> (got %s)"
-               v))
+               "engine spec: locality expects <identity|degree|bfs|rcm>+<csr|hybrid|bsr|cbm> (got %s)"
+               v)
+      | Some strategy -> (
+          match Locality.format_of_string f with
+          | Some format -> Ok { Locality.strategy; format }
+          (* unknown format names get the typed error so callers can
+             distinguish a bad format axis from general spec noise *)
+          | None -> Error (error_to_string (Invalid_format f))))
   | _ ->
       Error
         (Printf.sprintf

@@ -15,6 +15,7 @@
     threads < 1                          Invalid_threads
     cache + non-default locality         Cache_with_locality
     workspace + cache + drop             Workspace_cache_discard
+    bsr format + non-identity order      Bsr_with_reorder
     workspace + cache + keep             legal: entries are epoch-pinned
                                          (copied out of the arena on insert)
     everything else                      legal
@@ -65,6 +66,13 @@ type error =
           admission slot per tenant *)
   | Invalid_batch_window of int
       (** [batch_window < 0] microseconds *)
+  | Invalid_format of string
+      (** unknown sparse-format name on the locality axis (expected [csr],
+          [hybrid], [bsr] or [cbm]) *)
+  | Bsr_with_reorder of Locality.config
+      (** [bsr] with a non-identity ordering: tiles accumulate in
+          column-sorted order, but reordered matrices keep source entry
+          order — see {!Locality.legal} *)
 
 exception Error of error
 
@@ -164,8 +172,10 @@ val config_of_string : string -> (config, string) result
 (** Parse a comma-separated [key=value] spec; omitted keys keep their
     {!default_config} values, [""] and ["default"] are the default config.
     Keys: [threads] (int), [workspace]/[cache]/[telemetry] (on|off),
-    [locality] (<identity|degree|bfs|rcm>+<csr|hybrid>), [intermediates]
-    (keep|drop), [queue_bound] (int), [batch_window] (int, microseconds). *)
+    [locality] (<identity|degree|bfs|rcm>+<csr|hybrid|bsr|cbm>),
+    [intermediates] (keep|drop), [queue_bound] (int), [batch_window]
+    (int, microseconds). An unknown format name reports the
+    {!Invalid_format} message. *)
 
 (** {2 Structural fingerprinting} (shared with the serving plan cache) *)
 

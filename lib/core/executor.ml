@@ -28,7 +28,7 @@ let shape_of = Dispatch.shape_of
 let pp_value = Dispatch.pp_value
 
 let apply ?pool ?ws prim graph args =
-  Dispatch.exec { Dispatch.pool; ws; hybrid = None } prim graph
+  Dispatch.exec { Dispatch.pool; ws; localize = None } prim graph
     (Array.of_list args)
 
 (* Analytic time of one executed step: the kernel-model prediction for its
@@ -154,7 +154,7 @@ let exec_prepared ~seed ~engine ~timing ~graph ~bindings (prep : Pass.prepared) 
   in
   List.iter (fun (_, v) -> Pass.Layout.register lstate v) bindings;
   bracket_exit tr layout_span ~attrs:[ ("stage", "enter") ] ();
-  let ctx = { Dispatch.pool; ws; hybrid = Pass.Layout.hybrid_of lstate } in
+  let ctx = { Dispatch.pool; ws; localize = Pass.Layout.form_of lstate } in
   (match ws with Some w -> Workspace.reclaim w | None -> ());
   let ws_before = Option.map Workspace.stats ws in
   let steps = prep.Pass.steps in
@@ -250,7 +250,7 @@ let exec_prepared ~seed ~engine ~timing ~graph ~bindings (prep : Pass.prepared) 
       step_span_exit tr sp ~threads ~ctx s args value elapsed;
       step_observe obs s elapsed;
       slots.(s.Plan.idx) <- Some value;
-      (* setup outputs are iteration-stable: candidates for the hybrid form *)
+      (* setup outputs are iteration-stable: candidates for the localized form *)
       if s.Plan.phase = Plan.Setup then Pass.Layout.register lstate value;
       (match s.Plan.phase with
       | Plan.Setup -> setup_time := !setup_time +. elapsed
@@ -321,7 +321,7 @@ let exec_iterations ?(seed = 0) ?disable ~engine ~timing ~graph ~bindings
   in
   List.iter (fun (_, v) -> Pass.Layout.register lstate v) bindings;
   bracket_exit tr layout_span ~attrs:[ ("stage", "enter") ] ();
-  let ctx = { Dispatch.pool; ws; hybrid = Pass.Layout.hybrid_of lstate } in
+  let ctx = { Dispatch.pool; ws; localize = Pass.Layout.form_of lstate } in
   let steps = prep.Pass.steps in
   let n = Array.length steps in
   let slots : value option array = Array.make n None in

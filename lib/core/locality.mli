@@ -14,7 +14,7 @@
     hybrid kernels, and inverse-permutes the output (see
     {!Executor.run} with [?locality]). *)
 
-type format = Csr | Hybrid
+type format = Csr | Hybrid | Bsr | Cbm
 
 type config = { strategy : Granii_graph.Reorder.strategy; format : format }
 
@@ -23,15 +23,22 @@ val default : config
 
 val is_default : config -> bool
 
+val legal : config -> bool
+(** Whether the pair can honor the bitwise contract. [Bsr] tiles accumulate
+    each row in ascending column order — the CSR kernel order only under the
+    identity ordering, because reordered matrices keep {e source} entry
+    order ({!Granii_graph.Reorder.permute_csr}). [Hybrid] and [Cbm]
+    preserve per-row storage order and compose with any strategy. *)
+
 val all_configs : config list
-(** Every strategy × format pair, {!default} first. *)
+(** Every {!legal} strategy × format pair, {!default} first. *)
 
 val all_formats : format list
 
 val format_to_string : format -> string
 
 val format_of_string : string -> format option
-(** Accepts ["csr"], ["hybrid"]/["ell"]. *)
+(** Accepts ["csr"], ["hybrid"]/["ell"], ["bsr"], ["cbm"]. *)
 
 val config_to_string : config -> string
 (** E.g. ["degree+hybrid"]. *)

@@ -103,15 +103,15 @@ module Layout = struct
     | v -> v
 
   (* Mutable locality state for one run: the computed ordering (if any) and
-     the memo of hybrid conversions, keyed by physical identity — only
-     iteration-stable matrices (bindings, setup-step outputs) are
+     the memo of localized-format conversions, keyed by physical identity —
+     only iteration-stable matrices (bindings, setup-step outputs) are
      registered, so per-iteration-fresh sparse values keep the Csr path and
      never pay a per-iteration conversion. *)
   type state = {
     config : Locality.config;
     reorder : Reorder.t option;
     inverse : Reorder.t option; (* the inverse ordering, for Csr outputs *)
-    mutable hybrids : (Csr.t * Hybrid.t) list;
+    mutable forms : (Csr.t * Dispatch.form) list;
     mutable layout : float;
   }
 
@@ -126,7 +126,7 @@ module Layout = struct
                 ( { config = locality;
                     reorder = None;
                     inverse = None;
-                    hybrids = [];
+                    forms = [];
                     layout = 0. },
                   graph,
                   bindings )
@@ -138,7 +138,7 @@ module Layout = struct
                 ( { config = locality;
                     reorder = Some r;
                     inverse = Some inv;
-                    hybrids = [];
+                    forms = [];
                     layout = 0. },
                   Reorder.apply_graph r graph,
                   List.map (fun (name, v) -> (name, permute_value r n v)) bindings
@@ -148,31 +148,44 @@ module Layout = struct
       (Some st, graph', bindings')
     end
 
-  (* Register an iteration-stable sparse value for hybrid execution; the
+  (* Register an iteration-stable sparse value for localized execution; the
      conversion cost is layout work, not kernel time. *)
+  let convert_for fmt s =
+    match fmt with
+    | Locality.Csr -> None
+    | Locality.Hybrid -> Some (Dispatch.Fhybrid (Hybrid.of_csr s))
+    | Locality.Bsr -> Some (Dispatch.Fbsr (Granii_sparse.Bsr.of_csr s))
+    | Locality.Cbm -> Some (Dispatch.Fcbm (Granii_sparse.Cbm.of_csr s))
+
   let register st v =
     match st with
     | None -> ()
     | Some st ->
-        if st.config.Locality.format = Locality.Hybrid then begin
+        if st.config.Locality.format <> Locality.Csr then begin
           match v with
           | Dispatch.Vsparse s
             when s.Csr.n_rows = s.Csr.n_cols
-                 && not (List.exists (fun (m, _) -> m == s) st.hybrids) ->
-              let h, t = Granii_hw.Timer.measure_wall (fun () -> Hybrid.of_csr s) in
-              st.layout <- st.layout +. t;
-              st.hybrids <- (s, h) :: st.hybrids
+                 && not (List.exists (fun (m, _) -> m == s) st.forms) -> (
+              let frm, t =
+                Granii_hw.Timer.measure_wall (fun () ->
+                    convert_for st.config.Locality.format s)
+              in
+              match frm with
+              | Some frm ->
+                  st.layout <- st.layout +. t;
+                  st.forms <- (s, frm) :: st.forms
+              | None -> ())
           | _ -> ()
         end
 
-  let hybrid_of st =
+  let form_of st =
     match st with
     | None -> None
     | Some st ->
-        if st.config.Locality.format = Locality.Hybrid then
+        if st.config.Locality.format <> Locality.Csr then
           Some
             (fun m ->
-              List.find_opt (fun (m', _) -> m' == m) st.hybrids
+              List.find_opt (fun (m', _) -> m' == m) st.forms
               |> Option.map snd)
         else None
 

@@ -56,7 +56,7 @@ let exec_batch ?pool ~graph ~bindings ~input ~features (plan : Plan.t) =
       if f.Dense.cols <> k then
         invalid_arg "Batch.exec_batch: mixed feature widths in one batch")
     features;
-  let ctx = { D.pool; ws = None; hybrid = None } in
+  let ctx = { D.pool; ws = None; localize = None } in
   let steps = Array.of_list plan.Plan.steps in
   let n = Array.length steps in
   (* which steps transitively depend on the per-request input leaf *)

@@ -7,6 +7,7 @@ type key = {
   k_out : int;
   hw : string;
   threads : int;
+  layout : string;
 }
 
 type stats = { hits : int; misses : int; evictions : int }

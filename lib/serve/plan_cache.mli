@@ -24,6 +24,11 @@ type key = {
   k_out : int;
   hw : string;        (** {!Granii_hw.Hw_profile.t} name *)
   threads : int;      (** selection is thread-count-aware *)
+  layout : string;
+      (** {!Granii_core.Locality.config_to_string} of the engine's locality
+          axis — two engine configs that localize differently (ordering or
+          sparse format) rank candidates differently, so they must never
+          share a plan *)
 }
 
 type stats = { hits : int; misses : int; evictions : int }

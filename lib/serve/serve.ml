@@ -27,6 +27,7 @@ type config = {
   profile : Granii_hw.Hw_profile.t;
   iterations : int;
   param_seed : int;
+  locality : Locality.config;
 }
 
 let default_config =
@@ -39,13 +40,15 @@ let default_config =
     threads = 1;
     profile = Granii_hw.Hw_profile.cpu;
     iterations = 1;
-    param_seed = 11 }
+    param_seed = 11;
+    locality = Locality.default }
 
 let with_engine_axes (ec : Engine.config) cfg =
   { cfg with
     queue_bound = ec.Engine.queue_bound;
     batch_window = ec.Engine.batch_window;
-    threads = ec.Engine.threads }
+    threads = ec.Engine.threads;
+    locality = ec.Engine.locality }
 
 type reject = Queue_full of { tenant : string; bound : int } | Shutdown
 
@@ -249,9 +252,10 @@ let feats_of (ge : graph_entry) =
       f
 
 (* Selection, amortized through the plan cache: one counting lookup per
-   executor invocation. Serving pins the layout axis to the default config
-   (per-request graph reordering does not amortize — DESIGN.md §12), so
-   the localized selection reduces to candidate choice. *)
+   executor invocation. The configured layout axis (default unless the
+   caller opted in — per-request graph reordering rarely amortizes,
+   DESIGN.md §12) is part of the cache key, so engines that localize
+   differently never share a plan. *)
 let select_plan t (ge : graph_entry) ~model ~k_in ~k_out =
   let key =
     { Plan_cache.graph_fp = ge.fp;
@@ -259,7 +263,8 @@ let select_plan t (ge : graph_entry) ~model ~k_in ~k_out =
       k_in;
       k_out;
       hw = t.cfg.profile.Granii_hw.Hw_profile.name;
-      threads = t.cfg.threads }
+      threads = t.cfg.threads;
+      layout = Locality.config_to_string t.cfg.locality }
   in
   let lc =
     match Plan_cache.find t.pc key with
@@ -273,7 +278,7 @@ let select_plan t (ge : graph_entry) ~model ~k_in ~k_out =
           Obs.span t.obs "serve.select" (fun () ->
               Selector.select_localized ~obs:t.obs ~cost_model:t.cost_model
                 ~feats ~env ~iterations:t.cfg.iterations
-                ~configs:[ Locality.default ] compiled)
+                ~configs:[ t.cfg.locality ] compiled)
         in
         Plan_cache.add t.pc key lc;
         lc
@@ -307,17 +312,22 @@ let copy_value = function
       | Some v -> Executor.Vsparse (Csr.with_values s (Array.copy v)))
   | Executor.Vdiag d -> Executor.Vdiag (Array.copy d)
 
-let execute ?pool (j : job) (plan, params) =
+let execute ?pool ~locality (j : job) (plan, params) =
   match j.reqs with
   | [] -> assert false
   | [ p ] ->
       let bindings =
         Layer.bindings ~graph:p.gentry.graph ~h:p.features params
       in
+      (* the width-1 path runs under the configured layout (arena + locality
+         is legal; the cache axis is off here). The batch path below stays
+         on the default layout: widening happens in the original id space,
+         and layout is bitwise-transparent, so any plan is correct there. *)
+      let cfg = { Engine.default_config with locality } in
       let engine =
         if j.use_arena then
-          Engine.create_exn ?pool ~workspace:p.powner.ws Engine.default_config
-        else Engine.create_exn ?pool Engine.default_config
+          Engine.create_exn ?pool ~workspace:p.powner.ws cfg
+        else Engine.create_exn ?pool cfg
       in
       let r =
         Executor.exec ~engine ~timing:Executor.Measure ~graph:p.gentry.graph
@@ -398,7 +408,7 @@ let worker_loop t =
         Mutex.unlock t.m;
         (* workers run kernels sequentially: the shared domain pool is not
            reentrant across domains *)
-        let outs, widened = execute j resolved in
+        let outs, widened = execute ~locality:t.cfg.locality j resolved in
         Mutex.lock t.m;
         fulfill t j outs widened;
         Mutex.unlock t.m;
@@ -420,6 +430,11 @@ let create ?(obs = Obs.disabled) ?(clock = Timer.wall) cfg =
     invalid_arg "Serve.create: plan_cache must be >= 0";
   if cfg.iterations < 1 then
     invalid_arg "Serve.create: iterations must be >= 1";
+  if not (Locality.legal cfg.locality) then
+    invalid_arg
+      (Printf.sprintf "Serve.create: illegal locality %s (%s)"
+         (Locality.config_to_string cfg.locality)
+         (Engine.error_to_string (Engine.Bsr_with_reorder cfg.locality)));
   let pool =
     if cfg.workers = 0 && cfg.threads > 1 then
       Some (Parallel.create ~threads:cfg.threads ())
@@ -538,7 +553,7 @@ let pump t =
           let resolved = resolve t j in
           let outs, widened =
             Obs.span t.obs "serve.exec" (fun () ->
-                execute ?pool:t.pool j resolved)
+                execute ?pool:t.pool ~locality:t.cfg.locality j resolved)
           in
           fulfill t j outs widened;
           true)
@@ -633,7 +648,7 @@ let oracle t ~graph ~model ~k_out ~features =
         let env = { Dim.n; nnz = Graph.n_edges ge.graph + n; k_in; k_out } in
         let lc =
           Selector.select_localized ~cost_model:t.cost_model ~feats ~env
-            ~iterations:t.cfg.iterations ~configs:[ Locality.default ]
+            ~iterations:t.cfg.iterations ~configs:[ t.cfg.locality ]
             compiled
         in
         ( ge,

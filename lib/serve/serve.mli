@@ -37,8 +37,9 @@
     (width-1) executions and never shared across tenants; response values
     are copied out of the arena before the ticket completes, so a response
     is never invalidated by a later request. Batched executions allocate
-    normally (no arena). All serving executions run under the default graph
-    layout — per-request reordering does not amortize (DESIGN.md §12).
+    normally (no arena). Serving defaults to the default graph layout —
+    per-request reordering rarely amortizes (DESIGN.md §12) — but a config
+    may opt width-1 execution into a locality axis.
 
     {2 Telemetry}
 
@@ -73,17 +74,25 @@ type config = {
       (** server-side parameters are Glorot-initialized per
           (model, K_in, K_out) from this seed and shared by every tenant —
           batches may span tenants because weights are server state *)
+  locality : Granii_core.Locality.config;
+      (** layout axis for selection and width-1 execution; part of the plan
+          cache key, so engines that localize differently never share a
+          plan. Default {!Granii_core.Locality.default} — per-request
+          reordering rarely amortizes (DESIGN.md §12). Batched jobs always
+          execute under the default layout (widening happens in the
+          original id space; layout is bitwise-transparent, so any cached
+          plan is correct there). *)
 }
 
 val default_config : config
 (** [workers=0], [queue_bound=64], [batch_window=0], [max_batch=8],
     [plan_cache=32], [batching=true], [threads=1], host-CPU profile,
-    [iterations=1], [param_seed=11]. *)
+    [iterations=1], [param_seed=11], default locality. *)
 
 val with_engine_axes : Granii_core.Engine.config -> config -> config
 (** Copy the serving axes an {!Granii_core.Engine.config} carries
-    ([queue_bound], [batch_window], [threads]) into a serving config — the
-    bridge from the CLI's [--engine] spec. *)
+    ([queue_bound], [batch_window], [threads], [locality]) into a serving
+    config — the bridge from the CLI's [--engine] spec. *)
 
 type reject =
   | Queue_full of { tenant : string; bound : int }
@@ -117,7 +126,9 @@ val create : ?obs:Granii_obs.Obs.t -> ?clock:(unit -> float) -> config -> t
 (** [clock] (default {!Granii_hw.Timer.wall}) timestamps submissions and
     completions — inject a manual clock for scripted-latency tests. Raises
     [Invalid_argument] on a non-positive [queue_bound]/[max_batch]/[threads],
-    negative [workers]/[batch_window]/[plan_cache] or [iterations < 1]. *)
+    negative [workers]/[batch_window]/[plan_cache], [iterations < 1] or an
+    illegal [locality] (bsr with a non-identity ordering — see
+    {!Granii_core.Locality.legal}). *)
 
 val register_graph : t -> name:string -> Granii_graph.Graph.t -> unit
 (** Graphs are server state, named at registration. Re-registering a name

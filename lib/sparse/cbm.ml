@@ -1,0 +1,286 @@
+module Dense = Granii_tensor.Dense
+module Parallel = Granii_tensor.Parallel
+module Workspace = Granii_tensor.Workspace
+
+(* CBM-style compressed neighborhood-dedup format (Alves et al.,
+   2409.02208): rows that share a neighbor set are factored against a
+   reference row so the shared part of the SpMM is computed once and the
+   delta rows only pay their suffix (an exact duplicate row becomes a pure
+   k-float copy).
+
+   The reference-row heuristic is prefix restricted, which is what keeps the
+   result bitwise equal to the Csr oracle under floating-point
+   non-associativity: rows are sorted lexicographically by their (column,
+   value-bits) entry sequence, and a row may reference a base row only when
+   the base's whole entry list — columns and value bits — is a prefix of its
+   own. The Csr kernel's partial sum after those shared entries is then
+   bit-for-bit the base row's finished output, so "copy the base's output
+   row, accumulate the suffix in order" reproduces the oracle exactly.
+   References are depth 1 (a base never references), so parallel execution
+   is two phases: all bases, barrier, all deltas. *)
+
+type t = {
+  n_rows : int;
+  n_cols : int;
+  src : Csr.t;                  (* ground truth; SDDMM and rank1 run on it *)
+  ref_of : int array;           (* per row: base row id, or -1 for a base *)
+  shared : int array;           (* per row: shared prefix length (= the
+                                   base's degree) *)
+  bases : int array;            (* rows with ref_of = -1 *)
+  deltas : int array;           (* rows with a reference *)
+  base_prefix : int array;      (* cumulative degree over [bases] *)
+  delta_prefix : int array;     (* cumulative (suffix length + 1) over
+                                   [deltas]: the +1 charges the row copy *)
+}
+
+let nnz m = Csr.nnz m.src
+let is_weighted m = Csr.is_weighted m.src
+
+(* Stored entries saved by the factoring: each delta row skips its shared
+   prefix. [dedup_ratio] is the fraction of SpMM multiply-adds removed. *)
+let saved_nnz m = Array.fold_left ( + ) 0 (Array.map (fun d -> m.shared.(d)) m.deltas)
+
+let dedup_ratio m =
+  let z = nnz m in
+  if z = 0 then 0. else float_of_int (saved_nnz m) /. float_of_int z
+
+let value_bits (s : Csr.t) p =
+  match s.Csr.values with
+  | Some v -> Int64.bits_of_float v.(p)
+  | None -> Int64.bits_of_float 1.
+
+let of_csr (m : Csr.t) =
+  let n = m.Csr.n_rows in
+  let row_ptr = m.Csr.row_ptr and col_idx = m.Csr.col_idx in
+  let deg i = row_ptr.(i + 1) - row_ptr.(i) in
+  (* lexicographic order over (column, value-bits) entry sequences; ties
+     break on row id so the order — and therefore the factoring — is
+     deterministic *)
+  let compare_rows a b =
+    let da = deg a and db = deg b in
+    let rec go s =
+      if s >= da || s >= db then
+        if da <> db then compare da db else compare a b
+      else begin
+        let pa = row_ptr.(a) + s and pb = row_ptr.(b) + s in
+        let cc = compare col_idx.(pa) col_idx.(pb) in
+        if cc <> 0 then cc
+        else
+          let vc = Int64.compare (value_bits m pa) (value_bits m pb) in
+          if vc <> 0 then vc else go (s + 1)
+      end
+    in
+    go 0
+  in
+  let order = Array.init n (fun i -> i) in
+  Array.sort compare_rows order;
+  let ref_of = Array.make n (-1) and shared = Array.make n 0 in
+  (* walk the sorted rows keeping the current base; a row whose entry list
+     extends the base's exactly becomes a delta against it *)
+  let is_prefix base row =
+    let db = deg base in
+    db >= 1
+    && db <= deg row
+    && begin
+         let ok = ref true and s = ref 0 in
+         while !ok && !s < db do
+           let pb = row_ptr.(base) + !s and pr = row_ptr.(row) + !s in
+           if
+             col_idx.(pb) <> col_idx.(pr)
+             || not (Int64.equal (value_bits m pb) (value_bits m pr))
+           then ok := false
+           else incr s
+         done;
+         !ok
+       end
+  in
+  let base = ref (-1) in
+  Array.iter
+    (fun row ->
+      if !base >= 0 && is_prefix !base row then begin
+        ref_of.(row) <- !base;
+        shared.(row) <- deg !base
+      end
+      else base := row)
+    order;
+  let bases = ref [] and deltas = ref [] in
+  for i = n - 1 downto 0 do
+    if ref_of.(i) < 0 then bases := i :: !bases else deltas := i :: !deltas
+  done;
+  let bases = Array.of_list !bases and deltas = Array.of_list !deltas in
+  let base_prefix = Array.make (Array.length bases + 1) 0 in
+  Array.iteri
+    (fun q i -> base_prefix.(q + 1) <- base_prefix.(q) + deg i)
+    bases;
+  let delta_prefix = Array.make (Array.length deltas + 1) 0 in
+  Array.iteri
+    (fun q i -> delta_prefix.(q + 1) <- delta_prefix.(q) + (deg i - shared.(i)) + 1)
+    deltas;
+  { n_rows = n;
+    n_cols = m.Csr.n_cols;
+    src = m;
+    ref_of;
+    shared;
+    bases;
+    deltas;
+    base_prefix;
+    delta_prefix }
+
+(* Reconstructs the CSR matrix through the factoring — each delta row is
+   rebuilt as (base's entries) ++ (own suffix) — so the round-trip test
+   fails if a reference or shared count is wrong. *)
+let to_csr m =
+  let src = m.src in
+  let row_ptr = src.Csr.row_ptr and col_idx = src.Csr.col_idx in
+  let count = Csr.nnz src in
+  let cols = Array.make count 0 in
+  let values =
+    if Csr.is_weighted src then Some (Array.make count 0.) else None
+  in
+  for i = 0 to m.n_rows - 1 do
+    let base = row_ptr.(i) in
+    let s = m.shared.(i) in
+    let refbase = if m.ref_of.(i) < 0 then base else row_ptr.(m.ref_of.(i)) in
+    for q = 0 to s - 1 do
+      cols.(base + q) <- col_idx.(refbase + q)
+    done;
+    for p = base + s to row_ptr.(i + 1) - 1 do
+      cols.(p) <- col_idx.(p)
+    done;
+    match (values, src.Csr.values) with
+    | Some dst, Some sv ->
+        for q = 0 to s - 1 do
+          dst.(base + q) <- sv.(refbase + q)
+        done;
+        for p = base + s to row_ptr.(i + 1) - 1 do
+          dst.(p) <- sv.(p)
+        done
+    | _ -> ()
+  done;
+  Csr.make ~n_rows:m.n_rows ~n_cols:m.n_cols ~row_ptr:(Array.copy row_ptr)
+    ~col_idx:cols ~values
+
+(* SpMM, plus-times, in two phases. Bases run the plain Csr accumulation
+   (4-wide feature register blocking, entries in row order). Deltas seed
+   their accumulators from the base row's finished output — bitwise the Csr
+   partial sum over the shared prefix — and accumulate only the suffix.
+   Writes are per-row disjoint and every reference points at a phase-1 row,
+   so both phases parallelize over the domain pool. *)
+let spmm ?pool ?ws (m : t) (b : Dense.t) =
+  if m.n_cols <> b.Dense.rows then
+    invalid_arg "Cbm.spmm: inner dimension mismatch";
+  let n = m.n_rows and k = b.Dense.cols in
+  let bd = b.Dense.data in
+  let src = m.src in
+  let row_ptr = src.Csr.row_ptr and col_idx = src.Csr.col_idx in
+  let out = Workspace.alloc_uninit ws (n * k) in
+  (* accumulate rows [from_of row .. row end) of the entry range into the
+     output row, with the j-block seeded by [seed] *)
+  let run_rows rows lo hi start_of =
+    match src.Csr.values with
+    | Some vals ->
+        for q = lo to hi - 1 do
+          let i = Array.unsafe_get rows q in
+          let p0 = start_of i and p1 = Array.unsafe_get row_ptr (i + 1) in
+          let sbase =
+            let r = Array.unsafe_get m.ref_of i in
+            if r < 0 then -1 else r * k
+          in
+          let obase = i * k in
+          let j = ref 0 in
+          while !j + 4 <= k do
+            let j0 = !j in
+            let acc0 = ref (if sbase < 0 then 0. else Array.unsafe_get out (sbase + j0))
+            and acc1 = ref (if sbase < 0 then 0. else Array.unsafe_get out (sbase + j0 + 1))
+            and acc2 = ref (if sbase < 0 then 0. else Array.unsafe_get out (sbase + j0 + 2))
+            and acc3 = ref (if sbase < 0 then 0. else Array.unsafe_get out (sbase + j0 + 3)) in
+            for p = p0 to p1 - 1 do
+              let v = Array.unsafe_get vals p in
+              let bb = (Array.unsafe_get col_idx p * k) + j0 in
+              acc0 := !acc0 +. (v *. Array.unsafe_get bd bb);
+              acc1 := !acc1 +. (v *. Array.unsafe_get bd (bb + 1));
+              acc2 := !acc2 +. (v *. Array.unsafe_get bd (bb + 2));
+              acc3 := !acc3 +. (v *. Array.unsafe_get bd (bb + 3))
+            done;
+            Array.unsafe_set out (obase + j0) !acc0;
+            Array.unsafe_set out (obase + j0 + 1) !acc1;
+            Array.unsafe_set out (obase + j0 + 2) !acc2;
+            Array.unsafe_set out (obase + j0 + 3) !acc3;
+            j := j0 + 4
+          done;
+          while !j < k do
+            let j0 = !j in
+            let acc = ref (if sbase < 0 then 0. else Array.unsafe_get out (sbase + j0)) in
+            for p = p0 to p1 - 1 do
+              acc :=
+                !acc
+                +. Array.unsafe_get vals p
+                   *. Array.unsafe_get bd ((Array.unsafe_get col_idx p * k) + j0)
+            done;
+            Array.unsafe_set out (obase + j0) !acc;
+            incr j
+          done
+        done
+    | None ->
+        (* unweighted: the edge value is never read *)
+        for q = lo to hi - 1 do
+          let i = Array.unsafe_get rows q in
+          let p0 = start_of i and p1 = Array.unsafe_get row_ptr (i + 1) in
+          let sbase =
+            let r = Array.unsafe_get m.ref_of i in
+            if r < 0 then -1 else r * k
+          in
+          let obase = i * k in
+          let j = ref 0 in
+          while !j + 4 <= k do
+            let j0 = !j in
+            let acc0 = ref (if sbase < 0 then 0. else Array.unsafe_get out (sbase + j0))
+            and acc1 = ref (if sbase < 0 then 0. else Array.unsafe_get out (sbase + j0 + 1))
+            and acc2 = ref (if sbase < 0 then 0. else Array.unsafe_get out (sbase + j0 + 2))
+            and acc3 = ref (if sbase < 0 then 0. else Array.unsafe_get out (sbase + j0 + 3)) in
+            for p = p0 to p1 - 1 do
+              let bb = (Array.unsafe_get col_idx p * k) + j0 in
+              acc0 := !acc0 +. Array.unsafe_get bd bb;
+              acc1 := !acc1 +. Array.unsafe_get bd (bb + 1);
+              acc2 := !acc2 +. Array.unsafe_get bd (bb + 2);
+              acc3 := !acc3 +. Array.unsafe_get bd (bb + 3)
+            done;
+            Array.unsafe_set out (obase + j0) !acc0;
+            Array.unsafe_set out (obase + j0 + 1) !acc1;
+            Array.unsafe_set out (obase + j0 + 2) !acc2;
+            Array.unsafe_set out (obase + j0 + 3) !acc3;
+            j := j0 + 4
+          done;
+          while !j < k do
+            let j0 = !j in
+            let acc = ref (if sbase < 0 then 0. else Array.unsafe_get out (sbase + j0)) in
+            for p = p0 to p1 - 1 do
+              acc :=
+                !acc
+                +. Array.unsafe_get bd ((Array.unsafe_get col_idx p * k) + j0)
+            done;
+            Array.unsafe_set out (obase + j0) !acc;
+            incr j
+          done
+        done
+  in
+  (* phase 1: bases pay their full row *)
+  Parallel.rows_weighted ?pool ~prefix:m.base_prefix (fun lo hi ->
+      run_rows m.bases lo hi (fun i -> row_ptr.(i)));
+  (* phase 2: deltas seed from their base's output and pay the suffix *)
+  Parallel.rows_weighted ?pool ~prefix:m.delta_prefix (fun lo hi ->
+      run_rows m.deltas lo hi (fun i -> row_ptr.(i) + m.shared.(i)));
+  Dense.of_flat ~rows:n ~cols:k out
+
+(* SDDMM dots depend on the left operand's per-row features, so shared
+   neighbor sets share nothing across rows: delegate to the Csr kernels on
+   the stored source — trivially bitwise. *)
+let sddmm ?pool ?ws (m : t) a b = Sddmm.run ?pool ?ws m.src a b
+
+let rank1 ?pool ?ws (m : t) d_left d_right =
+  Sddmm.rank1 ?pool ?ws m.src d_left d_right
+
+let pp ppf m =
+  Format.fprintf ppf "cbm %dx%d nnz=%d bases=%d deltas=%d dedup=%.2f"
+    m.n_rows m.n_cols (nnz m) (Array.length m.bases) (Array.length m.deltas)
+    (dedup_ratio m)

@@ -1,0 +1,71 @@
+(** CBM-style neighbor-dedup format: delta rows against a reference row.
+
+    The locality engine's high-overlap format (Alves et al., 2409.02208):
+    rows whose neighbor lists share a common part are factored so the shared
+    part of an SpMM is computed once — the reference (base) row pays its
+    full accumulation, and each delta row copies the base's finished output
+    and accumulates only its suffix. An exact duplicate row costs a k-float
+    copy instead of a degree * k accumulation.
+
+    Bitwise contract: a row may reference a base only when the base's whole
+    (column, value-bits) entry list is an exact prefix of its own, so the
+    {!Csr} kernel's partial sum after the shared entries is bit-for-bit the
+    base's finished output row, and "seed from base, accumulate suffix in
+    order" reproduces the oracle exactly. References are depth 1; SpMM runs
+    bases then deltas with a barrier between, each phase parallel. *)
+
+type t = private {
+  n_rows : int;
+  n_cols : int;
+  src : Csr.t;                  (** ground truth; SDDMM and rank1 run on it *)
+  ref_of : int array;           (** per row: base row id, or [-1] for a base *)
+  shared : int array;           (** per row: shared prefix length (the base's
+                                    degree; [0] for bases) *)
+  bases : int array;            (** rows with no reference *)
+  deltas : int array;           (** rows with a reference *)
+  base_prefix : int array;      (** cumulative degree over [bases] *)
+  delta_prefix : int array;     (** cumulative (suffix length + 1) over
+                                    [deltas] *)
+}
+
+val of_csr : Csr.t -> t
+(** Factors a CSR matrix: rows are sorted lexicographically by their
+    (column, value-bits) entry sequence and each row references the nearest
+    preceding base whose entry list is an exact prefix of its own.
+    Deterministic (ties break on row id). *)
+
+val to_csr : t -> Csr.t
+(** Reconstructs the CSR matrix through the factoring — each delta row is
+    rebuilt from its base's entries plus its own suffix. Exact round-trip:
+    [to_csr (of_csr m)] equals [m] structurally and bitwise. *)
+
+val nnz : t -> int
+
+val is_weighted : t -> bool
+
+val saved_nnz : t -> int
+(** Stored entries skipped by delta rows (the sum of shared prefix
+    lengths). *)
+
+val dedup_ratio : t -> float
+(** [saved_nnz / nnz]: the fraction of SpMM multiply-adds the factoring
+    removes. [0.] on an empty matrix. *)
+
+val spmm :
+  ?pool:Granii_tensor.Parallel.t -> ?ws:Granii_tensor.Workspace.t ->
+  t -> Granii_tensor.Dense.t -> Granii_tensor.Dense.t
+(** Plus-times g-SpMM, two-phase (bases, then deltas seeded from their
+    base's output row); bitwise identical to [Spmm.run src b]. *)
+
+val sddmm :
+  ?pool:Granii_tensor.Parallel.t -> ?ws:Granii_tensor.Workspace.t ->
+  t -> Granii_tensor.Dense.t -> Granii_tensor.Dense.t -> Csr.t
+(** SDDMM dots depend on the left operand's row, so neighbor sharing saves
+    nothing: delegates to [Sddmm.run src]. *)
+
+val rank1 :
+  ?pool:Granii_tensor.Parallel.t -> ?ws:Granii_tensor.Workspace.t ->
+  t -> float array -> float array -> Csr.t
+(** Delegates to [Sddmm.rank1 src]. *)
+
+val pp : Format.formatter -> t -> unit

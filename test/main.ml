@@ -18,5 +18,6 @@ let () =
       ("obs", Test_obs.suite);
       ("memory", Test_memory.suite);
       ("locality", Test_locality.suite);
+      ("formats", Test_formats.suite);
       ("serve", Test_serve.suite);
       ("integration", Test_integration.suite) ]

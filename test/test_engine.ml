@@ -177,7 +177,31 @@ let test_describe_roundtrip () =
         (match Engine.config_of_string spec with
         | Error _ -> true
         | Ok _ -> false))
-    [ "queue_bound=lots"; "batch_window=soon" ]
+    [ "queue_bound=lots"; "batch_window=soon" ];
+  (* the format axis (PR 7): the grid auto-widened over bsr/cbm, the new
+     names parse, and an unknown format gets the typed Invalid_format
+     message rather than generic spec noise *)
+  List.iter
+    (fun format ->
+      check_true
+        (Locality.format_to_string format ^ " configs are in the legal grid")
+        (List.exists
+           (fun c -> c.Engine.locality.Locality.format = format)
+           legal_grid))
+    Locality.all_formats;
+  check_true "locality=degree+bsr parses"
+    (match Engine.config_of_string "locality=degree+bsr" with
+    | Ok cfg ->
+        cfg.Engine.locality
+        = { Locality.strategy = Reorder.Degree_sort; format = Locality.Bsr }
+    | Error _ -> false);
+  check_true "unknown format is the typed Invalid_format error"
+    (match Engine.config_of_string "locality=identity+xyz" with
+    | Error msg ->
+        contains msg "unknown sparse format"
+        && String.equal msg
+             (Engine.error_to_string (Engine.Invalid_format "xyz"))
+    | Ok _ -> false)
 
 (* ---- pass pipeline: idempotence and ordering ---- *)
 

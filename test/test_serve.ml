@@ -62,7 +62,7 @@ let test_plan_cache_unit () =
   in
   let key i =
     { Plan_cache.graph_fp = "fp"; model = "gcn"; k_in = 8; k_out = i;
-      hw = "cpu"; threads = 1 }
+      hw = "cpu"; threads = 1; layout = "identity+csr" }
   in
   (match Plan_cache.create ~capacity:(-1) () with
   | exception Invalid_argument _ -> ()
@@ -220,6 +220,63 @@ let test_plan_cache_counts () =
       let pc = (Serve.stats t).Serve.plan_cache in
       check_int "second shape misses once" 2 pc.Plan_cache.misses;
       check_int "hits unchanged" 4 pc.Plan_cache.hits)
+
+(* ---- plan cache: the layout axis is part of the key (regression) ---- *)
+
+let test_plan_cache_layout_key () =
+  (* regression: two engine configs that localize differently (ordering or
+     sparse format) must never share a plan — keys identical except for
+     [layout] are distinct entries, not hits *)
+  let graph = small_graph () in
+  let _, compiled = Test_engine.compile_model (Mp.Mp_models.find "gcn") in
+  let feats = Featurizer.extract graph in
+  let env =
+    { Dim.n = G.Graph.n_nodes graph;
+      nnz = G.Graph.n_edges graph + G.Graph.n_nodes graph;
+      k_in = 8;
+      k_out = 4 }
+  in
+  let lc =
+    Selector.select_localized
+      ~cost_model:(Cost_model.analytic Granii_hw.Hw_profile.cpu)
+      ~feats ~env ~iterations:1 ~configs:[ Locality.default ] compiled
+  in
+  let key layout =
+    { Plan_cache.graph_fp = "fp"; model = "gcn"; k_in = 8; k_out = 4;
+      hw = "cpu"; threads = 1; layout }
+  in
+  let layouts = [ "identity+csr"; "identity+bsr"; "degree+cbm"; "rcm+hybrid" ] in
+  let pc = Plan_cache.create ~capacity:8 () in
+  Plan_cache.add pc (key "identity+csr") lc;
+  List.iter
+    (fun l ->
+      check_true (l ^ " does not hit another layout's plan")
+        (Plan_cache.find pc (key l) = None))
+    (List.tl layouts);
+  List.iter (fun l -> Plan_cache.add pc (key l) lc) (List.tl layouts);
+  check_int "each layout is its own entry" (List.length layouts)
+    (Plan_cache.length pc);
+  (* the engine bridge carries the locality axis into the serving config,
+     and a locality-configured server still answers bitwise like the oracle *)
+  let locality =
+    { Locality.strategy = G.Reorder.Degree_sort; format = Locality.Cbm }
+  in
+  let ec = { Engine.default_config with locality } in
+  let sc = Serve.with_engine_axes ec Serve.default_config in
+  check_true "locality carried" (sc.Serve.locality = locality);
+  with_server
+    ~cfg:{ Serve.default_config with batching = false; plan_cache = 8; locality }
+    (fun t graph ->
+      let n = G.Graph.n_nodes graph in
+      let f = Dense.random ~seed:61 n 8 in
+      let tk = submit_exn t ~tenant:"a" ~k_out:4 ~features:f in
+      Serve.drain t;
+      match Serve.poll t tk with
+      | None -> Alcotest.fail "ticket not completed"
+      | Some r ->
+          check_true "localized serving bitwise equals the oracle"
+            (Test_engine.value_bits_equal r.Serve.value
+               (Serve.oracle t ~graph:"g" ~model:"gcn" ~k_out:4 ~features:f)))
 
 (* ---- backpressure: typed rejection at the exact bound ---- *)
 
@@ -516,6 +573,8 @@ let suite =
       test_coalescing;
     Alcotest.test_case "plan cache: served hits/misses vs hand count" `Quick
       test_plan_cache_counts;
+    Alcotest.test_case "plan cache: layout axis keys plans" `Quick
+      test_plan_cache_layout_key;
     Alcotest.test_case "backpressure: typed rejection at the bound" `Quick
       test_backpressure;
     Alcotest.test_case "arena isolation across requests" `Quick
