@@ -25,7 +25,8 @@ let benches =
     ("locality", "Locality: reordering + hybrid format speedups and amortization", Bench_locality.run);
     ("formats", "Formats: BSR tiles and CBM dedup vs CSR", Bench_formats.run);
     ("ext", "Extensions: multi-head GAT, executed stacks, deep hops", Bench_ext.run);
-    ("serve", "Serving: plan-cache amortization + request batching", Bench_serve.run) ]
+    ("serve", "Serving: plan-cache amortization + request batching", Bench_serve.run);
+    ("minibatch", "Mini-batch training: pipelined loader vs sequential vs full graph", Bench_minibatch.run) ]
 
 let usage () =
   print_endline

@@ -209,7 +209,8 @@ let select_cmd =
   let models_file =
     Arg.(value & opt (some string) None
          & info [ "models-file" ] ~docv:"FILE"
-             ~doc:"Load cost models saved by $(b,granii train) instead of retraining.")
+             ~doc:"Load cost models saved by $(b,granii train-costmodel) \
+                   instead of retraining.")
   in
   let execute =
     Arg.(value & opt (some int) None
@@ -609,7 +610,7 @@ let baseline_cmd =
        ~doc:"Show the WiseGraph/DGL default composition for a configuration")
     Term.(const run $ model_pos $ k_in $ k_out)
 
-let train_cmd =
+let train_costmodel_cmd =
   let hw =
     Arg.(value & opt hw_arg Granii_hw.Hw_profile.a100
          & info [ "hw" ] ~doc:"Hardware profile to profile against.")
@@ -655,11 +656,177 @@ let train_cmd =
     Printf.printf "saved %s to %s\n" (Cost_model.name cm) output
   in
   Cmd.v
-    (Cmd.info "train"
+    (Cmd.info "train-costmodel"
        ~doc:
          "The initialization script: profile every primitive and train the \
-          per-primitive cost models, saving them to disk")
+          per-primitive cost models, saving them to disk (was $(b,granii \
+          train) before mini-batch training took that name)")
     Term.(const run $ hw $ output $ measured $ threads_grid)
+
+(* granii train: pipelined mini-batch GNN training (lib/gnn Loader +
+   Trainer.train_minibatch) on synthetic features/labels — the CLI surface
+   of the mini-batch tentpole. *)
+let train_cmd =
+  let module Gnn = Granii_gnn in
+  let graph =
+    Arg.(value & opt graph_arg (G.Generators.rmat ~scale:10 ~edge_factor:16 ())
+         & info [ "graph"; "g" ] ~docv:"GRAPH"
+             ~doc:"Input graph (dataset key or generator spec).")
+  in
+  let k_in = Arg.(value & opt int 32 & info [ "kin" ] ~doc:"Input embedding size.") in
+  let classes =
+    Arg.(value & opt int 5 & info [ "classes" ] ~doc:"Number of label classes.")
+  in
+  let sample =
+    let parse s =
+      let fail () =
+        Error (`Msg (s ^ ": expected fanout=<n>[,<n>...], e.g. fanout=10,5"))
+      in
+      match String.split_on_char '=' s with
+      | [ "fanout"; spec ] -> (
+          match
+            List.map int_of_string_opt (String.split_on_char ',' spec)
+          with
+          | [] -> fail ()
+          | fs when List.exists (function Some f -> f > 0 | None -> false) fs
+                    && List.for_all (function Some f -> f > 0 | None -> false) fs
+            -> Ok (List.filter_map Fun.id fs)
+          | _ -> fail ())
+      | _ -> fail ()
+    in
+    let print ppf fs =
+      Format.fprintf ppf "fanout=%s"
+        (String.concat "," (List.map string_of_int fs))
+    in
+    Arg.(value & opt (conv (parse, print)) [ 10; 5 ]
+         & info [ "sample" ] ~docv:"SPEC"
+             ~doc:
+               "Layered sampling schedule, $(b,fanout=<n>[,<n>...]): per-hop \
+                neighbor caps walked backward from each seed batch.")
+  in
+  let batch_size =
+    Arg.(value & opt int 256
+         & info [ "batch-size"; "b" ] ~doc:"Seed nodes per mini-batch.")
+  in
+  let epochs =
+    Arg.(value & opt int 3 & info [ "epochs" ] ~doc:"Training epochs.")
+  in
+  let pipeline =
+    Arg.(value & flag
+         & info [ "pipeline" ]
+             ~doc:
+               "Prepare batch i+1 on a dedicated domain while batch i \
+                executes (the default; $(b,--sequential) is the ablation).")
+  in
+  let sequential =
+    Arg.(value & flag
+         & info [ "sequential" ]
+             ~doc:
+               "Sample and featurize inline on the training thread — the \
+                pipeline ablation arm. Losses are bitwise identical to \
+                $(b,--pipeline).")
+  in
+  let lr =
+    Arg.(value & opt float 0.01 & info [ "lr" ] ~doc:"Adam learning rate.")
+  in
+  let threads =
+    Arg.(value & opt int 1
+         & info [ "threads"; "t" ] ~doc:"Execution-engine thread count.")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Run seed.") in
+  let models_file =
+    Arg.(value & opt (some string) None
+         & info [ "models-file" ] ~docv:"FILE"
+             ~doc:"Load cost models saved by $(b,granii train-costmodel) \
+                   (default: the analytic host-CPU model).")
+  in
+  let run model graph k_in classes fanouts batch_size epochs pipeline
+      sequential lr threads seed models_file trace_file metrics_file =
+    if pipeline && sequential then begin
+      Printf.eprintf "--pipeline and --sequential are mutually exclusive\n";
+      exit 1
+    end;
+    if k_in < 1 || classes < 2 || batch_size < 1 || epochs < 1 || threads < 1
+    then begin
+      Printf.eprintf
+        "--kin, --batch-size, --epochs and --threads expect positive \
+         integers; --classes at least 2\n";
+      exit 1
+    end;
+    let mode = if sequential then Gnn.Loader.Sequential else Gnn.Loader.Pipelined in
+    let obs = obs_of_flags ~trace_file ~metrics_file in
+    let cost_model =
+      match models_file with
+      | Some file -> Cost_model.load file
+      | None -> Cost_model.analytic Granii_hw.Hw_profile.cpu
+    in
+    let low, compiled, _ = compile_model ~obs model ~binned:false in
+    let n = G.Graph.n_nodes graph in
+    let rng = Granii_tensor.Prng.create (seed + 13) in
+    let labels =
+      Array.init n (fun _ -> Granii_tensor.Prng.int rng classes)
+    in
+    let features =
+      Granii_tensor.Dense.init n k_in (fun i j ->
+          Granii_tensor.Prng.normal rng
+          +. if j = labels.(i) mod k_in then 1.5 else 0.)
+    in
+    let env =
+      { Dim.n; nnz = G.Graph.n_edges graph + n; k_in; k_out = classes }
+    in
+    let params = Gnn.Layer.init_params ~seed:(seed + 4) ~env low in
+    let engine =
+      Engine.create_exn ~obs { Engine.default_config with threads }
+    in
+    Printf.printf
+      "train: %s on %s (n=%d nnz=%d), %d -> %d, fanout=%s batch=%d \
+       epochs=%d, %s, %d thread%s\n%!"
+      model.Mp.Mp_ast.name graph.G.Graph.name n (G.Graph.n_edges graph) k_in
+      classes
+      (String.concat "," (List.map string_of_int fanouts))
+      batch_size epochs
+      (Gnn.Loader.mode_to_string mode)
+      threads
+      (if threads = 1 then "" else "s");
+    let h =
+      Gnn.Trainer.train_minibatch ~seed ~engine ~mode ~classes ~fanouts
+        ~epochs ~batch_size
+        ~optimizer:(Gnn.Optimizer.adam ~lr ())
+        ~cost_model ~compiled ~graph ~features ~labels ~params ()
+    in
+    Engine.shutdown engine;
+    Array.iteri
+      (fun e loss -> Printf.printf "epoch %d  loss %.4f\n" e loss)
+      h.Gnn.Trainer.epoch_losses;
+    let pc = h.Gnn.Trainer.cache_stats in
+    let wall = h.Gnn.Trainer.wall_time in
+    Printf.printf
+      "%d batches in %.3f s (%.1f ms/epoch)\n\
+       stages      sample %.1f ms, featurize %.1f ms, select %.1f ms, exec \
+       %.1f ms\n\
+       pipeline    stall %.1f ms (%.1f%% of wall)\n\
+       plan cache  %d hits / %d misses / %d evictions, selection %.2f%% of \
+       wall\n"
+      h.Gnn.Trainer.n_batches wall
+      (1000. *. wall /. float_of_int epochs)
+      (1000. *. h.Gnn.Trainer.sample_time)
+      (1000. *. h.Gnn.Trainer.featurize_time)
+      (1000. *. h.Gnn.Trainer.selection_time)
+      (1000. *. h.Gnn.Trainer.exec_time)
+      (1000. *. h.Gnn.Trainer.stall_time)
+      (100. *. h.Gnn.Trainer.stall_time /. wall)
+      pc.Plan_cache.hits pc.Plan_cache.misses pc.Plan_cache.evictions
+      (100. *. h.Gnn.Trainer.selection_time /. wall);
+    export_telemetry obs ~trace_file ~metrics_file
+  in
+  Cmd.v
+    (Cmd.info "train"
+       ~doc:
+         "Mini-batch GNN training: layered neighbor sampling through the \
+          plan cache, optionally pipelined on a dedicated loader domain")
+    Term.(const run $ model_pos $ graph $ k_in $ classes $ sample $ batch_size
+          $ epochs $ pipeline $ sequential $ lr $ threads $ seed $ models_file
+          $ trace_file_arg $ metrics_file_arg)
 
 (* granii serve-sim: closed-loop load against the multi-tenant serving
    runtime (lib/serve). Each simulated client keeps one request outstanding;
@@ -807,7 +974,7 @@ let main =
   Cmd.group
     (Cmd.info "granii" ~version:"1.0.0" ~doc)
     [ models_cmd; datasets_cmd; enumerate_cmd; codegen_cmd; select_cmd;
-      stats_cmd; baseline_cmd; train_cmd; serve_sim_cmd ]
+      stats_cmd; baseline_cmd; train_cmd; train_costmodel_cmd; serve_sim_cmd ]
 
 let () =
   (* -v / GRANII_VERBOSE=1 turns on the library's decision log *)

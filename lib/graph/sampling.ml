@@ -50,3 +50,154 @@ let induced_subgraph (g : Graph.t) nodes =
 let random_nodes ?(seed = 0) (g : Graph.t) k =
   let rng = Prng.create (seed + 808) in
   Prng.sample_without_replacement rng k (Graph.n_nodes g)
+
+(* Restore the sorted-column CSR invariant per row: a compact renumbering
+   (seeds first) is not monotone in the original ids, so the scattered
+   columns arrive unsorted. Rows are small; a per-row sort is cheap. *)
+let sort_rows ~row_ptr col_idx =
+  Array.iteri
+    (fun r lo ->
+      if r < Array.length row_ptr - 1 then begin
+        let len = row_ptr.(r + 1) - lo in
+        if len > 1 then begin
+          let sub = Array.sub col_idx lo len in
+          Array.sort compare sub;
+          Array.blit sub 0 col_idx lo len
+        end
+      end)
+    row_ptr
+
+let induced_compact (g : Graph.t) nodes =
+  let n = Graph.n_nodes g in
+  let k = Array.length nodes in
+  let newid = Array.make n (-1) in
+  Array.iteri
+    (fun ni oi ->
+      if oi < 0 || oi >= n then
+        invalid_arg "Sampling.induced_compact: node id out of range";
+      if newid.(oi) >= 0 then
+        invalid_arg "Sampling.induced_compact: duplicate node id";
+      newid.(oi) <- ni)
+    nodes;
+  let adj = g.Graph.adj in
+  (* one counting pass over the original adjacency: entries with both
+     endpoints kept scatter to their new source row, everything else to the
+     trash bucket [k] *)
+  let bucket i p =
+    let bi = newid.(i) in
+    if bi < 0 || newid.(adj.Csr.col_idx.(p)) < 0 then k else bi
+  in
+  let ptr, order, _ = Csr.counting_scatter ~n_buckets:(k + 1) ~bucket adj in
+  let m = ptr.(k) in
+  let row_ptr = Array.sub ptr 0 (k + 1) in
+  let col_idx = Array.make m 0 in
+  for q = 0 to m - 1 do
+    col_idx.(q) <- newid.(adj.Csr.col_idx.(order.(q)))
+  done;
+  sort_rows ~row_ptr col_idx;
+  Graph.make
+    ~name:(g.Graph.name ^ "_induced")
+    (Csr.make ~n_rows:k ~n_cols:k ~row_ptr ~col_idx ~values:None)
+
+type layered = {
+  subgraph : Graph.t;
+  nodes : int array;
+  n_seeds : int;
+}
+
+let layered_fanout ?(seed = 0) ~fanouts ~seeds (g : Graph.t) =
+  if fanouts = [] then
+    invalid_arg "Sampling.layered_fanout: fanouts must be non-empty";
+  List.iter
+    (fun f ->
+      if f <= 0 then
+        invalid_arg "Sampling.layered_fanout: fanouts must be positive")
+    fanouts;
+  let n = Graph.n_nodes g in
+  let n_seeds = Array.length seeds in
+  if n_seeds = 0 then
+    invalid_arg "Sampling.layered_fanout: seeds must be non-empty";
+  let newid = Array.make n (-1) in
+  let rev_order = ref [] in
+  let count = ref 0 in
+  let visit oi =
+    if newid.(oi) >= 0 then newid.(oi)
+    else begin
+      let ni = !count in
+      newid.(oi) <- ni;
+      incr count;
+      rev_order := oi :: !rev_order;
+      ni
+    end
+  in
+  Array.iter
+    (fun oi ->
+      if oi < 0 || oi >= n then
+        invalid_arg "Sampling.layered_fanout: seed node out of range";
+      if newid.(oi) >= 0 then
+        invalid_arg "Sampling.layered_fanout: duplicate seed node";
+      ignore (visit oi))
+    seeds;
+  let adj = g.Graph.adj in
+  let rev_edges = ref [] in
+  let n_edges = ref 0 in
+  let frontier = ref (Array.to_list seeds) in
+  List.iteri
+    (fun layer fanout ->
+      let next = ref [] in
+      List.iter
+        (fun u ->
+          let nu = newid.(u) in
+          let lo = adj.Csr.row_ptr.(u) in
+          let deg = adj.Csr.row_ptr.(u + 1) - lo in
+          let pick p =
+            let v = adj.Csr.col_idx.(p) in
+            let fresh = newid.(v) < 0 in
+            let nv = visit v in
+            if fresh then next := v :: !next;
+            rev_edges := (nu, nv) :: !rev_edges;
+            incr n_edges
+          in
+          if deg <= fanout then
+            for p = lo to lo + deg - 1 do
+              pick p
+            done
+          else begin
+            (* one generator per (seed, layer, node): the draw is a pure
+               function of those three, independent of frontier iteration
+               order and of any thread count *)
+            let rng =
+              Prng.create
+                (seed
+                lxor (((layer + 1) * 0x9e3779b1) + (u * 0x85ebca6b) + 0x6d))
+            in
+            let picks = Prng.sample_without_replacement rng fanout deg in
+            Array.sort compare picks;
+            Array.iter (fun off -> pick (lo + off)) picks
+          end)
+        !frontier;
+      frontier := List.rev !next)
+    fanouts;
+  (* each source samples exactly once (at first visit), and one sampling
+     draws distinct positions, so the edge list has no duplicates *)
+  let k = !count in
+  let m = !n_edges in
+  let row_ptr = Array.make (k + 1) 0 in
+  List.iter (fun (s, _) -> row_ptr.(s + 1) <- row_ptr.(s + 1) + 1) !rev_edges;
+  for i = 0 to k - 1 do
+    row_ptr.(i + 1) <- row_ptr.(i + 1) + row_ptr.(i)
+  done;
+  let col_idx = Array.make m 0 in
+  let cursor = Array.copy row_ptr in
+  List.iter
+    (fun (s, d) ->
+      col_idx.(cursor.(s)) <- d;
+      cursor.(s) <- cursor.(s) + 1)
+    (List.rev !rev_edges);
+  sort_rows ~row_ptr col_idx;
+  let subgraph =
+    Graph.make
+      ~name:(Printf.sprintf "%s_layered_seed%d" g.Graph.name seed)
+      (Csr.make ~n_rows:k ~n_cols:k ~row_ptr ~col_idx ~values:None)
+  in
+  { subgraph; nodes = Array.of_list (List.rev !rev_order); n_seeds }

@@ -1,86 +1,4 @@
-module Obs = Granii_obs.Obs
-
-type key = {
-  graph_fp : string;
-  model : string;
-  k_in : int;
-  k_out : int;
-  hw : string;
-  threads : int;
-  layout : string;
-}
-
-type stats = { hits : int; misses : int; evictions : int }
-
-type entry = {
-  choice : Granii_core.Selector.localized_choice;
-  mutable last_use : int;
-}
-
-type t = {
-  capacity : int;
-  tbl : (key, entry) Hashtbl.t;
-  obs : Obs.t;
-  mutable tick : int;
-  mutable hits : int;
-  mutable misses : int;
-  mutable evictions : int;
-}
-
-let create ?(obs = Obs.disabled) ~capacity () =
-  if capacity < 0 then
-    invalid_arg
-      (Printf.sprintf "Plan_cache.create: capacity must be >= 0 (got %d)"
-         capacity);
-  { capacity;
-    tbl = Hashtbl.create (max 16 capacity);
-    obs;
-    tick = 0;
-    hits = 0;
-    misses = 0;
-    evictions = 0 }
-
-let capacity t = t.capacity
-
-let length t = Hashtbl.length t.tbl
-
-let find t key =
-  t.tick <- t.tick + 1;
-  match Hashtbl.find_opt t.tbl key with
-  | Some e ->
-      e.last_use <- t.tick;
-      t.hits <- t.hits + 1;
-      Obs.count t.obs "serve.plan_cache.hits" 1;
-      Some e.choice
-  | None ->
-      t.misses <- t.misses + 1;
-      Obs.count t.obs "serve.plan_cache.misses" 1;
-      None
-
-let peek t key =
-  Option.map (fun e -> e.choice) (Hashtbl.find_opt t.tbl key)
-
-let evict_lru t =
-  let victim = ref None in
-  Hashtbl.iter
-    (fun k e ->
-      match !victim with
-      | Some (_, age) when age <= e.last_use -> ()
-      | _ -> victim := Some (k, e.last_use))
-    t.tbl;
-  match !victim with
-  | None -> ()
-  | Some (k, _) ->
-      Hashtbl.remove t.tbl k;
-      t.evictions <- t.evictions + 1;
-      Obs.count t.obs "serve.plan_cache.evictions" 1
-
-let add t key choice =
-  if t.capacity > 0 then begin
-    t.tick <- t.tick + 1;
-    if (not (Hashtbl.mem t.tbl key)) && Hashtbl.length t.tbl >= t.capacity
-    then evict_lru t;
-    Hashtbl.replace t.tbl key { choice; last_use = t.tick }
-  end
-
-let stats t = { hits = t.hits; misses = t.misses; evictions = t.evictions }
+(* The plan cache moved to lib/core (Granii_core.Plan_cache) so the
+   mini-batch trainer and the serving runtime share one keying policy;
+   this re-export keeps the Granii_serve.Plan_cache path working. *)
+include Granii_core.Plan_cache

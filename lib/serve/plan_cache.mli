@@ -1,55 +1,7 @@
-(** The serving plan cache: selection runs once per distinct input shape.
+(** Re-export of {!Granii_core.Plan_cache} (the cache moved to [lib/core]
+    so the serving runtime and {!Granii_gnn.Trainer.train_minibatch} share
+    one keying policy — see that module for semantics). *)
 
-    GRANII's online stage ({!Granii_core.Selector.select_localized}) is the
-    per-input overhead the paper reports; at serving scale it must be
-    amortized across requests, not repeated per call. The cache maps a
-    {!key} — everything selection's answer depends on — to the
-    {!Granii_core.Selector.localized_choice} it produced, so a stream of
-    requests against the same (graph, model, K_in, K_out, hardware) pays
-    selection exactly once.
-
-    Eviction is LRU over a fixed capacity; [capacity = 0] disables the
-    cache entirely ({!find} always misses, {!add} is a no-op), which is the
-    ablation arm of the serving bench. Hit/miss/eviction counts go to the
-    optional metrics sink as [serve.plan_cache.hits] / [.misses] /
-    [.evictions].
-
-    Not domain-safe: the serving runtime serializes access under its
-    scheduler lock. *)
-
-type key = {
-  graph_fp : string;  (** {!Granii_core.Engine.graph_fingerprint} *)
-  model : string;
-  k_in : int;
-  k_out : int;
-  hw : string;        (** {!Granii_hw.Hw_profile.t} name *)
-  threads : int;      (** selection is thread-count-aware *)
-  layout : string;
-      (** {!Granii_core.Locality.config_to_string} of the engine's locality
-          axis — two engine configs that localize differently (ordering or
-          sparse format) rank candidates differently, so they must never
-          share a plan *)
-}
-
-type stats = { hits : int; misses : int; evictions : int }
-
-type t
-
-val create : ?obs:Granii_obs.Obs.t -> capacity:int -> unit -> t
-(** Raises [Invalid_argument] when [capacity < 0]. *)
-
-val capacity : t -> int
-
-val length : t -> int
-
-val find : t -> key -> Granii_core.Selector.localized_choice option
-(** Counting lookup: every call is a hit or a miss. *)
-
-val peek : t -> key -> Granii_core.Selector.localized_choice option
-(** Non-counting lookup (diagnostics and oracle paths). *)
-
-val add : t -> key -> Granii_core.Selector.localized_choice -> unit
-(** Insert, evicting the least-recently-used entry when full. Replacing an
-    existing key is not an eviction. No-op at capacity 0. *)
-
-val stats : t -> stats
+include module type of struct
+  include Granii_core.Plan_cache
+end

@@ -258,13 +258,9 @@ let feats_of (ge : graph_entry) =
    differently never share a plan. *)
 let select_plan t (ge : graph_entry) ~model ~k_in ~k_out =
   let key =
-    { Plan_cache.graph_fp = ge.fp;
-      model = String.lowercase_ascii model;
-      k_in;
-      k_out;
-      hw = t.cfg.profile.Granii_hw.Hw_profile.name;
-      threads = t.cfg.threads;
-      layout = Locality.config_to_string t.cfg.locality }
+    Plan_cache.key_of ~graph_fp:ge.fp ~model ~k_in ~k_out
+      ~hw:t.cfg.profile.Granii_hw.Hw_profile.name ~threads:t.cfg.threads
+      ~locality:t.cfg.locality
   in
   let lc =
     match Plan_cache.find t.pc key with

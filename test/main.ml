@@ -20,4 +20,5 @@ let () =
       ("locality", Test_locality.suite);
       ("formats", Test_formats.suite);
       ("serve", Test_serve.suite);
+      ("minibatch", Test_minibatch.suite);
       ("integration", Test_integration.suite) ]
