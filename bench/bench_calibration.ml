@@ -1,0 +1,191 @@
+(* Calibration: selection-quality regret before/after closing the
+   Cost_monitor -> calibration -> A/B-guard loop (DESIGN.md §15) on a
+   deliberately mis-anchored hardware profile.
+
+   The base oracle prices the host with roofline constants wrenched out of
+   place (sparse compute 20x too optimistic, random gather 30x too
+   optimistic, dense compute 20x too pessimistic), so it misranks
+   sparse-heavy vs dense-heavy compositions. Feeding the oracle the
+   (raw predicted, true) pairs an instrumented run would produce and
+   running one calibration pass must (a) be accepted by the A/B guard and
+   (b) shrink the selection regret — chosen plan's true cost over the best
+   candidate's true cost. A control arm feeds self-consistent pairs
+   (measured == predicted): there is nothing to win, and the guard must
+   hold the current model. *)
+
+open Bench_common
+open Granii_core
+module Hw = Granii_hw
+module Mp = Granii_mp
+
+let mis_profile =
+  let cpu = Hw.Hw_profile.cpu in
+  { cpu with
+    Hw.Hw_profile.name = "cpu-misanchored";
+    sparse_gflops = cpu.Hw.Hw_profile.sparse_gflops *. 20.;
+    random_gbps = cpu.Hw.Hw_profile.random_gbps *. 30.;
+    dense_gflops = cpu.Hw.Hw_profile.dense_gflops /. 20. }
+
+(* The noise-free truth the regret is scored against. *)
+let truth = Cost_oracle.analytic Hw.Hw_profile.cpu
+
+(* A pristine (never-corrected) reader of the mis-anchored model: its
+   predictions are the raw half of every observed pair. *)
+let raw_mis = Cost_oracle.analytic mis_profile
+
+let iterations = 100
+
+let true_cost ~feats ~env plan =
+  Cost_oracle.predict_plan truth feats ~env ~iterations plan
+
+let regret ~oracle ~feats ~env comp =
+  let choice = Selector.select ~oracle ~feats ~env ~iterations comp in
+  let chosen = true_cost ~feats ~env choice.Selector.candidate.Codegen.plan in
+  let best =
+    List.fold_left
+      (fun acc (c : Codegen.ccand) ->
+        Float.min acc (true_cost ~feats ~env c.Codegen.plan))
+      infinity comp.Codegen.candidates
+  in
+  chosen /. best
+
+(* One (raw predicted, true) pair per plan step, over every candidate —
+   the per-kernel stream a telemetered engine's cost monitor records. The
+   mis-anchoring is a cross-primitive scale error (sparse vs dense), so the
+   per-primitive corrections are exactly the right knob. *)
+let feed oracle ~feats ~env comp =
+  List.iter
+    (fun (c : Codegen.ccand) ->
+      List.iter
+        (fun (s : Plan.step) ->
+          let p = Cost_oracle.predict raw_mis feats ~env s.Plan.prim in
+          let m = Cost_oracle.predict truth feats ~env s.Plan.prim in
+          if p > 0. && m > 0. then
+            Cost_oracle.observe oracle
+              ~prim:(Primitive.name s.Plan.prim)
+              ~predicted:p ~measured:m)
+        c.Codegen.plan.Plan.steps)
+    comp.Codegen.candidates
+
+let run () =
+  section
+    "Calibration: selection regret on a mis-anchored profile, before/after \
+     one accepted pass";
+  let models = [ Mp.Mp_models.gcn; Mp.Mp_models.gat; Mp.Mp_models.gin ] in
+  let pairs = [ (8, 8); (32, 32); (256, 256); (512, 64); (64, 512) ] in
+  let settings =
+    List.concat_map
+      (fun (info, graph) ->
+        List.concat_map
+          (fun m ->
+            List.map (fun (k_in, k_out) -> (info, graph, m, k_in, k_out)) pairs)
+          models)
+      (datasets ())
+  in
+  let oracle =
+    Cost_oracle.of_model ~calibration:Cost_oracle.Affine ~fit_every:1_000_000
+      ~min_pairs:4
+      (Cost_model.analytic mis_profile)
+  in
+  let before =
+    List.map
+      (fun (_, graph, m, k_in, k_out) ->
+        let _, comp, _ = compiled m ~binned:false in
+        let env = env_of graph ~k_in ~k_out in
+        let r = regret ~oracle ~feats:(feats graph) ~env comp in
+        feed oracle ~feats:(feats graph) ~env comp;
+        r)
+      settings
+  in
+  let outcome =
+    match Cost_oracle.calibrate oracle with
+    | Some o -> o
+    | None -> failwith "calibration pass found no primitive to fit"
+  in
+  Printf.printf
+    "pass: fitted %d primitive(s), holdout %d pairs, inversions %d -> %d, %s \
+     (oracle now %s)\n"
+    (List.length outcome.Cost_oracle.fitted_prims)
+    outcome.Cost_oracle.holdout_pairs outcome.Cost_oracle.current_inversions
+    outcome.Cost_oracle.candidate_inversions
+    (if outcome.Cost_oracle.accepted then "ACCEPTED" else "REJECTED")
+    (Cost_oracle.name oracle);
+  hr ();
+  Printf.printf "%-6s %-5s %-12s | %14s %14s\n" "G" "model" "(kin,kout)"
+    "regret before" "regret after";
+  hr ();
+  let after =
+    List.map2
+      (fun (info, graph, m, k_in, k_out) r_before ->
+        let _, comp, _ = compiled m ~binned:false in
+        let env = env_of graph ~k_in ~k_out in
+        let r_after = regret ~oracle ~feats:(feats graph) ~env comp in
+        Printf.printf "%-6s %-5s (%4d,%4d)  | %14.3f %14.3f\n"
+          info.Granii_graph.Datasets.key m.Mp.Mp_ast.name k_in k_out r_before
+          r_after;
+        json_add ~bench:"calibration"
+          [ ("kind", S "regret");
+            ("dataset", S info.Granii_graph.Datasets.key);
+            ("model", S m.Mp.Mp_ast.name);
+            ("k_in", I k_in);
+            ("k_out", I k_out);
+            ("regret_before", F r_before);
+            ("regret_after", F r_after) ];
+        r_after)
+      settings before
+  in
+  hr ();
+  Printf.printf "geomean regret: %.3f -> %.3f  (1.0 = oracle-optimal)\n"
+    (geomean before) (geomean after);
+  json_add ~bench:"calibration"
+    [ ("kind", S "pass");
+      ("accepted", B outcome.Cost_oracle.accepted);
+      ("fitted_prims", I (List.length outcome.Cost_oracle.fitted_prims));
+      ("holdout_pairs", I outcome.Cost_oracle.holdout_pairs);
+      ("inversions_before", I outcome.Cost_oracle.current_inversions);
+      ("inversions_after", I outcome.Cost_oracle.candidate_inversions);
+      ("version", I (Cost_oracle.version oracle));
+      ("geomean_regret_before", F (geomean before));
+      ("geomean_regret_after", F (geomean after)) ];
+  (* control arm: a self-consistent feed gives the candidate nothing to
+     win, so the A/B guard must hold the current model *)
+  let control =
+    Cost_oracle.of_model ~calibration:Cost_oracle.Affine ~fit_every:1_000_000
+      ~min_pairs:4
+      (Cost_model.analytic mis_profile)
+  in
+  List.iter
+    (fun (_, graph, m, k_in, k_out) ->
+      let _, comp, _ = compiled m ~binned:false in
+      let env = env_of graph ~k_in ~k_out in
+      List.iter
+        (fun (c : Codegen.ccand) ->
+          List.iter
+            (fun (s : Plan.step) ->
+              let p =
+                Cost_oracle.predict raw_mis (feats graph) ~env s.Plan.prim
+              in
+              if p > 0. then
+                Cost_oracle.observe control
+                  ~prim:(Primitive.name s.Plan.prim)
+                  ~predicted:p ~measured:p)
+            c.Codegen.plan.Plan.steps)
+        comp.Codegen.candidates)
+    settings;
+  let guard_held, guard_version =
+    match Cost_oracle.calibrate control with
+    | Some o -> (not o.Cost_oracle.accepted, o.Cost_oracle.version_after)
+    | None -> (false, -1)
+  in
+  Printf.printf "guard control (self-consistent feed): %s\n"
+    (if guard_held then "held (candidate rejected)"
+     else "FAILED - candidate accepted with nothing to win");
+  json_add ~bench:"calibration"
+    [ ("kind", S "guard");
+      ("held", B guard_held);
+      ("version", I guard_version) ];
+  hr ();
+  print_endline
+    "Expected shape: the pass is accepted, pooled inversions drop, the\n\
+     geomean regret falls toward 1.0, and the control arm's candidate is\n\
+     rejected."

@@ -67,6 +67,19 @@ let cost_model profile =
         Hashtbl.add cost_model_cache key cm;
         cm
 
+(* Oracle wrappers over the cached base models: calibration off, so bench
+   predictions are exactly the base model's. *)
+let oracle_cache : (string, Cost_oracle.t) Hashtbl.t = Hashtbl.create 4
+
+let oracle profile =
+  let key = profile.Hw.Hw_profile.name in
+  match Hashtbl.find_opt oracle_cache key with
+  | Some o -> o
+  | None ->
+      let o = Cost_oracle.of_model (cost_model profile) in
+      Hashtbl.add oracle_cache key o;
+      o
+
 let compiled_cache : (string, Mp.Lower.lowered * Codegen.t * Granii.offline_stats) Hashtbl.t =
   Hashtbl.create 16
 
@@ -127,9 +140,9 @@ let granii_time ~mode ~profile ~sys ~(model : Mp.Mp_ast.model) ~graph ~k_in ~k_o
     ?(iterations = 100) () =
   let _, comp, _ = compiled model ~binned:sys.Sys_.System.binned_degrees in
   let env = env_of graph ~k_in ~k_out in
-  let cm = cost_model profile in
   let choice =
-    Selector.select ~cost_model:cm ~feats:(feats graph) ~env ~iterations comp
+    Selector.select ~oracle:(oracle profile) ~feats:(feats graph) ~env
+      ~iterations comp
   in
   let plan = choice.Selector.candidate.Codegen.plan in
   plan_time ~mode ~profile ~graph ~env ~iterations plan

@@ -13,13 +13,13 @@ let profile = Granii_hw.Hw_profile.h100
 let multi_head_section () =
   print_endline "\nMulti-head GAT (heads concatenated, per-head selection):";
   let graph = G.Datasets.load (G.Datasets.find "CA") in
-  let cm = cost_model profile in
+  let cm = oracle profile in
   let low, comp, _ = compiled Mp.Mp_models.gat ~binned:false in
   Printf.printf "%-6s %14s %16s\n" "heads" "time (ms)" "vs single head";
   List.iter
     (fun heads ->
       let mh =
-        Gnn.Multi_head.create ~cost_model:cm ~graph ~compiled:comp ~lowered:low
+        Gnn.Multi_head.create ~oracle:cm ~graph ~compiled:comp ~lowered:low
           ~heads ~k_in:64 ~k_out_per_head:32 ()
       in
       let env = env_of graph ~k_in:64 ~k_out:32 in
@@ -27,7 +27,7 @@ let multi_head_section () =
       Printf.printf "%-6d %11.3f ms %15.2fx\n" heads (ms t)
         (t
         /. Gnn.Multi_head.inference_time ~profile ~graph ~env
-             (Gnn.Multi_head.create ~cost_model:cm ~graph ~compiled:comp
+             (Gnn.Multi_head.create ~oracle:cm ~graph ~compiled:comp
                 ~lowered:low ~heads:1 ~k_in:64 ~k_out_per_head:32 ())))
     [ 1; 2; 4; 8 ]
 
@@ -36,12 +36,12 @@ let stack_section () =
     "\nReal executed 2-layer stacks (per-layer decisions, Sec. VI-F), host CPU:";
   let graph = G.Generators.rmat ~seed:77 ~scale:9 ~edge_factor:12 () in
   let n = G.Graph.n_nodes graph in
-  let cm = cost_model profile in
+  let cm = oracle profile in
   List.iter
     (fun (model : Mp.Mp_ast.model) ->
       let low, comp, _ = compiled model ~binned:false in
       let stack =
-        Gnn.Stack.build ~cost_model:cm ~graph ~compiled:comp ~lowered:low
+        Gnn.Stack.build ~oracle:cm ~graph ~compiled:comp ~lowered:low
           ~dims:[ 32; 16; 4 ] ()
       in
       let plans = Gnn.Stack.plans stack in

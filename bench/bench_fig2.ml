@@ -25,7 +25,7 @@ let run () =
                 (fun (s : Plan.step) ->
                   let t =
                     List.fold_left
-                      (fun acc k -> acc +. Granii_hw.Kernel_model.time profile k)
+                      (fun acc k -> acc +. Cost_oracle.kernel_time profile k)
                       0.
                       (Primitive.to_kernels env s.Plan.prim)
                   in

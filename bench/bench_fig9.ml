@@ -47,9 +47,9 @@ let run_model (model : Mp.Mp_ast.model) ~k_in ~k_out =
           comp.Codegen.candidates
       in
       (* does the per-sample winner match the full-graph GRANII decision? *)
-      let cm = cost_model profile in
+      let cm = oracle profile in
       let full_choice =
-        Selector.select ~cost_model:cm ~feats:(feats full)
+        Selector.select ~oracle:cm ~feats:(feats full)
           ~env:(env_of full ~k_in ~k_out) ~iterations:100 comp
       in
       let full_idx =

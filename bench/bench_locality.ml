@@ -138,9 +138,9 @@ let kernel_section (graph : G.Graph.t) ~k =
 let executor_section (graph : G.Graph.t) ~k ~iterations =
   let model = Granii_mp.Mp_models.find "gcn" in
   let low, comp, _ = compiled model ~binned:false in
-  let cm = Cost_model.analytic Granii_hw.Hw_profile.cpu in
+  let cm = Cost_oracle.analytic Granii_hw.Hw_profile.cpu in
   let localized =
-    Granii.optimize_localized ~cost_model:cm ~graph ~k_in:k ~k_out:k
+    Granii.optimize_localized ~oracle:cm ~graph ~k_in:k ~k_out:k
       ~iterations comp
   in
   let plan =

@@ -38,7 +38,7 @@ let run () =
   in
   let model = Mp.Mp_models.gcn in
   let low, compiled, _ = Bench_common.compiled model ~binned:false in
-  let cm = cost_model Hw.Hw_profile.cpu in
+  let cm = oracle Hw.Hw_profile.cpu in
   Printf.printf
     "%s on %s (n=%d nnz=%d), fanouts=%s batch=%d epochs=%d\n\n"
     model.Mp.Mp_ast.name graph.G.Graph.name n (G.Graph.n_edges graph)
@@ -48,7 +48,7 @@ let run () =
   (* full-graph baseline: one selection, every epoch touches all n nodes *)
   let env = env_of graph ~k_in ~k_out:classes in
   let lc =
-    Selector.select_localized ~cost_model:cm
+    Selector.select_localized ~oracle:cm
       ~feats:(Featurizer.extract graph) ~env ~iterations:1 compiled
   in
   let plan = lc.Selector.lchoice.Selector.candidate.Codegen.plan in
@@ -66,7 +66,7 @@ let run () =
 
   let arm mode =
     Gnn.Trainer.train_minibatch ~seed:1 ~mode ~fanouts ~epochs ~batch_size
-      ~optimizer:(optimizer ()) ~cost_model:cm ~compiled ~graph ~features
+      ~optimizer:(optimizer ()) ~oracle:cm ~compiled ~graph ~features
       ~labels ~params ()
   in
   let seq = arm Gnn.Loader.Sequential in

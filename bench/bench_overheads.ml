@@ -25,17 +25,17 @@ let run () =
         n_pruned = 0 }
   in
   let profile = Granii_hw.Hw_profile.a100 in
-  let cm = cost_model profile in
+  let cm = oracle profile in
   List.iter
     (fun (info, graph) ->
       (* measure real host overheads *)
       let f, t_feat = Granii_hw.Timer.measure (fun () -> Featurizer.extract graph) in
       let k_in = 256 and k_out = 256 in
       let env = env_of graph ~k_in ~k_out in
-      let choice = Selector.select ~cost_model:cm ~feats:f ~env ~iterations:100 comp in
+      let choice = Selector.select ~oracle:cm ~feats:f ~env ~iterations:100 comp in
       let t_sel = choice.Selector.selection_time in
       let choice_full =
-        Selector.select ~cost_model:cm ~feats:f ~env ~iterations:100 all_candidates
+        Selector.select ~oracle:cm ~feats:f ~env ~iterations:100 all_candidates
       in
       let iter_t =
         Granii_gnn.Trainer.inference_time ~profile ~graph ~env ~iterations:1

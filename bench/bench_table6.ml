@@ -92,7 +92,7 @@ let run () =
              evals)
       in
       let optimal = per_setting_speedup (fun _ times -> argmin_assoc times) in
-      let granii_with cm_of =
+      let granii_with oracle_of =
         per_setting_speedup (fun s _ ->
             let _, comp, _ =
               compiled model ~binned:s.s_sys.Sys_.System.binned_degrees
@@ -100,14 +100,14 @@ let run () =
             let k_in, k_out = s.s_pair in
             let env = env_of s.s_graph ~k_in ~k_out in
             let choice =
-              Selector.select ~cost_model:(cm_of s) ~feats:(feats s.s_graph) ~env
+              Selector.select ~oracle:(oracle_of s) ~feats:(feats s.s_graph) ~env
                 ~iterations:100 comp
             in
             Assoc_tree.tree_key choice.Selector.candidate.Codegen.tree)
       in
-      let granii = granii_with (fun s -> cost_model s.s_profile) in
-      let analytic = granii_with (fun s -> Cost_model.analytic s.s_profile) in
-      let flops = granii_with (fun _ -> Cost_model.flops_only) in
+      let granii = granii_with (fun s -> oracle s.s_profile) in
+      let analytic = granii_with (fun s -> Cost_oracle.analytic s.s_profile) in
+      let flops = granii_with (fun _ -> Cost_oracle.flops_only ()) in
       let oracle factor =
         (* majority winner per factor value *)
         let winners = Hashtbl.create 8 in

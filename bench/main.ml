@@ -26,7 +26,8 @@ let benches =
     ("formats", "Formats: BSR tiles and CBM dedup vs CSR", Bench_formats.run);
     ("ext", "Extensions: multi-head GAT, executed stacks, deep hops", Bench_ext.run);
     ("serve", "Serving: plan-cache amortization + request batching", Bench_serve.run);
-    ("minibatch", "Mini-batch training: pipelined loader vs sequential vs full graph", Bench_minibatch.run) ]
+    ("minibatch", "Mini-batch training: pipelined loader vs sequential vs full graph", Bench_minibatch.run);
+    ("calibration", "Calibration: selection regret on a mis-anchored profile, A/B guard", Bench_calibration.run) ]
 
 let usage () =
   print_endline

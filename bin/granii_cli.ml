@@ -212,6 +212,14 @@ let select_cmd =
              ~doc:"Load cost models saved by $(b,granii train-costmodel) \
                    instead of retraining.")
   in
+  let auto_calibrate =
+    Arg.(value & flag
+         & info [ "auto-calibrate" ]
+             ~doc:
+               "Re-anchor the target profile's machine constants with a \
+                bounded micro-probe of this host (about 200 ms) before \
+                building the cost model.")
+  in
   let execute =
     Arg.(value & opt (some int) None
          & info [ "execute" ] ~docv:"N"
@@ -237,7 +245,8 @@ let select_cmd =
                 $(b,Engine.config_of_string): $(b,threads)=N, \
                 $(b,workspace)=on|off, $(b,cache)=on|off, \
                 $(b,locality)=<strategy>+<format>, \
-                $(b,intermediates)=keep|drop. Omitted keys keep their \
+                $(b,intermediates)=keep|drop, \
+                $(b,calibration)=off|affine|refit. Omitted keys keep their \
                 defaults; a $(b,locality) key forces the layout (otherwise \
                 selection's choice is used). Illegal combinations are \
                 rejected up front with a typed error. $(b,--engine show) \
@@ -259,8 +268,9 @@ let select_cmd =
                 (ELL slab + CSR tail), $(b,bsr) (8x8 block-sparse dense \
                 tiles) or $(b,cbm) (neighbor-dedup delta rows).")
   in
-  let run model graph k_in k_out profile iterations system analytic threads models_file
-      execute workspace engine_spec reorder format_ trace_file metrics_file =
+  let run model graph k_in k_out profile iterations system analytic auto_calibrate
+      threads models_file execute workspace engine_spec reorder format_
+      trace_file metrics_file =
     if threads < 1 then begin
       Printf.eprintf "--threads expects a positive integer\n";
       exit 1
@@ -355,26 +365,44 @@ let select_cmd =
     let low, compiled, _ =
       compile_model ~obs model ~binned:sys.Sys_.System.binned_degrees
     in
-    let cost_model =
-      match models_file with
-      | Some file -> Cost_model.load file
-      | None ->
-          if analytic then Cost_model.analytic profile
-          else begin
-            Printf.printf "training cost models for %s...\n%!"
-              profile.Granii_hw.Hw_profile.name;
-            Cost_model.train ~profile (Profiling.collect ~profile ())
-          end
+    let profile =
+      if not auto_calibrate then profile
+      else begin
+        Printf.printf "micro-probing host to re-anchor %s...\n%!"
+          profile.Granii_hw.Hw_profile.name;
+        let p = Granii_hw.Calibrate.profile ~base:profile () in
+        Printf.printf
+          "  %s: dense %.1f gflops, sparse %.1f gflops, stream %.1f GB/s, \
+           random %.1f GB/s\n"
+          p.Granii_hw.Hw_profile.name p.Granii_hw.Hw_profile.dense_gflops
+          p.Granii_hw.Hw_profile.sparse_gflops
+          p.Granii_hw.Hw_profile.stream_gbps p.Granii_hw.Hw_profile.random_gbps;
+        p
+      end
+    in
+    let oracle =
+      let base =
+        match models_file with
+        | Some file -> Cost_model.load file
+        | None ->
+            if analytic then Cost_model.analytic profile
+            else begin
+              Printf.printf "training cost models for %s...\n%!"
+                profile.Granii_hw.Hw_profile.name;
+              Cost_model.train ~profile (Profiling.collect ~profile ())
+            end
+      in
+      Cost_oracle.of_model ~obs base
     in
     let localized =
-      Granii.optimize_localized ~obs ~cost_model ~graph ~k_in ~k_out ~iterations
+      Granii.optimize_localized ~obs ~oracle ~graph ~k_in ~k_out ~iterations
         ~threads ~configs compiled
     in
     let decision = localized.Granii.ldecision in
     Printf.printf
       "input: %s (n=%d nnz=%d), %d -> %d, cost model %s, %d iterations, %d thread%s\n"
       graph.G.Graph.name (G.Graph.n_nodes graph) (G.Graph.n_edges graph) k_in k_out
-      (Cost_model.name cost_model) iterations threads
+      (Cost_oracle.name oracle) iterations threads
       (if threads = 1 then "" else "s");
     Printf.printf "overhead: %.3f ms (featurize %.3f + select %.3f)\n"
       (1000. *. decision.Granii.overhead)
@@ -388,7 +416,7 @@ let select_cmd =
     print_newline ();
     let env = env_of graph k_in k_out in
     let ranked =
-      Selector.rank ~cost_model ~feats:decision.Granii.feats ~env ~iterations compiled
+      Selector.rank ~oracle ~feats:decision.Granii.feats ~env ~iterations compiled
     in
     List.iteri
       (fun i (c, cost) ->
@@ -464,8 +492,9 @@ let select_cmd =
     (Cmd.info "select"
        ~doc:"Run the online stage: featurize an input and rank the candidates")
     Term.(const run $ model_pos $ graph $ k_in $ k_out $ hw $ iterations $ system
-          $ analytic $ threads $ models_file $ execute $ workspace $ engine_spec
-          $ reorder $ format_ $ trace_file_arg $ metrics_file_arg)
+          $ analytic $ auto_calibrate $ threads $ models_file $ execute
+          $ workspace $ engine_spec $ reorder $ format_ $ trace_file_arg
+          $ metrics_file_arg)
 
 (* granii stats: a fully-telemetered end-to-end run (compile -> featurize ->
    select -> execute N iterations in Measure mode on the host CPU) reported
@@ -486,18 +515,37 @@ let stats_cmd =
   let threads =
     Arg.(value & opt int 1 & info [ "threads"; "t" ] ~doc:"Engine thread count.")
   in
-  let run model graph k_in k_out iterations threads trace_file metrics_file =
+  let calibration =
+    Arg.(value & opt string "affine"
+         & info [ "calibration" ] ~docv:"POLICY"
+             ~doc:
+               "Online-calibration policy of the engine's cost oracle: \
+                $(b,off), $(b,affine) (per-primitive corrections fitted from \
+                the live (predicted, measured) stream) or $(b,refit) (affine \
+                plus incremental GBRT refits). A calibration table (base vs \
+                corrected error and rank inversions per primitive) is \
+                reported after the run.")
+  in
+  let run model graph k_in k_out iterations threads calibration trace_file
+      metrics_file =
     if iterations < 1 || threads < 1 then begin
       Printf.eprintf "--iterations and --threads expect positive integers\n";
       exit 1
     end;
+    let calibration =
+      match Cost_oracle.calibration_of_string calibration with
+      | Some c -> c
+      | None ->
+          Printf.eprintf "--calibration expects off, affine or refit\n";
+          exit 1
+    in
     let obs = Obs.create () in
     let low, compiled, _ = compile_model ~obs model ~binned:false in
-    (* the analytic host-CPU model: the same predictor the cost monitor
+    (* the analytic host-CPU oracle: the same predictor the cost monitor
        scores against the measured wall clock *)
-    let cost_model = Cost_model.analytic Granii_hw.Hw_profile.cpu in
+    let oracle = Cost_oracle.analytic Granii_hw.Hw_profile.cpu in
     let localized =
-      Granii.optimize_localized ~obs ~cost_model ~graph ~k_in ~k_out ~iterations
+      Granii.optimize_localized ~obs ~oracle ~graph ~k_in ~k_out ~iterations
         ~threads compiled
     in
     let decision = localized.Granii.ldecision in
@@ -513,7 +561,9 @@ let stats_cmd =
     let params = Gnn.Layer.init_params ~seed:0 ~env low in
     let h = Dense.random ~seed:1 (G.Graph.n_nodes graph) k_in in
     let bindings = Gnn.Layer.bindings ~graph ~h params in
-    let ecfg = Granii.engine_config ~threads ~telemetry:true localized in
+    let ecfg =
+      Granii.engine_config ~threads ~telemetry:true ~calibration localized
+    in
     let engine =
       match Engine.create ~obs ecfg with
       | Ok e -> e
@@ -585,6 +635,13 @@ let stats_cmd =
     (match obs.Obs.costmon with
     | None -> ()
     | Some cm -> Format.printf "%a@." Obs.Cost_monitor.pp cm);
+    (* the engine's oracle saw every (predicted, measured) pair the run
+       produced; force one calibration pass so the table shows the fitted
+       corrections even on short runs *)
+    let eoracle = Engine.oracle engine in
+    if Cost_oracle.calibration eoracle <> Cost_oracle.Off then
+      ignore (Cost_oracle.calibrate eoracle);
+    Format.printf "%a@." Cost_oracle.pp_report (Cost_oracle.report eoracle);
     export_telemetry obs ~trace_file ~metrics_file
   in
   Cmd.v
@@ -593,7 +650,7 @@ let stats_cmd =
          "Run a fully-telemetered compile/select/execute cycle and report \
           spans, metrics and cost-model accuracy")
     Term.(const run $ model_pos $ graph $ k_in $ k_out $ iterations $ threads
-          $ trace_file_arg $ metrics_file_arg)
+          $ calibration $ trace_file_arg $ metrics_file_arg)
 
 let baseline_cmd =
   let k_in = Arg.(value & opt int 256 & info [ "kin" ] ~doc:"Input embedding size.") in
@@ -755,10 +812,10 @@ let train_cmd =
     end;
     let mode = if sequential then Gnn.Loader.Sequential else Gnn.Loader.Pipelined in
     let obs = obs_of_flags ~trace_file ~metrics_file in
-    let cost_model =
+    let oracle =
       match models_file with
-      | Some file -> Cost_model.load file
-      | None -> Cost_model.analytic Granii_hw.Hw_profile.cpu
+      | Some file -> Cost_oracle.load file
+      | None -> Cost_oracle.analytic Granii_hw.Hw_profile.cpu
     in
     let low, compiled, _ = compile_model ~obs model ~binned:false in
     let n = G.Graph.n_nodes graph in
@@ -792,7 +849,7 @@ let train_cmd =
       Gnn.Trainer.train_minibatch ~seed ~engine ~mode ~classes ~fanouts
         ~epochs ~batch_size
         ~optimizer:(Gnn.Optimizer.adam ~lr ())
-        ~cost_model ~compiled ~graph ~features ~labels ~params ()
+        ~oracle ~compiled ~graph ~features ~labels ~params ()
     in
     Engine.shutdown engine;
     Array.iteri

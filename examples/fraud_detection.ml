@@ -39,9 +39,11 @@ let () =
       low.Mp.Lower.ir
   in
   let profile = Granii_hw.Hw_profile.h100 in
-  let cost_model = Cost_model.train ~profile (Profiling.collect ~profile ()) in
+  let oracle =
+    Cost_oracle.of_model (Cost_model.train ~profile (Profiling.collect ~profile ()))
+  in
   let decision =
-    Granii.optimize ~cost_model ~graph ~k_in:feat_dim ~k_out:classes compiled
+    Granii.optimize ~oracle ~graph ~k_in:feat_dim ~k_out:classes compiled
   in
   let plan = decision.Granii.choice.Selector.candidate.Codegen.plan in
   let gemms =

@@ -28,11 +28,13 @@ let () =
   List.iter
     (fun profile ->
       (* one-time initialization per machine: profile + train (Sec. V) *)
-      let cost_model = Cost_model.train ~profile (Profiling.collect ~profile ()) in
-      let decision = Granii.optimize ~cost_model ~graph ~k_in ~k_out compiled in
+      let oracle =
+    Cost_oracle.of_model (Cost_model.train ~profile (Profiling.collect ~profile ()))
+  in
+      let decision = Granii.optimize ~oracle ~graph ~k_in ~k_out compiled in
       ignore decision;
       let ranked =
-        Selector.rank ~cost_model
+        Selector.rank ~oracle
           ~feats:(Featurizer.extract graph)
           ~env:
             { Dim.n = G.Graph.n_nodes graph;

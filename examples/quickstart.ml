@@ -32,10 +32,12 @@ let () =
   (* 3. Train the per-primitive cost models once per target machine
      (here: a quick profile of the A100 model). *)
   let profile = Granii_hw.Hw_profile.a100 in
-  let cost_model = Cost_model.train ~profile (Profiling.collect ~profile ()) in
+  let oracle =
+    Cost_oracle.of_model (Cost_model.train ~profile (Profiling.collect ~profile ()))
+  in
 
   (* 4. Online: inspect the input, pick the cheapest composition, run it. *)
-  let decision = Granii.optimize ~cost_model ~graph ~k_in ~k_out compiled in
+  let decision = Granii.optimize ~oracle ~graph ~k_in ~k_out compiled in
   Printf.printf "selected %s (predicted %.3f ms for 100 iterations, %s)\n"
     decision.Granii.choice.Selector.candidate.Codegen.plan.Plan.name
     (1000. *. decision.Granii.choice.Selector.predicted_cost)

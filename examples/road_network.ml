@@ -10,9 +10,9 @@ open Granii_core
 module G = Granii_graph
 module Mp = Granii_mp
 
-let describe name compiled cost_model graph ~iterations ~k_in ~k_out =
+let describe name compiled oracle graph ~iterations ~k_in ~k_out =
   let decision =
-    Granii.optimize ~cost_model ~graph ~k_in ~k_out ~iterations compiled
+    Granii.optimize ~oracle ~graph ~k_in ~k_out ~iterations compiled
   in
   let plan = decision.Granii.choice.Selector.candidate.Codegen.plan in
   let prims = Plan.primitives plan in
@@ -26,7 +26,7 @@ let describe name compiled cost_model graph ~iterations ~k_in ~k_out =
   Printf.printf "  %-28s nnz/node=%5.1f %4d iter(s) -> %s\n" name
     (G.Graph.avg_degree graph) iterations style;
   let ranked =
-    Selector.rank ~cost_model ~feats:(Featurizer.extract graph)
+    Selector.rank ~oracle ~feats:(Featurizer.extract graph)
       ~env:
         { Dim.n = G.Graph.n_nodes graph;
           nnz = G.Graph.n_edges graph + G.Graph.n_nodes graph;
@@ -50,15 +50,17 @@ let () =
       low.Mp.Lower.ir
   in
   let profile = Granii_hw.Hw_profile.a100 in
-  let cost_model = Cost_model.train ~profile (Profiling.collect ~profile ()) in
+  let oracle =
+    Cost_oracle.of_model (Cost_model.train ~profile (Profiling.collect ~profile ()))
+  in
   let road = G.Generators.grid2d ~seed:4 ~rows:96 ~cols:96 () in
   let social = G.Generators.rmat ~seed:5 ~scale:12 ~edge_factor:96 () in
   Printf.printf "GCN composition choice per input (A100 profile, 64 -> 64):\n";
-  describe "road network (grid)" compiled cost_model road ~iterations:100 ~k_in:64
+  describe "road network (grid)" compiled oracle road ~iterations:100 ~k_in:64
     ~k_out:64;
-  describe "social network (power law)" compiled cost_model social ~iterations:100
+  describe "social network (power law)" compiled oracle social ~iterations:100
     ~k_in:64 ~k_out:64;
-  describe "social, single inference" compiled cost_model social ~iterations:1
+  describe "social, single inference" compiled oracle social ~iterations:1
     ~k_in:64 ~k_out:64;
   Printf.printf
     "\nSame model, same machine - the input graph and the execution horizon\n\

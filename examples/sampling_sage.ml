@@ -25,10 +25,12 @@ let () =
       low.Mp.Lower.ir
   in
   let profile = Granii_hw.Hw_profile.h100 in
-  let cost_model = Cost_model.train ~profile (Profiling.collect ~profile ()) in
+  let oracle =
+    Cost_oracle.of_model (Cost_model.train ~profile (Profiling.collect ~profile ()))
+  in
 
   (* One decision on the full graph... *)
-  let decision = Granii.optimize ~cost_model ~graph:full ~k_in ~k_out:classes compiled in
+  let decision = Granii.optimize ~oracle ~graph:full ~k_in ~k_out:classes compiled in
   let plan = decision.Granii.choice.Selector.candidate.Codegen.plan in
   Printf.printf "decision on the full graph: %s (overhead %.2f ms, paid once)\n"
     plan.Plan.name
@@ -64,7 +66,7 @@ let () =
   (* Sanity: the full-graph decision is also the best for the samples. *)
   let sampled = G.Sampling.neighborhood ~seed:99 ~fanout:10 full in
   let ranked =
-    Selector.rank ~cost_model ~feats:(Featurizer.extract sampled)
+    Selector.rank ~oracle ~feats:(Featurizer.extract sampled)
       ~env:
         { Dim.n;
           nnz = G.Graph.n_edges sampled + n;

@@ -1,5 +1,3 @@
-module K = Granii_hw.Kernel_model
-
 type t =
   | Learned of {
       profile : Granii_hw.Hw_profile.t;
@@ -25,38 +23,15 @@ let analytic profile = Analytic profile
 
 let flops_only = Flops
 
-let analytic_time ?threads profile ~env prim =
-  List.fold_left
-    (fun acc kernel -> acc +. K.time ?threads profile kernel)
-    0.
-    (Primitive.to_kernels env prim)
+let kind = function
+  | Learned _ -> `Learned
+  | Analytic _ -> `Analytic
+  | Flops -> `Flops
 
-let predict t feats ~env prim =
-  let threads = feats.Featurizer.threads in
+let find_model t prim_name =
   match t with
-  | Learned { profile; table } -> (
-      match Hashtbl.find_opt table (Primitive.name prim) with
-      | Some model ->
-          let input =
-            Featurizer.primitive_input feats ~dims:(Primitive.instantiated_dims env prim)
-          in
-          exp (Granii_ml.Gbrt.predict model input)
-      | None -> analytic_time ~threads profile ~env prim)
-  | Analytic profile -> analytic_time ~threads profile ~env prim
-  | Flops ->
-      List.fold_left
-        (fun acc kernel -> acc +. K.flops kernel)
-        0.
-        (Primitive.to_kernels env prim)
-
-let predict_plan t feats ~env ~iterations (plan : Plan.t) =
-  List.fold_left
-    (fun acc (s : Plan.step) ->
-      let c = predict t feats ~env s.Plan.prim in
-      match s.Plan.phase with
-      | Plan.Setup -> acc +. c
-      | Plan.Per_iteration -> acc +. (float_of_int iterations *. c))
-    0. plan.Plan.steps
+  | Learned { table; _ } -> Hashtbl.find_opt table prim_name
+  | Analytic _ | Flops -> None
 
 let name = function
   | Learned { profile; _ } -> "learned-" ^ profile.Granii_hw.Hw_profile.name

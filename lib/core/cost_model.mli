@@ -1,18 +1,25 @@
-(** Per-primitive cost models (paper, Sec. IV-E).
+(** Per-primitive cost models (paper, Sec. IV-E) — the {e base predictor
+    state} behind {!Cost_oracle}.
 
     The production configuration is [Learned]: one {!Granii_ml.Gbrt}
     regressor per primitive name per target hardware, trained on
     {!Profiling} data, predicting log-runtime from the featurized input.
     Two input-oblivious ablations are provided for the Table VI comparison:
     the raw analytic roofline ([Analytic]) and plain FLOP counting
-    ([Flops]). *)
+    ([Flops]).
+
+    This module only carries the trained state (and its persistence);
+    {e all prediction entry points live on} {!Cost_oracle}, which wraps a
+    base model with the online calibration loop. *)
 
 type t
 
 val train :
   ?gbrt_params:Granii_ml.Gbrt.params -> profile:Granii_hw.Hw_profile.t ->
-  Profiling.datasets -> t
-(** Fits one GBRT per primitive dataset. Primitives without a dataset fall
+  (string * Granii_ml.Ml_dataset.t) list -> t
+(** Fits one GBRT per primitive dataset (the shape [Profiling.datasets]
+    produces — spelled structurally here so the base model sits below the
+    execution stack in the module order). Primitives without a dataset fall
     back to the analytic model of the same profile. *)
 
 val analytic : Granii_hw.Hw_profile.t -> t
@@ -21,15 +28,14 @@ val analytic : Granii_hw.Hw_profile.t -> t
 val flops_only : t
 (** Ablation: cost = FLOPs (a pure operation-count heuristic). *)
 
-val predict :
-  t -> Featurizer.t -> env:Dim.env -> Primitive.t -> float
-(** Predicted runtime (seconds; arbitrary but consistent units for
-    [flops_only]) of one primitive instance. *)
+val kind : t -> [ `Learned | `Analytic | `Flops ]
+(** Which base-predictor family this is — {!Cost_oracle} dispatches its
+    prediction on this. *)
 
-val predict_plan :
-  t -> Featurizer.t -> env:Dim.env -> iterations:int -> Plan.t -> float
-(** Predicted total plan cost: setup steps once, per-iteration steps
-    [iterations] times. *)
+val find_model : t -> string -> Granii_ml.Gbrt.t option
+(** The learned regressor for a primitive name; [None] on the ablations and
+    on primitives that had no training dataset (the oracle then falls back
+    to the analytic roofline of the same profile). *)
 
 val name : t -> string
 

@@ -1,0 +1,636 @@
+module K = Granii_hw.Kernel_model
+module Hw = Granii_hw.Hw_profile
+module Obs = Granii_obs.Obs
+module Gbrt = Granii_ml.Gbrt
+
+(* ---- calibration policy ---- *)
+
+type calibration = Off | Affine | Refit
+
+let calibration_to_string = function
+  | Off -> "off"
+  | Affine -> "affine"
+  | Refit -> "refit"
+
+let calibration_of_string = function
+  | "off" -> Some Off
+  | "affine" -> Some Affine
+  | "refit" -> Some Refit
+  | _ -> None
+
+(* ---- state ---- *)
+
+(* Refit sample: the featurized model input alongside the pair, so a GBRT
+   can be re-fitted without replaying executions. *)
+type sample = { s_input : float array; s_predicted : float; s_measured : float }
+
+(* Newest-first list, truncated back to [sample_cap] whenever it doubles —
+   amortized O(1) insertion without a second ring implementation. *)
+type sample_series = { mutable items : sample list; mutable count : int }
+
+let sample_cap = 512
+let min_refit_samples = 24
+
+type snapshot = {
+  snap_version : int;
+  snap_note : string;
+  snap_corrections : (string * (float * float)) list;
+  snap_overrides : (string * Gbrt.t) list;
+}
+
+type t = {
+  base : Cost_model.t;
+  calibration : calibration;
+  fit_every : int;
+  min_pairs : int;
+  obs : Obs.t;
+  monitor : Obs.Cost_monitor.t;
+  samples : (string, sample_series) Hashtbl.t;
+  corrections : (string, float * float) Hashtbl.t;  (* prim -> (a, b) *)
+  overrides : (string, Gbrt.t) Hashtbl.t;
+  mutable version : int;
+  mutable history : snapshot list;  (* newest first, capped *)
+  mutable observed : int;
+}
+
+let history_cap = 8
+
+let of_model ?(calibration = Off) ?(fit_every = 64) ?(min_pairs = 8) ?obs
+    ?monitor base =
+  if fit_every < 1 then invalid_arg "Cost_oracle.of_model: fit_every < 1";
+  if min_pairs < 4 then invalid_arg "Cost_oracle.of_model: min_pairs < 4";
+  { base;
+    calibration;
+    fit_every;
+    min_pairs;
+    obs = (match obs with Some o -> o | None -> Obs.disabled);
+    monitor =
+      (match monitor with Some m -> m | None -> Obs.Cost_monitor.create ());
+    samples = Hashtbl.create 16;
+    corrections = Hashtbl.create 16;
+    overrides = Hashtbl.create 16;
+    version = 0;
+    history = [];
+    observed = 0 }
+
+let analytic profile = of_model (Cost_model.analytic profile)
+let flops_only () = of_model Cost_model.flops_only
+let load path = of_model (Cost_model.load path)
+let save t path = Cost_model.save t.base path
+
+let base t = t.base
+let calibration t = t.calibration
+let profile t = Cost_model.profile t.base
+
+let name t =
+  let n = Cost_model.name t.base in
+  if t.version = 0 then n else n ^ "#v" ^ string_of_int t.version
+
+let version t = t.version
+let monitor t = t.monitor
+let observed t = t.observed
+let correction t prim = Hashtbl.find_opt t.corrections prim
+
+(* ---- prediction ----
+
+   [corrected] applies the affine log-space correction only when an entry
+   exists, so a calibration-off oracle (no entries can ever be installed)
+   reproduces the base model bit for bit. *)
+
+let corrected t ~prim p =
+  match Hashtbl.find_opt t.corrections prim with
+  | None -> p
+  | Some (a, b) -> if p > 0. then exp (a +. (b *. log p)) else p
+
+let analytic_prim ~threads profile ~env prim =
+  List.fold_left
+    (fun acc kernel -> acc +. K.time ~threads profile kernel)
+    0.
+    (Primitive.to_kernels env prim)
+
+(* The base model's prediction, overrides included — exactly the old
+   [Cost_model.predict] when no override is installed. *)
+let raw_predict t feats ~env prim =
+  let threads = feats.Featurizer.threads in
+  let pname = Primitive.name prim in
+  let learned_input () =
+    Featurizer.primitive_input feats ~dims:(Primitive.instantiated_dims env prim)
+  in
+  match Hashtbl.find_opt t.overrides pname with
+  | Some model -> exp (Gbrt.predict model (learned_input ()))
+  | None -> (
+      match Cost_model.kind t.base with
+      | `Flops ->
+          List.fold_left
+            (fun acc kernel -> acc +. K.flops kernel)
+            0.
+            (Primitive.to_kernels env prim)
+      | `Analytic ->
+          let p = Option.get (Cost_model.profile t.base) in
+          analytic_prim ~threads p ~env prim
+      | `Learned -> (
+          let p = Option.get (Cost_model.profile t.base) in
+          match Cost_model.find_model t.base pname with
+          | Some model -> exp (Gbrt.predict model (learned_input ()))
+          | None -> analytic_prim ~threads p ~env prim))
+
+let predict t feats ~env prim =
+  corrected t ~prim:(Primitive.name prim) (raw_predict t feats ~env prim)
+
+let predict_plan t feats ~env ~iterations (plan : Plan.t) =
+  let total =
+    List.fold_left
+      (fun acc (s : Plan.step) ->
+        let c = predict t feats ~env s.Plan.prim in
+        match s.Plan.phase with
+        | Plan.Setup -> acc +. c
+        | Plan.Per_iteration -> acc +. (float_of_int iterations *. c))
+      0. plan.Plan.steps
+  in
+  corrected t ~prim:("plan:" ^ plan.Plan.name) total
+
+let analytic_plan ~threads profile ~env ~iterations (plan : Plan.t) =
+  List.fold_left
+    (fun acc (s : Plan.step) ->
+      let c = analytic_prim ~threads profile ~env s.Plan.prim in
+      match s.Plan.phase with
+      | Plan.Setup -> acc +. c
+      | Plan.Per_iteration -> acc +. (float_of_int iterations *. c))
+    0. plan.Plan.steps
+
+let predict_kernels t ~threads kernels =
+  let p = match Cost_model.profile t.base with Some p -> p | None -> Hw.cpu in
+  List.fold_left (fun acc k -> acc +. K.time ~threads p k) 0. kernels
+
+let kernel_time ?threads ?gather_discount profile kernel =
+  K.time ?threads ?gather_discount profile kernel
+
+(* ---- layout adjustment (moved from Locality; the structural parts —
+   layout_kernels, gather_discount — remain there) ---- *)
+
+module Gf = Granii_graph.Graph_features
+
+let layout_time ?threads (p : Hw.t) ~n ~nnz config =
+  List.fold_left
+    (fun acc k -> acc +. K.time ?threads p k)
+    0.
+    (Locality.layout_kernels ~n ~nnz config)
+
+(* Per-kernel cost delta (localized minus baseline) a configuration induces.
+   Only the gather-bound g-kernels respond to layout; everything else is
+   unchanged. *)
+let kernel_delta ?threads (p : Hw.t) (stats : Gf.t) (config : Locality.config)
+    kernel =
+  match kernel with
+  | K.Spmm { rows; nnz; k; weighted } ->
+      let d = Locality.gather_discount p stats config in
+      let localized =
+        match config.Locality.format with
+        | Locality.Hybrid ->
+            K.time ?threads ~gather_discount:d p
+              (K.Spmm_hybrid
+                 { rows; nnz; k; weighted; packing = stats.Gf.ell_packing })
+        | Locality.Bsr ->
+            K.time ?threads ~gather_discount:d p
+              (K.Spmm_bsr
+                 { rows; nnz; k; weighted; fill = stats.Gf.block_fill })
+        | Locality.Cbm ->
+            (* realized dedup: the graph's measured overlap scaled by how
+               much of it this hardware can bank *)
+            let overlap =
+              stats.Gf.neighbor_overlap *. p.Hw.cbm_dedup_efficiency
+            in
+            K.time ?threads ~gather_discount:d p
+              (K.Spmm_cbm { rows; nnz; k; weighted; overlap })
+        | Locality.Csr -> K.time ?threads ~gather_discount:d p kernel
+      in
+      localized -. K.time ?threads p kernel
+  | K.Sddmm _ ->
+      (* the dot products gather rows of both dense operands: same locality
+         credit, no format-dependent shape change (the hybrid SDDMM writes
+         into the source CSR layout) *)
+      let d = Locality.gather_discount p stats config in
+      K.time ?threads ~gather_discount:d p kernel -. K.time ?threads p kernel
+  | _ -> 0.
+
+(* Total additive adjustment to the analytic plan cost for running [plan]
+   under [config]: the one-time layout cost plus each step's kernel deltas,
+   phase-weighted exactly like the base prediction. Zero for the default
+   configuration. *)
+let plan_adjustment ?threads (p : Hw.t) ~stats ~env ~iterations config
+    (plan : Plan.t) =
+  if Locality.is_default config then 0.
+  else begin
+    let setup = layout_time ?threads p ~n:env.Dim.n ~nnz:env.Dim.nnz config in
+    List.fold_left
+      (fun acc (s : Plan.step) ->
+        let delta =
+          List.fold_left
+            (fun a k -> a +. kernel_delta ?threads p stats config k)
+            0.
+            (Primitive.to_kernels env s.Plan.prim)
+        in
+        match s.Plan.phase with
+        | Plan.Setup -> acc +. delta
+        | Plan.Per_iteration -> acc +. (float_of_int iterations *. delta))
+      setup plan.Plan.steps
+  end
+
+(* ---- scoring: pooled Kendall inversions + mean |log error| ----
+
+   Inversions are counted over pairs distinct on both axes — the same
+   convention as [Obs.Cost_monitor.summarize] — but pooled across
+   primitives, because cross-primitive ordering is what plan selection
+   consumes (a per-primitive monotone correction cannot change
+   within-primitive order, only how primitives rank against each other). *)
+
+let inversions preds meas n =
+  let inv = ref 0 and cmp = ref 0 in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let dp = compare preds.(i) preds.(j)
+      and dm = compare meas.(i) meas.(j) in
+      if dp <> 0 && dm <> 0 then begin
+        incr cmp;
+        if dp * dm < 0 then incr inv
+      end
+    done
+  done;
+  (!inv, !cmp)
+
+let mean_abs_log_err preds meas n =
+  if n = 0 then 0.
+  else begin
+    let s = ref 0. in
+    for i = 0 to n - 1 do
+      s := !s +. Float.abs (log (preds.(i) /. meas.(i)))
+    done;
+    !s /. float_of_int n
+  end
+
+(* Least-squares affine fit in log space over (ln p, ln m) pairs. A
+   degenerate predictor axis (all train predictions equal) can only support
+   a pure offset: b = 1, a = mean residual. The slope is clamped to keep
+   the correction monotone and tame. *)
+let fit_affine pairs =
+  let n = List.length pairs in
+  let fn = float_of_int n in
+  let xs = List.map (fun (p, _) -> log p) pairs in
+  let ys = List.map (fun (_, m) -> log m) pairs in
+  let mx = List.fold_left ( +. ) 0. xs /. fn in
+  let my = List.fold_left ( +. ) 0. ys /. fn in
+  let var =
+    List.fold_left (fun acc x -> acc +. ((x -. mx) *. (x -. mx))) 0. xs
+  in
+  let cov =
+    List.fold_left2
+      (fun acc x y -> acc +. ((x -. mx) *. (y -. my)))
+      0. xs ys
+  in
+  let b = if var < 1e-12 then 1. else Float.max 0.1 (Float.min 10. (cov /. var)) in
+  let a = my -. (b *. mx) in
+  (a, b)
+
+(* ---- the feedback loop ---- *)
+
+type pass_outcome = {
+  fitted_prims : string list;
+  holdout_pairs : int;
+  current_inversions : int;
+  candidate_inversions : int;
+  current_err : float;
+  candidate_err : float;
+  accepted : bool;
+  refit_prims : string list;
+  version_after : int;
+}
+
+let positive_pairs t prim =
+  List.filter
+    (fun (p, m) -> p > 0. && m > 0.)
+    (Obs.Cost_monitor.series_pairs t.monitor prim)
+
+(* Newest-third holdout, bounded so the pooled O(n^2) inversion count stays
+   cheap even with full 4096-pair rings. [pairs] is oldest first. *)
+let split_holdout pairs =
+  let len = List.length pairs in
+  let h = Int.max 2 (Int.min 64 (len / 3)) in
+  let cut = len - h in
+  (List.filteri (fun i _ -> i < cut) pairs,
+   List.filteri (fun i _ -> i >= cut) pairs)
+
+let snapshot_of t note =
+  { snap_version = t.version;
+    snap_note = note;
+    snap_corrections =
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.corrections []
+      |> List.sort compare;
+    snap_overrides =
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.overrides []
+      |> List.sort (fun (a, _) (b, _) -> compare a b) }
+
+let push_snapshot t note =
+  t.history <- snapshot_of t note :: t.history;
+  if List.length t.history > history_cap then
+    t.history <- List.filteri (fun i _ -> i < history_cap) t.history
+
+let apply_correction corrections prim p =
+  match Hashtbl.find_opt corrections prim with
+  | None -> p
+  | Some (a, b) -> if p > 0. then exp (a +. (b *. log p)) else p
+
+(* Candidate per-primitive GBRT refits, guarded per primitive on the sample
+   holdout: an override must strictly beat the current corrected prediction
+   on inversions (ties broken by error) before it is adopted into the
+   candidate state. *)
+let refit_candidates t fitted =
+  List.filter_map
+    (fun prim ->
+      match Hashtbl.find_opt t.samples prim with
+      | None -> None
+      | Some ss ->
+          let items = List.rev ss.items (* oldest first *) in
+          let items =
+            List.filter (fun s -> s.s_measured > 0. && s.s_predicted > 0.) items
+          in
+          if List.length items < min_refit_samples then None
+          else begin
+            let train_s, hold_s = split_holdout items in
+            if List.length train_s < 2 then None
+            else begin
+              let features =
+                Array.of_list (List.map (fun s -> s.s_input) train_s)
+              in
+              let labels =
+                Array.of_list (List.map (fun s -> log s.s_measured) train_s)
+              in
+              match Granii_ml.Ml_dataset.make features labels with
+              | exception Invalid_argument _ -> None
+              | ds ->
+                  let params =
+                    { Gbrt.default_params with Gbrt.n_trees = 40 }
+                  in
+                  let model = Gbrt.fit ~params ds in
+                  let n = List.length hold_s in
+                  let meas =
+                    Array.of_list (List.map (fun s -> s.s_measured) hold_s)
+                  in
+                  let cur =
+                    Array.of_list
+                      (List.map
+                         (fun s -> corrected t ~prim s.s_predicted)
+                         hold_s)
+                  in
+                  let cand =
+                    Array.of_list
+                      (List.map
+                         (fun s -> exp (Gbrt.predict model s.s_input))
+                         hold_s)
+                  in
+                  let cur_inv, _ = inversions cur meas n in
+                  let cand_inv, _ = inversions cand meas n in
+                  let cur_err = mean_abs_log_err cur meas n in
+                  let cand_err = mean_abs_log_err cand meas n in
+                  if
+                    cand_inv < cur_inv
+                    || (cand_inv = cur_inv && cand_err < cur_err -. 1e-12)
+                  then Some (prim, model)
+                  else None
+            end
+          end)
+    fitted
+
+let calibrate_pass t =
+  let prims = Obs.Cost_monitor.prims t.monitor in
+  let per_prim =
+    List.filter_map
+      (fun prim ->
+        let pairs = positive_pairs t prim in
+        if List.length pairs < t.min_pairs then None
+        else
+          let train, hold = split_holdout pairs in
+          if List.length train < 2 then None
+          else Some (prim, fit_affine train, hold))
+      prims
+  in
+  if per_prim = [] then None
+  else begin
+    let fitted = List.map (fun (p, _, _) -> p) per_prim in
+    let candidate = Hashtbl.copy t.corrections in
+    List.iter (fun (prim, c, _) -> Hashtbl.replace candidate prim c) per_prim;
+    let refits =
+      if t.calibration = Refit then refit_candidates t fitted else []
+    in
+    (* pooled holdout: (prim, raw predicted, measured) *)
+    let pooled =
+      List.concat_map
+        (fun (prim, _, hold) -> List.map (fun (p, m) -> (prim, p, m)) hold)
+        per_prim
+    in
+    let n = List.length pooled in
+    let meas = Array.of_list (List.map (fun (_, _, m) -> m) pooled) in
+    let cur =
+      Array.of_list
+        (List.map (fun (prim, p, _) -> corrected t ~prim p) pooled)
+    in
+    let cand =
+      Array.of_list
+        (List.map
+           (fun (prim, p, _) ->
+             match List.assoc_opt prim refits with
+             (* an accepted refit replaces the correction for its primitive;
+                scoring the pooled slice must reflect that. The override's
+                holdout prediction needs the stored input, which the pooled
+                pair lacks — approximate with the correction-free raw value,
+                the conservative choice (refits were already guarded
+                per-primitive on their own sample holdout). *)
+             | Some _ -> p
+             | None -> apply_correction candidate prim p)
+           pooled)
+    in
+    let cur_inv, _ = inversions cur meas n in
+    let cand_inv, _ = inversions cand meas n in
+    let cur_err = mean_abs_log_err cur meas n in
+    let cand_err = mean_abs_log_err cand meas n in
+    let accepted =
+      cand_inv < cur_inv || (cand_inv = cur_inv && cand_err < cur_err -. 1e-12)
+    in
+    if accepted then begin
+      push_snapshot t
+        (Printf.sprintf "pre-pass fit of %d primitive(s)"
+           (List.length fitted));
+      List.iter
+        (fun (prim, c, _) -> Hashtbl.replace t.corrections prim c)
+        per_prim;
+      List.iter
+        (fun (prim, model) ->
+          Hashtbl.replace t.overrides prim model;
+          Hashtbl.remove t.corrections prim)
+        refits;
+      t.version <- t.version + 1
+    end;
+    Some
+      { fitted_prims = fitted;
+        holdout_pairs = n;
+        current_inversions = cur_inv;
+        candidate_inversions = cand_inv;
+        current_err = cur_err;
+        candidate_err = cand_err;
+        accepted;
+        refit_prims = (if accepted then List.map fst refits else []);
+        version_after = t.version }
+  end
+
+let calibrate t =
+  Obs.span t.obs ~cat:"calibrate" "calibrate.pass" @@ fun () ->
+  let outcome = calibrate_pass t in
+  Obs.count t.obs "calibrate.passes" 1;
+  (match outcome with
+  | None -> ()
+  | Some o ->
+      Obs.count t.obs
+        (if o.accepted then "calibrate.accepted" else "calibrate.rejected")
+        1;
+      if o.refit_prims <> [] then
+        Obs.count t.obs "calibrate.refit.accepted" (List.length o.refit_prims);
+      Obs.gauge t.obs "calibrate.version" (float_of_int t.version));
+  outcome
+
+let record_sample t ~prim sample =
+  let ss =
+    match Hashtbl.find_opt t.samples prim with
+    | Some ss -> ss
+    | None ->
+        let ss = { items = []; count = 0 } in
+        Hashtbl.replace t.samples prim ss;
+        ss
+  in
+  ss.items <- sample :: ss.items;
+  ss.count <- ss.count + 1;
+  if ss.count > 2 * sample_cap then begin
+    ss.items <- List.filteri (fun i _ -> i < sample_cap) ss.items;
+    ss.count <- sample_cap
+  end
+
+let observe ?input t ~prim ~predicted ~measured =
+  Obs.Cost_monitor.record t.monitor ~prim ~predicted ~measured;
+  (match input with
+  | Some s_input ->
+      record_sample t ~prim
+        { s_input; s_predicted = predicted; s_measured = measured }
+  | None -> ());
+  t.observed <- t.observed + 1;
+  if t.calibration <> Off && t.observed mod t.fit_every = 0 then
+    ignore (calibrate t)
+
+(* ---- snapshots ---- *)
+
+let snapshots t = t.history
+
+let rollback t =
+  match t.history with
+  | [] -> false
+  | snap :: rest ->
+      Hashtbl.reset t.corrections;
+      Hashtbl.reset t.overrides;
+      List.iter
+        (fun (k, v) -> Hashtbl.replace t.corrections k v)
+        snap.snap_corrections;
+      List.iter
+        (fun (k, v) -> Hashtbl.replace t.overrides k v)
+        snap.snap_overrides;
+      t.history <- rest;
+      (* the version advances: a rolled-back oracle predicts differently
+         from the state it replaced, so caches keyed by [name] must miss *)
+      t.version <- t.version + 1;
+      true
+
+(* ---- reporting ---- *)
+
+type prim_report = {
+  rp_prim : string;
+  rp_runs : int;
+  rp_pairs : int;
+  rp_base_err : float;
+  rp_corrected_err : float;
+  rp_base_inv : int;
+  rp_corrected_inv : int;
+  rp_inv_pairs : int;
+  rp_corrected : bool;
+}
+
+type report = {
+  per_prim : prim_report list;
+  pooled_base_inv : int;
+  pooled_corrected_inv : int;
+  pooled_pairs : int;
+  report_version : int;
+}
+
+let report t =
+  let prims = Obs.Cost_monitor.prims t.monitor in
+  let summaries = Obs.Cost_monitor.summaries t.monitor in
+  let per_prim =
+    List.map
+      (fun prim ->
+        let pairs = positive_pairs t prim in
+        let n = List.length pairs in
+        let meas = Array.of_list (List.map snd pairs) in
+        let raw = Array.of_list (List.map fst pairs) in
+        let corr = Array.map (fun p -> corrected t ~prim p) raw in
+        let base_inv, inv_pairs = inversions raw meas n in
+        let corr_inv, _ = inversions corr meas n in
+        let runs =
+          match
+            List.find_opt
+              (fun (s : Obs.Cost_monitor.summary) ->
+                s.Obs.Cost_monitor.prim = prim)
+              summaries
+          with
+          | Some s -> s.Obs.Cost_monitor.n
+          | None -> n
+        in
+        { rp_prim = prim;
+          rp_runs = runs;
+          rp_pairs = n;
+          rp_base_err = mean_abs_log_err raw meas n;
+          rp_corrected_err = mean_abs_log_err corr meas n;
+          rp_base_inv = base_inv;
+          rp_corrected_inv = corr_inv;
+          rp_inv_pairs = inv_pairs;
+          rp_corrected =
+            Hashtbl.mem t.corrections prim || Hashtbl.mem t.overrides prim })
+      prims
+  in
+  let pooled =
+    List.concat_map
+      (fun prim -> List.map (fun (p, m) -> (prim, p, m)) (positive_pairs t prim))
+      prims
+  in
+  let n = List.length pooled in
+  let meas = Array.of_list (List.map (fun (_, _, m) -> m) pooled) in
+  let raw = Array.of_list (List.map (fun (_, p, _) -> p) pooled) in
+  let corr =
+    Array.of_list (List.map (fun (prim, p, _) -> corrected t ~prim p) pooled)
+  in
+  let pooled_base_inv, _ = inversions raw meas n in
+  let pooled_corrected_inv, _ = inversions corr meas n in
+  { per_prim;
+    pooled_base_inv;
+    pooled_corrected_inv;
+    pooled_pairs = n;
+    report_version = t.version }
+
+let pp_report ppf (r : report) =
+  Format.fprintf ppf "calibration v%d@\n" r.report_version;
+  Format.fprintf ppf "%-18s %6s %6s %10s %10s %6s %6s %5s@\n" "primitive"
+    "runs" "pairs" "base|lnE|" "corr|lnE|" "b.inv" "c.inv" "fit";
+  List.iter
+    (fun p ->
+      Format.fprintf ppf "%-18s %6d %6d %10.4f %10.4f %6d %6d %5s@\n"
+        p.rp_prim p.rp_runs p.rp_pairs p.rp_base_err p.rp_corrected_err
+        p.rp_base_inv p.rp_corrected_inv
+        (if p.rp_corrected then "yes" else "no"))
+    r.per_prim;
+  Format.fprintf ppf "pooled: %d pairs, inversions %d -> %d@\n" r.pooled_pairs
+    r.pooled_base_inv r.pooled_corrected_inv

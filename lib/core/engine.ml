@@ -15,6 +15,7 @@ type config = {
   telemetry : bool;
   queue_bound : int;
   batch_window : int;
+  calibration : Cost_oracle.calibration;
 }
 
 let default_config =
@@ -25,7 +26,8 @@ let default_config =
     keep_intermediates = true;
     telemetry = false;
     queue_bound = 64;
-    batch_window = 0 }
+    batch_window = 0;
+    calibration = Cost_oracle.Off }
 
 type error =
   | Invalid_threads of int
@@ -160,6 +162,7 @@ type t = {
   ws : Workspace.t option;
   cache_ : cache option;
   obs : Obs.t;
+  oracle : Cost_oracle.t;
 }
 
 let validate (cfg : config) =
@@ -174,9 +177,9 @@ let validate (cfg : config) =
   else if cfg.batch_window < 0 then Some (Invalid_batch_window cfg.batch_window)
   else None
 
-let create ?pool ?workspace ?cache ?obs (cfg : config) =
+let create ?pool ?workspace ?cache ?obs ?oracle (cfg : config) =
   (* normalize the config to the resources actually present, so [describe]
-     is truthful when resources are injected by a legacy wrapper *)
+     is truthful when resources are injected *)
   let cfg =
     { cfg with
       threads = (match pool with Some p -> Parallel.threads p | None -> cfg.threads);
@@ -184,7 +187,11 @@ let create ?pool ?workspace ?cache ?obs (cfg : config) =
       cache = cfg.cache || cache <> None;
       telemetry =
         (cfg.telemetry
-        || match obs with Some o -> Obs.enabled o | None -> false) }
+        || match obs with Some o -> Obs.enabled o | None -> false);
+      calibration =
+        (match oracle with
+        | Some o -> Cost_oracle.calibration o
+        | None -> cfg.calibration) }
   in
   match validate cfg with
   | Some e -> Result.error e
@@ -211,24 +218,24 @@ let create ?pool ?workspace ?cache ?obs (cfg : config) =
         | Some o -> o
         | None -> if cfg.telemetry then Obs.create () else Obs.disabled
       in
-      Result.ok { cfg; pool; owns_pool; ws; cache_; obs }
+      let oracle =
+        match oracle with
+        | Some o -> o
+        | None ->
+            (* the calibration feed is the live monitor when telemetry is
+               on, so execution telemetry and the oracle see one pair store *)
+            Cost_oracle.of_model ~calibration:cfg.calibration ~obs
+              ?monitor:obs.Obs.costmon
+              (Cost_model.analytic Granii_hw.Hw_profile.cpu)
+      in
+      Result.ok { cfg; pool; owns_pool; ws; cache_; obs; oracle }
 
-let create_exn ?pool ?workspace ?cache ?obs cfg =
-  match create ?pool ?workspace ?cache ?obs cfg with
+let create_exn ?pool ?workspace ?cache ?obs ?oracle cfg =
+  match create ?pool ?workspace ?cache ?obs ?oracle cfg with
   | Ok t -> t
   | Error e -> raise (Error e)
 
 let default () = create_exn default_config
-
-let of_legacy ?pool ?workspace ?cache ?(keep_intermediates = true)
-    ?(locality = Locality.default) () =
-  create_exn ?pool ?workspace ?cache
-    { default_config with
-      threads = (match pool with Some p -> Parallel.threads p | None -> 1);
-      workspace = workspace <> None;
-      cache = cache <> None;
-      locality;
-      keep_intermediates }
 
 let config t = t.cfg
 let threads t = t.cfg.threads
@@ -238,6 +245,8 @@ let cache t = t.cache_
 let locality t = t.cfg.locality
 let keep_intermediates t = t.cfg.keep_intermediates
 let obs t = t.obs
+let oracle t = t.oracle
+let calibration t = t.cfg.calibration
 
 let shutdown t = if t.owns_pool then Option.iter Parallel.shutdown t.pool
 
@@ -254,11 +263,12 @@ let onoff = function true -> "on" | false -> "off"
 
 let describe_config (cfg : config) =
   Printf.sprintf
-    "threads=%d,workspace=%s,cache=%s,locality=%s,intermediates=%s,telemetry=%s,queue_bound=%d,batch_window=%d"
+    "threads=%d,workspace=%s,cache=%s,locality=%s,intermediates=%s,telemetry=%s,queue_bound=%d,batch_window=%d,calibration=%s"
     cfg.threads (onoff cfg.workspace) (onoff cfg.cache)
     (Locality.config_to_string cfg.locality)
     (if cfg.keep_intermediates then "keep" else "drop")
     (onoff cfg.telemetry) cfg.queue_bound cfg.batch_window
+    (Cost_oracle.calibration_to_string cfg.calibration)
 
 let describe t = describe_config t.cfg
 
@@ -346,5 +356,13 @@ let config_of_string s =
                   Error
                     (Printf.sprintf
                        "engine spec: batch_window expects an integer (got %s)" v))
+          | "calibration" -> (
+              match Cost_oracle.calibration_of_string v with
+              | Some c -> Ok { cfg with calibration = c }
+              | None ->
+                  Error
+                    (Printf.sprintf
+                       "engine spec: calibration expects off|affine|refit (got %s)"
+                       v))
           | _ -> Error (Printf.sprintf "engine spec: unknown key %s" key)))
     (Ok default_config) fields

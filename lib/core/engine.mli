@@ -21,8 +21,9 @@
     everything else                      legal
     v}
 
-    The old optional-argument entry points ({!Executor.run} etc.) remain as
-    thin deprecated wrappers that build a one-shot engine via {!of_legacy}. *)
+    Every engine also carries a {!Cost_oracle.t} — the single
+    cost-prediction layer — whose online-calibration policy is the
+    [calibration] config axis. *)
 
 type config = {
   threads : int;       (** multicore-engine width; 1 = sequential *)
@@ -45,12 +46,17 @@ type config = {
           admitted request open waiting for coalescible peers; [0] batches
           only what is already queued. Must be >= 0. Ignored by direct
           (non-serving) execution. *)
+  calibration : Cost_oracle.calibration;
+      (** online cost-model calibration policy of the engine's oracle.
+          {!Cost_oracle.Off} (the default) makes the oracle a pure reader of
+          its base model — predictions bitwise identical to an uncalibrated
+          engine. *)
 }
 
 val default_config : config
-(** [threads=1], everything off, {!Locality.default}, keep intermediates —
-    the seed executor's behavior. Serving axes default to
-    [queue_bound=64], [batch_window=0]. *)
+(** [threads=1], everything off, {!Locality.default}, keep intermediates,
+    [calibration=Off] — the seed executor's behavior. Serving axes default
+    to [queue_bound=64], [batch_window=0]. *)
 
 type error =
   | Invalid_threads of int
@@ -94,32 +100,30 @@ type cache
 
 val create :
   ?pool:Granii_tensor.Parallel.t -> ?workspace:Granii_tensor.Workspace.t ->
-  ?cache:cache -> ?obs:Granii_obs.Obs.t -> config -> (t, error) result
+  ?cache:cache -> ?obs:Granii_obs.Obs.t -> ?oracle:Cost_oracle.t ->
+  config -> (t, error) result
 (** Validates and builds the context. A pool is spawned when
     [config.threads > 1]; the injection parameters let a caller hand in
-    already-owned resources (the deprecated wrappers and {!Selector.measure}
-    do) — an injected resource is never shut down by {!shutdown}, and the
-    stored config is normalized to reflect it ([threads] from the injected
-    pool's width, [workspace]/[cache] forced on, [telemetry] on when the
-    injected sink is live). [config.telemetry = true] without an injected
-    sink builds a fresh all-on {!Granii_obs.Obs.create}; an injected
-    {!Granii_obs.Obs.disabled} keeps telemetry off. *)
+    already-owned resources ({!Selector.measure} does) — an injected
+    resource is never shut down by {!shutdown}, and the stored config is
+    normalized to reflect it ([threads] from the injected pool's width,
+    [workspace]/[cache] forced on, [telemetry] on when the injected sink is
+    live, [calibration] from the injected oracle's policy).
+    [config.telemetry = true] without an injected sink builds a fresh
+    all-on {!Granii_obs.Obs.create}; an injected
+    {!Granii_obs.Obs.disabled} keeps telemetry off. Without an injected
+    [oracle], the engine builds one over the analytic host-CPU base model
+    with the config's [calibration] policy, feeding off the live
+    cost-monitor when telemetry is on. *)
 
 val create_exn :
   ?pool:Granii_tensor.Parallel.t -> ?workspace:Granii_tensor.Workspace.t ->
-  ?cache:cache -> ?obs:Granii_obs.Obs.t -> config -> t
+  ?cache:cache -> ?obs:Granii_obs.Obs.t -> ?oracle:Cost_oracle.t ->
+  config -> t
 (** {!create}, raising {!Error} instead of returning it. *)
 
 val default : unit -> t
 (** [create_exn default_config] — allocates nothing, shuts down nothing. *)
-
-val of_legacy :
-  ?pool:Granii_tensor.Parallel.t -> ?workspace:Granii_tensor.Workspace.t ->
-  ?cache:cache -> ?keep_intermediates:bool -> ?locality:Locality.config ->
-  unit -> t
-(** Bridge for the deprecated optional-argument API: an engine whose config
-    mirrors exactly the optional arguments given ([threads] is the injected
-    pool's width). Never owns a pool, so it needs no {!shutdown}. *)
 
 val shutdown : t -> unit
 (** Joins the pool's worker domains {e if the engine spawned them}; injected
@@ -138,6 +142,12 @@ val keep_intermediates : t -> bool
 val obs : t -> Granii_obs.Obs.t
 (** The telemetry sink; {!Granii_obs.Obs.disabled} unless the config asked
     for telemetry or a live sink was injected. *)
+
+val oracle : t -> Cost_oracle.t
+(** The engine's cost-prediction layer. Executor telemetry feeds it the
+    per-step (predicted, measured) pairs when calibration is on. *)
+
+val calibration : t -> Cost_oracle.calibration
 
 (** {2 Cache operations} (used by {!Executor}) *)
 
@@ -165,7 +175,7 @@ val cache_insert : t -> string -> Dispatch.value -> float -> unit
 val describe : t -> string
 
 val describe_config : config -> string
-(** E.g. ["threads=4,workspace=on,cache=off,locality=identity+csr,intermediates=keep,telemetry=off,queue_bound=64,batch_window=0"].
+(** E.g. ["threads=4,workspace=on,cache=off,locality=identity+csr,intermediates=keep,telemetry=off,queue_bound=64,batch_window=0,calibration=off"].
     Round-trips exactly through {!config_of_string}. *)
 
 val config_of_string : string -> (config, string) result
@@ -174,8 +184,8 @@ val config_of_string : string -> (config, string) result
     Keys: [threads] (int), [workspace]/[cache]/[telemetry] (on|off),
     [locality] (<identity|degree|bfs|rcm>+<csr|hybrid|bsr|cbm>),
     [intermediates] (keep|drop), [queue_bound] (int), [batch_window]
-    (int, microseconds). An unknown format name reports the
-    {!Invalid_format} message. *)
+    (int, microseconds), [calibration] (off|affine|refit). An unknown
+    format name reports the {!Invalid_format} message. *)
 
 (** {2 Structural fingerprinting} (shared with the serving plan cache) *)
 

@@ -81,22 +81,32 @@ let step_observe (obs : Obs.t) (s : Plan.step) elapsed =
   | Some m ->
       Obs.Metrics.observe m ("step." ^ Primitive.name s.Plan.prim) elapsed
 
-(* Predicted-vs-measured pair for the cost-model monitor: the noise-free
-   analytic host-CPU prediction against the wall clock — only computed when
-   the monitor is live and the step was genuinely measured. *)
-let costmon_record (obs : Obs.t) ~threads (s : Plan.step) graph args v measured
-    =
-  match obs.Obs.costmon with
-  | None -> ()
-  | Some cm ->
-      let predicted =
-        List.fold_left
-          (fun acc k -> acc +. K.time ~threads Granii_hw.Hw_profile.cpu k)
-          0.
-          (Dispatch.kernels_of_step s.Plan.prim graph args v)
-      in
-      Obs.Cost_monitor.record cm ~prim:(Primitive.name s.Plan.prim) ~predicted
-        ~measured
+(* Predicted-vs-measured pair for the cost oracle and the cost-model
+   monitor: the raw (uncorrected) analytic prediction under the oracle's
+   base profile against the wall clock — only computed when the monitor is
+   live or calibration is on, and only for genuinely measured steps. With
+   calibration on, [Cost_oracle.observe] records into the oracle's pair
+   store (physically the live monitor, when telemetry is on) and triggers
+   the periodic fit; a live monitor that is {e not} the oracle's store is
+   still fed directly, so report-only telemetry keeps working alongside a
+   privately-calibrating injected oracle. *)
+let costmon_record ~engine ~threads (s : Plan.step) graph args v measured =
+  let obs = Engine.obs engine in
+  let oracle = Engine.oracle engine in
+  let calibrating = Cost_oracle.calibration oracle <> Cost_oracle.Off in
+  if obs.Obs.costmon <> None || calibrating then begin
+    let prim = Primitive.name s.Plan.prim in
+    let predicted =
+      Cost_oracle.predict_kernels oracle ~threads
+        (Dispatch.kernels_of_step s.Plan.prim graph args v)
+    in
+    if calibrating then Cost_oracle.observe oracle ~prim ~predicted ~measured;
+    match obs.Obs.costmon with
+    | Some cm when (not calibrating) || not (cm == Cost_oracle.monitor oracle)
+      ->
+        Obs.Cost_monitor.record cm ~prim ~predicted ~measured
+    | _ -> ()
+  end
 
 let bracket_span tr ~cat name =
   match tr with None -> None | Some t -> Some (Obs.Trace.enter t ~cat name)
@@ -239,7 +249,7 @@ let exec_prepared ~seed ~engine ~timing ~graph ~bindings (prep : Pass.prepared) 
                   Dispatch.exec ctx s.Plan.prim graph args)
             in
             Engine.cache_insert engine s.Plan.skey v t;
-            costmon_record obs ~threads s graph args v t;
+            costmon_record ~engine ~threads s graph args v t;
             (v, t)
         | None, Simulate profile ->
             let v = Dispatch.exec ctx s.Plan.prim graph args in
@@ -370,7 +380,7 @@ let exec_iterations ?(seed = 0) ?disable ~engine ~timing ~graph ~bindings
           let t0 = Timer.wall () in
           let v = Dispatch.exec ctx s.Plan.prim graph args in
           let t = Timer.wall () -. t0 in
-          costmon_record obs ~threads s graph args v t;
+          costmon_record ~engine ~threads s graph args v t;
           (v, t)
       | Simulate profile ->
           let v = Dispatch.exec ctx s.Plan.prim graph args in
@@ -485,32 +495,6 @@ let exec_iterations ?(seed = 0) ?disable ~engine ~timing ~graph ~bindings
     per_step;
     intermediates;
     trace = prep.Pass.trace }
-
-(* ---- deprecated optional-argument wrappers ----
-
-   One release of compatibility: each builds a one-shot engine mirroring
-   its optional arguments (via [Engine.of_legacy], which never spawns a
-   pool, so no cleanup is owed) and delegates. Illegal combinations now
-   surface as [Engine.Error] at the call instead of [Invalid_argument]
-   mid-run. New code should construct an {!Engine.t} and call [exec]. *)
-
-type cache = Engine.cache
-
-let cache_create = Engine.cache_create
-let cache_stats = Engine.cache_stats
-
-let run ?seed ?pool ?workspace ?cache ?keep_intermediates ?locality ~timing
-    ~graph ~bindings plan =
-  let engine =
-    Engine.of_legacy ?pool ?workspace ?cache ?keep_intermediates ?locality ()
-  in
-  exec ?seed ~engine ~timing ~graph ~bindings plan
-
-let run_iterations ?seed ?pool ?workspace ?keep_intermediates ?locality ~timing
-    ~graph ~bindings ~iterations plan =
-  if iterations < 1 then invalid_arg "Executor.run_iterations: iterations < 1";
-  let engine = Engine.of_legacy ?pool ?workspace ?keep_intermediates ?locality () in
-  exec_iterations ?seed ~engine ~timing ~graph ~bindings ~iterations plan
 
 let estimate ?(seed = 0) ~profile ~env (plan : Plan.t) =
   let setup = ref 0. and iter = ref 0. in

@@ -133,44 +133,6 @@ val exec_iterations :
     the steady state this driver measures). Raises [Invalid_argument] when
     [iterations < 1]. *)
 
-(** {2 Deprecated optional-argument entry points}
-
-    Kept for one release as thin wrappers that build a one-shot
-    {!Engine.t} ({!Engine.of_legacy}) per call. Their legality errors are
-    now typed: combinations rejected by {!Engine.create} raise
-    {!Engine.Error} instead of [Invalid_argument] — and workspace + cache
-    is no longer rejected at all (entries are epoch-pinned). New code
-    should construct an engine and call {!exec}/{!exec_iterations}; CI
-    forbids these wrappers inside [lib/]. *)
-
-type cache = Engine.cache
-(** @deprecated Use {!Engine.cache} via an engine config with [cache = true]. *)
-
-val cache_create : unit -> cache
-(** @deprecated Use {!Engine.cache_create} (or let {!Engine.create} own it). *)
-
-val cache_stats : cache -> int * int
-(** [(hits, misses)] since creation.
-    @deprecated Use {!Engine.cache_stats}. *)
-
-val run :
-  ?seed:int -> ?pool:Granii_tensor.Parallel.t ->
-  ?workspace:Granii_tensor.Workspace.t -> ?cache:cache ->
-  ?keep_intermediates:bool -> ?locality:Locality.config -> timing:timing ->
-  graph:Granii_graph.Graph.t ->
-  bindings:(string * value) list -> Plan.t -> report
-(** {!exec} over a one-shot engine mirroring the optional arguments.
-    @deprecated Construct an {!Engine.t} and call {!exec}. *)
-
-val run_iterations :
-  ?seed:int -> ?pool:Granii_tensor.Parallel.t ->
-  ?workspace:Granii_tensor.Workspace.t -> ?keep_intermediates:bool ->
-  ?locality:Locality.config -> timing:timing ->
-  graph:Granii_graph.Graph.t ->
-  bindings:(string * value) list -> iterations:int -> Plan.t -> report
-(** {!exec_iterations} over a one-shot engine.
-    @deprecated Construct an {!Engine.t} and call {!exec_iterations}. *)
-
 (** {2 Analytic estimation} *)
 
 val estimate :

@@ -58,7 +58,7 @@ let featurize ?(obs = Obs.disabled) ~threads graph =
   | Some m -> Obs.Metrics.observe m "featurize.time" feats.Featurizer.extraction_time);
   feats
 
-let optimize ?obs ~cost_model ~graph ~k_in ~k_out ?(iterations = 100) ?(threads = 1) compiled =
+let optimize ?obs ~oracle ~graph ~k_in ~k_out ?(iterations = 100) ?(threads = 1) compiled =
   let feats = featurize ?obs ~threads graph in
   let env =
     { Dim.n = Granii_graph.Graph.n_nodes graph;
@@ -66,7 +66,7 @@ let optimize ?obs ~cost_model ~graph ~k_in ~k_out ?(iterations = 100) ?(threads 
       k_in;
       k_out }
   in
-  let choice = Selector.select ?obs ~cost_model ~feats ~env ~iterations compiled in
+  let choice = Selector.select ?obs ~oracle ~feats ~env ~iterations compiled in
   Log.info (fun m ->
       m "selected %s for %s (n=%d nnz=%d %d->%d, %d iterations): %.3e s predicted, %s"
         choice.Selector.candidate.Codegen.plan.Plan.name compiled.Codegen.model_name
@@ -84,7 +84,7 @@ type localized_decision = {
   base_cost : float;
 }
 
-let optimize_localized ?obs ~cost_model ~graph ~k_in ~k_out ?(iterations = 100)
+let optimize_localized ?obs ~oracle ~graph ~k_in ~k_out ?(iterations = 100)
     ?(threads = 1) ?configs compiled =
   let feats = featurize ?obs ~threads graph in
   let env =
@@ -94,7 +94,7 @@ let optimize_localized ?obs ~cost_model ~graph ~k_in ~k_out ?(iterations = 100)
       k_out }
   in
   let lc =
-    Selector.select_localized ?obs ~cost_model ~feats ~env ~iterations ?configs
+    Selector.select_localized ?obs ~oracle ~feats ~env ~iterations ?configs
       compiled
   in
   let choice = lc.Selector.lchoice in
@@ -120,22 +120,19 @@ let execute_with ?seed ?disable ~engine ~timing ~graph ~bindings decision =
 
 let engine_config ?(threads = 1) ?(workspace = false) ?(cache = false)
     ?(keep_intermediates = true) ?(telemetry = false)
-    (localized : localized_decision) =
+    ?(calibration = Cost_oracle.Off) (localized : localized_decision) =
   { Engine.default_config with
     threads;
     workspace;
     cache;
     locality = localized.config;
     keep_intermediates;
-    telemetry }
-
-let execute ?seed ?pool ?workspace ?locality ~timing ~graph ~bindings decision =
-  let engine = Engine.of_legacy ?pool ?workspace ?locality () in
-  execute_with ?seed ~engine ~timing ~graph ~bindings decision
+    telemetry;
+    calibration }
 
 let simulated_overhead ~profile ~env =
   let featurize =
-    Granii_hw.Kernel_model.time profile
+    Cost_oracle.kernel_time profile
       (Granii_hw.Kernel_model.Elementwise
          { n = env.Dim.nnz + env.Dim.n; k = 1; flops_per_elt = 4. })
   in

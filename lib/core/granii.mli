@@ -35,7 +35,7 @@ type decision = {
 }
 
 val optimize :
-  ?obs:Granii_obs.Obs.t -> cost_model:Cost_model.t ->
+  ?obs:Granii_obs.Obs.t -> oracle:Cost_oracle.t ->
   graph:Granii_graph.Graph.t -> k_in:int ->
   k_out:int -> ?iterations:int -> ?threads:int -> Codegen.t -> decision
 (** The online stage (default [iterations = 100], matching the paper's
@@ -53,7 +53,7 @@ type localized_decision = {
 }
 
 val optimize_localized :
-  ?obs:Granii_obs.Obs.t -> cost_model:Cost_model.t ->
+  ?obs:Granii_obs.Obs.t -> oracle:Cost_oracle.t ->
   graph:Granii_graph.Graph.t -> k_in:int ->
   k_out:int -> ?iterations:int -> ?threads:int ->
   ?configs:Locality.config list -> Codegen.t -> localized_decision
@@ -61,9 +61,8 @@ val optimize_localized :
     scored under every {!Locality.config} in [configs] (default: all of
     them) via {!Selector.select_localized}. Pass a singleton [configs] to
     force a layout, or restrict one axis (the CLI's [--reorder]/[--format]).
-    With a profile-less cost model the layout adjustment is zero and the
-    result coincides with {!optimize}. Feed [config] to {!execute}'s
-    [?locality]. *)
+    With a profile-less oracle the layout adjustment is zero and the
+    result coincides with {!optimize}. Feed [config] to {!engine_config}. *)
 
 val execute_with :
   ?seed:int -> ?disable:string list -> engine:Engine.t ->
@@ -74,22 +73,15 @@ val execute_with :
 
 val engine_config :
   ?threads:int -> ?workspace:bool -> ?cache:bool ->
-  ?keep_intermediates:bool -> ?telemetry:bool -> localized_decision ->
+  ?keep_intermediates:bool -> ?telemetry:bool ->
+  ?calibration:Cost_oracle.calibration -> localized_decision ->
   Engine.config
 (** An engine configuration whose locality axis is the layout
     {!optimize_localized} picked — the canonical way to turn a localized
     decision into an engine: feed the result to {!Engine.create} and the
-    engine to {!execute_with}. *)
-
-val execute :
-  ?seed:int -> ?pool:Granii_tensor.Parallel.t ->
-  ?workspace:Granii_tensor.Workspace.t -> ?locality:Locality.config ->
-  timing:Executor.timing -> graph:Granii_graph.Graph.t ->
-  bindings:(string * Executor.value) list -> decision -> Executor.report
-(** Runs the selected plan over a one-shot engine mirroring the optional
-    arguments.
-    @deprecated Build an {!Engine.t} (e.g. from {!engine_config}) and call
-    {!execute_with}. *)
+    engine to {!execute_with}. [calibration] (default
+    {!Cost_oracle.Off}) sets the engine oracle's online-calibration
+    policy. *)
 
 val simulated_overhead :
   profile:Granii_hw.Hw_profile.t -> env:Dim.env -> float

@@ -1,4 +1,3 @@
-module K = Granii_hw.Kernel_model
 module Hw = Granii_hw.Hw_profile
 module Gf = Granii_graph.Graph_features
 module Reorder = Granii_graph.Reorder
@@ -87,78 +86,11 @@ let gather_discount (p : Hw.t) (stats : Gf.t) config =
    pass for the permuted re-index, another for the format conversion. The
    CBM factoring sorts row signatures — charged as two passes. *)
 let layout_kernels ~n ~nnz config =
-  let pass = K.Layout_pass { n; nnz } in
+  let pass = Granii_hw.Kernel_model.Layout_pass { n; nnz } in
   (if config.strategy = Reorder.Identity then [] else [ pass ])
   @ (match config.format with
     | Csr -> []
     | Hybrid | Bsr -> [ pass ]
     | Cbm -> [ pass; pass ])
-
-let layout_time ?threads (p : Hw.t) ~n ~nnz config =
-  List.fold_left
-    (fun acc k -> acc +. K.time ?threads p k)
-    0.
-    (layout_kernels ~n ~nnz config)
-
-(* Per-kernel cost delta (localized minus baseline) a configuration induces.
-   Only the gather-bound g-kernels respond to layout; everything else is
-   unchanged. *)
-let kernel_delta ?threads (p : Hw.t) (stats : Gf.t) config kernel =
-  match kernel with
-  | K.Spmm { rows; nnz; k; weighted } ->
-      let d = gather_discount p stats config in
-      let localized =
-        match config.format with
-        | Hybrid ->
-            K.time ?threads ~gather_discount:d p
-              (K.Spmm_hybrid
-                 { rows; nnz; k; weighted; packing = stats.Gf.ell_packing })
-        | Bsr ->
-            K.time ?threads ~gather_discount:d p
-              (K.Spmm_bsr
-                 { rows; nnz; k; weighted; fill = stats.Gf.block_fill })
-        | Cbm ->
-            (* realized dedup: the graph's measured overlap scaled by how
-               much of it this hardware can bank *)
-            let overlap =
-              stats.Gf.neighbor_overlap *. p.Hw.cbm_dedup_efficiency
-            in
-            K.time ?threads ~gather_discount:d p
-              (K.Spmm_cbm { rows; nnz; k; weighted; overlap })
-        | Csr -> K.time ?threads ~gather_discount:d p kernel
-      in
-      localized -. K.time ?threads p kernel
-  | K.Sddmm _ ->
-      (* the dot products gather rows of both dense operands: same locality
-         credit, no format-dependent shape change (the hybrid SDDMM writes
-         into the source CSR layout) *)
-      let d = gather_discount p stats config in
-      K.time ?threads ~gather_discount:d p kernel -. K.time ?threads p kernel
-  | _ -> 0.
-
-(* Total additive adjustment to [Cost_model.predict_plan] for running [plan]
-   under [config]: the one-time layout cost plus each step's kernel deltas,
-   phase-weighted exactly like the base prediction. Zero for the default
-   configuration. *)
-let plan_adjustment ?threads (p : Hw.t) ~stats ~env ~iterations config
-    (plan : Plan.t) =
-  if is_default config then 0.
-  else begin
-    let setup =
-      layout_time ?threads p ~n:env.Dim.n ~nnz:env.Dim.nnz config
-    in
-    List.fold_left
-      (fun acc (s : Plan.step) ->
-        let delta =
-          List.fold_left
-            (fun a k -> a +. kernel_delta ?threads p stats config k)
-            0.
-            (Primitive.to_kernels env s.Plan.prim)
-        in
-        match s.Plan.phase with
-        | Plan.Setup -> acc +. delta
-        | Plan.Per_iteration -> acc +. (float_of_int iterations *. delta))
-      setup plan.Plan.steps
-  end
 
 let pp ppf c = Format.pp_print_string ppf (config_to_string c)

@@ -11,8 +11,8 @@
 
     Execution under a non-default configuration is bitwise-transparent: the
     executor permutes the graph and bindings on entry, runs stable-permuted /
-    hybrid kernels, and inverse-permutes the output (see
-    {!Executor.run} with [?locality]). *)
+    hybrid kernels, and inverse-permutes the output (see {!Executor.exec}
+    on an engine with a non-default [locality] axis). *)
 
 type format = Csr | Hybrid | Bsr | Cbm
 
@@ -55,23 +55,8 @@ val gather_discount :
 
 val layout_kernels :
   n:int -> nnz:int -> config -> Granii_hw.Kernel_model.kernel list
-(** The one-time counting-scatter passes the configuration requires. *)
-
-val layout_time :
-  ?threads:int -> Granii_hw.Hw_profile.t -> n:int -> nnz:int -> config -> float
-
-val kernel_delta :
-  ?threads:int -> Granii_hw.Hw_profile.t -> Granii_graph.Graph_features.t ->
-  config -> Granii_hw.Kernel_model.kernel -> float
-(** Predicted cost change (localized minus baseline) for one kernel; nonzero
-    only for the gather-bound g-kernels (SpMM, SDDMM). *)
-
-val plan_adjustment :
-  ?threads:int -> Granii_hw.Hw_profile.t ->
-  stats:Granii_graph.Graph_features.t -> env:Dim.env -> iterations:int ->
-  config -> Plan.t -> float
-(** Additive adjustment to [Cost_model.predict_plan] for running the plan
-    under the configuration: layout setup plus phase-weighted kernel deltas.
-    Exactly [0.] for {!default}. *)
+(** The one-time counting-scatter passes the configuration requires. The
+    timed counterparts ([layout_time], [kernel_delta], [plan_adjustment])
+    live on {!Cost_oracle} — this module only describes the structure. *)
 
 val pp : Format.formatter -> config -> unit

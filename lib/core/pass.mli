@@ -1,6 +1,6 @@
 (** Plan preparation as an explicit pass pipeline.
 
-    What used to be inlined in [Executor.run]'s body is a sequence of
+    What used to be inlined in the executor's body is a sequence of
     named, individually testable transforms over a {!prepared} plan:
 
     - {!lowering} — pre-resolve each step's argument sources into arrays

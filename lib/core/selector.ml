@@ -10,13 +10,13 @@ type choice = {
 
 let scenario_of ~k_in ~k_out = if k_in >= k_out then Dim.Shrinking else Dim.Growing
 
-let rank ~cost_model ~feats ~env ~iterations (compiled : Codegen.t) =
+let rank ~oracle ~feats ~env ~iterations (compiled : Codegen.t) =
   let scenario = scenario_of ~k_in:env.Dim.k_in ~k_out:env.Dim.k_out in
   let cands = Codegen.for_scenario compiled scenario in
   let scored =
     List.map
       (fun (c : Codegen.ccand) ->
-        (c, Cost_model.predict_plan cost_model feats ~env ~iterations c.Codegen.plan))
+        (c, Cost_oracle.predict_plan oracle feats ~env ~iterations c.Codegen.plan))
       cands
   in
   List.sort (fun (_, a) (_, b) -> compare a b) scored
@@ -71,26 +71,26 @@ type localized_choice = {
    comparison is a strict [<] with the default configuration enumerated
    first, so a configuration must be predicted strictly cheaper to
    displace the legacy path. *)
-let rank_localized ~cost_model ~feats ~env ~iterations ?(configs = Locality.all_configs)
+let rank_localized ~oracle ~feats ~env ~iterations ?(configs = Locality.all_configs)
     (compiled : Codegen.t) =
   let scenario = scenario_of ~k_in:env.Dim.k_in ~k_out:env.Dim.k_out in
   let cands = Codegen.for_scenario compiled scenario in
-  let profile = Cost_model.profile cost_model in
+  let profile = Cost_oracle.profile oracle in
   let threads = feats.Featurizer.threads in
   let stats = feats.Featurizer.stats in
   let scored =
     List.concat_map
       (fun (c : Codegen.ccand) ->
         let base =
-          Cost_model.predict_plan cost_model feats ~env ~iterations
+          Cost_oracle.predict_plan oracle feats ~env ~iterations
             c.Codegen.plan
         in
         let analytic_base =
           match profile with
           | None -> 0.
           | Some p ->
-              Cost_model.predict_plan (Cost_model.analytic p) feats ~env
-                ~iterations c.Codegen.plan
+              Cost_oracle.analytic_plan ~threads p ~env ~iterations
+                c.Codegen.plan
         in
         List.map
           (fun config ->
@@ -99,8 +99,8 @@ let rank_localized ~cost_model ~feats ~env ~iterations ?(configs = Locality.all_
               | None -> base
               | Some p ->
                   let adj =
-                    Locality.plan_adjustment ~threads p ~stats ~env ~iterations
-                      config c.Codegen.plan
+                    Cost_oracle.plan_adjustment ~threads p ~stats ~env
+                      ~iterations config c.Codegen.plan
                   in
                   if adj = 0. then base
                   else if analytic_base > 0. then
@@ -137,11 +137,11 @@ let record_selection obs ~name ~plan ~considered ~selection_time =
       | None -> ()
       | Some m -> Obs.Metrics.observe m "select.time" selection_time)
 
-let select_localized ?obs ~cost_model ~feats ~env ~iterations ?configs compiled =
+let select_localized ?obs ~oracle ~feats ~env ~iterations ?configs compiled =
   let result, selection_time =
     Granii_hw.Timer.measure_wall (fun () ->
         match
-          rank_localized ~cost_model ~feats ~env ~iterations ?configs compiled
+          rank_localized ~oracle ~feats ~env ~iterations ?configs compiled
         with
         | [] ->
             invalid_arg
@@ -172,7 +172,7 @@ let select_localized ?obs ~cost_model ~feats ~env ~iterations ?configs compiled 
     config;
     base_cost }
 
-let select ?obs ~cost_model ~feats ~env ~iterations compiled =
+let select ?obs ~oracle ~feats ~env ~iterations compiled =
   let result, selection_time =
     Granii_hw.Timer.measure_wall (fun () ->
         let scenario = scenario_of ~k_in:env.Dim.k_in ~k_out:env.Dim.k_out in
@@ -184,7 +184,7 @@ let select ?obs ~cost_model ~feats ~env ~iterations compiled =
         | [ only ] ->
             (* Fig. 7 fast path: the embedding-size guard already decides. *)
             ( only,
-              Cost_model.predict_plan cost_model feats ~env ~iterations
+              Cost_oracle.predict_plan oracle feats ~env ~iterations
                 only.Codegen.plan,
               1,
               false )
@@ -193,7 +193,7 @@ let select ?obs ~cost_model ~feats ~env ~iterations compiled =
               List.map
                 (fun (c : Codegen.ccand) ->
                   ( c,
-                    Cost_model.predict_plan cost_model feats ~env ~iterations
+                    Cost_oracle.predict_plan oracle feats ~env ~iterations
                       c.Codegen.plan ))
                 several
             in

@@ -1,7 +1,7 @@
 (** The online stage: input-aware candidate selection (paper, Sec. IV-D/E).
 
     Given the compiled dispatch structure, the runtime input (graph features
-    + embedding sizes) and the per-primitive cost models, picks the
+    + embedding sizes) and the cost oracle, picks the
     minimum-predicted-cost candidate. Selection time is measured — it is the
     second runtime overhead the paper reports. *)
 
@@ -25,7 +25,7 @@ type localized_choice = {
 val scenario_of : k_in:int -> k_out:int -> Dim.scenario
 
 val select :
-  ?obs:Granii_obs.Obs.t -> cost_model:Cost_model.t -> feats:Featurizer.t ->
+  ?obs:Granii_obs.Obs.t -> oracle:Cost_oracle.t -> feats:Featurizer.t ->
   env:Dim.env -> iterations:int -> Codegen.t -> choice
 (** Raises [Invalid_argument] if the compiled model has no candidate for the
     input's scenario (cannot happen for {!Codegen.compile} output on a
@@ -35,30 +35,30 @@ val select :
     histogram sample. *)
 
 val rank :
-  cost_model:Cost_model.t -> feats:Featurizer.t -> env:Dim.env ->
+  oracle:Cost_oracle.t -> feats:Featurizer.t -> env:Dim.env ->
   iterations:int -> Codegen.t -> (Codegen.ccand * float) list
 (** All scenario-compatible candidates with predicted costs, cheapest first
     (diagnostic view of the same decision). *)
 
 val select_localized :
-  ?obs:Granii_obs.Obs.t -> cost_model:Cost_model.t -> feats:Featurizer.t ->
+  ?obs:Granii_obs.Obs.t -> oracle:Cost_oracle.t -> feats:Featurizer.t ->
   env:Dim.env -> iterations:int -> ?configs:Locality.config list ->
   Codegen.t -> localized_choice
 (** Joint {e {ordering × format × candidate}} selection: every candidate is
     scored under every configuration in [configs] (default:
     {!Locality.all_configs}), where a configuration's score is the base
     plan prediction scaled by the {e relative} analytic layout change
-    ({!Locality.plan_adjustment} over the analytic plan cost — exactly
+    ({!Cost_oracle.plan_adjustment} over the analytic plan cost — exactly
     [base + adjustment] for the analytic model, and scale-invariant for
     learned models whose predictions live on their own scale).
     Strict-minimum with the default configuration first, so the legacy
-    path wins all ties; with a profile-less cost model every adjustment is
+    path wins all ties; with a profile-less oracle every adjustment is
     zero and the result coincides with {!select}. Pass a singleton
     [configs] to force a configuration (the CLI's
     [--reorder]/[--format]). *)
 
 val rank_localized :
-  cost_model:Cost_model.t -> feats:Featurizer.t -> env:Dim.env ->
+  oracle:Cost_oracle.t -> feats:Featurizer.t -> env:Dim.env ->
   iterations:int -> ?configs:Locality.config list -> Codegen.t ->
   (Codegen.ccand * Locality.config * float * float) list
 (** Every (candidate, config) pair as [(cand, config, base, adjusted)],

@@ -7,7 +7,7 @@ type t = {
   k_out_per_head : int;
 }
 
-let create ?(seed = 0) ~cost_model ~graph ~compiled ~lowered ~heads ~k_in
+let create ?(seed = 0) ~oracle ~graph ~compiled ~lowered ~heads ~k_in
     ~k_out_per_head ?(iterations = 100) () =
   if heads <= 0 then invalid_arg "Multi_head.create: heads must be positive";
   let n = Granii_graph.Graph.n_nodes graph in
@@ -18,7 +18,7 @@ let create ?(seed = 0) ~cost_model ~graph ~compiled ~lowered ~heads ~k_in
       k_out = k_out_per_head }
   in
   let choice =
-    Core.Selector.select ~cost_model
+    Core.Selector.select ~oracle
       ~feats:(Core.Featurizer.extract graph)
       ~env ~iterations compiled
   in

@@ -14,7 +14,7 @@ type t = private {
 }
 
 val create :
-  ?seed:int -> cost_model:Granii_core.Cost_model.t ->
+  ?seed:int -> oracle:Granii_core.Cost_oracle.t ->
   graph:Granii_graph.Graph.t -> compiled:Granii_core.Codegen.t ->
   lowered:Granii_mp.Lower.lowered -> heads:int -> k_in:int ->
   k_out_per_head:int -> ?iterations:int -> unit -> t

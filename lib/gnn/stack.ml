@@ -13,7 +13,7 @@ type t = {
   layers : layer list;
 }
 
-let build ?(seed = 0) ~cost_model ~graph ~compiled ~lowered ~dims ?(iterations = 100)
+let build ?(seed = 0) ~oracle ~graph ~compiled ~lowered ~dims ?(iterations = 100)
     () =
   if List.length dims < 2 then invalid_arg "Stack.build: need at least two dims";
   let n = Granii_graph.Graph.n_nodes graph in
@@ -28,7 +28,7 @@ let build ?(seed = 0) ~cost_model ~graph ~compiled ~lowered ~dims ?(iterations =
       (fun i (k_in, k_out) ->
         let env = { Core.Dim.n; nnz; k_in; k_out } in
         let choice =
-          Core.Selector.select ~cost_model ~feats ~env ~iterations compiled
+          Core.Selector.select ~oracle ~feats ~env ~iterations compiled
         in
         { l_plan = choice.Core.Selector.candidate.Core.Codegen.plan;
           l_params = Layer.init_params ~seed:(seed + (37 * i)) ~env lowered;

@@ -21,7 +21,7 @@ type t = private {
 }
 
 val build :
-  ?seed:int -> cost_model:Granii_core.Cost_model.t ->
+  ?seed:int -> oracle:Granii_core.Cost_oracle.t ->
   graph:Granii_graph.Graph.t -> compiled:Granii_core.Codegen.t ->
   lowered:Granii_mp.Lower.lowered -> dims:int list -> ?iterations:int ->
   unit -> t

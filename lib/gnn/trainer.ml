@@ -83,7 +83,7 @@ let retro_span obs ?(attrs = []) name dur =
 
 let train_minibatch ?(seed = 0) ?mask ?engine ?plan_cache
     ?(mode = Loader.Pipelined) ?classes ~fanouts ~epochs ~batch_size
-    ~optimizer ~cost_model ~compiled ~graph ~features ~labels ~params () =
+    ~optimizer ~oracle ~compiled ~graph ~features ~labels ~params () =
   let engine =
     match engine with
     | Some e ->
@@ -145,12 +145,18 @@ let train_minibatch ?(seed = 0) ?mask ?engine ?plan_cache
                   featurize_time := !featurize_time +. b.Loader.featurize_time;
                   let sub = b.Loader.sample.Granii_graph.Sampling.subgraph in
                   let n_sub = Granii_graph.Graph.n_nodes sub in
+                  let env =
+                    { Core.Dim.n = n_sub;
+                      nnz = Granii_graph.Graph.n_edges sub + n_sub;
+                      k_in;
+                      k_out = classes }
+                  in
                   let key =
                     Core.Plan_cache.key_of
                       ~graph_fp:(Core.Plan_cache.bucketed_fingerprint sub)
                       ~model:compiled.Core.Codegen.model_name ~k_in
                       ~k_out:classes
-                      ~hw:(Core.Cost_model.name cost_model)
+                      ~hw:(Core.Cost_oracle.name oracle)
                       ~threads:(Core.Engine.threads engine)
                       ~locality:(Core.Engine.locality engine)
                   in
@@ -159,14 +165,8 @@ let train_minibatch ?(seed = 0) ?mask ?engine ?plan_cache
                         match Core.Plan_cache.find cache key with
                         | Some lc -> lc
                         | None ->
-                            let env =
-                              { Core.Dim.n = n_sub;
-                                nnz = Granii_graph.Graph.n_edges sub + n_sub;
-                                k_in;
-                                k_out = classes }
-                            in
                             let lc =
-                              Core.Selector.select_localized ~cost_model
+                              Core.Selector.select_localized ~oracle
                                 ~feats:b.Loader.feats ~env ~iterations:1
                                 ~configs:[ Core.Engine.locality engine ]
                                 compiled
@@ -183,7 +183,7 @@ let train_minibatch ?(seed = 0) ?mask ?engine ?plan_cache
                   let bindings =
                     Layer.bindings ~graph:sub ~h:b.Loader.features !params
                   in
-                  let (loss, grads), exec_t =
+                  let (loss, grads, forward_t), exec_t =
                     Timer.measure_wall (fun () ->
                         let forward =
                           Core.Executor.exec ~seed:(seed + gidx) ~engine
@@ -206,8 +206,31 @@ let train_minibatch ?(seed = 0) ?mask ?engine ?plan_cache
                           Autodiff.backward ~plan ~graph:sub ~bindings
                             ~forward ~seed:dlogits
                         in
-                        (loss, grads))
+                        ( loss,
+                          grads,
+                          forward.Core.Executor.setup_time
+                          +. forward.Core.Executor.iteration_time ))
                   in
+                  (* per-batch (predicted, measured) pair — the plan-level
+                     training feed of the calibration loop. [predicted] is the
+                     raw analytic plan cost (uncorrected, so the fit targets
+                     base -> measured); [measured] is the forward execution
+                     only, which is what the plan prediction models. *)
+                  (if Core.Cost_oracle.calibration oracle <> Core.Cost_oracle.Off
+                   then
+                     let prof =
+                       match Core.Cost_oracle.profile oracle with
+                       | Some p -> p
+                       | None -> Granii_hw.Hw_profile.cpu
+                     in
+                     let predicted =
+                       Core.Cost_oracle.analytic_plan
+                         ~threads:(Core.Engine.threads engine) prof ~env
+                         ~iterations:1 plan
+                     in
+                     Core.Cost_oracle.observe oracle
+                       ~prim:("plan:" ^ plan.Core.Plan.name) ~predicted
+                       ~measured:forward_t);
                   retro_span obs "train.exec" exec_t;
                   exec_time := !exec_time +. exec_t;
                   Obs.count obs "train.batches" 1;

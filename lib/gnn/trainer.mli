@@ -49,7 +49,7 @@ val train_minibatch :
   ?plan_cache:Granii_core.Plan_cache.t -> ?mode:Loader.mode ->
   ?classes:int ->
   fanouts:int list -> epochs:int -> batch_size:int ->
-  optimizer:Optimizer.t -> cost_model:Granii_core.Cost_model.t ->
+  optimizer:Optimizer.t -> oracle:Granii_core.Cost_oracle.t ->
   compiled:Granii_core.Codegen.t -> graph:Granii_graph.Graph.t ->
   features:Granii_tensor.Dense.t -> labels:int array ->
   params:Layer.params -> unit -> minibatch_history
@@ -62,7 +62,16 @@ val train_minibatch :
     over [compiled] through [plan_cache] (default: a fresh 16-entry cache),
     keyed on {!Granii_core.Plan_cache.bucketed_fingerprint} of the sampled
     subgraph — structurally similar batches reuse the selected plan, so
-    selection amortizes to near zero.
+    selection amortizes to near zero. (The key includes
+    {!Granii_core.Cost_oracle.name}, which changes on every accepted
+    calibration pass — stale plans are never served from a recalibrated
+    oracle.)
+
+    When the oracle's calibration is not {!Granii_core.Cost_oracle.Off},
+    every batch feeds one plan-level (predicted, measured) pair into the
+    oracle via {!Granii_core.Cost_oracle.observe} — predicted is the raw
+    analytic plan cost, measured the forward execution time — so mini-batch
+    training {e is} the calibration loop's data stream.
 
     [mode] defaults to {!Loader.Pipelined}: a dedicated domain samples and
     featurizes batch [i+1] while batch [i] executes. Batches are pure

@@ -371,12 +371,19 @@ end
 (* ---- cost-model accuracy monitor ---- *)
 
 module Cost_monitor = struct
-  (* Per-primitive (predicted, measured) pairs; capped so a long profiling
-     sweep cannot grow the monitor without bound (the summary statistics of
-     the first [max_pairs] runs are representative). *)
+  (* Per-primitive (predicted, measured) pairs in a bounded ring, so a long
+     profiling sweep cannot grow the monitor without bound. The ring keeps
+     the [max_pairs] MOST RECENT pairs — the summary statistics (and the
+     calibration feed built on them) always describe the current regime,
+     not whatever the process happened to do first. *)
   let max_pairs = 4096
 
-  type series = { mutable pairs : (float * float) list; mutable n : int }
+  type series = {
+    mutable buf : (float * float) array;  (* ring storage, grows to max_pairs *)
+    mutable start : int;                  (* index of the oldest pair *)
+    mutable len : int;                    (* pairs currently held *)
+    mutable n : int;                      (* pairs ever recorded *)
+  }
 
   type t = (string, series) Hashtbl.t
 
@@ -387,13 +394,43 @@ module Cost_monitor = struct
       match Hashtbl.find_opt t prim with
       | Some s -> s
       | None ->
-          let s = { pairs = []; n = 0 } in
+          let s = { buf = Array.make 64 (0., 0.); start = 0; len = 0; n = 0 } in
           Hashtbl.add t prim s;
           s
     in
     s.n <- s.n + 1;
-    if List.length s.pairs < max_pairs then
-      s.pairs <- (predicted, measured) :: s.pairs
+    let cap = Array.length s.buf in
+    if s.len = cap && cap < max_pairs then begin
+      (* grow: unroll the ring into a doubled buffer *)
+      let cap' = min max_pairs (2 * cap) in
+      let buf' = Array.make cap' (0., 0.) in
+      for i = 0 to s.len - 1 do
+        buf'.(i) <- s.buf.((s.start + i) mod cap)
+      done;
+      s.buf <- buf';
+      s.start <- 0
+    end;
+    let cap = Array.length s.buf in
+    if s.len < cap then begin
+      s.buf.((s.start + s.len) mod cap) <- (predicted, measured);
+      s.len <- s.len + 1
+    end
+    else begin
+      (* full ring: overwrite the oldest pair *)
+      s.buf.(s.start) <- (predicted, measured);
+      s.start <- (s.start + 1) mod cap
+    end
+
+  (* Oldest-first snapshot of the pairs currently held. *)
+  let held (s : series) =
+    let cap = Array.length s.buf in
+    List.init s.len (fun i -> s.buf.((s.start + i) mod cap))
+
+  let series_pairs (t : t) prim =
+    match Hashtbl.find_opt t prim with None -> [] | Some s -> held s
+
+  let prims (t : t) =
+    Hashtbl.fold (fun prim _ acc -> prim :: acc) t [] |> List.sort compare
 
   type summary = {
     prim : string;
@@ -404,9 +441,7 @@ module Cost_monitor = struct
   }
 
   let summarize prim (s : series) =
-    let pairs =
-      List.filter (fun (p, m) -> p > 0. && m > 0.) (List.rev s.pairs)
-    in
+    let pairs = List.filter (fun (p, m) -> p > 0. && m > 0.) (held s) in
     let k = List.length pairs in
     let mean_abs_log_err =
       if k = 0 then nan

@@ -107,8 +107,18 @@ module Cost_monitor : sig
 
   val record : t -> prim:string -> predicted:float -> measured:float -> unit
   (** Log one (predicted, measured) runtime pair for a primitive. The
-      per-primitive series is capped at 4096 pairs; later runs still count
-      toward [n] but do not enter the summary statistics. *)
+      per-primitive series is a ring capped at 4096 pairs: once full, each
+      new pair displaces the oldest, so the summary statistics (and the
+      {!Granii_core.Cost_oracle} calibration feed) always describe the
+      most recent 4096 executions. [n] counts every recorded run. *)
+
+  val series_pairs : t -> string -> (float * float) list
+  (** The (predicted, measured) pairs currently held for a primitive,
+      oldest first ([[]] for an unknown primitive). This is the
+      calibration feed: at most the 4096 most recent pairs. *)
+
+  val prims : t -> string list
+  (** Primitive names with at least one recorded pair, sorted. *)
 
   type summary = {
     prim : string;

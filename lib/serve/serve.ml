@@ -9,7 +9,7 @@ module Engine = Granii_core.Engine
 module Executor = Granii_core.Executor
 module Selector = Granii_core.Selector
 module Featurizer = Granii_core.Featurizer
-module Cost_model = Granii_core.Cost_model
+module Cost_oracle = Granii_core.Cost_oracle
 module Locality = Granii_core.Locality
 module Dim = Granii_core.Dim
 module Codegen = Granii_core.Codegen
@@ -28,6 +28,7 @@ type config = {
   iterations : int;
   param_seed : int;
   locality : Locality.config;
+  calibration : Cost_oracle.calibration;
 }
 
 let default_config =
@@ -41,14 +42,16 @@ let default_config =
     profile = Granii_hw.Hw_profile.cpu;
     iterations = 1;
     param_seed = 11;
-    locality = Locality.default }
+    locality = Locality.default;
+    calibration = Cost_oracle.Off }
 
 let with_engine_axes (ec : Engine.config) cfg =
   { cfg with
     queue_bound = ec.Engine.queue_bound;
     batch_window = ec.Engine.batch_window;
     threads = ec.Engine.threads;
-    locality = ec.Engine.locality }
+    locality = ec.Engine.locality;
+    calibration = ec.Engine.calibration }
 
 type reject = Queue_full of { tenant : string; bound : int } | Shutdown
 
@@ -106,7 +109,7 @@ type t = {
   cfg : config;
   obs : Obs.t;
   clock : unit -> float;
-  cost_model : Cost_model.t;
+  oracle : Cost_oracle.t;
   pool : Parallel.t option;  (* manual-mode kernel pool *)
   pc : Plan_cache.t;
   graphs : (string, graph_entry) Hashtbl.t;
@@ -259,7 +262,7 @@ let feats_of (ge : graph_entry) =
 let select_plan t (ge : graph_entry) ~model ~k_in ~k_out =
   let key =
     Plan_cache.key_of ~graph_fp:ge.fp ~model ~k_in ~k_out
-      ~hw:t.cfg.profile.Granii_hw.Hw_profile.name ~threads:t.cfg.threads
+      ~hw:(Cost_oracle.name t.oracle) ~threads:t.cfg.threads
       ~locality:t.cfg.locality
   in
   let lc =
@@ -272,7 +275,7 @@ let select_plan t (ge : graph_entry) ~model ~k_in ~k_out =
         let env = { Dim.n; nnz = Graph.n_edges ge.graph + n; k_in; k_out } in
         let lc =
           Obs.span t.obs "serve.select" (fun () ->
-              Selector.select_localized ~obs:t.obs ~cost_model:t.cost_model
+              Selector.select_localized ~obs:t.obs ~oracle:t.oracle
                 ~feats ~env ~iterations:t.cfg.iterations
                 ~configs:[ t.cfg.locality ] compiled)
         in
@@ -440,7 +443,9 @@ let create ?(obs = Obs.disabled) ?(clock = Timer.wall) cfg =
     { cfg;
       obs;
       clock;
-      cost_model = Cost_model.analytic cfg.profile;
+      oracle =
+        Cost_oracle.of_model ~calibration:cfg.calibration ~obs
+          (Granii_core.Cost_model.analytic cfg.profile);
       pool;
       pc = Plan_cache.create ~obs ~capacity:cfg.plan_cache ();
       graphs = Hashtbl.create 8;
@@ -643,7 +648,7 @@ let oracle t ~graph ~model ~k_out ~features =
         let n = Graph.n_nodes ge.graph in
         let env = { Dim.n; nnz = Graph.n_edges ge.graph + n; k_in; k_out } in
         let lc =
-          Selector.select_localized ~cost_model:t.cost_model ~feats ~env
+          Selector.select_localized ~oracle:t.oracle ~feats ~env
             ~iterations:t.cfg.iterations ~configs:[ t.cfg.locality ]
             compiled
         in

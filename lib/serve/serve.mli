@@ -82,17 +82,23 @@ type config = {
           execute under the default layout (widening happens in the
           original id space; layout is bitwise-transparent, so any cached
           plan is correct there). *)
+  calibration : Granii_core.Cost_oracle.calibration;
+      (** calibration policy of the server's {!Granii_core.Cost_oracle}
+          (default {!Granii_core.Cost_oracle.Off}). The plan cache is keyed
+          on {!Granii_core.Cost_oracle.name}, which changes on every
+          accepted calibration pass, so recalibrated oracles never serve a
+          stale plan. *)
 }
 
 val default_config : config
 (** [workers=0], [queue_bound=64], [batch_window=0], [max_batch=8],
     [plan_cache=32], [batching=true], [threads=1], host-CPU profile,
-    [iterations=1], [param_seed=11], default locality. *)
+    [iterations=1], [param_seed=11], default locality, calibration off. *)
 
 val with_engine_axes : Granii_core.Engine.config -> config -> config
 (** Copy the serving axes an {!Granii_core.Engine.config} carries
-    ([queue_bound], [batch_window], [threads], [locality]) into a serving
-    config — the bridge from the CLI's [--engine] spec. *)
+    ([queue_bound], [batch_window], [threads], [locality], [calibration])
+    into a serving config — the bridge from the CLI's [--engine] spec. *)
 
 type reject =
   | Queue_full of { tenant : string; bound : int }

@@ -14,7 +14,7 @@
       workspace did not issue, so callers may release conservatively (e.g.
       an executor freeing whatever backs a dead intermediate, bindings
       included).
-    - {!reclaim} is the arena reset: {!Granii_core.Executor.run} performs it
+    - {!reclaim} is the arena reset: {!Granii_core.Executor.exec} performs it
       on entry, so every value produced by the previous run on the same
       workspace (output and intermediates alike) is invalidated by the next
       run. Copy anything you need to keep.

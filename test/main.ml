@@ -21,4 +21,5 @@ let () =
       ("formats", Test_formats.suite);
       ("serve", Test_serve.suite);
       ("minibatch", Test_minibatch.suite);
+      ("calibration", Test_calibration.suite);
       ("integration", Test_integration.suite) ]

@@ -121,23 +121,28 @@ let legal_grid =
                 (fun cache ->
                   List.concat_map
                     (fun keep_intermediates ->
-                      List.filter_map
+                      List.concat_map
                         (fun locality ->
-                          let cfg =
-                            { Engine.default_config with
-                              threads;
-                              workspace;
-                              cache;
-                              locality;
-                              keep_intermediates;
-                              queue_bound;
-                              batch_window }
-                          in
-                          match Engine.create cfg with
-                          | Ok e ->
-                              Engine.shutdown e;
-                              Some cfg
-                          | Error _ -> None)
+                          List.filter_map
+                            (fun calibration ->
+                              let cfg =
+                                { Engine.default_config with
+                                  threads;
+                                  workspace;
+                                  cache;
+                                  locality;
+                                  keep_intermediates;
+                                  queue_bound;
+                                  batch_window;
+                                  calibration }
+                              in
+                              match Engine.create cfg with
+                              | Ok e ->
+                                  Engine.shutdown e;
+                                  Some cfg
+                              | Error _ -> None)
+                            [ Cost_oracle.Off; Cost_oracle.Affine;
+                              Cost_oracle.Refit ])
                         Locality.all_configs)
                     [ true; false ])
                 [ false; true ])
@@ -178,6 +183,25 @@ let test_describe_roundtrip () =
         | Error _ -> true
         | Ok _ -> false))
     [ "queue_bound=lots"; "batch_window=soon" ];
+  (* the calibration axis (PR 9): the oracle's online-correction policy *)
+  check_true "calibration=affine parses"
+    (match Engine.config_of_string "calibration=affine" with
+    | Ok cfg -> cfg.Engine.calibration = Cost_oracle.Affine
+    | Error _ -> false);
+  check_true "calibration=refit parses"
+    (match Engine.config_of_string "calibration=refit" with
+    | Ok cfg -> cfg.Engine.calibration = Cost_oracle.Refit
+    | Error _ -> false);
+  check_true "unknown calibration policy is a parse error"
+    (match Engine.config_of_string "calibration=sometimes" with
+    | Error msg ->
+        let has_sub sub s =
+          let n = String.length sub and m = String.length s in
+          let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+          go 0
+        in
+        has_sub "off|affine|refit" msg
+    | Ok _ -> false);
   (* the format axis (PR 7): the grid auto-widened over bsr/cbm, the new
      names parse, and an unknown format gets the typed Invalid_format
      message rather than generic spec noise *)
@@ -293,8 +317,8 @@ let test_all_disabled_is_seed () =
       List.iter
         (fun (c : Codegen.ccand) ->
           let reference =
-            Executor.run ~timing:Executor.Measure ~graph ~bindings
-              c.Codegen.plan
+            Executor.exec ~engine:(Engine.default ()) ~timing:Executor.Measure
+              ~graph ~bindings c.Codegen.plan
           in
           let bare =
             Executor.exec ~engine:(Engine.default ()) ~disable
@@ -333,14 +357,17 @@ let test_differential_grid () =
             && cfg.Engine.queue_bound = Engine.default_config.Engine.queue_bound
             && cfg.Engine.batch_window
                = Engine.default_config.Engine.batch_window
+            (* calibration shapes prediction, never execution; the grid pins
+               the acceptance-gated [Off] arm and stays fast *)
+            && cfg.Engine.calibration = Cost_oracle.Off
             && (name <> "gin" || Locality.is_default cfg.Engine.locality))
           legal_grid
       in
       List.iter
         (fun (c : Codegen.ccand) ->
           let reference =
-            Executor.run ~timing:Executor.Measure ~graph ~bindings
-              c.Codegen.plan
+            Executor.exec ~engine:(Engine.default ()) ~timing:Executor.Measure
+              ~graph ~bindings c.Codegen.plan
           in
           List.iter
             (fun cfg ->
@@ -372,7 +399,8 @@ let test_multicore_engine_bitwise () =
   let _, bindings = setup_bindings ~k_in:8 ~k_out:8 low graph in
   let plan = (List.hd compiled.Codegen.candidates).Codegen.plan in
   let reference =
-    Executor.run ~timing:Executor.Measure ~graph ~bindings plan
+    Executor.exec ~engine:(Engine.default ()) ~timing:Executor.Measure ~graph
+      ~bindings plan
   in
   let engine = Engine.create_exn { Engine.default_config with threads = 2 } in
   let r =
@@ -422,15 +450,19 @@ let test_cache_graph_mismatch () =
        false
      with Engine.Error (Engine.Cache_graph_mismatch _) -> true)
 
-(* ---- of_legacy mirrors the optional arguments ---- *)
+(* ---- injected resources normalize the stored config ---- *)
 
-let test_of_legacy_mirrors () =
-  let e = Engine.of_legacy () in
-  check_true "bare of_legacy is the default config"
+let test_injected_resources_normalize () =
+  let e = Engine.default () in
+  check_true "bare default engine is the default config"
     (Engine.config e = Engine.default_config);
   let ws = Granii_tensor.Workspace.create () in
-  let e = Engine.of_legacy ~workspace:ws ~keep_intermediates:false () in
-  check_true "workspace reflected" (Engine.config e).Engine.workspace;
+  let e =
+    Engine.create_exn ~workspace:ws
+      { Engine.default_config with keep_intermediates = false }
+  in
+  check_true "injected workspace forces the axis on"
+    (Engine.config e).Engine.workspace;
   check_true "liveness policy reflected"
     (not (Engine.config e).Engine.keep_intermediates);
   check_true "injected workspace is the one stored"
@@ -453,5 +485,5 @@ let suite =
       test_multicore_engine_bitwise;
     Alcotest.test_case "cache graph fingerprint" `Quick
       test_cache_graph_mismatch;
-    Alcotest.test_case "of_legacy mirrors arguments" `Quick
-      test_of_legacy_mirrors ]
+    Alcotest.test_case "injected resources normalize config" `Quick
+      test_injected_resources_normalize ]

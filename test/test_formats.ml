@@ -365,8 +365,8 @@ let test_engine_grid_bitwise () =
       List.iter
         (fun (c : Codegen.ccand) ->
           let reference =
-            Executor.run ~timing:Executor.Measure ~graph ~bindings
-              c.Codegen.plan
+            Executor.exec ~engine:(Engine.default ())
+              ~timing:Executor.Measure ~graph ~bindings c.Codegen.plan
           in
           List.iter
             (fun cfg ->
@@ -426,9 +426,9 @@ let test_selector_picks_bsr () =
      near dense-GEMM throughput and the model must route SpMM to BSR *)
   let graph = G.Generators.blocked ~seed:5 ~n:4096 ~blocks_per_row:6 () in
   let _, compiled = compile_model (Mp.Mp_models.find "gcn") in
-  let cm = Cost_model.analytic Granii_hw.Hw_profile.a100 in
+  let cm = Cost_oracle.analytic Granii_hw.Hw_profile.a100 in
   let ld =
-    Granii.optimize_localized ~cost_model:cm ~graph ~k_in:256 ~k_out:256
+    Granii.optimize_localized ~oracle:cm ~graph ~k_in:256 ~k_out:256
       ~iterations:100 compiled
   in
   check_true "bsr format selected"
@@ -444,9 +444,9 @@ let test_selector_picks_cbm () =
     G.Generators.community_overlap ~seed:5 ~n:4096 ~groups:64 ~degree:16 ()
   in
   let _, compiled = compile_model (Mp.Mp_models.find "gcn") in
-  let cm = Cost_model.analytic Granii_hw.Hw_profile.cpu in
+  let cm = Cost_oracle.analytic Granii_hw.Hw_profile.cpu in
   let ld =
-    Granii.optimize_localized ~cost_model:cm ~graph ~k_in:256 ~k_out:256
+    Granii.optimize_localized ~oracle:cm ~graph ~k_in:256 ~k_out:256
       ~iterations:100 compiled
   in
   check_true "cbm format selected"
@@ -469,7 +469,7 @@ let test_selector_flops_never_picks_formats () =
           k_out = 256 }
       in
       let lc =
-        Selector.select_localized ~cost_model:Cost_model.flops_only ~feats
+        Selector.select_localized ~oracle:(Cost_oracle.flops_only ()) ~feats
           ~env ~iterations:100 compiled
       in
       check_true "flops model keeps the legacy layout"

@@ -53,7 +53,10 @@ let test_autodiff_finite_difference () =
   let labels = Array.init n (fun i -> i mod k_out) in
   let loss_of params =
     let bindings = Gnn.Layer.bindings ~graph ~h params in
-    let fwd = Executor.run ~timing:Executor.Measure ~graph ~bindings plan in
+    let fwd =
+      Executor.exec ~engine:(Engine.default ()) ~timing:Executor.Measure
+        ~graph ~bindings plan
+    in
     match fwd.Executor.output with
     | Executor.Vdense logits ->
         let loss, dlogits = Gnn.Loss.softmax_cross_entropy ~logits ~labels () in
@@ -93,7 +96,10 @@ let test_autodiff_gat_finite_difference () =
   let labels = Array.init n (fun i -> i mod k_out) in
   let loss_of params =
     let bindings = Gnn.Layer.bindings ~graph ~h params in
-    let fwd = Executor.run ~timing:Executor.Measure ~graph ~bindings plan in
+    let fwd =
+      Executor.exec ~engine:(Engine.default ()) ~timing:Executor.Measure
+        ~graph ~bindings plan
+    in
     match fwd.Executor.output with
     | Executor.Vdense logits ->
         let loss, dlogits = Gnn.Loss.softmax_cross_entropy ~logits ~labels () in

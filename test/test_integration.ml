@@ -55,7 +55,8 @@ let test_parametric_hops_execute () =
     List.map
       (fun (c : Codegen.ccand) ->
         match
-          (Executor.run ~timing:Executor.Measure ~graph ~bindings c.Codegen.plan)
+          (Executor.exec ~engine:(Engine.default ()) ~timing:Executor.Measure
+             ~graph ~bindings c.Codegen.plan)
             .Executor.output
         with
         | Executor.Vdense d -> d
@@ -105,7 +106,7 @@ let test_prune_near_optimal =
    the analytic cost model is never slower than either baseline system by
    more than noise, and is faster overall. *)
 let test_headline_speedup () =
-  let cm_of = Cost_model.analytic in
+  let cm_of = Cost_oracle.analytic in
   let graphs =
     [ G.Generators.rmat ~seed:51 ~scale:10 ~edge_factor:48 ();
       G.Generators.grid2d ~seed:52 ~rows:48 ~cols:48 () ]
@@ -133,7 +134,7 @@ let test_headline_speedup () =
                         in
                         let feats = Featurizer.extract graph in
                         let choice =
-                          Selector.select ~cost_model:(cm_of profile) ~feats ~env
+                          Selector.select ~oracle:(cm_of profile) ~feats ~env
                             ~iterations:100 compiled
                         in
                         let t plan =

@@ -247,13 +247,15 @@ let check_model_roundtrip name graph =
   List.iter
     (fun (c : Codegen.ccand) ->
       let reference =
-        Executor.run ~timing:Executor.Measure ~graph ~bindings c.Codegen.plan
+        Executor.exec ~engine:(Engine.default ()) ~timing:Executor.Measure
+          ~graph ~bindings c.Codegen.plan
       in
       List.iter
         (fun locality ->
           let localized =
-            Executor.run ~locality ~timing:Executor.Measure ~graph ~bindings
-              c.Codegen.plan
+            Executor.exec
+              ~engine:(Engine.create_exn { Engine.default_config with locality })
+              ~timing:Executor.Measure ~graph ~bindings c.Codegen.plan
           in
           check_true
             (Printf.sprintf "%s/%s under %s bitwise" name c.Codegen.plan.Plan.name
@@ -275,8 +277,9 @@ let test_run_iterations_localized () =
   let _, bindings = setup_bindings ~k_in:9 ~k_out:7 low graph in
   let plan = (List.hd compiled.Codegen.candidates).Codegen.plan in
   let run locality =
-    Executor.run_iterations ~locality ~timing:Executor.Measure ~graph ~bindings
-      ~iterations:3 plan
+    Executor.exec_iterations
+      ~engine:(Engine.create_exn { Engine.default_config with locality })
+      ~timing:Executor.Measure ~graph ~bindings ~iterations:3 plan
   in
   let reference = run Locality.default in
   check_float "no layout work by default" 0. reference.Executor.layout_time;
@@ -293,8 +296,7 @@ let test_run_iterations_localized () =
 let test_cache_locality_rejected () =
   (* the legality matrix lives in Engine.create: a cache combined with a
      non-default layout is a typed error (cached values would live in a
-     permuted vertex id space), both at construction and through the
-     deprecated wrapper. *)
+     permuted vertex id space), also when the cache arrives by injection. *)
   let locality =
     { Locality.strategy = Reorder.Degree_sort; format = Locality.Hybrid }
   in
@@ -302,16 +304,11 @@ let test_cache_locality_rejected () =
   | Error (Engine.Cache_with_locality c) ->
       check_true "error carries the offending layout" (c = locality)
   | Ok _ | Error _ -> Alcotest.fail "cache + locality must be rejected");
-  let model = Mp.Mp_models.find "gcn" in
-  let low, compiled = compile_model model in
-  let graph = G.Generators.erdos_renyi ~seed:3 ~n:30 ~avg_degree:4. () in
-  let _, bindings = setup_bindings ~k_in:9 ~k_out:7 low graph in
-  let plan = (List.hd compiled.Codegen.candidates).Codegen.plan in
-  check_true "deprecated wrapper raises the same typed error"
+  check_true "an injected cache raises the same typed error"
     (try
        ignore
-         (Executor.run ~cache:(Executor.cache_create ()) ~locality
-            ~timing:Executor.Measure ~graph ~bindings plan);
+         (Engine.create_exn ~cache:(Engine.cache_create ())
+            { Engine.default_config with locality });
        false
      with Engine.Error (Engine.Cache_with_locality _) -> true)
 
@@ -342,9 +339,9 @@ let test_selector_picks_hybrid () =
      cache and the analytic model credits the hybrid layout. *)
   let graph = Lazy.force skewed_graph in
   let _, compiled = compile_model (Mp.Mp_models.find "gcn") in
-  let cm = Cost_model.analytic Granii_hw.Hw_profile.cpu in
+  let cm = Cost_oracle.analytic Granii_hw.Hw_profile.cpu in
   let ld =
-    Granii.optimize_localized ~cost_model:cm ~graph ~k_in:1024 ~k_out:1024
+    Granii.optimize_localized ~oracle:cm ~graph ~k_in:1024 ~k_out:1024
       ~iterations:100 compiled
   in
   check_true "hybrid format selected" (ld.Granii.config.Locality.format = Locality.Hybrid);
@@ -356,7 +353,7 @@ let test_selector_forced_csr () =
      legacy path and reproduce plain Selector.select exactly. *)
   let graph = Lazy.force skewed_graph in
   let _, compiled = compile_model (Mp.Mp_models.find "gcn") in
-  let cm = Cost_model.analytic Granii_hw.Hw_profile.cpu in
+  let cm = Cost_oracle.analytic Granii_hw.Hw_profile.cpu in
   let feats = Featurizer.extract graph in
   let env =
     { Dim.n = G.Graph.n_nodes graph;
@@ -365,10 +362,10 @@ let test_selector_forced_csr () =
       k_out = 1024 }
   in
   let lc =
-    Selector.select_localized ~cost_model:cm ~feats ~env ~iterations:100
+    Selector.select_localized ~oracle:cm ~feats ~env ~iterations:100
       ~configs:[ Locality.default ] compiled
   in
-  let plain = Selector.select ~cost_model:cm ~feats ~env ~iterations:100 compiled in
+  let plain = Selector.select ~oracle:cm ~feats ~env ~iterations:100 compiled in
   check_true "legacy config" (Locality.is_default lc.Selector.config);
   check_true "same candidate"
     (lc.Selector.lchoice.Selector.candidate.Codegen.plan.Plan.name
@@ -389,7 +386,7 @@ let test_selector_flops_degenerates () =
       k_out = 16 }
   in
   let lc =
-    Selector.select_localized ~cost_model:Cost_model.flops_only ~feats ~env
+    Selector.select_localized ~oracle:(Cost_oracle.flops_only ()) ~feats ~env
       ~iterations:100 compiled
   in
   check_true "flops model keeps the legacy layout"

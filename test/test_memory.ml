@@ -158,16 +158,21 @@ let test_workspace_bitwise (m : Mp.Mp_ast.model) () =
   List.iter
     (fun (c : Codegen.ccand) ->
       let plan = c.Codegen.plan in
-      let reference = Executor.run ~timing ~graph ~bindings plan in
-      let with_ws = Executor.run ~workspace:ws ~timing ~graph ~bindings plan in
+      let reference = Executor.exec ~engine:(Engine.default ()) ~timing ~graph ~bindings plan in
+      let with_ws = Executor.exec
+          ~engine:(Engine.create_exn ~workspace:ws Engine.default_config)
+          ~timing ~graph ~bindings plan in
       check_true
         (Printf.sprintf "%s: workspace output bitwise equal" plan.Plan.name)
         (value_bits_equal reference.Executor.output with_ws.Executor.output);
       (* liveness recycling drops intermediates but must not change the
          output *)
       let recycled =
-        Executor.run ~workspace:ws ~keep_intermediates:false ~timing ~graph
-          ~bindings plan
+        Executor.exec
+          ~engine:
+            (Engine.create_exn ~workspace:ws
+               { Engine.default_config with keep_intermediates = false })
+          ~timing ~graph ~bindings plan
       in
       check_true
         (Printf.sprintf "%s: recycled output bitwise equal" plan.Plan.name)
@@ -176,11 +181,12 @@ let test_workspace_bitwise (m : Mp.Mp_ast.model) () =
         (recycled.Executor.intermediates = []);
       (* steady-state driver, fresh and warm arena *)
       let iterated =
-        Executor.run_iterations ~workspace:ws ~timing ~graph ~bindings
-          ~iterations:3 plan
+        Executor.exec_iterations
+          ~engine:(Engine.create_exn ~workspace:ws Engine.default_config)
+          ~timing ~graph ~bindings ~iterations:3 plan
       in
       check_true
-        (Printf.sprintf "%s: run_iterations output bitwise equal" plan.Plan.name)
+        (Printf.sprintf "%s: exec_iterations output bitwise equal" plan.Plan.name)
         (value_bits_equal reference.Executor.output iterated.Executor.output))
     compiled.Codegen.candidates
 
@@ -189,17 +195,19 @@ let test_run_iterations_no_ws () =
   let low, compiled = compile_model Mp.Mp_models.gcn in
   let _, bindings = setup_bindings ~k_in:9 low graph in
   let c = List.hd compiled.Codegen.candidates in
-  let reference = Executor.run ~timing ~graph ~bindings c.Codegen.plan in
+  let reference = Executor.exec ~engine:(Engine.default ()) ~timing ~graph ~bindings
+      c.Codegen.plan in
   let iterated =
-    Executor.run_iterations ~timing ~graph ~bindings ~iterations:2 c.Codegen.plan
+    Executor.exec_iterations ~engine:(Engine.default ()) ~timing ~graph
+      ~bindings ~iterations:2 c.Codegen.plan
   in
-  check_true "run_iterations without workspace matches run"
+  check_true "exec_iterations without workspace matches exec"
     (value_bits_equal reference.Executor.output iterated.Executor.output);
   check_true "iterations must be positive"
     (try
        ignore
-         (Executor.run_iterations ~timing ~graph ~bindings ~iterations:0
-            c.Codegen.plan);
+         (Executor.exec_iterations ~engine:(Engine.default ()) ~timing ~graph
+            ~bindings ~iterations:0 c.Codegen.plan);
        false
      with Invalid_argument _ -> true)
 
@@ -214,13 +222,24 @@ let test_no_stale_aliasing () =
   let ws = Workspace.create () in
   let c = List.hd compiled.Codegen.candidates in
   let plan = c.Codegen.plan in
-  let ref1 = Executor.run ~timing ~graph ~bindings:bindings1 plan in
-  let ref2 = Executor.run ~timing ~graph ~bindings:bindings2 plan in
+  let ref1 =
+    Executor.exec ~engine:(Engine.default ()) ~timing ~graph
+      ~bindings:bindings1 plan
+  in
+  let ref2 =
+    Executor.exec ~engine:(Engine.default ()) ~timing ~graph
+      ~bindings:bindings2 plan
+  in
   for _ = 1 to 3 do
-    let r1 = Executor.run ~workspace:ws ~timing ~graph ~bindings:bindings1 plan in
+    let ews () = Engine.create_exn ~workspace:ws Engine.default_config in
+    let r1 =
+      Executor.exec ~engine:(ews ()) ~timing ~graph ~bindings:bindings1 plan
+    in
     check_true "input 1 result uncontaminated"
       (value_bits_equal ref1.Executor.output r1.Executor.output);
-    let r2 = Executor.run ~workspace:ws ~timing ~graph ~bindings:bindings2 plan in
+    let r2 =
+      Executor.exec ~engine:(ews ()) ~timing ~graph ~bindings:bindings2 plan
+    in
     check_true "input 2 result uncontaminated"
       (value_bits_equal ref2.Executor.output r2.Executor.output)
   done;
@@ -236,12 +255,13 @@ let test_reclaim_invalidates () =
   let _, bindings = setup_bindings ~k_in:9 low graph in
   let ws = Workspace.create () in
   let c = List.hd compiled.Codegen.candidates in
-  let r1 = Executor.run ~workspace:ws ~timing ~graph ~bindings c.Codegen.plan in
+  let ews () = Engine.create_exn ~workspace:ws Engine.default_config in
+  let r1 = Executor.exec ~engine:(ews ()) ~timing ~graph ~bindings c.Codegen.plan in
   let d1 = match r1.Executor.output with
     | Executor.Vdense d -> d
     | _ -> Alcotest.fail "dense expected"
   in
-  let r2 = Executor.run ~workspace:ws ~timing ~graph ~bindings c.Codegen.plan in
+  let r2 = Executor.exec ~engine:(ews ()) ~timing ~graph ~bindings c.Codegen.plan in
   let d2 = match r2.Executor.output with
     | Executor.Vdense d -> d
     | _ -> Alcotest.fail "dense expected"
@@ -255,17 +275,20 @@ let test_cache_hits_and_equality () =
   let graph = small_graph () in
   let low, compiled = compile_model Mp.Mp_models.gcn in
   let _, bindings = setup_bindings ~k_in:9 low graph in
-  let cache = Executor.cache_create () in
+  let cache = Engine.cache_create () in
   List.iter
     (fun (c : Codegen.ccand) ->
       let plan = c.Codegen.plan in
-      let reference = Executor.run ~timing ~graph ~bindings plan in
-      let cached = Executor.run ~cache ~timing ~graph ~bindings plan in
+      let reference = Executor.exec ~engine:(Engine.default ()) ~timing ~graph ~bindings plan in
+      let cached =
+        Executor.exec ~engine:(Engine.create_exn ~cache Engine.default_config)
+          ~timing ~graph ~bindings plan
+      in
       check_true
         (Printf.sprintf "%s: cached output bitwise equal" plan.Plan.name)
         (value_bits_equal reference.Executor.output cached.Executor.output))
     compiled.Codegen.candidates;
-  let hits, misses = Executor.cache_stats cache in
+  let hits, misses = Engine.cache_stats cache in
   check_true "shared subtrees were actually served from the cache" (hits > 0);
   check_true "distinct subtrees were computed once each" (misses > 0)
 
@@ -275,12 +298,19 @@ let test_cache_timing_transparent () =
   let graph = small_graph () in
   let low, compiled = compile_model Mp.Mp_models.gcn in
   let _, bindings = setup_bindings ~k_in:9 low graph in
-  let cache = Executor.cache_create () in
+  let cache = Engine.cache_create () in
   List.iter
     (fun (c : Codegen.ccand) ->
       let plan = c.Codegen.plan in
-      let plain = Executor.run ~seed:5 ~timing ~graph ~bindings plan in
-      let cached = Executor.run ~seed:5 ~cache ~timing ~graph ~bindings plan in
+      let plain =
+        Executor.exec ~seed:5 ~engine:(Engine.default ()) ~timing ~graph
+          ~bindings plan
+      in
+      let cached =
+        Executor.exec ~seed:5
+          ~engine:(Engine.create_exn ~cache Engine.default_config)
+          ~timing ~graph ~bindings plan
+      in
       check_float ~eps:1e-12
         (Printf.sprintf "%s: setup time unchanged by caching" plan.Plan.name)
         plain.Executor.setup_time cached.Executor.setup_time;
@@ -298,7 +328,7 @@ let test_cache_workspace_legal () =
   let _, bindings = setup_bindings ~k_in:9 low graph in
   let c = List.hd compiled.Codegen.candidates in
   let plan = c.Codegen.plan in
-  let reference = Executor.run ~timing ~graph ~bindings plan in
+  let reference = Executor.exec ~engine:(Engine.default ()) ~timing ~graph ~bindings plan in
   let engine =
     Engine.create_exn
       { Engine.default_config with workspace = true; cache = true }

@@ -234,7 +234,7 @@ let test_minibatch_bitwise_differential () =
   let low, compiled = Test_engine.compile_model (Mp.Mp_models.find "gcn") in
   let env = { Dim.n; nnz = G.Graph.n_edges g + n; k_in; k_out = classes } in
   let params = Gnn.Layer.init_params ~seed:3 ~env low in
-  let cm = Cost_model.analytic Granii_hw.Hw_profile.cpu in
+  let cm = Cost_oracle.analytic Granii_hw.Hw_profile.cpu in
   let run ~mode ~threads ~workspace =
     let engine =
       Engine.create_exn { Engine.default_config with threads; workspace }
@@ -243,7 +243,7 @@ let test_minibatch_bitwise_differential () =
         Gnn.Trainer.train_minibatch ~seed:1 ~engine ~mode ~classes
           ~fanouts:[ 5; 3 ] ~epochs:2 ~batch_size:64
           ~optimizer:(Gnn.Optimizer.adam ~lr:0.02 ())
-          ~cost_model:cm ~compiled ~graph:g ~features ~labels ~params ())
+          ~oracle:cm ~compiled ~graph:g ~features ~labels ~params ())
   in
   List.iter
     (fun (threads, workspace) ->
@@ -286,7 +286,7 @@ let test_minibatch_engine_legality () =
     Gnn.Trainer.train_minibatch ~engine ~fanouts:[ 4 ] ~epochs:1
       ~batch_size:32
       ~optimizer:(Gnn.Optimizer.sgd ~lr:0.1 ())
-      ~cost_model:(Cost_model.analytic Granii_hw.Hw_profile.cpu)
+      ~oracle:(Cost_oracle.analytic Granii_hw.Hw_profile.cpu)
       ~compiled ~graph:g ~features ~labels ~params ()
   in
   let dropping =
@@ -354,7 +354,7 @@ let test_bucketed_cache_keys () =
   in
   let lc g_ =
     Selector.select_localized
-      ~cost_model:(Cost_model.analytic Granii_hw.Hw_profile.cpu)
+      ~oracle:(Cost_oracle.analytic Granii_hw.Hw_profile.cpu)
       ~feats:(Featurizer.extract g_) ~env:(env g_) ~iterations:1
       ~configs:[ Locality.default ] compiled
   in
@@ -376,6 +376,33 @@ let test_bucketed_cache_keys () =
   check_true "model name is case-normalized"
     ((key a).Plan_cache.model = "gcn")
 
+(* Boundary values of the bucket formula itself: node/edge buckets are
+   floor-log2, the degree bucket is 2*avg_degree rounded half away from
+   zero — each boundary is pinned by an exact expected string. *)
+let test_bucketed_fingerprint_boundaries () =
+  let path n_nodes n_edges =
+    (* a path with [n_edges] undirected edges -> 2*n_edges CSR entries *)
+    G.Graph.of_edges ~name:"fp" ~n:n_nodes
+      (List.init n_edges (fun i -> (i, i + 1)))
+  in
+  let expect name g s =
+    check_true
+      (Printf.sprintf "%s: n=%d nnz=%d -> %s" name (G.Graph.n_nodes g)
+         (G.Graph.n_edges g) s)
+      (String.equal (Plan_cache.bucketed_fingerprint g) s)
+  in
+  (* half-step degree rounding: 2*10/8 = 2.5 rounds away to d3, while
+     2*8/8 = 2.0 stays d2 — the boundary between the two degree rungs *)
+  expect "degree boundary above" (path 8 5) "bkt:n2^3:e2^3:d3";
+  expect "degree boundary below" (path 8 4) "bkt:n2^3:e2^3:d2";
+  (* edge-bucket boundary: nnz 8 -> e2^3, nnz 6 -> e2^2 *)
+  expect "edge bucket below the power of two" (path 8 3) "bkt:n2^3:e2^2:d2";
+  (* node-bucket boundary: n=8 -> n2^3, n=7 -> n2^2 (floor log2) *)
+  expect "node bucket below the power of two" (path 7 3) "bkt:n2^2:e2^2:d2";
+  (* degenerate graphs take the zero buckets rather than raising *)
+  expect "single node, no edges" (path 1 0) "bkt:n2^0:e2^0:d0";
+  expect "nodes but no edges" (path 4 0) "bkt:n2^2:e2^0:d0"
+
 let suite =
   [ Alcotest.test_case "layered sampler: deterministic in seed" `Quick
       test_layered_deterministic;
@@ -395,4 +422,6 @@ let suite =
     Alcotest.test_case "train_minibatch: engine legality" `Quick
       test_minibatch_engine_legality;
     Alcotest.test_case "plan cache: bucketed fingerprint keying" `Quick
-      test_bucketed_cache_keys ]
+      test_bucketed_cache_keys;
+    Alcotest.test_case "plan cache: fingerprint bucket boundaries" `Quick
+      test_bucketed_fingerprint_boundaries ]

@@ -150,7 +150,9 @@ let test_baseline_matches_enumeration () =
   let bindings = Granii_gnn.Layer.bindings ~graph ~h params in
   let run plan =
     match
-      (Executor.run ~timing:Executor.Measure ~graph ~bindings plan).Executor.output
+      (Executor.exec ~engine:(Engine.default ()) ~timing:Executor.Measure
+         ~graph ~bindings plan)
+        .Executor.output
     with
     | Executor.Vdense d -> d
     | _ -> Alcotest.fail "dense expected"

@@ -216,9 +216,9 @@ let test_costmon_statistics () =
       | Error e -> Alcotest.fail ("cost monitor JSON: " ^ e))
   | l -> Alcotest.fail (Printf.sprintf "expected 3 summaries, got %d" (List.length l))
 
-(* At the 4096-pair cap later pairs still count toward [n] but stay out of
-   the summary statistics: an adversarially wrong pair recorded after the
-   cap must not move the error or the inversion count. *)
+(* The 4096-pair cap is a ring: pairs recorded after the cap displace the
+   oldest ones, so the summary statistics always describe the most recent
+   4096 executions. [n] still counts every recorded run. *)
 let test_costmon_cap () =
   let cm = Cm.create () in
   for _ = 1 to 4096 do
@@ -226,16 +226,27 @@ let test_costmon_cap () =
   done;
   Cm.record cm ~prim:"spmm" ~predicted:1. ~measured:1024.;
   Cm.record cm ~prim:"spmm" ~predicted:1024. ~measured:1.;
-  match Cm.summaries cm with
+  let pairs = Cm.series_pairs cm "spmm" in
+  check_int "the ring holds exactly the cap" 4096 (List.length pairs);
+  (match List.filteri (fun i _ -> i >= 4094) pairs with
+  | [ (1., 1024.); (1024., 1.) ] -> ()
+  | _ -> Alcotest.fail "newest pairs must be at the tail of the ring");
+  (match Cm.summaries cm with
   | [ s ] ->
       check_int "every run counted, capped or not" 4098 s.Cm.n;
-      check_float "post-cap pairs do not enter the statistics" ~eps:1e-12 0.
+      check_float "post-cap pairs displace oldest and enter the statistics"
+        ~eps:1e-12
+        (2. *. log 1024. /. 4096.)
         s.Cm.mean_abs_log_err;
-      check_int "post-cap pairs cause no inversions" 0 s.Cm.rank_inversions;
+      check_int "the adversarial pair is an inversion" 1 s.Cm.rank_inversions;
+      check_int "only the distinct-valued pair is comparable" 1
+        s.Cm.pairs_compared;
       (match Obs.Json.validate (Cm.to_json cm) with
       | Ok () -> ()
       | Error e -> Alcotest.fail ("capped monitor JSON: " ^ e))
-  | l -> Alcotest.fail (Printf.sprintf "expected 1 summary, got %d" (List.length l))
+  | l ->
+      Alcotest.fail (Printf.sprintf "expected 1 summary, got %d" (List.length l)));
+  check_true "prims lists the primitive" (Cm.prims cm = [ "spmm" ])
 
 (* ---- the JSON checker's rejection paths ---- *)
 

@@ -411,7 +411,8 @@ let test_e2e_plans_agree =
       let bindings = Gnn.Layer.bindings ~graph ~h params in
       let run ?pool c =
         dense_of_output
-          (Executor.run ?pool
+          (Executor.exec
+             ~engine:(Engine.create_exn ?pool Engine.default_config)
              ~timing:(Executor.Simulate Granii_hw.Hw_profile.a100)
              ~graph ~bindings c.Codegen.plan)
       in

@@ -98,8 +98,8 @@ let test_cost_model_save_load () =
       List.iter
         (fun prim ->
           check_float "same predictions after reload"
-            (Cost_model.predict cm feats ~env prim)
-            (Cost_model.predict loaded feats ~env prim))
+            (Cost_oracle.predict (Cost_oracle.of_model cm) feats ~env prim)
+            (Cost_oracle.predict (Cost_oracle.of_model loaded) feats ~env prim))
         [ Primitive.Gemm { m = Dim.N; k = Dim.Kin; n = Dim.Kout };
           Primitive.Spmm { k = Dim.Kin; weighted = false };
           Primitive.Sddmm_rank1 ])
@@ -142,7 +142,8 @@ let test_collect_measured () =
   let feats = Featurizer.extract g in
   let env = { Dim.n = 128; nnz = 800; k_in = 8; k_out = 8 } in
   check_true "positive predicted runtime"
-    (Cost_model.predict cm feats ~env (Primitive.Spmm { k = Dim.Kin; weighted = false })
+    (Cost_oracle.predict (Cost_oracle.of_model cm) feats ~env
+       (Primitive.Spmm { k = Dim.Kin; weighted = false })
     > 0.)
 
 let suite =

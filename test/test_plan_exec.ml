@@ -18,7 +18,8 @@ let compile_model ?(binned = false) (m : Mp.Mp_ast.model) =
   (low, compiled, stats)
 
 let run_candidate ~graph ~bindings (c : Codegen.ccand) =
-  Executor.run ~timing:(Executor.Simulate Granii_hw.Hw_profile.a100) ~graph ~bindings
+  Executor.exec ~engine:(Engine.default ())
+    ~timing:(Executor.Simulate Granii_hw.Hw_profile.a100) ~graph ~bindings
     c.Codegen.plan
 
 let dense_of_output (r : Executor.report) =
@@ -163,7 +164,9 @@ let test_unbound_input_error () =
   let plan = (List.hd compiled.Codegen.candidates).Codegen.plan in
   check_true "unbound input raises Execution_error"
     (try
-       ignore (Executor.run ~timing:Executor.Measure ~graph ~bindings:[] plan);
+       ignore
+         (Executor.exec ~engine:(Engine.default ()) ~timing:Executor.Measure
+            ~graph ~bindings:[] plan);
        false
      with Executor.Execution_error _ -> true)
 
@@ -172,7 +175,10 @@ let test_measure_mode () =
   let low, compiled, _ = compile_model Mp.Mp_models.gcn in
   let _, bindings, _, _ = setup_bindings ~k_in:9 low graph in
   let c = List.hd compiled.Codegen.candidates in
-  let r = Executor.run ~timing:Executor.Measure ~graph ~bindings c.Codegen.plan in
+  let r =
+    Executor.exec ~engine:(Engine.default ()) ~timing:Executor.Measure ~graph
+      ~bindings c.Codegen.plan
+  in
   check_true "measured times are non-negative"
     (r.Executor.setup_time >= 0. && r.Executor.iteration_time >= 0.)
 

@@ -50,8 +50,9 @@ let test_learned_model_accuracy () =
   let g = G.Generators.erdos_renyi ~seed:41 ~n:1024 ~avg_degree:8. () in
   let feats = Featurizer.extract g in
   let env k = { Dim.n = 1024; nnz = 9000; k_in = k; k_out = k } in
+  let oracle = Cost_oracle.of_model cm in
   let cost k =
-    Cost_model.predict cm feats ~env:(env k)
+    Cost_oracle.predict oracle feats ~env:(env k)
       (Primitive.Gemm { m = Dim.N; k = Dim.Kin; n = Dim.Kout })
   in
   check_true "bigger GEMM predicted more expensive" (cost 512 > cost 32)
@@ -59,6 +60,7 @@ let test_learned_model_accuracy () =
 let test_analytic_vs_learned_agree_on_ranking () =
   let cm = Lazy.force small_cost_model in
   let analytic = Cost_model.analytic Hw.Hw_profile.a100 in
+  let oracle_of = Cost_oracle.of_model in
   let g = G.Generators.rmat ~seed:51 ~scale:10 ~edge_factor:48 () in
   let feats = Featurizer.extract g in
   let env = { Dim.n = 1024; nnz = 50_000; k_in = 256; k_out = 256 } in
@@ -69,7 +71,10 @@ let test_analytic_vs_learned_agree_on_ranking () =
   in
   let rank cmodel =
     List.sort compare
-      (List.map (fun p -> (Cost_model.predict cmodel feats ~env p, Primitive.name p)) prims)
+      (List.map
+         (fun p ->
+           (Cost_oracle.predict (oracle_of cmodel) feats ~env p, Primitive.name p))
+         prims)
     |> List.map snd
   in
   Alcotest.(check (list string)) "same cost ordering" (rank analytic) (rank cm)
@@ -78,7 +83,7 @@ let test_flops_model () =
   let feats = Featurizer.extract (G.Generators.ring ~n:64) in
   let env = { Dim.n = 64; nnz = 192; k_in = 8; k_out = 4 } in
   let c =
-    Cost_model.predict Cost_model.flops_only feats ~env
+    Cost_oracle.predict (Cost_oracle.flops_only ()) feats ~env
       (Primitive.Gemm { m = Dim.N; k = Dim.Kin; n = Dim.Kout })
   in
   check_float "flops model counts flops" (2. *. 64. *. 8. *. 4.) c
@@ -97,14 +102,14 @@ let test_selector_scenario_guard () =
 
 let test_selector_picks_minimum () =
   let compiled = Lazy.force compiled_gcn in
-  let cm = Cost_model.analytic Hw.Hw_profile.a100 in
+  let cm = Cost_oracle.analytic Hw.Hw_profile.a100 in
   let g = G.Generators.rmat ~seed:61 ~scale:10 ~edge_factor:64 () in
   let feats = Featurizer.extract g in
   let env =
     { Dim.n = G.Graph.n_nodes g; nnz = G.Graph.n_edges g; k_in = 128; k_out = 128 }
   in
-  let ranked = Selector.rank ~cost_model:cm ~feats ~env ~iterations:100 compiled in
-  let choice = Selector.select ~cost_model:cm ~feats ~env ~iterations:100 compiled in
+  let ranked = Selector.rank ~oracle:cm ~feats ~env ~iterations:100 compiled in
+  let choice = Selector.select ~oracle:cm ~feats ~env ~iterations:100 compiled in
   check_true "select returns the cheapest ranked candidate"
     (String.equal
        (fst (List.hd ranked)).Codegen.plan.Plan.name
@@ -116,11 +121,11 @@ let test_selector_picks_minimum () =
 
 let test_selector_respects_scenario () =
   let compiled = Lazy.force compiled_gcn in
-  let cm = Cost_model.analytic Hw.Hw_profile.a100 in
+  let cm = Cost_oracle.analytic Hw.Hw_profile.a100 in
   let g = G.Generators.erdos_renyi ~seed:71 ~n:256 ~avg_degree:6. () in
   let feats = Featurizer.extract g in
   let env = { Dim.n = 256; nnz = 1600; k_in = 32; k_out = 512 } in
-  let choice = Selector.select ~cost_model:cm ~feats ~env ~iterations:100 compiled in
+  let choice = Selector.select ~oracle:cm ~feats ~env ~iterations:100 compiled in
   check_true "selected candidate allows the growing scenario"
     (List.mem Dim.Growing choice.Selector.candidate.Codegen.scenarios)
 
@@ -128,7 +133,7 @@ let test_selection_iterations_matter () =
   (* With one iteration, precompute setup cannot amortize; with many it can.
      The predicted cost gap between iteration counts must reflect setup. *)
   let compiled = Lazy.force compiled_gcn in
-  let cm = Cost_model.analytic Hw.Hw_profile.a100 in
+  let cm = Cost_oracle.analytic Hw.Hw_profile.a100 in
   let g = G.Generators.rmat ~seed:81 ~scale:11 ~edge_factor:64 () in
   let feats = Featurizer.extract g in
   let env =
@@ -138,7 +143,7 @@ let test_selection_iterations_matter () =
       k_out = 64 }
   in
   let cost iters =
-    (Selector.select ~cost_model:cm ~feats ~env ~iterations:iters compiled)
+    (Selector.select ~oracle:cm ~feats ~env ~iterations:iters compiled)
       .Selector.predicted_cost
   in
   check_true "100 iterations cost more than 1" (cost 100 > cost 1)
@@ -153,7 +158,10 @@ let test_granii_optimize_end_to_end () =
   let compiled = Lazy.force compiled_gcn in
   let cm = Lazy.force small_cost_model in
   let g = G.Generators.rmat ~seed:91 ~scale:10 ~edge_factor:32 () in
-  let decision = Granii.optimize ~cost_model:cm ~graph:g ~k_in:128 ~k_out:32 compiled in
+  let decision =
+    Granii.optimize ~oracle:(Cost_oracle.of_model cm) ~graph:g ~k_in:128
+      ~k_out:32 compiled
+  in
   check_true "overhead recorded" (decision.Granii.overhead >= 0.);
   check_true "simulated overhead positive"
     (Granii.simulated_overhead ~profile:Hw.Hw_profile.a100

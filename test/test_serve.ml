@@ -57,7 +57,7 @@ let test_plan_cache_unit () =
   in
   let lc =
     Selector.select_localized
-      ~cost_model:(Cost_model.analytic Granii_hw.Hw_profile.cpu)
+      ~oracle:(Cost_oracle.analytic Granii_hw.Hw_profile.cpu)
       ~feats ~env ~iterations:1 ~configs:[ Locality.default ] compiled
   in
   let key i =
@@ -111,7 +111,7 @@ let test_batch_differential () =
       in
       let lc =
         Selector.select_localized
-          ~cost_model:(Cost_model.analytic Granii_hw.Hw_profile.cpu)
+          ~oracle:(Cost_oracle.analytic Granii_hw.Hw_profile.cpu)
           ~feats ~env ~iterations:1 ~configs:[ Locality.default ] compiled
       in
       let plan = lc.Selector.lchoice.Selector.candidate.Codegen.plan in
@@ -238,7 +238,7 @@ let test_plan_cache_layout_key () =
   in
   let lc =
     Selector.select_localized
-      ~cost_model:(Cost_model.analytic Granii_hw.Hw_profile.cpu)
+      ~oracle:(Cost_oracle.analytic Granii_hw.Hw_profile.cpu)
       ~feats ~env ~iterations:1 ~configs:[ Locality.default ] compiled
   in
   let key layout =

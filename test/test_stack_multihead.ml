@@ -16,7 +16,7 @@ let compiled_of model =
   in
   (low, compiled)
 
-let cm = Cost_model.analytic Granii_hw.Hw_profile.a100
+let cm = Cost_oracle.analytic Granii_hw.Hw_profile.a100
 
 let test_concat_split () =
   let a = Dense.random ~seed:1 4 3 and b = Dense.random ~seed:2 4 5 in
@@ -35,7 +35,7 @@ let test_stack_builds_per_layer_plans () =
   let graph = Lazy.force graph in
   let low, compiled = compiled_of Mp.Mp_models.gcn in
   let stack =
-    Gnn.Stack.build ~cost_model:cm ~graph ~compiled ~lowered:low
+    Gnn.Stack.build ~oracle:cm ~graph ~compiled ~lowered:low
       ~dims:[ 64; 8; 4 ] ()
   in
   check_int "two layers" 2 (List.length (Gnn.Stack.plans stack));
@@ -50,7 +50,7 @@ let test_stack_forward_shapes () =
   let n = G.Graph.n_nodes graph in
   let low, compiled = compiled_of Mp.Mp_models.gcn in
   let stack =
-    Gnn.Stack.build ~cost_model:cm ~graph ~compiled ~lowered:low ~dims:[ 6; 5; 3 ] ()
+    Gnn.Stack.build ~oracle:cm ~graph ~compiled ~lowered:low ~dims:[ 6; 5; 3 ] ()
   in
   let features = Dense.random ~seed:7 n 6 in
   let out, reports = Gnn.Stack.forward ~graph ~features stack in
@@ -65,7 +65,7 @@ let test_stack_matches_manual_two_layer () =
   let n = G.Graph.n_nodes graph in
   let low, compiled = compiled_of Mp.Mp_models.gcn in
   let stack =
-    Gnn.Stack.build ~seed:5 ~cost_model:cm ~graph ~compiled ~lowered:low
+    Gnn.Stack.build ~seed:5 ~oracle:cm ~graph ~compiled ~lowered:low
       ~dims:[ 6; 5; 3 ] ()
   in
   let features = Dense.random ~seed:8 n 6 in
@@ -75,8 +75,8 @@ let test_stack_matches_manual_two_layer () =
       (fun h (layer : Gnn.Stack.layer) ->
         let bindings = Gnn.Layer.bindings ~graph ~h layer.Gnn.Stack.l_params in
         match
-          (Executor.run ~timing:Executor.Measure ~graph ~bindings
-             layer.Gnn.Stack.l_plan)
+          (Executor.exec ~engine:(Engine.default ())
+             ~timing:Executor.Measure ~graph ~bindings layer.Gnn.Stack.l_plan)
             .Executor.output
         with
         | Executor.Vdense d -> d
@@ -91,7 +91,7 @@ let test_stack_training_converges () =
   let low, compiled = compiled_of Mp.Mp_models.gcn in
   let classes = 3 in
   let stack =
-    Gnn.Stack.build ~seed:2 ~cost_model:cm ~graph ~compiled ~lowered:low
+    Gnn.Stack.build ~seed:2 ~oracle:cm ~graph ~compiled ~lowered:low
       ~dims:[ 8; 6; classes ] ()
   in
   let rng = Granii_tensor.Prng.create 17 in
@@ -118,7 +118,7 @@ let test_stack_gat_training () =
   let low, compiled = compiled_of Mp.Mp_models.gat in
   let classes = 2 in
   let stack =
-    Gnn.Stack.build ~seed:3 ~cost_model:cm ~graph ~compiled ~lowered:low
+    Gnn.Stack.build ~seed:3 ~oracle:cm ~graph ~compiled ~lowered:low
       ~dims:[ 5; 4; classes ] ()
   in
   let rng = Granii_tensor.Prng.create 23 in
@@ -140,7 +140,7 @@ let test_multihead_shapes () =
   let n = G.Graph.n_nodes graph in
   let low, compiled = compiled_of Mp.Mp_models.gat in
   let mh =
-    Gnn.Multi_head.create ~cost_model:cm ~graph ~compiled ~lowered:low ~heads:4
+    Gnn.Multi_head.create ~oracle:cm ~graph ~compiled ~lowered:low ~heads:4
       ~k_in:6 ~k_out_per_head:3 ()
   in
   check_int "head count" 4 (Gnn.Multi_head.n_heads mh);
@@ -152,7 +152,7 @@ let test_multihead_single_equals_plain () =
   let n = G.Graph.n_nodes graph in
   let low, compiled = compiled_of Mp.Mp_models.gat in
   let mh =
-    Gnn.Multi_head.create ~seed:0 ~cost_model:cm ~graph ~compiled ~lowered:low
+    Gnn.Multi_head.create ~seed:0 ~oracle:cm ~graph ~compiled ~lowered:low
       ~heads:1 ~k_in:6 ~k_out_per_head:3 ()
   in
   let features = Dense.random ~seed:10 n 6 in
@@ -161,7 +161,8 @@ let test_multihead_single_equals_plain () =
   let bindings = Gnn.Layer.bindings ~graph ~h:features params in
   let direct =
     match
-      (Executor.run ~timing:Executor.Measure ~graph ~bindings mh.Gnn.Multi_head.plan)
+      (Executor.exec ~engine:(Engine.default ()) ~timing:Executor.Measure
+         ~graph ~bindings mh.Gnn.Multi_head.plan)
         .Executor.output
     with
     | Executor.Vdense d -> d
@@ -176,7 +177,7 @@ let test_multihead_time_scales () =
   let env = { Dim.n; nnz = G.Graph.n_edges graph + n; k_in = 6; k_out = 3 } in
   let time heads =
     let mh =
-      Gnn.Multi_head.create ~cost_model:cm ~graph ~compiled ~lowered:low ~heads
+      Gnn.Multi_head.create ~oracle:cm ~graph ~compiled ~lowered:low ~heads
         ~k_in:6 ~k_out_per_head:3 ()
     in
     Gnn.Multi_head.inference_time ~profile:Granii_hw.Hw_profile.a100 ~graph ~env mh
