@@ -1,0 +1,327 @@
+(* Perf-regression gate over BENCH_*.json artifacts (used by CI).
+
+   Every artifact the bench harness writes is a flat JSON array of rows:
+   {"bench": "...", <string/bool identity fields>, <numeric metric fields>}.
+   The gate compares an artifact against its committed baseline
+   (bench/baselines/<same name>): rows are grouped by their identity (the
+   bench tag plus every string- and bool-valued field), numeric fields are
+   aggregated per group (arithmetic mean) and each aggregate is compared
+   within a per-metric tolerance band. The direction of "worse" is derived
+   from the field name — times, latencies, errors, misses, regret and
+   breaches regress upward; throughputs, speedups, hit counts regress
+   downward; anything unclassified is informational only.
+
+     bench_gate [--tolerance F] [--floor F] [--baselines DIR]
+                [--update] [--perturb OUT] FILE.json ...
+
+   --update rewrites each baseline from the current artifact instead of
+   comparing. --perturb OUT degrades the first FILE (doubling every
+   upward-regressing metric) and writes it to OUT — CI uses it as the
+   negative test proving the gate actually fails on a regression. Exits 1
+   on any regression, 2 on usage/IO errors. *)
+
+module Json = Granii_obs.Obs.Json
+
+let tolerance = ref 0.35
+let floor_ = ref 1e-6
+let baselines_dir = ref "bench/baselines"
+let update = ref false
+let perturb_out = ref None
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path s =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () ->
+      output_string oc s)
+
+(* ---- direction heuristics ---- *)
+
+let contains ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let higher_is_worse =
+  [ "_s"; "_ms"; "time"; "latency"; "overhead"; "err"; "regret"; "retries";
+    "dropped"; "breach"; "miss"; "stall"; "inversions"; "words"; "bytes";
+    "rss"; "p50"; "p95"; "p99"; "wall"; "evictions"; "rejected" ]
+
+let lower_is_worse =
+  [ "throughput"; "speedup"; "hit"; "gflops"; "gbps"; "accepted"; "completed" ]
+
+type direction = Up_bad | Down_bad | Neutral
+
+(* single-sample extremes of a distribution (one outlier moves them by
+   hundreds of percent on a busy host): informational, never gated *)
+let extreme =
+  [ "max_s"; "min_s"; "max_ms"; "min_ms"; "worst_s"; "best_s" ]
+
+let direction field =
+  let f = String.lowercase_ascii field in
+  if List.exists (fun sub -> Filename.check_suffix f sub || f = sub) extreme
+  then Neutral
+  else if List.exists (fun sub -> contains ~sub f) higher_is_worse then Up_bad
+  else if List.exists (fun sub -> contains ~sub f) lower_is_worse then Down_bad
+  else Neutral
+
+(* ---- row grouping ---- *)
+
+type group = {
+  mutable nums : (string * float list) list;  (* metric -> samples *)
+  mutable bools : (string * bool list) list;
+}
+
+let rows_of path =
+  match Json.parse (read_file path) with
+  | Error msg -> Error (Printf.sprintf "%s: %s" path msg)
+  | Ok (Json.List rows) ->
+      let ok =
+        List.for_all (function Json.Obj _ -> true | _ -> false) rows
+      in
+      if ok then
+        Ok (List.map (function Json.Obj f -> f | _ -> assert false) rows)
+      else Error (path ^ ": array elements must all be objects")
+  | Ok _ -> Error (path ^ ": expected a top-level array")
+
+let identity fields =
+  fields
+  |> List.filter_map (fun (k, v) ->
+         match v with
+         | Json.Str s -> Some (k ^ "=" ^ s)
+         | Json.Bool _ | Json.Num _ | _ -> None)
+  |> List.sort compare |> String.concat "|"
+
+let group_rows rows =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun fields ->
+      let id = identity fields in
+      let g =
+        match Hashtbl.find_opt tbl id with
+        | Some g -> g
+        | None ->
+            let g = { nums = []; bools = [] } in
+            Hashtbl.add tbl id g;
+            g
+      in
+      List.iter
+        (fun (k, v) ->
+          match v with
+          | Json.Num x when Float.is_finite x ->
+              let prev =
+                match List.assoc_opt k g.nums with Some l -> l | None -> []
+              in
+              g.nums <- (k, x :: prev) :: List.remove_assoc k g.nums
+          | Json.Bool b ->
+              let prev =
+                match List.assoc_opt k g.bools with Some l -> l | None -> []
+              in
+              g.bools <- (k, b :: prev) :: List.remove_assoc k g.bools
+          | _ -> ())
+        fields)
+    rows;
+  tbl
+
+let mean = function
+  | [] -> nan
+  | xs -> List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
+
+(* ---- comparison ---- *)
+
+let compare_artifact ~baseline ~candidate =
+  let base = group_rows baseline and cand = group_rows candidate in
+  let regressions = ref [] and checked = ref 0 and missing = ref 0 in
+  Hashtbl.iter
+    (fun id (bg : group) ->
+      match Hashtbl.find_opt cand id with
+      | None -> incr missing
+      | Some cg ->
+          List.iter
+            (fun (field, bxs) ->
+              match List.assoc_opt field cg.nums with
+              | None -> incr missing
+              | Some cxs -> (
+                  let b = mean bxs and c = mean cxs in
+                  (* fractions and rates live near zero, where a relative
+                     band is all noise: compare them in absolute points *)
+                  let fractional =
+                    Filename.check_suffix field "_frac"
+                    || Filename.check_suffix field "_rate"
+                  in
+                  let rel =
+                    if fractional then c -. b
+                    else (c -. b) /. Float.max (Float.abs b) !floor_
+                  in
+                  match direction field with
+                  | Neutral -> ()
+                  | Up_bad ->
+                      incr checked;
+                      if rel > !tolerance then
+                        regressions :=
+                          (id, field, b, c, rel) :: !regressions
+                  | Down_bad ->
+                      incr checked;
+                      if rel < -. !tolerance then
+                        regressions :=
+                          (id, field, b, c, rel) :: !regressions))
+            bg.nums;
+          List.iter
+            (fun (field, bbs) ->
+              match List.assoc_opt field cg.bools with
+              | None -> incr missing
+              | Some cbs ->
+                  incr checked;
+                  let falses l =
+                    List.length (List.filter (fun b -> not b) l)
+                  in
+                  if falses cbs > falses bbs then
+                    regressions :=
+                      ( id, field,
+                        float_of_int (falses bbs),
+                        float_of_int (falses cbs), infinity )
+                    :: !regressions)
+            bg.bools)
+    base;
+  (!regressions, !checked, !missing)
+
+(* ---- perturbation (the CI negative test) ---- *)
+
+let perturb rows =
+  let degrade fields =
+    List.map
+      (fun (k, v) ->
+        match v with
+        | Json.Num x when direction k = Up_bad -> (k, Json.Num (x *. 2.))
+        | Json.Num x when direction k = Down_bad -> (k, Json.Num (x /. 2.))
+        | _ -> (k, v))
+      fields
+  in
+  List.map degrade rows
+
+let render rows =
+  let field (k, v) =
+    let value =
+      match v with
+      | Json.Num x ->
+          if Float.is_integer x && Float.abs x < 1e15 then
+            Printf.sprintf "%.0f" x
+          else Printf.sprintf "%.9g" x
+      | Json.Str s -> Printf.sprintf "%S" s
+      | Json.Bool b -> string_of_bool b
+      | Json.Null -> "null"
+      | _ -> "null"
+    in
+    Printf.sprintf "\"%s\": %s" k value
+  in
+  "[\n"
+  ^ String.concat ",\n"
+      (List.map
+         (fun fields ->
+           "  {" ^ String.concat ", " (List.map field fields) ^ "}")
+         rows)
+  ^ "\n]\n"
+
+(* ---- driver ---- *)
+
+let () =
+  let files = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--tolerance" :: v :: rest -> (
+        match float_of_string_opt v with
+        | Some f when f > 0. ->
+            tolerance := f;
+            parse rest
+        | _ ->
+            prerr_endline "--tolerance expects a positive float";
+            exit 2)
+    | "--floor" :: v :: rest -> (
+        match float_of_string_opt v with
+        | Some f when f > 0. ->
+            floor_ := f;
+            parse rest
+        | _ ->
+            prerr_endline "--floor expects a positive float";
+            exit 2)
+    | "--baselines" :: dir :: rest ->
+        baselines_dir := dir;
+        parse rest
+    | "--update" :: rest ->
+        update := true;
+        parse rest
+    | "--perturb" :: out :: rest ->
+        perturb_out := Some out;
+        parse rest
+    | f :: rest ->
+        files := f :: !files;
+        parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let files = List.rev !files in
+  if files = [] then begin
+    prerr_endline
+      "usage: bench_gate [--tolerance F] [--floor F] [--baselines DIR] \
+       [--update] [--perturb OUT] FILE.json ...";
+    exit 2
+  end;
+  match !perturb_out with
+  | Some out -> (
+      match rows_of (List.hd files) with
+      | Error msg ->
+          prerr_endline msg;
+          exit 2
+      | Ok rows ->
+          write_file out (render (perturb rows));
+          Printf.printf "perturbed %s -> %s (every regressing metric degraded \
+                         2x)\n"
+            (List.hd files) out)
+  | None ->
+      let failed = ref false in
+      List.iter
+        (fun file ->
+          let bpath = Filename.concat !baselines_dir (Filename.basename file) in
+          if !update then begin
+            (match rows_of file with
+            | Error msg ->
+                prerr_endline msg;
+                exit 2
+            | Ok _ -> ());
+            write_file bpath (read_file file);
+            Printf.printf "baseline updated: %s -> %s\n" file bpath
+          end
+          else if not (Sys.file_exists bpath) then begin
+            Printf.eprintf "FAIL: %s: no baseline at %s (run with --update)\n"
+              file bpath;
+            failed := true
+          end
+          else
+            match (rows_of bpath, rows_of file) with
+            | Error msg, _ | _, Error msg ->
+                prerr_endline msg;
+                exit 2
+            | Ok baseline, Ok candidate ->
+                let regs, checked, missing =
+                  compare_artifact ~baseline ~candidate
+                in
+                if regs = [] then
+                  Printf.printf
+                    "ok: %s vs %s (%d metrics within %.0f%%, %d missing \
+                     rows ignored)\n"
+                    file bpath checked (100. *. !tolerance) missing
+                else begin
+                  failed := true;
+                  Printf.eprintf "FAIL: %s vs %s: %d regression(s)\n" file
+                    bpath (List.length regs);
+                  List.iter
+                    (fun (id, field, b, c, rel) ->
+                      Printf.eprintf "  %s  %s: %.6g -> %.6g (%+.1f%%)\n" id
+                        field b c (100. *. rel))
+                    regs
+                end)
+        files;
+      if !failed then exit 1

@@ -25,16 +25,48 @@ let metrics_file_arg =
              "Write the metrics registry to $(docv): JSON, or Prometheus \
               text exposition format when $(docv) ends in $(b,.prom).")
 
+let journal_file_arg =
+  Arg.(value & opt (some string) None
+       & info [ "journal" ] ~docv:"FILE"
+           ~doc:
+             "Attach the production event journal (lock-free bounded rings; \
+              step executions, plan-cache traffic, calibration swaps, \
+              backpressure, SLO breaches) and drain it to $(docv) as JSONL \
+              after the run.")
+
 let write_file path s =
   let oc = open_out path in
   Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () ->
       output_string oc s)
 
-let obs_of_flags ~trace_file ~metrics_file =
-  if trace_file = None && metrics_file = None then Obs.disabled
-  else Obs.create ~trace:(trace_file <> None) ()
+let obs_of_flags ~trace_file ~metrics_file ~journal_file =
+  if trace_file = None && metrics_file = None && journal_file = None then
+    Obs.disabled
+  else
+    Obs.create ~trace:(trace_file <> None) ~journal:(journal_file <> None) ()
 
-let export_telemetry obs ~trace_file ~metrics_file =
+let print_journal_summary ?(tail = 10) obs =
+  match obs.Obs.journal with
+  | None -> ()
+  | Some j when Obs.Journal.total j = 0 -> ()
+  | Some j ->
+      Printf.printf "journal (%d events, %d dropped by the bounded rings):\n"
+        (Obs.Journal.total j) (Obs.Journal.dropped j);
+      List.iter
+        (fun (kind, count) -> Printf.printf "  %-22s %8d\n" kind count)
+        (Obs.Journal.kind_counts j);
+      let entries = Obs.Journal.entries j in
+      let n = List.length entries in
+      let shown = min tail n in
+      Printf.printf "  last %d event%s:\n" shown (if shown = 1 then "" else "s");
+      List.iteri
+        (fun i e ->
+          if i >= n - shown then
+            Format.printf "    %a@." Obs.Journal.pp_entry e)
+        entries;
+      print_newline ()
+
+let export_telemetry obs ~trace_file ~metrics_file ~journal_file =
   (match (trace_file, obs.Obs.trace) with
   | Some path, Some t ->
       write_file path
@@ -42,12 +74,19 @@ let export_telemetry obs ~trace_file ~metrics_file =
          else Obs.Trace.to_chrome_json t);
       Printf.printf "wrote %d spans to %s\n" (Obs.Trace.count t) path
   | _ -> ());
-  match (metrics_file, obs.Obs.metrics) with
+  (match (metrics_file, obs.Obs.metrics) with
   | Some path, Some m ->
       write_file path
         (if Filename.check_suffix path ".prom" then Obs.Metrics.to_prometheus m
          else Obs.Metrics.to_json m);
       Printf.printf "wrote metrics to %s\n" path
+  | _ -> ());
+  match (journal_file, obs.Obs.journal) with
+  | Some path, Some j ->
+      write_file path (Obs.Journal.to_jsonl j);
+      Printf.printf "wrote %d journal events to %s (%d dropped)\n"
+        (List.length (Obs.Journal.entries j))
+        path (Obs.Journal.dropped j)
   | _ -> ()
 
 (* ---- shared argument converters ---- *)
@@ -270,7 +309,7 @@ let select_cmd =
   in
   let run model graph k_in k_out profile iterations system analytic auto_calibrate
       threads models_file execute workspace engine_spec reorder format_
-      trace_file metrics_file =
+      trace_file metrics_file journal_file =
     if threads < 1 then begin
       Printf.eprintf "--threads expects a positive integer\n";
       exit 1
@@ -360,7 +399,7 @@ let select_cmd =
       else if engine_base.Engine.cache then [ Locality.default ]
       else configs
     in
-    let obs = obs_of_flags ~trace_file ~metrics_file in
+    let obs = obs_of_flags ~trace_file ~metrics_file ~journal_file in
     let sys = Sys_.System.find system in
     let low, compiled, _ =
       compile_model ~obs model ~binned:sys.Sys_.System.binned_degrees
@@ -486,7 +525,7 @@ let select_cmd =
               (s.Granii_tensor.Workspace.held_words
               + s.Granii_tensor.Workspace.issued_words));
         Engine.shutdown engine);
-    export_telemetry obs ~trace_file ~metrics_file
+    export_telemetry obs ~trace_file ~metrics_file ~journal_file
   in
   Cmd.v
     (Cmd.info "select"
@@ -494,7 +533,7 @@ let select_cmd =
     Term.(const run $ model_pos $ graph $ k_in $ k_out $ hw $ iterations $ system
           $ analytic $ auto_calibrate $ threads $ models_file $ execute
           $ workspace $ engine_spec $ reorder $ format_ $ trace_file_arg
-          $ metrics_file_arg)
+          $ metrics_file_arg $ journal_file_arg)
 
 (* granii stats: a fully-telemetered end-to-end run (compile -> featurize ->
    select -> execute N iterations in Measure mode on the host CPU) reported
@@ -527,7 +566,7 @@ let stats_cmd =
                 reported after the run.")
   in
   let run model graph k_in k_out iterations threads calibration trace_file
-      metrics_file =
+      metrics_file journal_file =
     if iterations < 1 || threads < 1 then begin
       Printf.eprintf "--iterations and --threads expect positive integers\n";
       exit 1
@@ -642,15 +681,16 @@ let stats_cmd =
     if Cost_oracle.calibration eoracle <> Cost_oracle.Off then
       ignore (Cost_oracle.calibrate eoracle);
     Format.printf "%a@." Cost_oracle.pp_report (Cost_oracle.report eoracle);
-    export_telemetry obs ~trace_file ~metrics_file
+    print_journal_summary obs;
+    export_telemetry obs ~trace_file ~metrics_file ~journal_file
   in
   Cmd.v
     (Cmd.info "stats"
        ~doc:
          "Run a fully-telemetered compile/select/execute cycle and report \
-          spans, metrics and cost-model accuracy")
+          spans, metrics, cost-model accuracy and the event journal")
     Term.(const run $ model_pos $ graph $ k_in $ k_out $ iterations $ threads
-          $ calibration $ trace_file_arg $ metrics_file_arg)
+          $ calibration $ trace_file_arg $ metrics_file_arg $ journal_file_arg)
 
 let baseline_cmd =
   let k_in = Arg.(value & opt int 256 & info [ "kin" ] ~doc:"Input embedding size.") in
@@ -798,7 +838,8 @@ let train_cmd =
                    (default: the analytic host-CPU model).")
   in
   let run model graph k_in classes fanouts batch_size epochs pipeline
-      sequential lr threads seed models_file trace_file metrics_file =
+      sequential lr threads seed models_file trace_file metrics_file
+      journal_file =
     if pipeline && sequential then begin
       Printf.eprintf "--pipeline and --sequential are mutually exclusive\n";
       exit 1
@@ -811,7 +852,7 @@ let train_cmd =
       exit 1
     end;
     let mode = if sequential then Gnn.Loader.Sequential else Gnn.Loader.Pipelined in
-    let obs = obs_of_flags ~trace_file ~metrics_file in
+    let obs = obs_of_flags ~trace_file ~metrics_file ~journal_file in
     let oracle =
       match models_file with
       | Some file -> Cost_oracle.load file
@@ -874,7 +915,7 @@ let train_cmd =
       (100. *. h.Gnn.Trainer.stall_time /. wall)
       pc.Plan_cache.hits pc.Plan_cache.misses pc.Plan_cache.evictions
       (100. *. h.Gnn.Trainer.selection_time /. wall);
-    export_telemetry obs ~trace_file ~metrics_file
+    export_telemetry obs ~trace_file ~metrics_file ~journal_file
   in
   Cmd.v
     (Cmd.info "train"
@@ -883,7 +924,7 @@ let train_cmd =
           plan cache, optionally pipelined on a dedicated loader domain")
     Term.(const run $ model_pos $ graph $ k_in $ classes $ sample $ batch_size
           $ epochs $ pipeline $ sequential $ lr $ threads $ seed $ models_file
-          $ trace_file_arg $ metrics_file_arg)
+          $ trace_file_arg $ metrics_file_arg $ journal_file_arg)
 
 (* granii serve-sim: closed-loop load against the multi-tenant serving
    runtime (lib/serve). Each simulated client keeps one request outstanding;
@@ -952,16 +993,24 @@ let serve_sim_cmd =
   let seed =
     Arg.(value & opt int 7 & info [ "seed" ] ~doc:"Client feature-matrix seed.")
   in
+  let slo =
+    Arg.(value & opt (some float) None
+         & info [ "slo" ] ~docv:"MS"
+             ~doc:
+               "Per-request latency objective in milliseconds: completions \
+                slower than $(docv) count as SLO breaches, reported as a \
+                breach rate and time-to-first-breach.")
+  in
   let run model graph k_in k_out requests clients tenants workers queue_bound
-      window max_batch no_batch no_plan_cache threads seed trace_file
-      metrics_file =
+      window max_batch no_batch no_plan_cache threads seed slo trace_file
+      metrics_file journal_file =
     if k_in < 1 || k_out < 1 || requests < 1 || clients < 1 || tenants < 1 then begin
       Printf.eprintf
         "--kin, --kout, --requests, --clients and --tenants expect positive \
          integers\n";
       exit 1
     end;
-    let obs = obs_of_flags ~trace_file ~metrics_file in
+    let obs = obs_of_flags ~trace_file ~metrics_file ~journal_file in
     let cfg =
       { Serve.default_config with
         workers;
@@ -970,7 +1019,8 @@ let serve_sim_cmd =
         max_batch;
         plan_cache = (if no_plan_cache then 0 else Serve.default_config.Serve.plan_cache);
         batching = not no_batch;
-        threads }
+        threads;
+        slo_ms = slo }
     in
     let server =
       try Serve.create ~obs cfg
@@ -991,6 +1041,7 @@ let serve_sim_cmd =
     in
     let res = Ssim.run server load in
     Serve.shutdown server;
+    let sketch = Serve.latency_sketch server in
     let s = res.Ssim.stats in
     Printf.printf
       "serve-sim: %s on %s (n=%d nnz=%d) %d->%d\n\
@@ -1015,16 +1066,37 @@ let serve_sim_cmd =
       pc.Granii_serve.Plan_cache.hits pc.Granii_serve.Plan_cache.misses
       pc.Granii_serve.Plan_cache.evictions;
     Printf.printf "backpressure retries %d\n" res.Ssim.retries;
-    export_telemetry obs ~trace_file ~metrics_file
+    if Obs.Sketch.count sketch > 0 then
+      Printf.printf
+        "sketch      p50 %.3f ms   p95 %.3f ms   p99 %.3f ms  (streaming, \
+         %d samples)\n"
+        (1000. *. Obs.Sketch.quantile sketch 0.5)
+        (1000. *. Obs.Sketch.quantile sketch 0.95)
+        (1000. *. Obs.Sketch.quantile sketch 0.99)
+        (Obs.Sketch.count sketch);
+    (match slo with
+    | None -> ()
+    | Some ms ->
+        Printf.printf "slo %.1fms   %d breaches = %.1f%% of completions%s\n"
+          ms s.Serve.slo_breaches
+          (100. *. res.Ssim.breach_rate)
+          (match res.Ssim.first_breach_s with
+          | Some fb -> Printf.sprintf ", first after %.3f s" fb
+          | None -> ""));
+    print_newline ();
+    print_journal_summary obs;
+    export_telemetry obs ~trace_file ~metrics_file ~journal_file
   in
   Cmd.v
     (Cmd.info "serve-sim"
        ~doc:
          "Drive the multi-tenant serving runtime with closed-loop simulated \
-          load and report latency percentiles, throughput and batching stats")
+          load and report latency percentiles, throughput, batching and SLO \
+          stats")
     Term.(const run $ model_pos $ graph $ k_in $ k_out $ requests $ clients
           $ tenants $ workers $ queue_bound $ window $ max_batch $ no_batch
-          $ no_plan_cache $ threads $ seed $ trace_file_arg $ metrics_file_arg)
+          $ no_plan_cache $ threads $ seed $ slo $ trace_file_arg
+          $ metrics_file_arg $ journal_file_arg)
 
 let main =
   let doc = "GRANII: input-aware selection and ordering of GNN primitives" in

@@ -1,8 +1,12 @@
 (* Telemetry artifact checker (used by CI): validates that every file given
    on the command line is well-formed for its format, inferred from the
-   extension — .json through the strict RFC 8259 validator, .folded as
+   extension — .json through the strict RFC 8259 validator, .jsonl as one
+   RFC 8259 document per line (the journal drain format), .folded as
    flamegraph lines ("frame;frame;... <int>"), .prom as Prometheus text
-   exposition lines. Exits non-zero naming the first offending file. *)
+   exposition: every sample line must parse (metric name, label syntax and
+   escaping, numeric value) and belong to a family announced by both a
+   # HELP and a # TYPE comment. Exits non-zero naming the first offending
+   file. *)
 
 let read_file path =
   let ic = open_in_bin path in
@@ -31,22 +35,168 @@ let check_folded s =
   | None -> Ok ()
   | Some (ln, msg) -> Error (Printf.sprintf "line %d: %s" ln msg)
 
+(* ---- Prometheus text exposition ---- *)
+
+let is_metric_name s =
+  String.length s > 0
+  && (match s.[0] with 'a' .. 'z' | 'A' .. 'Z' | '_' | ':' -> true | _ -> false)
+  && String.for_all
+       (function
+         | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> true
+         | _ -> false)
+       s
+
+let is_label_name s =
+  String.length s > 0
+  && (match s.[0] with 'a' .. 'z' | 'A' .. 'Z' | '_' -> true | _ -> false)
+  && String.for_all
+       (function
+         | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> true | _ -> false)
+       s
+
+(* Validate the text between the braces of a sample: comma-separated
+   name=quoted-value pairs. Escapes inside a value are limited to
+   backslash, double quote and the letter n per the exposition format; an
+   unescaped double quote ends the value. *)
+let check_labels s =
+  let n = String.length s in
+  let rec pair i =
+    let j = ref i in
+    while !j < n && s.[!j] <> '=' do incr j done;
+    if !j >= n then Error "label without '='"
+    else if not (is_label_name (String.sub s i (!j - i))) then
+      Error (Printf.sprintf "bad label name %S" (String.sub s i (!j - i)))
+    else if !j + 1 >= n || s.[!j + 1] <> '"' then
+      Error "label value not double-quoted"
+    else value (!j + 2)
+  and value i =
+    if i >= n then Error "unterminated label value"
+    else
+      match s.[i] with
+      | '\\' ->
+          if
+            i + 1 < n
+            && (s.[i + 1] = '\\' || s.[i + 1] = '"' || s.[i + 1] = 'n')
+          then value (i + 2)
+          else Error "bad escape in label value (only \\\\ \\\" \\n)"
+      | '"' ->
+          if i + 1 >= n then Ok ()
+          else if s.[i + 1] = ',' then pair (i + 2)
+          else Error "junk after label value (expected ',' or end)"
+      | _ -> value (i + 1)
+  in
+  if n = 0 then Ok () else pair 0
+
+let prom_value_ok v =
+  match v with
+  | "+Inf" | "-Inf" | "NaN" -> true
+  | _ -> float_of_string_opt v <> None
+
 let check_prometheus s =
+  let helped = Hashtbl.create 16 and typed = Hashtbl.create 16 in
+  let strip_suffix name suf =
+    if Filename.check_suffix name suf then
+      Some (String.sub name 0 (String.length name - String.length suf))
+    else None
+  in
+  (* a histogram's samples carry _bucket/_sum/_count suffixes; the family
+     announced by # TYPE is the base name *)
+  let family name =
+    let base =
+      match strip_suffix name "_bucket" with
+      | Some b -> Some b
+      | None -> (
+          match strip_suffix name "_sum" with
+          | Some b -> Some b
+          | None -> strip_suffix name "_count")
+    in
+    match base with
+    | Some b when Hashtbl.mem typed b -> b
+    | _ -> name
+  in
+  let bad = ref None in
+  let fail i msg = if !bad = None then bad := Some (i + 1, msg) in
+  String.split_on_char '\n' s
+  |> List.iteri (fun i line ->
+         if !bad = None && String.trim line <> "" then
+           if String.length line >= 7 && String.sub line 0 7 = "# HELP " then (
+             let rest = String.sub line 7 (String.length line - 7) in
+             let name =
+               match String.index_opt rest ' ' with
+               | Some sp -> String.sub rest 0 sp
+               | None -> rest
+             in
+             if not (is_metric_name name) then
+               fail i ("bad metric name in # HELP: " ^ name)
+             else Hashtbl.replace helped name ())
+           else if String.length line >= 7 && String.sub line 0 7 = "# TYPE "
+           then (
+             let rest = String.sub line 7 (String.length line - 7) in
+             match String.split_on_char ' ' rest with
+             | [ name; kind ] ->
+                 if not (is_metric_name name) then
+                   fail i ("bad metric name in # TYPE: " ^ name)
+                 else if
+                   not
+                     (List.mem kind
+                        [ "counter"; "gauge"; "histogram"; "summary";
+                          "untyped" ])
+                 then fail i ("unknown metric type " ^ kind)
+                 else Hashtbl.replace typed name ()
+             | _ -> fail i "malformed # TYPE line")
+           else if line.[0] = '#' then () (* free-form comment *)
+           else
+             match String.rindex_opt line ' ' with
+             | None -> fail i "no value field"
+             | Some sp -> (
+                 let head = String.sub line 0 sp in
+                 let value =
+                   String.sub line (sp + 1) (String.length line - sp - 1)
+                 in
+                 if not (prom_value_ok value) then
+                   fail i ("value not a number: " ^ value)
+                 else
+                   let name_ok, name =
+                     match String.index_opt head '{' with
+                     | None -> (is_metric_name head, head)
+                     | Some ob -> (
+                         let name = String.sub head 0 ob in
+                         match String.rindex_opt head '}' with
+                         | Some cb when cb = String.length head - 1 ->
+                             let inner =
+                               String.sub head (ob + 1) (cb - ob - 1)
+                             in
+                             (match check_labels inner with
+                             | Ok () -> (is_metric_name name, name)
+                             | Error msg ->
+                                 fail i msg;
+                                 (true, name))
+                         | _ ->
+                             fail i "unbalanced label braces";
+                             (true, name))
+                   in
+                   if !bad = None then
+                     if not name_ok then fail i ("bad metric name " ^ name)
+                     else
+                       let fam = family name in
+                       if not (Hashtbl.mem typed fam) then
+                         fail i ("sample " ^ name ^ " has no # TYPE for " ^ fam)
+                       else if not (Hashtbl.mem helped fam) then
+                         fail i ("sample " ^ name ^ " has no # HELP for " ^ fam)));
+  match !bad with
+  | None -> Ok ()
+  | Some (ln, msg) -> Error (Printf.sprintf "line %d: %s" ln msg)
+
+(* ---- JSONL (one RFC 8259 document per line) ---- *)
+
+let check_jsonl s =
   let bad = ref None in
   String.split_on_char '\n' s
   |> List.iteri (fun i line ->
          if !bad = None && String.trim line <> "" then
-           if String.length line >= 1 && line.[0] = '#' then ()
-           else
-             match String.rindex_opt line ' ' with
-             | None -> bad := Some (i + 1, "no value field")
-             | Some sp -> (
-                 let value =
-                   String.sub line (sp + 1) (String.length line - sp - 1)
-                 in
-                 match float_of_string_opt value with
-                 | Some _ -> ()
-                 | None -> bad := Some (i + 1, "value not a number")));
+           match Granii_obs.Obs.Json.validate line with
+           | Ok () -> ()
+           | Error msg -> bad := Some (i + 1, msg));
   match !bad with
   | None -> Ok ()
   | Some (ln, msg) -> Error (Printf.sprintf "line %d: %s" ln msg)
@@ -54,16 +204,17 @@ let check_prometheus s =
 let check path =
   let content = read_file path in
   if String.length content = 0 then Error "empty file"
+  else if Filename.check_suffix path ".jsonl" then check_jsonl content
   else if Filename.check_suffix path ".json" then
     Granii_obs.Obs.Json.validate content
   else if Filename.check_suffix path ".folded" then check_folded content
   else if Filename.check_suffix path ".prom" then check_prometheus content
-  else Error "unknown extension (expected .json, .folded or .prom)"
+  else Error "unknown extension (expected .json, .jsonl, .folded or .prom)"
 
 let () =
   let files = List.tl (Array.to_list Sys.argv) in
   if files = [] then begin
-    prerr_endline "usage: obs_check FILE.{json,folded,prom} ...";
+    prerr_endline "usage: obs_check FILE.{json,jsonl,folded,prom} ...";
     exit 2
   end;
   let failed = ref false in

@@ -51,12 +51,13 @@ type t = {
   mutable version : int;
   mutable history : snapshot list;  (* newest first, capped *)
   mutable observed : int;
+  drift : Obs.Drift.t option;
 }
 
 let history_cap = 8
 
 let of_model ?(calibration = Off) ?(fit_every = 64) ?(min_pairs = 8) ?obs
-    ?monitor base =
+    ?monitor ?drift base =
   if fit_every < 1 then invalid_arg "Cost_oracle.of_model: fit_every < 1";
   if min_pairs < 4 then invalid_arg "Cost_oracle.of_model: min_pairs < 4";
   { base;
@@ -71,7 +72,17 @@ let of_model ?(calibration = Off) ?(fit_every = 64) ?(min_pairs = 8) ?obs
     overrides = Hashtbl.create 16;
     version = 0;
     history = [];
-    observed = 0 }
+    observed = 0;
+    drift =
+      (match drift with
+      | Some _ as d -> d
+      | None ->
+          (* a calibrating oracle always watches its own (corrected)
+             |log error| stream for drift; a pure reader has no
+             calibration pass to trigger, so no detector *)
+          if calibration <> Off then
+            Some (Obs.Drift.create ~level:(log 2.) "oracle.logerr")
+          else None) }
 
 let analytic profile = of_model (Cost_model.analytic profile)
 let flops_only () = of_model Cost_model.flops_only
@@ -89,6 +100,7 @@ let name t =
 let version t = t.version
 let monitor t = t.monitor
 let observed t = t.observed
+let drift t = t.drift
 let correction t prim = Hashtbl.find_opt t.corrections prim
 
 (* ---- prediction ----
@@ -486,14 +498,19 @@ let calibrate t =
   let outcome = calibrate_pass t in
   Obs.count t.obs "calibrate.passes" 1;
   (match outcome with
-  | None -> ()
+  | None ->
+      Obs.event t.obs Obs.Journal.Calibrate ~tag:"skipped"
+        ~v:(float_of_int t.version)
   | Some o ->
       Obs.count t.obs
         (if o.accepted then "calibrate.accepted" else "calibrate.rejected")
         1;
       if o.refit_prims <> [] then
         Obs.count t.obs "calibrate.refit.accepted" (List.length o.refit_prims);
-      Obs.gauge t.obs "calibrate.version" (float_of_int t.version));
+      Obs.gauge t.obs "calibrate.version" (float_of_int t.version);
+      Obs.event t.obs Obs.Journal.Calibrate
+        ~tag:(if o.accepted then "accepted" else "rejected")
+        ~v:(float_of_int o.version_after));
   outcome
 
 let record_sample t ~prim sample =
@@ -520,8 +537,28 @@ let observe ?input t ~prim ~predicted ~measured =
         { s_input; s_predicted = predicted; s_measured = measured }
   | None -> ());
   t.observed <- t.observed + 1;
-  if t.calibration <> Off && t.observed mod t.fit_every = 0 then
-    ignore (calibrate t)
+  let cadence_due = t.calibration <> Off && t.observed mod t.fit_every = 0 in
+  let drift_due =
+    match t.drift with
+    | Some d when t.calibration <> Off && predicted > 0. && measured > 0. ->
+        (* the detector watches the CORRECTED error: once an accepted pass
+           fixes the predictions the stream quiets and the detector re-arms
+           against the new regime instead of firing forever on the raw
+           misprediction *)
+        let err = Float.abs (log (corrected t ~prim predicted /. measured)) in
+        if Obs.Drift.observe d err then begin
+          Obs.count t.obs "calibrate.drift.fired" 1;
+          Obs.event t.obs Obs.Journal.Drift
+            ~tag:(Obs.Drift.name d ^ ":" ^ prim)
+            ~v:(Obs.Drift.last_stat d);
+          true
+        end
+        else false
+    | _ -> false
+  in
+  (* a drift firing triggers an immediate out-of-cadence pass instead of
+     waiting for the next fit_every boundary *)
+  if cadence_due || drift_due then ignore (calibrate t)
 
 (* ---- snapshots ---- *)
 

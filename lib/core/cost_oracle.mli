@@ -40,7 +40,7 @@ type t
 val of_model :
   ?calibration:calibration -> ?fit_every:int -> ?min_pairs:int ->
   ?obs:Granii_obs.Obs.t -> ?monitor:Granii_obs.Obs.Cost_monitor.t ->
-  Cost_model.t -> t
+  ?drift:Granii_obs.Obs.Drift.t -> Cost_model.t -> t
 (** Wrap a base predictor. [calibration] defaults to {!Off}; [fit_every]
     (default [64]) is how many {!observe} calls separate automatic
     calibration passes; [min_pairs] (default [8]) is the fewest positive
@@ -49,8 +49,14 @@ val of_model :
     {!Granii_obs.Obs.Cost_monitor} to calibrate from execution telemetry; a
     fresh private monitor is created otherwise. [obs] (default
     {!Granii_obs.Obs.disabled}) receives the [calibrate.*] spans and
-    counters. Raises [Invalid_argument] when [fit_every < 1] or
-    [min_pairs < 4]. *)
+    counters plus the journal's drift/calibrate events. [drift] overrides
+    the drift detector watching the corrected |log error| stream; by
+    default a calibrating oracle gets
+    [Obs.Drift.create ~level:(log 2.) "oracle.logerr"] (sustained 2x
+    average misprediction fires), and an oracle with [calibration = Off]
+    gets none. A firing triggers an immediate out-of-cadence calibration
+    pass (see {!observe}). Raises [Invalid_argument] when [fit_every < 1]
+    or [min_pairs < 4]. *)
 
 val analytic : Granii_hw.Hw_profile.t -> t
 (** [of_model (Cost_model.analytic p)] — the noise-free roofline ablation. *)
@@ -89,6 +95,10 @@ val monitor : t -> Granii_obs.Obs.Cost_monitor.t
 
 val observed : t -> int
 (** Total {!observe} calls. *)
+
+val drift : t -> Granii_obs.Obs.Drift.t option
+(** The drift detector watching the corrected |log error| stream, when the
+    oracle has one. *)
 
 val correction : t -> string -> (float * float) option
 (** The current [(a, b)] log-space correction for a primitive name, if a
@@ -166,7 +176,11 @@ val observe :
     (uncorrected) prediction. The pair lands in {!monitor}; [input] (the
     featurized model input) additionally lands in the refit sample store.
     Every [fit_every] calls, when calibration is not {!Off}, a calibration
-    pass runs inline. *)
+    pass runs inline. Each positive pair also feeds the oracle's drift
+    detector with the {e corrected} |log error|; when the detector fires,
+    a [calibrate.drift.fired] counter and a journal [Drift] event are
+    emitted and a calibration pass runs immediately, without waiting for
+    the [fit_every] cadence. *)
 
 type pass_outcome = {
   fitted_prims : string list;   (** primitives with enough pairs to fit *)

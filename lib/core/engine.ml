@@ -16,6 +16,7 @@ type config = {
   queue_bound : int;
   batch_window : int;
   calibration : Cost_oracle.calibration;
+  journal : bool;
 }
 
 let default_config =
@@ -27,7 +28,8 @@ let default_config =
     telemetry = false;
     queue_bound = 64;
     batch_window = 0;
-    calibration = Cost_oracle.Off }
+    calibration = Cost_oracle.Off;
+    journal = false }
 
 type error =
   | Invalid_threads of int
@@ -188,6 +190,9 @@ let create ?pool ?workspace ?cache ?obs ?oracle (cfg : config) =
       telemetry =
         (cfg.telemetry
         || match obs with Some o -> Obs.enabled o | None -> false);
+      journal =
+        (cfg.journal
+        || match obs with Some o -> o.Obs.journal <> None | None -> false);
       calibration =
         (match oracle with
         | Some o -> Cost_oracle.calibration o
@@ -216,7 +221,14 @@ let create ?pool ?workspace ?cache ?obs ?oracle (cfg : config) =
       let obs =
         match obs with
         | Some o -> o
-        | None -> if cfg.telemetry then Obs.create () else Obs.disabled
+        | None ->
+            if cfg.telemetry then Obs.create ~journal:cfg.journal ()
+            else if cfg.journal then
+              (* journal-only sink: the always-on production journal does
+                 not drag the full metrics/trace machinery along *)
+              Obs.create ~trace:false ~metrics:false ~costmon:false
+                ~journal:true ()
+            else Obs.disabled
       in
       let oracle =
         match oracle with
@@ -263,12 +275,13 @@ let onoff = function true -> "on" | false -> "off"
 
 let describe_config (cfg : config) =
   Printf.sprintf
-    "threads=%d,workspace=%s,cache=%s,locality=%s,intermediates=%s,telemetry=%s,queue_bound=%d,batch_window=%d,calibration=%s"
+    "threads=%d,workspace=%s,cache=%s,locality=%s,intermediates=%s,telemetry=%s,queue_bound=%d,batch_window=%d,calibration=%s,journal=%s"
     cfg.threads (onoff cfg.workspace) (onoff cfg.cache)
     (Locality.config_to_string cfg.locality)
     (if cfg.keep_intermediates then "keep" else "drop")
     (onoff cfg.telemetry) cfg.queue_bound cfg.batch_window
     (Cost_oracle.calibration_to_string cfg.calibration)
+    (onoff cfg.journal)
 
 let describe t = describe_config t.cfg
 
@@ -356,6 +369,9 @@ let config_of_string s =
                   Error
                     (Printf.sprintf
                        "engine spec: batch_window expects an integer (got %s)" v))
+          | "journal" ->
+              let* b = parse_flag key v in
+              Ok { cfg with journal = b }
           | "calibration" -> (
               match Cost_oracle.calibration_of_string v with
               | Some c -> Ok { cfg with calibration = c }

@@ -51,12 +51,18 @@ type config = {
           {!Cost_oracle.Off} (the default) makes the oracle a pure reader of
           its base model — predictions bitwise identical to an uncalibrated
           engine. *)
+  journal : bool;
+      (** attach the always-on production event journal
+          ({!Granii_obs.Obs.Journal}: lock-free per-domain rings recording
+          step executions, plan-cache traffic, calibration swaps,
+          backpressure) even when full [telemetry] is off. Never affects
+          computed outputs. *)
 }
 
 val default_config : config
 (** [threads=1], everything off, {!Locality.default}, keep intermediates,
-    [calibration=Off] — the seed executor's behavior. Serving axes default
-    to [queue_bound=64], [batch_window=0]. *)
+    [calibration=Off], [journal=false] — the seed executor's behavior.
+    Serving axes default to [queue_bound=64], [batch_window=0]. *)
 
 type error =
   | Invalid_threads of int
@@ -175,7 +181,7 @@ val cache_insert : t -> string -> Dispatch.value -> float -> unit
 val describe : t -> string
 
 val describe_config : config -> string
-(** E.g. ["threads=4,workspace=on,cache=off,locality=identity+csr,intermediates=keep,telemetry=off,queue_bound=64,batch_window=0,calibration=off"].
+(** E.g. ["threads=4,workspace=on,cache=off,locality=identity+csr,intermediates=keep,telemetry=off,queue_bound=64,batch_window=0,calibration=off,journal=off"].
     Round-trips exactly through {!config_of_string}. *)
 
 val config_of_string : string -> (config, string) result
@@ -184,8 +190,9 @@ val config_of_string : string -> (config, string) result
     Keys: [threads] (int), [workspace]/[cache]/[telemetry] (on|off),
     [locality] (<identity|degree|bfs|rcm>+<csr|hybrid|bsr|cbm>),
     [intermediates] (keep|drop), [queue_bound] (int), [batch_window]
-    (int, microseconds), [calibration] (off|affine|refit). An unknown
-    format name reports the {!Invalid_format} message. *)
+    (int, microseconds), [calibration] (off|affine|refit), [journal]
+    (on|off). An unknown format name reports the {!Invalid_format}
+    message. *)
 
 (** {2 Structural fingerprinting} (shared with the serving plan cache) *)
 

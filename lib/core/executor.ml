@@ -76,6 +76,13 @@ let step_span_exit tr sp ~threads ~ctx (s : Plan.step) args v elapsed =
   | _ -> ()
 
 let step_observe (obs : Obs.t) (s : Plan.step) elapsed =
+  (* guard-first on each component so a disabled sink costs one option
+     match and allocates nothing *)
+  (match obs.Obs.journal with
+  | None -> ()
+  | Some j ->
+      Obs.Journal.record j Obs.Journal.Step
+        ~tag:(Primitive.name s.Plan.prim) ~v:elapsed);
   match obs.Obs.metrics with
   | None -> ()
   | Some m ->

@@ -55,10 +55,18 @@ let find t key =
       e.last_use <- t.tick;
       t.hits <- t.hits + 1;
       Obs.count t.obs (t.prefix ^ ".hits") 1;
+      (match t.obs.Obs.journal with
+      | None -> ()
+      | Some j ->
+          Obs.Journal.record j Obs.Journal.Plan_cache_hit ~tag:key.model ~v:0.);
       Some e.choice
   | None ->
       t.misses <- t.misses + 1;
       Obs.count t.obs (t.prefix ^ ".misses") 1;
+      (match t.obs.Obs.journal with
+      | None -> ()
+      | Some j ->
+          Obs.Journal.record j Obs.Journal.Plan_cache_miss ~tag:key.model ~v:0.);
       None
 
 let peek t key =

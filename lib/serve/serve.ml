@@ -11,6 +11,7 @@ module Selector = Granii_core.Selector
 module Featurizer = Granii_core.Featurizer
 module Cost_oracle = Granii_core.Cost_oracle
 module Locality = Granii_core.Locality
+module Plan = Granii_core.Plan
 module Dim = Granii_core.Dim
 module Codegen = Granii_core.Codegen
 module Mp = Granii_mp
@@ -29,6 +30,7 @@ type config = {
   param_seed : int;
   locality : Locality.config;
   calibration : Cost_oracle.calibration;
+  slo_ms : float option;
 }
 
 let default_config =
@@ -43,7 +45,8 @@ let default_config =
     iterations = 1;
     param_seed = 11;
     locality = Locality.default;
-    calibration = Cost_oracle.Off }
+    calibration = Cost_oracle.Off;
+    slo_ms = None }
 
 let with_engine_axes (ec : Engine.config) cfg =
   { cfg with
@@ -73,6 +76,8 @@ type stats = {
   sum_width : int;
   widened_steps : int;
   plan_cache : Plan_cache.stats;
+  slo_breaches : int;
+  first_breach : float option;
 }
 
 type graph_entry = {
@@ -86,6 +91,8 @@ type tenant = {
   mutable queue : pending list;  (* arrival order *)
   mutable busy : bool;  (* a width-1 job currently uses this arena *)
   ws : Workspace.t;
+  sketch : Obs.Sketch.t;  (* rolling latency quantiles, fixed memory *)
+  tdrift : Obs.Drift.t;  (* Page–Hinkley over the tenant's p99 stream *)
 }
 
 and pending = {
@@ -130,6 +137,9 @@ type t = {
   mutable max_width : int;
   mutable sum_width : int;
   mutable widened_steps : int;
+  mutable slo_breaches : int;
+  mutable first_breach : float option;  (* clock time of the first breach *)
+  mutable oracle_name : string;  (* last plan-cache key component used *)
 }
 
 let locked t f =
@@ -260,10 +270,18 @@ let feats_of (ge : graph_entry) =
    DESIGN.md §12) is part of the cache key, so engines that localize
    differently never share a plan. *)
 let select_plan t (ge : graph_entry) ~model ~k_in ~k_out =
+  let oname = Cost_oracle.name t.oracle in
+  if oname <> t.oracle_name then begin
+    (* an accepted calibration pass renamed the oracle; every cached plan
+       keyed on the old name is now unreachable — record the invalidation *)
+    Obs.count t.obs "serve.plan_cache.invalidated" 1;
+    Obs.event t.obs Obs.Journal.Plan_cache_invalidate ~tag:oname
+      ~v:(float_of_int (Cost_oracle.version t.oracle));
+    t.oracle_name <- oname
+  end;
   let key =
-    Plan_cache.key_of ~graph_fp:ge.fp ~model ~k_in ~k_out
-      ~hw:(Cost_oracle.name t.oracle) ~threads:t.cfg.threads
-      ~locality:t.cfg.locality
+    Plan_cache.key_of ~graph_fp:ge.fp ~model ~k_in ~k_out ~hw:oname
+      ~threads:t.cfg.threads ~locality:t.cfg.locality
   in
   let lc =
     match Plan_cache.find t.pc key with
@@ -353,7 +371,57 @@ let execute ?pool ~locality (j : job) (plan, params) =
 
 (* ---- completion (lock held) ---- *)
 
-let fulfill t (j : job) outs widened =
+(* The serving half of the calibration loop: a width-1 job is one clean
+   (predicted, measured) pair at plan granularity, mirroring the trainer's
+   per-batch feed (same raw analytic prediction, same ["plan:<name>"]
+   correction key). Batched jobs are skipped — widening changes the work
+   the prediction models. *)
+let feed_oracle t (j : job) (plan : Plan.t) dt =
+  match j.reqs with
+  | [ p ] when t.cfg.calibration <> Cost_oracle.Off && dt > 0. ->
+      let prof =
+        match Cost_oracle.profile t.oracle with
+        | Some pr -> pr
+        | None -> Granii_hw.Hw_profile.cpu
+      in
+      let n = Graph.n_nodes p.gentry.graph in
+      let env =
+        { Dim.n;
+          nnz = Graph.n_edges p.gentry.graph + n;
+          k_in = p.k_in;
+          k_out = p.k_out }
+      in
+      let predicted =
+        Cost_oracle.analytic_plan ~threads:t.cfg.threads prof ~env
+          ~iterations:1 plan
+      in
+      Cost_oracle.observe t.oracle ~prim:("plan:" ^ plan.Plan.name)
+        ~predicted ~measured:dt
+  | _ -> ()
+
+(* Per-tenant rolling quantile gauges plus the p99 drift feed, once per
+   distinct tenant in the job. *)
+let tenant_gauges t (ten : tenant) =
+  (match t.obs.Obs.metrics with
+  | None -> ()
+  | Some m ->
+      let labels = [ ("tenant", ten.tname) ] in
+      Obs.Metrics.set_gauge_labeled m "serve.latency.p50" ~labels
+        (Obs.Sketch.quantile ten.sketch 0.5);
+      Obs.Metrics.set_gauge_labeled m "serve.latency.p95" ~labels
+        (Obs.Sketch.quantile ten.sketch 0.95);
+      Obs.Metrics.set_gauge_labeled m "serve.latency.p99" ~labels
+        (Obs.Sketch.quantile ten.sketch 0.99));
+  if Obs.Sketch.count ten.sketch >= 16 then begin
+    let p99 = Obs.Sketch.quantile ten.sketch 0.99 in
+    if Float.is_finite p99 && Obs.Drift.observe ten.tdrift p99 then begin
+      Obs.count t.obs "serve.drift.fired" 1;
+      Obs.event t.obs Obs.Journal.Drift ~tag:(Obs.Drift.name ten.tdrift)
+        ~v:(Obs.Drift.last_stat ten.tdrift)
+    end
+  end
+
+let fulfill t (j : job) (plan : Plan.t) outs widened dt =
   let now = t.clock () in
   let width = List.length j.reqs in
   List.iter2
@@ -362,14 +430,35 @@ let fulfill t (j : job) outs widened =
       p.ticket.result <- Some { value = v; latency; width };
       t.completed <- t.completed + 1;
       Obs.count t.obs "serve.requests.completed" 1;
-      Obs.observe t.obs "serve.latency" latency)
+      Obs.observe t.obs "serve.latency" latency;
+      Obs.event t.obs Obs.Journal.Request ~tag:p.powner.tname ~v:latency;
+      Obs.Sketch.add p.powner.sketch latency;
+      match t.cfg.slo_ms with
+      | Some ms when latency *. 1000. > ms ->
+          t.slo_breaches <- t.slo_breaches + 1;
+          if t.first_breach = None then t.first_breach <- Some now;
+          Obs.count t.obs "serve.slo.breaches" 1;
+          Obs.event t.obs Obs.Journal.Slo_breach ~tag:p.powner.tname
+            ~v:latency
+      | _ -> ())
     j.reqs outs;
+  let seen = Hashtbl.create 4 in
+  List.iter
+    (fun p ->
+      if not (Hashtbl.mem seen p.powner.tname) then begin
+        Hashtbl.replace seen p.powner.tname ();
+        tenant_gauges t p.powner
+      end)
+    j.reqs;
   t.batches <- t.batches + 1;
   t.sum_width <- t.sum_width + width;
   if width > t.max_width then t.max_width <- width;
   t.widened_steps <- t.widened_steps + widened;
   Obs.count t.obs "serve.batches" 1;
   Obs.gauge t.obs "serve.batch.width" (float_of_int width);
+  Obs.event t.obs Obs.Journal.Batch ~tag:plan.Plan.name
+    ~v:(float_of_int width);
+  feed_oracle t j plan dt;
   if j.use_arena then (
     match j.reqs with
     | p :: _ -> p.powner.busy <- false
@@ -407,9 +496,11 @@ let worker_loop t =
         Mutex.unlock t.m;
         (* workers run kernels sequentially: the shared domain pool is not
            reentrant across domains *)
+        let et0 = t.clock () in
         let outs, widened = execute ~locality:t.cfg.locality j resolved in
+        let dt = t.clock () -. et0 in
         Mutex.lock t.m;
-        fulfill t j outs widened;
+        fulfill t j (fst resolved) outs widened dt;
         Mutex.unlock t.m;
         next ()
   in
@@ -417,9 +508,13 @@ let worker_loop t =
 
 (* ---- public API ---- *)
 
-let create ?(obs = Obs.disabled) ?(clock = Timer.wall) cfg =
+let create ?(obs = Obs.disabled) ?(clock = Timer.wall) ?oracle cfg =
   if cfg.queue_bound < 1 then
     invalid_arg "Serve.create: queue_bound must be >= 1";
+  (match cfg.slo_ms with
+  | Some s when not (Float.is_finite s && s > 0.) ->
+      invalid_arg "Serve.create: slo_ms must be > 0"
+  | _ -> ());
   if cfg.max_batch < 1 then invalid_arg "Serve.create: max_batch must be >= 1";
   if cfg.threads < 1 then invalid_arg "Serve.create: threads must be >= 1";
   if cfg.workers < 0 then invalid_arg "Serve.create: workers must be >= 0";
@@ -439,13 +534,21 @@ let create ?(obs = Obs.disabled) ?(clock = Timer.wall) cfg =
       Some (Parallel.create ~threads:cfg.threads ())
     else None
   in
+  let oracle =
+    match oracle with
+    | Some o -> o
+    | None ->
+        Cost_oracle.of_model ~calibration:cfg.calibration ~obs
+          (Granii_core.Cost_model.analytic cfg.profile)
+  in
+  (* normalize, as the engine does for injected resources: the stored config
+     reflects the oracle actually in use *)
+  let cfg = { cfg with calibration = Cost_oracle.calibration oracle } in
   let t =
     { cfg;
       obs;
       clock;
-      oracle =
-        Cost_oracle.of_model ~calibration:cfg.calibration ~obs
-          (Granii_core.Cost_model.analytic cfg.profile);
+      oracle;
       pool;
       pc = Plan_cache.create ~obs ~capacity:cfg.plan_cache ();
       graphs = Hashtbl.create 8;
@@ -465,7 +568,10 @@ let create ?(obs = Obs.disabled) ?(clock = Timer.wall) cfg =
       batches = 0;
       max_width = 0;
       sum_width = 0;
-      widened_steps = 0 }
+      widened_steps = 0;
+      slo_breaches = 0;
+      first_breach = None;
+      oracle_name = Cost_oracle.name oracle }
   in
   t.domains <-
     List.init cfg.workers (fun _ -> Domain.spawn (fun () -> worker_loop t));
@@ -484,7 +590,12 @@ let tenant_of t name =
   | Some ten -> ten
   | None ->
       let ten =
-        { tname = name; queue = []; busy = false; ws = Workspace.create () }
+        { tname = name;
+          queue = [];
+          busy = false;
+          ws = Workspace.create ();
+          sketch = Obs.Sketch.create ();
+          tdrift = Obs.Drift.create ~min_samples:32 ("serve.p99:" ^ name) }
       in
       Hashtbl.replace t.tenants name ten;
       ten
@@ -517,6 +628,8 @@ let submit t ~tenant ~graph ~model ~k_out ~features =
         if List.length ten.queue >= t.cfg.queue_bound then begin
           t.rejected <- t.rejected + 1;
           Obs.count t.obs "serve.requests.rejected" 1;
+          Obs.event t.obs Obs.Journal.Backpressure ~tag:tenant
+            ~v:(float_of_int t.cfg.queue_bound);
           Error (Queue_full { tenant; bound = t.cfg.queue_bound })
         end
         else begin
@@ -552,11 +665,13 @@ let pump t =
       | None -> false
       | Some j ->
           let resolved = resolve t j in
+          let et0 = t.clock () in
           let outs, widened =
             Obs.span t.obs "serve.exec" (fun () ->
                 execute ?pool:t.pool ~locality:t.cfg.locality j resolved)
           in
-          fulfill t j outs widened;
+          let dt = t.clock () -. et0 in
+          fulfill t j (fst resolved) outs widened dt;
           true)
 
 let drain t = while pump t do () done
@@ -626,9 +741,24 @@ let stats t =
         max_width = t.max_width;
         sum_width = t.sum_width;
         widened_steps = t.widened_steps;
-        plan_cache = Plan_cache.stats t.pc })
+        plan_cache = Plan_cache.stats t.pc;
+        slo_breaches = t.slo_breaches;
+        first_breach = t.first_breach })
 
 let obs t = t.obs
+
+let serve_oracle t = t.oracle
+
+let tenant_latency t name q =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.tenants name with
+      | Some ten -> Obs.Sketch.quantile ten.sketch q
+      | None -> Float.nan)
+
+let latency_sketch t =
+  locked t (fun () ->
+      Obs.Sketch.merge_all
+        (Hashtbl.fold (fun _ ten acc -> ten.sketch :: acc) t.tenants []))
 
 (* The single-threaded reference path: same parameters, same (deterministic)
    selection, a plain sequential engine, no queues and no counter traffic. *)

@@ -49,7 +49,26 @@
     (gauge) and a [serve.latency] log-bucketed histogram, plus
     [serve.select] / [serve.exec] spans (spans on the scheduler's
     orchestrating path only). All sink access is serialized under the
-    scheduler lock. *)
+    scheduler lock.
+
+    {2 Production observability} (DESIGN.md §16)
+
+    Each tenant additionally carries a fixed-memory streaming quantile
+    sketch ({!Granii_obs.Obs.Sketch}) of its completion latencies, exported
+    as [serve.latency.p50/p95/p99] labeled gauges
+    ([{tenant="<name>"}]), and a Page–Hinkley drift detector
+    ({!Granii_obs.Obs.Drift}) over its rolling p99 — a sustained latency
+    regression fires a [serve.drift.fired] counter and a journal [drift]
+    event. When the sink has a journal, the server records [request],
+    [batch], [backpressure], [slo_breach] and [plan_cache_invalidate]
+    events (plan-cache hit/miss events come from {!Plan_cache} itself).
+    An [slo_ms] target turns breach accounting on: per-request latency
+    above the target bumps [serve.slo.breaches] and the {!stats} breach
+    fields. A width-1 job also feeds the oracle one plan-level
+    (predicted, measured) pair — the serving half of the calibration loop,
+    mirroring the trainer's per-batch feed — so a calibrating server
+    recalibrates (and, on drift, recalibrates {e out of cadence}) from its
+    own live traffic. *)
 
 type config = {
   workers : int;       (** worker domains; [0] = manual (pump-driven) mode *)
@@ -88,12 +107,19 @@ type config = {
           on {!Granii_core.Cost_oracle.name}, which changes on every
           accepted calibration pass, so recalibrated oracles never serve a
           stale plan. *)
+  slo_ms : float option;
+      (** per-request latency objective in milliseconds; [Some ms] counts
+          every completion slower than [ms] as a breach ([serve.slo.breaches]
+          counter, [slo_breach] journal events, the {!stats} breach fields).
+          [None] (the default) disables breach accounting. Must be positive
+          and finite. *)
 }
 
 val default_config : config
 (** [workers=0], [queue_bound=64], [batch_window=0], [max_batch=8],
     [plan_cache=32], [batching=true], [threads=1], host-CPU profile,
-    [iterations=1], [param_seed=11], default locality, calibration off. *)
+    [iterations=1], [param_seed=11], default locality, calibration off,
+    no SLO. *)
 
 val with_engine_axes : Granii_core.Engine.config -> config -> config
 (** Copy the serving axes an {!Granii_core.Engine.config} carries
@@ -124,17 +150,29 @@ type stats = {
   sum_width : int;       (** [sum_width / batches] = mean batch width *)
   widened_steps : int;   (** plan steps executed once over widened operands *)
   plan_cache : Plan_cache.stats;
+  slo_breaches : int;    (** completions slower than [slo_ms]; [0] without
+                             an SLO *)
+  first_breach : float option;
+      (** clock timestamp of the first breach (the server's [clock], the
+          same scale as request submission times) *)
 }
 
 type t
 
-val create : ?obs:Granii_obs.Obs.t -> ?clock:(unit -> float) -> config -> t
+val create :
+  ?obs:Granii_obs.Obs.t -> ?clock:(unit -> float) ->
+  ?oracle:Granii_core.Cost_oracle.t -> config -> t
 (** [clock] (default {!Granii_hw.Timer.wall}) timestamps submissions and
-    completions — inject a manual clock for scripted-latency tests. Raises
-    [Invalid_argument] on a non-positive [queue_bound]/[max_batch]/[threads],
-    negative [workers]/[batch_window]/[plan_cache], [iterations < 1] or an
-    illegal [locality] (bsr with a non-identity ordering — see
-    {!Granii_core.Locality.legal}). *)
+    completions — inject a manual clock for scripted-latency tests.
+    [oracle] injects the server's cost oracle (e.g. one with a custom drift
+    detector); by default the server builds one over the analytic model of
+    [cfg.profile] with [cfg.calibration]. With an injection the stored
+    config's [calibration] is normalized to the oracle's actual policy.
+    Raises [Invalid_argument] on a non-positive
+    [queue_bound]/[max_batch]/[threads], negative
+    [workers]/[batch_window]/[plan_cache], [iterations < 1], a non-positive
+    [slo_ms] or an illegal [locality] (bsr with a non-identity ordering —
+    see {!Granii_core.Locality.legal}). *)
 
 val register_graph : t -> name:string -> Granii_graph.Graph.t -> unit
 (** Graphs are server state, named at registration. Re-registering a name
@@ -183,6 +221,18 @@ val graph_nodes : t -> string -> int
 val stats : t -> stats
 
 val obs : t -> Granii_obs.Obs.t
+
+val serve_oracle : t -> Granii_core.Cost_oracle.t
+(** The server's cost-prediction layer (injected or built at {!create}). *)
+
+val tenant_latency : t -> string -> float -> float
+(** [tenant_latency t name q] — the [q]-quantile (in [0,1]) of a tenant's
+    completion-latency sketch, in seconds; [nan] for an unknown tenant or
+    one with no completions yet. *)
+
+val latency_sketch : t -> Granii_obs.Obs.Sketch.t
+(** Merge of every tenant's latency sketch — the server-wide latency
+    distribution (see {!Granii_obs.Obs.Sketch.merge_all}). *)
 
 val oracle :
   t -> graph:string -> model:string -> k_out:int ->

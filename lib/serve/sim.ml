@@ -24,6 +24,8 @@ type result = {
   mean_width : float;
   retries : int;
   stats : Serve.stats;
+  breach_rate : float;
+  first_breach_s : float option;
 }
 
 let percentile xs p =
@@ -95,6 +97,12 @@ let run server load =
     if stats.Serve.batches = 0 then 0.
     else float_of_int stats.Serve.sum_width /. float_of_int stats.Serve.batches
   in
+  let breach_rate =
+    if stats.Serve.completed = 0 then 0.
+    else
+      float_of_int stats.Serve.slo_breaches
+      /. float_of_int stats.Serve.completed
+  in
   { wall;
     throughput = float_of_int !completed /. wall;
     p50 = percentile lat 50.;
@@ -102,4 +110,6 @@ let run server load =
     mean_latency;
     mean_width;
     retries = !retries;
-    stats }
+    stats;
+    breach_rate;
+    first_breach_s = Option.map (fun ts -> ts -. t0) stats.Serve.first_breach }

@@ -34,6 +34,12 @@ type result = {
   mean_width : float;      (** mean executor-invocation batch width *)
   retries : int;           (** submissions rejected by backpressure *)
   stats : Serve.stats;
+  breach_rate : float;
+      (** SLO breaches per completion ([0.] without an [slo_ms] target) *)
+  first_breach_s : float option;
+      (** seconds from run start to the first SLO breach — meaningful when
+          the server runs on the default wall clock, which the simulator's
+          own timestamps share *)
 }
 
 val run : Serve.t -> load -> result

@@ -16,6 +16,7 @@ let () =
       ("parallel", Test_parallel.suite);
       ("engine", Test_engine.suite);
       ("obs", Test_obs.suite);
+      ("observability", Test_observability.suite);
       ("memory", Test_memory.suite);
       ("locality", Test_locality.suite);
       ("formats", Test_formats.suite);
